@@ -1,0 +1,52 @@
+//! Criterion microbenchmark behind Fig. 5: wall-clock cost of one
+//! allocation decision as the heterogeneous fleet grows, for +10% and ×2
+//! rate spikes (log-space solver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lass_queueing::{required_additional_containers, SolverConfig};
+use lass_simcore::SimRng;
+
+fn fleet(c: usize, mu_std: f64, seed: u64) -> (Vec<f64>, f64) {
+    let mut rng = SimRng::from_seed_label(seed, &format!("bench-fleet:{c}"));
+    let mus: Vec<f64> = (0..c)
+        .map(|_| mu_std * (1.0 - 0.3 * rng.uniform()))
+        .collect();
+    let agg: f64 = mus.iter().sum();
+    (mus, 0.72 * agg)
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let cfg = SolverConfig {
+        target_percentile: 0.99,
+        max_containers: 100_000,
+    };
+    let mut group = c.benchmark_group("alloc_decision");
+    for &size in &[10usize, 100, 500, 1000] {
+        let (mus, base) = fleet(size, 10.0, 42);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("spike_10pct", size),
+            &(&mus, base),
+            |b, (mus, base)| {
+                b.iter(|| {
+                    required_additional_containers(base * 1.1, mus, 10.0, 0.1, &cfg)
+                        .expect("feasible")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spike_2x", size),
+            &(&mus, base),
+            |b, (mus, base)| {
+                b.iter(|| {
+                    required_additional_containers(base * 2.0, mus, 10.0, 0.1, &cfg)
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

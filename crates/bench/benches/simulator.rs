@@ -1,0 +1,33 @@
+//! Simulator throughput: events processed per wall-clock second for an
+//! end-to-end LaSS run (controller in the loop). Useful for sizing longer
+//! trace-replay experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lass_cluster::Cluster;
+use lass_core::{FunctionSetup, LassConfig, Simulation};
+use lass_functions::{micro_benchmark, WorkloadSpec};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("lass_60s_20rps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 42);
+            let mut setup = FunctionSetup::new(
+                micro_benchmark(0.1),
+                0.1,
+                WorkloadSpec::Static {
+                    rate: 20.0,
+                    duration: 60.0,
+                },
+            );
+            setup.initial_containers = 3;
+            sim.add_function(setup);
+            sim.run(Some(60.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation A2 — solver numerics: the naive direct-float evaluation of the
+//! heterogeneous bound vs the incremental log-space solver (the "Scala vs
+//! Julia" comparison of §6.3), plus the homogeneous Algorithm 1 and the
+//! core M/M/c primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lass_queueing::{
+    required_additional_containers, required_additional_containers_naive,
+    required_containers_exact, MmcQueue, SolverConfig,
+};
+use lass_simcore::SimRng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let cfg = SolverConfig {
+        target_percentile: 0.99,
+        max_containers: 100_000,
+    };
+    let mut group = c.benchmark_group("solver_ablation");
+    // Fleet sizes where the naive implementation still functions.
+    for &size in &[10usize, 50, 100, 200] {
+        let mut rng = SimRng::from_seed_label(7, &format!("ablation:{size}"));
+        let mus: Vec<f64> = (0..size)
+            .map(|_| 10.0 * (1.0 - 0.3 * rng.uniform()))
+            .collect();
+        let lambda = 0.8 * mus.iter().sum::<f64>();
+        group.bench_with_input(
+            BenchmarkId::new("logspace", size),
+            &(&mus, lambda),
+            |b, (mus, lambda)| {
+                b.iter(|| {
+                    required_additional_containers(*lambda, mus, 10.0, 0.1, &cfg)
+                        .expect("feasible")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", size),
+            &(&mus, lambda),
+            |b, (mus, lambda)| {
+                b.iter(|| required_additional_containers_naive(*lambda, mus, 10.0, 0.1, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queueing_primitives");
+    group.bench_function("mmc_build_c100", |b| {
+        b.iter(|| MmcQueue::new(80.0, 1.0, 100).expect("valid"))
+    });
+    let q = MmcQueue::new(80.0, 1.0, 100).expect("valid");
+    group.bench_function("mmc_wait_bound", |b| {
+        b.iter(|| q.wait_probability_bound(0.1))
+    });
+    group.bench_function("algorithm1_hom_lambda200", |b| {
+        b.iter(|| {
+            required_containers_exact(200.0, 10.0, 0.1, &SolverConfig::default())
+                .expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_primitives);
+criterion_main!(benches);

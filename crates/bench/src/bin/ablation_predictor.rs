@@ -1,0 +1,138 @@
+//! Ablation A5 — pluggable load predictors (§5: "one can also plug in any
+//! load prediction method of choice into LaSS with ease").
+//!
+//! Compares the paper's burst-aware dual-window estimator against Holt
+//! trend extrapolation and a conservative peak-hold predictor on two
+//! workload shapes: a steady ramp (where trend extrapolation shines) and
+//! an on/off burst train (where peak-hold avoids repeated cold ramps at
+//! the cost of held capacity).
+
+use lass_bench::{header, row, HarnessOpts};
+use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_core::{FunctionSetup, LassConfig, PredictorKind, Simulation};
+use lass_functions::{micro_benchmark, WorkloadSpec};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    predictor: String,
+    workload: &'static str,
+    p95_wait_ms: f64,
+    attainment: f64,
+    avg_cpu_milli: f64,
+}
+
+fn workloads(duration: f64) -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        (
+            "ramp",
+            WorkloadSpec::Ramp {
+                from: 5.0,
+                to: 60.0,
+                duration,
+            },
+        ),
+        (
+            "burst-train",
+            WorkloadSpec::Steps {
+                steps: (0..)
+                    .map(|i| f64::from(i) * 60.0)
+                    .take_while(|&t| t < duration)
+                    .enumerate()
+                    .map(|(i, t)| (t, if i % 2 == 0 { 5.0 } else { 45.0 }))
+                    .collect(),
+                duration,
+            },
+        ),
+    ]
+}
+
+fn run_one(
+    kind: PredictorKind,
+    label: String,
+    wl_name: &'static str,
+    wl: WorkloadSpec,
+    duration: f64,
+    seed: u64,
+) -> Point {
+    let mut cfg = LassConfig::default();
+    cfg.predictor = kind;
+    let cluster = Cluster::homogeneous(
+        8,
+        CpuMilli::from_cores(16.0),
+        MemMib(64 * 1024),
+        PlacementPolicy::BestFit,
+    );
+    let mut sim = Simulation::new(cfg, cluster, seed);
+    let mut setup = FunctionSetup::new(micro_benchmark(0.1), 0.1, wl);
+    setup.initial_containers = 2;
+    sim.add_function(setup);
+    let mut report = sim.run(Some(duration));
+    let f = report.per_fn.get_mut(&0).expect("one function");
+    let avg_cpu = f
+        .cpu_timeline
+        .mean_between(0.0, duration)
+        .unwrap_or(0.0);
+    Point {
+        predictor: label,
+        workload: wl_name,
+        p95_wait_ms: f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+        attainment: f.slo_attainment(),
+        avg_cpu_milli: avg_cpu,
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let duration = opts.pick(900.0, 240.0);
+    let predictors = [
+        (PredictorKind::BurstAware, "burst-aware".to_string()),
+        (
+            PredictorKind::Holt {
+                alpha: 0.5,
+                beta: 0.3,
+                horizon_secs: 10.0,
+            },
+            "holt".to_string(),
+        ),
+        (PredictorKind::Peak { window_secs: 120.0 }, "peak-hold".to_string()),
+    ];
+    let cases: Vec<(PredictorKind, String, &'static str, WorkloadSpec)> = predictors
+        .iter()
+        .flat_map(|(k, l)| {
+            workloads(duration)
+                .into_iter()
+                .map(move |(n, w)| (*k, l.clone(), n, w))
+        })
+        .collect();
+    let points: Vec<Point> = cases
+        .into_par_iter()
+        .map(|(k, l, n, w)| run_one(k, l, n, w, duration, opts.seed))
+        .collect();
+
+    println!("Ablation A5 — load predictors (micro-benchmark, SLO = P95 wait <= 100ms)\n");
+    let widths = [14, 12, 12, 10, 12];
+    header(
+        &["predictor", "workload", "p95W(ms)", "attain", "avg vCPU"],
+        &widths,
+    );
+    for p in &points {
+        row(
+            &[
+                &p.predictor,
+                &p.workload,
+                &format!("{:.1}", p.p95_wait_ms),
+                &format!("{:.3}", p.attainment),
+                &format!("{:.2}", p.avg_cpu_milli / 1000.0),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nReading: Holt anticipates the ramp (better tail at similar capacity);\n\
+         peak-hold wins on the burst train by never releasing burst capacity\n\
+         (highest average allocation); the paper's burst-aware default balances both."
+    );
+    opts.maybe_write_json(&points);
+}

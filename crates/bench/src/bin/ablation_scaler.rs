@@ -1,0 +1,110 @@
+//! Ablation A4 — what the queueing models buy: LaSS's model-driven
+//! autoscaler vs a Knative-style concurrency-target heuristic.
+//!
+//! The heuristic provisions `ceil(λ·E[S] / target)` containers (Little's
+//! law over a per-container concurrency target). With `target = 1` it
+//! allocates ≈ the offered load `λ/μ` — no tail-percentile headroom — so
+//! it violates waiting-time SLOs; smaller targets over-provision across
+//! the board. The model-driven rule sizes the headroom from the M/M/c
+//! waiting distribution per (λ, μ, SLO) point.
+
+use lass_bench::{header, row, HarnessOpts};
+use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_core::{FunctionSetup, LassConfig, ScalerKind, Simulation};
+use lass_functions::{micro_benchmark, WorkloadSpec};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    scaler: String,
+    lambda: f64,
+    avg_containers: f64,
+    p95_wait_ms: f64,
+    attainment: f64,
+}
+
+fn run_one(scaler: ScalerKind, lambda: f64, duration: f64, seed: u64) -> Point {
+    let mut cfg = LassConfig::default();
+    cfg.scaler = scaler;
+    // Big cluster: compare the scaling *rules*, not capacity limits.
+    let cluster = Cluster::homogeneous(
+        8,
+        CpuMilli::from_cores(16.0),
+        MemMib(64 * 1024),
+        PlacementPolicy::BestFit,
+    );
+    let mut sim = Simulation::new(cfg, cluster, seed);
+    let mut setup = FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static {
+            rate: lambda,
+            duration,
+        },
+    );
+    setup.initial_containers = 2;
+    sim.add_function(setup);
+    let mut report = sim.run(Some(duration));
+    let f = report.per_fn.get_mut(&0).expect("one function");
+    let steady: Vec<f64> = f
+        .container_timeline
+        .points()
+        .iter()
+        .filter(|(t, _)| *t > duration * 0.3)
+        .map(|(_, v)| *v)
+        .collect();
+    Point {
+        scaler: match scaler {
+            ScalerKind::ModelDriven => "model-driven".into(),
+            ScalerKind::ConcurrencyTarget { target } => format!("conc-target={target}"),
+        },
+        lambda,
+        avg_containers: steady.iter().sum::<f64>() / steady.len().max(1) as f64,
+        p95_wait_ms: f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+        attainment: f.slo_attainment(),
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let duration = opts.pick(900.0, 120.0);
+    let scalers = [
+        ScalerKind::ModelDriven,
+        ScalerKind::ConcurrencyTarget { target: 1.0 },
+        ScalerKind::ConcurrencyTarget { target: 0.5 },
+    ];
+    let cases: Vec<(ScalerKind, f64)> = scalers
+        .into_iter()
+        .flat_map(|s| [10.0, 30.0, 50.0].map(|l| (s, l)))
+        .collect();
+    let points: Vec<Point> = cases
+        .par_iter()
+        .map(|&(s, l)| run_one(s, l, duration, opts.seed))
+        .collect();
+
+    println!(
+        "Ablation A4 — model-driven (Algorithm 1) vs concurrency-target heuristic\n\
+         (micro-benchmark, mu=10, SLO = P95 wait <= 100ms)\n"
+    );
+    let widths = [16, 8, 10, 12, 10];
+    header(&["scaler", "lambda", "avg c", "p95W(ms)", "attain"], &widths);
+    for p in &points {
+        row(
+            &[
+                &p.scaler,
+                &p.lambda,
+                &format!("{:.1}", p.avg_containers),
+                &format!("{:.1}", p.p95_wait_ms),
+                &format!("{:.3}", p.attainment),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nExpected: target=1.0 allocates ~λ/μ containers and misses the SLO badly;\n\
+         target=0.5 over-provisions ~2x everywhere; the model allocates per-point\n\
+         headroom and holds the SLO with fewer containers than the safe heuristic."
+    );
+    opts.maybe_write_json(&points);
+}

@@ -1,0 +1,130 @@
+//! Experiment E5 — Figure 6: model-driven auto-scaling under dynamic
+//! workloads.
+//!
+//! §6.4: two functions share the cluster with no resource pressure. In the
+//! first half the micro-benchmark's rate steps 5→30→5 req/s while
+//! MobileNet stays flat at 3 req/s; in the second half MobileNet steps
+//! 3→8→3 req/s while the micro-benchmark stays at 5 req/s. The harness
+//! prints both workloads and the container allocations LaSS chooses over
+//! time — allocations should track the steps in both directions.
+
+use lass_bench::{header, row, HarnessOpts};
+use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_core::{FunctionSetup, LassConfig, Simulation};
+use lass_functions::{micro_benchmark, mobilenet_v2, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Sample {
+    t_min: f64,
+    micro_rate: f64,
+    mobilenet_rate: f64,
+    micro_containers: f64,
+    mobilenet_containers: f64,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let step = opts.pick(60.0, 20.0); // one rate step per minute
+    let half = step * 11.0;
+
+    let micro_wl = WorkloadSpec::fig6_micro_steps(step);
+    // Build a two-phase MobileNet workload: flat 3 req/s in the first
+    // half, then the 3→8→3 staircase.
+    let mobilenet_wl = WorkloadSpec::fig6_mobilenet_steps(half, step);
+    let duration = 2.0 * half;
+
+    // Generous cluster: "no resource pressure throughout this experiment".
+    let cluster = Cluster::homogeneous(
+        6,
+        CpuMilli::from_cores(8.0),
+        MemMib(32 * 1024),
+        PlacementPolicy::WorstFit,
+    );
+    let mut cfg = LassConfig::default();
+    cfg.epoch_secs = opts.pick(10.0, 5.0);
+    let mut sim = Simulation::new(cfg, cluster, opts.seed);
+    let mut micro = FunctionSetup::new(micro_benchmark(0.1), 0.1, micro_wl.clone());
+    micro.initial_containers = 1;
+    sim.add_function(micro);
+    let mut mobi = FunctionSetup::new(mobilenet_v2(), 0.5, mobilenet_wl.clone());
+    mobi.initial_containers = 2;
+    sim.add_function(mobi);
+
+    let report = sim.run(Some(duration));
+    let micro_report = &report.per_fn[&0];
+    let mobi_report = &report.per_fn[&1];
+
+    // Sample the timelines on a 30-second grid.
+    let grid: Vec<f64> = (0..)
+        .map(|i| f64::from(i) * 30.0)
+        .take_while(|&t| t < duration)
+        .collect();
+    let series: Vec<Sample> = grid
+        .iter()
+        .map(|&t| Sample {
+            t_min: t / 60.0,
+            micro_rate: micro_wl.rate_at(t),
+            mobilenet_rate: mobilenet_wl.rate_at(t),
+            micro_containers: micro_report
+                .container_timeline
+                .points()
+                .iter()
+                .filter(|(pt, _)| *pt <= t)
+                .map(|(_, v)| *v)
+                .next_back()
+                .unwrap_or(1.0),
+            mobilenet_containers: mobi_report
+                .container_timeline
+                .points()
+                .iter()
+                .filter(|(pt, _)| *pt <= t)
+                .map(|(_, v)| *v)
+                .next_back()
+                .unwrap_or(1.0),
+        })
+        .collect();
+
+    println!("Figure 6 — workloads (top) and provisioned containers (bottom) over time\n");
+    let widths = [8, 12, 12, 12, 12];
+    header(
+        &["t(min)", "micro λ", "mobnet λ", "micro c", "mobnet c"],
+        &widths,
+    );
+    for s in &series {
+        row(
+            &[
+                &format!("{:.1}", s.t_min),
+                &format!("{:.0}", s.micro_rate),
+                &format!("{:.0}", s.mobilenet_rate),
+                &format!("{:.0}", s.micro_containers),
+                &format!("{:.0}", s.mobilenet_containers),
+            ],
+            &widths,
+        );
+    }
+
+    // Shape check: the allocation tracks the load up and back down.
+    let micro_peak = series
+        .iter()
+        .map(|s| s.micro_containers)
+        .fold(0.0f64, f64::max);
+    let micro_first = series.first().map(|s| s.micro_containers).unwrap_or(0.0);
+    let micro_last_half1 = series
+        .iter()
+        .filter(|s| s.t_min * 60.0 > half * 0.85 && s.t_min * 60.0 <= half)
+        .map(|s| s.micro_containers)
+        .next_back()
+        .unwrap_or(0.0);
+    println!(
+        "\nShape: micro-benchmark containers {micro_first:.0} → peak {micro_peak:.0} → {micro_last_half1:.0} \
+         across its 5→30→5 req/s staircase"
+    );
+    println!(
+        "SLO attainment: micro {:.3}, MobileNet {:.3}; overloaded epochs: {}",
+        micro_report.slo_attainment(),
+        mobi_report.slo_attainment(),
+        report.overloaded_epochs
+    );
+    opts.maybe_write_json(&series);
+}

@@ -1,0 +1,182 @@
+//! Experiment E8 — Figure 9: reclamation policies under Azure-like
+//! workloads (six functions, two users).
+//!
+//! §6.7: all six catalog functions run concurrently on the highly-utilized
+//! testbed, driven by one-hour per-minute traces shaped like the Azure
+//! Functions 2019 dataset (MobileNet's trace is highly sporadic and drives
+//! the overloads). Two users own three functions each; user 2 has twice
+//! the weight of user 1, so under contention user 1's functions share
+//! ~33 % and user 2's ~67 % of the cluster.
+//!
+//! The harness runs the termination and deflation policies on identical
+//! traces and reports the per-user allocation timelines and system
+//! utilization (paper: 87.7 % → 93 %).
+
+use lass_bench::{header, row, HarnessOpts};
+use lass_cluster::{Cluster, UserId};
+use lass_core::{FunctionSetup, LassConfig, ReclamationPolicy, Simulation};
+use lass_functions::{fig9_traces, standard_catalog, WorkloadSpec};
+use serde::Serialize;
+
+/// User assignment: user 1 (weight 1) owns ShuffleNet, SqueezeNet,
+/// GeoFence; user 2 (weight 2) owns MobileNet, BinaryAlert, Image Resizer.
+/// (The paper does not list the assignment; MobileNet is placed with the
+/// heavier user so its bursts contend for user-2 capacity as in Fig. 9b.)
+const USER_OF: [u32; 6] = [2, 1, 1, 2, 1, 2];
+
+#[derive(Debug, Serialize)]
+struct PolicyOutcome {
+    policy: String,
+    utilization: f64,
+    busy_utilization: f64,
+    overloaded_epochs: usize,
+    user1_timeline: Vec<(f64, f64)>,
+    user2_timeline: Vec<(f64, f64)>,
+    free_timeline: Vec<(f64, f64)>,
+    per_fn_attainment: Vec<(String, f64)>,
+}
+
+fn run(policy: ReclamationPolicy, minutes: usize, seed: u64) -> PolicyOutcome {
+    let catalog = standard_catalog();
+    let traces = fig9_traces(seed);
+    let mut cfg = LassConfig::default();
+    cfg.reclamation = policy;
+    let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), seed);
+    for (i, spec) in catalog.into_iter().enumerate() {
+        let trace: Vec<u64> = traces[i].iter().copied().take(minutes).collect();
+        let mut setup = FunctionSetup::new(spec, 0.1, WorkloadSpec::Trace { per_minute: trace });
+        setup.user = UserId(USER_OF[i]);
+        setup.user_weight = f64::from(USER_OF[i]); // user 2 twice user 1
+        setup.initial_containers = 1;
+        sim.add_function(setup);
+    }
+    let duration = minutes as f64 * 60.0;
+    let report = sim.run(Some(duration));
+
+    // Aggregate per-user CPU timelines on the epoch grid.
+    let epochs: Vec<f64> = report.per_fn[&0]
+        .cpu_timeline
+        .points()
+        .iter()
+        .map(|(t, _)| *t)
+        .collect();
+    let user_sum = |user: u32, t: f64| -> f64 {
+        (0..6u32)
+            .filter(|&i| USER_OF[i as usize] == user)
+            .map(|i| {
+                report.per_fn[&i]
+                    .cpu_timeline
+                    .points()
+                    .iter()
+                    .filter(|(pt, _)| *pt <= t)
+                    .map(|(_, v)| *v)
+                    .next_back()
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    };
+    PolicyOutcome {
+        policy: format!("{policy:?}"),
+        utilization: report.allocated_utilization,
+        busy_utilization: report.busy_utilization,
+        overloaded_epochs: report.overloaded_epochs,
+        user1_timeline: epochs.iter().map(|&t| (t, user_sum(1, t))).collect(),
+        user2_timeline: epochs.iter().map(|&t| (t, user_sum(2, t))).collect(),
+        free_timeline: report.free_timeline.points().to_vec(),
+        per_fn_attainment: (0..6u32)
+            .map(|i| {
+                (
+                    report.per_fn[&i].name.clone(),
+                    report.per_fn[&i].slo_attainment(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn sample_at(series: &[(f64, f64)], t: f64) -> f64 {
+    series
+        .iter()
+        .filter(|(pt, _)| *pt <= t)
+        .map(|(_, v)| *v)
+        .next_back()
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let minutes = opts.pick(60usize, 12);
+    let term = run(ReclamationPolicy::Termination, minutes, opts.seed);
+    let defl = run(ReclamationPolicy::Deflation, minutes, opts.seed);
+
+    println!(
+        "Figure 9 — per-user CPU share under Azure-like traces ({minutes} min; ideal fair\n\
+         shares under contention: user1 = 0.33, user2 = 0.67)\n"
+    );
+    let widths = [8, 10, 10, 10, 10, 10, 10];
+    header(
+        &[
+            "t(min)", "term:u1", "term:u2", "term:idle", "defl:u1", "defl:u2", "defl:idle",
+        ],
+        &widths,
+    );
+    let total = 12_000.0;
+    let step = (minutes / 12).max(1);
+    for m in (0..=minutes).step_by(step) {
+        let t = m as f64 * 60.0;
+        let (t1, t2) = (
+            sample_at(&term.user1_timeline, t) / total,
+            sample_at(&term.user2_timeline, t) / total,
+        );
+        let (d1, d2) = (
+            sample_at(&defl.user1_timeline, t) / total,
+            sample_at(&defl.user2_timeline, t) / total,
+        );
+        row(
+            &[
+                &m,
+                &format!("{t1:.2}"),
+                &format!("{t2:.2}"),
+                &format!("{:.2}", (1.0 - t1 - t2).max(0.0)),
+                &format!("{d1:.2}"),
+                &format!("{d2:.2}"),
+                &format!("{:.2}", (1.0 - d1 - d2).max(0.0)),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nSystem utilization and SLO attainment:");
+    let widths2 = [14, 12, 12, 12];
+    header(&["policy", "alloc util", "busy util", "overl.ep."], &widths2);
+    for r in [&term, &defl] {
+        row(
+            &[
+                &r.policy,
+                &format!("{:.1}%", r.utilization * 100.0),
+                &format!("{:.1}%", r.busy_utilization * 100.0),
+                &r.overloaded_epochs,
+            ],
+            &widths2,
+        );
+    }
+    println!("\nPer-function SLO attainment (termination vs deflation):");
+    let widths3 = [18, 12, 12];
+    header(&["Function", "term", "defl"], &widths3);
+    for (i, (name, ta)) in term.per_fn_attainment.iter().enumerate() {
+        row(
+            &[
+                name,
+                &format!("{ta:.3}"),
+                &format!("{:.3}", defl.per_fn_attainment[i].1),
+            ],
+            &widths3,
+        );
+    }
+    let delta = (defl.utilization - term.utilization) * 100.0;
+    println!(
+        "\nDeflation changes overall allocated utilization by {delta:+.1} percentage points\n\
+         (paper: 87.7% -> 93%, +6.1% relative, with fewer container churn events)."
+    );
+    opts.maybe_write_json(&vec![term, defl]);
+}

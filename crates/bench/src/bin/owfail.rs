@@ -1,0 +1,146 @@
+//! Experiment E9 — §6.6's vanilla-OpenWhisk comparison: the cascading
+//! invoker failure.
+//!
+//! The same CPU-heavy overload that LaSS survives (Fig. 8) kills stock
+//! OpenWhisk: its sharding-pool load balancer admits containers on memory
+//! only, over-packs one invoker with MobileNet containers, the node
+//! thrashes and goes unresponsive, the controller shifts the workload to
+//! the next invoker, and the failure cascades until every invoker is down.
+//!
+//! This harness runs (a) the OpenWhisk baseline and (b) LaSS with the
+//! deflation policy on the same staging and reports invoker health,
+//! completed requests, and survival.
+
+use lass_bench::{header, row, HarnessOpts};
+use lass_cluster::{Cluster, UserId};
+use lass_core::{FunctionSetup, LassConfig, ReclamationPolicy, Simulation};
+use lass_functions::{binary_alert, mobilenet_v2, WorkloadSpec};
+use lass_openwhisk::{OwConfig, OwFunctionSetup, OwSimulation};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Outcome {
+    system: String,
+    ba_completed: usize,
+    ba_arrivals: usize,
+    mn_completed: usize,
+    mn_arrivals: usize,
+    invoker_failures: Vec<(u32, f64)>,
+    cascade_complete_at: Option<f64>,
+    survived: bool,
+}
+
+fn staging(minute: f64) -> (WorkloadSpec, WorkloadSpec) {
+    let ba = WorkloadSpec::Steps {
+        steps: vec![(0.0, 40.0)],
+        duration: 20.0 * minute,
+    };
+    // MobileNet burst: the ML workload that kills OpenWhisk (§6.6).
+    let mn = WorkloadSpec::Steps {
+        steps: vec![(0.0, 0.0), (5.0 * minute, 20.0)],
+        duration: 20.0 * minute,
+    };
+    (ba, mn)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let minute = opts.pick(60.0, 15.0);
+    let duration = 20.0 * minute;
+    let (ba_wl, mn_wl) = staging(minute);
+
+    // (a) Vanilla OpenWhisk.
+    let mut ow = OwSimulation::new(OwConfig {
+        seed: opts.seed,
+        ..OwConfig::default()
+    });
+    ow.add_function(OwFunctionSetup {
+        spec: binary_alert(),
+        workload: ba_wl.clone(),
+        slo_deadline: 0.1,
+    });
+    ow.add_function(OwFunctionSetup {
+        spec: mobilenet_v2(),
+        workload: mn_wl.clone(),
+        slo_deadline: 0.1,
+    });
+    let ow_report = ow.run(Some(duration));
+
+    // (b) LaSS (deflation policy) on the same staging.
+    let mut cfg = LassConfig::default();
+    cfg.reclamation = ReclamationPolicy::Deflation;
+    cfg.monitor_interval_secs = minute / 12.0;
+    cfg.epoch_secs = minute / 6.0;
+    cfg.short_window_secs = minute / 6.0;
+    cfg.long_window_secs = 2.0 * minute;
+    let mut lass = Simulation::new(cfg, Cluster::paper_testbed(), opts.seed);
+    let mut ba = FunctionSetup::new(binary_alert(), 0.1, ba_wl);
+    ba.user = UserId(0);
+    ba.initial_containers = 2;
+    lass.add_function(ba);
+    let mut mn = FunctionSetup::new(mobilenet_v2(), 0.1, mn_wl);
+    mn.user = UserId(1);
+    lass.add_function(mn);
+    let lass_report = lass.run(Some(duration));
+
+    let outcomes = vec![
+        Outcome {
+            system: "OpenWhisk".into(),
+            ba_completed: ow_report.per_fn[&0].completed,
+            ba_arrivals: ow_report.per_fn[&0].arrivals,
+            mn_completed: ow_report.per_fn[&1].completed,
+            mn_arrivals: ow_report.per_fn[&1].arrivals,
+            invoker_failures: ow_report.failures.clone(),
+            cascade_complete_at: ow_report.cascade_complete_at,
+            survived: ow_report.failures.is_empty(),
+        },
+        Outcome {
+            system: "LaSS".into(),
+            ba_completed: lass_report.per_fn[&0].completed,
+            ba_arrivals: lass_report.per_fn[&0].arrivals,
+            mn_completed: lass_report.per_fn[&1].completed,
+            mn_arrivals: lass_report.per_fn[&1].arrivals,
+            invoker_failures: vec![],
+            cascade_complete_at: None,
+            survived: true,
+        },
+    ];
+
+    println!("§6.6 — vanilla OpenWhisk vs LaSS under the CPU-heavy ML burst\n");
+    let widths = [10, 14, 14, 14, 14, 12];
+    header(
+        &[
+            "system",
+            "BA done/arr",
+            "MN done/arr",
+            "failures",
+            "cascade(s)",
+            "survived",
+        ],
+        &widths,
+    );
+    for o in &outcomes {
+        row(
+            &[
+                &o.system,
+                &format!("{}/{}", o.ba_completed, o.ba_arrivals),
+                &format!("{}/{}", o.mn_completed, o.mn_arrivals),
+                &o.invoker_failures.len(),
+                &o.cascade_complete_at
+                    .map_or("-".to_string(), |t| format!("{t:.0}")),
+                &o.survived,
+            ],
+            &widths,
+        );
+    }
+    println!("\nOpenWhisk invoker failures (invoker, time):");
+    for (inv, t) in &outcomes[0].invoker_failures {
+        println!("  invoker {inv} went unresponsive at t = {t:.1}s");
+    }
+    println!(
+        "\n(Paper: 'Soon after the ML workload starts, all invokers become unresponsive …\n\
+         eventually causing all the invokers to fail. In contrast, LaSS ensures the system\n\
+         can survive overload by fair share resource allocation and resource reclamation.')"
+    );
+    opts.maybe_write_json(&outcomes);
+}

@@ -1,0 +1,472 @@
+//! The edge cluster: nodes + containers + capacity accounting.
+//!
+//! All mutation of containers and node reservations goes through
+//! [`Cluster`], which maintains the invariant that every node's reserved
+//! resources equal the sum of its resident (non-terminated) containers'
+//! allocations. Iteration orders are deterministic (`BTreeMap`s) so
+//! simulations replay exactly.
+
+use crate::container::{Container, ContainerState};
+use crate::ids::{ContainerId, FnId, NodeId};
+use crate::node::Node;
+use crate::placement::PlacementPolicy;
+use crate::resources::{CpuMilli, MemMib};
+use crate::RequestId;
+use lass_simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// Errors from cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No node can host the requested reservation.
+    InsufficientCapacity {
+        /// CPU that was requested.
+        cpu: CpuMilli,
+        /// Memory that was requested.
+        mem: MemMib,
+    },
+    /// Unknown container id.
+    NoSuchContainer(ContainerId),
+    /// The requested resize would exceed the hosting node's capacity.
+    ResizeExceedsNode(ContainerId),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::InsufficientCapacity { cpu, mem } => {
+                write!(f, "no node can host {cpu} + {mem}")
+            }
+            ClusterError::NoSuchContainer(id) => write!(f, "unknown container {id}"),
+            ClusterError::ResizeExceedsNode(id) => {
+                write!(f, "resize of {id} exceeds node capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Result of terminating a container: its final record plus the requests
+/// that must be re-dispatched elsewhere.
+#[derive(Debug)]
+pub struct Termination {
+    /// The terminated container (state is `Terminated`).
+    pub container: Container,
+    /// In-service + queued requests orphaned by the termination.
+    pub orphans: Vec<RequestId>,
+}
+
+/// The edge cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    containers: BTreeMap<ContainerId, Container>,
+    by_fn: BTreeMap<FnId, Vec<ContainerId>>,
+    next_container: u64,
+    placement: PlacementPolicy,
+}
+
+impl Cluster {
+    /// A homogeneous cluster of `node_count` nodes (the paper's testbed is
+    /// 3 × (4-core, 16 GB)).
+    pub fn homogeneous(
+        node_count: u32,
+        cpu_per_node: CpuMilli,
+        mem_per_node: MemMib,
+        placement: PlacementPolicy,
+    ) -> Self {
+        let nodes = (0..node_count)
+            .map(|i| Node::new(NodeId(i), cpu_per_node, mem_per_node))
+            .collect();
+        Self {
+            nodes,
+            containers: BTreeMap::new(),
+            by_fn: BTreeMap::new(),
+            next_container: 0,
+            placement,
+        }
+    }
+
+    /// The paper's testbed: 3 nodes × 4 vCPU × 16 GiB. Best-fit packing is
+    /// used so large (e.g. 2-vCPU MobileNet) containers are not stranded
+    /// by fragments of small ones.
+    pub fn paper_testbed() -> Self {
+        Self::homogeneous(
+            3,
+            CpuMilli::from_cores(4.0),
+            MemMib(16 * 1024),
+            PlacementPolicy::BestFit,
+        )
+    }
+
+    /// Nodes (read-only).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Placement policy in force.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Total CPU capacity across nodes.
+    pub fn total_cpu_capacity(&self) -> CpuMilli {
+        self.nodes.iter().map(Node::cpu_capacity).sum()
+    }
+
+    /// Total reserved CPU across nodes.
+    pub fn total_cpu_used(&self) -> CpuMilli {
+        self.nodes.iter().map(Node::cpu_used).sum()
+    }
+
+    /// Total free CPU across nodes (fragmented; a single container may not
+    /// fit even when this is large).
+    pub fn total_cpu_free(&self) -> CpuMilli {
+        self.nodes.iter().map(Node::cpu_free).sum()
+    }
+
+    /// Total memory capacity across nodes.
+    pub fn total_mem_capacity(&self) -> MemMib {
+        self.nodes.iter().map(Node::mem_capacity).sum()
+    }
+
+    /// Fraction of cluster CPU currently reserved (the paper's "system
+    /// utilization" in §6.6/6.7).
+    pub fn cpu_utilization(&self) -> f64 {
+        self.total_cpu_used().ratio(self.total_cpu_capacity())
+    }
+
+    /// Create a standard-size container for `fn_id`, choosing a node by the
+    /// cluster's placement policy. The container starts cold and becomes
+    /// ready at `ready_at`.
+    pub fn create_container(
+        &mut self,
+        fn_id: FnId,
+        cpu: CpuMilli,
+        mem: MemMib,
+        now: SimTime,
+        ready_at: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
+        self.create_container_sized(fn_id, cpu, cpu, mem, now, ready_at)
+    }
+
+    /// Create a container whose initial allocation `cpu` may be below its
+    /// `standard_cpu` (a pre-deflated container using a capacity fragment;
+    /// it may re-inflate to `standard_cpu` later).
+    pub fn create_container_sized(
+        &mut self,
+        fn_id: FnId,
+        standard_cpu: CpuMilli,
+        cpu: CpuMilli,
+        mem: MemMib,
+        now: SimTime,
+        ready_at: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
+        let node_id = self
+            .placement
+            .choose(&self.nodes, cpu, mem)
+            .ok_or(ClusterError::InsufficientCapacity { cpu, mem })?;
+        self.create_container_on(fn_id, node_id, standard_cpu, cpu, mem, now, ready_at)
+    }
+
+    /// Create a container on a specific node (used by the OpenWhisk
+    /// baseline's sharding scheduler).
+    pub fn create_container_on(
+        &mut self,
+        fn_id: FnId,
+        node_id: NodeId,
+        standard_cpu: CpuMilli,
+        cpu: CpuMilli,
+        mem: MemMib,
+        now: SimTime,
+        ready_at: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
+        let node = &mut self.nodes[node_id.0 as usize];
+        if !node.can_fit(cpu, mem) {
+            return Err(ClusterError::InsufficientCapacity { cpu, mem });
+        }
+        node.reserve(cpu, mem);
+        let id = ContainerId(self.next_container);
+        self.next_container += 1;
+        let ctr = Container::new(id, fn_id, node_id, standard_cpu, cpu, mem, now, ready_at);
+        self.containers.insert(id, ctr);
+        self.by_fn.entry(fn_id).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Terminate a container, releasing its node reservation and returning
+    /// the orphaned requests for re-dispatch.
+    pub fn terminate_container(
+        &mut self,
+        cid: ContainerId,
+        now: SimTime,
+    ) -> Result<Termination, ClusterError> {
+        let mut ctr = self
+            .containers
+            .remove(&cid)
+            .ok_or(ClusterError::NoSuchContainer(cid))?;
+        let orphans = ctr.terminate(now);
+        let node = &mut self.nodes[ctr.node().0 as usize];
+        node.release(ctr.cpu(), ctr.mem());
+        if let Some(list) = self.by_fn.get_mut(&ctr.fn_id()) {
+            list.retain(|&c| c != cid);
+        }
+        Ok(Termination {
+            container: ctr,
+            orphans,
+        })
+    }
+
+    /// Resize a container's CPU allocation in place (deflation or
+    /// re-inflation). Memory is never resized (§5).
+    pub fn resize_container_cpu(
+        &mut self,
+        cid: ContainerId,
+        new_cpu: CpuMilli,
+    ) -> Result<(), ClusterError> {
+        let ctr = self
+            .containers
+            .get(&cid)
+            .ok_or(ClusterError::NoSuchContainer(cid))?;
+        let old = ctr.cpu();
+        if new_cpu > ctr.standard_cpu() {
+            return Err(ClusterError::ResizeExceedsNode(cid));
+        }
+        let node = &mut self.nodes[ctr.node().0 as usize];
+        if new_cpu > old && (new_cpu - old) > node.cpu_free() {
+            return Err(ClusterError::ResizeExceedsNode(cid));
+        }
+        node.resize_cpu(old, new_cpu);
+        self.containers
+            .get_mut(&cid)
+            .expect("checked above")
+            .set_cpu(new_cpu);
+        Ok(())
+    }
+
+    /// Immutable container access.
+    pub fn container(&self, cid: ContainerId) -> Option<&Container> {
+        self.containers.get(&cid)
+    }
+
+    /// Mutable container access.
+    pub fn container_mut(&mut self, cid: ContainerId) -> Option<&mut Container> {
+        self.containers.get_mut(&cid)
+    }
+
+    /// Ids of the live containers of a function (deterministic order).
+    pub fn containers_of(&self, fn_id: FnId) -> &[ContainerId] {
+        self.by_fn.get(&fn_id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Live containers of a function.
+    pub fn fn_containers(&self, fn_id: FnId) -> impl Iterator<Item = &Container> {
+        self.containers_of(fn_id)
+            .iter()
+            .filter_map(move |cid| self.containers.get(cid))
+    }
+
+    /// Aggregate CPU currently allocated to a function.
+    pub fn fn_cpu(&self, fn_id: FnId) -> CpuMilli {
+        self.fn_containers(fn_id).map(Container::cpu).sum()
+    }
+
+    /// Number of live containers of a function.
+    pub fn fn_container_count(&self, fn_id: FnId) -> usize {
+        self.containers_of(fn_id).len()
+    }
+
+    /// All live containers (deterministic order).
+    pub fn all_containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Total number of live containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Verify capacity bookkeeping: each node's reserved resources must
+    /// equal the sum of its resident containers. Panics on violation;
+    /// intended for tests and debug builds.
+    pub fn check_invariants(&self) {
+        for node in &self.nodes {
+            let (mut cpu, mut mem, mut count) = (CpuMilli::ZERO, MemMib::ZERO, 0u32);
+            for ctr in self.containers.values() {
+                if ctr.node() == node.id() {
+                    assert!(
+                        ctr.state() != ContainerState::Terminated,
+                        "terminated container retained in cluster"
+                    );
+                    cpu += ctr.cpu();
+                    mem += ctr.mem();
+                    count += 1;
+                }
+            }
+            assert_eq!(node.cpu_used(), cpu, "cpu accounting drift on {}", node.id());
+            assert_eq!(node.mem_used(), mem, "mem accounting drift on {}", node.id());
+            assert_eq!(node.container_count(), count, "count drift on {}", node.id());
+        }
+        for (fn_id, list) in &self.by_fn {
+            for cid in list {
+                let ctr = self.containers.get(cid).expect("by_fn points at live container");
+                assert_eq!(ctr.fn_id(), *fn_id, "by_fn index corrupted");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::homogeneous(
+            2,
+            CpuMilli(4000),
+            MemMib(8192),
+            PlacementPolicy::WorstFit,
+        )
+    }
+
+    #[test]
+    fn create_and_terminate_round_trip() {
+        let mut cl = small();
+        let cid = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::from_millis(500))
+            .unwrap();
+        assert_eq!(cl.container_count(), 1);
+        assert_eq!(cl.fn_container_count(FnId(0)), 1);
+        assert_eq!(cl.total_cpu_used(), CpuMilli(1000));
+        cl.check_invariants();
+        let term = cl.terminate_container(cid, SimTime::from_secs(1)).unwrap();
+        assert!(term.orphans.is_empty());
+        assert_eq!(cl.container_count(), 0);
+        assert_eq!(cl.total_cpu_used(), CpuMilli::ZERO);
+        cl.check_invariants();
+    }
+
+    #[test]
+    fn placement_spreads_with_worst_fit() {
+        let mut cl = small();
+        let a = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        let b = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        let na = cl.container(a).unwrap().node();
+        let nb = cl.container(b).unwrap().node();
+        assert_ne!(na, nb, "worst-fit should alternate nodes");
+        cl.check_invariants();
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let mut cl = small();
+        for _ in 0..8 {
+            cl.create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+                .unwrap();
+        }
+        let err = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        cl.check_invariants();
+    }
+
+    #[test]
+    fn deflation_frees_capacity_for_new_containers() {
+        let mut cl = small();
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            ids.push(
+                cl.create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+                    .unwrap(),
+            );
+        }
+        // Deflate four containers by 30% => frees 1200 milli spread 2/2.
+        for cid in ids.iter().take(4) {
+            cl.resize_container_cpu(*cid, CpuMilli(700)).unwrap();
+        }
+        cl.check_invariants();
+        assert_eq!(cl.total_cpu_used(), CpuMilli(8000 - 1200));
+        // A 0.5-vCPU container now fits.
+        cl.create_container(FnId(1), CpuMilli(500), MemMib(256), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        cl.check_invariants();
+    }
+
+    #[test]
+    fn reinflation_respects_node_capacity() {
+        let mut cl = Cluster::homogeneous(1, CpuMilli(2000), MemMib(4096), PlacementPolicy::FirstFit);
+        let a = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        cl.resize_container_cpu(a, CpuMilli(600)).unwrap();
+        // Fill the freed space.
+        cl.create_container(FnId(1), CpuMilli(1400), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        // Re-inflation no longer fits.
+        let err = cl.resize_container_cpu(a, CpuMilli(1000)).unwrap_err();
+        assert!(matches!(err, ClusterError::ResizeExceedsNode(_)));
+        cl.check_invariants();
+    }
+
+    #[test]
+    fn resize_rejects_above_standard() {
+        let mut cl = small();
+        let a = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        assert!(cl.resize_container_cpu(a, CpuMilli(1500)).is_err());
+    }
+
+    #[test]
+    fn terminate_unknown_container() {
+        let mut cl = small();
+        let err = cl
+            .terminate_container(ContainerId(99), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, ClusterError::NoSuchContainer(ContainerId(99)));
+    }
+
+    #[test]
+    fn orphans_survive_termination() {
+        let mut cl = small();
+        let a = cl
+            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        {
+            let c = cl.container_mut(a).unwrap();
+            c.mark_ready();
+            c.enqueue(RequestId(1));
+            c.enqueue(RequestId(2));
+            c.try_begin_service(SimTime::ZERO);
+        }
+        let term = cl.terminate_container(a, SimTime::from_secs(1)).unwrap();
+        assert_eq!(term.orphans, vec![RequestId(1), RequestId(2)]);
+    }
+
+    #[test]
+    fn fn_cpu_aggregates_deflated_sizes() {
+        let mut cl = small();
+        let a = cl
+            .create_container(FnId(3), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        cl.create_container(FnId(3), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .unwrap();
+        cl.resize_container_cpu(a, CpuMilli(750)).unwrap();
+        assert_eq!(cl.fn_cpu(FnId(3)), CpuMilli(1750));
+        assert_eq!(cl.fn_container_count(FnId(3)), 2);
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let cl = Cluster::paper_testbed();
+        assert_eq!(cl.nodes().len(), 3);
+        assert_eq!(cl.total_cpu_capacity(), CpuMilli(12000));
+        assert_eq!(cl.total_mem_capacity(), MemMib(3 * 16 * 1024));
+    }
+}

@@ -1,0 +1,69 @@
+//! Strongly-typed identifiers for cluster entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A serverless function registered with the platform.
+    FnId, u32, "fn-"
+);
+id_type!(
+    /// A worker node in the edge cluster.
+    NodeId, u32, "node-"
+);
+id_type!(
+    /// A container instance hosting a function.
+    ContainerId, u64, "ctr-"
+);
+id_type!(
+    /// A platform user (namespace) owning functions.
+    UserId, u32, "user-"
+);
+id_type!(
+    /// One function invocation request.
+    RequestId, u64, "req-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(FnId(3).to_string(), "fn-3");
+        assert_eq!(NodeId(0).to_string(), "node-0");
+        assert_eq!(ContainerId(12).to_string(), "ctr-12");
+        assert_eq!(UserId(1).to_string(), "user-1");
+        assert_eq!(RequestId(9).to_string(), "req-9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let s: BTreeSet<FnId> = [FnId(3), FnId(1), FnId(2)].into_iter().collect();
+        assert_eq!(s.into_iter().next(), Some(FnId(1)));
+        assert_eq!(ContainerId::from(5u64), ContainerId(5));
+    }
+}

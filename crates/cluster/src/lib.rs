@@ -1,0 +1,28 @@
+//! Edge-cluster substrate for the LaSS reproduction.
+//!
+//! This crate models the data plane the paper's prototype runs on: worker
+//! nodes with CPU/memory capacity, containers with cold starts and
+//! per-container FCFS queues, placement policies, and — crucially for the
+//! deflation reclamation policy — **in-place CPU resize** of running
+//! containers (the capability that made the authors run functions in
+//! native Docker rather than Kubernetes pods, §5).
+//!
+//! The crate is policy-free: deciding *how many* containers a function
+//! gets, *when* to deflate and *where* requests go is `lass-core`'s job.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod container;
+pub mod ids;
+pub mod node;
+pub mod placement;
+pub mod resources;
+
+pub use cluster::{Cluster, ClusterError, Termination};
+pub use container::{Container, ContainerState};
+pub use ids::{ContainerId, FnId, NodeId, RequestId, UserId};
+pub use node::Node;
+pub use placement::PlacementPolicy;
+pub use resources::{CpuMilli, MemMib};

@@ -1,0 +1,174 @@
+//! Worker nodes.
+//!
+//! A node is a bundle of CPU and memory capacity on which containers are
+//! placed. The node tracks *reservations* (what containers are entitled
+//! to), which is what LaSS's capacity planning and fair sharing reason
+//! about; instantaneous busy/idle state lives with the containers.
+
+use crate::ids::NodeId;
+use crate::resources::{CpuMilli, MemMib};
+use serde::{Deserialize, Serialize};
+
+/// A worker node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    cpu_capacity: CpuMilli,
+    mem_capacity: MemMib,
+    cpu_used: CpuMilli,
+    mem_used: MemMib,
+    containers: u32,
+}
+
+impl Node {
+    /// A node with the given capacities.
+    pub fn new(id: NodeId, cpu_capacity: CpuMilli, mem_capacity: MemMib) -> Self {
+        Self {
+            id,
+            cpu_capacity,
+            mem_capacity,
+            cpu_used: CpuMilli::ZERO,
+            mem_used: MemMib::ZERO,
+            containers: 0,
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Total CPU capacity.
+    pub fn cpu_capacity(&self) -> CpuMilli {
+        self.cpu_capacity
+    }
+
+    /// Total memory capacity.
+    pub fn mem_capacity(&self) -> MemMib {
+        self.mem_capacity
+    }
+
+    /// Reserved CPU.
+    pub fn cpu_used(&self) -> CpuMilli {
+        self.cpu_used
+    }
+
+    /// Reserved memory.
+    pub fn mem_used(&self) -> MemMib {
+        self.mem_used
+    }
+
+    /// Unreserved CPU.
+    pub fn cpu_free(&self) -> CpuMilli {
+        self.cpu_capacity.saturating_sub(self.cpu_used)
+    }
+
+    /// Unreserved memory.
+    pub fn mem_free(&self) -> MemMib {
+        self.mem_capacity.saturating_sub(self.mem_used)
+    }
+
+    /// Number of resident containers.
+    pub fn container_count(&self) -> u32 {
+        self.containers
+    }
+
+    /// Whether a `(cpu, mem)` reservation fits.
+    pub fn can_fit(&self, cpu: CpuMilli, mem: MemMib) -> bool {
+        cpu <= self.cpu_free() && mem <= self.mem_free()
+    }
+
+    /// Reserve resources for a new container. Panics if it does not fit —
+    /// callers must check `can_fit` (placement does).
+    pub fn reserve(&mut self, cpu: CpuMilli, mem: MemMib) {
+        assert!(self.can_fit(cpu, mem), "reservation exceeds node capacity");
+        self.cpu_used += cpu;
+        self.mem_used += mem;
+        self.containers += 1;
+    }
+
+    /// Release a container's resources.
+    pub fn release(&mut self, cpu: CpuMilli, mem: MemMib) {
+        assert!(cpu <= self.cpu_used && mem <= self.mem_used, "release underflow");
+        self.cpu_used -= cpu;
+        self.mem_used -= mem;
+        assert!(self.containers > 0, "release with no containers");
+        self.containers -= 1;
+    }
+
+    /// Adjust a resident container's CPU reservation in place (deflation /
+    /// re-inflation). `delta` may grow or shrink the reservation; growth
+    /// must fit the free capacity.
+    pub fn resize_cpu(&mut self, old: CpuMilli, new: CpuMilli) {
+        if new > old {
+            let grow = new - old;
+            assert!(grow <= self.cpu_free(), "inflation exceeds node capacity");
+            self.cpu_used += grow;
+        } else {
+            self.cpu_used -= old - new;
+        }
+    }
+
+    /// Fraction of CPU capacity reserved.
+    pub fn cpu_utilization(&self) -> f64 {
+        self.cpu_used.ratio(self.cpu_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(NodeId(0), CpuMilli(4000), MemMib(16384))
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut n = node();
+        assert!(n.can_fit(CpuMilli(2000), MemMib(1024)));
+        n.reserve(CpuMilli(2000), MemMib(1024));
+        assert_eq!(n.cpu_free(), CpuMilli(2000));
+        assert_eq!(n.mem_free(), MemMib(15360));
+        assert_eq!(n.container_count(), 1);
+        assert!((n.cpu_utilization() - 0.5).abs() < 1e-12);
+        n.release(CpuMilli(2000), MemMib(1024));
+        assert_eq!(n.cpu_used(), CpuMilli::ZERO);
+        assert_eq!(n.container_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds node capacity")]
+    fn over_reservation_panics() {
+        let mut n = node();
+        n.reserve(CpuMilli(5000), MemMib(10));
+    }
+
+    #[test]
+    fn resize_in_place() {
+        let mut n = node();
+        n.reserve(CpuMilli(1000), MemMib(512));
+        // Deflate 1000 -> 700 frees 300.
+        n.resize_cpu(CpuMilli(1000), CpuMilli(700));
+        assert_eq!(n.cpu_used(), CpuMilli(700));
+        // Re-inflate 700 -> 1000.
+        n.resize_cpu(CpuMilli(700), CpuMilli(1000));
+        assert_eq!(n.cpu_used(), CpuMilli(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "inflation exceeds")]
+    fn inflation_beyond_capacity_panics() {
+        let mut n = node();
+        n.reserve(CpuMilli(3900), MemMib(512));
+        n.resize_cpu(CpuMilli(3900), CpuMilli(4200));
+    }
+
+    #[test]
+    fn memory_only_constraint_blocks_fit() {
+        let mut n = node();
+        n.reserve(CpuMilli(100), MemMib(16384));
+        assert!(!n.can_fit(CpuMilli(100), MemMib(1)));
+        assert!(n.cpu_free() > CpuMilli::ZERO);
+    }
+}

@@ -1,0 +1,122 @@
+//! Container placement policies.
+//!
+//! LaSS's control node "finds a cluster node with enough spare capacity or
+//! finds a number of nodes that can collectively host the new containers"
+//! (§3.3). The policy choice is orthogonal to the paper's contribution, so
+//! all three classic heuristics are provided; LaSS defaults to worst-fit
+//! (spread for headroom), while the OpenWhisk baseline uses its own
+//! sharding scheme in `lass-openwhisk`.
+
+use crate::node::Node;
+use crate::resources::{CpuMilli, MemMib};
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Node-selection heuristic for new containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// First node (by id) that fits.
+    FirstFit,
+    /// Fitting node with the least free CPU (pack tightly; the default —
+    /// it keeps large contiguous blocks available so big DNN containers
+    /// are not stranded by fragments of small ones).
+    #[default]
+    BestFit,
+    /// Fitting node with the most free CPU (spread for load headroom).
+    WorstFit,
+}
+
+impl PlacementPolicy {
+    /// Choose a node for a `(cpu, mem)` reservation; `None` if nothing fits.
+    pub fn choose(self, nodes: &[Node], cpu: CpuMilli, mem: MemMib) -> Option<NodeId> {
+        let fitting = nodes.iter().filter(|n| n.can_fit(cpu, mem));
+        match self {
+            PlacementPolicy::FirstFit => fitting.min_by_key(|n| n.id()).map(|n| n.id()),
+            PlacementPolicy::BestFit => fitting
+                .min_by_key(|n| (n.cpu_free(), n.id()))
+                .map(|n| n.id()),
+            PlacementPolicy::WorstFit => fitting
+                .max_by_key(|n| (n.cpu_free(), std::cmp::Reverse(n.id())))
+                .map(|n| n.id()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes() -> Vec<Node> {
+        let mut a = Node::new(NodeId(0), CpuMilli(4000), MemMib(16384));
+        let mut b = Node::new(NodeId(1), CpuMilli(4000), MemMib(16384));
+        let c = Node::new(NodeId(2), CpuMilli(4000), MemMib(16384));
+        a.reserve(CpuMilli(3000), MemMib(1024)); // 1000 free
+        b.reserve(CpuMilli(1000), MemMib(1024)); // 3000 free
+        vec![a, b, c] // c: 4000 free
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_id() {
+        let ns = nodes();
+        assert_eq!(
+            PlacementPolicy::FirstFit.choose(&ns, CpuMilli(500), MemMib(256)),
+            Some(NodeId(0))
+        );
+        // Too big for node 0.
+        assert_eq!(
+            PlacementPolicy::FirstFit.choose(&ns, CpuMilli(2000), MemMib(256)),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn best_fit_packs_tightest() {
+        let ns = nodes();
+        assert_eq!(
+            PlacementPolicy::BestFit.choose(&ns, CpuMilli(500), MemMib(256)),
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            PlacementPolicy::BestFit.choose(&ns, CpuMilli(1500), MemMib(256)),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let ns = nodes();
+        assert_eq!(
+            PlacementPolicy::WorstFit.choose(&ns, CpuMilli(500), MemMib(256)),
+            Some(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn nothing_fits() {
+        let ns = nodes();
+        for p in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::BestFit,
+            PlacementPolicy::WorstFit,
+        ] {
+            assert_eq!(p.choose(&ns, CpuMilli(4500), MemMib(256)), None);
+            assert_eq!(p.choose(&ns, CpuMilli(100), MemMib(20000)), None);
+        }
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let ns = vec![
+            Node::new(NodeId(0), CpuMilli(4000), MemMib(1024)),
+            Node::new(NodeId(1), CpuMilli(4000), MemMib(1024)),
+        ];
+        assert_eq!(
+            PlacementPolicy::WorstFit.choose(&ns, CpuMilli(100), MemMib(1)),
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            PlacementPolicy::BestFit.choose(&ns, CpuMilli(100), MemMib(1)),
+            Some(NodeId(0))
+        );
+    }
+}

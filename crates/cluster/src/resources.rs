@@ -1,0 +1,186 @@
+//! Resource quantities.
+//!
+//! CPU is accounted in **milli-vCPU** (1000 = one core) — the granularity
+//! Docker's `cpu-shares`/`cpus` flags expose and the unit LaSS deflates in.
+//! Memory is accounted in MiB. Integer units keep cluster bookkeeping exact
+//! (no float drift in capacity invariants).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// CPU allocation in milli-vCPU.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CpuMilli(pub u32);
+
+impl CpuMilli {
+    /// Zero CPU.
+    pub const ZERO: CpuMilli = CpuMilli(0);
+
+    /// From whole vCPUs.
+    #[inline]
+    pub fn from_cores(cores: f64) -> Self {
+        assert!(cores.is_finite() && cores >= 0.0);
+        CpuMilli((cores * 1000.0).round() as u32)
+    }
+
+    /// As fractional vCPUs.
+    #[inline]
+    pub fn as_cores(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: CpuMilli) -> CpuMilli {
+        CpuMilli(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative factor, rounding to the nearest milli.
+    #[inline]
+    pub fn scale(self, factor: f64) -> CpuMilli {
+        assert!(factor.is_finite() && factor >= 0.0);
+        CpuMilli((f64::from(self.0) * factor).round() as u32)
+    }
+
+    /// `self / other` as a float (0 when other is zero).
+    #[inline]
+    pub fn ratio(self, other: CpuMilli) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            f64::from(self.0) / f64::from(other.0)
+        }
+    }
+
+    /// Smaller of the two.
+    #[inline]
+    pub fn min(self, other: CpuMilli) -> CpuMilli {
+        CpuMilli(self.0.min(other.0))
+    }
+
+    /// Larger of the two.
+    #[inline]
+    pub fn max(self, other: CpuMilli) -> CpuMilli {
+        CpuMilli(self.0.max(other.0))
+    }
+}
+
+/// Memory allocation in MiB.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MemMib(pub u32);
+
+impl MemMib {
+    /// Zero memory.
+    pub const ZERO: MemMib = MemMib(0);
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: MemMib) -> MemMib {
+        MemMib(self.0.saturating_sub(rhs.0))
+    }
+}
+
+macro_rules! arith {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                debug_assert!(self.0 >= rhs.0, "resource underflow");
+                $t(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $t) {
+                debug_assert!(self.0 >= rhs.0, "resource underflow");
+                self.0 -= rhs.0;
+            }
+        }
+        impl Sum for $t {
+            fn sum<I: Iterator<Item = $t>>(iter: I) -> $t {
+                iter.fold($t(0), |a, b| a + b)
+            }
+        }
+    };
+}
+
+arith!(CpuMilli);
+arith!(MemMib);
+
+impl fmt::Display for CpuMilli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}vCPU", self.as_cores())
+    }
+}
+
+impl fmt::Display for MemMib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MiB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_conversions() {
+        assert_eq!(CpuMilli::from_cores(2.0), CpuMilli(2000));
+        assert_eq!(CpuMilli::from_cores(0.4), CpuMilli(400));
+        assert!((CpuMilli(1500).as_cores() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_arithmetic_and_scaling() {
+        let a = CpuMilli(700) + CpuMilli(300);
+        assert_eq!(a, CpuMilli(1000));
+        assert_eq!(a - CpuMilli(250), CpuMilli(750));
+        assert_eq!(CpuMilli(1000).scale(0.7), CpuMilli(700));
+        assert_eq!(CpuMilli(300).saturating_sub(CpuMilli(1000)), CpuMilli::ZERO);
+        assert!((CpuMilli(500).ratio(CpuMilli(2000)) - 0.25).abs() < 1e-12);
+        assert_eq!(CpuMilli(500).ratio(CpuMilli::ZERO), 0.0);
+        assert_eq!(CpuMilli(2).min(CpuMilli(5)), CpuMilli(2));
+        assert_eq!(CpuMilli(2).max(CpuMilli(5)), CpuMilli(5));
+    }
+
+    #[test]
+    fn sums() {
+        let total: CpuMilli = [CpuMilli(100), CpuMilli(200)].into_iter().sum();
+        assert_eq!(total, CpuMilli(300));
+        let m: MemMib = [MemMib(256), MemMib(512)].into_iter().sum();
+        assert_eq!(m, MemMib(768));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CpuMilli(2500).to_string(), "2.50vCPU");
+        assert_eq!(MemMib(256).to_string(), "256MiB");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "resource underflow")]
+    fn underflow_panics_in_debug() {
+        let _ = MemMib(1) - MemMib(2);
+    }
+}

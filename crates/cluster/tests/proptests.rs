@@ -1,0 +1,123 @@
+//! Property tests: cluster capacity accounting must survive arbitrary
+//! interleavings of create / terminate / resize operations.
+
+use lass_cluster::{Cluster, ClusterError, ContainerId, CpuMilli, FnId, MemMib, PlacementPolicy};
+use lass_simcore::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { fn_id: u32, cpu: u32, mem: u32 },
+    Terminate { idx: usize },
+    Resize { idx: usize, ratio: f64 },
+    Reinflate { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 100u32..2500, 64u32..2048)
+            .prop_map(|(fn_id, cpu, mem)| Op::Create { fn_id, cpu, mem }),
+        (0usize..64).prop_map(|idx| Op::Terminate { idx }),
+        ((0usize..64), 0.3f64..1.0).prop_map(|(idx, ratio)| Op::Resize { idx, ratio }),
+        (0usize..64).prop_map(|idx| Op::Reinflate { idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn accounting_survives_random_operations(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        policy in prop_oneof![
+            Just(PlacementPolicy::FirstFit),
+            Just(PlacementPolicy::BestFit),
+            Just(PlacementPolicy::WorstFit),
+        ],
+    ) {
+        let mut cluster = Cluster::homogeneous(3, CpuMilli(4000), MemMib(8192), policy);
+        let mut live: Vec<ContainerId> = Vec::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            match op {
+                Op::Create { fn_id, cpu, mem } => {
+                    match cluster.create_container(
+                        FnId(fn_id),
+                        CpuMilli(cpu),
+                        MemMib(mem),
+                        now,
+                        now,
+                    ) {
+                        Ok(cid) => live.push(cid),
+                        Err(ClusterError::InsufficientCapacity { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                    }
+                }
+                Op::Terminate { idx } => {
+                    if !live.is_empty() {
+                        let cid = live.remove(idx % live.len());
+                        cluster.terminate_container(cid, now).expect("live container");
+                    }
+                }
+                Op::Resize { idx, ratio } => {
+                    if !live.is_empty() {
+                        let cid = live[idx % live.len()];
+                        let std = cluster.container(cid).expect("live").standard_cpu();
+                        let target = std.scale(ratio).max(CpuMilli(1));
+                        // Down-resizes always succeed; treat as exercised.
+                        let _ = cluster.resize_container_cpu(cid, target);
+                    }
+                }
+                Op::Reinflate { idx } => {
+                    if !live.is_empty() {
+                        let cid = live[idx % live.len()];
+                        let std = cluster.container(cid).expect("live").standard_cpu();
+                        // May fail when the node filled up meanwhile: fine.
+                        let _ = cluster.resize_container_cpu(cid, std);
+                    }
+                }
+            }
+            // The load-bearing check: per-node accounting equals the sum of
+            // resident containers after every single operation.
+            cluster.check_invariants();
+            // Aggregates stay within physical limits.
+            prop_assert!(cluster.total_cpu_used() <= cluster.total_cpu_capacity());
+            prop_assert!(cluster.cpu_utilization() <= 1.0 + 1e-12);
+        }
+        // Tear-down still balances.
+        for cid in live {
+            cluster.terminate_container(cid, SimTime::from_secs(t + 1)).expect("live");
+        }
+        cluster.check_invariants();
+        prop_assert_eq!(cluster.total_cpu_used(), CpuMilli::ZERO);
+        prop_assert_eq!(cluster.container_count(), 0);
+    }
+
+    #[test]
+    fn placement_never_overfills_a_node(
+        sizes in prop::collection::vec((100u32..3000, 64u32..4096), 1..40),
+        policy in prop_oneof![
+            Just(PlacementPolicy::FirstFit),
+            Just(PlacementPolicy::BestFit),
+            Just(PlacementPolicy::WorstFit),
+        ],
+    ) {
+        let mut cluster = Cluster::homogeneous(2, CpuMilli(4000), MemMib(4096), policy);
+        for (i, (cpu, mem)) in sizes.into_iter().enumerate() {
+            let _ = cluster.create_container(
+                FnId(i as u32 % 3),
+                CpuMilli(cpu),
+                MemMib(mem),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            );
+        }
+        for node in cluster.nodes() {
+            prop_assert!(node.cpu_used() <= node.cpu_capacity());
+            prop_assert!(node.mem_used() <= node.mem_capacity());
+        }
+        cluster.check_invariants();
+    }
+}

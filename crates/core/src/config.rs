@@ -1,0 +1,223 @@
+//! Controller configuration.
+
+use crate::predictor::PredictorKind;
+use serde::{Deserialize, Serialize};
+
+/// Which autoscaling rule sizes each function's allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ScalerKind {
+    /// The paper's model-driven rule: Algorithm 1 / the heterogeneous
+    /// worst-case model (default).
+    #[default]
+    ModelDriven,
+    /// A Knative-style heuristic baseline: provision
+    /// `ceil(expected concurrency / target)` containers, where expected
+    /// concurrency is `λ̂ × E[service time]` (Little's law). No queueing
+    /// model, no tail-percentile awareness — the comparison quantifies
+    /// what the paper's models buy.
+    ConcurrencyTarget {
+        /// Desired concurrent requests per container (Knative's
+        /// `containerConcurrency`-style target).
+        target: f64,
+    },
+}
+
+/// Which resource-reclamation policy handles overload (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReclamationPolicy {
+    /// Terminate whole containers of over-allocated functions.
+    Termination,
+    /// Deflate containers in place, terminating only when deflation up to
+    /// the threshold `tau` cannot reclaim enough (the paper's preferred
+    /// policy; default).
+    #[default]
+    Deflation,
+}
+
+/// How the load balancer hands requests to containers (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// One shared FCFS queue per function, drained by whichever container
+    /// frees first, with idle containers picked fastest-first (default).
+    /// This matches the M/M/c discipline the models assume and how
+    /// OpenWhisk's invokers actually pull buffered activations when a
+    /// container frees.
+    #[default]
+    SharedQueue,
+    /// Dispatch to an idle container (weighted round robin among idle
+    /// ones) when one exists, otherwise WRR across all containers —
+    /// requests bind to a container at arrival.
+    IdleFirstWrr,
+    /// Pure weighted round robin at arrival (a literal reading of the
+    /// prototype's WRR; behaves like c independent M/M/1 queues under
+    /// load — ablation A1 quantifies the gap).
+    Wrr,
+}
+
+/// All controller knobs, with the paper's defaults.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct LassConfig {
+    /// Reallocation epoch (seconds). "Epochs are relatively short … tens of
+    /// seconds to a minute" (§3.3).
+    pub epoch_secs: f64,
+    /// Monitoring tick for the sliding windows (§5: every 5 seconds).
+    pub monitor_interval_secs: f64,
+    /// Long arrival-rate window (§5: 2 minutes).
+    pub long_window_secs: f64,
+    /// Short arrival-rate window (§5: 10 seconds).
+    pub short_window_secs: f64,
+    /// Burst factor: switch to the short window when its rate is this many
+    /// times the long-window rate (§5: 2×).
+    pub burst_factor: f64,
+    /// EWMA weight on the most recent epoch (§3.3: "a high weight given to
+    /// the most recent epoch").
+    pub ewma_alpha: f64,
+    /// Percentile the model drives Eq. 4 to (Algorithm 1 iterates "while
+    /// P ≤ 0.99"). The *measured* SLO percentile (95% in §6.1) is looser,
+    /// which gives the model its headroom.
+    pub target_percentile: f64,
+    /// Whether the SLO deadline applies to waiting time only (the paper's
+    /// evaluation convention) or to waiting + a high service-time
+    /// percentile (§3.1's `t = d − 1/μ_p99`).
+    pub slo_on_waiting_only: bool,
+    /// Maximum fraction of a container's standard CPU that deflation may
+    /// reclaim (§4.2: conservatively τ = 30%).
+    pub deflation_max: f64,
+    /// Per-iteration deflation increment (§4.2: "in small increments").
+    pub deflation_increment: f64,
+    /// Reclamation policy under overload.
+    pub reclamation: ReclamationPolicy,
+    /// Request dispatch policy.
+    pub dispatch: DispatchPolicy,
+    /// Enable the model-driven autoscaler. Disabled for model-validation
+    /// experiments that pin a fixed allocation (Fig. 3).
+    pub autoscale: bool,
+    /// Online-learner warm-up threshold (samples per deflation bucket).
+    pub profiler_min_samples: usize,
+    /// Solver safety cap on containers per function.
+    pub max_containers_per_fn: u32,
+    /// Hard limit on how long a request may sit in queues before the
+    /// platform abandons it (§2.1: FaaS platforms impose hard time limits,
+    /// 60–900 s commercially). `None` disables expiry.
+    pub request_timeout_secs: Option<f64>,
+    /// Arrival-rate predictor (§5: pluggable; default is the paper's
+    /// dual-window scheme).
+    pub predictor: PredictorKind,
+    /// Failure injection: mean time between container crashes, per
+    /// container (exponential). `None` (default) disables crashes. Crashed
+    /// containers orphan their queued requests (re-dispatched, like the
+    /// paper's termination "reruns") and are replaced by the next epoch's
+    /// plan.
+    pub container_mtbf_secs: Option<f64>,
+    /// Autoscaling rule (default: the paper's queueing models).
+    pub scaler: ScalerKind,
+}
+
+impl Default for LassConfig {
+    fn default() -> Self {
+        Self {
+            epoch_secs: 10.0,
+            monitor_interval_secs: 5.0,
+            long_window_secs: 120.0,
+            short_window_secs: 10.0,
+            burst_factor: 2.0,
+            ewma_alpha: 0.7,
+            target_percentile: 0.99,
+            slo_on_waiting_only: true,
+            deflation_max: 0.30,
+            deflation_increment: 0.05,
+            reclamation: ReclamationPolicy::Deflation,
+            dispatch: DispatchPolicy::SharedQueue,
+            autoscale: true,
+            profiler_min_samples: 50,
+            max_containers_per_fn: 10_000,
+            request_timeout_secs: Some(60.0),
+            predictor: PredictorKind::BurstAware,
+            container_mtbf_secs: None,
+            scaler: ScalerKind::ModelDriven,
+        }
+    }
+}
+
+impl LassConfig {
+    /// Validate invariants between knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_secs <= 0.0 || self.monitor_interval_secs <= 0.0 {
+            return Err("epoch and monitor interval must be positive".into());
+        }
+        if self.monitor_interval_secs > self.epoch_secs {
+            return Err("monitor interval must not exceed the epoch".into());
+        }
+        if !(0.0..1.0).contains(&self.deflation_max) {
+            return Err("deflation_max must be in [0, 1)".into());
+        }
+        if self.deflation_increment <= 0.0 || self.deflation_increment > 1.0 {
+            return Err("deflation_increment must be in (0, 1]".into());
+        }
+        if !(0.0..1.0).contains(&self.target_percentile) || self.target_percentile <= 0.0 {
+            return Err("target_percentile must be in (0, 1)".into());
+        }
+        if self.ewma_alpha <= 0.0 || self.ewma_alpha > 1.0 {
+            return Err("ewma_alpha must be in (0, 1]".into());
+        }
+        if self.short_window_secs > self.long_window_secs {
+            return Err("short window must not exceed long window".into());
+        }
+        if let Some(t) = self.request_timeout_secs {
+            if t <= 0.0 {
+                return Err("request_timeout_secs must be positive".into());
+            }
+        }
+        if let Some(m) = self.container_mtbf_secs {
+            if m <= 0.0 {
+                return Err("container_mtbf_secs must be positive".into());
+            }
+        }
+        if let ScalerKind::ConcurrencyTarget { target } = self.scaler {
+            if !(target > 0.0 && target.is_finite()) {
+                return Err("concurrency target must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LassConfig::default();
+        assert_eq!(c.monitor_interval_secs, 5.0);
+        assert_eq!(c.long_window_secs, 120.0);
+        assert_eq!(c.short_window_secs, 10.0);
+        assert_eq!(c.burst_factor, 2.0);
+        assert_eq!(c.deflation_max, 0.30);
+        assert_eq!(c.target_percentile, 0.99);
+        assert_eq!(c.reclamation, ReclamationPolicy::Deflation);
+        assert_eq!(c.dispatch, DispatchPolicy::SharedQueue);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = LassConfig::default();
+        c.monitor_interval_secs = 30.0;
+        c.epoch_secs = 10.0;
+        assert!(c.validate().is_err());
+
+        let mut c = LassConfig::default();
+        c.deflation_max = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = LassConfig::default();
+        c.ewma_alpha = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = LassConfig::default();
+        c.short_window_secs = 300.0;
+        assert!(c.validate().is_err());
+    }
+}

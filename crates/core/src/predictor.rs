@@ -1,0 +1,334 @@
+//! Pluggable arrival-rate prediction.
+//!
+//! §5 of the paper: "one can also plug in any load prediction method of
+//! choice into LaSS with ease" — the prototype ships the Knative-inspired
+//! dual-window estimator, and notes that time-series prediction may do
+//! better. This module makes the predictor a first-class, configurable
+//! component:
+//!
+//! * [`BurstAwarePredictor`] — the paper's scheme: dual sliding windows
+//!   with a burst switch, smoothed by an EWMA across epochs (default).
+//! * [`HoltPredictor`] — double exponential smoothing (level + trend),
+//!   extrapolated one planning horizon ahead; anticipates ramps.
+//! * [`PeakPredictor`] — provisions for the *maximum* tick rate seen in a
+//!   recent window; conservative, trades capacity for tail latency.
+//!
+//! Enum dispatch keeps the controller `Clone`/serde-friendly; adding a
+//! custom predictor means adding a variant (or wrapping the controller).
+
+use lass_queueing::{DualWindowEstimator, Ewma};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which predictor the controller instantiates per function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum PredictorKind {
+    /// The paper's dual-window + EWMA scheme (default).
+    #[default]
+    BurstAware,
+    /// Holt double exponential smoothing with the given level/trend gains,
+    /// predicting `horizon_secs` ahead.
+    Holt {
+        /// Level smoothing gain α ∈ (0, 1].
+        alpha: f64,
+        /// Trend smoothing gain β ∈ (0, 1].
+        beta: f64,
+        /// Extrapolation horizon in seconds (≈ one epoch).
+        horizon_secs: f64,
+    },
+    /// Maximum tick rate over the trailing window of this many seconds.
+    Peak {
+        /// Window length in seconds.
+        window_secs: f64,
+    },
+}
+
+
+/// A per-function rate predictor (enum-dispatched).
+#[derive(Debug, Clone)]
+pub enum Predictor {
+    /// See [`BurstAwarePredictor`].
+    BurstAware(BurstAwarePredictor),
+    /// See [`HoltPredictor`].
+    Holt(HoltPredictor),
+    /// See [`PeakPredictor`].
+    Peak(PeakPredictor),
+}
+
+impl Predictor {
+    /// Instantiate from configuration (window parameters come from the
+    /// controller config for the burst-aware scheme).
+    pub fn new(
+        kind: PredictorKind,
+        long_window: f64,
+        short_window: f64,
+        burst_factor: f64,
+        ewma_alpha: f64,
+    ) -> Self {
+        match kind {
+            PredictorKind::BurstAware => Predictor::BurstAware(BurstAwarePredictor::new(
+                long_window,
+                short_window,
+                burst_factor,
+                ewma_alpha,
+            )),
+            PredictorKind::Holt {
+                alpha,
+                beta,
+                horizon_secs,
+            } => Predictor::Holt(HoltPredictor::new(alpha, beta, horizon_secs)),
+            PredictorKind::Peak { window_secs } => {
+                Predictor::Peak(PeakPredictor::new(window_secs))
+            }
+        }
+    }
+
+    /// Feed the arrivals observed at a monitoring tick.
+    pub fn record(&mut self, now: f64, arrivals: u64) {
+        match self {
+            Predictor::BurstAware(p) => p.record(now, arrivals),
+            Predictor::Holt(p) => p.record(now, arrivals),
+            Predictor::Peak(p) => p.record(now, arrivals),
+        }
+    }
+
+    /// Predict the arrival rate the next epoch should be provisioned for.
+    pub fn predict(&mut self, now: f64) -> f64 {
+        match self {
+            Predictor::BurstAware(p) => p.predict(now),
+            Predictor::Holt(p) => p.predict(now),
+            Predictor::Peak(p) => p.predict(now),
+        }
+    }
+}
+
+/// The paper's estimator: burst-aware dual windows, EWMA-smoothed across
+/// epochs, with the raw short-window rate overriding during bursts.
+#[derive(Debug, Clone)]
+pub struct BurstAwarePredictor {
+    window: DualWindowEstimator,
+    ewma: Ewma,
+}
+
+impl BurstAwarePredictor {
+    /// Build with the §5 parameters.
+    pub fn new(long_window: f64, short_window: f64, burst_factor: f64, ewma_alpha: f64) -> Self {
+        let mut window = DualWindowEstimator::new(long_window, short_window, burst_factor);
+        window.set_origin(0.0);
+        Self {
+            window,
+            ewma: Ewma::new(ewma_alpha),
+        }
+    }
+
+    fn record(&mut self, now: f64, arrivals: u64) {
+        self.window.record(now, arrivals);
+    }
+
+    fn predict(&mut self, now: f64) -> f64 {
+        let raw = self.window.rate(now);
+        let smoothed = self.ewma.observe(raw);
+        if self.window.is_burst(now) {
+            smoothed.max(raw)
+        } else {
+            smoothed
+        }
+    }
+}
+
+/// Holt double exponential smoothing over tick rates, extrapolating one
+/// planning horizon ahead. Negative predictions clamp to zero.
+#[derive(Debug, Clone)]
+pub struct HoltPredictor {
+    alpha: f64,
+    beta: f64,
+    horizon: f64,
+    last_tick: Option<f64>,
+    level: f64,
+    trend: f64,
+    seeded: bool,
+}
+
+impl HoltPredictor {
+    /// Build with level gain `alpha`, trend gain `beta`, horizon seconds.
+    pub fn new(alpha: f64, beta: f64, horizon: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        assert!(beta > 0.0 && beta <= 1.0);
+        assert!(horizon >= 0.0);
+        Self {
+            alpha,
+            beta,
+            horizon,
+            last_tick: None,
+            level: 0.0,
+            trend: 0.0,
+            seeded: false,
+        }
+    }
+
+    fn record(&mut self, now: f64, arrivals: u64) {
+        let Some(last) = self.last_tick.replace(now) else {
+            // First tick: assume it covers (0, now].
+            if now > 0.0 {
+                self.level = arrivals as f64 / now;
+                self.seeded = true;
+            }
+            return;
+        };
+        let dt = (now - last).max(1e-9);
+        let rate = arrivals as f64 / dt;
+        if !self.seeded {
+            self.level = rate;
+            self.seeded = true;
+            return;
+        }
+        let prev_level = self.level;
+        self.level = self.alpha * rate + (1.0 - self.alpha) * (self.level + self.trend * dt);
+        self.trend =
+            self.beta * (self.level - prev_level) / dt + (1.0 - self.beta) * self.trend;
+    }
+
+    fn predict(&mut self, _now: f64) -> f64 {
+        (self.level + self.trend * self.horizon).max(0.0)
+    }
+}
+
+/// Provision for the peak tick rate over a trailing window.
+#[derive(Debug, Clone)]
+pub struct PeakPredictor {
+    window: f64,
+    ticks: VecDeque<(f64, f64)>,
+    last_tick: Option<f64>,
+}
+
+impl PeakPredictor {
+    /// Build with the trailing-window length in seconds.
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0);
+        Self {
+            window,
+            ticks: VecDeque::new(),
+            last_tick: None,
+        }
+    }
+
+    fn record(&mut self, now: f64, arrivals: u64) {
+        let last = self.last_tick.replace(now).unwrap_or(0.0);
+        let dt = (now - last).max(1e-9);
+        self.ticks.push_back((now, arrivals as f64 / dt));
+        let horizon = now - self.window;
+        while self.ticks.front().is_some_and(|&(t, _)| t < horizon) {
+            self.ticks.pop_front();
+        }
+    }
+
+    fn predict(&mut self, _now: f64) -> f64 {
+        self.ticks
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut Predictor, rate: f64, from: f64, to: f64, tick: f64) {
+        let mut t = from + tick;
+        while t <= to + 1e-9 {
+            p.record(t, (rate * tick).round() as u64);
+            t += tick;
+        }
+    }
+
+    fn mk(kind: PredictorKind) -> Predictor {
+        Predictor::new(kind, 120.0, 10.0, 2.0, 0.7)
+    }
+
+    #[test]
+    fn all_predictors_recover_a_steady_rate() {
+        for kind in [
+            PredictorKind::BurstAware,
+            PredictorKind::Holt {
+                alpha: 0.5,
+                beta: 0.2,
+                horizon_secs: 10.0,
+            },
+            PredictorKind::Peak { window_secs: 60.0 },
+        ] {
+            let mut p = mk(kind);
+            feed(&mut p, 20.0, 0.0, 300.0, 5.0);
+            let est = p.predict(300.0);
+            assert!(
+                (est - 20.0).abs() < 3.0,
+                "{kind:?}: estimate {est} for steady 20/s"
+            );
+        }
+    }
+
+    #[test]
+    fn holt_anticipates_a_ramp() {
+        let mut holt = mk(PredictorKind::Holt {
+            alpha: 0.6,
+            beta: 0.3,
+            horizon_secs: 10.0,
+        });
+        let mut burst = mk(PredictorKind::BurstAware);
+        // Ramp 10 -> 40 req/s over 150 s.
+        let tick = 5.0;
+        let mut t: f64 = tick;
+        while t <= 150.0 {
+            let rate: f64 = 10.0 + 30.0 * t / 150.0;
+            let n = (rate * tick).round() as u64;
+            holt.record(t, n);
+            burst.record(t, n);
+            t += tick;
+        }
+        let h = holt.predict(150.0);
+        let b = burst.predict(150.0);
+        // Truth at 150 s is 40; with a 10 s horizon Holt should be at or
+        // above 40, while the windowed average lags behind.
+        assert!(h >= 38.0, "holt={h}");
+        assert!(b < h, "burst-aware {b} should lag holt {h} on a ramp");
+    }
+
+    #[test]
+    fn peak_is_conservative_after_a_spike() {
+        let mut peak = mk(PredictorKind::Peak { window_secs: 60.0 });
+        feed(&mut peak, 10.0, 0.0, 100.0, 5.0);
+        // One 5-second spike at 60/s.
+        peak.record(105.0, 300);
+        feed(&mut peak, 10.0, 105.0, 140.0, 5.0);
+        let est = peak.predict(140.0);
+        assert!((est - 60.0).abs() < 1e-9, "peak holds the spike: {est}");
+        // After the window passes, the spike ages out.
+        feed(&mut peak, 10.0, 140.0, 200.0, 5.0);
+        let est = peak.predict(200.0);
+        assert!(est < 15.0, "spike aged out: {est}");
+    }
+
+    #[test]
+    fn holt_clamps_negative_extrapolation() {
+        let mut holt = mk(PredictorKind::Holt {
+            alpha: 0.8,
+            beta: 0.8,
+            horizon_secs: 60.0,
+        });
+        // Steep decline 50 -> 0.
+        let tick = 5.0;
+        let mut t: f64 = tick;
+        while t <= 100.0 {
+            let rate: f64 = (50.0 - 0.5 * t).max(0.0);
+            holt.record(t, (rate * tick).round() as u64);
+            t += tick;
+        }
+        assert!(holt.predict(100.0) >= 0.0);
+    }
+
+    #[test]
+    fn default_kind_is_the_papers() {
+        assert_eq!(PredictorKind::default(), PredictorKind::BurstAware);
+    }
+}

@@ -1,0 +1,378 @@
+//! Resource-reclamation policies (§4.2).
+//!
+//! Given a function's fair-share-adjusted CPU budget, translate it into
+//! container operations:
+//!
+//! * **Termination** — keep only whole standard-size containers
+//!   (`⌊adjusted/standard⌋`), terminating the lowest-capacity ones first.
+//!   Fractions of a standard container are left unused — the fragmentation
+//!   the paper observes in Fig. 8b/9b.
+//! * **Deflation** — keep (or even grow to) *more* containers by deflating
+//!   them uniformly in small increments, up to the threshold `τ`; only when
+//!   deflation at `τ` still cannot fit the budget are containers
+//!   terminated. This preserves concurrency and uses fragments (Fig. 8c/9c).
+//!
+//! Both policies are pure functions from a [`FnSnapshot`] to commands, so
+//! they are unit-testable without a cluster.
+
+use crate::commands::Command;
+use lass_cluster::{ContainerId, CpuMilli, FnId, MemMib};
+
+/// Everything the reclamation policies need to know about one function.
+#[derive(Debug, Clone)]
+pub struct FnSnapshot {
+    /// The function.
+    pub fn_id: FnId,
+    /// Standard container CPU (Table 1).
+    pub standard_cpu: CpuMilli,
+    /// Container memory (never deflated).
+    pub mem: MemMib,
+    /// Live containers: `(id, current CPU, lazily-marked)`.
+    pub containers: Vec<(ContainerId, CpuMilli, bool)>,
+    /// Model-desired container count (standard-size equivalents).
+    pub desired_count: u32,
+    /// Fair-share-adjusted CPU budget (milli).
+    pub adjusted_cpu: f64,
+}
+
+impl FnSnapshot {
+    /// Current aggregate CPU.
+    pub fn current_cpu(&self) -> CpuMilli {
+        self.containers.iter().map(|&(_, c, _)| c).sum()
+    }
+
+    /// Containers ordered for termination: marked first, then lowest
+    /// capacity, then newest (highest id).
+    fn termination_order(&self) -> Vec<(ContainerId, CpuMilli, bool)> {
+        let mut v = self.containers.clone();
+        v.sort_by_key(|&(cid, cpu, marked)| (std::cmp::Reverse(marked), cpu, std::cmp::Reverse(cid)));
+        v
+    }
+}
+
+/// The termination-based reclamation policy (§4.2): whole standard
+/// containers only.
+pub fn termination_commands(s: &FnSnapshot) -> Vec<Command> {
+    let std_cpu = f64::from(s.standard_cpu.0);
+    assert!(std_cpu > 0.0);
+    let by_budget = (s.adjusted_cpu / std_cpu).floor() as u32;
+    let target = by_budget.min(s.desired_count);
+    let current = s.containers.len() as u32;
+    let mut cmds = Vec::new();
+
+    if current > target {
+        let order = s.termination_order();
+        for &(cid, _, _) in order.iter().take((current - target) as usize) {
+            cmds.push(Command::Terminate { cid });
+        }
+        // Survivors: unmark and restore to standard size.
+        for &(cid, cpu, marked) in order.iter().skip((current - target) as usize) {
+            if marked {
+                cmds.push(Command::Unmark { cid });
+            }
+            if cpu != s.standard_cpu {
+                cmds.push(Command::Resize {
+                    cid,
+                    cpu: s.standard_cpu,
+                });
+            }
+        }
+    } else {
+        for &(cid, cpu, marked) in &s.containers {
+            if marked {
+                cmds.push(Command::Unmark { cid });
+            }
+            if cpu != s.standard_cpu {
+                cmds.push(Command::Resize {
+                    cid,
+                    cpu: s.standard_cpu,
+                });
+            }
+        }
+        for _ in 0..(target - current) {
+            cmds.push(Command::Create {
+                fn_id: s.fn_id,
+                cpu: s.standard_cpu,
+                mem: s.mem,
+            });
+        }
+    }
+    cmds
+}
+
+/// The deflation-based reclamation policy (§4.2), demand-driven as the
+/// paper describes it: containers of over-allocated functions are *not*
+/// shrunk eagerly — they keep using spare capacity until an
+/// under-provisioned function actually claims it (Fig. 8c shows MobileNet
+/// exceeding its fair share whenever BinaryAlert does not need the space).
+///
+/// At plan level this policy therefore only
+///
+/// * **marks** surplus containers (beyond the model's desired count) for
+///   lazy termination,
+/// * **creates** containers for under-allocated functions, sized to fit
+///   the remaining fair-share budget (at most `tau` below standard).
+///
+/// The *reclamation* itself happens on demand in
+/// [`crate::controller::LassController::apply`]: when a create does not
+/// fit, containers of over-budget functions on one node are deflated "in
+/// small increments … until sufficient resources have been reclaimed", and
+/// only if deflation up to `tau` cannot free enough are containers
+/// terminated (§4.2).
+pub fn deflation_commands(s: &FnSnapshot, tau: f64) -> Vec<Command> {
+    assert!((0.0..1.0).contains(&tau));
+    let std_cpu = f64::from(s.standard_cpu.0);
+    assert!(std_cpu > 0.0);
+
+    let current = s.containers.len() as u32;
+    let current_cpu = f64::from(s.current_cpu().0);
+    let mut cmds = Vec::new();
+
+    if current > s.desired_count {
+        // Load dropped: lazily mark the surplus (lowest capacity first);
+        // the on-demand reclaimer terminates marked containers first.
+        let order = s.termination_order();
+        let surplus = (current - s.desired_count) as usize;
+        for &(cid, _, marked) in order.iter().take(surplus) {
+            if !marked {
+                cmds.push(Command::Mark { cid });
+            }
+        }
+        for &(cid, _, marked) in order.iter().skip(surplus) {
+            if marked {
+                cmds.push(Command::Unmark { cid });
+            }
+        }
+        return cmds;
+    }
+
+    // Reuse whatever is marked before growing.
+    for &(cid, _, marked) in &s.containers {
+        if marked {
+            cmds.push(Command::Unmark { cid });
+        }
+    }
+    // Scale-up: new containers are standard-sized (the paper's reclaimer
+    // frees "just enough capacity to create one new container"); only as
+    // many as the fair-share budget covers.
+    let budget = s.adjusted_cpu - current_cpu;
+    let tau_floor = std_cpu * (1.0 - tau);
+    debug_assert!(tau_floor > 0.0);
+    if current < s.desired_count && budget >= std_cpu - 1e-9 {
+        let k = ((budget / std_cpu + 1e-9).floor() as u32).min(s.desired_count - current);
+        for _ in 0..k {
+            cmds.push(Command::Create {
+                fn_id: s.fn_id,
+                cpu: s.standard_cpu,
+                mem: s.mem,
+            });
+        }
+    }
+    cmds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(
+        containers: Vec<(u64, u32, bool)>,
+        desired_count: u32,
+        adjusted_cpu: f64,
+    ) -> FnSnapshot {
+        FnSnapshot {
+            fn_id: FnId(0),
+            standard_cpu: CpuMilli(2000), // MobileNet-sized
+            mem: MemMib(1024),
+            containers: containers
+                .into_iter()
+                .map(|(id, cpu, m)| (ContainerId(id), CpuMilli(cpu), m))
+                .collect(),
+            desired_count,
+            adjusted_cpu,
+        }
+    }
+
+    fn resulting_cpu(s: &FnSnapshot, cmds: &[Command]) -> (u32, f64) {
+        // (container count, total cpu) after applying commands abstractly.
+        let mut ctrs: std::collections::BTreeMap<ContainerId, CpuMilli> = s
+            .containers
+            .iter()
+            .map(|&(cid, cpu, _)| (cid, cpu))
+            .collect();
+        let mut next = 1000u64;
+        for c in cmds {
+            match *c {
+                Command::Terminate { cid } => {
+                    ctrs.remove(&cid);
+                }
+                Command::Resize { cid, cpu } => {
+                    ctrs.insert(cid, cpu);
+                }
+                Command::Create { cpu, .. } => {
+                    ctrs.insert(ContainerId(next), cpu);
+                    next += 1;
+                }
+                Command::Mark { .. } | Command::Unmark { .. } => {}
+            }
+        }
+        (
+            ctrs.len() as u32,
+            ctrs.values().map(|c| f64::from(c.0)).sum(),
+        )
+    }
+
+    #[test]
+    fn termination_keeps_whole_containers_only() {
+        // 5 standard containers, budget 6000 of 2000-size => keep 3.
+        let s = snap(vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, false), (5, 2000, false)], 5, 6000.0);
+        let cmds = termination_commands(&s);
+        let (n, cpu) = resulting_cpu(&s, &cmds);
+        assert_eq!(n, 3);
+        assert_eq!(cpu, 6000.0);
+    }
+
+    #[test]
+    fn termination_leaves_fragment_unused() {
+        // Budget 9500 => floor to 4 containers (8000); 1500 fragment wasted.
+        let s = snap(vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, false), (5, 2000, false)], 5, 9500.0);
+        let cmds = termination_commands(&s);
+        let (n, cpu) = resulting_cpu(&s, &cmds);
+        assert_eq!(n, 4);
+        assert_eq!(cpu, 8000.0);
+        assert!(s.adjusted_cpu - cpu >= 1499.0, "fragment exists");
+    }
+
+    #[test]
+    fn deflation_plan_does_not_shrink_eagerly() {
+        // Demand-driven: a function over its budget keeps its containers —
+        // reclamation happens only when another function claims the space
+        // (Fig. 8c: MobileNet exceeds its fair share while unclaimed).
+        let s = snap(
+            vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, false), (5, 2000, false)],
+            5,
+            6000.0,
+        );
+        let cmds = deflation_commands(&s, 0.30);
+        assert!(cmds.is_empty(), "no eager shrink: {cmds:?}");
+        // Termination, by contrast, cuts down to whole containers now.
+        let (n, cpu) = resulting_cpu(&s, &termination_commands(&s));
+        assert_eq!((n, cpu), (3, 6000.0));
+    }
+
+    #[test]
+    fn deflation_plan_marks_surplus_lazily() {
+        // Load dropped (desired 2 < current 4): surplus is marked, not
+        // terminated or resized.
+        let s = snap(
+            vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, true)],
+            2,
+            4000.0,
+        );
+        let cmds = deflation_commands(&s, 0.30);
+        let marks = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::Mark { .. }))
+            .count();
+        assert_eq!(marks, 1, "one new mark joins the existing one: {cmds:?}");
+        assert!(!cmds.iter().any(|c| matches!(c, Command::Terminate { .. })));
+        assert!(!cmds.iter().any(|c| matches!(c, Command::Resize { .. })));
+    }
+
+    #[test]
+    fn termination_prefers_marked_then_smallest() {
+        let s = snap(
+            vec![(1, 2000, false), (2, 1400, false), (3, 2000, true)],
+            3,
+            2000.0,
+        );
+        let cmds = termination_commands(&s);
+        let terminated: Vec<ContainerId> = cmds
+            .iter()
+            .filter_map(|c| match c {
+                Command::Terminate { cid } => Some(*cid),
+                _ => None,
+            })
+            .collect();
+        // Keep 1 container: terminate marked (3) first, then smallest (2).
+        assert_eq!(terminated, vec![ContainerId(3), ContainerId(2)]);
+    }
+
+    #[test]
+    fn scale_up_under_budget_creates_standard_containers() {
+        let s = snap(vec![(1, 2000, true)], 4, 8000.0);
+        let cmds = termination_commands(&s);
+        let creates = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::Create { .. }))
+            .count();
+        assert_eq!(creates, 3);
+        // The marked survivor is unmarked.
+        assert!(cmds.iter().any(|c| matches!(c, Command::Unmark { cid } if *cid == ContainerId(1))));
+    }
+
+    #[test]
+    fn deflation_scale_up_creates_standard_containers_within_budget() {
+        // Desired 4 containers, budget 7000: 2000 existing leaves 5000,
+        // covering 2 more standard containers (the reclaimer frees room
+        // for standard-size creates; the fraction is left to on-demand
+        // reclamation).
+        let s = snap(vec![(1, 2000, false)], 4, 7000.0);
+        let cmds = deflation_commands(&s, 0.30);
+        let (n, cpu) = resulting_cpu(&s, &cmds);
+        assert_eq!(n, 3);
+        assert!(cpu <= 7000.0 + 1e-9);
+        for c in &cmds {
+            if let Command::Create { cpu, .. } = c {
+                assert_eq!(cpu.0, 2000, "creates are standard-sized");
+            }
+        }
+    }
+
+    #[test]
+    fn deflation_creates_nothing_when_budget_below_standard() {
+        // Remaining budget 1000 < one standard container: no create.
+        let s = snap(vec![(1, 2000, false)], 2, 3000.0);
+        let cmds = deflation_commands(&s, 0.30);
+        assert!(
+            !cmds.iter().any(|c| matches!(c, Command::Create { .. })),
+            "{cmds:?}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_termination_removes_everything() {
+        let s = snap(vec![(1, 2000, false), (2, 2000, false)], 2, 0.0);
+        let (n, cpu) = resulting_cpu(&s, &termination_commands(&s));
+        assert_eq!((n, cpu), (0, 0.0));
+        // Deflation defers: no eager shrink, the space is reclaimed on
+        // demand by the executor.
+        let cmds = deflation_commands(&s, 0.30);
+        assert!(!cmds.iter().any(|c| matches!(c, Command::Create { .. })));
+    }
+
+    #[test]
+    fn termination_reinflates_survivors() {
+        // Previously deflated containers, budget covers full standard.
+        let s = snap(vec![(1, 1400, false), (2, 1400, false)], 2, 4000.0);
+        let cmds_t = termination_commands(&s);
+        let (_, cpu_t) = resulting_cpu(&s, &cmds_t);
+        assert_eq!(cpu_t, 4000.0);
+    }
+
+    #[test]
+    fn desired_count_caps_termination_target() {
+        // Budget would fit 5 but the model only wants 2.
+        let s = snap(vec![(1, 2000, false), (2, 2000, false), (3, 2000, false)], 2, 10_000.0);
+        let (n, _) = resulting_cpu(&s, &termination_commands(&s));
+        assert_eq!(n, 2);
+        // Deflation marks the surplus container lazily.
+        let cmds = deflation_commands(&s, 0.30);
+        assert_eq!(
+            cmds.iter()
+                .filter(|c| matches!(c, Command::Mark { .. }))
+                .count(),
+            1
+        );
+    }
+}

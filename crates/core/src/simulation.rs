@@ -1,0 +1,865 @@
+//! End-to-end simulation: workloads → load balancer → containers, with the
+//! LaSS controller in the loop.
+//!
+//! This is the simulated equivalent of the paper's testbed runs: requests
+//! arrive from per-function workload generators, the load balancer hands
+//! them to containers (§5), containers serve FCFS with service times drawn
+//! from the function's (deflation-dependent) model, and the controller
+//! re-plans allocations every epoch from its sliding-window monitors.
+//!
+//! Everything is deterministic given the seed.
+
+use crate::commands::Plan;
+use crate::config::{DispatchPolicy, LassConfig};
+use crate::controller::LassController;
+use crate::registry::FunctionRegistry;
+use lass_cluster::{
+    Cluster, ContainerId, ContainerState, FnId, RequestId, UserId,
+};
+use lass_functions::{FunctionSpec, WorkloadSpec};
+use lass_simcore::{
+    ArrivalProcess, EventQueue, SampleStats, SimRng, SimTime, TimeSeries, TimeWeightedGauge,
+};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One function's deployment in a simulation run.
+#[derive(Debug, Clone)]
+pub struct FunctionSetup {
+    /// Runtime characteristics.
+    pub spec: FunctionSpec,
+    /// SLO deadline (seconds) on the waiting time (§6.1 default 0.1).
+    pub slo_deadline: f64,
+    /// Weight within the owning user.
+    pub weight: f64,
+    /// Owning user.
+    pub user: UserId,
+    /// User's weight (set once per user; later setups may repeat it).
+    pub user_weight: f64,
+    /// The workload driving this function.
+    pub workload: WorkloadSpec,
+    /// Containers provisioned at t=0.
+    pub initial_containers: u32,
+    /// Whether initial containers start warm (ready at t=0).
+    pub warm_start: bool,
+}
+
+impl FunctionSetup {
+    /// A setup with the common defaults: weight 1 under user 0, warm start,
+    /// no pre-provisioned containers.
+    pub fn new(spec: FunctionSpec, slo_deadline: f64, workload: WorkloadSpec) -> Self {
+        Self {
+            spec,
+            slo_deadline,
+            weight: 1.0,
+            user: UserId(0),
+            user_weight: 1.0,
+            workload,
+            initial_containers: 0,
+            warm_start: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrival(FnId),
+    Ready(ContainerId),
+    Complete { cid: ContainerId, seq: u64 },
+    /// Failure injection: the container crashes (if still alive).
+    Crash(ContainerId),
+    Monitor,
+    Epoch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    fn_id: FnId,
+    arrival: SimTime,
+}
+
+/// Per-function results.
+#[derive(Debug, Serialize)]
+pub struct FnReport {
+    /// Function name.
+    pub name: String,
+    /// Total arrivals.
+    pub arrivals: usize,
+    /// Completed requests.
+    pub completed: usize,
+    /// Requests re-dispatched because their container was terminated or
+    /// crashed.
+    pub reruns: usize,
+    /// Waiting times (arrival → service start), seconds.
+    pub wait: SampleStats,
+    /// Response times (arrival → completion), seconds.
+    pub response: SampleStats,
+    /// Service times (start → completion), seconds.
+    pub service: SampleStats,
+    /// Requests whose waiting time exceeded the SLO deadline.
+    pub slo_violations: usize,
+    /// Requests abandoned after exceeding the platform's hard time limit.
+    pub timeouts: usize,
+    /// Allocated CPU (milli) over time, sampled each epoch.
+    pub cpu_timeline: TimeSeries,
+    /// Container count over time, sampled each epoch.
+    pub container_timeline: TimeSeries,
+    /// Observed arrival rate (req/s) per monitor tick.
+    pub rate_timeline: TimeSeries,
+}
+
+impl FnReport {
+    /// Fraction of requests whose wait met the SLO deadline (abandoned
+    /// requests count as violations).
+    pub fn slo_attainment(&self) -> f64 {
+        let finished = self.completed + self.timeouts;
+        if finished == 0 {
+            return 1.0;
+        }
+        1.0 - self.slo_violations as f64 / finished as f64
+    }
+}
+
+/// Whole-run results.
+#[derive(Debug, Serialize)]
+pub struct SimReport {
+    /// Per-function reports, keyed by function id index.
+    pub per_fn: BTreeMap<u32, FnReport>,
+    /// Time-weighted average of allocated CPU / capacity (the paper's
+    /// "system utilization" in §6.6/§6.7).
+    pub allocated_utilization: f64,
+    /// CPU-seconds actually consumed by request service divided by
+    /// capacity × duration (busy utilization).
+    pub busy_utilization: f64,
+    /// Simulated duration in seconds (excluding drain).
+    pub duration: f64,
+    /// Epochs planned under overload.
+    pub overloaded_epochs: usize,
+    /// Total epochs planned.
+    pub epochs: usize,
+    /// Creates that failed even after lazy reclamation.
+    pub failed_creates: u32,
+    /// Injected container crashes (0 unless `container_mtbf_secs` is set).
+    pub crashes: usize,
+    /// Cluster-wide unallocated-capacity timeline (fraction), per epoch.
+    pub free_timeline: TimeSeries,
+}
+
+/// The simulation harness.
+pub struct Simulation {
+    cfg: LassConfig,
+    seed: u64,
+    cluster: Cluster,
+    setups: Vec<FunctionSetup>,
+}
+
+impl Simulation {
+    /// Create a simulation over a cluster.
+    pub fn new(cfg: LassConfig, cluster: Cluster, seed: u64) -> Self {
+        cfg.validate().expect("invalid LassConfig");
+        Self {
+            cfg,
+            seed,
+            cluster,
+            setups: Vec::new(),
+        }
+    }
+
+    /// Deploy a function; returns its id (assigned in registration order).
+    pub fn add_function(&mut self, setup: FunctionSetup) -> FnId {
+        let id = FnId(self.setups.len() as u32);
+        self.setups.push(setup);
+        id
+    }
+
+    fn resolved_duration(&self, duration_override: Option<f64>) -> f64 {
+        duration_override.unwrap_or_else(|| {
+            self.setups
+                .iter()
+                .map(|s| s.workload.duration())
+                .fold(0.0f64, f64::max)
+        })
+    }
+
+    /// Run to completion. `duration` defaults to the longest workload; a
+    /// drain grace period lets in-flight requests finish afterwards.
+    pub fn run(self, duration_override: Option<f64>) -> SimReport {
+        let duration = self.resolved_duration(duration_override);
+        let mut runner = Runner::new(self.cfg, self.cluster, self.seed, self.setups);
+        runner.run(duration)
+    }
+
+    /// Run with access to the controller right before the loop starts —
+    /// used by validation harnesses to tweak controller knobs (e.g.
+    /// disabling re-inflation for Fig. 4).
+    pub fn run_with(
+        self,
+        duration_override: Option<f64>,
+        tweak: impl FnOnce(&mut LassController, &mut Cluster),
+    ) -> SimReport {
+        let duration = self.resolved_duration(duration_override);
+        let mut runner = Runner::new(self.cfg, self.cluster, self.seed, self.setups);
+        tweak(&mut runner.controller, &mut runner.cluster);
+        runner.run(duration)
+    }
+}
+
+struct FnRuntime {
+    process: Box<dyn ArrivalProcess + Send>,
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    wrr: crate::loadbalancer::SmoothWrr,
+    pending: VecDeque<RequestId>,
+    arrivals_since_tick: u64,
+    // Stats.
+    arrivals: usize,
+    completed: usize,
+    reruns: usize,
+    wait: SampleStats,
+    response: SampleStats,
+    service: SampleStats,
+    slo_violations: usize,
+    timeouts: usize,
+    cpu_timeline: TimeSeries,
+    container_timeline: TimeSeries,
+    rate_timeline: TimeSeries,
+}
+
+struct Runner {
+    cfg: LassConfig,
+    cluster: Cluster,
+    controller: LassController,
+    fns: BTreeMap<FnId, FnRuntime>,
+    slo: BTreeMap<FnId, f64>,
+    events: EventQueue<Ev>,
+    requests: HashMap<RequestId, ReqState>,
+    /// Per-container current service: (request, seq, start).
+    in_service: HashMap<ContainerId, (RequestId, u64, SimTime)>,
+    next_req: u64,
+    next_seq: u64,
+    crash_rng: SimRng,
+    crashes: usize,
+    util_gauge: TimeWeightedGauge,
+    busy_cpu_seconds: f64,
+    overloaded_epochs: usize,
+    epochs: usize,
+    failed_creates: u32,
+    free_timeline: TimeSeries,
+}
+
+impl Runner {
+    fn new(cfg: LassConfig, cluster: Cluster, seed: u64, setups: Vec<FunctionSetup>) -> Self {
+        let mut registry = FunctionRegistry::new();
+        let mut fns = BTreeMap::new();
+        let mut slo = BTreeMap::new();
+        for (i, s) in setups.iter().enumerate() {
+            registry.set_user_weight(s.user, s.user_weight);
+            let fn_id = registry.register(s.spec.clone(), s.slo_deadline, s.weight, s.user);
+            debug_assert_eq!(fn_id, FnId(i as u32));
+            slo.insert(fn_id, s.slo_deadline);
+            fns.insert(
+                fn_id,
+                FnRuntime {
+                    process: s.workload.build(),
+                    arrival_rng: SimRng::from_seed_label(seed, &format!("arrival:{i}")),
+                    service_rng: SimRng::from_seed_label(seed, &format!("service:{i}")),
+                    wrr: crate::loadbalancer::SmoothWrr::new(),
+                    pending: VecDeque::new(),
+                    arrivals_since_tick: 0,
+                    arrivals: 0,
+                    completed: 0,
+                    reruns: 0,
+                    wait: SampleStats::new(),
+                    response: SampleStats::new(),
+                    service: SampleStats::new(),
+                    slo_violations: 0,
+                    timeouts: 0,
+                    cpu_timeline: TimeSeries::new(),
+                    container_timeline: TimeSeries::new(),
+                    rate_timeline: TimeSeries::new(),
+                },
+            );
+        }
+        let mut cluster = cluster;
+        // Pre-provision initial containers.
+        for (i, s) in setups.iter().enumerate() {
+            let fn_id = FnId(i as u32);
+            for _ in 0..s.initial_containers {
+                let ready = if s.warm_start {
+                    SimTime::ZERO
+                } else {
+                    SimTime::ZERO + s.spec.cold_start
+                };
+                if let Ok(cid) = cluster.create_container(
+                    fn_id,
+                    s.spec.standard_cpu,
+                    s.spec.standard_mem,
+                    SimTime::ZERO,
+                    ready,
+                ) {
+                    if s.warm_start {
+                        cluster
+                            .container_mut(cid)
+                            .expect("just created")
+                            .mark_ready();
+                    }
+                }
+            }
+        }
+        let controller = LassController::new(cfg.clone(), registry);
+        Self {
+            cfg,
+            cluster,
+            controller,
+            fns,
+            slo,
+            events: EventQueue::new(),
+            requests: HashMap::new(),
+            in_service: HashMap::new(),
+            next_req: 0,
+            next_seq: 0,
+            crash_rng: SimRng::from_seed_label(seed, "crashes"),
+            crashes: 0,
+            util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
+            busy_cpu_seconds: 0.0,
+            overloaded_epochs: 0,
+            epochs: 0,
+            failed_creates: 0,
+            free_timeline: TimeSeries::new(),
+        }
+    }
+
+    fn run(&mut self, duration: f64) -> SimReport {
+        assert!(duration > 0.0, "simulation needs a positive duration");
+        let end = SimTime::from_secs_f64(duration);
+        let hard_end = end + lass_simcore::SimDuration::from_secs(120);
+
+        // Seed initial events.
+        self.util_gauge.set(SimTime::ZERO, self.cluster.cpu_utilization());
+        let fn_ids: Vec<FnId> = self.fns.keys().copied().collect();
+        for f in fn_ids {
+            self.schedule_next_arrival(f, SimTime::ZERO);
+        }
+        let initial: Vec<ContainerId> = self.cluster.all_containers().map(|c| c.id()).collect();
+        for cid in initial {
+            self.arm_crash(cid, SimTime::ZERO);
+        }
+        self.events.schedule(
+            SimTime::from_secs_f64(self.cfg.monitor_interval_secs),
+            Ev::Monitor,
+        );
+        // Epochs run 1 ms after the monitor tick they share an instant
+        // with, so the planner always sees fully up-to-date windows.
+        self.events.schedule(
+            SimTime::from_secs_f64(self.cfg.epoch_secs) + lass_simcore::SimDuration::from_millis(1),
+            Ev::Epoch,
+        );
+
+        while let Some((now, ev)) = self.events.pop() {
+            if now > hard_end {
+                break;
+            }
+            match ev {
+                Ev::Arrival(f) => self.on_arrival(f, now),
+                Ev::Ready(cid) => self.on_ready(cid, now),
+                Ev::Complete { cid, seq } => self.on_complete(cid, seq, now),
+                Ev::Crash(cid) => self.on_crash(cid, now),
+                Ev::Monitor => {
+                    self.on_monitor(now);
+                    if now < end {
+                        self.events.schedule(
+                            now + lass_simcore::SimDuration::from_secs_f64(
+                                self.cfg.monitor_interval_secs,
+                            ),
+                            Ev::Monitor,
+                        );
+                    }
+                }
+                Ev::Epoch => {
+                    self.on_epoch(now);
+                    if now < end {
+                        self.events.schedule(
+                            now + lass_simcore::SimDuration::from_secs_f64(self.cfg.epoch_secs),
+                            Ev::Epoch,
+                        );
+                    }
+                }
+            }
+        }
+
+        self.report(duration)
+    }
+
+    /// Failure injection: arm an exponential crash timer for a container.
+    fn arm_crash(&mut self, cid: ContainerId, now: SimTime) {
+        if let Some(mtbf) = self.cfg.container_mtbf_secs {
+            let dt = self.crash_rng.exp(1.0 / mtbf);
+            self.events.schedule(
+                now + lass_simcore::SimDuration::from_secs_f64(dt),
+                Ev::Crash(cid),
+            );
+        }
+    }
+
+    fn on_crash(&mut self, cid: ContainerId, now: SimTime) {
+        let Ok(term) = self.cluster.terminate_container(cid, now) else {
+            return; // already gone (stale timer)
+        };
+        self.crashes += 1;
+        self.in_service.remove(&cid);
+        let f = term.container.fn_id();
+        for rid in term.orphans {
+            if self.requests.contains_key(&rid) {
+                self.fns.get_mut(&f).expect("known fn").reruns += 1;
+                self.dispatch(rid, f, now);
+            }
+        }
+    }
+
+    fn schedule_next_arrival(&mut self, f: FnId, now: SimTime) {
+        let rt = self.fns.get_mut(&f).expect("known fn");
+        if let Some(t) = rt.process.next_after(now, &mut rt.arrival_rng) {
+            self.events.schedule(t, Ev::Arrival(f));
+        }
+    }
+
+    fn on_arrival(&mut self, f: FnId, now: SimTime) {
+        let rid = RequestId(self.next_req);
+        self.next_req += 1;
+        self.requests.insert(rid, ReqState { fn_id: f, arrival: now });
+        {
+            let rt = self.fns.get_mut(&f).expect("known fn");
+            rt.arrivals += 1;
+            rt.arrivals_since_tick += 1;
+        }
+        self.dispatch(rid, f, now);
+        self.schedule_next_arrival(f, now);
+    }
+
+    /// Hand a request to a container per the dispatch policy, or park it in
+    /// the function's pending queue when no container exists yet.
+    fn dispatch(&mut self, rid: RequestId, f: FnId, now: SimTime) {
+        let policy = self.cfg.dispatch;
+        // Snapshot candidate containers.
+        let mut idle: Vec<(ContainerId, f64)> = Vec::new();
+        let mut all: Vec<(ContainerId, f64)> = Vec::new();
+        for c in self.cluster.fn_containers(f) {
+            if !c.is_schedulable() {
+                continue;
+            }
+            let w = f64::from(c.cpu().0).max(1.0);
+            all.push((c.id(), w));
+            if c.state() == ContainerState::Idle {
+                idle.push((c.id(), w));
+            }
+        }
+        let chosen = match policy {
+            DispatchPolicy::SharedQueue => {
+                // Park centrally; the fastest idle container pulls first
+                // (the opposite of the worst-case slowest-first analysis,
+                // as §3.2 notes a real scheduler would do).
+                idle.iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+                    .map(|&(cid, _)| cid)
+            }
+            DispatchPolicy::IdleFirstWrr => {
+                let rt = self.fns.get_mut(&f).expect("known fn");
+                if !idle.is_empty() {
+                    rt.wrr.pick(&idle)
+                } else {
+                    rt.wrr.pick(&all)
+                }
+            }
+            DispatchPolicy::Wrr => {
+                let rt = self.fns.get_mut(&f).expect("known fn");
+                rt.wrr.pick(&all)
+            }
+        };
+        match chosen {
+            Some(cid) => {
+                self.cluster
+                    .container_mut(cid)
+                    .expect("live container")
+                    .enqueue(rid);
+                self.try_start(cid, now);
+            }
+            None => {
+                self.fns
+                    .get_mut(&f)
+                    .expect("known fn")
+                    .pending
+                    .push_back(rid);
+            }
+        }
+    }
+
+    /// Begin service on `cid` if it is idle with queued work. Requests
+    /// whose queueing time already exceeds the platform's hard limit are
+    /// abandoned at dequeue (§2.1's execution time limit).
+    fn try_start(&mut self, cid: ContainerId, now: SimTime) {
+        let timeout = self.cfg.request_timeout_secs;
+        let (fn_id, deflation, rid) = loop {
+            let Some(c) = self.cluster.container_mut(cid) else {
+                return;
+            };
+            let fn_id = c.fn_id();
+            let deflation = c.deflation_ratio();
+            let Some(rid) = c.try_begin_service(now) else {
+                return;
+            };
+            let expired = timeout.is_some_and(|limit| {
+                self.requests
+                    .get(&rid)
+                    .is_some_and(|r| now.saturating_since(r.arrival).as_secs_f64() > limit)
+            });
+            if !expired {
+                break (fn_id, deflation, rid);
+            }
+            // Abandon: undo the service start and drop the request.
+            let c = self.cluster.container_mut(cid).expect("still live");
+            let dropped = c.complete_service(now);
+            debug_assert_eq!(dropped, rid);
+            self.requests.remove(&rid);
+            let rt = self.fns.get_mut(&fn_id).expect("known fn");
+            rt.timeouts += 1;
+            rt.slo_violations += 1;
+        };
+        let spec_model = self
+            .controller
+            .registry()
+            .get(fn_id)
+            .expect("registered")
+            .spec
+            .service;
+        let rt = self.fns.get_mut(&fn_id).expect("known fn");
+        let dur = spec_model.sample(deflation, &mut rt.service_rng);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_service.insert(cid, (rid, seq, now));
+        self.events.schedule(
+            now + lass_simcore::SimDuration::from_secs_f64(dur),
+            Ev::Complete { cid, seq },
+        );
+    }
+
+    fn on_ready(&mut self, cid: ContainerId, now: SimTime) {
+        let Some(c) = self.cluster.container_mut(cid) else {
+            return; // terminated while starting
+        };
+        if !matches!(c.state(), ContainerState::Starting { .. }) {
+            return;
+        }
+        c.mark_ready();
+        let f = c.fn_id();
+        self.feed_container(cid, f, now);
+    }
+
+    /// Give an idle container work: first its own queue, then the
+    /// function's pending backlog.
+    fn feed_container(&mut self, cid: ContainerId, f: FnId, now: SimTime) {
+        self.try_start(cid, now);
+        loop {
+            let Some(c) = self.cluster.container(cid) else {
+                return;
+            };
+            if c.state() != ContainerState::Idle {
+                return;
+            }
+            let Some(rid) = self.fns.get_mut(&f).expect("known fn").pending.pop_front() else {
+                return;
+            };
+            self.cluster
+                .container_mut(cid)
+                .expect("live container")
+                .enqueue(rid);
+            self.try_start(cid, now);
+        }
+    }
+
+    fn on_complete(&mut self, cid: ContainerId, seq: u64, now: SimTime) {
+        // Validate against stale events (container terminated / rerun).
+        match self.in_service.get(&cid) {
+            Some(&(_, s, _)) if s == seq => {}
+            _ => return,
+        }
+        let (rid, _, started) = self.in_service.remove(&cid).expect("checked");
+        let Some(c) = self.cluster.container_mut(cid) else {
+            return;
+        };
+        let deflation = c.deflation_ratio();
+        let done = c.complete_service(now);
+        debug_assert_eq!(done, rid);
+        let f = c.fn_id();
+        let cpu_cores = c.cpu().as_cores();
+
+        let req = self.requests.remove(&rid).expect("known request");
+        let wait = started.saturating_since(req.arrival).as_secs_f64();
+        let service = now.saturating_since(started).as_secs_f64();
+        let response = now.saturating_since(req.arrival).as_secs_f64();
+        let deadline = self.slo[&f];
+        {
+            let rt = self.fns.get_mut(&f).expect("known fn");
+            rt.completed += 1;
+            rt.wait.record(wait);
+            rt.service.record(service);
+            rt.response.record(response);
+            if wait > deadline {
+                rt.slo_violations += 1;
+            }
+        }
+        self.busy_cpu_seconds += service * cpu_cores;
+        self.controller.record_service(f, deflation, service);
+
+        self.feed_container(cid, f, now);
+    }
+
+    fn on_monitor(&mut self, now: SimTime) {
+        let now_secs = now.as_secs_f64();
+        let mut counts = BTreeMap::new();
+        for (f, rt) in &mut self.fns {
+            counts.insert(*f, rt.arrivals_since_tick);
+            rt.rate_timeline.push(
+                now,
+                rt.arrivals_since_tick as f64 / self.cfg.monitor_interval_secs,
+            );
+            rt.arrivals_since_tick = 0;
+        }
+        self.controller.on_monitor_tick(now_secs, &counts);
+    }
+
+    fn on_epoch(&mut self, now: SimTime) {
+        let now_secs = now.as_secs_f64();
+        let plan: Plan = self.controller.plan_epoch(&self.cluster, now_secs);
+        self.epochs += 1;
+        if plan.overloaded {
+            self.overloaded_epochs += 1;
+        }
+        let outcome = self.controller.apply(&mut self.cluster, &plan, now);
+        self.failed_creates += outcome.failed_creates;
+        // Invalidate in-service bookkeeping for terminated containers.
+        for cid in &outcome.terminated {
+            self.in_service.remove(cid);
+        }
+        for (cid, ready) in &outcome.created {
+            self.events.schedule(*ready, Ev::Ready(*cid));
+            self.arm_crash(*cid, now);
+        }
+        // Re-dispatch orphans (the paper's "requests that need to be
+        // rerun").
+        for rid in outcome.orphans {
+            if let Some(state) = self.requests.get(&rid).copied() {
+                self.fns
+                    .get_mut(&state.fn_id)
+                    .expect("known fn")
+                    .reruns += 1;
+                self.dispatch(rid, state.fn_id, now);
+            }
+        }
+        // Resizes may have slowed/sped containers; in-flight services keep
+        // their sampled durations (documented simplification).
+
+        // Timelines.
+        self.util_gauge.set(now, self.cluster.cpu_utilization());
+        self.free_timeline
+            .push(now, 1.0 - self.cluster.cpu_utilization());
+        for (f, rt) in &mut self.fns {
+            // Lazily-marked containers are logically released (they are
+            // cached for reuse, §3.3), so the reported allocation excludes
+            // them — matching the downscaling visible in the paper's
+            // timelines.
+            let (mut cpu, mut count) = (0u32, 0u32);
+            for c in self.cluster.fn_containers(*f) {
+                if !c.is_marked_for_termination() {
+                    cpu += c.cpu().0;
+                    count += 1;
+                }
+            }
+            rt.cpu_timeline.push(now, f64::from(cpu));
+            rt.container_timeline.push(now, f64::from(count));
+        }
+        #[cfg(debug_assertions)]
+        self.cluster.check_invariants();
+    }
+
+    fn report(&mut self, duration: f64) -> SimReport {
+        let end = SimTime::from_secs_f64(duration);
+        let capacity_cores = self.cluster.total_cpu_capacity().as_cores();
+        let per_fn = self
+            .fns
+            .iter_mut()
+            .map(|(f, rt)| {
+                let name = self
+                    .controller
+                    .registry()
+                    .get(*f)
+                    .map_or_else(|| f.to_string(), |r| r.spec.name.clone());
+                (
+                    f.0,
+                    FnReport {
+                        name,
+                        arrivals: rt.arrivals,
+                        completed: rt.completed,
+                        reruns: rt.reruns,
+                        wait: std::mem::take(&mut rt.wait),
+                        response: std::mem::take(&mut rt.response),
+                        service: std::mem::take(&mut rt.service),
+                        slo_violations: rt.slo_violations,
+                        timeouts: rt.timeouts,
+                        cpu_timeline: std::mem::take(&mut rt.cpu_timeline),
+                        container_timeline: std::mem::take(&mut rt.container_timeline),
+                        rate_timeline: std::mem::take(&mut rt.rate_timeline),
+                    },
+                )
+            })
+            .collect();
+        SimReport {
+            per_fn,
+            allocated_utilization: self.util_gauge.average_until(end),
+            busy_utilization: if capacity_cores > 0.0 && duration > 0.0 {
+                self.busy_cpu_seconds / (capacity_cores * duration)
+            } else {
+                0.0
+            },
+            duration,
+            overloaded_epochs: self.overloaded_epochs,
+            epochs: self.epochs,
+            failed_creates: self.failed_creates,
+            crashes: self.crashes,
+            free_timeline: std::mem::take(&mut self.free_timeline),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lass_functions::micro_benchmark;
+
+    fn quick_sim(rate: f64, duration: f64, autoscale: bool, initial: u32) -> SimReport {
+        let mut cfg = LassConfig::default();
+        cfg.autoscale = autoscale;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 42);
+        let mut setup = FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.1,
+            WorkloadSpec::Static { rate, duration },
+        );
+        setup.initial_containers = initial;
+        sim.add_function(setup);
+        sim.run(Some(duration))
+    }
+
+    #[test]
+    fn static_load_with_adequate_fixed_allocation_meets_slo() {
+        // 10 req/s at mu=10 with 4 warm containers, no autoscaling.
+        let report = quick_sim(10.0, 120.0, false, 4);
+        let f = &report.per_fn[&0];
+        assert!(f.arrivals > 1000, "arrivals={}", f.arrivals);
+        assert!(
+            f.completed as f64 > f.arrivals as f64 * 0.99,
+            "completed={} arrivals={}",
+            f.completed,
+            f.arrivals
+        );
+        assert!(
+            f.slo_attainment() > 0.90,
+            "attainment={}",
+            f.slo_attainment()
+        );
+    }
+
+    #[test]
+    fn under_provisioned_fixed_allocation_violates_slo() {
+        // 30 req/s at mu=10 with only 3 containers: rho=1, queue explodes.
+        let report = quick_sim(30.0, 60.0, false, 3);
+        let f = &report.per_fn[&0];
+        assert!(
+            f.slo_attainment() < 0.9,
+            "attainment={} should be poor",
+            f.slo_attainment()
+        );
+    }
+
+    #[test]
+    fn autoscaler_provisions_from_cold() {
+        let report = quick_sim(20.0, 180.0, true, 0);
+        let f = &report.per_fn[&0];
+        assert!(f.completed > 2000);
+        // After warm-up the allocation settles near the model's answer.
+        let late = f
+            .container_timeline
+            .points()
+            .iter()
+            .filter(|(t, _)| *t > 60.0)
+            .map(|(_, v)| *v)
+            .collect::<Vec<_>>();
+        assert!(!late.is_empty());
+        let avg: f64 = late.iter().sum::<f64>() / late.len() as f64;
+        assert!((3.0..=8.0).contains(&avg), "containers avg={avg}");
+        // And the tail of the run meets the SLO.
+        assert!(report.failed_creates == 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick_sim(15.0, 60.0, true, 1);
+        let b = quick_sim(15.0, 60.0, true, 1);
+        assert_eq!(a.per_fn[&0].arrivals, b.per_fn[&0].arrivals);
+        assert_eq!(a.per_fn[&0].completed, b.per_fn[&0].completed);
+        assert_eq!(
+            a.per_fn[&0].wait.samples(),
+            b.per_fn[&0].wait.samples()
+        );
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let report = quick_sim(10.0, 60.0, true, 0);
+        assert!(report.allocated_utilization >= 0.0 && report.allocated_utilization <= 1.0);
+        assert!(report.busy_utilization >= 0.0 && report.busy_utilization <= 1.0);
+    }
+
+    #[test]
+    fn shared_queue_policy_runs() {
+        let mut cfg = LassConfig::default();
+        cfg.dispatch = DispatchPolicy::SharedQueue;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 7);
+        let mut setup = FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 10.0,
+                duration: 60.0,
+            },
+        );
+        setup.initial_containers = 3;
+        sim.add_function(setup);
+        let report = sim.run(Some(60.0));
+        let f = &report.per_fn[&0];
+        assert!(f.completed > 400);
+    }
+
+    #[test]
+    fn two_functions_share_cluster() {
+        let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 11);
+        sim.add_function(FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 10.0,
+                duration: 120.0,
+            },
+        ));
+        sim.add_function(FunctionSetup::new(
+            lass_functions::binary_alert(),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 20.0,
+                duration: 120.0,
+            },
+        ));
+        let report = sim.run(Some(120.0));
+        assert!(report.per_fn[&0].completed > 800);
+        assert!(report.per_fn[&1].completed > 1800);
+    }
+}

@@ -1,0 +1,259 @@
+//! Hierarchical scheduling tree (§5).
+//!
+//! LaSS adds weights to both users (namespaces) and actions, forming a
+//! two-level hierarchy that determines each function's fair share; "our
+//! model can be extended to a hierarchical scheduling tree with arbitrary
+//! levels". This module implements the general tree: a leaf's effective
+//! weight is the product along its path of `weight / Σ sibling weights`,
+//! so effective weights over all leaves sum to 1.
+
+use lass_cluster::FnId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node of the scheduling tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WeightTree {
+    /// An interior node (e.g. a user/namespace) with a weight relative to
+    /// its siblings.
+    Group {
+        /// Weight relative to siblings.
+        weight: f64,
+        /// Children (sub-groups or functions).
+        children: Vec<WeightTree>,
+    },
+    /// A function leaf.
+    Leaf {
+        /// Weight relative to siblings.
+        weight: f64,
+        /// The function this leaf allocates for.
+        fn_id: FnId,
+    },
+}
+
+impl WeightTree {
+    /// A single-level tree: functions directly under the root with the
+    /// given weights.
+    pub fn flat(weights: impl IntoIterator<Item = (FnId, f64)>) -> Self {
+        WeightTree::Group {
+            weight: 1.0,
+            children: weights
+                .into_iter()
+                .map(|(fn_id, weight)| WeightTree::Leaf { weight, fn_id })
+                .collect(),
+        }
+    }
+
+    /// The paper's two-level shape: users with weights, each owning
+    /// functions with weights.
+    ///
+    /// ```
+    /// use lass_core::WeightTree;
+    /// use lass_cluster::FnId;
+    ///
+    /// // User 2 pays for twice user 1's share; each owns one function.
+    /// let tree = WeightTree::two_level([
+    ///     (1.0, vec![(FnId(0), 1.0)]),
+    ///     (2.0, vec![(FnId(1), 1.0)]),
+    /// ]);
+    /// let w = tree.effective_weights();
+    /// assert!((w[&FnId(0)] - 1.0 / 3.0).abs() < 1e-12);
+    /// assert!((w[&FnId(1)] - 2.0 / 3.0).abs() < 1e-12);
+    /// ```
+    pub fn two_level(users: impl IntoIterator<Item = (f64, Vec<(FnId, f64)>)>) -> Self {
+        WeightTree::Group {
+            weight: 1.0,
+            children: users
+                .into_iter()
+                .map(|(uw, fns)| WeightTree::Group {
+                    weight: uw,
+                    children: fns
+                        .into_iter()
+                        .map(|(fn_id, weight)| WeightTree::Leaf { weight, fn_id })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn weight(&self) -> f64 {
+        match self {
+            WeightTree::Group { weight, .. } | WeightTree::Leaf { weight, .. } => *weight,
+        }
+    }
+
+    /// Effective weight fractions per function. Fractions sum to 1 (when
+    /// the tree has at least one leaf and all weights are positive).
+    pub fn effective_weights(&self) -> BTreeMap<FnId, f64> {
+        let mut out = BTreeMap::new();
+        self.walk(1.0, &mut out);
+        out
+    }
+
+    fn walk(&self, fraction: f64, out: &mut BTreeMap<FnId, f64>) {
+        match self {
+            WeightTree::Leaf { fn_id, .. } => {
+                *out.entry(*fn_id).or_insert(0.0) += fraction;
+            }
+            WeightTree::Group { children, .. } => {
+                let total: f64 = children.iter().map(WeightTree::weight).sum();
+                if total <= 0.0 {
+                    return;
+                }
+                for child in children {
+                    child.walk(fraction * child.weight() / total, out);
+                }
+            }
+        }
+    }
+
+    /// Effective weights restricted to `active` functions, renormalized to
+    /// sum to 1 over them (inactive functions forfeit their share for the
+    /// epoch, as idle functions need no capacity).
+    pub fn effective_weights_among(
+        &self,
+        active: impl IntoIterator<Item = FnId>,
+    ) -> BTreeMap<FnId, f64> {
+        let all = self.effective_weights();
+        let mut out: BTreeMap<FnId, f64> = active
+            .into_iter()
+            .filter_map(|f| all.get(&f).map(|w| (f, *w)))
+            .collect();
+        let total: f64 = out.values().sum();
+        if total > 0.0 {
+            for w in out.values_mut() {
+                *w /= total;
+            }
+        }
+        out
+    }
+
+    /// Validate: weights non-negative and finite, at least one leaf.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut leaves = 0usize;
+        self.validate_walk(&mut leaves)?;
+        if leaves == 0 {
+            return Err("tree has no function leaves".into());
+        }
+        Ok(())
+    }
+
+    fn validate_walk(&self, leaves: &mut usize) -> Result<(), String> {
+        let w = self.weight();
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(format!("invalid weight {w}"));
+        }
+        match self {
+            WeightTree::Leaf { .. } => {
+                *leaves += 1;
+                Ok(())
+            }
+            WeightTree::Group { children, .. } => {
+                for c in children {
+                    c.validate_walk(leaves)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_tree_splits_by_weight() {
+        let t = WeightTree::flat([(FnId(0), 1.0), (FnId(1), 1.0)]);
+        let w = t.effective_weights();
+        assert!((w[&FnId(0)] - 0.5).abs() < 1e-12);
+        assert!((w[&FnId(1)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_tree_unequal_weights() {
+        let t = WeightTree::flat([(FnId(0), 3.0), (FnId(1), 1.0)]);
+        let w = t.effective_weights();
+        assert!((w[&FnId(0)] - 0.75).abs() < 1e-12);
+        assert!((w[&FnId(1)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_level_matches_fig9_setup() {
+        // User 2 has twice the weight of user 1; each owns 3 equal
+        // functions => user-1 fns get 1/9 each, user-2 fns get 2/9.
+        let t = WeightTree::two_level([
+            (1.0, vec![(FnId(0), 1.0), (FnId(1), 1.0), (FnId(2), 1.0)]),
+            (2.0, vec![(FnId(3), 1.0), (FnId(4), 1.0), (FnId(5), 1.0)]),
+        ]);
+        let w = t.effective_weights();
+        for i in 0..3 {
+            assert!((w[&FnId(i)] - 1.0 / 9.0).abs() < 1e-12);
+        }
+        for i in 3..6 {
+            assert!((w[&FnId(i)] - 2.0 / 9.0).abs() < 1e-12);
+        }
+        let total: f64 = w.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arbitrary_depth() {
+        let t = WeightTree::Group {
+            weight: 1.0,
+            children: vec![
+                WeightTree::Group {
+                    weight: 1.0,
+                    children: vec![WeightTree::Group {
+                        weight: 1.0,
+                        children: vec![WeightTree::Leaf {
+                            weight: 1.0,
+                            fn_id: FnId(7),
+                        }],
+                    }],
+                },
+                WeightTree::Leaf {
+                    weight: 1.0,
+                    fn_id: FnId(8),
+                },
+            ],
+        };
+        let w = t.effective_weights();
+        assert!((w[&FnId(7)] - 0.5).abs() < 1e-12);
+        assert!((w[&FnId(8)] - 0.5).abs() < 1e-12);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn renormalization_among_active() {
+        let t = WeightTree::two_level([
+            (1.0, vec![(FnId(0), 1.0)]),
+            (2.0, vec![(FnId(1), 1.0)]),
+        ]);
+        let w = t.effective_weights_among([FnId(1)]);
+        assert_eq!(w.len(), 1);
+        assert!((w[&FnId(1)] - 1.0).abs() < 1e-12);
+        // Both active: 1/3 vs 2/3.
+        let w = t.effective_weights_among([FnId(0), FnId(1)]);
+        assert!((w[&FnId(0)] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((w[&FnId(1)] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_bad_weights() {
+        let empty = WeightTree::Group {
+            weight: 1.0,
+            children: vec![],
+        };
+        assert!(empty.validate().is_err());
+        let bad = WeightTree::flat([(FnId(0), f64::NAN)]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_leaves_accumulate() {
+        let t = WeightTree::flat([(FnId(0), 1.0), (FnId(0), 1.0)]);
+        let w = t.effective_weights();
+        assert!((w[&FnId(0)] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Serverless function models and workloads for the LaSS reproduction.
+//!
+//! * [`catalog`] — the paper's Table 1: six realistic edge functions plus
+//!   a configurable micro-benchmark, with standard container sizes.
+//! * [`servicetime`] — the CPU-slack deflation model behind Fig. 7 (flat
+//!   response within a function's slack, proportional slowdown beyond).
+//! * [`workload`] — declarative workload specs for the generator's three
+//!   modes (static / discrete change / continuous change) plus trace
+//!   replay, including the staging used in Figs. 6, 8, 9.
+//! * [`azure`] — Azure Functions trace 2019 CSV loader and a synthetic
+//!   generator matching the dataset's qualitative statistics (§6.7).
+//! * [`profiler`] — offline service-time profiles and the online learner
+//!   (§5), bucketed by deflation level.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod azure;
+pub mod catalog;
+pub mod profiler;
+pub mod servicetime;
+pub mod workload;
+
+pub use azure::{
+    fig9_traces, parse_invocations_csv, sample_window, synthesize, TracePattern, TraceRow,
+};
+pub use catalog::{
+    binary_alert, geofence, image_resizer, micro_benchmark, mobilenet_v2, shufflenet_v2,
+    squeezenet, standard_catalog, FunctionSpec,
+};
+pub use profiler::{ServiceEstimate, ServiceTimeProfiler};
+pub use servicetime::{ServiceDistribution, ServiceModel};
+pub use workload::WorkloadSpec;

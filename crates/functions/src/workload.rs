@@ -1,0 +1,245 @@
+//! Workload specifications — a declarative layer over the arrival
+//! processes in `lass-simcore`, matching the paper's IoT workload
+//! generator (§6.1): static rate, discrete changes, continuous change,
+//! and per-minute trace replay.
+
+use lass_simcore::{
+    ArrivalProcess, ModulatedPoisson, PerMinuteTrace, PiecewiseConstantPoisson, SimTime,
+    StaticPoisson,
+};
+use serde::{Deserialize, Serialize};
+
+/// A declarative workload description for one function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Constant arrival rate (req/s) for `duration` seconds.
+    Static {
+        /// Arrival rate in requests/second.
+        rate: f64,
+        /// Length of the workload in seconds.
+        duration: f64,
+    },
+    /// Piecewise-constant rate: `(start_secs, rate)` breakpoints (first
+    /// must be at 0) for `duration` seconds — the "discrete change" mode.
+    Steps {
+        /// `(start time in seconds, rate)` breakpoints.
+        steps: Vec<(f64, f64)>,
+        /// Length of the workload in seconds.
+        duration: f64,
+    },
+    /// Linear ramp from `from` to `to` req/s over `duration` seconds — the
+    /// "continuous change" mode.
+    Ramp {
+        /// Initial rate (req/s).
+        from: f64,
+        /// Final rate (req/s).
+        to: f64,
+        /// Length of the ramp in seconds.
+        duration: f64,
+    },
+    /// Per-minute invocation counts (Azure trace format, §6.7).
+    Trace {
+        /// Invocations in each successive minute.
+        per_minute: Vec<u64>,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialize the arrival process.
+    pub fn build(&self) -> Box<dyn ArrivalProcess + Send> {
+        match self {
+            WorkloadSpec::Static { rate, duration } => Box::new(StaticPoisson::until(
+                *rate,
+                SimTime::from_secs_f64(*duration),
+            )),
+            WorkloadSpec::Steps { steps, duration } => {
+                let segments = steps
+                    .iter()
+                    .map(|&(t, r)| (SimTime::from_secs_f64(t), r))
+                    .collect();
+                Box::new(PiecewiseConstantPoisson::new(
+                    segments,
+                    SimTime::from_secs_f64(*duration),
+                ))
+            }
+            WorkloadSpec::Ramp { from, to, duration } => {
+                let (f, t, d) = (*from, *to, *duration);
+                let max = f.max(t).max(1e-9);
+                Box::new(ModulatedPoisson::new(
+                    move |secs| {
+                        let frac = (secs / d).clamp(0.0, 1.0);
+                        f + (t - f) * frac
+                    },
+                    max,
+                    SimTime::from_secs_f64(d),
+                ))
+            }
+            WorkloadSpec::Trace { per_minute } => Box::new(PerMinuteTrace::new(per_minute)),
+        }
+    }
+
+    /// Total duration of the workload in seconds.
+    pub fn duration(&self) -> f64 {
+        match self {
+            WorkloadSpec::Static { duration, .. }
+            | WorkloadSpec::Steps { duration, .. }
+            | WorkloadSpec::Ramp { duration, .. } => *duration,
+            WorkloadSpec::Trace { per_minute } => per_minute.len() as f64 * 60.0,
+        }
+    }
+
+    /// The nominal rate at time `t` (seconds); for analysis and plotting.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match self {
+            WorkloadSpec::Static { rate, duration } => {
+                if t < *duration {
+                    *rate
+                } else {
+                    0.0
+                }
+            }
+            WorkloadSpec::Steps { steps, duration } => {
+                if t >= *duration {
+                    return 0.0;
+                }
+                steps
+                    .iter()
+                    .rev()
+                    .find(|&&(s, _)| s <= t)
+                    .map_or(0.0, |&(_, r)| r)
+            }
+            WorkloadSpec::Ramp { from, to, duration } => {
+                if t >= *duration {
+                    return 0.0;
+                }
+                from + (to - from) * (t / duration).clamp(0.0, 1.0)
+            }
+            WorkloadSpec::Trace { per_minute } => {
+                let m = (t / 60.0) as usize;
+                per_minute.get(m).map_or(0.0, |&c| c as f64 / 60.0)
+            }
+        }
+    }
+
+    /// The paper's Fig. 6 micro-benchmark staging: 5→30 req/s in steps of
+    /// 5, then back down, one step per `step_secs`.
+    pub fn fig6_micro_steps(step_secs: f64) -> WorkloadSpec {
+        let up = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+        let down = [25.0, 20.0, 15.0, 10.0, 5.0];
+        let mut steps = Vec::new();
+        let mut t = 0.0;
+        for r in up.into_iter().chain(down) {
+            steps.push((t, r));
+            t += step_secs;
+        }
+        WorkloadSpec::Steps {
+            steps,
+            duration: t,
+        }
+    }
+
+    /// The paper's Fig. 6 MobileNet staging: 3→8 req/s and back, one step
+    /// per `step_secs`, starting after `offset` seconds.
+    pub fn fig6_mobilenet_steps(offset: f64, step_secs: f64) -> WorkloadSpec {
+        let up = [3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let down = [7.0, 6.0, 5.0, 4.0, 3.0];
+        let mut steps = vec![(0.0, 3.0)];
+        let mut t = offset;
+        for r in up.into_iter().chain(down) {
+            if t > 0.0 {
+                steps.push((t, r));
+            }
+            t += step_secs;
+        }
+        WorkloadSpec::Steps {
+            steps,
+            duration: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lass_simcore::SimRng;
+
+    fn drain(spec: &WorkloadSpec, seed: u64) -> Vec<f64> {
+        let mut p = spec.build();
+        let mut rng = SimRng::from_seed(seed);
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        while let Some(t) = p.next_after(now, &mut rng) {
+            now = t;
+            out.push(t.as_secs_f64());
+        }
+        out
+    }
+
+    #[test]
+    fn static_spec_generates_expected_count() {
+        let spec = WorkloadSpec::Static {
+            rate: 50.0,
+            duration: 100.0,
+        };
+        let arr = drain(&spec, 1);
+        assert!((arr.len() as f64 - 5000.0).abs() < 300.0, "n={}", arr.len());
+        assert!(arr.iter().all(|&t| t < 100.0));
+        assert_eq!(spec.duration(), 100.0);
+        assert_eq!(spec.rate_at(50.0), 50.0);
+        assert_eq!(spec.rate_at(150.0), 0.0);
+    }
+
+    #[test]
+    fn steps_spec_rate_lookup() {
+        let spec = WorkloadSpec::Steps {
+            steps: vec![(0.0, 5.0), (60.0, 30.0)],
+            duration: 120.0,
+        };
+        assert_eq!(spec.rate_at(0.0), 5.0);
+        assert_eq!(spec.rate_at(59.9), 5.0);
+        assert_eq!(spec.rate_at(60.0), 30.0);
+        assert_eq!(spec.rate_at(120.0), 0.0);
+    }
+
+    #[test]
+    fn ramp_spec_rate_and_density() {
+        let spec = WorkloadSpec::Ramp {
+            from: 0.0,
+            to: 100.0,
+            duration: 100.0,
+        };
+        assert_eq!(spec.rate_at(0.0), 0.0);
+        assert_eq!(spec.rate_at(50.0), 50.0);
+        let arr = drain(&spec, 2);
+        // Integral = 5000 expected arrivals.
+        assert!((arr.len() as f64 - 5000.0).abs() < 300.0, "n={}", arr.len());
+    }
+
+    #[test]
+    fn trace_spec_duration_and_rate() {
+        let spec = WorkloadSpec::Trace {
+            per_minute: vec![60, 120, 0],
+        };
+        assert_eq!(spec.duration(), 180.0);
+        assert_eq!(spec.rate_at(30.0), 1.0);
+        assert_eq!(spec.rate_at(90.0), 2.0);
+        assert_eq!(spec.rate_at(150.0), 0.0);
+    }
+
+    #[test]
+    fn fig6_micro_staging_shape() {
+        let spec = WorkloadSpec::fig6_micro_steps(60.0);
+        assert_eq!(spec.rate_at(0.0), 5.0);
+        assert_eq!(spec.rate_at(5.5 * 60.0), 30.0);
+        assert_eq!(spec.rate_at(10.5 * 60.0), 5.0);
+        assert_eq!(spec.duration(), 11.0 * 60.0);
+    }
+
+    #[test]
+    fn fig6_mobilenet_staging_shape() {
+        let spec = WorkloadSpec::fig6_mobilenet_steps(660.0, 60.0);
+        assert_eq!(spec.rate_at(0.0), 3.0);
+        assert_eq!(spec.rate_at(660.0 + 0.5 * 60.0), 3.0);
+        assert_eq!(spec.rate_at(660.0 + 5.5 * 60.0), 8.0);
+    }
+}

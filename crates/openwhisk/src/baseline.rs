@@ -1,0 +1,679 @@
+//! The OpenWhisk sharding-pool simulation.
+
+use lass_cluster::{CpuMilli, FnId, MemMib, RequestId};
+use lass_functions::{FunctionSpec, WorkloadSpec};
+use lass_simcore::{
+    ArrivalProcess, EventQueue, SampleStats, SimDuration, SimRng, SimTime, TimeSeries,
+};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Baseline configuration (defaults mirror the paper's 3-node testbed and
+/// stock OpenWhisk behaviour).
+#[derive(Debug, Clone)]
+pub struct OwConfig {
+    /// Number of invoker (worker) nodes.
+    pub invokers: u32,
+    /// Memory per invoker (admission is memory-only, like OpenWhisk).
+    pub mem_per_invoker: MemMib,
+    /// CPU per invoker (not consulted at admission; drives slowdown).
+    pub cpu_per_invoker: CpuMilli,
+    /// CPU demand / capacity ratio beyond which a node starts thrashing.
+    pub thrash_factor: f64,
+    /// Sustained thrashing for this long makes the invoker unresponsive.
+    pub thrash_grace_secs: f64,
+    /// The controller notices an unresponsive invoker after this long and
+    /// stops scheduling to it (meanwhile requests are sent into the void).
+    pub health_timeout_secs: f64,
+    /// Idle warm containers are reclaimed after this timeout (OpenWhisk's
+    /// pause-grace/idle eviction).
+    pub idle_timeout_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OwConfig {
+    fn default() -> Self {
+        Self {
+            invokers: 3,
+            mem_per_invoker: MemMib(16 * 1024),
+            cpu_per_invoker: CpuMilli::from_cores(4.0),
+            thrash_factor: 2.0,
+            thrash_grace_secs: 10.0,
+            health_timeout_secs: 10.0,
+            idle_timeout_secs: 60.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One function deployed on the baseline.
+#[derive(Debug, Clone)]
+pub struct OwFunctionSetup {
+    /// Runtime characteristics.
+    pub spec: FunctionSpec,
+    /// Workload driving the function.
+    pub workload: WorkloadSpec,
+    /// SLO deadline (seconds) for reporting parity with LaSS runs.
+    pub slo_deadline: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtrState {
+    Starting,
+    Idle,
+    Busy,
+}
+
+#[derive(Debug)]
+struct OwContainer {
+    fn_id: FnId,
+    cpu_demand: CpuMilli,
+    mem: MemMib,
+    state: CtrState,
+    queue: VecDeque<RequestId>,
+    in_service: Option<(RequestId, u64, SimTime)>,
+    idle_since: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct Invoker {
+    mem_capacity: MemMib,
+    mem_used: MemMib,
+    containers: BTreeMap<u64, OwContainer>,
+    /// When sustained CPU overload began.
+    overload_since: Option<SimTime>,
+    /// The instant the invoker went unresponsive (never recovers, §6.6).
+    unresponsive_at: Option<SimTime>,
+    /// When the controller noticed.
+    marked_down_at: Option<SimTime>,
+}
+
+impl Invoker {
+    fn cpu_demand(&self) -> CpuMilli {
+        self.containers
+            .values()
+            .filter(|c| c.state == CtrState::Busy)
+            .map(|c| c.cpu_demand)
+            .sum()
+    }
+
+    fn is_unresponsive(&self) -> bool {
+        self.unresponsive_at.is_some()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrival(FnId),
+    Ready { invoker: u32, ctr: u64 },
+    Complete { invoker: u32, ctr: u64, seq: u64 },
+    ThrashCheck { invoker: u32 },
+    IdleSweep,
+}
+
+/// Per-function results of a baseline run.
+#[derive(Debug, Serialize)]
+pub struct OwFnReport {
+    /// Function name.
+    pub name: String,
+    /// Total arrivals.
+    pub arrivals: usize,
+    /// Completed requests.
+    pub completed: usize,
+    /// Requests sent to invokers that never answered (stalled or dropped).
+    pub lost: usize,
+    /// Waiting times of completed requests.
+    pub wait: SampleStats,
+    /// SLO violations among completed requests.
+    pub slo_violations: usize,
+}
+
+/// Results of a baseline run.
+#[derive(Debug, Serialize)]
+pub struct OwReport {
+    /// Per-function outcomes.
+    pub per_fn: BTreeMap<u32, OwFnReport>,
+    /// `(invoker, seconds)` when each invoker went unresponsive.
+    pub failures: Vec<(u32, f64)>,
+    /// The instant the last invoker died (the completed cascade), if all
+    /// did.
+    pub cascade_complete_at: Option<f64>,
+    /// Requests still unanswered at the end of the run.
+    pub outstanding: usize,
+    /// Healthy-invoker count over time.
+    pub healthy_timeline: TimeSeries,
+}
+
+/// The baseline simulation.
+pub struct OwSimulation {
+    cfg: OwConfig,
+    setups: Vec<OwFunctionSetup>,
+}
+
+struct FnRt {
+    process: Box<dyn ArrivalProcess + Send>,
+    rng: SimRng,
+    service_rng: SimRng,
+    arrivals: usize,
+    completed: usize,
+    lost: usize,
+    wait: SampleStats,
+    slo_violations: usize,
+}
+
+impl OwSimulation {
+    /// Create a baseline simulation.
+    pub fn new(cfg: OwConfig) -> Self {
+        Self {
+            cfg,
+            setups: Vec::new(),
+        }
+    }
+
+    /// Deploy a function; ids are assigned in order.
+    pub fn add_function(&mut self, setup: OwFunctionSetup) -> FnId {
+        let id = FnId(self.setups.len() as u32);
+        self.setups.push(setup);
+        id
+    }
+
+    /// Run for `duration` seconds (defaults to the longest workload).
+    pub fn run(self, duration_override: Option<f64>) -> OwReport {
+        let duration = duration_override.unwrap_or_else(|| {
+            self.setups
+                .iter()
+                .map(|s| s.workload.duration())
+                .fold(0.0f64, f64::max)
+        });
+        assert!(duration > 0.0);
+        let end = SimTime::from_secs_f64(duration);
+        let cfg = self.cfg;
+        let mut invokers: Vec<Invoker> = (0..cfg.invokers)
+            .map(|_| Invoker {
+                mem_capacity: cfg.mem_per_invoker,
+                mem_used: MemMib::ZERO,
+                containers: BTreeMap::new(),
+                overload_since: None,
+                unresponsive_at: None,
+                marked_down_at: None,
+            })
+            .collect();
+        let mut fns: BTreeMap<FnId, FnRt> = self
+            .setups
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    FnId(i as u32),
+                    FnRt {
+                        process: s.workload.build(),
+                        rng: SimRng::from_seed_label(cfg.seed, &format!("ow-arrival:{i}")),
+                        service_rng: SimRng::from_seed_label(cfg.seed, &format!("ow-service:{i}")),
+                        arrivals: 0,
+                        completed: 0,
+                        lost: 0,
+                        wait: SampleStats::new(),
+                        slo_violations: 0,
+                    },
+                )
+            })
+            .collect();
+
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut requests: HashMap<RequestId, (FnId, SimTime)> = HashMap::new();
+        let mut next_req = 0u64;
+        let mut next_ctr = 0u64;
+        let mut next_seq = 0u64;
+        let mut failures: Vec<(u32, f64)> = Vec::new();
+        let mut healthy_timeline = TimeSeries::new();
+        healthy_timeline.push(SimTime::ZERO, f64::from(cfg.invokers));
+
+        // Seed arrivals + idle sweeper.
+        for (f, rt) in fns.iter_mut() {
+            if let Some(t) = rt.process.next_after(SimTime::ZERO, &mut rt.rng) {
+                events.schedule(t, Ev::Arrival(*f));
+            }
+        }
+        events.schedule(SimTime::from_secs_f64(cfg.idle_timeout_secs), Ev::IdleSweep);
+
+        // Helpers are closures over local state via macros to keep borrow
+        // checking simple.
+        macro_rules! update_overload {
+            ($inv_idx:expr, $now:expr) => {{
+                let inv = &mut invokers[$inv_idx as usize];
+                if inv.is_unresponsive() {
+                } else {
+                    let demand = inv.cpu_demand();
+                    let limit = f64::from(cfg.cpu_per_invoker.0) * cfg.thrash_factor;
+                    if f64::from(demand.0) > limit {
+                        if inv.overload_since.is_none() {
+                            inv.overload_since = Some($now);
+                            events.schedule(
+                                $now + SimDuration::from_secs_f64(cfg.thrash_grace_secs),
+                                Ev::ThrashCheck { invoker: $inv_idx },
+                            );
+                        }
+                    } else {
+                        inv.overload_since = None;
+                    }
+                }
+            }};
+        }
+
+        macro_rules! try_start {
+            ($inv_idx:expr, $cid:expr, $now:expr) => {{
+                let spec = &self.setups;
+                let inv = &mut invokers[$inv_idx as usize];
+                if !inv.is_unresponsive() {
+                    // Proportional-share slowdown once CPU is oversubscribed.
+                    let cap = f64::from(cfg.cpu_per_invoker.0);
+                    if let Some(c) = inv.containers.get_mut(&$cid) {
+                        if c.state == CtrState::Idle {
+                            if let Some(rid) = c.queue.pop_front() {
+                                c.state = CtrState::Busy;
+                                c.idle_since = None;
+                                let fn_id = c.fn_id;
+                                let seq = next_seq;
+                                next_seq += 1;
+                                c.in_service = Some((rid, seq, $now));
+                                let demand = f64::from(inv.cpu_demand().0);
+                                let slowdown = (demand / cap).max(1.0);
+                                let rt = fns.get_mut(&fn_id).expect("known fn");
+                                let dur = spec[fn_id.0 as usize]
+                                    .spec
+                                    .service
+                                    .sample(0.0, &mut rt.service_rng)
+                                    * slowdown;
+                                events.schedule(
+                                    $now + SimDuration::from_secs_f64(dur),
+                                    Ev::Complete {
+                                        invoker: $inv_idx,
+                                        ctr: $cid,
+                                        seq,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                update_overload!($inv_idx, $now);
+            }};
+        }
+
+        while let Some((now, ev)) = events.pop() {
+            if now > end + SimDuration::from_secs(60) {
+                break;
+            }
+            match ev {
+                Ev::Arrival(f) => {
+                    let rid = RequestId(next_req);
+                    next_req += 1;
+                    requests.insert(rid, (f, now));
+                    fns.get_mut(&f).expect("known fn").arrivals += 1;
+
+                    // Sharding-pool: home invoker + ring probing over
+                    // invokers the controller believes healthy.
+                    let spec = &self.setups[f.0 as usize].spec;
+                    let home = (u64::from(f.0).wrapping_mul(2_654_435_761) % u64::from(cfg.invokers))
+                        as u32;
+                    let mut placed = false;
+                    for probe in 0..cfg.invokers {
+                        let idx = (home + probe) % cfg.invokers;
+                        let believed_down = invokers[idx as usize]
+                            .marked_down_at
+                            .is_some_and(|t| t <= now);
+                        if believed_down {
+                            continue;
+                        }
+                        // Warm idle container?
+                        let warm = invokers[idx as usize]
+                            .containers
+                            .iter()
+                            .find(|(_, c)| c.fn_id == f && c.state == CtrState::Idle)
+                            .map(|(id, _)| *id);
+                        if let Some(cid) = warm {
+                            invokers[idx as usize]
+                                .containers
+                                .get_mut(&cid)
+                                .expect("warm exists")
+                                .queue
+                                .push_back(rid);
+                            try_start!(idx, cid, now);
+                            placed = true;
+                            break;
+                        }
+                        // Busy container of the same function? queue on the
+                        // least-loaded one (container reuse).
+                        let busy = invokers[idx as usize]
+                            .containers
+                            .iter()
+                            .filter(|(_, c)| c.fn_id == f && c.state != CtrState::Starting)
+                            .min_by_key(|(id, c)| (c.queue.len(), **id))
+                            .map(|(id, _)| *id);
+                        // Memory-only admission for a new container.
+                        let fits = {
+                            let inv = &invokers[idx as usize];
+                            spec.standard_mem <= inv.mem_capacity.saturating_sub(inv.mem_used)
+                        };
+                        if fits {
+                            let inv = &mut invokers[idx as usize];
+                            inv.mem_used += spec.standard_mem;
+                            let cid = next_ctr;
+                            next_ctr += 1;
+                            let mut q = VecDeque::new();
+                            q.push_back(rid);
+                            inv.containers.insert(
+                                cid,
+                                OwContainer {
+                                    fn_id: f,
+                                    cpu_demand: spec
+                                        .standard_cpu
+                                        .scale(spec.service.demand_fraction),
+                                    mem: spec.standard_mem,
+                                    state: CtrState::Starting,
+                                    queue: q,
+                                    in_service: None,
+                                    idle_since: None,
+                                },
+                            );
+                            events.schedule(
+                                now + spec.cold_start,
+                                Ev::Ready {
+                                    invoker: idx,
+                                    ctr: cid,
+                                },
+                            );
+                            placed = true;
+                            break;
+                        }
+                        if let Some(cid) = busy {
+                            invokers[idx as usize]
+                                .containers
+                                .get_mut(&cid)
+                                .expect("busy exists")
+                                .queue
+                                .push_back(rid);
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        fns.get_mut(&f).expect("known fn").lost += 1;
+                        requests.remove(&rid);
+                    }
+                    // Next arrival.
+                    let rt = fns.get_mut(&f).expect("known fn");
+                    if let Some(t) = rt.process.next_after(now, &mut rt.rng) {
+                        events.schedule(t, Ev::Arrival(f));
+                    }
+                }
+                Ev::Ready { invoker, ctr } => {
+                    let inv = &mut invokers[invoker as usize];
+                    if inv.is_unresponsive() {
+                        continue;
+                    }
+                    if let Some(c) = inv.containers.get_mut(&ctr) {
+                        if c.state == CtrState::Starting {
+                            c.state = CtrState::Idle;
+                            c.idle_since = Some(now);
+                        }
+                    }
+                    try_start!(invoker, ctr, now);
+                }
+                Ev::Complete { invoker, ctr, seq } => {
+                    if invokers[invoker as usize].is_unresponsive() {
+                        continue; // stalled forever
+                    }
+                    let Some(c) = invokers[invoker as usize].containers.get_mut(&ctr) else {
+                        continue;
+                    };
+                    let valid = matches!(c.in_service, Some((_, s, _)) if s == seq);
+                    if !valid {
+                        continue;
+                    }
+                    let (rid, _, started) = c.in_service.take().expect("validated");
+                    c.state = CtrState::Idle;
+                    c.idle_since = Some(now);
+                    let f = c.fn_id;
+                    if let Some((_, arrival)) = requests.remove(&rid) {
+                        let wait = started.saturating_since(arrival).as_secs_f64();
+                        let rt = fns.get_mut(&f).expect("known fn");
+                        rt.completed += 1;
+                        rt.wait.record(wait);
+                        if wait > self.setups[f.0 as usize].slo_deadline {
+                            rt.slo_violations += 1;
+                        }
+                    }
+                    try_start!(invoker, ctr, now);
+                }
+                Ev::ThrashCheck { invoker } => {
+                    let trip = {
+                        let inv = &invokers[invoker as usize];
+                        !inv.is_unresponsive()
+                            && inv.overload_since.is_some_and(|s| {
+                                now.saturating_since(s).as_secs_f64()
+                                    >= cfg.thrash_grace_secs - 1e-9
+                            })
+                    };
+                    if trip {
+                        let inv = &mut invokers[invoker as usize];
+                        inv.unresponsive_at = Some(now);
+                        inv.marked_down_at = Some(
+                            now + SimDuration::from_secs_f64(cfg.health_timeout_secs),
+                        );
+                        failures.push((invoker, now.as_secs_f64()));
+                        let healthy = invokers
+                            .iter()
+                            .filter(|i| !i.is_unresponsive())
+                            .count();
+                        healthy_timeline.push(now, healthy as f64);
+                    }
+                }
+                Ev::IdleSweep => {
+                    for inv in invokers.iter_mut() {
+                        if inv.is_unresponsive() {
+                            continue;
+                        }
+                        let expired: Vec<u64> = inv
+                            .containers
+                            .iter()
+                            .filter(|(_, c)| {
+                                c.state == CtrState::Idle
+                                    && c.queue.is_empty()
+                                    && c.idle_since.is_some_and(|t| {
+                                        now.saturating_since(t).as_secs_f64()
+                                            >= cfg.idle_timeout_secs
+                                    })
+                            })
+                            .map(|(id, _)| *id)
+                            .collect();
+                        for cid in expired {
+                            let c = inv.containers.remove(&cid).expect("listed");
+                            inv.mem_used -= c.mem;
+                        }
+                    }
+                    if now < end {
+                        events.schedule(
+                            now + SimDuration::from_secs_f64(cfg.idle_timeout_secs),
+                            Ev::IdleSweep,
+                        );
+                    }
+                }
+            }
+        }
+
+        let cascade_complete_at = if failures.len() == cfg.invokers as usize {
+            failures.iter().map(|&(_, t)| t).fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+        } else {
+            None
+        };
+        OwReport {
+            per_fn: fns
+                .into_iter()
+                .map(|(f, rt)| {
+                    (
+                        f.0,
+                        OwFnReport {
+                            name: self.setups[f.0 as usize].spec.name.clone(),
+                            arrivals: rt.arrivals,
+                            completed: rt.completed,
+                            lost: rt.lost,
+                            wait: rt.wait,
+                            slo_violations: rt.slo_violations,
+                        },
+                    )
+                })
+                .collect(),
+            failures,
+            cascade_complete_at,
+            outstanding: requests.len(),
+            healthy_timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lass_functions::{binary_alert, mobilenet_v2};
+
+    fn light_setup() -> OwFunctionSetup {
+        OwFunctionSetup {
+            spec: binary_alert(),
+            workload: WorkloadSpec::Static {
+                rate: 10.0,
+                duration: 120.0,
+            },
+            slo_deadline: 0.1,
+        }
+    }
+
+    #[test]
+    fn light_load_completes_without_failures() {
+        let mut sim = OwSimulation::new(OwConfig::default());
+        sim.add_function(light_setup());
+        let report = sim.run(Some(120.0));
+        assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+        let f = &report.per_fn[&0];
+        assert!(f.completed as f64 >= f.arrivals as f64 * 0.95);
+        assert_eq!(f.lost, 0);
+    }
+
+    #[test]
+    fn cpu_heavy_burst_causes_cascading_failure() {
+        // The §6.6 scenario: MobileNet (2 vCPU demand, 1 GB) at a rate that
+        // needs far more CPU than one node has. Memory admits ~16
+        // containers per node => massive CPU oversubscription => thrash.
+        let mut sim = OwSimulation::new(OwConfig::default());
+        sim.add_function(light_setup());
+        sim.add_function(OwFunctionSetup {
+            spec: mobilenet_v2(),
+            workload: WorkloadSpec::Steps {
+                steps: vec![(0.0, 0.0), (30.0, 40.0)],
+                duration: 600.0,
+            },
+            slo_deadline: 0.1,
+        });
+        let report = sim.run(Some(600.0));
+        assert!(
+            !report.failures.is_empty(),
+            "expected at least one invoker failure"
+        );
+        assert!(
+            report.failures.len() >= 2,
+            "cascade should spread: {:?}",
+            report.failures
+        );
+        // Failures happen in sequence, not simultaneously.
+        if report.failures.len() >= 2 {
+            assert!(report.failures[0].1 < report.failures[1].1);
+        }
+        // Requests are lost/stalled.
+        assert!(report.outstanding > 0 || report.per_fn[&1].lost > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = OwSimulation::new(OwConfig::default());
+            sim.add_function(light_setup());
+            sim.run(Some(60.0))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.per_fn[&0].arrivals, b.per_fn[&0].arrivals);
+        assert_eq!(a.per_fn[&0].completed, b.per_fn[&0].completed);
+    }
+
+    #[test]
+    fn memory_only_admission_overpacks_cpu() {
+        // 16 GB / 1 GB admits ~16 MobileNet containers per node even though
+        // CPU supports only 2 — the §6.6 root cause. Verify the baseline
+        // actually over-packs (slowdowns + eventual thrash) instead of
+        // rejecting on CPU.
+        let mut sim = OwSimulation::new(OwConfig {
+            thrash_grace_secs: 1e9, // never trip: observe pure over-packing
+            ..OwConfig::default()
+        });
+        sim.add_function(OwFunctionSetup {
+            spec: mobilenet_v2(),
+            workload: WorkloadSpec::Static {
+                rate: 30.0,
+                duration: 120.0,
+            },
+            slo_deadline: 0.1,
+        });
+        let report = sim.run(Some(120.0));
+        let f = &report.per_fn[&0];
+        // Requests are admitted (not lost) far beyond CPU capacity...
+        assert_eq!(f.lost, 0, "memory admits everything");
+        // ...but completions lag badly because of the CPU slowdown.
+        assert!(
+            (f.completed as f64) < f.arrivals as f64 * 0.9,
+            "over-packing should visibly degrade throughput: {}/{}",
+            f.completed,
+            f.arrivals
+        );
+    }
+
+    #[test]
+    fn functions_shard_to_different_home_invokers() {
+        // Light load on two functions: both complete fine and no failures —
+        // the sharding hash sends them to their own invokers.
+        let mut sim = OwSimulation::new(OwConfig::default());
+        sim.add_function(light_setup());
+        sim.add_function(OwFunctionSetup {
+            spec: lass_functions::geofence(),
+            workload: WorkloadSpec::Static {
+                rate: 20.0,
+                duration: 120.0,
+            },
+            slo_deadline: 0.1,
+        });
+        let report = sim.run(Some(120.0));
+        assert!(report.failures.is_empty());
+        for f in report.per_fn.values() {
+            assert!(f.completed as f64 >= f.arrivals as f64 * 0.95);
+        }
+    }
+
+    #[test]
+    fn idle_containers_are_swept() {
+        let mut sim = OwSimulation::new(OwConfig::default());
+        // Short burst then silence.
+        sim.add_function(OwFunctionSetup {
+            spec: binary_alert(),
+            workload: WorkloadSpec::Static {
+                rate: 20.0,
+                duration: 30.0,
+            },
+            slo_deadline: 0.1,
+        });
+        let report = sim.run(Some(300.0));
+        let f = &report.per_fn[&0];
+        assert!(f.completed > 400);
+        assert!(report.failures.is_empty());
+    }
+}

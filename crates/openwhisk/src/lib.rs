@@ -1,0 +1,23 @@
+//! Vanilla-OpenWhisk baseline scheduler (§6.6 of the LaSS paper).
+//!
+//! The paper compares LaSS against off-the-shelf Apache OpenWhisk and
+//! observes a **cascading invoker failure**: OpenWhisk's sharding-pool load
+//! balancer (a) pins each function to a "home" invoker to maximize
+//! container reuse and (b) admits containers based on *memory only*,
+//! ignoring CPU. A CPU-heavy function (MobileNet: 2 vCPU, 1 GB) therefore
+//! over-packs a 4-core/16 GB node long before memory runs out; the node
+//! thrashes and its invoker goes unresponsive; the controller shifts the
+//! whole workload to the next invoker, which then fails the same way,
+//! until every invoker is down.
+//!
+//! This crate reproduces that mechanism with an invoker-level simulation:
+//! memory-slot admission, home-invoker sharding with ring probing,
+//! proportional-share CPU slowdown under oversubscription, and a
+//! thrash-to-unresponsive transition after sustained CPU overload.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+
+pub use baseline::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};

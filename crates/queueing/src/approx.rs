@@ -1,0 +1,300 @@
+//! General-distribution queueing approximations — the paper's stated
+//! future work (§8: "we have only considered Poisson arrival and service
+//! processes. We can generalize our models to other inter-arrival/service
+//! time distributions").
+//!
+//! For non-exponential service (M/G/c) and non-Poisson arrivals (G/G/c)
+//! there is no closed-form waiting distribution, so we use the standard
+//! engineering approximations:
+//!
+//! * **Allen–Cunneen / Kingman correction** — the mean wait scales the
+//!   M/M/c mean by `(cₐ² + cₛ²)/2`, where `cₐ²`/`cₛ²` are the squared
+//!   coefficients of variation of inter-arrival and service times
+//!   (`cₐ² = 1` for Poisson, `cₛ² = 0` for deterministic service, `1` for
+//!   exponential — where the formula collapses to exact M/M/c).
+//! * **Exponential conditional-wait tail** — `P(W > t) ≈ P(W > 0) ·
+//!   exp(−t / E[W | W > 0])`, exact for M/M/c and a good fit for moderate
+//!   variability; this yields the waiting-percentile bound the container
+//!   solver needs.
+
+use crate::mmc::{MmcQueue, QueueError};
+use crate::solver::{SolverConfig, SolverError, SolverResult};
+use serde::{Deserialize, Serialize};
+
+/// Variability description of a workload: squared coefficients of
+/// variation of inter-arrival and service times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variability {
+    /// Squared CV of inter-arrival times (1 = Poisson).
+    pub ca2: f64,
+    /// Squared CV of service times (1 = exponential, 0 = deterministic).
+    pub cs2: f64,
+}
+
+impl Variability {
+    /// Poisson arrivals, exponential service — the exact M/M/c case.
+    pub const MARKOVIAN: Variability = Variability { ca2: 1.0, cs2: 1.0 };
+
+    /// Poisson arrivals, deterministic service (M/D/c).
+    pub const DETERMINISTIC_SERVICE: Variability = Variability { ca2: 1.0, cs2: 0.0 };
+
+    /// Build from a service-time coefficient of variation (Poisson
+    /// arrivals): `cs2 = cv²`.
+    pub fn from_service_cv(cv: f64) -> Self {
+        assert!(cv >= 0.0 && cv.is_finite());
+        Variability {
+            ca2: 1.0,
+            cs2: cv * cv,
+        }
+    }
+
+    /// The Allen–Cunneen correction factor `(ca² + cs²) / 2`.
+    pub fn correction(&self) -> f64 {
+        (self.ca2 + self.cs2) / 2.0
+    }
+}
+
+/// Approximate G/G/c queue built on the exact M/M/c backbone.
+#[derive(Debug, Clone)]
+pub struct GgcApprox {
+    backbone: MmcQueue,
+    variability: Variability,
+}
+
+impl GgcApprox {
+    /// Build the approximation. Validation matches [`MmcQueue::new`].
+    pub fn new(
+        lambda: f64,
+        mu: f64,
+        c: u32,
+        variability: Variability,
+    ) -> Result<Self, QueueError> {
+        assert!(
+            variability.ca2 >= 0.0 && variability.cs2 >= 0.0,
+            "squared CVs must be non-negative"
+        );
+        Ok(Self {
+            backbone: MmcQueue::new(lambda, mu, c)?,
+            variability,
+        })
+    }
+
+    /// The underlying exact M/M/c model.
+    pub fn backbone(&self) -> &MmcQueue {
+        &self.backbone
+    }
+
+    /// Whether the system is stable.
+    pub fn is_stable(&self) -> bool {
+        self.backbone.is_stable()
+    }
+
+    /// Approximate mean wait: Allen–Cunneen scaling of the M/M/c mean.
+    pub fn mean_wait(&self) -> f64 {
+        self.backbone.mean_wait() * self.variability.correction()
+    }
+
+    /// Probability an arriving request waits at all. The delay probability
+    /// is kept at the Erlang-C value (the standard choice; variability
+    /// mostly stretches the conditional wait, not the chance of queueing).
+    pub fn wait_probability(&self) -> f64 {
+        self.backbone.erlang_c()
+    }
+
+    /// Approximate `P(W ≤ t)` via the exponential conditional-wait tail.
+    /// Exact for `Variability::MARKOVIAN`.
+    pub fn wait_cdf(&self, t: f64) -> f64 {
+        assert!(t >= 0.0);
+        if !self.is_stable() {
+            return 0.0;
+        }
+        let pw = self.wait_probability();
+        if pw <= 0.0 {
+            return 1.0;
+        }
+        let mean_wait = self.mean_wait();
+        if mean_wait <= 0.0 {
+            return 1.0;
+        }
+        // E[W | W > 0] = E[W] / P(W > 0).
+        let cond = mean_wait / pw;
+        (1.0 - pw * (-t / cond).exp()).clamp(0.0, 1.0)
+    }
+
+    /// Smallest `t` with `P(W ≤ t) ≥ p`.
+    pub fn wait_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p));
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let pw = self.wait_probability();
+        if pw <= 1.0 - p {
+            return 0.0;
+        }
+        let cond = self.mean_wait() / pw;
+        cond * (pw / (1.0 - p)).ln()
+    }
+}
+
+/// Container solver for general distributions: the smallest `c` whose
+/// approximate `P(W ≤ t)` meets the target percentile. With
+/// `Variability::MARKOVIAN` this mirrors Algorithm 1 on the exact
+/// waiting-time CDF.
+pub fn required_containers_general(
+    lambda: f64,
+    mu: f64,
+    variability: Variability,
+    t: f64,
+    cfg: &SolverConfig,
+) -> Result<SolverResult, SolverError> {
+    if t <= 0.0 || t.is_nan() {
+        return Err(SolverError::BudgetExhausted { budget: t });
+    }
+    let r = lambda / mu;
+    let mut c = (r.floor() as u32).saturating_add(1).max(1);
+    let mut iterations = 0u32;
+    let mut best = 0.0f64;
+    while c <= cfg.max_containers {
+        iterations += 1;
+        let q = GgcApprox::new(lambda, mu, c, variability).map_err(SolverError::from)?;
+        let p = q.wait_cdf(t);
+        best = best.max(p);
+        if p >= cfg.target_percentile {
+            return Ok(SolverResult {
+                containers: c,
+                achieved: p,
+                iterations,
+            });
+        }
+        c += 1;
+    }
+    Err(SolverError::Infeasible {
+        max_containers: cfg.max_containers,
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::required_containers_exact;
+
+    #[test]
+    fn markovian_case_matches_exact_mmc() {
+        let q = GgcApprox::new(20.0, 5.0, 6, Variability::MARKOVIAN).unwrap();
+        let exact = MmcQueue::new(20.0, 5.0, 6).unwrap();
+        assert!((q.mean_wait() - exact.mean_wait()).abs() < 1e-12);
+        for &t in &[0.0, 0.05, 0.1, 0.5] {
+            assert!(
+                (q.wait_cdf(t) - exact.wait_cdf(t)).abs() < 1e-12,
+                "t={t}"
+            );
+        }
+        assert!((q.wait_percentile(0.95) - exact.wait_percentile(0.95)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_service_halves_the_wait() {
+        let md = GgcApprox::new(20.0, 5.0, 6, Variability::DETERMINISTIC_SERVICE).unwrap();
+        let mm = MmcQueue::new(20.0, 5.0, 6).unwrap();
+        assert!((md.mean_wait() - mm.mean_wait() / 2.0).abs() < 1e-12);
+        // Shorter waits => higher CDF everywhere.
+        for &t in &[0.01, 0.05, 0.1] {
+            assert!(md.wait_cdf(t) >= mm.wait_cdf(t));
+        }
+    }
+
+    #[test]
+    fn heavier_variability_needs_more_containers() {
+        let cfg = SolverConfig::default();
+        let low = required_containers_general(
+            40.0,
+            10.0,
+            Variability::from_service_cv(0.5),
+            0.05,
+            &cfg,
+        )
+        .unwrap();
+        let mid = required_containers_general(40.0, 10.0, Variability::MARKOVIAN, 0.05, &cfg)
+            .unwrap();
+        let high = required_containers_general(
+            40.0,
+            10.0,
+            Variability::from_service_cv(2.0),
+            0.05,
+            &cfg,
+        )
+        .unwrap();
+        assert!(low.containers <= mid.containers);
+        assert!(mid.containers <= high.containers);
+        assert!(
+            high.containers > low.containers,
+            "cv=2 ({}c) must need more than cv=0.5 ({}c)",
+            high.containers,
+            low.containers
+        );
+    }
+
+    #[test]
+    fn markovian_solver_close_to_algorithm1() {
+        // Same target on the exact CDF vs the paper's Eq-4 bound: answers
+        // agree within one container across a sweep.
+        let cfg = SolverConfig::default();
+        for i in 1..=8 {
+            let lambda = f64::from(i) * 10.0;
+            let a = required_containers_general(lambda, 10.0, Variability::MARKOVIAN, 0.1, &cfg)
+                .unwrap();
+            let b = required_containers_exact(lambda, 10.0, 0.1, &cfg).unwrap();
+            let diff = (i64::from(a.containers) - i64::from(b.containers)).abs();
+            assert!(diff <= 1, "λ={lambda}: general {} vs alg1 {}", a.containers, b.containers);
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_also_increase_the_requirement() {
+        let cfg = SolverConfig::default();
+        let poisson =
+            required_containers_general(40.0, 10.0, Variability::MARKOVIAN, 0.05, &cfg).unwrap();
+        let bursty = required_containers_general(
+            40.0,
+            10.0,
+            Variability { ca2: 4.0, cs2: 1.0 },
+            0.05,
+            &cfg,
+        )
+        .unwrap();
+        assert!(bursty.containers > poisson.containers);
+    }
+
+    #[test]
+    fn percentile_inverts_cdf() {
+        let q = GgcApprox::new(30.0, 5.0, 8, Variability::from_service_cv(1.5)).unwrap();
+        for &p in &[0.5, 0.9, 0.99] {
+            let t = q.wait_percentile(p);
+            if t > 0.0 {
+                assert!((q.wait_cdf(t) - p).abs() < 1e-9, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_limits() {
+        let q = GgcApprox::new(100.0, 5.0, 3, Variability::MARKOVIAN).unwrap();
+        assert!(!q.is_stable());
+        assert_eq!(q.wait_cdf(1.0), 0.0);
+        assert_eq!(q.wait_percentile(0.9), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let err = required_containers_general(
+            10.0,
+            10.0,
+            Variability::MARKOVIAN,
+            0.0,
+            &SolverConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::BudgetExhausted { .. }));
+    }
+}

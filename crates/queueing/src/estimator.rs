@@ -1,0 +1,277 @@
+//! Arrival-rate estimation.
+//!
+//! LaSS feeds its queueing models with an arrival-rate estimate that is
+//! (a) smoothed across epochs with an exponential weighted moving average
+//! (§3.3) and (b) made burst-reactive with the dual sliding-window scheme
+//! the prototype borrows from Knative (§5): a 2-minute long window and a
+//! 10-second short window are both maintained; when the short-window rate
+//! is at least twice the long-window rate, the estimator switches to the
+//! short window.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Exponential weighted moving average over per-epoch observations, with a
+/// high weight `alpha` on the most recent epoch (§3.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing weight `alpha ∈ (0, 1]` applied to the
+    /// newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA weight must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Fold in one observation and return the updated average. The first
+    /// observation seeds the average directly.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, if any observation has been folded in.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Drop all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Burst-aware arrival-rate estimator with a long and a short sliding
+/// window (§5 of the paper; defaults: 120 s long, 10 s short, burst when
+/// the short-window rate is ≥ 2× the long-window rate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DualWindowEstimator {
+    long_window: f64,
+    short_window: f64,
+    burst_factor: f64,
+    /// (bucket timestamp, arrivals recorded at that timestamp).
+    buckets: VecDeque<(f64, u64)>,
+    /// When coverage began (defaults to the first bucket's timestamp; set
+    /// explicitly with [`DualWindowEstimator::set_origin`] when monitoring
+    /// starts at a known instant).
+    origin: Option<f64>,
+}
+
+impl Default for DualWindowEstimator {
+    fn default() -> Self {
+        Self::new(120.0, 10.0, 2.0)
+    }
+}
+
+impl DualWindowEstimator {
+    /// Create an estimator with the given window lengths (seconds) and
+    /// burst-detection factor.
+    pub fn new(long_window: f64, short_window: f64, burst_factor: f64) -> Self {
+        assert!(long_window > 0.0 && short_window > 0.0);
+        assert!(
+            short_window <= long_window,
+            "short window must not exceed the long window"
+        );
+        assert!(burst_factor >= 1.0);
+        Self {
+            long_window,
+            short_window,
+            burst_factor,
+            buckets: VecDeque::new(),
+            origin: None,
+        }
+    }
+
+    /// Declare when monitoring coverage began. A bucket recorded at time
+    /// `t` is taken to cover `(previous bucket or origin, t]`; without an
+    /// explicit origin, the first bucket's timestamp is used, which
+    /// *overestimates* early rates slightly (the first bucket's own span
+    /// is unknown). The LaSS controller sets the origin to 0.
+    pub fn set_origin(&mut self, t: f64) {
+        self.origin = Some(t);
+    }
+
+    /// Record `arrivals` new requests observed at time `now` (seconds).
+    /// Timestamps must be non-decreasing.
+    pub fn record(&mut self, now: f64, arrivals: u64) {
+        if let Some(&(last, _)) = self.buckets.back() {
+            assert!(now >= last, "timestamps must be non-decreasing");
+        }
+        self.origin.get_or_insert(now);
+        self.buckets.push_back((now, arrivals));
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: f64) {
+        let horizon = now - self.long_window;
+        while let Some(&(t, _)) = self.buckets.front() {
+            if t < horizon {
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn window_rate(&self, now: f64, window: f64) -> f64 {
+        let Some(origin) = self.origin else {
+            return 0.0;
+        };
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        // Before a full window has elapsed, divide by the covered span so
+        // cold-start rates are not underestimated.
+        let covered = (now - origin).max(1e-9);
+        let effective = window.min(covered).max(1e-9);
+        let horizon = now - window;
+        let count: u64 = self
+            .buckets
+            .iter()
+            .filter(|&&(t, _)| t > horizon)
+            .map(|&(_, n)| n)
+            .sum();
+        count as f64 / effective
+    }
+
+    /// Rate over the long window (requests/second).
+    pub fn long_rate(&self, now: f64) -> f64 {
+        self.window_rate(now, self.long_window)
+    }
+
+    /// Rate over the short window (requests/second).
+    pub fn short_rate(&self, now: f64) -> f64 {
+        self.window_rate(now, self.short_window)
+    }
+
+    /// Whether a burst is in progress (short-window rate ≥ factor × long).
+    pub fn is_burst(&self, now: f64) -> bool {
+        let long = self.long_rate(now);
+        let short = self.short_rate(now);
+        long > 0.0 && short >= self.burst_factor * long
+    }
+
+    /// The burst-aware estimate: the short-window rate during a burst, the
+    /// long-window rate otherwise (§5).
+    pub fn rate(&self, now: f64) -> f64 {
+        if self.is_burst(now) {
+            self.short_rate(now)
+        } else {
+            self.long_rate(now)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_seeds_with_first_observation() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(10.0), 10.0);
+        assert_eq!(e.observe(20.0), 15.0);
+        assert_eq!(e.observe(20.0), 17.5);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.observe(5.0);
+        assert_eq!(e.observe(9.0), 9.0);
+    }
+
+    #[test]
+    fn ewma_reset() {
+        let mut e = Ewma::new(0.3);
+        e.observe(4.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    /// Record `rate` req/s over (`from`, `to`], stamping each bucket at the
+    /// *end* of its tick interval (the convention the controller uses).
+    fn feed_constant(est: &mut DualWindowEstimator, rate: f64, from: f64, to: f64, tick: f64) {
+        let mut t = from + tick;
+        while t <= to + 1e-9 {
+            est.record(t, (rate * tick).round() as u64);
+            t += tick;
+        }
+    }
+
+    #[test]
+    fn steady_rate_is_recovered() {
+        let mut est = DualWindowEstimator::default();
+        feed_constant(&mut est, 10.0, 0.0, 240.0, 5.0);
+        let r = est.rate(240.0);
+        assert!((r - 10.0).abs() < 1.0, "rate={r}");
+        assert!(!est.is_burst(240.0));
+    }
+
+    #[test]
+    fn burst_switches_to_short_window() {
+        let mut est = DualWindowEstimator::default();
+        feed_constant(&mut est, 10.0, 0.0, 200.0, 5.0);
+        // Load jumps 5x for the last 10 seconds.
+        feed_constant(&mut est, 50.0, 200.0, 210.0, 5.0);
+        assert!(est.is_burst(210.0), "short={} long={}", est.short_rate(210.0), est.long_rate(210.0));
+        let r = est.rate(210.0);
+        assert!(r > 35.0, "burst-aware rate should follow short window: {r}");
+    }
+
+    #[test]
+    fn small_increase_stays_on_long_window() {
+        let mut est = DualWindowEstimator::default();
+        feed_constant(&mut est, 10.0, 0.0, 200.0, 5.0);
+        feed_constant(&mut est, 11.0, 200.0, 210.0, 5.0); // +10%, below 2x
+        assert!(!est.is_burst(210.0));
+        let r = est.rate(210.0);
+        assert!(r < 12.0, "rate={r}");
+    }
+
+    #[test]
+    fn cold_start_rate_uses_covered_span() {
+        let mut est = DualWindowEstimator::default();
+        est.record(0.0, 0);
+        est.record(5.0, 50); // 50 arrivals in 5 s -> ~10/s
+        let r = est.long_rate(5.0);
+        assert!((r - 10.0).abs() < 2.0, "rate={r}");
+    }
+
+    #[test]
+    fn old_buckets_are_evicted() {
+        let mut est = DualWindowEstimator::new(20.0, 5.0, 2.0);
+        feed_constant(&mut est, 100.0, 0.0, 30.0, 1.0);
+        feed_constant(&mut est, 1.0, 30.0, 60.0, 1.0);
+        // After 30s of quiet, the noisy prefix is gone from the 20 s window.
+        let r = est.long_rate(60.0);
+        assert!(r < 2.0, "rate={r}");
+        assert!(est.buckets.len() <= 22);
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        let est = DualWindowEstimator::default();
+        assert_eq!(est.rate(100.0), 0.0);
+        assert!(!est.is_burst(100.0));
+    }
+}

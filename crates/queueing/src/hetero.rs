@@ -1,0 +1,529 @@
+//! Worst-case bounds for *heterogeneous* M/M/c queues (Alves et al. 2011),
+//! as used by LaSS when container deflation leaves a function with
+//! containers of unequal size (§3.2, Eq. 5–6).
+//!
+//! The bound assumes an adversarial scheduler that always occupies the
+//! slowest containers first, which upper-bounds the state probabilities and
+//! hence lower-bounds `P(Q ≤ t)`; provisioning against it is conservative.
+//!
+//! Two evaluation strategies are provided:
+//!
+//! * [`HeteroMmc`] — incremental **log-space** recurrences, numerically
+//!   stable to thousands of containers (the paper's "Julia" implementation
+//!   analogue, cf. §6.3),
+//! * [`HeteroMmcNaive`] — direct floating-point products of Eq. 5–6 (the
+//!   "Scala" implementation analogue, which the paper reports "was not able
+//!   to compute the results in some cases due to its precision
+//!   limitations"). Kept public so the scalability experiment (Fig. 5) and
+//!   the solver-ablation bench can reproduce the breakdown.
+
+use crate::mmc::{log_sum_exp, QueueError};
+use crate::solver::{SolverConfig, SolverError, SolverResult};
+
+/// Worst-case heterogeneous M/M/c model, log-space implementation.
+///
+/// Container service rates are sorted ascending internally (the bound is
+/// defined in terms of the slowest-first prefix sums `S_k = Σ_{j≤k} μ_j`).
+#[derive(Debug, Clone)]
+pub struct HeteroMmc {
+    lambda: f64,
+    /// Sorted ascending.
+    mus: Vec<f64>,
+    /// Prefix sums `S_k` for `k = 1..=c` (index 0 → S_1).
+    prefix: Vec<f64>,
+    /// `log_terms[n] = ln(λ^n / Π_{k≤n} S_k)` for `0 ≤ n ≤ c`.
+    log_terms: Vec<f64>,
+    /// Log normalization constant (∞ when unstable).
+    log_z: f64,
+}
+
+impl HeteroMmc {
+    /// Build the model from the arrival rate and per-container service
+    /// rates (any order; they are sorted internally).
+    pub fn new(lambda: f64, mut mus: Vec<f64>) -> Result<Self, QueueError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(QueueError::InvalidArrivalRate);
+        }
+        if mus.is_empty() {
+            return Err(QueueError::ZeroServers);
+        }
+        if mus.iter().any(|m| !(m.is_finite() && *m > 0.0)) {
+            return Err(QueueError::InvalidServiceRate);
+        }
+        mus.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        let mut model = Self {
+            lambda,
+            mus: Vec::new(),
+            prefix: Vec::new(),
+            log_terms: vec![0.0],
+            log_z: f64::INFINITY,
+        };
+        for mu in mus {
+            model.push_container_unnormalized(mu);
+        }
+        model.renormalize();
+        Ok(model)
+    }
+
+    /// Append one container of rate `mu` (O(c) due to re-sorting only when
+    /// needed; O(1) amortized when appending the fastest rate, which is the
+    /// controller's common case of adding standard-size containers).
+    pub fn push_container(&mut self, mu: f64) {
+        assert!(mu.is_finite() && mu > 0.0, "service rate must be positive");
+        if self.mus.last().is_some_and(|&last| mu < last) {
+            // Slower than an existing container: rebuild sorted.
+            let mut mus = self.mus.clone();
+            mus.push(mu);
+            *self = Self::new(self.lambda, mus).expect("rates already validated");
+        } else {
+            self.push_container_unnormalized(mu);
+            self.renormalize();
+        }
+    }
+
+    fn push_container_unnormalized(&mut self, mu: f64) {
+        let s_prev = self.prefix.last().copied().unwrap_or(0.0);
+        let s = s_prev + mu;
+        self.mus.push(mu);
+        self.prefix.push(s);
+        let last = *self.log_terms.last().expect("log_terms starts non-empty");
+        self.log_terms.push(last + self.lambda.ln() - s.ln());
+    }
+
+    fn renormalize(&mut self) {
+        let c = self.mus.len();
+        let rho = self.lambda / self.prefix[c - 1];
+        self.log_z = if rho < 1.0 {
+            let tail = self.log_terms[c] - (1.0 - rho).ln();
+            let mut items: Vec<f64> = self.log_terms[..c].to_vec();
+            items.push(tail);
+            log_sum_exp(&items)
+        } else {
+            f64::INFINITY
+        };
+    }
+
+    /// Number of containers.
+    #[inline]
+    pub fn servers(&self) -> usize {
+        self.mus.len()
+    }
+
+    /// Arrival rate λ.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Sorted (ascending) per-container service rates.
+    #[inline]
+    pub fn rates(&self) -> &[f64] {
+        &self.mus
+    }
+
+    /// Aggregate service rate `S_c = Σ μ_j`.
+    #[inline]
+    pub fn aggregate_rate(&self) -> f64 {
+        *self.prefix.last().expect("at least one container")
+    }
+
+    /// Worst-case utilization `λ / S_c`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.aggregate_rate()
+    }
+
+    /// Whether the worst-case system is stable.
+    #[inline]
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Upper-bound probability of an empty system.
+    pub fn p0(&self) -> f64 {
+        (-self.log_z).exp()
+    }
+
+    /// Worst-case steady-state probability `P_n` (Eq. 5 for `n < c`, Eq. 6
+    /// geometric tail for `n ≥ c`).
+    pub fn p_n(&self, n: u64) -> f64 {
+        if !self.is_stable() {
+            return 0.0;
+        }
+        let c = self.servers() as u64;
+        let log_pn = if n <= c {
+            self.log_terms[n as usize] - self.log_z
+        } else {
+            let log_rho = self.utilization().ln();
+            self.log_terms[c as usize] + (n - c) as f64 * log_rho - self.log_z
+        };
+        log_pn.exp()
+    }
+
+    /// `Σ_{n=0}^{l} P_n` under the worst-case bound.
+    pub fn cumulative_p(&self, l: u64) -> f64 {
+        if !self.is_stable() {
+            return 0.0;
+        }
+        let c = self.servers() as u64;
+        let head_top = l.min(c - 1);
+        let mut logs: Vec<f64> = (0..=head_top)
+            .map(|n| self.log_terms[n as usize] - self.log_z)
+            .collect();
+        if l >= c {
+            let rho = self.utilization();
+            let k = (l - c + 1) as f64;
+            let log_pc = self.log_terms[c as usize] - self.log_z;
+            logs.push(log_pc + ((1.0 - rho.powf(k)) / (1.0 - rho)).ln());
+        }
+        log_sum_exp(&logs).exp().min(1.0)
+    }
+
+    /// The heterogeneous analogue of the paper's Eq. 3–4 waiting bound: a
+    /// request that sees `n ≥ c` in the system drains at the aggregate rate
+    /// `S_c`, so occupancy up to `L = ⌊ t·S_c + c − 1 ⌋` keeps the expected
+    /// wait within `t`; the bound is `Σ_{n≤L} P_n`.
+    pub fn wait_probability_bound(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "wait budget must be non-negative");
+        if !self.is_stable() {
+            return 0.0;
+        }
+        let c = self.servers() as f64;
+        let l = (t * self.aggregate_rate() + c - 1.0).floor();
+        if l < 0.0 {
+            return 0.0;
+        }
+        self.cumulative_p(l as u64)
+    }
+}
+
+/// Numerically *naive* implementation of the same bound: direct `f64`
+/// products, exactly as Eq. 5–6 read. Overflows/underflows for large `c`
+/// or high loads — see the `fig5` harness and solver-ablation benchmark.
+#[derive(Debug, Clone)]
+pub struct HeteroMmcNaive {
+    lambda: f64,
+    mus: Vec<f64>,
+}
+
+impl HeteroMmcNaive {
+    /// Build the naive model (same validation as [`HeteroMmc`]).
+    pub fn new(lambda: f64, mut mus: Vec<f64>) -> Result<Self, QueueError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(QueueError::InvalidArrivalRate);
+        }
+        if mus.is_empty() {
+            return Err(QueueError::ZeroServers);
+        }
+        if mus.iter().any(|m| !(m.is_finite() && *m > 0.0)) {
+            return Err(QueueError::InvalidServiceRate);
+        }
+        mus.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        Ok(Self { lambda, mus })
+    }
+
+    /// Direct-evaluation waiting bound. Returns `None` when the computation
+    /// loses all precision (NaN/0/∞ intermediates) — the failure mode the
+    /// paper attributes to its Scala implementation.
+    pub fn wait_probability_bound(&self, t: f64) -> Option<f64> {
+        let c = self.mus.len();
+        let s_c: f64 = self.mus.iter().sum();
+        if self.lambda >= s_c {
+            return Some(0.0);
+        }
+        // Unnormalized terms.
+        let mut terms = Vec::with_capacity(c + 1);
+        terms.push(1.0f64);
+        let mut s = 0.0;
+        for &mu in &self.mus {
+            s += mu;
+            let prev = *terms.last().expect("non-empty");
+            terms.push(prev * self.lambda / s);
+        }
+        let rho = self.lambda / s_c;
+        let z: f64 = terms[..c].iter().sum::<f64>() + terms[c] / (1.0 - rho);
+        if !z.is_finite() || z <= 0.0 {
+            return None;
+        }
+        let l = (t * s_c + c as f64 - 1.0).floor();
+        if l < 0.0 {
+            return Some(0.0);
+        }
+        let l = l as usize;
+        let mut sum = 0.0;
+        for (n, term) in terms.iter().enumerate().take(c.min(l + 1)) {
+            let _ = n;
+            sum += term / z;
+        }
+        if l >= c {
+            let k = (l - c + 1) as f64;
+            sum += terms[c] / z * (1.0 - rho.powf(k)) / (1.0 - rho);
+        }
+        if sum.is_nan() {
+            None
+        } else {
+            Some(sum.min(1.0))
+        }
+    }
+}
+
+/// Iterative solver for the heterogeneous case: starting from the rates of
+/// the *existing* (possibly deflated) containers, add containers of rate
+/// `added_mu` (standard size) until the worst-case bound meets the target.
+///
+/// Returns the number of **additional** containers required. Uses the
+/// incremental log-space model, so each added container costs O(1) model
+/// update plus an O(c) bound evaluation.
+pub fn required_additional_containers(
+    lambda: f64,
+    existing_mus: &[f64],
+    added_mu: f64,
+    t: f64,
+    cfg: &SolverConfig,
+) -> Result<SolverResult, SolverError> {
+    if t <= 0.0 || t.is_nan() {
+        return Err(SolverError::BudgetExhausted { budget: t });
+    }
+    if !(added_mu.is_finite() && added_mu > 0.0) {
+        return Err(SolverError::Model(
+            QueueError::InvalidServiceRate.to_string(),
+        ));
+    }
+    let mut model = if existing_mus.is_empty() {
+        HeteroMmc::new(lambda, vec![added_mu]).map_err(SolverError::from)?
+    } else {
+        HeteroMmc::new(lambda, existing_mus.to_vec()).map_err(SolverError::from)?
+    };
+    let base = existing_mus.len();
+    let mut iterations = 0u32;
+    let mut best = 0.0f64;
+    loop {
+        iterations += 1;
+        let p = if model.is_stable() {
+            model.wait_probability_bound(t)
+        } else {
+            0.0
+        };
+        best = best.max(p);
+        if p >= cfg.target_percentile {
+            return Ok(SolverResult {
+                containers: (model.servers() - base) as u32,
+                achieved: p,
+                iterations,
+            });
+        }
+        if model.servers() >= cfg.max_containers as usize {
+            return Err(SolverError::Infeasible {
+                max_containers: cfg.max_containers,
+                best,
+            });
+        }
+        model.push_container(added_mu);
+    }
+}
+
+/// Naive-implementation counterpart of [`required_additional_containers`]:
+/// rebuilds the direct-float model from scratch on every candidate count.
+/// Returns `None` when the floating-point evaluation loses all precision —
+/// the failure mode the paper reports for its Scala implementation at
+/// large container counts ("was not able to compute the results in some
+/// cases due to its precision limitations", §6.3).
+pub fn required_additional_containers_naive(
+    lambda: f64,
+    existing_mus: &[f64],
+    added_mu: f64,
+    t: f64,
+    cfg: &SolverConfig,
+) -> Option<SolverResult> {
+    if t <= 0.0 || t.is_nan() || !(added_mu.is_finite() && added_mu > 0.0) {
+        return None;
+    }
+    let mut mus = existing_mus.to_vec();
+    if mus.is_empty() {
+        mus.push(added_mu);
+    }
+    let base = existing_mus.len();
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let model = HeteroMmcNaive::new(lambda, mus.clone()).ok()?;
+        let p = model.wait_probability_bound(t)?;
+        if p >= cfg.target_percentile {
+            return Some(SolverResult {
+                containers: (mus.len() - base) as u32,
+                achieved: p,
+                iterations,
+            });
+        }
+        if mus.len() >= cfg.max_containers as usize {
+            return None;
+        }
+        mus.push(added_mu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmc::MmcQueue;
+    use crate::solver::required_containers_exact;
+
+    #[test]
+    fn homogeneous_rates_match_mmc() {
+        let lambda = 20.0;
+        let mu = 5.0;
+        let c = 7;
+        let het = HeteroMmc::new(lambda, vec![mu; c]).unwrap();
+        let hom = MmcQueue::new(lambda, mu, c as u32).unwrap();
+        assert!((het.p0() - hom.p0()).abs() < 1e-10, "{} vs {}", het.p0(), hom.p0());
+        for n in 0..30u64 {
+            assert!(
+                (het.p_n(n) - hom.p_n(n)).abs() < 1e-10,
+                "n={n}: {} vs {}",
+                het.p_n(n),
+                hom.p_n(n)
+            );
+        }
+        for &t in &[0.0, 0.01, 0.05, 0.1, 0.5] {
+            assert!(
+                (het.wait_probability_bound(t) - hom.wait_probability_bound(t)).abs() < 1e-10,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let het = HeteroMmc::new(12.0, vec![2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut sum = 0.0;
+        for n in 0..100_000u64 {
+            sum += het.p_n(n);
+            if sum > 1.0 - 1e-13 {
+                break;
+            }
+        }
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+    }
+
+    #[test]
+    fn worst_case_bound_is_conservative_vs_homogeneous_mean() {
+        // Replacing two fast containers with the same aggregate capacity
+        // split unevenly must not *increase* the bound (slowest-first
+        // worst case penalizes heterogeneity).
+        let even = HeteroMmc::new(8.0, vec![5.0, 5.0, 5.0]).unwrap();
+        let skew = HeteroMmc::new(8.0, vec![2.0, 5.0, 8.0]).unwrap();
+        for &t in &[0.01, 0.05, 0.1, 0.3] {
+            assert!(
+                skew.wait_probability_bound(t) <= even.wait_probability_bound(t) + 1e-9,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn push_container_matches_fresh_build() {
+        let mut inc = HeteroMmc::new(9.0, vec![2.0, 3.0]).unwrap();
+        inc.push_container(4.0);
+        inc.push_container(3.5); // out of order: forces re-sort path
+        let fresh = HeteroMmc::new(9.0, vec![2.0, 3.0, 4.0, 3.5]).unwrap();
+        assert_eq!(inc.rates(), fresh.rates());
+        assert!((inc.p0() - fresh.p0()).abs() < 1e-12);
+        assert!(
+            (inc.wait_probability_bound(0.1) - fresh.wait_probability_bound(0.1)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn unstable_heterogeneous_system() {
+        let het = HeteroMmc::new(100.0, vec![1.0, 2.0]).unwrap();
+        assert!(!het.is_stable());
+        assert_eq!(het.wait_probability_bound(1.0), 0.0);
+        assert_eq!(het.p_n(0), 0.0);
+    }
+
+    #[test]
+    fn additional_containers_cover_deflated_fleet() {
+        // 4 deflated containers at 60% speed; standard rate 10. Budget 100ms.
+        let cfg = SolverConfig::default();
+        let existing = vec![6.0; 4];
+        let res = required_additional_containers(50.0, &existing, 10.0, 0.1, &cfg).unwrap();
+        assert!(res.achieved >= cfg.target_percentile);
+        // Must need at least enough aggregate capacity for stability:
+        // 50 > 24 existing -> at least ceil((50-24)/10) = 3 more.
+        assert!(res.containers >= 3, "got {}", res.containers);
+        // And the count should agree with a fresh (non-incremental) solve.
+        let mut mus = existing.clone();
+        mus.extend(std::iter::repeat_n(10.0, res.containers as usize - 1));
+        let under = HeteroMmc::new(50.0, mus).unwrap();
+        assert!(under.wait_probability_bound(0.1) < cfg.target_percentile);
+    }
+
+    #[test]
+    fn hetero_needs_no_more_than_all_slow_and_no_less_than_all_fast() {
+        // Sandwich property: required count with mixed rates lies between
+        // the all-fast and all-slow homogeneous requirements.
+        let cfg = SolverConfig::default();
+        let t = 0.1;
+        let lambda = 40.0;
+        let res_mixed =
+            required_additional_containers(lambda, &[], 10.0, t, &cfg).unwrap();
+        let res_hom = required_containers_exact(lambda, 10.0, t, &cfg).unwrap();
+        // With no existing containers and all additions at the standard
+        // rate, the hetero solver degenerates to the homogeneous case.
+        assert_eq!(res_mixed.containers, res_hom.containers);
+    }
+
+    #[test]
+    fn naive_matches_logspace_at_small_scale() {
+        let lambda = 20.0;
+        let mus = vec![3.0, 4.0, 5.0, 5.0, 6.0, 7.0];
+        let naive = HeteroMmcNaive::new(lambda, mus.clone()).unwrap();
+        let stable = HeteroMmc::new(lambda, mus).unwrap();
+        for &t in &[0.01, 0.05, 0.1] {
+            let n = naive.wait_probability_bound(t).expect("small scale must not fail");
+            let s = stable.wait_probability_bound(t);
+            assert!((n - s).abs() < 1e-9, "t={t}: naive={n} logspace={s}");
+        }
+    }
+
+    #[test]
+    fn naive_breaks_down_at_large_scale_logspace_does_not() {
+        // 3000 containers at rate 1 with λ=2500: the unnormalized naive
+        // terms overflow/underflow f64.
+        let c = 3000usize;
+        let lambda = 2500.0;
+        let mus = vec![1.0; c];
+        let stable = HeteroMmc::new(lambda, mus.clone()).unwrap();
+        let b = stable.wait_probability_bound(0.5);
+        assert!((0.0..=1.0).contains(&b) && b > 0.0, "log-space bound={b}");
+        let naive = HeteroMmcNaive::new(lambda, mus).unwrap();
+        match naive.wait_probability_bound(0.5) {
+            None => {} // expected precision failure
+            Some(v) => {
+                // If it returns, it must be badly wrong or degenerate.
+                assert!(
+                    (v - b).abs() > 1e-3 || !(0.0..=1.0).contains(&v),
+                    "naive unexpectedly exact at c={c}: {v} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_solver_agrees_with_logspace_at_small_scale() {
+        let cfg = SolverConfig::default();
+        let existing = vec![6.0, 7.0, 8.0];
+        let fast = required_additional_containers(30.0, &existing, 10.0, 0.1, &cfg).unwrap();
+        let naive =
+            required_additional_containers_naive(30.0, &existing, 10.0, 0.1, &cfg).unwrap();
+        assert_eq!(fast.containers, naive.containers);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(HeteroMmc::new(-1.0, vec![1.0]).is_err());
+        assert!(HeteroMmc::new(1.0, vec![]).is_err());
+        assert!(HeteroMmc::new(1.0, vec![0.0]).is_err());
+        assert!(HeteroMmcNaive::new(1.0, vec![f64::NAN]).is_err());
+    }
+}

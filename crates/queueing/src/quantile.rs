@@ -1,0 +1,342 @@
+//! Quantile estimation utilities.
+//!
+//! The online service-time learner (§5: "use an online learning algorithm
+//! to learn the service time distribution(s) over time") needs streaming
+//! quantiles with O(1) memory; we implement the classic P² algorithm of
+//! Jain & Chlamtac. Exact percentiles over stored samples are also provided
+//! for the evaluation harnesses (which report P95 waiting times).
+
+use serde::{Deserialize, Serialize};
+
+/// Exact percentile of a **sorted** slice with linear interpolation
+/// (the "exclusive" variant used by most plotting tools). `p ∈ [0, 1]`.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// A growable sample set with exact percentile queries. Sorting is deferred
+/// and cached between queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactPercentiles {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl ExactPercentiles {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact percentile (`p ∈ [0,1]`); `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        Some(percentile_of_sorted(&self.samples, p))
+    }
+
+    /// Sample mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Maximum sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Read-only view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Streaming quantile estimation with the P² algorithm
+/// (Jain & Chlamtac, CACM 1985): five markers, O(1) memory, O(1) update.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments per observation.
+    dn: [f64; 5],
+    count: usize,
+    /// First five observations, used for initialization.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for the `p`-quantile (`p ∈ (0, 1)`).
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        if self.count <= 5 {
+            self.init.push(x);
+            if self.count == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                for (i, &v) in self.init.iter().enumerate() {
+                    self.q[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Find cell k such that q[k] <= x < q[k+1]; adjust extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.q[i] && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for item in self.n.iter_mut().skip(k + 1) {
+            *item += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        q + d / (np - nm)
+            * ((n - nm + d) * (qp - q) / (np - n) + (np - n - d) * (q - qm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate of the `p`-quantile. `None` until at least one
+    /// observation; exact for the first five.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            1..=4 => {
+                let mut v = self.init.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                Some(percentile_of_sorted(&v, self.p))
+            }
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_distr::{Distribution, Exp, Normal};
+
+    #[test]
+    fn exact_percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_of_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&v, 1.0), 5.0);
+        assert_eq!(percentile_of_sorted(&v, 0.5), 3.0);
+        assert!((percentile_of_sorted(&v, 0.25) - 2.0).abs() < 1e-12);
+        assert!((percentile_of_sorted(&v, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_percentile_singleton() {
+        assert_eq!(percentile_of_sorted(&[42.0], 0.95), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn exact_percentile_rejects_empty() {
+        percentile_of_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn exact_percentiles_collection() {
+        let mut ep = ExactPercentiles::new();
+        assert!(ep.percentile(0.5).is_none());
+        assert!(ep.mean().is_none());
+        for i in (1..=100).rev() {
+            ep.add(f64::from(i));
+        }
+        assert_eq!(ep.len(), 100);
+        assert!((ep.percentile(0.5).unwrap() - 50.5).abs() < 1e-9);
+        assert!((ep.mean().unwrap() - 50.5).abs() < 1e-9);
+        assert_eq!(ep.max().unwrap(), 100.0);
+        // Adding after a query invalidates the cache correctly.
+        ep.add(1000.0);
+        assert_eq!(ep.percentile(1.0).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn p2_exact_for_first_observations() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.observe(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.observe(1.0);
+        q.observe(2.0);
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..50_000 {
+            q.observe(rng.gen::<f64>());
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_p99_of_exponential_stream() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let exp = Exp::new(10.0).unwrap(); // mean 0.1, p99 = ln(100)/10 ≈ 0.4605
+        let mut q = P2Quantile::new(0.99);
+        for _ in 0..200_000 {
+            q.observe(exp.sample(&mut rng));
+        }
+        let est = q.estimate().unwrap();
+        let truth = (100.0f64).ln() / 10.0;
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "p99 estimate {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn p2_p95_of_normal_stream() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let nd = Normal::new(100.0, 15.0).unwrap();
+        let mut q = P2Quantile::new(0.95);
+        for _ in 0..100_000 {
+            q.observe(nd.sample(&mut rng));
+        }
+        let est = q.estimate().unwrap();
+        let truth = 100.0 + 1.6449 * 15.0;
+        assert!((est - truth).abs() < 1.5, "p95 estimate {est} vs {truth}");
+    }
+
+    #[test]
+    fn p2_matches_exact_on_same_stream() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut p2 = P2Quantile::new(0.9);
+        let mut exact = ExactPercentiles::new();
+        for _ in 0..20_000 {
+            let x = rng.gen::<f64>() * rng.gen::<f64>(); // triangular-ish
+            p2.observe(x);
+            exact.add(x);
+        }
+        let a = p2.estimate().unwrap();
+        let b = exact.percentile(0.9).unwrap();
+        assert!((a - b).abs() < 0.02, "p2={a} exact={b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn p2_rejects_degenerate_quantile() {
+        P2Quantile::new(1.0);
+    }
+}

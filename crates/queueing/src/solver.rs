@@ -1,0 +1,302 @@
+//! Algorithm 1 of the LaSS paper: the iterative procedure that finds the
+//! smallest number of containers `c` such that a target percentile of
+//! requests waits no longer than a budget `t`.
+//!
+//! The controller derives `t` from the SLO deadline `d` by subtracting a
+//! high percentile of the service time: `t = d − s_pXX` (see
+//! [`wait_budget`]). The solver then grows `c` from the current allocation
+//! until `P(Q ≤ t) ≥ target` under the M/M/c model.
+
+use crate::mmc::{MmcQueue, QueueError};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the container solver.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Target percentile of the waiting-time distribution that must fall
+    /// inside the budget (the paper drives the sum in Eq. 4 to 0.99; the
+    /// evaluation measures the 95th percentile).
+    pub target_percentile: f64,
+    /// Hard cap on the number of containers the solver will consider. This
+    /// is a safety net against pathological inputs (e.g. `t ≈ 0` with a slow
+    /// service rate), not a cluster-capacity limit — capacity is enforced by
+    /// the fair-share layer.
+    pub max_containers: u32,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            target_percentile: 0.99,
+            max_containers: 100_000,
+        }
+    }
+}
+
+/// Outcome of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverResult {
+    /// The smallest container count that meets the target.
+    pub containers: u32,
+    /// The achieved `P(Q ≤ t)` at that count.
+    pub achieved: f64,
+    /// Number of candidate counts examined (for scalability reporting,
+    /// cf. Fig. 5).
+    pub iterations: u32,
+}
+
+/// Errors from the container solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolverError {
+    /// The underlying queueing model rejected the parameters.
+    Model(String),
+    /// No feasible count at or below `max_containers` meets the target.
+    Infeasible {
+        /// The cap that was hit.
+        max_containers: u32,
+        /// Best achieved probability at the cap.
+        best: f64,
+    },
+    /// The wait budget is not positive — the SLO deadline does not even
+    /// cover the service-time percentile, so no container count can help.
+    BudgetExhausted {
+        /// The (non-positive) budget that was computed.
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Model(e) => write!(f, "queueing model error: {e}"),
+            SolverError::Infeasible {
+                max_containers,
+                best,
+            } => write!(
+                f,
+                "no allocation ≤ {max_containers} containers meets the target (best {best:.4})"
+            ),
+            SolverError::BudgetExhausted { budget } => write!(
+                f,
+                "wait budget {budget:.4}s is non-positive; the SLO cannot be met at any scale"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<QueueError> for SolverError {
+    fn from(e: QueueError) -> Self {
+        SolverError::Model(e.to_string())
+    }
+}
+
+/// The wait budget the paper derives from the SLO: `t = d − s_p`, where
+/// `d` is the SLO deadline and `s_p` a high percentile of the service time.
+/// Callers that enforce the SLO on the *waiting time only* (as the paper's
+/// evaluation does: "95% of requests should start being processed within
+/// 100 ms") pass `service_percentile = 0.0`.
+#[inline]
+pub fn wait_budget(slo_deadline: f64, service_percentile_time: f64) -> f64 {
+    slo_deadline - service_percentile_time
+}
+
+/// Algorithm 1: find the smallest `c ≥ start_c.max(1)` such that
+/// `P(Q ≤ t) ≥ cfg.target_percentile` under M/M/c(λ, μ).
+///
+/// `start_c` is the current allocation ("number of containers in the
+/// system", line 1 of Algorithm 1); starting the scan there makes epoch
+/// re-solves incremental. Note that the returned count can therefore never
+/// *shrink* below `start_c`; scale-down decisions re-run the solver from 1
+/// (see [`required_containers_exact`]).
+pub fn required_containers(
+    lambda: f64,
+    mu: f64,
+    t: f64,
+    start_c: u32,
+    cfg: &SolverConfig,
+) -> Result<SolverResult, SolverError> {
+    if t <= 0.0 || t.is_nan() {
+        return Err(SolverError::BudgetExhausted { budget: t });
+    }
+    let mut c = start_c.max(1);
+    // Skip straight past guaranteed-unstable counts: stability needs c > r.
+    let r = lambda / mu;
+    if f64::from(c) <= r {
+        c = (r.floor() as u32).saturating_add(1);
+    }
+    let mut iterations = 0u32;
+    let mut best = 0.0f64;
+    while c <= cfg.max_containers {
+        iterations += 1;
+        let q = MmcQueue::new(lambda, mu, c)?;
+        let p = q.wait_probability_bound(t);
+        best = best.max(p);
+        if p >= cfg.target_percentile {
+            return Ok(SolverResult {
+                containers: c,
+                achieved: p,
+                iterations,
+            });
+        }
+        c += 1;
+    }
+    Err(SolverError::Infeasible {
+        max_containers: cfg.max_containers,
+        best,
+    })
+}
+
+/// Like [`required_containers`] but always scans from `c = 1`, returning
+/// the true minimum (used when the controller considers scaling *down*).
+///
+/// ```
+/// use lass_queueing::{required_containers_exact, SolverConfig};
+///
+/// // 50 req/s, 100 ms service time, 100 ms waiting budget at P99:
+/// let res = required_containers_exact(50.0, 10.0, 0.1, &SolverConfig::default()).unwrap();
+/// assert_eq!(res.containers, 8);
+/// assert!(res.achieved >= 0.99);
+/// ```
+pub fn required_containers_exact(
+    lambda: f64,
+    mu: f64,
+    t: f64,
+    cfg: &SolverConfig,
+) -> Result<SolverResult, SolverError> {
+    required_containers(lambda, mu, t, 1, cfg)
+}
+
+/// Convenience wrapper: derive the wait budget from an SLO deadline and a
+/// service-time percentile, then solve.
+pub fn required_containers_for_slo(
+    lambda: f64,
+    mu: f64,
+    slo_deadline: f64,
+    service_percentile_time: f64,
+    cfg: &SolverConfig,
+) -> Result<SolverResult, SolverError> {
+    required_containers(
+        lambda,
+        mu,
+        wait_budget(slo_deadline, service_percentile_time),
+        1,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: SolverConfig = SolverConfig {
+        target_percentile: 0.99,
+        max_containers: 100_000,
+    };
+
+    #[test]
+    fn solution_meets_target_and_is_minimal() {
+        for &(lambda, mu, t) in &[
+            (10.0, 10.0, 0.1),
+            (30.0, 5.0, 0.1),
+            (50.0, 10.0, 0.2),
+            (100.0, 2.0, 0.05),
+        ] {
+            let res = required_containers_exact(lambda, mu, t, &CFG).unwrap();
+            assert!(res.achieved >= 0.99);
+            let c = res.containers;
+            if c > 1 {
+                let q = MmcQueue::new(lambda, mu, c - 1).unwrap();
+                assert!(
+                    q.wait_probability_bound(t) < 0.99,
+                    "c-1={} already satisfies target for λ={lambda}, μ={mu}, t={t}",
+                    c - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_load_never_needs_fewer_containers() {
+        let mut last = 0;
+        for i in 1..=30 {
+            let lambda = f64::from(i) * 5.0;
+            let res = required_containers_exact(lambda, 10.0, 0.1, &CFG).unwrap();
+            assert!(res.containers >= last, "λ={lambda}");
+            last = res.containers;
+        }
+    }
+
+    #[test]
+    fn tighter_budget_never_needs_fewer_containers() {
+        let mut last = 0;
+        for i in (1..=20).rev() {
+            let t = f64::from(i) * 0.02;
+            let res = required_containers_exact(30.0, 5.0, t, &CFG).unwrap();
+            assert!(res.containers >= last, "t={t}");
+            last = res.containers;
+        }
+    }
+
+    #[test]
+    fn starts_from_current_allocation() {
+        let res = required_containers(10.0, 10.0, 0.1, 7, &CFG).unwrap();
+        assert!(res.containers >= 7);
+        // The incremental scan should touch few candidates.
+        assert!(res.iterations <= 2);
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let err = required_containers_exact(10.0, 10.0, 0.0, &CFG).unwrap_err();
+        assert!(matches!(err, SolverError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn infeasible_when_capped() {
+        let cfg = SolverConfig {
+            target_percentile: 0.99,
+            max_containers: 3,
+        };
+        let err = required_containers_exact(100.0, 1.0, 0.01, &cfg).unwrap_err();
+        assert!(matches!(err, SolverError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn wait_budget_subtracts_service_tail() {
+        assert!((wait_budget(0.2, 0.05) - 0.15).abs() < 1e-12);
+        assert!(wait_budget(0.1, 0.2) < 0.0);
+    }
+
+    #[test]
+    fn paper_fig3_regimes_are_modest() {
+        // Fig 3 configurations: μ ∈ {5, 10}, SLO ∈ {100ms, 200ms} on waiting
+        // time, λ ∈ 10..50. Allocations should stay small (single digits to
+        // low tens) — sanity check the model is not wildly over-provisioning.
+        for &mu in &[5.0, 10.0] {
+            for &t in &[0.1, 0.2] {
+                for i in 1..=5 {
+                    let lambda = f64::from(i) * 10.0;
+                    let res = required_containers_exact(lambda, mu, t, &CFG).unwrap();
+                    let lower = (lambda / mu).ceil() as u32;
+                    assert!(res.containers >= lower);
+                    assert!(
+                        res.containers <= lower + 12,
+                        "λ={lambda} μ={mu} t={t}: c={}",
+                        res.containers
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skips_unstable_prefix() {
+        // λ/μ = 50, so the solver must start at c ≥ 51 without iterating
+        // through the 50 unstable counts.
+        let res = required_containers(100.0, 2.0, 0.5, 1, &CFG).unwrap();
+        assert!(res.containers >= 51);
+        assert!(res.iterations < 30, "iterations={}", res.iterations);
+    }
+}

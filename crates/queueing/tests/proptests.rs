@@ -1,0 +1,162 @@
+//! Property-based tests for the queueing models.
+
+use lass_queueing::{
+    hetero::{required_additional_containers, HeteroMmc},
+    mmc::MmcQueue,
+    solver::{required_containers_exact, SolverConfig},
+    ExactPercentiles, P2Quantile,
+};
+use proptest::prelude::*;
+
+fn stable_mmc() -> impl Strategy<Value = (f64, f64, u32)> {
+    // lambda, mu, c with rho < 0.98 to stay clearly stable.
+    (0.5f64..200.0, 0.5f64..50.0, 1u32..200).prop_filter("stable", |(l, m, c)| {
+        l / (m * f64::from(*c)) < 0.98
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mmc_probabilities_are_a_distribution((l, m, c) in stable_mmc()) {
+        let q = MmcQueue::new(l, m, c).unwrap();
+        let mut sum = 0.0;
+        for n in 0..500_000u64 {
+            let p = q.p_n(n);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            sum += p;
+            if sum > 1.0 - 1e-10 { break; }
+        }
+        prop_assert!(sum > 1.0 - 1e-6, "sum={sum} for λ={l} μ={m} c={c}");
+    }
+
+    #[test]
+    fn mmc_cumulative_is_monotone((l, m, c) in stable_mmc()) {
+        let q = MmcQueue::new(l, m, c).unwrap();
+        let mut last = 0.0;
+        for n in 0..200u64 {
+            let cum = q.cumulative_p(n);
+            prop_assert!(cum + 1e-12 >= last);
+            last = cum;
+        }
+    }
+
+    #[test]
+    fn paper_bound_never_exceeds_exact_cdf_by_much(
+        (l, m, c) in stable_mmc(),
+        t in 0.0f64..2.0,
+    ) {
+        // The paper's Eq. 3-4 discretized bound and the exact M/M/c wait CDF
+        // must be close; the bound is based on *expected* drain so it may
+        // slightly exceed the exact tail, but both live in [0,1] and agree
+        // at t -> infinity.
+        let q = MmcQueue::new(l, m, c).unwrap();
+        let b = q.wait_probability_bound(t);
+        let e = q.wait_cdf(t);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!((0.0..=1.0).contains(&e));
+        // At generous budgets both approach 1.
+        let big = q.wait_probability_bound(50.0 / (m * f64::from(c)) + 5.0);
+        prop_assert!(big > 0.99, "big-budget bound={big}");
+    }
+
+    #[test]
+    fn solver_is_minimal_and_feasible(
+        lambda in 1.0f64..100.0,
+        mu in 1.0f64..20.0,
+        t in 0.01f64..1.0,
+    ) {
+        let cfg = SolverConfig::default();
+        let res = required_containers_exact(lambda, mu, t, &cfg).unwrap();
+        let q = MmcQueue::new(lambda, mu, res.containers).unwrap();
+        prop_assert!(q.wait_probability_bound(t) >= cfg.target_percentile);
+        if res.containers > 1 {
+            let q1 = MmcQueue::new(lambda, mu, res.containers - 1).unwrap();
+            prop_assert!(q1.wait_probability_bound(t) < cfg.target_percentile);
+        }
+    }
+
+    #[test]
+    fn solver_monotone_in_lambda(
+        mu in 1.0f64..20.0,
+        t in 0.02f64..0.5,
+        base in 1.0f64..50.0,
+        bump in 0.1f64..50.0,
+    ) {
+        let cfg = SolverConfig::default();
+        let lo = required_containers_exact(base, mu, t, &cfg).unwrap();
+        let hi = required_containers_exact(base + bump, mu, t, &cfg).unwrap();
+        prop_assert!(hi.containers >= lo.containers);
+    }
+
+    #[test]
+    fn hetero_equals_homogeneous_when_uniform(
+        lambda in 1.0f64..50.0,
+        mu in 1.0f64..10.0,
+        c in 1usize..40,
+    ) {
+        prop_assume!(lambda / (mu * c as f64) < 0.98);
+        let het = HeteroMmc::new(lambda, vec![mu; c]).unwrap();
+        let hom = MmcQueue::new(lambda, mu, c as u32).unwrap();
+        for n in 0..20u64 {
+            prop_assert!((het.p_n(n) - hom.p_n(n)).abs() < 1e-8);
+        }
+        prop_assert!((het.wait_probability_bound(0.1) - hom.wait_probability_bound(0.1)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hetero_bound_is_conservative_under_spread(
+        lambda in 1.0f64..30.0,
+        mu in 2.0f64..10.0,
+        c in 2usize..20,
+        spread in 0.05f64..0.9,
+        t in 0.01f64..0.5,
+    ) {
+        prop_assume!(lambda / (mu * c as f64) < 0.9);
+        // Same aggregate capacity, one slow + one fast container.
+        let mut mus = vec![mu; c];
+        mus[0] = mu * (1.0 - spread);
+        mus[c - 1] = mu * (1.0 + spread);
+        let het = HeteroMmc::new(lambda, mus).unwrap();
+        let hom = MmcQueue::new(lambda, mu, c as u32).unwrap();
+        prop_assert!(het.wait_probability_bound(t) <= hom.wait_probability_bound(t) + 1e-9);
+    }
+
+    #[test]
+    fn hetero_solver_achieves_target(
+        lambda in 5.0f64..80.0,
+        slow_frac in 0.3f64..1.0,
+        n_existing in 0usize..6,
+        t in 0.02f64..0.5,
+    ) {
+        let cfg = SolverConfig::default();
+        let standard = 10.0;
+        let existing = vec![standard * slow_frac; n_existing];
+        let res = required_additional_containers(lambda, &existing, standard, t, &cfg).unwrap();
+        prop_assert!(res.achieved >= cfg.target_percentile);
+        // Verify independently with a fresh model.
+        let mut mus = existing.clone();
+        mus.extend(std::iter::repeat_n(standard, res.containers as usize));
+        if !mus.is_empty() {
+            let model = HeteroMmc::new(lambda, mus).unwrap();
+            prop_assert!(model.wait_probability_bound(t) >= cfg.target_percentile - 1e-12);
+        }
+    }
+
+    #[test]
+    fn p2_tracks_exact_quantile(seed in 0u64..1000, p in 0.05f64..0.95) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p2 = P2Quantile::new(p);
+        let mut exact = ExactPercentiles::new();
+        for _ in 0..5_000 {
+            let x: f64 = rng.gen();
+            p2.observe(x);
+            exact.add(x);
+        }
+        let a = p2.estimate().unwrap();
+        let b = exact.percentile(p).unwrap();
+        prop_assert!((a - b).abs() < 0.05, "p={p} p2={a} exact={b}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulation substrate for the LaSS
+//! reproduction.
+//!
+//! The paper's prototype runs on a physical OpenWhisk cluster; this crate
+//! provides the simulated equivalent of "the world": a nanosecond-precision
+//! clock, an event calendar with deterministic tie-breaking, seeded random
+//! streams, the paper's three workload-generator modes plus per-minute
+//! trace replay, and measurement instruments (exact percentiles,
+//! time-weighted gauges, timeline series).
+//!
+//! Nothing in this crate knows about containers or controllers — those live
+//! in `lass-cluster` and `lass-core`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrivals;
+pub mod events;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use arrivals::{
+    collect_arrivals, ArrivalProcess, ModulatedPoisson, PerMinuteTrace, PiecewiseConstantPoisson,
+    StaticPoisson,
+};
+pub use events::EventQueue;
+pub use metrics::{SampleStats, TimeSeries, TimeWeightedGauge};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

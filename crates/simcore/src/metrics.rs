@@ -1,0 +1,262 @@
+//! Measurement instruments for simulations.
+//!
+//! * [`SampleStats`] — exact statistics over recorded samples (mean, max,
+//!   arbitrary percentiles) — used for waiting/response times.
+//! * [`TimeWeightedGauge`] — integrates a piecewise-constant value over
+//!   simulated time (container counts, allocated CPU, utilization).
+//! * [`TimeSeries`] — timestamped observations for plotting allocation
+//!   timelines (Figs. 6, 8, 9).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Exact sample statistics with deferred sorting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleStats {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl SampleStats {
+    /// Empty instrument.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Exact percentile with linear interpolation, `p ∈ [0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p));
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let s = &self.samples;
+        if s.len() == 1 {
+            return Some(s[0]);
+        }
+        let rank = p * (s.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        Some(if lo == hi {
+            s[lo]
+        } else {
+            let w = rank - lo as f64;
+            s[lo] * (1.0 - w) + s[hi] * w
+        })
+    }
+
+    /// Fraction of samples `≤ bound` (`None` when empty).
+    pub fn fraction_within(&self, bound: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.iter().filter(|&&x| x <= bound).count();
+        Some(n as f64 / self.samples.len() as f64)
+    }
+
+    /// Raw samples (insertion or sorted order, unspecified).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Integrates a piecewise-constant value over simulated time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeightedGauge {
+    start: SimTime,
+    last_t: SimTime,
+    value: f64,
+    integral: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Gauge starting at `t0` with initial `value`.
+    pub fn new(t0: SimTime, value: f64) -> Self {
+        Self {
+            start: t0,
+            last_t: t0,
+            value,
+            integral: 0.0,
+        }
+    }
+
+    /// Set the gauge to `value` at time `t` (accumulates the previous value
+    /// over `[last, t)`).
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        debug_assert!(t >= self.last_t, "gauge updated out of order");
+        self.integral += self.value * (t.saturating_since(self.last_t)).as_secs_f64();
+        self.last_t = t;
+        self.value = value;
+    }
+
+    /// Current (instantaneous) value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted average over `[t0, t]`.
+    pub fn average_until(&self, t: SimTime) -> f64 {
+        let span = t.saturating_since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            return self.value;
+        }
+        let total =
+            self.integral + self.value * t.saturating_since(self.last_t).as_secs_f64();
+        total / span
+    }
+
+    /// The raw integral `∫ value dt` over `[t0, t]`.
+    pub fn integral_until(&self, t: SimTime) -> f64 {
+        self.integral + self.value * t.saturating_since(self.last_t).as_secs_f64()
+    }
+}
+
+/// A timestamped series of observations, for timeline plots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `(t, value)`.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        self.points.push((t.as_secs_f64(), value));
+    }
+
+    /// All `(seconds, value)` points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Mean of the values between `t0` and `t1` (unweighted across points).
+    pub fn mean_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= t0 && *t < t1)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_basics() {
+        let mut s = SampleStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.percentile(0.5), None);
+        for i in 1..=100 {
+            s.record(f64::from(i));
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean().unwrap() - 50.5).abs() < 1e-9);
+        assert_eq!(s.max().unwrap(), 100.0);
+        assert!((s.percentile(0.95).unwrap() - 95.05).abs() < 0.1);
+        assert!((s.fraction_within(50.0).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_stats_resorts_after_new_samples() {
+        let mut s = SampleStats::new();
+        s.record(5.0);
+        assert_eq!(s.percentile(1.0), Some(5.0));
+        s.record(10.0);
+        assert_eq!(s.percentile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn gauge_integrates_steps() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 2.0);
+        g.set(SimTime::from_secs(10), 4.0); // 2.0 for 10s = 20
+        g.set(SimTime::from_secs(20), 0.0); // 4.0 for 10s = 40
+        let avg = g.average_until(SimTime::from_secs(40)); // 0.0 for 20s
+        assert!((avg - 60.0 / 40.0).abs() < 1e-12, "avg={avg}");
+        assert!((g.integral_until(SimTime::from_secs(40)) - 60.0).abs() < 1e-12);
+        assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn gauge_average_at_start_is_value() {
+        let g = TimeWeightedGauge::new(SimTime::from_secs(5), 7.0);
+        assert_eq!(g.average_until(SimTime::from_secs(5)), 7.0);
+    }
+
+    #[test]
+    fn timeseries_push_and_query() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(SimTime::from_secs(1), 10.0);
+        ts.push(SimTime::from_secs(2), 20.0);
+        ts.push(SimTime::from_secs(3), 30.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.last(), Some((3.0, 30.0)));
+        assert_eq!(ts.mean_between(1.5, 3.5), Some(25.0));
+        assert_eq!(ts.mean_between(10.0, 20.0), None);
+    }
+}

@@ -1,0 +1,156 @@
+//! Seeded random-number streams.
+//!
+//! Every stochastic component of a simulation (each function's arrival
+//! process, each container's service times, …) draws from its **own**
+//! deterministic stream, derived from a master seed and a stream label.
+//! This keeps experiments exactly reproducible and lets one component's
+//! extra draws leave every other component's sequence untouched (common
+//! random numbers across policy comparisons).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Poisson};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Stream derived from a master seed and a label; the same
+    /// `(seed, label)` pair always yields the same sequence.
+    pub fn from_seed_label(master_seed: u64, label: &str) -> Self {
+        // FNV-1a over the label, mixed with the master seed (splitmix64).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = master_seed ^ h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Self {
+            rng: StdRng::seed_from_u64(z),
+        }
+    }
+
+    /// Stream from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Exponential sample with the given rate (mean `1/rate`).
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate.is_finite(), "invalid rate {rate}");
+        Exp::new(rate).expect("validated rate").sample(&mut self.rng)
+    }
+
+    /// Poisson sample with the given mean. Returns 0 for a non-positive
+    /// mean (an idle trace minute).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        Poisson::new(mean).expect("positive mean").sample(&mut self.rng) as u64
+    }
+
+    /// Log-normal sample parameterized by the **linear-space** mean and
+    /// coefficient of variation.
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        assert!(mean > 0.0 && cv > 0.0);
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+            .expect("finite parameters")
+            .sample(&mut self.rng)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Uniform integer in `[0, n)`; panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_label_same_stream() {
+        let mut a = SimRng::from_seed_label(42, "fn:mobilenet");
+        let mut b = SimRng::from_seed_label(42, "fn:mobilenet");
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_labels_decorrelate() {
+        let mut a = SimRng::from_seed_label(42, "fn:mobilenet");
+        let mut b = SimRng::from_seed_label(42, "fn:squeezenet");
+        let mut same = 0;
+        for _ in 0..100 {
+            if (a.uniform() - b.uniform()).abs() < 1e-15 {
+                same += 1;
+            }
+        }
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut r = SimRng::from_seed(7);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(4.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.25).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut r = SimRng::from_seed(8);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(6.5)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 6.5).abs() < 0.05, "mean={mean}");
+        assert_eq!(r.poisson(0.0), 0);
+        assert_eq!(r.poisson(-3.0), 0);
+    }
+
+    #[test]
+    fn lognormal_mean_cv() {
+        let mut r = SimRng::from_seed(9);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.lognormal_mean_cv(0.1, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "mean={mean}");
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.5).abs() < 0.02, "cv={cv}");
+    }
+
+    #[test]
+    fn below_and_chance_bounds() {
+        let mut r = SimRng::from_seed(10);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Replay Azure-Functions-style traces through a LaSS cluster.
+//!
+//! With no arguments, a synthetic six-function hour (statistically shaped
+//! like the Azure Functions 2019 dataset) is generated. Pass a path to a
+//! real `invocations_per_function_md.anon.d*.csv` file from the Azure
+//! Public Dataset to replay actual production traces:
+//!
+//! ```sh
+//! cargo run --example azure_replay [-- /path/to/invocations.csv]
+//! ```
+
+use lass::cluster::{Cluster, UserId};
+use lass::core::{FunctionSetup, LassConfig, Simulation};
+use lass::functions::{
+    fig9_traces, parse_invocations_csv, sample_window, standard_catalog, WorkloadSpec,
+};
+
+fn main() {
+    let minutes = 60;
+    let traces: Vec<Vec<u64>> = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            let rows = parse_invocations_csv(&text).expect("valid Azure CSV");
+            println!("loaded {} trace rows from {path}", rows.len());
+            // The paper samples 11:00-12:00 (minutes 660-720); take the six
+            // busiest rows in that window.
+            let mut windows: Vec<Vec<u64>> = rows
+                .iter()
+                .map(|r| sample_window(r, 660, minutes))
+                .filter(|w| w.len() == minutes)
+                .collect();
+            windows.sort_by_key(|w| std::cmp::Reverse(w.iter().sum::<u64>()));
+            windows.truncate(6);
+            assert!(windows.len() == 6, "need at least six usable rows");
+            windows
+        }
+        None => {
+            println!("no CSV given: using the synthetic Azure-like hour (seed 42)");
+            fig9_traces(42)
+        }
+    };
+
+    let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 42);
+    let mut ids = Vec::new();
+    for (i, spec) in standard_catalog().into_iter().enumerate() {
+        let mut setup = FunctionSetup::new(
+            spec,
+            0.1,
+            WorkloadSpec::Trace {
+                per_minute: traces[i].clone(),
+            },
+        );
+        setup.user = UserId((i % 2) as u32);
+        setup.initial_containers = 1;
+        ids.push(sim.add_function(setup));
+    }
+    let mut report = sim.run(None);
+
+    println!("\n{:>18}  {:>9} {:>9} {:>10} {:>8}", "function", "arrivals", "done", "p95W(ms)", "attain");
+    for id in ids {
+        let f = report.per_fn.get_mut(&id.0).expect("deployed");
+        println!(
+            "{:>18}  {:>9} {:>9} {:>10.1} {:>8.3}",
+            f.name,
+            f.arrivals,
+            f.completed,
+            f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+            f.slo_attainment()
+        );
+    }
+    println!(
+        "\ncluster: {:.1}% allocated / {:.1}% busy utilization; {} of {} epochs overloaded",
+        report.allocated_utilization * 100.0,
+        report.busy_utilization * 100.0,
+        report.overloaded_epochs,
+        report.epochs
+    );
+}

@@ -1,0 +1,73 @@
+//! Interactive use of the queueing models alone: a capacity planner that
+//! answers "how many containers does this function need?" without running
+//! any simulation (Algorithm 1 / §3 of the paper).
+//!
+//! ```sh
+//! cargo run --example capacity_planner -- <lambda> <service_ms> <slo_ms> [deflated_frac deflated_pct]
+//! # e.g. 50 req/s, 100 ms service time, 100 ms waiting SLO:
+//! cargo run --example capacity_planner -- 50 100 100
+//! # same, but 50% of the existing fleet is deflated by 30%:
+//! cargo run --example capacity_planner -- 50 100 100 0.5 30
+//! ```
+
+use lass::queueing::{
+    required_additional_containers, required_containers_exact, MmcQueue, SolverConfig,
+};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let (lambda, service_ms, slo_ms) = match args.as_slice() {
+        [l, s, d, ..] => (*l, *s, *d),
+        _ => {
+            eprintln!("usage: capacity_planner <lambda_rps> <service_ms> <slo_ms> [deflated_frac deflated_pct]");
+            eprintln!("(no arguments given: using the demo values 50 req/s, 100 ms, 100 ms)");
+            (50.0, 100.0, 100.0)
+        }
+    };
+    let mu = 1000.0 / service_ms;
+    let t = slo_ms / 1000.0;
+    let cfg = SolverConfig {
+        target_percentile: 0.99,
+        max_containers: 100_000,
+    };
+
+    println!("workload        : λ = {lambda} req/s, μ = {mu:.2} req/s per container");
+    println!("SLO             : P95 waiting time ≤ {slo_ms} ms (model driven to P99)");
+
+    let res = required_containers_exact(lambda, mu, t, &cfg).expect("feasible SLO");
+    println!(
+        "homogeneous     : c = {} containers  (bound P(Q ≤ t) = {:.4}, {} iterations)",
+        res.containers, res.achieved, res.iterations
+    );
+    let q = MmcQueue::new(lambda, mu, res.containers).expect("valid");
+    println!(
+        "  at that c     : utilization {:.1}%, mean wait {:.2} ms, P(wait>0) = {:.3}",
+        q.utilization() * 100.0,
+        q.mean_wait() * 1e3,
+        q.erlang_c()
+    );
+    if res.containers > 1 {
+        let q1 = MmcQueue::new(lambda, mu, res.containers - 1).expect("valid");
+        println!(
+            "  with c-1      : bound drops to {:.4} (why c is minimal)",
+            q1.wait_probability_bound(t)
+        );
+    }
+
+    if let [_, _, _, frac, pct] = args.as_slice() {
+        // Heterogeneous what-if: some of the fleet is deflated.
+        let n = res.containers as usize;
+        let n_deflated = ((*frac) * n as f64).round() as usize;
+        let mut fleet = vec![mu; n - n_deflated];
+        fleet.extend(vec![mu * (1.0 - pct / 100.0); n_deflated]);
+        let extra = required_additional_containers(lambda, &fleet, mu, t, &cfg)
+            .expect("feasible");
+        println!(
+            "heterogeneous   : with {n_deflated}/{n} containers deflated {pct}%, add {} standard containers",
+            extra.containers
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: deploy one function on a simulated edge cluster, let the
+//! LaSS controller autoscale it, and inspect the SLO report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lass::cluster::Cluster;
+use lass::core::{FunctionSetup, LassConfig, Simulation};
+use lass::functions::{micro_benchmark, WorkloadSpec};
+
+fn main() {
+    // The paper's edge testbed: 3 nodes x 4 vCPU x 16 GiB.
+    let cluster = Cluster::paper_testbed();
+
+    // Controller defaults follow the paper: 10 s epochs, 5 s monitoring,
+    // dual sliding windows, tau = 30% deflation, deflation reclamation.
+    let cfg = LassConfig::default();
+
+    let mut sim = Simulation::new(cfg, cluster, 42);
+
+    // A 100 ms function (mu = 10 req/s per container) with a 100 ms SLO on
+    // waiting time, driven by a load step 10 -> 40 -> 10 req/s.
+    let fn_id = sim.add_function(FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Steps {
+            steps: vec![(0.0, 10.0), (120.0, 40.0), (300.0, 10.0)],
+            duration: 420.0,
+        },
+    ));
+
+    let mut report = sim.run(None);
+    let f = report.per_fn.get_mut(&fn_id.0).expect("deployed function");
+
+    println!("function        : {}", f.name);
+    println!("requests        : {} arrived, {} completed", f.arrivals, f.completed);
+    println!(
+        "waiting time    : mean {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        f.wait.mean().unwrap_or(0.0) * 1e3,
+        f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+        f.wait.percentile(0.99).unwrap_or(0.0) * 1e3,
+    );
+    println!("SLO attainment  : {:.1}% of waits within 100 ms", f.slo_attainment() * 100.0);
+    println!("container peaks :");
+    let mut last = -1.0;
+    for &(t, v) in f.container_timeline.points() {
+        if v != last {
+            println!("    t={:>5.0}s  containers={v:.0}", t);
+            last = v;
+        }
+    }
+    println!(
+        "cluster         : {:.1}% average allocated utilization",
+        report.allocated_utilization * 100.0
+    );
+    assert!(f.slo_attainment() > 0.9, "autoscaler should hold the SLO");
+}

@@ -1,0 +1,98 @@
+//! The paper's motivating scenario (§1, Example 1): motion-activated smart
+//! cameras stream frame bursts to DNN-inference functions at the edge.
+//!
+//! Two camera feeds share the cluster: a MobileNet v2 pipeline for an HD
+//! intersection camera and a SqueezeNet pipeline for a doorbell camera.
+//! Motion events produce sporadic bursts (nothing between events), so a
+//! persistent allocation would waste the scarce edge capacity — exactly
+//! the case for serverless at the edge.
+//!
+//! ```sh
+//! cargo run --example video_analytics
+//! ```
+
+use lass::cluster::{Cluster, UserId};
+use lass::core::{FunctionSetup, LassConfig, Simulation};
+use lass::functions::{mobilenet_v2, squeezenet, WorkloadSpec};
+
+fn main() {
+    let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 7);
+
+    // Intersection camera: 3 motion bursts of ~90 s at 5 frames/s.
+    let mut intersection = FunctionSetup::new(
+        mobilenet_v2(),
+        0.25, // 250 ms waiting-time SLO for near-real-time alerts
+        WorkloadSpec::Steps {
+            steps: vec![
+                (0.0, 0.0),
+                (60.0, 5.0),
+                (150.0, 0.0),
+                (300.0, 5.0),
+                (390.0, 0.0),
+                (540.0, 5.0),
+                (630.0, 0.0),
+            ],
+            duration: 720.0,
+        },
+    );
+    intersection.user = UserId(0);
+    let cam1 = sim.add_function(intersection);
+
+    // Doorbell camera: shorter, more frequent bursts at 8 frames/s.
+    let mut doorbell = FunctionSetup::new(
+        squeezenet(),
+        0.1,
+        WorkloadSpec::Steps {
+            steps: vec![
+                (0.0, 0.0),
+                (30.0, 8.0),
+                (75.0, 0.0),
+                (180.0, 8.0),
+                (225.0, 0.0),
+                (420.0, 8.0),
+                (465.0, 0.0),
+                (600.0, 8.0),
+                (645.0, 0.0),
+            ],
+            duration: 720.0,
+        },
+    );
+    doorbell.user = UserId(1);
+    let cam2 = sim.add_function(doorbell);
+
+    let mut report = sim.run(None);
+
+    println!("Edge video analytics — two motion-triggered camera pipelines\n");
+    for (label, id) in [("intersection/MobileNet", cam1), ("doorbell/SqueezeNet", cam2)] {
+        let f = report.per_fn.get_mut(&id.0).expect("deployed");
+        println!("{label}:");
+        println!("  frames processed : {}", f.completed);
+        println!(
+            "  waiting time     : p95 {:.1} ms (SLO attainment {:.1}%)",
+            f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+            f.slo_attainment() * 100.0
+        );
+        let peak = f
+            .container_timeline
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        let idle_share = f
+            .container_timeline
+            .points()
+            .iter()
+            .filter(|&&(_, v)| v == 0.0)
+            .count() as f64
+            / f.container_timeline.len().max(1) as f64;
+        println!(
+            "  containers       : peak {peak:.0}, zero-allocation {:.0}% of epochs",
+            idle_share * 100.0
+        );
+    }
+    println!(
+        "\ncluster average allocated utilization: {:.1}%  (bursty feeds -> capacity\n\
+         is only held while motion events are being processed)",
+        report.allocated_utilization * 100.0
+    );
+}

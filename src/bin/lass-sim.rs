@@ -1,0 +1,71 @@
+//! `lass-sim` — run a declarative JSON scenario through the LaSS
+//! simulator and print the per-function report.
+//!
+//! ```sh
+//! cargo run --bin lass-sim -- scenarios/demo.json [--json out.json]
+//! ```
+
+use lass::scenario::Scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: lass-sim <scenario.json> [--json <report.json>]");
+        std::process::exit(2);
+    };
+    let json_out = match (args.next().as_deref(), args.next()) {
+        (Some("--json"), Some(p)) => Some(p),
+        (None, _) => None,
+        _ => {
+            eprintln!("usage: lass-sim <scenario.json> [--json <report.json>]");
+            std::process::exit(2);
+        }
+    };
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let scenario = Scenario::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let mut report = scenario.run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10} {:>10} {:>8}",
+        "fn", "name", "arrivals", "done", "rerun", "p95W(ms)", "p99W(ms)", "attain"
+    );
+    for (id, f) in report.per_fn.iter_mut() {
+        println!(
+            "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10.1} {:>10.1} {:>8.3}",
+            id,
+            f.name,
+            f.arrivals,
+            f.completed,
+            f.reruns,
+            f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+            f.wait.percentile(0.99).unwrap_or(0.0) * 1e3,
+            f.slo_attainment()
+        );
+    }
+    println!(
+        "\ncluster: {:.1}% allocated / {:.1}% busy; {} of {} epochs overloaded; {} failed creates",
+        report.allocated_utilization * 100.0,
+        report.busy_utilization * 100.0,
+        report.overloaded_epochs,
+        report.epochs,
+        report.failed_creates
+    );
+    if let Some(p) = json_out {
+        std::fs::write(&p, serde_json::to_string_pretty(&report).expect("serializable"))
+            .unwrap_or_else(|e| {
+                eprintln!("error: writing {p}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("(wrote {p})");
+    }
+}

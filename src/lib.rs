@@ -1,0 +1,29 @@
+//! # LaSS — Latency-Sensitive Serverless at the Edge
+//!
+//! Facade crate re-exporting the full LaSS reproduction
+//! (Wang, Ali-Eldin, Shenoy — HPDC '21):
+//!
+//! * [`queueing`] — M/M/c capacity models, heterogeneous worst-case bounds,
+//!   Algorithm 1 container solvers, rate estimators.
+//! * [`simcore`] — deterministic discrete-event simulation substrate.
+//! * [`cluster`] — edge-cluster runtime: nodes, containers, placement,
+//!   in-place CPU resize (deflation mechanism).
+//! * [`functions`] — the paper's function catalog (Table 1), deflation
+//!   service-time models (Fig. 7), workload generators and Azure-like
+//!   traces.
+//! * [`core`] — the LaSS controller: model-driven autoscaling, weighted
+//!   fair share, termination/deflation reclamation, the end-to-end
+//!   simulation.
+//! * [`openwhisk`] — the vanilla OpenWhisk baseline scheduler (§6.6).
+//!
+//! The [`scenario`] module adds declarative JSON scenarios for the
+//! `lass-sim` binary. See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod scenario;
+
+pub use lass_cluster as cluster;
+pub use lass_core as core;
+pub use lass_functions as functions;
+pub use lass_openwhisk as openwhisk;
+pub use lass_queueing as queueing;
+pub use lass_simcore as simcore;

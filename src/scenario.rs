@@ -1,0 +1,252 @@
+//! Declarative simulation scenarios.
+//!
+//! A scenario is a JSON document describing a cluster, a controller
+//! configuration, and a set of functions with workloads — everything
+//! needed to run a LaSS simulation without writing Rust. Used by the
+//! `lass-sim` binary:
+//!
+//! ```sh
+//! cargo run --bin lass-sim -- scenarios/demo.json
+//! ```
+
+use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, UserId};
+use lass_core::{FunctionSetup, LassConfig, SimReport, Simulation};
+use lass_functions::{
+    binary_alert, geofence, image_resizer, micro_benchmark, mobilenet_v2, shufflenet_v2,
+    squeezenet, FunctionSpec, WorkloadSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// Cluster shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// CPU per node in milli-vCPU.
+    pub cpu_milli: u32,
+    /// Memory per node in MiB.
+    pub mem_mib: u32,
+    /// Placement policy (defaults to best-fit).
+    #[serde(default)]
+    pub placement: PlacementPolicy,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        // The paper's testbed.
+        Self {
+            nodes: 3,
+            cpu_milli: 4000,
+            mem_mib: 16 * 1024,
+            placement: PlacementPolicy::BestFit,
+        }
+    }
+}
+
+/// A function entry: either a catalog name or a custom spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum FunctionRef {
+    /// One of the Table 1 functions by name (`"mobilenet_v2"`,
+    /// `"squeezenet"`, …; `"micro_benchmark:<ms>"` for the configurable
+    /// micro-benchmark).
+    Catalog(String),
+    /// A fully custom function spec.
+    Custom(FunctionSpec),
+}
+
+impl FunctionRef {
+    /// Materialize the spec.
+    pub fn resolve(&self) -> Result<FunctionSpec, String> {
+        match self {
+            FunctionRef::Custom(spec) => Ok(spec.clone()),
+            FunctionRef::Catalog(name) => {
+                if let Some(ms) = name.strip_prefix("micro_benchmark:") {
+                    let ms: f64 = ms
+                        .parse()
+                        .map_err(|_| format!("bad micro_benchmark service time: {name}"))?;
+                    return Ok(micro_benchmark(ms / 1e3));
+                }
+                match name.as_str() {
+                    "micro_benchmark" => Ok(micro_benchmark(0.1)),
+                    "mobilenet_v2" => Ok(mobilenet_v2()),
+                    "shufflenet_v2" => Ok(shufflenet_v2()),
+                    "squeezenet" => Ok(squeezenet()),
+                    "binary_alert" => Ok(binary_alert()),
+                    "geofence" => Ok(geofence()),
+                    "image_resizer" => Ok(image_resizer()),
+                    other => Err(format!("unknown catalog function: {other}")),
+                }
+            }
+        }
+    }
+}
+
+/// One deployed function in a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionEntry {
+    /// The function (catalog name or custom spec).
+    pub function: FunctionRef,
+    /// SLO deadline in milliseconds (waiting time).
+    pub slo_ms: f64,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
+    /// Weight within the user (default 1).
+    #[serde(default = "one")]
+    pub weight: f64,
+    /// Owning user id (default 0).
+    #[serde(default)]
+    pub user: u32,
+    /// The user's weight (default 1; the last entry per user wins).
+    #[serde(default = "one")]
+    pub user_weight: f64,
+    /// Containers provisioned warm at t = 0 (default 0).
+    #[serde(default)]
+    pub initial_containers: u32,
+}
+
+fn one() -> f64 {
+    1.0
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// RNG seed (default 42).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Cluster shape (default: the paper's 3×4-vCPU testbed).
+    #[serde(default)]
+    pub cluster: ClusterSpec,
+    /// Controller configuration (default: the paper's settings).
+    #[serde(default)]
+    pub config: LassConfig,
+    /// Deployed functions.
+    pub functions: Vec<FunctionEntry>,
+    /// Optional duration override in seconds (default: longest workload).
+    #[serde(default)]
+    pub duration_secs: Option<f64>,
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+impl Scenario {
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Scenario, String> {
+        serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))
+    }
+
+    /// Build and run the simulation.
+    pub fn run(&self) -> Result<SimReport, String> {
+        if self.functions.is_empty() {
+            return Err("scenario has no functions".into());
+        }
+        self.config.validate()?;
+        let cluster = Cluster::homogeneous(
+            self.cluster.nodes,
+            CpuMilli(self.cluster.cpu_milli),
+            MemMib(self.cluster.mem_mib),
+            self.cluster.placement,
+        );
+        let mut sim = Simulation::new(self.config.clone(), cluster, self.seed);
+        for entry in &self.functions {
+            let spec = entry.function.resolve()?;
+            let mut setup = FunctionSetup::new(spec, entry.slo_ms / 1e3, entry.workload.clone());
+            setup.weight = entry.weight;
+            setup.user = UserId(entry.user);
+            setup.user_weight = entry.user_weight;
+            setup.initial_containers = entry.initial_containers;
+            sim.add_function(setup);
+        }
+        Ok(sim.run(self.duration_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"{
+        "seed": 7,
+        "cluster": { "nodes": 3, "cpu_milli": 4000, "mem_mib": 16384 },
+        "functions": [
+            {
+                "function": "micro_benchmark:100",
+                "slo_ms": 100,
+                "workload": { "Static": { "rate": 15.0, "duration": 60.0 } },
+                "initial_containers": 2
+            },
+            {
+                "function": "squeezenet",
+                "slo_ms": 100,
+                "user": 1,
+                "user_weight": 2.0,
+                "workload": { "Steps": { "steps": [[0.0, 0.0], [30.0, 10.0]], "duration": 60.0 } }
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn demo_scenario_parses_and_runs() {
+        let sc = Scenario::from_json(DEMO).expect("valid scenario");
+        assert_eq!(sc.seed, 7);
+        assert_eq!(sc.functions.len(), 2);
+        let report = sc.run().expect("runs");
+        assert!(report.per_fn[&0].completed > 500);
+        assert!(report.per_fn[&1].completed > 100);
+    }
+
+    #[test]
+    fn catalog_names_resolve() {
+        for name in [
+            "micro_benchmark",
+            "mobilenet_v2",
+            "shufflenet_v2",
+            "squeezenet",
+            "binary_alert",
+            "geofence",
+            "image_resizer",
+        ] {
+            assert!(FunctionRef::Catalog(name.into()).resolve().is_ok(), "{name}");
+        }
+        assert!(FunctionRef::Catalog("nope".into()).resolve().is_err());
+        let mb = FunctionRef::Catalog("micro_benchmark:250".into())
+            .resolve()
+            .unwrap();
+        assert!((mb.service.base_time - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scenario_rejected() {
+        let sc = Scenario {
+            seed: 1,
+            cluster: ClusterSpec::default(),
+            config: LassConfig::default(),
+            functions: vec![],
+            duration_secs: None,
+        };
+        assert!(sc.run().is_err());
+    }
+
+    #[test]
+    fn custom_function_round_trips_through_json() {
+        let spec = micro_benchmark(0.2);
+        let entry = FunctionEntry {
+            function: FunctionRef::Custom(spec),
+            slo_ms: 150.0,
+            workload: WorkloadSpec::Static {
+                rate: 5.0,
+                duration: 30.0,
+            },
+            weight: 1.0,
+            user: 0,
+            user_weight: 1.0,
+            initial_containers: 1,
+        };
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: FunctionEntry = serde_json::from_str(&json).unwrap();
+        assert!(back.function.resolve().is_ok());
+    }
+}

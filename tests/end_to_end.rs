@@ -1,0 +1,309 @@
+//! Cross-crate integration tests: queueing model ↔ simulator ↔ controller
+//! ↔ baseline, exercised through the public facade (`lass::*`).
+
+use lass::cluster::{Cluster, UserId};
+use lass::core::{
+    DispatchPolicy, FunctionSetup, LassConfig, ReclamationPolicy, Simulation,
+};
+use lass::functions::{
+    binary_alert, micro_benchmark, mobilenet_v2, squeezenet, WorkloadSpec,
+};
+use lass::openwhisk::{OwConfig, OwFunctionSetup, OwSimulation};
+use lass::queueing::{required_containers_exact, SolverConfig};
+
+/// The headline model-validation loop (Fig. 3 in miniature): Algorithm 1's
+/// allocation holds the P95 waiting-time SLO in a full simulation.
+#[test]
+fn model_allocation_meets_slo_end_to_end() {
+    for &(mu, lambda, slo) in &[(10.0, 20.0, 0.1), (5.0, 30.0, 0.2), (10.0, 50.0, 0.1)] {
+        let c = required_containers_exact(
+            lambda,
+            mu,
+            slo,
+            &SolverConfig {
+                target_percentile: 0.99,
+                max_containers: 10_000,
+            },
+        )
+        .expect("feasible")
+        .containers;
+        let mut cfg = LassConfig::default();
+        cfg.autoscale = false;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 42);
+        let mut setup = FunctionSetup::new(
+            micro_benchmark(1.0 / mu),
+            slo,
+            WorkloadSpec::Static {
+                rate: lambda,
+                duration: 300.0,
+            },
+        );
+        setup.initial_containers = c;
+        sim.add_function(setup);
+        let mut report = sim.run(Some(300.0));
+        let f = report.per_fn.get_mut(&0).expect("one function");
+        let p95 = f.wait.percentile(0.95).expect("has samples");
+        assert!(
+            p95 <= slo * 1.15,
+            "mu={mu} lambda={lambda}: p95 {p95:.4}s vs SLO {slo}s"
+        );
+    }
+}
+
+/// The autoscaler provisions from zero and converges near the model's
+/// static answer.
+#[test]
+fn autoscaler_converges_to_model_allocation() {
+    let lambda = 30.0;
+    let mu = 10.0;
+    let model_c = required_containers_exact(lambda, mu, 0.1, &SolverConfig::default())
+        .expect("feasible")
+        .containers as f64;
+    let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 1);
+    sim.add_function(FunctionSetup::new(
+        micro_benchmark(1.0 / mu),
+        0.1,
+        WorkloadSpec::Static {
+            rate: lambda,
+            duration: 400.0,
+        },
+    ));
+    let report = sim.run(Some(400.0));
+    let f = &report.per_fn[&0];
+    let late: Vec<f64> = f
+        .container_timeline
+        .points()
+        .iter()
+        .filter(|(t, _)| *t > 200.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let avg = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(
+        (avg - model_c).abs() <= 1.5,
+        "steady-state {avg:.1} containers vs model {model_c}"
+    );
+}
+
+/// Overload: both reclamation policies respect the weighted guarantee, and
+/// deflation never retains less capacity for a capped function.
+#[test]
+fn reclamation_policies_respect_fair_share() {
+    let run = |policy: ReclamationPolicy| {
+        let mut cfg = LassConfig::default();
+        cfg.reclamation = policy;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 5);
+        let mut a = FunctionSetup::new(
+            binary_alert(),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 300.0,
+                duration: 300.0,
+            },
+        );
+        a.user = UserId(0);
+        sim.add_function(a);
+        let mut b = FunctionSetup::new(
+            mobilenet_v2(),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 10.0,
+                duration: 300.0,
+            },
+        );
+        b.user = UserId(1);
+        sim.add_function(b);
+        let report = sim.run(Some(300.0));
+        assert!(report.overloaded_epochs > 10, "scenario must overload");
+        (
+            report.per_fn[&0].cpu_timeline.mean_between(150.0, 300.0).unwrap(),
+            report.per_fn[&1].cpu_timeline.mean_between(150.0, 300.0).unwrap(),
+        )
+    };
+    let (term_a, term_b) = run(ReclamationPolicy::Termination);
+    let (defl_a, defl_b) = run(ReclamationPolicy::Deflation);
+    // Equal weights => each guaranteed 6000 milli (minus one container of
+    // granularity slack).
+    for (label, a, b) in [("term", term_a, term_b), ("defl", defl_a, defl_b)] {
+        assert!(a >= 5000.0, "{label}: BA got {a}");
+        assert!(b >= 4000.0, "{label}: MN got {b}");
+        assert!(a + b <= 12_100.0, "{label}: over capacity");
+    }
+    // Deflation retains at least as much for each function.
+    assert!(defl_a + 1.0 >= term_a * 0.95, "defl_a={defl_a} term_a={term_a}");
+    assert!(defl_b + 1.0 >= term_b * 0.95, "defl_b={defl_b} term_b={term_b}");
+}
+
+/// The same CPU-heavy burst that cascades vanilla OpenWhisk leaves LaSS
+/// fully operational (§6.6).
+#[test]
+fn lass_survives_what_kills_openwhisk() {
+    let ba_wl = WorkloadSpec::Static {
+        rate: 40.0,
+        duration: 400.0,
+    };
+    let mn_wl = WorkloadSpec::Steps {
+        steps: vec![(0.0, 0.0), (60.0, 20.0)],
+        duration: 400.0,
+    };
+
+    let mut ow = OwSimulation::new(OwConfig {
+        seed: 3,
+        ..OwConfig::default()
+    });
+    ow.add_function(OwFunctionSetup {
+        spec: binary_alert(),
+        workload: ba_wl.clone(),
+        slo_deadline: 0.1,
+    });
+    ow.add_function(OwFunctionSetup {
+        spec: mobilenet_v2(),
+        workload: mn_wl.clone(),
+        slo_deadline: 0.1,
+    });
+    let ow_report = ow.run(Some(400.0));
+    assert!(
+        !ow_report.failures.is_empty(),
+        "OpenWhisk must suffer invoker failures"
+    );
+
+    let mut lass = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 3);
+    let mut ba = FunctionSetup::new(binary_alert(), 0.1, ba_wl);
+    ba.user = UserId(0);
+    ba.initial_containers = 2;
+    lass.add_function(ba);
+    let mut mn = FunctionSetup::new(mobilenet_v2(), 0.1, mn_wl);
+    mn.user = UserId(1);
+    lass.add_function(mn);
+    let report = lass.run(Some(400.0));
+    // LaSS keeps serving both functions to the end.
+    let ba_done = report.per_fn[&0].completed as f64 / report.per_fn[&0].arrivals as f64;
+    assert!(ba_done > 0.95, "BA completion ratio {ba_done}");
+    assert!(report.per_fn[&1].completed > 1000, "MobileNet still served");
+}
+
+/// Identical seeds give bitwise-identical results across the whole stack.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 99);
+        sim.add_function(FunctionSetup::new(
+            squeezenet(),
+            0.1,
+            WorkloadSpec::Ramp {
+                from: 5.0,
+                to: 40.0,
+                duration: 200.0,
+            },
+        ));
+        sim.run(Some(200.0))
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.per_fn[&0].arrivals, b.per_fn[&0].arrivals);
+    assert_eq!(a.per_fn[&0].completed, b.per_fn[&0].completed);
+    assert_eq!(a.per_fn[&0].wait.samples(), b.per_fn[&0].wait.samples());
+    assert_eq!(
+        a.per_fn[&0].container_timeline.points(),
+        b.per_fn[&0].container_timeline.points()
+    );
+}
+
+/// Dispatch disciplines order as theory predicts at the same allocation.
+#[test]
+fn dispatch_disciplines_order_correctly() {
+    let run = |policy: DispatchPolicy| {
+        let mut cfg = LassConfig::default();
+        cfg.autoscale = false;
+        cfg.dispatch = policy;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 17);
+        let mut setup = FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 40.0,
+                duration: 300.0,
+            },
+        );
+        setup.initial_containers = 6;
+        sim.add_function(setup);
+        let mut report = sim.run(Some(300.0));
+        report.per_fn.get_mut(&0).unwrap().wait.percentile(0.95).unwrap()
+    };
+    let shared = run(DispatchPolicy::SharedQueue);
+    let idle_first = run(DispatchPolicy::IdleFirstWrr);
+    let wrr = run(DispatchPolicy::Wrr);
+    assert!(shared <= idle_first * 1.2, "shared={shared} idle={idle_first}");
+    assert!(idle_first < wrr, "idle={idle_first} wrr={wrr}");
+}
+
+/// Hard request timeouts bound queueing when a function is starved.
+#[test]
+fn starved_function_requests_time_out() {
+    let mut cfg = LassConfig::default();
+    cfg.request_timeout_secs = Some(30.0);
+    cfg.autoscale = false;
+    let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 23);
+    let mut setup = FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static {
+            rate: 30.0, // 3 containers can serve 30/s at best: rho = 1
+            duration: 240.0,
+        },
+    );
+    setup.initial_containers = 2; // guaranteed overload
+    sim.add_function(setup);
+    let mut report = sim.run(Some(240.0));
+    let f = report.per_fn.get_mut(&0).expect("one function");
+    assert!(f.timeouts > 0, "expected abandoned requests");
+    let p_max = f.wait.max().unwrap_or(0.0);
+    assert!(
+        p_max <= 31.0,
+        "served waits must respect the 30s hard limit, got {p_max}"
+    );
+}
+
+/// Failure injection: frequent container crashes degrade but never wedge
+/// the system — orphans are re-dispatched and the controller replaces the
+/// lost capacity within an epoch.
+#[test]
+fn survives_container_crash_injection() {
+    let mut cfg = LassConfig::default();
+    cfg.container_mtbf_secs = Some(30.0); // brutal: each container dies ~every 30s
+    let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), 41);
+    sim.add_function(FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static {
+            rate: 20.0,
+            duration: 300.0,
+        },
+    ));
+    let report = sim.run(Some(300.0));
+    let f = &report.per_fn[&0];
+    assert!(report.crashes > 10, "crash injection active: {}", report.crashes);
+    assert!(f.reruns > 0, "orphans were re-dispatched");
+    let done = f.completed as f64 / f.arrivals as f64;
+    assert!(done > 0.97, "completion ratio {done} despite crashes");
+    // Tail latency suffers but the controller keeps the function served.
+    assert!(
+        f.slo_attainment() > 0.7,
+        "attainment {} under crash storm",
+        f.slo_attainment()
+    );
+}
+
+/// Without failure injection the crash counter stays at zero.
+#[test]
+fn no_crashes_unless_injected() {
+    let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 42);
+    sim.add_function(FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static {
+            rate: 10.0,
+            duration: 60.0,
+        },
+    ));
+    let report = sim.run(Some(60.0));
+    assert_eq!(report.crashes, 0);
+}

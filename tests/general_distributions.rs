@@ -1,0 +1,123 @@
+//! Cross-validation of the general-distribution capacity models (the
+//! paper's §8 future work, implemented in `lass_queueing::approx`): size an
+//! allocation with the G/G/c approximation, run the simulator with the
+//! matching *non-exponential* service distribution, and check the SLO.
+
+use lass::cluster::Cluster;
+use lass::core::{FunctionSetup, LassConfig, Simulation};
+use lass::functions::{FunctionSpec, ServiceDistribution, ServiceModel, WorkloadSpec};
+use lass::queueing::{required_containers_general, SolverConfig, Variability};
+use lass::simcore::SimDuration;
+
+fn custom_fn(dist: ServiceDistribution) -> FunctionSpec {
+    FunctionSpec {
+        name: "custom".into(),
+        languages: "Rust".into(),
+        standard_cpu: lass::cluster::CpuMilli(400),
+        standard_mem: lass::cluster::MemMib(256),
+        service: ServiceModel::new(0.1, 0.7, dist),
+        cold_start: SimDuration::from_millis(400),
+    }
+}
+
+fn measure_p95(spec: FunctionSpec, containers: u32, lambda: f64, seed: u64) -> f64 {
+    let mut cfg = LassConfig::default();
+    cfg.autoscale = false;
+    let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), seed);
+    let mut setup = FunctionSetup::new(
+        spec,
+        0.1,
+        WorkloadSpec::Static {
+            rate: lambda,
+            duration: 600.0,
+        },
+    );
+    setup.initial_containers = containers;
+    sim.add_function(setup);
+    let mut report = sim.run(Some(600.0));
+    report
+        .per_fn
+        .get_mut(&0)
+        .expect("one function")
+        .wait
+        .percentile(0.95)
+        .expect("samples")
+}
+
+#[test]
+fn mdc_model_validates_against_deterministic_service() {
+    // Deterministic 100 ms service, SLO 100 ms on waiting time.
+    let solver = SolverConfig::default();
+    for &lambda in &[20.0, 40.0] {
+        let c = required_containers_general(
+            lambda,
+            10.0,
+            Variability::DETERMINISTIC_SERVICE,
+            0.1,
+            &solver,
+        )
+        .expect("feasible")
+        .containers;
+        let p95 = measure_p95(
+            custom_fn(ServiceDistribution::Deterministic),
+            c,
+            lambda,
+            31,
+        );
+        assert!(
+            p95 <= 0.1,
+            "M/D/c allocation c={c} missed: p95={p95:.4}s at λ={lambda}"
+        );
+    }
+}
+
+#[test]
+fn mdc_needs_fewer_containers_than_mmc() {
+    let solver = SolverConfig::default();
+    let det = required_containers_general(
+        50.0,
+        10.0,
+        Variability::DETERMINISTIC_SERVICE,
+        0.05,
+        &solver,
+    )
+    .unwrap()
+    .containers;
+    let exp =
+        required_containers_general(50.0, 10.0, Variability::MARKOVIAN, 0.05, &solver)
+            .unwrap()
+            .containers;
+    assert!(det <= exp, "M/D/c ({det}) should need at most M/M/c ({exp})");
+}
+
+#[test]
+fn lognormal_service_sized_by_its_cv_meets_slo() {
+    // cv = 1.5 (heavier than exponential): size with the G/G/c correction
+    // and validate in simulation.
+    let cv = 1.5;
+    let solver = SolverConfig::default();
+    let lambda = 30.0;
+    let c = required_containers_general(
+        lambda,
+        10.0,
+        Variability::from_service_cv(cv),
+        0.1,
+        &solver,
+    )
+    .expect("feasible")
+    .containers;
+    let p95 = measure_p95(
+        custom_fn(ServiceDistribution::LogNormal { cv }),
+        c,
+        lambda,
+        37,
+    );
+    assert!(p95 <= 0.11, "G/G/c allocation c={c} missed: p95={p95:.4}s");
+
+    // And the exponential-sized allocation would be smaller — i.e. the
+    // correction is doing real work.
+    let c_exp = required_containers_general(lambda, 10.0, Variability::MARKOVIAN, 0.1, &solver)
+        .unwrap()
+        .containers;
+    assert!(c >= c_exp, "cv=1.5 sizing ({c}) >= exponential sizing ({c_exp})");
+}

@@ -1,0 +1,103 @@
+//! Property-based integration tests: system-level invariants that must
+//! hold for arbitrary workloads and configurations.
+
+use lass::cluster::{Cluster, UserId};
+use lass::core::{FunctionSetup, LassConfig, ReclamationPolicy, Simulation};
+use lass::functions::{micro_benchmark, WorkloadSpec};
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = ReclamationPolicy> {
+    prop_oneof![
+        Just(ReclamationPolicy::Termination),
+        Just(ReclamationPolicy::Deflation),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No matter the load or policy: capacity accounting never drifts, no
+    /// request is double-completed, and utilization stays in [0, 1].
+    #[test]
+    fn conservation_laws_hold(
+        seed in 0u64..500,
+        rate1 in 1.0f64..120.0,
+        rate2 in 1.0f64..40.0,
+        policy in policy_strategy(),
+    ) {
+        let mut cfg = LassConfig::default();
+        cfg.reclamation = policy;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), seed);
+        let mut a = FunctionSetup::new(
+            micro_benchmark(0.05),
+            0.1,
+            WorkloadSpec::Static { rate: rate1, duration: 120.0 },
+        );
+        a.user = UserId(0);
+        sim.add_function(a);
+        let mut b = FunctionSetup::new(
+            micro_benchmark(0.2),
+            0.1,
+            WorkloadSpec::Steps {
+                steps: vec![(0.0, 0.0), (40.0, rate2)],
+                duration: 120.0,
+            },
+        );
+        b.user = UserId(1);
+        sim.add_function(b);
+        let report = sim.run(Some(120.0));
+
+        for (id, f) in &report.per_fn {
+            prop_assert!(
+                f.completed + f.timeouts <= f.arrivals,
+                "fn {id}: {} done + {} expired > {} arrivals",
+                f.completed, f.timeouts, f.arrivals
+            );
+            prop_assert!(f.slo_attainment() >= 0.0 && f.slo_attainment() <= 1.0);
+            for &(_, v) in f.cpu_timeline.points() {
+                prop_assert!((0.0..=12_000.0).contains(&v));
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&report.allocated_utilization));
+        prop_assert!((0.0..=1.0).contains(&report.busy_utilization));
+        // Deterministic epoch count: duration / epoch length.
+        prop_assert_eq!(report.epochs, 12);
+    }
+
+    /// Under any overload mix, the sum of adjusted allocations never
+    /// exceeds capacity and the weighted guarantee holds for both policies.
+    #[test]
+    fn overload_never_overcommits(
+        seed in 0u64..200,
+        heavy in 150.0f64..400.0,
+        policy in policy_strategy(),
+    ) {
+        let mut cfg = LassConfig::default();
+        cfg.reclamation = policy;
+        let mut sim = Simulation::new(cfg, Cluster::paper_testbed(), seed);
+        let mut a = FunctionSetup::new(
+            micro_benchmark(0.05),
+            0.05,
+            WorkloadSpec::Static { rate: heavy, duration: 180.0 },
+        );
+        a.user = UserId(0);
+        sim.add_function(a);
+        let mut b = FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.05,
+            WorkloadSpec::Static { rate: heavy / 2.0, duration: 180.0 },
+        );
+        b.user = UserId(1);
+        sim.add_function(b);
+        let report = sim.run(Some(180.0));
+        // Total allocation never exceeds cluster capacity at any epoch.
+        let pts_a = report.per_fn[&0].cpu_timeline.points();
+        let pts_b = report.per_fn[&1].cpu_timeline.points();
+        for (&(t, va), &(_, vb)) in pts_a.iter().zip(pts_b) {
+            prop_assert!(
+                va + vb <= 12_000.0 + 1e-6,
+                "t={t}: {va} + {vb} exceeds capacity"
+            );
+        }
+    }
+}
