@@ -1,0 +1,460 @@
+//! Minimal stand-in for `proptest`: random-sampling property tests.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(...)]` header, range strategies over
+//! the numeric primitives, tuple strategies, [`Just`], `prop_oneof!`,
+//! `prop::collection::vec`, `prop_map` / `prop_filter` combinators, and
+//! the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Compared to real proptest there is no shrinking and no failure
+//! persistence: a failing case panics with the sampled inputs' Debug
+//! representation in the message. Sampling is deterministic per test
+//! (seeded from the test's module path and name).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic source of randomness for strategies.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test name; the same test always replays the same cases.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Error raised by a test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: resample, don't fail.
+    Reject,
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+/// How many cases to run.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+///
+/// `sample` returns `None` when the draw was rejected (by a filter);
+/// the driver then retries with fresh randomness.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value, or `None` on rejection.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Reject generated values failing `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        pred: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy { inner: self, pred }
+    }
+
+    /// Type-erase for heterogeneous unions (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// `prop_map` result.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` result.
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> Option<V> {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                Some(self.start.wrapping_add(rng.below(span) as $t))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty strategy range");
+                let span = (e as u128).wrapping_sub(s as u128) as u64;
+                Some(s.wrapping_add((rng.below(span.saturating_add(1))) as $t))
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                Some(self.start + (self.end - self.start) * rng.unit() as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (s, e) = (*self.start(), *self.end());
+                Some(s + (e - s) * rng.unit() as $t)
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn sample(&self, _rng: &mut TestRng) -> Option<bool> {
+        Some(*self)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// `collection::vec` result.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.clone().sample(rng)?;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Give each slot a few retries before rejecting the vector.
+                let mut item = None;
+                for _ in 0..16 {
+                    item = self.element.sample(rng);
+                    if item.is_some() {
+                        break;
+                    }
+                }
+                out.push(item?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// The glob-import surface: traits, types, and macros.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Driver used by the generated tests; not public API.
+pub fn __max_attempts(cases: u32) -> u32 {
+    cases.saturating_mul(64).max(1024)
+}
+
+/// Define property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let __max = $crate::__max_attempts(__config.cases);
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max,
+                        "proptest shim: exceeded {} sampling attempts in {}",
+                        __max,
+                        stringify!($name)
+                    );
+                    $(
+                        let $pat = match $crate::Strategy::sample(&($strat), &mut __rng) {
+                            Some(__v) => __v,
+                            None => continue,
+                        };
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    match __outcome {
+                        Ok(()) => __accepted += 1,
+                        Err($crate::TestCaseError::Reject) => {}
+                        Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!("proptest case failed: {}", __msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a property inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}",
+                concat!("assertion failed: ", stringify!($cond))
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discard the current case (resample) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($item)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y={y}");
+        }
+
+        #[test]
+        fn filters_reject(v in (0u32..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn maps_apply(s in (1u32..5).prop_map(|v| v * 10)) {
+            prop_assert!((10..50).contains(&s));
+        }
+
+        #[test]
+        fn oneof_and_vec(
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            items in prop::collection::vec(0u8..5, 1..10),
+        ) {
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(!items.is_empty() && items.len() < 10);
+            prop_assume!(!items.is_empty());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal stand-in for `rand_distr`: the exponential, log-normal,
+//! normal, and Poisson distributions used by the simulator's RNG layer.
+//! Sampling algorithms are textbook (inversion, Box–Muller, Knuth /
+//! normal-approximation Poisson); streams differ from upstream
+//! `rand_distr` but are deterministic given the shim `rand` RNG.
+
+use rand::Rng;
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+impl std::error::Error for ParamError {}
+
+fn unit_open(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    // (0, 1]: guards ln(0).
+    let bits = rng.next_u64() >> 11;
+    (bits as f64 + 1.0) * (1.0 / (1u64 << 53) as f64)
+}
+
+fn standard_normal(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    // Box–Muller; one value per call (the pair's partner is discarded,
+    // which keeps the distribution stateless).
+    let u1 = unit_open(rng);
+    let u2 = unit_open(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// A new exponential; `rate` must be positive and finite.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if rate > 0.0 && rate.is_finite() {
+            Ok(Self { rate })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.rate
+    }
+}
+
+/// Normal distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A new normal; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(ParamError("Normal parameters must be finite, std_dev >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution (parameters are of the underlying normal).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A new log-normal; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(ParamError(
+                "LogNormal parameters must be finite, sigma >= 0",
+            ))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Poisson distribution. Samples are returned as `f64` to match
+/// `rand_distr`'s API.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// A new Poisson; `mean` must be positive and finite.
+    pub fn new(mean: f64) -> Result<Self, ParamError> {
+        if mean > 0.0 && mean.is_finite() {
+            Ok(Self { mean })
+        } else {
+            Err(ParamError("Poisson mean must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 30.0 {
+            // Knuth's product-of-uniforms method (exact).
+            let limit = (-self.mean).exp();
+            let mut product = unit_open(rng);
+            let mut count = 0u64;
+            while product > limit {
+                product *= unit_open(rng);
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction — adequate
+            // for the large per-minute trace means this workspace uses.
+            let z = standard_normal(rng);
+            (self.mean + self.mean.sqrt() * z + 0.5).floor().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Exp::new(4.0).unwrap();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean_exact_method() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Poisson::new(6.5).unwrap();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 6.5).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_approximation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Poisson::new(400.0).unwrap();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 400.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // mu/sigma chosen for linear mean 0.1, cv 0.5.
+        let sigma2 = (1.0 + 0.25f64).ln();
+        let d = LogNormal::new((0.1f64).ln() - sigma2 / 2.0, sigma2.sqrt()).unwrap();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "mean={mean}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+    }
+}

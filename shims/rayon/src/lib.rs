@@ -1,0 +1,161 @@
+//! Minimal stand-in for `rayon`, covering the one idiom this workspace
+//! uses: `collection.par_iter().map(f).collect()` (and the `into_par_iter`
+//! variant). Unlike a sequential passthrough this shim really fans the
+//! mapped closure out across `std::thread::scope` workers, preserving
+//! input order in the collected output — the experiment harnesses run
+//! dozens of independent simulations per figure and benefit directly.
+
+use std::sync::Mutex;
+
+/// Create a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Create a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Borrow into a [`ParIter`].
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map every element through `f` (evaluated in parallel at collect).
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every element, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _: Vec<()> = parallel_map(self.items, &|x| f(x));
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, O, F> ParMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    /// Evaluate the map across worker threads and collect in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) -> Vec<O> {
+    let len = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work = Mutex::new(items.into_iter().enumerate());
+    let done: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").next();
+                let Some((idx, item)) = next else { break };
+                let out = f(item);
+                done.lock().expect("results poisoned").push((idx, out));
+            });
+        }
+    });
+    let mut results = done.into_inner().expect("results poisoned");
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, out)| out).collect()
+}
+
+/// The commonly-glob-imported surface.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_by_value() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        items.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
