@@ -28,8 +28,7 @@ fn bench_solvers(c: &mut Criterion) {
             &(&mus, lambda),
             |b, (mus, lambda)| {
                 b.iter(|| {
-                    required_additional_containers(*lambda, mus, 10.0, 0.1, &cfg)
-                        .expect("feasible")
+                    required_additional_containers(*lambda, mus, 10.0, 0.1, &cfg).expect("feasible")
                 })
             },
         );
@@ -55,8 +54,7 @@ fn bench_primitives(c: &mut Criterion) {
     });
     group.bench_function("algorithm1_hom_lambda200", |b| {
         b.iter(|| {
-            required_containers_exact(200.0, 10.0, 0.1, &SolverConfig::default())
-                .expect("feasible")
+            required_containers_exact(200.0, 10.0, 0.1, &SolverConfig::default()).expect("feasible")
         })
     });
     group.finish();

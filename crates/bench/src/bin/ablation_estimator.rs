@@ -77,7 +77,12 @@ fn run_one(dual_window: bool, jump: f64, seed: u64) -> Point {
         f.slo_attainment()
     };
     Point {
-        estimator: if dual_window { "dual-window" } else { "ewma-only" }.into(),
+        estimator: if dual_window {
+            "dual-window"
+        } else {
+            "ewma-only"
+        }
+        .into(),
         jump: format!("+{:.0}%", jump * 100.0),
         reaction_secs: reaction,
         attainment_after_jump: wait_ok,

@@ -8,7 +8,7 @@
 //! the cost of held capacity).
 
 use lass_bench::{header, row, HarnessOpts};
-use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy};
 use lass_core::{FunctionSetup, LassConfig, PredictorKind, Simulation};
 use lass_functions::{micro_benchmark, WorkloadSpec};
 use rayon::prelude::*;
@@ -70,10 +70,7 @@ fn run_one(
     sim.add_function(setup);
     let mut report = sim.run(Some(duration));
     let f = report.per_fn.get_mut(&0).expect("one function");
-    let avg_cpu = f
-        .cpu_timeline
-        .mean_between(0.0, duration)
-        .unwrap_or(0.0);
+    let avg_cpu = f.cpu_timeline.mean_between(0.0, duration).unwrap_or(0.0);
     Point {
         predictor: label,
         workload: wl_name,
@@ -96,7 +93,10 @@ fn main() {
             },
             "holt".to_string(),
         ),
-        (PredictorKind::Peak { window_secs: 120.0 }, "peak-hold".to_string()),
+        (
+            PredictorKind::Peak { window_secs: 120.0 },
+            "peak-hold".to_string(),
+        ),
     ];
     let cases: Vec<(PredictorKind, String, &'static str, WorkloadSpec)> = predictors
         .iter()

@@ -9,7 +9,7 @@
 //! waiting distribution per (λ, μ, SLO) point.
 
 use lass_bench::{header, row, HarnessOpts};
-use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy};
 use lass_core::{FunctionSetup, LassConfig, ScalerKind, Simulation};
 use lass_functions::{micro_benchmark, WorkloadSpec};
 use rayon::prelude::*;
@@ -88,7 +88,10 @@ fn main() {
          (micro-benchmark, mu=10, SLO = P95 wait <= 100ms)\n"
     );
     let widths = [16, 8, 10, 12, 10];
-    header(&["scaler", "lambda", "avg c", "p95W(ms)", "attain"], &widths);
+    header(
+        &["scaler", "lambda", "avg c", "p95W(ms)", "attain"],
+        &widths,
+    );
     for p in &points {
         row(
             &[

@@ -95,11 +95,20 @@ fn main() {
         let widths = [8, 6, 12, 12, 12, 12, 10];
         header(
             &[
-                "lambda", "c", "meanW(ms)", "p95W(ms)", "p99W(ms)", "SLO(ms)", "attain",
+                "lambda",
+                "c",
+                "meanW(ms)",
+                "p95W(ms)",
+                "p99W(ms)",
+                "SLO(ms)",
+                "attain",
             ],
             &widths,
         );
-        for p in points.iter().filter(|p| p.mu == mu && p.slo_ms == slo * 1e3) {
+        for p in points
+            .iter()
+            .filter(|p| p.mu == mu && p.slo_ms == slo * 1e3)
+        {
             row(
                 &[
                     &p.lambda,
@@ -115,7 +124,10 @@ fn main() {
         }
     }
 
-    let ok = points.iter().filter(|p| p.p95_wait_ms <= p.slo_ms * 1.1).count();
+    let ok = points
+        .iter()
+        .filter(|p| p.p95_wait_ms <= p.slo_ms * 1.1)
+        .count();
     println!(
         "\nSummary: {}/{} configurations have P95 waiting time within 110% of the SLO\n\
          (the paper reports 'below or close to the SLO deadline' for all points).",

@@ -10,7 +10,7 @@
 //! must stay below the 100 ms SLO across λ = 10..100 req/s.
 
 use lass_bench::{header, row, HarnessOpts};
-use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy};
 use lass_core::{FunctionSetup, LassConfig, Simulation};
 use lass_functions::{squeezenet, WorkloadSpec};
 use lass_queueing::{required_containers_exact, SolverConfig};
@@ -70,10 +70,7 @@ fn run_point(deflated_pct: u32, lambda: f64, duration: f64, seed: u64) -> Point 
         ctl.set_reinflate(false);
         let ids: Vec<_> = cluster.containers_of(fn_id).to_vec();
         for cid in ids.into_iter().take(n_deflate) {
-            let std = cluster
-                .container(cid)
-                .expect("provisioned")
-                .standard_cpu();
+            let std = cluster.container(cid).expect("provisioned").standard_cpu();
             cluster
                 .resize_container_cpu(cid, std.scale(0.7))
                 .expect("deflation fits");

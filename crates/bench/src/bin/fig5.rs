@@ -121,16 +121,16 @@ fn main() {
             &widths,
         );
     }
-    let max_ms = points
-        .iter()
-        .map(|p| p.logspace_ms)
-        .fold(0.0f64, f64::max);
+    let max_ms = points.iter().map(|p| p.logspace_ms).fold(0.0f64, f64::max);
     println!(
         "\nSummary: worst-case log-space decision time {max_ms:.2} ms at 1000 containers\n\
          (paper: Julia implementation reacts 'within less than 100 ms even with a 1000\n\
          running containers'; its Scala implementation failed on the x2 spike)."
     );
     let naive_failures = points.iter().filter(|p| p.naive_failed).count();
-    println!("Naive implementation failures: {naive_failures}/{} cases.", points.len());
+    println!(
+        "Naive implementation failures: {naive_failures}/{} cases.",
+        points.len()
+    );
     opts.maybe_write_json(&points);
 }

@@ -9,7 +9,7 @@
 //! time — allocations should track the steps in both directions.
 
 use lass_bench::{header, row, HarnessOpts};
-use lass_cluster::{CpuMilli, Cluster, MemMib, PlacementPolicy};
+use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy};
 use lass_core::{FunctionSetup, LassConfig, Simulation};
 use lass_functions::{micro_benchmark, mobilenet_v2, WorkloadSpec};
 use serde::Serialize;

@@ -72,7 +72,11 @@ fn main() {
     for c in &curves {
         let base = c.measured_ms[0];
         let at = |pct: u32| {
-            let i = c.deflation_pct.iter().position(|&p| p == pct).expect("grid");
+            let i = c
+                .deflation_pct
+                .iter()
+                .position(|&p| p == pct)
+                .expect("grid");
             c.measured_ms[i] / base
         };
         row(

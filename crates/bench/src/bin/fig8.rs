@@ -20,9 +20,7 @@
 
 use lass_bench::{header, row, HarnessOpts};
 use lass_cluster::{Cluster, UserId};
-use lass_core::{
-    FunctionSetup, LassConfig, ReclamationPolicy, SimReport, Simulation,
-};
+use lass_core::{FunctionSetup, LassConfig, ReclamationPolicy, SimReport, Simulation};
 use lass_functions::{binary_alert, mobilenet_v2, WorkloadSpec};
 use serde::Serialize;
 
@@ -152,8 +150,7 @@ fn main() {
             &widths2,
         );
     }
-    let delta =
-        (defl.utilization_overload_window - term.utilization_overload_window) * 100.0;
+    let delta = (defl.utilization_overload_window - term.utilization_overload_window) * 100.0;
     println!(
         "\nDeflation improves overload-window utilization by {delta:.1} percentage points\n\
          (paper: 78.2% -> 83.2%, +6.4% relative). SLO attainment — termination: BA {:.3} / MN {:.3};\n\

@@ -116,7 +116,13 @@ fn main() {
     let widths = [8, 10, 10, 10, 10, 10, 10];
     header(
         &[
-            "t(min)", "term:u1", "term:u2", "term:idle", "defl:u1", "defl:u2", "defl:idle",
+            "t(min)",
+            "term:u1",
+            "term:u2",
+            "term:idle",
+            "defl:u1",
+            "defl:u2",
+            "defl:idle",
         ],
         &widths,
     );
@@ -148,7 +154,10 @@ fn main() {
 
     println!("\nSystem utilization and SLO attainment:");
     let widths2 = [14, 12, 12, 12];
-    header(&["policy", "alloc util", "busy util", "overl.ep."], &widths2);
+    header(
+        &["policy", "alloc util", "busy util", "overl.ep."],
+        &widths2,
+    );
     for r in [&term, &defl] {
         row(
             &[

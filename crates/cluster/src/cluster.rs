@@ -304,13 +304,31 @@ impl Cluster {
                     count += 1;
                 }
             }
-            assert_eq!(node.cpu_used(), cpu, "cpu accounting drift on {}", node.id());
-            assert_eq!(node.mem_used(), mem, "mem accounting drift on {}", node.id());
-            assert_eq!(node.container_count(), count, "count drift on {}", node.id());
+            assert_eq!(
+                node.cpu_used(),
+                cpu,
+                "cpu accounting drift on {}",
+                node.id()
+            );
+            assert_eq!(
+                node.mem_used(),
+                mem,
+                "mem accounting drift on {}",
+                node.id()
+            );
+            assert_eq!(
+                node.container_count(),
+                count,
+                "count drift on {}",
+                node.id()
+            );
         }
         for (fn_id, list) in &self.by_fn {
             for cid in list {
-                let ctr = self.containers.get(cid).expect("by_fn points at live container");
+                let ctr = self
+                    .containers
+                    .get(cid)
+                    .expect("by_fn points at live container");
                 assert_eq!(ctr.fn_id(), *fn_id, "by_fn index corrupted");
             }
         }
@@ -322,19 +340,20 @@ mod tests {
     use super::*;
 
     fn small() -> Cluster {
-        Cluster::homogeneous(
-            2,
-            CpuMilli(4000),
-            MemMib(8192),
-            PlacementPolicy::WorstFit,
-        )
+        Cluster::homogeneous(2, CpuMilli(4000), MemMib(8192), PlacementPolicy::WorstFit)
     }
 
     #[test]
     fn create_and_terminate_round_trip() {
         let mut cl = small();
         let cid = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::from_millis(500))
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::from_millis(500),
+            )
             .unwrap();
         assert_eq!(cl.container_count(), 1);
         assert_eq!(cl.fn_container_count(FnId(0)), 1);
@@ -351,10 +370,22 @@ mod tests {
     fn placement_spreads_with_worst_fit() {
         let mut cl = small();
         let a = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap();
         let b = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap();
         let na = cl.container(a).unwrap().node();
         let nb = cl.container(b).unwrap().node();
@@ -366,11 +397,23 @@ mod tests {
     fn capacity_exhaustion_is_reported() {
         let mut cl = small();
         for _ in 0..8 {
-            cl.create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
-                .unwrap();
+            cl.create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let err = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
         cl.check_invariants();
@@ -382,8 +425,14 @@ mod tests {
         let mut ids = Vec::new();
         for _ in 0..8 {
             ids.push(
-                cl.create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
-                    .unwrap(),
+                cl.create_container(
+                    FnId(0),
+                    CpuMilli(1000),
+                    MemMib(512),
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                )
+                .unwrap(),
             );
         }
         // Deflate four containers by 30% => frees 1200 milli spread 2/2.
@@ -393,21 +442,40 @@ mod tests {
         cl.check_invariants();
         assert_eq!(cl.total_cpu_used(), CpuMilli(8000 - 1200));
         // A 0.5-vCPU container now fits.
-        cl.create_container(FnId(1), CpuMilli(500), MemMib(256), SimTime::ZERO, SimTime::ZERO)
-            .unwrap();
+        cl.create_container(
+            FnId(1),
+            CpuMilli(500),
+            MemMib(256),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        )
+        .unwrap();
         cl.check_invariants();
     }
 
     #[test]
     fn reinflation_respects_node_capacity() {
-        let mut cl = Cluster::homogeneous(1, CpuMilli(2000), MemMib(4096), PlacementPolicy::FirstFit);
+        let mut cl =
+            Cluster::homogeneous(1, CpuMilli(2000), MemMib(4096), PlacementPolicy::FirstFit);
         let a = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap();
         cl.resize_container_cpu(a, CpuMilli(600)).unwrap();
         // Fill the freed space.
-        cl.create_container(FnId(1), CpuMilli(1400), MemMib(512), SimTime::ZERO, SimTime::ZERO)
-            .unwrap();
+        cl.create_container(
+            FnId(1),
+            CpuMilli(1400),
+            MemMib(512),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        )
+        .unwrap();
         // Re-inflation no longer fits.
         let err = cl.resize_container_cpu(a, CpuMilli(1000)).unwrap_err();
         assert!(matches!(err, ClusterError::ResizeExceedsNode(_)));
@@ -418,7 +486,13 @@ mod tests {
     fn resize_rejects_above_standard() {
         let mut cl = small();
         let a = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(cl.resize_container_cpu(a, CpuMilli(1500)).is_err());
     }
@@ -436,7 +510,13 @@ mod tests {
     fn orphans_survive_termination() {
         let mut cl = small();
         let a = cl
-            .create_container(FnId(0), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap();
         {
             let c = cl.container_mut(a).unwrap();
@@ -453,10 +533,22 @@ mod tests {
     fn fn_cpu_aggregates_deflated_sizes() {
         let mut cl = small();
         let a = cl
-            .create_container(FnId(3), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
+            .create_container(
+                FnId(3),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::ZERO,
+            )
             .unwrap();
-        cl.create_container(FnId(3), CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
-            .unwrap();
+        cl.create_container(
+            FnId(3),
+            CpuMilli(1000),
+            MemMib(512),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        )
+        .unwrap();
         cl.resize_container_cpu(a, CpuMilli(750)).unwrap();
         assert_eq!(cl.fn_cpu(FnId(3)), CpuMilli(1750));
         assert_eq!(cl.fn_container_count(FnId(3)), 2);

@@ -302,7 +302,10 @@ mod tests {
         assert_eq!(c.try_begin_service(SimTime::ZERO), Some(RequestId(1)));
         assert_eq!(c.load(), 3);
         c.complete_service(SimTime::from_millis(10));
-        assert_eq!(c.try_begin_service(SimTime::from_millis(10)), Some(RequestId(2)));
+        assert_eq!(
+            c.try_begin_service(SimTime::from_millis(10)),
+            Some(RequestId(2))
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl Node {
 
     /// Release a container's resources.
     pub fn release(&mut self, cpu: CpuMilli, mem: MemMib) {
-        assert!(cpu <= self.cpu_used && mem <= self.mem_used, "release underflow");
+        assert!(
+            cpu <= self.cpu_used && mem <= self.mem_used,
+            "release underflow"
+        );
         self.cpu_used -= cpu;
         self.mem_used -= mem;
         assert!(self.containers > 0, "release with no containers");

@@ -15,8 +15,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..4, 100u32..2500, 64u32..2048)
-            .prop_map(|(fn_id, cpu, mem)| Op::Create { fn_id, cpu, mem }),
+        (0u32..4, 100u32..2500, 64u32..2048).prop_map(|(fn_id, cpu, mem)| Op::Create {
+            fn_id,
+            cpu,
+            mem
+        }),
         (0usize..64).prop_map(|idx| Op::Terminate { idx }),
         ((0usize..64), 0.3f64..1.0).prop_map(|(idx, ratio)| Op::Resize { idx, ratio }),
         (0usize..64).prop_map(|idx| Op::Reinflate { idx }),

@@ -76,8 +76,14 @@ mod tests {
 
     #[test]
     fn shrink_classification() {
-        assert!(Command::Terminate { cid: ContainerId(1) }.is_shrink());
-        assert!(Command::Mark { cid: ContainerId(1) }.is_shrink());
+        assert!(Command::Terminate {
+            cid: ContainerId(1)
+        }
+        .is_shrink());
+        assert!(Command::Mark {
+            cid: ContainerId(1)
+        }
+        .is_shrink());
         assert!(!Command::Create {
             fn_id: FnId(0),
             cpu: CpuMilli(100),

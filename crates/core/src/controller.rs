@@ -58,8 +58,7 @@ impl LassController {
     /// profiles are loaded from each function's spec (§5, approach 1).
     pub fn new(cfg: LassConfig, registry: FunctionRegistry) -> Self {
         cfg.validate().expect("invalid LassConfig");
-        let mut profiler =
-            lass_functions::ServiceTimeProfiler::new(cfg.profiler_min_samples);
+        let mut profiler = lass_functions::ServiceTimeProfiler::new(cfg.profiler_min_samples);
         let mut trackers = BTreeMap::new();
         for rec in registry.iter() {
             profiler.register(rec.fn_id, rec.spec.service);
@@ -400,7 +399,8 @@ impl LassController {
                             Err(_) => {
                                 attempts = attempts.saturating_sub(1);
                                 if attempts == 0
-                                    || !self.make_room(cluster, plan, fn_id, cpu, mem, now, &mut out)
+                                    || !self
+                                        .make_room(cluster, plan, fn_id, cpu, mem, now, &mut out)
                                 {
                                     out.failed_creates += 1;
                                     break;
@@ -494,10 +494,8 @@ impl LassController {
             }
         }
         if let Some((node_id, _)) = best {
-            let mut short = f64::from(cpu.0)
-                - f64::from(
-                    cluster.nodes()[node_id.0 as usize].cpu_free().0,
-                );
+            let mut short =
+                f64::from(cpu.0) - f64::from(cluster.nodes()[node_id.0 as usize].cpu_free().0);
             // Deflate containers on this node, largest headroom first.
             let mut candidates: Vec<(lass_cluster::ContainerId, FnId, f64)> = cluster
                 .all_containers()
@@ -619,7 +617,10 @@ mod tests {
             .iter()
             .filter(|c| matches!(c, Command::Create { .. }))
             .count();
-        assert!(creates >= 3, "20 req/s at mu=10 needs >2 containers, got {creates}");
+        assert!(
+            creates >= 3,
+            "20 req/s at mu=10 needs >2 containers, got {creates}"
+        );
         let out = ctl.apply(&mut cluster, &plan, SimTime::from_secs(120));
         assert_eq!(out.created.len(), creates);
         assert_eq!(out.failed_creates, 0);
@@ -638,7 +639,10 @@ mod tests {
                 marked += 1;
             }
         }
-        assert!(marked >= creates - 1, "idle containers get marked: {marked}");
+        assert!(
+            marked >= creates - 1,
+            "idle containers get marked: {marked}"
+        );
         cluster.check_invariants();
     }
 
@@ -708,7 +712,10 @@ mod tests {
         assert!(!p1.overloaded);
         ctl.apply(&mut cluster, &p1, SimTime::from_secs(120));
         let mn_before = cluster.fn_cpu(mn);
-        assert!(mn_before.0 > 6000, "MobileNet exceeds fair share: {mn_before}");
+        assert!(
+            mn_before.0 > 6000,
+            "MobileNet exceeds fair share: {mn_before}"
+        );
         assert!(cluster.fn_containers(mn).all(|c| !c.is_deflated()));
 
         // Phase 2: BinaryAlert bursts; the cluster overloads and BA's
@@ -721,7 +728,11 @@ mod tests {
             ctl.on_monitor_tick(now, &m);
         }
         let p2 = ctl.plan_epoch(&cluster, 240.0);
-        assert!(p2.overloaded, "demand must exceed capacity: {:?}", p2.desired_cpu);
+        assert!(
+            p2.overloaded,
+            "demand must exceed capacity: {:?}",
+            p2.desired_cpu
+        );
         let total: f64 = p2.adjusted_cpu.values().sum();
         assert!(total <= 12_000.0 + 1e-6);
         for f in [ba, mn] {
@@ -735,7 +746,10 @@ mod tests {
         let out = ctl.apply(&mut cluster, &p2, SimTime::from_secs(240));
         cluster.check_invariants();
         // On-demand reclamation deflated MobileNet's fleet.
-        let deflated = cluster.fn_containers(mn).filter(|c| c.is_deflated()).count();
+        let deflated = cluster
+            .fn_containers(mn)
+            .filter(|c| c.is_deflated())
+            .count();
         assert!(deflated > 0, "deflation policy deflates the over-budget fn");
         for c in cluster.all_containers() {
             assert!(c.deflation_ratio() <= 0.30 + 1e-9);
@@ -789,10 +803,7 @@ mod tests {
         let cluster = Cluster::paper_testbed();
         let mut cfg = LassConfig::default();
         cfg.autoscale = false;
-        let (mut ctl, _) = controller_with(
-            cfg,
-            vec![(micro_benchmark(0.1), 0.1, 1.0, UserId(0))],
-        );
+        let (mut ctl, _) = controller_with(cfg, vec![(micro_benchmark(0.1), 0.1, 1.0, UserId(0))]);
         let plan = ctl.plan_epoch(&cluster, 60.0);
         assert!(plan.commands.is_empty());
     }

@@ -221,11 +221,18 @@ mod tests {
         // so remaining = 11000 is split 5:1 between the overloaded {f1, f2}.
         // The paper's Eq 8 then grants f1 ≈ 9166 — more than its 6000
         // desire; water-filling caps f1 at 6000 and passes the rest to f2.
-        let rs = [req(0, 10.0, 1000.0), req(1, 5.0, 6000.0), req(2, 1.0, 50_000.0)];
+        let rs = [
+            req(0, 10.0, 1000.0),
+            req(1, 5.0, 6000.0),
+            req(2, 1.0, 50_000.0),
+        ];
         let paper = fair_share_paper(&rs, 12_000.0);
         assert!(paper[&FnId(1)] > 6000.0, "paper overshoots: {paper:?}");
         let wf = fair_share(&rs, 12_000.0);
-        assert!((wf[&FnId(1)] - 6000.0).abs() < 1e-9, "water-filling caps at desire");
+        assert!(
+            (wf[&FnId(1)] - 6000.0).abs() < 1e-9,
+            "water-filling caps at desire"
+        );
         assert!(wf[&FnId(2)] > paper[&FnId(2)], "the overshoot goes to f2");
     }
 

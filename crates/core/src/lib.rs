@@ -23,8 +23,13 @@
 //! * [`loadbalancer`] — smooth weighted round robin over containers (§5).
 //! * [`controller`] — the epoch loop tying it together; command executor
 //!   with lazy termination (§3.3).
-//! * [`simulation`] — end-to-end deterministic simulation of a LaSS
-//!   cluster (the evaluation substrate).
+//! * [`simulation`] — the LaSS scheduling policy plugged into the shared
+//!   discrete-event engine (`lass_simcore::engine`): end-to-end
+//!   deterministic simulation of a LaSS cluster (the evaluation
+//!   substrate).
+//! * [`staticalloc`] — a static-allocation round-robin policy on the same
+//!   engine: the "provisioned-for-peak" baseline, and proof that new
+//!   schedulers are ~100-line plugins.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +44,7 @@ pub mod predictor;
 pub mod reclaim;
 pub mod registry;
 pub mod simulation;
+pub mod staticalloc;
 pub mod tree;
 
 pub use commands::{Command, Plan};
@@ -51,4 +57,5 @@ pub use predictor::{BurstAwarePredictor, HoltPredictor, PeakPredictor, Predictor
 pub use reclaim::{deflation_commands, termination_commands, FnSnapshot};
 pub use registry::{FunctionRecord, FunctionRegistry};
 pub use simulation::{FnReport, FunctionSetup, SimReport, Simulation};
+pub use staticalloc::StaticRrSimulation;
 pub use tree::WeightTree;

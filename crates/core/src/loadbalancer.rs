@@ -84,7 +84,11 @@ mod tests {
     #[test]
     fn equal_weights_round_robin() {
         let mut wrr = SmoothWrr::new();
-        let cands = [(ContainerId(0), 1.0), (ContainerId(1), 1.0), (ContainerId(2), 1.0)];
+        let cands = [
+            (ContainerId(0), 1.0),
+            (ContainerId(1), 1.0),
+            (ContainerId(2), 1.0),
+        ];
         let counts = count_picks(&mut wrr, &cands, 300);
         for c in 0..3 {
             assert_eq!(counts[&ContainerId(c)], 100);
@@ -95,7 +99,11 @@ mod tests {
     fn weights_respected_proportionally() {
         let mut wrr = SmoothWrr::new();
         // Weights 5:3:2 over 1000 picks.
-        let cands = [(ContainerId(0), 5.0), (ContainerId(1), 3.0), (ContainerId(2), 2.0)];
+        let cands = [
+            (ContainerId(0), 5.0),
+            (ContainerId(1), 3.0),
+            (ContainerId(2), 2.0),
+        ];
         let counts = count_picks(&mut wrr, &cands, 1000);
         assert_eq!(counts[&ContainerId(0)], 500);
         assert_eq!(counts[&ContainerId(1)], 300);

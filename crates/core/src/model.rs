@@ -64,11 +64,7 @@ impl From<SolverError> for ModelError {
 /// The wait budget for a function: the full SLO deadline when the SLO is on
 /// waiting time only (the paper's evaluation convention), otherwise the
 /// deadline minus the service-time tail (§3.1: `t = d − 1/μ_p99`).
-pub fn wait_budget_for(
-    cfg: &LassConfig,
-    slo_deadline: f64,
-    service_p99: f64,
-) -> f64 {
+pub fn wait_budget_for(cfg: &LassConfig, slo_deadline: f64, service_p99: f64) -> f64 {
     if cfg.slo_on_waiting_only {
         slo_deadline
     } else {
@@ -138,8 +134,7 @@ pub fn desired_allocation(
             })
             .collect();
         existing.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
-        let res =
-            required_additional_containers(lambda, &existing, std_est.rate, t, &solver_cfg)?;
+        let res = required_additional_containers(lambda, &existing, std_est.rate, t, &solver_cfg)?;
         let existing_cpu: f64 = cluster
             .fn_containers(fn_id)
             .map(|c| f64::from(c.cpu().0))
@@ -181,8 +176,17 @@ mod tests {
     fn zero_rate_desires_nothing() {
         let cl = big_cluster();
         let p = profiler_with(FnId(0), 0.1);
-        let d = desired_allocation(&cl, FnId(0), 0.0, 0.1, 1000.0, &p, &LassConfig::default(), false)
-            .unwrap();
+        let d = desired_allocation(
+            &cl,
+            FnId(0),
+            0.0,
+            0.1,
+            1000.0,
+            &p,
+            &LassConfig::default(),
+            false,
+        )
+        .unwrap();
         assert_eq!(d.count, 0);
         assert_eq!(d.cpu, 0.0);
     }
@@ -192,8 +196,7 @@ mod tests {
         let cl = big_cluster();
         let p = profiler_with(FnId(0), 0.1);
         let cfg = LassConfig::default();
-        let d =
-            desired_allocation(&cl, FnId(0), 30.0, 0.1, 1000.0, &p, &cfg, false).unwrap();
+        let d = desired_allocation(&cl, FnId(0), 30.0, 0.1, 1000.0, &p, &cfg, false).unwrap();
         let expect = required_containers_exact(
             30.0,
             10.0,
@@ -212,9 +215,17 @@ mod tests {
     fn unknown_function_errors() {
         let cl = big_cluster();
         let p = ServiceTimeProfiler::new(50);
-        let err =
-            desired_allocation(&cl, FnId(7), 5.0, 0.1, 1000.0, &p, &LassConfig::default(), false)
-                .unwrap_err();
+        let err = desired_allocation(
+            &cl,
+            FnId(7),
+            5.0,
+            0.1,
+            1000.0,
+            &p,
+            &LassConfig::default(),
+            false,
+        )
+        .unwrap_err();
         assert!(matches!(err, ModelError::NoServiceEstimate(_)));
     }
 
@@ -225,8 +236,14 @@ mod tests {
         let mut ids = Vec::new();
         for _ in 0..4 {
             ids.push(
-                cl.create_container(fn_id, CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
-                    .unwrap(),
+                cl.create_container(
+                    fn_id,
+                    CpuMilli(1000),
+                    MemMib(512),
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                )
+                .unwrap(),
             );
         }
         // Deflate two containers by 50%.
@@ -256,8 +273,14 @@ mod tests {
     fn higher_load_desires_more_cpu() {
         let mut cl = big_cluster();
         let fn_id = FnId(0);
-        cl.create_container(fn_id, CpuMilli(1000), MemMib(512), SimTime::ZERO, SimTime::ZERO)
-            .unwrap();
+        cl.create_container(
+            fn_id,
+            CpuMilli(1000),
+            MemMib(512),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let p = profiler_with(fn_id, 0.1);
         let cfg = LassConfig::default();
         let lo = desired_allocation(&cl, fn_id, 10.0, 0.1, 1000.0, &p, &cfg, false).unwrap();

@@ -21,8 +21,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Which predictor the controller instantiates per function.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PredictorKind {
     /// The paper's dual-window + EWMA scheme (default).
     #[default]
@@ -43,7 +42,6 @@ pub enum PredictorKind {
         window_secs: f64,
     },
 }
-
 
 /// A per-function rate predictor (enum-dispatched).
 #[derive(Debug, Clone)]
@@ -78,9 +76,7 @@ impl Predictor {
                 beta,
                 horizon_secs,
             } => Predictor::Holt(HoltPredictor::new(alpha, beta, horizon_secs)),
-            PredictorKind::Peak { window_secs } => {
-                Predictor::Peak(PeakPredictor::new(window_secs))
-            }
+            PredictorKind::Peak { window_secs } => Predictor::Peak(PeakPredictor::new(window_secs)),
         }
     }
 
@@ -185,8 +181,7 @@ impl HoltPredictor {
         }
         let prev_level = self.level;
         self.level = self.alpha * rate + (1.0 - self.alpha) * (self.level + self.trend * dt);
-        self.trend =
-            self.beta * (self.level - prev_level) / dt + (1.0 - self.beta) * self.trend;
+        self.trend = self.beta * (self.level - prev_level) / dt + (1.0 - self.beta) * self.trend;
     }
 
     fn predict(&mut self, _now: f64) -> f64 {
@@ -224,10 +219,7 @@ impl PeakPredictor {
     }
 
     fn predict(&mut self, _now: f64) -> f64 {
-        self.ticks
-            .iter()
-            .map(|&(_, r)| r)
-            .fold(0.0f64, f64::max)
+        self.ticks.iter().map(|&(_, r)| r).fold(0.0f64, f64::max)
     }
 }
 

@@ -45,7 +45,9 @@ impl FnSnapshot {
     /// capacity, then newest (highest id).
     fn termination_order(&self) -> Vec<(ContainerId, CpuMilli, bool)> {
         let mut v = self.containers.clone();
-        v.sort_by_key(|&(cid, cpu, marked)| (std::cmp::Reverse(marked), cpu, std::cmp::Reverse(cid)));
+        v.sort_by_key(|&(cid, cpu, marked)| {
+            (std::cmp::Reverse(marked), cpu, std::cmp::Reverse(cid))
+        });
         v
     }
 }
@@ -225,7 +227,17 @@ mod tests {
     #[test]
     fn termination_keeps_whole_containers_only() {
         // 5 standard containers, budget 6000 of 2000-size => keep 3.
-        let s = snap(vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, false), (5, 2000, false)], 5, 6000.0);
+        let s = snap(
+            vec![
+                (1, 2000, false),
+                (2, 2000, false),
+                (3, 2000, false),
+                (4, 2000, false),
+                (5, 2000, false),
+            ],
+            5,
+            6000.0,
+        );
         let cmds = termination_commands(&s);
         let (n, cpu) = resulting_cpu(&s, &cmds);
         assert_eq!(n, 3);
@@ -235,7 +247,17 @@ mod tests {
     #[test]
     fn termination_leaves_fragment_unused() {
         // Budget 9500 => floor to 4 containers (8000); 1500 fragment wasted.
-        let s = snap(vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, false), (5, 2000, false)], 5, 9500.0);
+        let s = snap(
+            vec![
+                (1, 2000, false),
+                (2, 2000, false),
+                (3, 2000, false),
+                (4, 2000, false),
+                (5, 2000, false),
+            ],
+            5,
+            9500.0,
+        );
         let cmds = termination_commands(&s);
         let (n, cpu) = resulting_cpu(&s, &cmds);
         assert_eq!(n, 4);
@@ -249,7 +271,13 @@ mod tests {
         // reclamation happens only when another function claims the space
         // (Fig. 8c: MobileNet exceeds its fair share while unclaimed).
         let s = snap(
-            vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, false), (5, 2000, false)],
+            vec![
+                (1, 2000, false),
+                (2, 2000, false),
+                (3, 2000, false),
+                (4, 2000, false),
+                (5, 2000, false),
+            ],
             5,
             6000.0,
         );
@@ -265,7 +293,12 @@ mod tests {
         // Load dropped (desired 2 < current 4): surplus is marked, not
         // terminated or resized.
         let s = snap(
-            vec![(1, 2000, false), (2, 2000, false), (3, 2000, false), (4, 2000, true)],
+            vec![
+                (1, 2000, false),
+                (2, 2000, false),
+                (3, 2000, false),
+                (4, 2000, true),
+            ],
             2,
             4000.0,
         );
@@ -308,7 +341,9 @@ mod tests {
             .count();
         assert_eq!(creates, 3);
         // The marked survivor is unmarked.
-        assert!(cmds.iter().any(|c| matches!(c, Command::Unmark { cid } if *cid == ContainerId(1))));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Command::Unmark { cid } if *cid == ContainerId(1))));
     }
 
     #[test]
@@ -363,7 +398,11 @@ mod tests {
     #[test]
     fn desired_count_caps_termination_target() {
         // Budget would fit 5 but the model only wants 2.
-        let s = snap(vec![(1, 2000, false), (2, 2000, false), (3, 2000, false)], 2, 10_000.0);
+        let s = snap(
+            vec![(1, 2000, false), (2, 2000, false), (3, 2000, false)],
+            2,
+            10_000.0,
+        );
         let (n, _) = resulting_cpu(&s, &termination_commands(&s));
         assert_eq!(n, 2);
         // Deflation marks the surplus container lazily.

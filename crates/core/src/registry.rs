@@ -52,7 +52,10 @@ impl FunctionRegistry {
         weight: f64,
         user: UserId,
     ) -> FnId {
-        assert!(slo_deadline > 0.0 && slo_deadline.is_finite(), "invalid SLO");
+        assert!(
+            slo_deadline > 0.0 && slo_deadline.is_finite(),
+            "invalid SLO"
+        );
         assert!(weight > 0.0 && weight.is_finite(), "invalid weight");
         let fn_id = FnId(self.next);
         self.next += 1;

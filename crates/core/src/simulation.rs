@@ -7,18 +7,21 @@
 //! from the function's (deflation-dependent) model, and the controller
 //! re-plans allocations every epoch from its sliding-window monitors.
 //!
-//! Everything is deterministic given the seed.
+//! The event pump, request lifecycle, and latency statistics live in the
+//! shared engine (`lass_simcore::engine`); this module contributes
+//! [`LassPolicy`], the [`SchedulerPolicy`] implementation that drives a
+//! [`Cluster`] under the [`LassController`]. Everything is deterministic
+//! given the seed.
 
 use crate::commands::Plan;
 use crate::config::{DispatchPolicy, LassConfig};
 use crate::controller::LassController;
 use crate::registry::FunctionRegistry;
-use lass_cluster::{
-    Cluster, ContainerId, ContainerState, FnId, RequestId, UserId,
-};
+use lass_cluster::{Cluster, ContainerId, ContainerState, FnId, RequestId, UserId};
 use lass_functions::{FunctionSpec, WorkloadSpec};
 use lass_simcore::{
-    ArrivalProcess, EventQueue, SampleStats, SimRng, SimTime, TimeSeries, TimeWeightedGauge,
+    run_simulation, EngineConfig, EngineCtx, EngineOutcome, FunctionEntry, ReqId, SampleStats,
+    SchedulerPolicy, SimTime, TimeSeries, TimeWeightedGauge,
 };
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -61,21 +64,18 @@ impl FunctionSetup {
     }
 }
 
+/// Policy events for the LaSS simulation (arrivals are engine-level).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    Arrival(FnId),
     Ready(ContainerId),
-    Complete { cid: ContainerId, seq: u64 },
+    Complete {
+        cid: ContainerId,
+        seq: u64,
+    },
     /// Failure injection: the container crashes (if still alive).
     Crash(ContainerId),
     Monitor,
     Epoch,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ReqState {
-    fn_id: FnId,
-    arrival: SimTime,
 }
 
 /// Per-function results.
@@ -184,9 +184,7 @@ impl Simulation {
     /// Run to completion. `duration` defaults to the longest workload; a
     /// drain grace period lets in-flight requests finish afterwards.
     pub fn run(self, duration_override: Option<f64>) -> SimReport {
-        let duration = self.resolved_duration(duration_override);
-        let mut runner = Runner::new(self.cfg, self.cluster, self.seed, self.setups);
-        runner.run(duration)
+        self.run_with(duration_override, |_, _| {})
     }
 
     /// Run with access to the controller right before the loop starts —
@@ -198,46 +196,47 @@ impl Simulation {
         tweak: impl FnOnce(&mut LassController, &mut Cluster),
     ) -> SimReport {
         let duration = self.resolved_duration(duration_override);
-        let mut runner = Runner::new(self.cfg, self.cluster, self.seed, self.setups);
-        tweak(&mut runner.controller, &mut runner.cluster);
-        runner.run(duration)
+        assert!(duration > 0.0, "simulation needs a positive duration");
+        let entries: Vec<FunctionEntry> = self
+            .setups
+            .iter()
+            .map(|s| FunctionEntry {
+                name: s.spec.name.clone(),
+                slo_deadline: s.slo_deadline,
+                process: s.workload.build(),
+            })
+            .collect();
+        let engine_cfg = EngineConfig {
+            seed: self.seed,
+            rng_label_prefix: String::new(),
+            duration_secs: duration,
+            drain_secs: 120.0,
+        };
+        let mut policy = LassPolicy::new(self.cfg, self.cluster, self.seed, &self.setups);
+        tweak(&mut policy.controller, &mut policy.cluster);
+        run_simulation(engine_cfg, entries, policy)
     }
 }
 
 struct FnRuntime {
-    process: Box<dyn ArrivalProcess + Send>,
-    arrival_rng: SimRng,
-    service_rng: SimRng,
     wrr: crate::loadbalancer::SmoothWrr,
     pending: VecDeque<RequestId>,
-    arrivals_since_tick: u64,
-    // Stats.
-    arrivals: usize,
-    completed: usize,
-    reruns: usize,
-    wait: SampleStats,
-    response: SampleStats,
-    service: SampleStats,
-    slo_violations: usize,
-    timeouts: usize,
     cpu_timeline: TimeSeries,
     container_timeline: TimeSeries,
     rate_timeline: TimeSeries,
 }
 
-struct Runner {
+/// The LaSS scheduling policy: §5 dispatch over a [`Cluster`], with the
+/// controller re-planning every epoch.
+struct LassPolicy {
     cfg: LassConfig,
     cluster: Cluster,
     controller: LassController,
     fns: BTreeMap<FnId, FnRuntime>,
-    slo: BTreeMap<FnId, f64>,
-    events: EventQueue<Ev>,
-    requests: HashMap<RequestId, ReqState>,
     /// Per-container current service: (request, seq, start).
     in_service: HashMap<ContainerId, (RequestId, u64, SimTime)>,
-    next_req: u64,
     next_seq: u64,
-    crash_rng: SimRng,
+    crash_rng: lass_simcore::SimRng,
     crashes: usize,
     util_gauge: TimeWeightedGauge,
     busy_cpu_seconds: f64,
@@ -247,33 +246,19 @@ struct Runner {
     free_timeline: TimeSeries,
 }
 
-impl Runner {
-    fn new(cfg: LassConfig, cluster: Cluster, seed: u64, setups: Vec<FunctionSetup>) -> Self {
+impl LassPolicy {
+    fn new(cfg: LassConfig, cluster: Cluster, seed: u64, setups: &[FunctionSetup]) -> Self {
         let mut registry = FunctionRegistry::new();
         let mut fns = BTreeMap::new();
-        let mut slo = BTreeMap::new();
         for (i, s) in setups.iter().enumerate() {
             registry.set_user_weight(s.user, s.user_weight);
             let fn_id = registry.register(s.spec.clone(), s.slo_deadline, s.weight, s.user);
             debug_assert_eq!(fn_id, FnId(i as u32));
-            slo.insert(fn_id, s.slo_deadline);
             fns.insert(
                 fn_id,
                 FnRuntime {
-                    process: s.workload.build(),
-                    arrival_rng: SimRng::from_seed_label(seed, &format!("arrival:{i}")),
-                    service_rng: SimRng::from_seed_label(seed, &format!("service:{i}")),
                     wrr: crate::loadbalancer::SmoothWrr::new(),
                     pending: VecDeque::new(),
-                    arrivals_since_tick: 0,
-                    arrivals: 0,
-                    completed: 0,
-                    reruns: 0,
-                    wait: SampleStats::new(),
-                    response: SampleStats::new(),
-                    service: SampleStats::new(),
-                    slo_violations: 0,
-                    timeouts: 0,
                     cpu_timeline: TimeSeries::new(),
                     container_timeline: TimeSeries::new(),
                     rate_timeline: TimeSeries::new(),
@@ -312,13 +297,9 @@ impl Runner {
             cluster,
             controller,
             fns,
-            slo,
-            events: EventQueue::new(),
-            requests: HashMap::new(),
             in_service: HashMap::new(),
-            next_req: 0,
             next_seq: 0,
-            crash_rng: SimRng::from_seed_label(seed, "crashes"),
+            crash_rng: lass_simcore::SimRng::from_seed_label(seed, "crashes"),
             crashes: 0,
             util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
             busy_cpu_seconds: 0.0,
@@ -329,79 +310,18 @@ impl Runner {
         }
     }
 
-    fn run(&mut self, duration: f64) -> SimReport {
-        assert!(duration > 0.0, "simulation needs a positive duration");
-        let end = SimTime::from_secs_f64(duration);
-        let hard_end = end + lass_simcore::SimDuration::from_secs(120);
-
-        // Seed initial events.
-        self.util_gauge.set(SimTime::ZERO, self.cluster.cpu_utilization());
-        let fn_ids: Vec<FnId> = self.fns.keys().copied().collect();
-        for f in fn_ids {
-            self.schedule_next_arrival(f, SimTime::ZERO);
-        }
-        let initial: Vec<ContainerId> = self.cluster.all_containers().map(|c| c.id()).collect();
-        for cid in initial {
-            self.arm_crash(cid, SimTime::ZERO);
-        }
-        self.events.schedule(
-            SimTime::from_secs_f64(self.cfg.monitor_interval_secs),
-            Ev::Monitor,
-        );
-        // Epochs run 1 ms after the monitor tick they share an instant
-        // with, so the planner always sees fully up-to-date windows.
-        self.events.schedule(
-            SimTime::from_secs_f64(self.cfg.epoch_secs) + lass_simcore::SimDuration::from_millis(1),
-            Ev::Epoch,
-        );
-
-        while let Some((now, ev)) = self.events.pop() {
-            if now > hard_end {
-                break;
-            }
-            match ev {
-                Ev::Arrival(f) => self.on_arrival(f, now),
-                Ev::Ready(cid) => self.on_ready(cid, now),
-                Ev::Complete { cid, seq } => self.on_complete(cid, seq, now),
-                Ev::Crash(cid) => self.on_crash(cid, now),
-                Ev::Monitor => {
-                    self.on_monitor(now);
-                    if now < end {
-                        self.events.schedule(
-                            now + lass_simcore::SimDuration::from_secs_f64(
-                                self.cfg.monitor_interval_secs,
-                            ),
-                            Ev::Monitor,
-                        );
-                    }
-                }
-                Ev::Epoch => {
-                    self.on_epoch(now);
-                    if now < end {
-                        self.events.schedule(
-                            now + lass_simcore::SimDuration::from_secs_f64(self.cfg.epoch_secs),
-                            Ev::Epoch,
-                        );
-                    }
-                }
-            }
-        }
-
-        self.report(duration)
-    }
-
     /// Failure injection: arm an exponential crash timer for a container.
-    fn arm_crash(&mut self, cid: ContainerId, now: SimTime) {
+    fn arm_crash(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
         if let Some(mtbf) = self.cfg.container_mtbf_secs {
             let dt = self.crash_rng.exp(1.0 / mtbf);
-            self.events.schedule(
+            ctx.schedule(
                 now + lass_simcore::SimDuration::from_secs_f64(dt),
                 Ev::Crash(cid),
             );
         }
     }
 
-    fn on_crash(&mut self, cid: ContainerId, now: SimTime) {
+    fn on_crash(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
         let Ok(term) = self.cluster.terminate_container(cid, now) else {
             return; // already gone (stale timer)
         };
@@ -409,36 +329,15 @@ impl Runner {
         self.in_service.remove(&cid);
         let f = term.container.fn_id();
         for rid in term.orphans {
-            if self.requests.contains_key(&rid) {
-                self.fns.get_mut(&f).expect("known fn").reruns += 1;
-                self.dispatch(rid, f, now);
+            if ctx.rerun(ReqId(rid.0)).is_some() {
+                self.dispatch(ctx, rid, f, now);
             }
         }
     }
 
-    fn schedule_next_arrival(&mut self, f: FnId, now: SimTime) {
-        let rt = self.fns.get_mut(&f).expect("known fn");
-        if let Some(t) = rt.process.next_after(now, &mut rt.arrival_rng) {
-            self.events.schedule(t, Ev::Arrival(f));
-        }
-    }
-
-    fn on_arrival(&mut self, f: FnId, now: SimTime) {
-        let rid = RequestId(self.next_req);
-        self.next_req += 1;
-        self.requests.insert(rid, ReqState { fn_id: f, arrival: now });
-        {
-            let rt = self.fns.get_mut(&f).expect("known fn");
-            rt.arrivals += 1;
-            rt.arrivals_since_tick += 1;
-        }
-        self.dispatch(rid, f, now);
-        self.schedule_next_arrival(f, now);
-    }
-
     /// Hand a request to a container per the dispatch policy, or park it in
     /// the function's pending queue when no container exists yet.
-    fn dispatch(&mut self, rid: RequestId, f: FnId, now: SimTime) {
+    fn dispatch(&mut self, ctx: &mut EngineCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
         let policy = self.cfg.dispatch;
         // Snapshot candidate containers.
         let mut idle: Vec<(ContainerId, f64)> = Vec::new();
@@ -481,7 +380,7 @@ impl Runner {
                     .container_mut(cid)
                     .expect("live container")
                     .enqueue(rid);
-                self.try_start(cid, now);
+                self.try_start(ctx, cid, now);
             }
             None => {
                 self.fns
@@ -496,7 +395,7 @@ impl Runner {
     /// Begin service on `cid` if it is idle with queued work. Requests
     /// whose queueing time already exceeds the platform's hard limit are
     /// abandoned at dequeue (§2.1's execution time limit).
-    fn try_start(&mut self, cid: ContainerId, now: SimTime) {
+    fn try_start(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
         let timeout = self.cfg.request_timeout_secs;
         let (fn_id, deflation, rid) = loop {
             let Some(c) = self.cluster.container_mut(cid) else {
@@ -508,9 +407,8 @@ impl Runner {
                 return;
             };
             let expired = timeout.is_some_and(|limit| {
-                self.requests
-                    .get(&rid)
-                    .is_some_and(|r| now.saturating_since(r.arrival).as_secs_f64() > limit)
+                ctx.request_info(ReqId(rid.0))
+                    .is_some_and(|(_, arrival)| now.saturating_since(arrival).as_secs_f64() > limit)
             });
             if !expired {
                 break (fn_id, deflation, rid);
@@ -519,10 +417,7 @@ impl Runner {
             let c = self.cluster.container_mut(cid).expect("still live");
             let dropped = c.complete_service(now);
             debug_assert_eq!(dropped, rid);
-            self.requests.remove(&rid);
-            let rt = self.fns.get_mut(&fn_id).expect("known fn");
-            rt.timeouts += 1;
-            rt.slo_violations += 1;
+            ctx.abandon(ReqId(rid.0));
         };
         let spec_model = self
             .controller
@@ -531,18 +426,17 @@ impl Runner {
             .expect("registered")
             .spec
             .service;
-        let rt = self.fns.get_mut(&fn_id).expect("known fn");
-        let dur = spec_model.sample(deflation, &mut rt.service_rng);
+        let dur = spec_model.sample(deflation, ctx.service_rng(fn_id.0));
         let seq = self.next_seq;
         self.next_seq += 1;
         self.in_service.insert(cid, (rid, seq, now));
-        self.events.schedule(
+        ctx.schedule(
             now + lass_simcore::SimDuration::from_secs_f64(dur),
             Ev::Complete { cid, seq },
         );
     }
 
-    fn on_ready(&mut self, cid: ContainerId, now: SimTime) {
+    fn on_ready(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
         let Some(c) = self.cluster.container_mut(cid) else {
             return; // terminated while starting
         };
@@ -551,13 +445,13 @@ impl Runner {
         }
         c.mark_ready();
         let f = c.fn_id();
-        self.feed_container(cid, f, now);
+        self.feed_container(ctx, cid, f, now);
     }
 
     /// Give an idle container work: first its own queue, then the
     /// function's pending backlog.
-    fn feed_container(&mut self, cid: ContainerId, f: FnId, now: SimTime) {
-        self.try_start(cid, now);
+    fn feed_container(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, f: FnId, now: SimTime) {
+        self.try_start(ctx, cid, now);
         loop {
             let Some(c) = self.cluster.container(cid) else {
                 return;
@@ -572,11 +466,11 @@ impl Runner {
                 .container_mut(cid)
                 .expect("live container")
                 .enqueue(rid);
-            self.try_start(cid, now);
+            self.try_start(ctx, cid, now);
         }
     }
 
-    fn on_complete(&mut self, cid: ContainerId, seq: u64, now: SimTime) {
+    fn on_complete(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, seq: u64, now: SimTime) {
         // Validate against stale events (container terminated / rerun).
         match self.in_service.get(&cid) {
             Some(&(_, s, _)) if s == seq => {}
@@ -592,42 +486,30 @@ impl Runner {
         let f = c.fn_id();
         let cpu_cores = c.cpu().as_cores();
 
-        let req = self.requests.remove(&rid).expect("known request");
-        let wait = started.saturating_since(req.arrival).as_secs_f64();
-        let service = now.saturating_since(started).as_secs_f64();
-        let response = now.saturating_since(req.arrival).as_secs_f64();
-        let deadline = self.slo[&f];
-        {
-            let rt = self.fns.get_mut(&f).expect("known fn");
-            rt.completed += 1;
-            rt.wait.record(wait);
-            rt.service.record(service);
-            rt.response.record(response);
-            if wait > deadline {
-                rt.slo_violations += 1;
-            }
-        }
-        self.busy_cpu_seconds += service * cpu_cores;
-        self.controller.record_service(f, deflation, service);
+        let completion = ctx
+            .complete(ReqId(rid.0), started, now)
+            .expect("known request");
+        self.busy_cpu_seconds += completion.service * cpu_cores;
+        self.controller
+            .record_service(f, deflation, completion.service);
 
-        self.feed_container(cid, f, now);
+        self.feed_container(ctx, cid, f, now);
     }
 
-    fn on_monitor(&mut self, now: SimTime) {
+    fn on_monitor(&mut self, ctx: &mut EngineCtx<Ev>, now: SimTime) {
         let now_secs = now.as_secs_f64();
+        let window = ctx.take_window_counts();
         let mut counts = BTreeMap::new();
         for (f, rt) in &mut self.fns {
-            counts.insert(*f, rt.arrivals_since_tick);
-            rt.rate_timeline.push(
-                now,
-                rt.arrivals_since_tick as f64 / self.cfg.monitor_interval_secs,
-            );
-            rt.arrivals_since_tick = 0;
+            let n = window[f.0 as usize];
+            counts.insert(*f, n);
+            rt.rate_timeline
+                .push(now, n as f64 / self.cfg.monitor_interval_secs);
         }
         self.controller.on_monitor_tick(now_secs, &counts);
     }
 
-    fn on_epoch(&mut self, now: SimTime) {
+    fn on_epoch(&mut self, ctx: &mut EngineCtx<Ev>, now: SimTime) {
         let now_secs = now.as_secs_f64();
         let plan: Plan = self.controller.plan_epoch(&self.cluster, now_secs);
         self.epochs += 1;
@@ -641,18 +523,14 @@ impl Runner {
             self.in_service.remove(cid);
         }
         for (cid, ready) in &outcome.created {
-            self.events.schedule(*ready, Ev::Ready(*cid));
-            self.arm_crash(*cid, now);
+            ctx.schedule(*ready, Ev::Ready(*cid));
+            self.arm_crash(ctx, *cid, now);
         }
         // Re-dispatch orphans (the paper's "requests that need to be
         // rerun").
         for rid in outcome.orphans {
-            if let Some(state) = self.requests.get(&rid).copied() {
-                self.fns
-                    .get_mut(&state.fn_id)
-                    .expect("known fn")
-                    .reruns += 1;
-                self.dispatch(rid, state.fn_id, now);
+            if let Some(fn_idx) = ctx.rerun(ReqId(rid.0)) {
+                self.dispatch(ctx, rid, FnId(fn_idx), now);
             }
         }
         // Resizes may have slowed/sped containers; in-flight services keep
@@ -680,31 +558,91 @@ impl Runner {
         #[cfg(debug_assertions)]
         self.cluster.check_invariants();
     }
+}
 
-    fn report(&mut self, duration: f64) -> SimReport {
+impl SchedulerPolicy for LassPolicy {
+    type Event = Ev;
+    type Report = SimReport;
+
+    fn on_start(&mut self, ctx: &mut EngineCtx<Ev>) {
+        self.util_gauge
+            .set(SimTime::ZERO, self.cluster.cpu_utilization());
+        let initial: Vec<ContainerId> = self.cluster.all_containers().map(|c| c.id()).collect();
+        for cid in initial {
+            self.arm_crash(ctx, cid, SimTime::ZERO);
+        }
+        ctx.schedule(
+            SimTime::from_secs_f64(self.cfg.monitor_interval_secs),
+            Ev::Monitor,
+        );
+        // Epochs run 1 ms after the monitor tick they share an instant
+        // with, so the planner always sees fully up-to-date windows.
+        ctx.schedule(
+            SimTime::from_secs_f64(self.cfg.epoch_secs) + lass_simcore::SimDuration::from_millis(1),
+            Ev::Epoch,
+        );
+    }
+
+    fn on_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
+        self.dispatch(ctx, RequestId(rid.0), FnId(fn_idx), now);
+    }
+
+    fn on_event(&mut self, ctx: &mut EngineCtx<Ev>, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::Ready(cid) => self.on_ready(ctx, cid, now),
+            Ev::Complete { cid, seq } => self.on_complete(ctx, cid, seq, now),
+            Ev::Crash(cid) => self.on_crash(ctx, cid, now),
+            Ev::Monitor => {
+                self.on_monitor(ctx, now);
+                if now < ctx.end_time() {
+                    ctx.schedule(
+                        now + lass_simcore::SimDuration::from_secs_f64(
+                            self.cfg.monitor_interval_secs,
+                        ),
+                        Ev::Monitor,
+                    );
+                }
+            }
+            Ev::Epoch => {
+                self.on_epoch(ctx, now);
+                if now < ctx.end_time() {
+                    ctx.schedule(
+                        now + lass_simcore::SimDuration::from_secs_f64(self.cfg.epoch_secs),
+                        Ev::Epoch,
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish(mut self, outcome: EngineOutcome) -> SimReport {
+        let duration = outcome.duration_secs;
         let end = SimTime::from_secs_f64(duration);
         let capacity_cores = self.cluster.total_cpu_capacity().as_cores();
-        let per_fn = self
-            .fns
-            .iter_mut()
-            .map(|(f, rt)| {
+        let per_fn = outcome
+            .per_fn
+            .into_iter()
+            .enumerate()
+            .map(|(i, stats)| {
+                let f = FnId(i as u32);
+                let rt = self.fns.get_mut(&f).expect("known fn");
                 let name = self
                     .controller
                     .registry()
-                    .get(*f)
+                    .get(f)
                     .map_or_else(|| f.to_string(), |r| r.spec.name.clone());
                 (
                     f.0,
                     FnReport {
                         name,
-                        arrivals: rt.arrivals,
-                        completed: rt.completed,
-                        reruns: rt.reruns,
-                        wait: std::mem::take(&mut rt.wait),
-                        response: std::mem::take(&mut rt.response),
-                        service: std::mem::take(&mut rt.service),
-                        slo_violations: rt.slo_violations,
-                        timeouts: rt.timeouts,
+                        arrivals: stats.arrivals,
+                        completed: stats.completed,
+                        reruns: stats.reruns,
+                        wait: stats.wait,
+                        response: stats.response,
+                        service: stats.service,
+                        slo_violations: stats.slo_violations,
+                        timeouts: stats.timeouts,
                         cpu_timeline: std::mem::take(&mut rt.cpu_timeline),
                         container_timeline: std::mem::take(&mut rt.container_timeline),
                         rate_timeline: std::mem::take(&mut rt.rate_timeline),
@@ -806,10 +744,7 @@ mod tests {
         let b = quick_sim(15.0, 60.0, true, 1);
         assert_eq!(a.per_fn[&0].arrivals, b.per_fn[&0].arrivals);
         assert_eq!(a.per_fn[&0].completed, b.per_fn[&0].completed);
-        assert_eq!(
-            a.per_fn[&0].wait.samples(),
-            b.per_fn[&0].wait.samples()
-        );
+        assert_eq!(a.per_fn[&0].wait.samples(), b.per_fn[&0].wait.samples());
     }
 
     #[test]

@@ -226,10 +226,7 @@ mod tests {
 
     #[test]
     fn renormalization_among_active() {
-        let t = WeightTree::two_level([
-            (1.0, vec![(FnId(0), 1.0)]),
-            (2.0, vec![(FnId(1), 1.0)]),
-        ]);
+        let t = WeightTree::two_level([(1.0, vec![(FnId(0), 1.0)]), (2.0, vec![(FnId(1), 1.0)])]);
         let w = t.effective_weights_among([FnId(1)]);
         assert_eq!(w.len(), 1);
         assert!((w[&FnId(1)] - 1.0).abs() < 1e-12);

@@ -183,7 +183,11 @@ pub fn synthesize(pattern: TracePattern, minutes: usize, rng: &mut SimRng) -> Ve
                     bursting = !bursting;
                     remaining = sample_geometric(
                         rng,
-                        if bursting { mean_burst_min } else { mean_idle_min },
+                        if bursting {
+                            mean_burst_min
+                        } else {
+                            mean_idle_min
+                        },
                     );
                 }
                 out.push(if bursting {
@@ -242,7 +246,9 @@ pub fn fig9_traces(seed: u64) -> Vec<Vec<u64>> {
     // ShuffleNet: steady moderate load.
     let mut rng = SimRng::from_seed_label(seed, "azure:shufflenet");
     traces.push(synthesize(
-        TracePattern::Steady { mean_per_min: 720.0 },
+        TracePattern::Steady {
+            mean_per_min: 720.0,
+        },
         minutes,
         &mut rng,
     ));
@@ -271,7 +277,9 @@ pub fn fig9_traces(seed: u64) -> Vec<Vec<u64>> {
     // GeoFence: steady high-frequency light load.
     let mut rng = SimRng::from_seed_label(seed, "azure:geofence");
     traces.push(synthesize(
-        TracePattern::Steady { mean_per_min: 2400.0 },
+        TracePattern::Steady {
+            mean_per_min: 2400.0,
+        },
         minutes,
         &mut rng,
     ));
@@ -338,7 +346,13 @@ o2,a2,f3,queue,100,0,0,0,40
     #[test]
     fn steady_pattern_mean() {
         let mut rng = SimRng::from_seed(1);
-        let t = synthesize(TracePattern::Steady { mean_per_min: 100.0 }, 2000, &mut rng);
+        let t = synthesize(
+            TracePattern::Steady {
+                mean_per_min: 100.0,
+            },
+            2000,
+            &mut rng,
+        );
         let mean = t.iter().sum::<u64>() as f64 / t.len() as f64;
         assert!((mean - 100.0).abs() < 2.0, "mean={mean}");
     }
@@ -405,7 +419,10 @@ o2,a2,f3,queue,100,0,0,0,40
         assert!(traces.iter().all(|t| t.len() == 60));
         // MobileNet trace must be sporadic: it has idle minutes.
         let idle = traces[0].iter().filter(|&&c| c == 0).count();
-        assert!(idle >= 5, "MobileNet trace should have idle minutes, got {idle}");
+        assert!(
+            idle >= 5,
+            "MobileNet trace should have idle minutes, got {idle}"
+        );
         // And is deterministic per seed.
         assert_eq!(traces, fig9_traces(42));
         assert_ne!(traces, fig9_traces(43));

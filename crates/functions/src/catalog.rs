@@ -173,7 +173,13 @@ mod tests {
     #[test]
     fn mobilenet_has_no_slack_others_do() {
         assert!(mobilenet_v2().service.slack() < 0.05);
-        for f in [shufflenet_v2(), squeezenet(), binary_alert(), geofence(), image_resizer()] {
+        for f in [
+            shufflenet_v2(),
+            squeezenet(),
+            binary_alert(),
+            geofence(),
+            image_resizer(),
+        ] {
             assert!(
                 f.service.slack() >= 0.25,
                 "{} should have ~30% slack",

@@ -184,7 +184,11 @@ mod tests {
         assert!((est.mean - 0.2).abs() < 0.01, "mean={}", est.mean);
         assert!((est.rate - 5.0).abs() < 0.3);
         let truth_p99 = 0.2 * 100.0f64.ln();
-        assert!((est.p99 - truth_p99).abs() / truth_p99 < 0.2, "p99={}", est.p99);
+        assert!(
+            (est.p99 - truth_p99).abs() / truth_p99 < 0.2,
+            "p99={}",
+            est.p99
+        );
     }
 
     #[test]

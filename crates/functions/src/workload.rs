@@ -45,6 +45,63 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Check the spec before building: rates must be finite and
+    /// non-negative, durations positive, step breakpoints well-formed.
+    /// [`WorkloadSpec::build`] panics on these conditions; callers fed
+    /// from external input (scenario JSON) should validate first.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok_rate = |r: f64| r.is_finite() && r >= 0.0;
+        match self {
+            WorkloadSpec::Static { rate, duration } => {
+                if !ok_rate(*rate) {
+                    return Err(format!("Static workload rate must be >= 0, got {rate}"));
+                }
+                if !(duration.is_finite() && *duration > 0.0) {
+                    return Err(format!(
+                        "Static workload duration must be > 0, got {duration}"
+                    ));
+                }
+            }
+            WorkloadSpec::Steps { steps, duration } => {
+                if steps.is_empty() {
+                    return Err("Steps workload needs at least one breakpoint".into());
+                }
+                if steps[0].0 != 0.0 {
+                    return Err("Steps workload must start with a breakpoint at t = 0".into());
+                }
+                for w in steps.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err("Steps breakpoints must be strictly increasing".into());
+                    }
+                }
+                if let Some(&(t, r)) = steps.iter().find(|&&(t, r)| !ok_rate(r) || !t.is_finite()) {
+                    return Err(format!("bad Steps breakpoint ({t}, {r})"));
+                }
+                if !(duration.is_finite() && *duration > 0.0) {
+                    return Err(format!(
+                        "Steps workload duration must be > 0, got {duration}"
+                    ));
+                }
+            }
+            WorkloadSpec::Ramp { from, to, duration } => {
+                if !ok_rate(*from) || !ok_rate(*to) {
+                    return Err(format!("Ramp rates must be >= 0, got {from} -> {to}"));
+                }
+                if !(duration.is_finite() && *duration > 0.0) {
+                    return Err(format!(
+                        "Ramp workload duration must be > 0, got {duration}"
+                    ));
+                }
+            }
+            WorkloadSpec::Trace { per_minute } => {
+                if per_minute.is_empty() {
+                    return Err("Trace workload needs at least one minute of counts".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize the arrival process.
     pub fn build(&self) -> Box<dyn ArrivalProcess + Send> {
         match self {
@@ -132,10 +189,7 @@ impl WorkloadSpec {
             steps.push((t, r));
             t += step_secs;
         }
-        WorkloadSpec::Steps {
-            steps,
-            duration: t,
-        }
+        WorkloadSpec::Steps { steps, duration: t }
     }
 
     /// The paper's Fig. 6 MobileNet staging: 3→8 req/s and back, one step
@@ -151,10 +205,7 @@ impl WorkloadSpec {
             }
             t += step_secs;
         }
-        WorkloadSpec::Steps {
-            steps,
-            duration: t,
-        }
+        WorkloadSpec::Steps { steps, duration: t }
     }
 }
 

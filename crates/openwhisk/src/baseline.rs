@@ -1,12 +1,14 @@
-//! The OpenWhisk sharding-pool simulation.
+//! The OpenWhisk sharding-pool simulation, as a [`SchedulerPolicy`] on
+//! the shared discrete-event engine.
 
 use lass_cluster::{CpuMilli, FnId, MemMib, RequestId};
 use lass_functions::{FunctionSpec, WorkloadSpec};
 use lass_simcore::{
-    ArrivalProcess, EventQueue, SampleStats, SimDuration, SimRng, SimTime, TimeSeries,
+    run_simulation, EngineConfig, EngineCtx, EngineOutcome, FunctionEntry, ReqId, SampleStats,
+    SchedulerPolicy, SimDuration, SimTime, TimeSeries,
 };
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Baseline configuration (defaults mirror the paper's 3-node testbed and
 /// stock OpenWhisk behaviour).
@@ -105,7 +107,6 @@ impl Invoker {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    Arrival(FnId),
     Ready { invoker: u32, ctr: u64 },
     Complete { invoker: u32, ctr: u64, seq: u64 },
     ThrashCheck { invoker: u32 },
@@ -151,17 +152,6 @@ pub struct OwSimulation {
     setups: Vec<OwFunctionSetup>,
 }
 
-struct FnRt {
-    process: Box<dyn ArrivalProcess + Send>,
-    rng: SimRng,
-    service_rng: SimRng,
-    arrivals: usize,
-    completed: usize,
-    lost: usize,
-    wait: SampleStats,
-    slo_violations: usize,
-}
-
 impl OwSimulation {
     /// Create a baseline simulation.
     pub fn new(cfg: OwConfig) -> Self {
@@ -187,9 +177,23 @@ impl OwSimulation {
                 .fold(0.0f64, f64::max)
         });
         assert!(duration > 0.0);
-        let end = SimTime::from_secs_f64(duration);
         let cfg = self.cfg;
-        let mut invokers: Vec<Invoker> = (0..cfg.invokers)
+        let entries: Vec<FunctionEntry> = self
+            .setups
+            .iter()
+            .map(|s| FunctionEntry {
+                name: s.spec.name.clone(),
+                slo_deadline: s.slo_deadline,
+                process: s.workload.build(),
+            })
+            .collect();
+        let engine_cfg = EngineConfig {
+            seed: cfg.seed,
+            rng_label_prefix: "ow-".into(),
+            duration_secs: duration,
+            drain_secs: 60.0,
+        };
+        let invokers: Vec<Invoker> = (0..cfg.invokers)
             .map(|_| Invoker {
                 mem_capacity: cfg.mem_per_invoker,
                 mem_used: MemMib::ZERO,
@@ -199,338 +203,323 @@ impl OwSimulation {
                 marked_down_at: None,
             })
             .collect();
-        let mut fns: BTreeMap<FnId, FnRt> = self
-            .setups
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                (
-                    FnId(i as u32),
-                    FnRt {
-                        process: s.workload.build(),
-                        rng: SimRng::from_seed_label(cfg.seed, &format!("ow-arrival:{i}")),
-                        service_rng: SimRng::from_seed_label(cfg.seed, &format!("ow-service:{i}")),
-                        arrivals: 0,
-                        completed: 0,
-                        lost: 0,
-                        wait: SampleStats::new(),
-                        slo_violations: 0,
-                    },
-                )
-            })
-            .collect();
+        let policy = OwPolicy {
+            cfg,
+            setups: self.setups,
+            invokers,
+            next_ctr: 0,
+            next_seq: 0,
+            failures: Vec::new(),
+            healthy_timeline: TimeSeries::new(),
+        };
+        run_simulation(engine_cfg, entries, policy)
+    }
+}
 
-        let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut requests: HashMap<RequestId, (FnId, SimTime)> = HashMap::new();
-        let mut next_req = 0u64;
-        let mut next_ctr = 0u64;
-        let mut next_seq = 0u64;
-        let mut failures: Vec<(u32, f64)> = Vec::new();
-        let mut healthy_timeline = TimeSeries::new();
-        healthy_timeline.push(SimTime::ZERO, f64::from(cfg.invokers));
+/// The stock-OpenWhisk scheduling policy: home-invoker sharding with
+/// ring probing, memory-only admission, proportional-share slowdown, and
+/// the thrash-to-unresponsive transition.
+struct OwPolicy {
+    cfg: OwConfig,
+    setups: Vec<OwFunctionSetup>,
+    invokers: Vec<Invoker>,
+    next_ctr: u64,
+    next_seq: u64,
+    failures: Vec<(u32, f64)>,
+    healthy_timeline: TimeSeries,
+}
 
-        // Seed arrivals + idle sweeper.
-        for (f, rt) in fns.iter_mut() {
-            if let Some(t) = rt.process.next_after(SimTime::ZERO, &mut rt.rng) {
-                events.schedule(t, Ev::Arrival(*f));
+impl OwPolicy {
+    fn update_overload(&mut self, ctx: &mut EngineCtx<Ev>, inv_idx: u32, now: SimTime) {
+        let inv = &mut self.invokers[inv_idx as usize];
+        if inv.is_unresponsive() {
+            return;
+        }
+        let demand = inv.cpu_demand();
+        let limit = f64::from(self.cfg.cpu_per_invoker.0) * self.cfg.thrash_factor;
+        if f64::from(demand.0) > limit {
+            if inv.overload_since.is_none() {
+                inv.overload_since = Some(now);
+                ctx.schedule(
+                    now + SimDuration::from_secs_f64(self.cfg.thrash_grace_secs),
+                    Ev::ThrashCheck { invoker: inv_idx },
+                );
+            }
+        } else {
+            inv.overload_since = None;
+        }
+    }
+
+    fn try_start(&mut self, ctx: &mut EngineCtx<Ev>, inv_idx: u32, cid: u64, now: SimTime) {
+        let inv = &mut self.invokers[inv_idx as usize];
+        if !inv.is_unresponsive() {
+            // Proportional-share slowdown once CPU is oversubscribed.
+            let cap = f64::from(self.cfg.cpu_per_invoker.0);
+            if let Some(c) = inv.containers.get_mut(&cid) {
+                if c.state == CtrState::Idle {
+                    if let Some(rid) = c.queue.pop_front() {
+                        c.state = CtrState::Busy;
+                        c.idle_since = None;
+                        let fn_id = c.fn_id;
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        c.in_service = Some((rid, seq, now));
+                        let demand = f64::from(inv.cpu_demand().0);
+                        let slowdown = (demand / cap).max(1.0);
+                        let dur = self.setups[fn_id.0 as usize]
+                            .spec
+                            .service
+                            .sample(0.0, ctx.service_rng(fn_id.0))
+                            * slowdown;
+                        ctx.schedule(
+                            now + SimDuration::from_secs_f64(dur),
+                            Ev::Complete {
+                                invoker: inv_idx,
+                                ctr: cid,
+                                seq,
+                            },
+                        );
+                    }
+                }
             }
         }
-        events.schedule(SimTime::from_secs_f64(cfg.idle_timeout_secs), Ev::IdleSweep);
+        self.update_overload(ctx, inv_idx, now);
+    }
 
-        // Helpers are closures over local state via macros to keep borrow
-        // checking simple.
-        macro_rules! update_overload {
-            ($inv_idx:expr, $now:expr) => {{
-                let inv = &mut invokers[$inv_idx as usize];
-                if inv.is_unresponsive() {
-                } else {
-                    let demand = inv.cpu_demand();
-                    let limit = f64::from(cfg.cpu_per_invoker.0) * cfg.thrash_factor;
-                    if f64::from(demand.0) > limit {
-                        if inv.overload_since.is_none() {
-                            inv.overload_since = Some($now);
-                            events.schedule(
-                                $now + SimDuration::from_secs_f64(cfg.thrash_grace_secs),
-                                Ev::ThrashCheck { invoker: $inv_idx },
-                            );
-                        }
-                    } else {
-                        inv.overload_since = None;
-                    }
-                }
-            }};
-        }
-
-        macro_rules! try_start {
-            ($inv_idx:expr, $cid:expr, $now:expr) => {{
-                let spec = &self.setups;
-                let inv = &mut invokers[$inv_idx as usize];
-                if !inv.is_unresponsive() {
-                    // Proportional-share slowdown once CPU is oversubscribed.
-                    let cap = f64::from(cfg.cpu_per_invoker.0);
-                    if let Some(c) = inv.containers.get_mut(&$cid) {
-                        if c.state == CtrState::Idle {
-                            if let Some(rid) = c.queue.pop_front() {
-                                c.state = CtrState::Busy;
-                                c.idle_since = None;
-                                let fn_id = c.fn_id;
-                                let seq = next_seq;
-                                next_seq += 1;
-                                c.in_service = Some((rid, seq, $now));
-                                let demand = f64::from(inv.cpu_demand().0);
-                                let slowdown = (demand / cap).max(1.0);
-                                let rt = fns.get_mut(&fn_id).expect("known fn");
-                                let dur = spec[fn_id.0 as usize]
-                                    .spec
-                                    .service
-                                    .sample(0.0, &mut rt.service_rng)
-                                    * slowdown;
-                                events.schedule(
-                                    $now + SimDuration::from_secs_f64(dur),
-                                    Ev::Complete {
-                                        invoker: $inv_idx,
-                                        ctr: $cid,
-                                        seq,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-                update_overload!($inv_idx, $now);
-            }};
-        }
-
-        while let Some((now, ev)) = events.pop() {
-            if now > end + SimDuration::from_secs(60) {
+    fn place_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
+        // Sharding-pool: home invoker + ring probing over invokers the
+        // controller believes healthy.
+        let cfg_invokers = self.cfg.invokers;
+        // Copy the handful of Copy-able spec fields used below; cloning the
+        // whole FunctionSpec here would allocate on every arrival.
+        let spec = &self.setups[f.0 as usize].spec;
+        let (std_mem, cold_start) = (spec.standard_mem, spec.cold_start);
+        let cpu_demand = spec.standard_cpu.scale(spec.service.demand_fraction);
+        let home = (u64::from(f.0).wrapping_mul(2_654_435_761) % u64::from(cfg_invokers)) as u32;
+        let mut placed = false;
+        for probe in 0..cfg_invokers {
+            let idx = (home + probe) % cfg_invokers;
+            let believed_down = self.invokers[idx as usize]
+                .marked_down_at
+                .is_some_and(|t| t <= now);
+            if believed_down {
+                continue;
+            }
+            // Warm idle container?
+            let warm = self.invokers[idx as usize]
+                .containers
+                .iter()
+                .find(|(_, c)| c.fn_id == f && c.state == CtrState::Idle)
+                .map(|(id, _)| *id);
+            if let Some(cid) = warm {
+                self.invokers[idx as usize]
+                    .containers
+                    .get_mut(&cid)
+                    .expect("warm exists")
+                    .queue
+                    .push_back(rid);
+                self.try_start(ctx, idx, cid, now);
+                placed = true;
                 break;
             }
-            match ev {
-                Ev::Arrival(f) => {
-                    let rid = RequestId(next_req);
-                    next_req += 1;
-                    requests.insert(rid, (f, now));
-                    fns.get_mut(&f).expect("known fn").arrivals += 1;
+            // Busy container of the same function? queue on the
+            // least-loaded one (container reuse).
+            let busy = self.invokers[idx as usize]
+                .containers
+                .iter()
+                .filter(|(_, c)| c.fn_id == f && c.state != CtrState::Starting)
+                .min_by_key(|(id, c)| (c.queue.len(), **id))
+                .map(|(id, _)| *id);
+            // Memory-only admission for a new container.
+            let fits = {
+                let inv = &self.invokers[idx as usize];
+                std_mem <= inv.mem_capacity.saturating_sub(inv.mem_used)
+            };
+            if fits {
+                let inv = &mut self.invokers[idx as usize];
+                inv.mem_used += std_mem;
+                let cid = self.next_ctr;
+                self.next_ctr += 1;
+                let mut q = VecDeque::new();
+                q.push_back(rid);
+                inv.containers.insert(
+                    cid,
+                    OwContainer {
+                        fn_id: f,
+                        cpu_demand,
+                        mem: std_mem,
+                        state: CtrState::Starting,
+                        queue: q,
+                        in_service: None,
+                        idle_since: None,
+                    },
+                );
+                ctx.schedule(
+                    now + cold_start,
+                    Ev::Ready {
+                        invoker: idx,
+                        ctr: cid,
+                    },
+                );
+                placed = true;
+                break;
+            }
+            if let Some(cid) = busy {
+                self.invokers[idx as usize]
+                    .containers
+                    .get_mut(&cid)
+                    .expect("busy exists")
+                    .queue
+                    .push_back(rid);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            ctx.lose(ReqId(rid.0));
+        }
+    }
+}
 
-                    // Sharding-pool: home invoker + ring probing over
-                    // invokers the controller believes healthy.
-                    let spec = &self.setups[f.0 as usize].spec;
-                    let home = (u64::from(f.0).wrapping_mul(2_654_435_761) % u64::from(cfg.invokers))
-                        as u32;
-                    let mut placed = false;
-                    for probe in 0..cfg.invokers {
-                        let idx = (home + probe) % cfg.invokers;
-                        let believed_down = invokers[idx as usize]
-                            .marked_down_at
-                            .is_some_and(|t| t <= now);
-                        if believed_down {
-                            continue;
-                        }
-                        // Warm idle container?
-                        let warm = invokers[idx as usize]
-                            .containers
-                            .iter()
-                            .find(|(_, c)| c.fn_id == f && c.state == CtrState::Idle)
-                            .map(|(id, _)| *id);
-                        if let Some(cid) = warm {
-                            invokers[idx as usize]
-                                .containers
-                                .get_mut(&cid)
-                                .expect("warm exists")
-                                .queue
-                                .push_back(rid);
-                            try_start!(idx, cid, now);
-                            placed = true;
-                            break;
-                        }
-                        // Busy container of the same function? queue on the
-                        // least-loaded one (container reuse).
-                        let busy = invokers[idx as usize]
-                            .containers
-                            .iter()
-                            .filter(|(_, c)| c.fn_id == f && c.state != CtrState::Starting)
-                            .min_by_key(|(id, c)| (c.queue.len(), **id))
-                            .map(|(id, _)| *id);
-                        // Memory-only admission for a new container.
-                        let fits = {
-                            let inv = &invokers[idx as usize];
-                            spec.standard_mem <= inv.mem_capacity.saturating_sub(inv.mem_used)
-                        };
-                        if fits {
-                            let inv = &mut invokers[idx as usize];
-                            inv.mem_used += spec.standard_mem;
-                            let cid = next_ctr;
-                            next_ctr += 1;
-                            let mut q = VecDeque::new();
-                            q.push_back(rid);
-                            inv.containers.insert(
-                                cid,
-                                OwContainer {
-                                    fn_id: f,
-                                    cpu_demand: spec
-                                        .standard_cpu
-                                        .scale(spec.service.demand_fraction),
-                                    mem: spec.standard_mem,
-                                    state: CtrState::Starting,
-                                    queue: q,
-                                    in_service: None,
-                                    idle_since: None,
-                                },
-                            );
-                            events.schedule(
-                                now + spec.cold_start,
-                                Ev::Ready {
-                                    invoker: idx,
-                                    ctr: cid,
-                                },
-                            );
-                            placed = true;
-                            break;
-                        }
-                        if let Some(cid) = busy {
-                            invokers[idx as usize]
-                                .containers
-                                .get_mut(&cid)
-                                .expect("busy exists")
-                                .queue
-                                .push_back(rid);
-                            placed = true;
-                            break;
-                        }
-                    }
-                    if !placed {
-                        fns.get_mut(&f).expect("known fn").lost += 1;
-                        requests.remove(&rid);
-                    }
-                    // Next arrival.
-                    let rt = fns.get_mut(&f).expect("known fn");
-                    if let Some(t) = rt.process.next_after(now, &mut rt.rng) {
-                        events.schedule(t, Ev::Arrival(f));
+impl SchedulerPolicy for OwPolicy {
+    type Event = Ev;
+    type Report = OwReport;
+
+    fn on_start(&mut self, ctx: &mut EngineCtx<Ev>) {
+        self.healthy_timeline
+            .push(SimTime::ZERO, f64::from(self.cfg.invokers));
+        ctx.schedule(
+            SimTime::from_secs_f64(self.cfg.idle_timeout_secs),
+            Ev::IdleSweep,
+        );
+    }
+
+    fn on_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
+        self.place_arrival(ctx, RequestId(rid.0), FnId(fn_idx), now);
+    }
+
+    fn on_event(&mut self, ctx: &mut EngineCtx<Ev>, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::Ready { invoker, ctr } => {
+                let inv = &mut self.invokers[invoker as usize];
+                if inv.is_unresponsive() {
+                    return;
+                }
+                if let Some(c) = inv.containers.get_mut(&ctr) {
+                    if c.state == CtrState::Starting {
+                        c.state = CtrState::Idle;
+                        c.idle_since = Some(now);
                     }
                 }
-                Ev::Ready { invoker, ctr } => {
-                    let inv = &mut invokers[invoker as usize];
+                self.try_start(ctx, invoker, ctr, now);
+            }
+            Ev::Complete { invoker, ctr, seq } => {
+                if self.invokers[invoker as usize].is_unresponsive() {
+                    return; // stalled forever
+                }
+                let Some(c) = self.invokers[invoker as usize].containers.get_mut(&ctr) else {
+                    return;
+                };
+                let valid = matches!(c.in_service, Some((_, s, _)) if s == seq);
+                if !valid {
+                    return;
+                }
+                let (rid, _, started) = c.in_service.take().expect("validated");
+                c.state = CtrState::Idle;
+                c.idle_since = Some(now);
+                ctx.complete(ReqId(rid.0), started, now);
+                self.try_start(ctx, invoker, ctr, now);
+            }
+            Ev::ThrashCheck { invoker } => {
+                let trip = {
+                    let inv = &self.invokers[invoker as usize];
+                    !inv.is_unresponsive()
+                        && inv.overload_since.is_some_and(|s| {
+                            now.saturating_since(s).as_secs_f64()
+                                >= self.cfg.thrash_grace_secs - 1e-9
+                        })
+                };
+                if trip {
+                    let inv = &mut self.invokers[invoker as usize];
+                    inv.unresponsive_at = Some(now);
+                    inv.marked_down_at =
+                        Some(now + SimDuration::from_secs_f64(self.cfg.health_timeout_secs));
+                    self.failures.push((invoker, now.as_secs_f64()));
+                    let healthy = self
+                        .invokers
+                        .iter()
+                        .filter(|i| !i.is_unresponsive())
+                        .count();
+                    self.healthy_timeline.push(now, healthy as f64);
+                }
+            }
+            Ev::IdleSweep => {
+                for inv in self.invokers.iter_mut() {
                     if inv.is_unresponsive() {
                         continue;
                     }
-                    if let Some(c) = inv.containers.get_mut(&ctr) {
-                        if c.state == CtrState::Starting {
-                            c.state = CtrState::Idle;
-                            c.idle_since = Some(now);
-                        }
-                    }
-                    try_start!(invoker, ctr, now);
-                }
-                Ev::Complete { invoker, ctr, seq } => {
-                    if invokers[invoker as usize].is_unresponsive() {
-                        continue; // stalled forever
-                    }
-                    let Some(c) = invokers[invoker as usize].containers.get_mut(&ctr) else {
-                        continue;
-                    };
-                    let valid = matches!(c.in_service, Some((_, s, _)) if s == seq);
-                    if !valid {
-                        continue;
-                    }
-                    let (rid, _, started) = c.in_service.take().expect("validated");
-                    c.state = CtrState::Idle;
-                    c.idle_since = Some(now);
-                    let f = c.fn_id;
-                    if let Some((_, arrival)) = requests.remove(&rid) {
-                        let wait = started.saturating_since(arrival).as_secs_f64();
-                        let rt = fns.get_mut(&f).expect("known fn");
-                        rt.completed += 1;
-                        rt.wait.record(wait);
-                        if wait > self.setups[f.0 as usize].slo_deadline {
-                            rt.slo_violations += 1;
-                        }
-                    }
-                    try_start!(invoker, ctr, now);
-                }
-                Ev::ThrashCheck { invoker } => {
-                    let trip = {
-                        let inv = &invokers[invoker as usize];
-                        !inv.is_unresponsive()
-                            && inv.overload_since.is_some_and(|s| {
-                                now.saturating_since(s).as_secs_f64()
-                                    >= cfg.thrash_grace_secs - 1e-9
-                            })
-                    };
-                    if trip {
-                        let inv = &mut invokers[invoker as usize];
-                        inv.unresponsive_at = Some(now);
-                        inv.marked_down_at = Some(
-                            now + SimDuration::from_secs_f64(cfg.health_timeout_secs),
-                        );
-                        failures.push((invoker, now.as_secs_f64()));
-                        let healthy = invokers
-                            .iter()
-                            .filter(|i| !i.is_unresponsive())
-                            .count();
-                        healthy_timeline.push(now, healthy as f64);
+                    let expired: Vec<u64> = inv
+                        .containers
+                        .iter()
+                        .filter(|(_, c)| {
+                            c.state == CtrState::Idle
+                                && c.queue.is_empty()
+                                && c.idle_since.is_some_and(|t| {
+                                    now.saturating_since(t).as_secs_f64()
+                                        >= self.cfg.idle_timeout_secs
+                                })
+                        })
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for cid in expired {
+                        let c = inv.containers.remove(&cid).expect("listed");
+                        inv.mem_used -= c.mem;
                     }
                 }
-                Ev::IdleSweep => {
-                    for inv in invokers.iter_mut() {
-                        if inv.is_unresponsive() {
-                            continue;
-                        }
-                        let expired: Vec<u64> = inv
-                            .containers
-                            .iter()
-                            .filter(|(_, c)| {
-                                c.state == CtrState::Idle
-                                    && c.queue.is_empty()
-                                    && c.idle_since.is_some_and(|t| {
-                                        now.saturating_since(t).as_secs_f64()
-                                            >= cfg.idle_timeout_secs
-                                    })
-                            })
-                            .map(|(id, _)| *id)
-                            .collect();
-                        for cid in expired {
-                            let c = inv.containers.remove(&cid).expect("listed");
-                            inv.mem_used -= c.mem;
-                        }
-                    }
-                    if now < end {
-                        events.schedule(
-                            now + SimDuration::from_secs_f64(cfg.idle_timeout_secs),
-                            Ev::IdleSweep,
-                        );
-                    }
+                if now < ctx.end_time() {
+                    ctx.schedule(
+                        now + SimDuration::from_secs_f64(self.cfg.idle_timeout_secs),
+                        Ev::IdleSweep,
+                    );
                 }
             }
         }
+    }
 
-        let cascade_complete_at = if failures.len() == cfg.invokers as usize {
-            failures.iter().map(|&(_, t)| t).fold(None, |acc: Option<f64>, t| {
-                Some(acc.map_or(t, |a| a.max(t)))
-            })
+    fn finish(self, outcome: EngineOutcome) -> OwReport {
+        let cascade_complete_at = if self.failures.len() == self.cfg.invokers as usize {
+            self.failures
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.max(t)))
+                })
         } else {
             None
         };
         OwReport {
-            per_fn: fns
+            per_fn: outcome
+                .per_fn
                 .into_iter()
-                .map(|(f, rt)| {
+                .enumerate()
+                .map(|(i, stats)| {
                     (
-                        f.0,
+                        i as u32,
                         OwFnReport {
-                            name: self.setups[f.0 as usize].spec.name.clone(),
-                            arrivals: rt.arrivals,
-                            completed: rt.completed,
-                            lost: rt.lost,
-                            wait: rt.wait,
-                            slo_violations: rt.slo_violations,
+                            name: self.setups[i].spec.name.clone(),
+                            arrivals: stats.arrivals,
+                            completed: stats.completed,
+                            lost: stats.lost,
+                            wait: stats.wait,
+                            slo_violations: stats.slo_violations,
                         },
                     )
                 })
                 .collect(),
-            failures,
+            failures: self.failures,
             cascade_complete_at,
-            outstanding: requests.len(),
-            healthy_timeline,
+            outstanding: outcome.outstanding,
+            healthy_timeline: self.healthy_timeline,
         }
     }
 }
@@ -556,7 +545,11 @@ mod tests {
         let mut sim = OwSimulation::new(OwConfig::default());
         sim.add_function(light_setup());
         let report = sim.run(Some(120.0));
-        assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+        assert!(
+            report.failures.is_empty(),
+            "failures: {:?}",
+            report.failures
+        );
         let f = &report.per_fn[&0];
         assert!(f.completed as f64 >= f.arrivals as f64 * 0.95);
         assert_eq!(f.lost, 0);

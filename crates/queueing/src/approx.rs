@@ -63,12 +63,7 @@ pub struct GgcApprox {
 
 impl GgcApprox {
     /// Build the approximation. Validation matches [`MmcQueue::new`].
-    pub fn new(
-        lambda: f64,
-        mu: f64,
-        c: u32,
-        variability: Variability,
-    ) -> Result<Self, QueueError> {
+    pub fn new(lambda: f64, mu: f64, c: u32, variability: Variability) -> Result<Self, QueueError> {
         assert!(
             variability.ca2 >= 0.0 && variability.cs2 >= 0.0,
             "squared CVs must be non-negative"
@@ -185,10 +180,7 @@ mod tests {
         let exact = MmcQueue::new(20.0, 5.0, 6).unwrap();
         assert!((q.mean_wait() - exact.mean_wait()).abs() < 1e-12);
         for &t in &[0.0, 0.05, 0.1, 0.5] {
-            assert!(
-                (q.wait_cdf(t) - exact.wait_cdf(t)).abs() < 1e-12,
-                "t={t}"
-            );
+            assert!((q.wait_cdf(t) - exact.wait_cdf(t)).abs() < 1e-12, "t={t}");
         }
         assert!((q.wait_percentile(0.95) - exact.wait_percentile(0.95)).abs() < 1e-9);
     }
@@ -207,24 +199,14 @@ mod tests {
     #[test]
     fn heavier_variability_needs_more_containers() {
         let cfg = SolverConfig::default();
-        let low = required_containers_general(
-            40.0,
-            10.0,
-            Variability::from_service_cv(0.5),
-            0.05,
-            &cfg,
-        )
-        .unwrap();
-        let mid = required_containers_general(40.0, 10.0, Variability::MARKOVIAN, 0.05, &cfg)
-            .unwrap();
-        let high = required_containers_general(
-            40.0,
-            10.0,
-            Variability::from_service_cv(2.0),
-            0.05,
-            &cfg,
-        )
-        .unwrap();
+        let low =
+            required_containers_general(40.0, 10.0, Variability::from_service_cv(0.5), 0.05, &cfg)
+                .unwrap();
+        let mid =
+            required_containers_general(40.0, 10.0, Variability::MARKOVIAN, 0.05, &cfg).unwrap();
+        let high =
+            required_containers_general(40.0, 10.0, Variability::from_service_cv(2.0), 0.05, &cfg)
+                .unwrap();
         assert!(low.containers <= mid.containers);
         assert!(mid.containers <= high.containers);
         assert!(
@@ -246,7 +228,12 @@ mod tests {
                 .unwrap();
             let b = required_containers_exact(lambda, 10.0, 0.1, &cfg).unwrap();
             let diff = (i64::from(a.containers) - i64::from(b.containers)).abs();
-            assert!(diff <= 1, "λ={lambda}: general {} vs alg1 {}", a.containers, b.containers);
+            assert!(
+                diff <= 1,
+                "λ={lambda}: general {} vs alg1 {}",
+                a.containers,
+                b.containers
+            );
         }
     }
 
@@ -255,14 +242,9 @@ mod tests {
         let cfg = SolverConfig::default();
         let poisson =
             required_containers_general(40.0, 10.0, Variability::MARKOVIAN, 0.05, &cfg).unwrap();
-        let bursty = required_containers_general(
-            40.0,
-            10.0,
-            Variability { ca2: 4.0, cs2: 1.0 },
-            0.05,
-            &cfg,
-        )
-        .unwrap();
+        let bursty =
+            required_containers_general(40.0, 10.0, Variability { ca2: 4.0, cs2: 1.0 }, 0.05, &cfg)
+                .unwrap();
         assert!(bursty.containers > poisson.containers);
     }
 

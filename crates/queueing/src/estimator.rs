@@ -233,7 +233,12 @@ mod tests {
         feed_constant(&mut est, 10.0, 0.0, 200.0, 5.0);
         // Load jumps 5x for the last 10 seconds.
         feed_constant(&mut est, 50.0, 200.0, 210.0, 5.0);
-        assert!(est.is_burst(210.0), "short={} long={}", est.short_rate(210.0), est.long_rate(210.0));
+        assert!(
+            est.is_burst(210.0),
+            "short={} long={}",
+            est.short_rate(210.0),
+            est.long_rate(210.0)
+        );
         let r = est.rate(210.0);
         assert!(r > 35.0, "burst-aware rate should follow short window: {r}");
     }

@@ -375,7 +375,12 @@ mod tests {
         let c = 7;
         let het = HeteroMmc::new(lambda, vec![mu; c]).unwrap();
         let hom = MmcQueue::new(lambda, mu, c as u32).unwrap();
-        assert!((het.p0() - hom.p0()).abs() < 1e-10, "{} vs {}", het.p0(), hom.p0());
+        assert!(
+            (het.p0() - hom.p0()).abs() < 1e-10,
+            "{} vs {}",
+            het.p0(),
+            hom.p0()
+        );
         for n in 0..30u64 {
             assert!(
                 (het.p_n(n) - hom.p_n(n)).abs() < 1e-10,
@@ -465,8 +470,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let t = 0.1;
         let lambda = 40.0;
-        let res_mixed =
-            required_additional_containers(lambda, &[], 10.0, t, &cfg).unwrap();
+        let res_mixed = required_additional_containers(lambda, &[], 10.0, t, &cfg).unwrap();
         let res_hom = required_containers_exact(lambda, 10.0, t, &cfg).unwrap();
         // With no existing containers and all additions at the standard
         // rate, the hetero solver degenerates to the homogeneous case.
@@ -480,7 +484,9 @@ mod tests {
         let naive = HeteroMmcNaive::new(lambda, mus.clone()).unwrap();
         let stable = HeteroMmc::new(lambda, mus).unwrap();
         for &t in &[0.01, 0.05, 0.1] {
-            let n = naive.wait_probability_bound(t).expect("small scale must not fail");
+            let n = naive
+                .wait_probability_bound(t)
+                .expect("small scale must not fail");
             let s = stable.wait_probability_bound(t);
             assert!((n - s).abs() < 1e-9, "t={t}: naive={n} logspace={s}");
         }
@@ -514,8 +520,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let existing = vec![6.0, 7.0, 8.0];
         let fast = required_additional_containers(30.0, &existing, 10.0, 0.1, &cfg).unwrap();
-        let naive =
-            required_additional_containers_naive(30.0, &existing, 10.0, 0.1, &cfg).unwrap();
+        let naive = required_additional_containers_naive(30.0, &existing, 10.0, 0.1, &cfg).unwrap();
         assert_eq!(fast.containers, naive.containers);
     }
 

@@ -43,8 +43,7 @@ pub mod solver;
 pub use approx::{required_containers_general, GgcApprox, Variability};
 pub use estimator::{DualWindowEstimator, Ewma};
 pub use hetero::{
-    required_additional_containers, required_additional_containers_naive, HeteroMmc,
-    HeteroMmcNaive,
+    required_additional_containers, required_additional_containers_naive, HeteroMmc, HeteroMmcNaive,
 };
 pub use mmc::{MmcQueue, QueueError};
 pub use quantile::{percentile_of_sorted, ExactPercentiles, P2Quantile};

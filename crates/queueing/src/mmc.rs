@@ -307,7 +307,12 @@ mod tests {
 
     #[test]
     fn probabilities_sum_to_one() {
-        for &(l, m, c) in &[(8.0, 1.0, 10), (30.0, 5.0, 8), (0.5, 10.0, 2), (95.0, 1.0, 100)] {
+        for &(l, m, c) in &[
+            (8.0, 1.0, 10),
+            (30.0, 5.0, 8),
+            (0.5, 10.0, 2),
+            (95.0, 1.0, 100),
+        ] {
             let q = MmcQueue::new(l, m, c).unwrap();
             let mut sum = 0.0;
             for n in 0..100_000u64 {
@@ -369,7 +374,10 @@ mod tests {
         assert!((0.0..=1.0).contains(&ec), "erlang_c={ec}");
         let b = q.wait_probability_bound(0.1);
         assert!((0.0..=1.0).contains(&b), "bound={b}");
-        assert!(b > 0.9, "with 10% headroom and t=0.1 the bound should be high: {b}");
+        assert!(
+            b > 0.9,
+            "with 10% headroom and t=0.1 the bound should be high: {b}"
+        );
     }
 
     #[test]
@@ -424,7 +432,10 @@ mod tests {
             MmcQueue::new(1.0, f64::NAN, 1).unwrap_err(),
             QueueError::InvalidServiceRate
         );
-        assert_eq!(MmcQueue::new(1.0, 1.0, 0).unwrap_err(), QueueError::ZeroServers);
+        assert_eq!(
+            MmcQueue::new(1.0, 1.0, 0).unwrap_err(),
+            QueueError::ZeroServers
+        );
     }
 
     #[test]

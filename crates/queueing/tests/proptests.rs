@@ -10,9 +10,8 @@ use proptest::prelude::*;
 
 fn stable_mmc() -> impl Strategy<Value = (f64, f64, u32)> {
     // lambda, mu, c with rho < 0.98 to stay clearly stable.
-    (0.5f64..200.0, 0.5f64..50.0, 1u32..200).prop_filter("stable", |(l, m, c)| {
-        l / (m * f64::from(*c)) < 0.98
-    })
+    (0.5f64..200.0, 0.5f64..50.0, 1u32..200)
+        .prop_filter("stable", |(l, m, c)| l / (m * f64::from(*c)) < 0.98)
 }
 
 proptest! {

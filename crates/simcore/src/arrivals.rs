@@ -71,9 +71,16 @@ impl PiecewiseConstantPoisson {
     /// breakpoint must be at `t = 0`) and an end horizon.
     pub fn new(segments: Vec<(SimTime, f64)>, end: SimTime) -> Self {
         assert!(!segments.is_empty(), "at least one segment required");
-        assert_eq!(segments[0].0, SimTime::ZERO, "first segment must start at 0");
+        assert_eq!(
+            segments[0].0,
+            SimTime::ZERO,
+            "first segment must start at 0"
+        );
         for w in segments.windows(2) {
-            assert!(w[0].0 < w[1].0, "segment starts must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "segment starts must be strictly increasing"
+            );
         }
         assert!(segments.iter().all(|&(_, r)| r >= 0.0 && r.is_finite()));
         Self { segments, end }

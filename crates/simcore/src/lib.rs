@@ -8,6 +8,12 @@
 //! trace replay, and measurement instruments (exact percentiles,
 //! time-weighted gauges, timeline series).
 //!
+//! On top of that substrate, [`engine`] provides the generic
+//! discrete-event simulation engine shared by every simulator in the
+//! workspace: the event pump, the request lifecycle and its statistics,
+//! and the [`SchedulerPolicy`] seam that schedulers (LaSS, the OpenWhisk
+//! baseline, static round-robin, …) plug into.
+//!
 //! Nothing in this crate knows about containers or controllers — those live
 //! in `lass-cluster` and `lass-core`.
 
@@ -15,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arrivals;
+pub mod engine;
 pub mod events;
 pub mod metrics;
 pub mod rng;
@@ -23,6 +30,10 @@ pub mod time;
 pub use arrivals::{
     collect_arrivals, ArrivalProcess, ModulatedPoisson, PerMinuteTrace, PiecewiseConstantPoisson,
     StaticPoisson,
+};
+pub use engine::{
+    run_simulation, Completion, EngineConfig, EngineCtx, EngineOutcome, FnStats, FunctionEntry,
+    ReqId, SchedulerPolicy,
 };
 pub use events::EventQueue;
 pub use metrics::{SampleStats, TimeSeries, TimeWeightedGauge};

@@ -136,8 +136,7 @@ impl TimeWeightedGauge {
         if span <= 0.0 {
             return self.value;
         }
-        let total =
-            self.integral + self.value * t.saturating_since(self.last_t).as_secs_f64();
+        let total = self.integral + self.value * t.saturating_since(self.last_t).as_secs_f64();
         total / span
     }
 

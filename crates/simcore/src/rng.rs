@@ -46,7 +46,9 @@ impl SimRng {
     /// Exponential sample with the given rate (mean `1/rate`).
     pub fn exp(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0 && rate.is_finite(), "invalid rate {rate}");
-        Exp::new(rate).expect("validated rate").sample(&mut self.rng)
+        Exp::new(rate)
+            .expect("validated rate")
+            .sample(&mut self.rng)
     }
 
     /// Poisson sample with the given mean. Returns 0 for a non-positive
@@ -55,7 +57,9 @@ impl SimRng {
         if mean <= 0.0 {
             return 0;
         }
-        Poisson::new(mean).expect("positive mean").sample(&mut self.rng) as u64
+        Poisson::new(mean)
+            .expect("positive mean")
+            .sample(&mut self.rng) as u64
     }
 
     /// Log-normal sample parameterized by the **linear-space** mean and

@@ -19,8 +19,8 @@ fn main() {
     let minutes = 60;
     let traces: Vec<Vec<u64>> = match std::env::args().nth(1) {
         Some(path) => {
-            let text = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            let text =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
             let rows = parse_invocations_csv(&text).expect("valid Azure CSV");
             println!("loaded {} trace rows from {path}", rows.len());
             // The paper samples 11:00-12:00 (minutes 660-720); take the six
@@ -57,7 +57,10 @@ fn main() {
     }
     let mut report = sim.run(None);
 
-    println!("\n{:>18}  {:>9} {:>9} {:>10} {:>8}", "function", "arrivals", "done", "p95W(ms)", "attain");
+    println!(
+        "\n{:>18}  {:>9} {:>9} {:>10} {:>8}",
+        "function", "arrivals", "done", "p95W(ms)", "attain"
+    );
     for id in ids {
         let f = report.per_fn.get_mut(&id.0).expect("deployed");
         println!(

@@ -63,8 +63,7 @@ fn main() {
         let n_deflated = ((*frac) * n as f64).round() as usize;
         let mut fleet = vec![mu; n - n_deflated];
         fleet.extend(vec![mu * (1.0 - pct / 100.0); n_deflated]);
-        let extra = required_additional_containers(lambda, &fleet, mu, t, &cfg)
-            .expect("feasible");
+        let extra = required_additional_containers(lambda, &fleet, mu, t, &cfg).expect("feasible");
         println!(
             "heterogeneous   : with {n_deflated}/{n} containers deflated {pct}%, add {} standard containers",
             extra.containers

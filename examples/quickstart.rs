@@ -34,14 +34,20 @@ fn main() {
     let f = report.per_fn.get_mut(&fn_id.0).expect("deployed function");
 
     println!("function        : {}", f.name);
-    println!("requests        : {} arrived, {} completed", f.arrivals, f.completed);
+    println!(
+        "requests        : {} arrived, {} completed",
+        f.arrivals, f.completed
+    );
     println!(
         "waiting time    : mean {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
         f.wait.mean().unwrap_or(0.0) * 1e3,
         f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
         f.wait.percentile(0.99).unwrap_or(0.0) * 1e3,
     );
-    println!("SLO attainment  : {:.1}% of waits within 100 ms", f.slo_attainment() * 100.0);
+    println!(
+        "SLO attainment  : {:.1}% of waits within 100 ms",
+        f.slo_attainment() * 100.0
+    );
     println!("container peaks :");
     let mut last = -1.0;
     for &(t, v) in f.container_timeline.points() {

@@ -63,7 +63,10 @@ fn main() {
     let mut report = sim.run(None);
 
     println!("Edge video analytics — two motion-triggered camera pipelines\n");
-    for (label, id) in [("intersection/MobileNet", cam1), ("doorbell/SqueezeNet", cam2)] {
+    for (label, id) in [
+        ("intersection/MobileNet", cam1),
+        ("doorbell/SqueezeNet", cam2),
+    ] {
         let f = report.per_fn.get_mut(&id.0).expect("deployed");
         println!("{label}:");
         println!("  frames processed : {}", f.completed);

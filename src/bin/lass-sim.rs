@@ -1,11 +1,15 @@
-//! `lass-sim` — run a declarative JSON scenario through the LaSS
-//! simulator and print the per-function report.
+//! `lass-sim` — run a declarative JSON scenario through the simulator
+//! and print the per-function report.
+//!
+//! The scenario's `"policy"` field picks the scheduler: `"lass"` (the
+//! paper's controller, default), `"static-rr"` (fixed pools, round-robin
+//! dispatch), or `"openwhisk"` (the §6.6 sharding-pool baseline).
 //!
 //! ```sh
 //! cargo run --bin lass-sim -- scenarios/demo.json [--json out.json]
 //! ```
 
-use lass::scenario::Scenario;
+use lass::scenario::{Scenario, ScenarioReport};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -30,42 +34,81 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    let mut report = scenario.run().unwrap_or_else(|e| {
+    let report = scenario.run_report().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
 
-    println!(
-        "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10} {:>10} {:>8}",
-        "fn", "name", "arrivals", "done", "rerun", "p95W(ms)", "p99W(ms)", "attain"
-    );
-    for (id, f) in report.per_fn.iter_mut() {
-        println!(
-            "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10.1} {:>10.1} {:>8.3}",
-            id,
-            f.name,
-            f.arrivals,
-            f.completed,
-            f.reruns,
-            f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
-            f.wait.percentile(0.99).unwrap_or(0.0) * 1e3,
-            f.slo_attainment()
-        );
+    println!("policy: {}\n", scenario.policy.as_str());
+    match report {
+        ScenarioReport::Lass(mut report) => {
+            println!(
+                "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10} {:>10} {:>8}",
+                "fn", "name", "arrivals", "done", "rerun", "p95W(ms)", "p99W(ms)", "attain"
+            );
+            for (id, f) in report.per_fn.iter_mut() {
+                println!(
+                    "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10.1} {:>10.1} {:>8.3}",
+                    id,
+                    f.name,
+                    f.arrivals,
+                    f.completed,
+                    f.reruns,
+                    f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+                    f.wait.percentile(0.99).unwrap_or(0.0) * 1e3,
+                    f.slo_attainment()
+                );
+            }
+            println!(
+                "\ncluster: {:.1}% allocated / {:.1}% busy; {} of {} epochs overloaded; {} failed creates",
+                report.allocated_utilization * 100.0,
+                report.busy_utilization * 100.0,
+                report.overloaded_epochs,
+                report.epochs,
+                report.failed_creates
+            );
+            write_json(json_out.as_deref(), &report);
+        }
+        ScenarioReport::OpenWhisk(mut report) => {
+            println!(
+                "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10} {:>8}",
+                "fn", "name", "arrivals", "done", "lost", "p95W(ms)", "viol"
+            );
+            for (id, f) in report.per_fn.iter_mut() {
+                println!(
+                    "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10.1} {:>8}",
+                    id,
+                    f.name,
+                    f.arrivals,
+                    f.completed,
+                    f.lost,
+                    f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+                    f.slo_violations
+                );
+            }
+            println!("\noutstanding at end: {}", report.outstanding);
+            if report.failures.is_empty() {
+                println!("no invoker failures");
+            } else {
+                for (inv, t) in &report.failures {
+                    println!("invoker {inv} went unresponsive at {t:.1}s");
+                }
+                if let Some(t) = report.cascade_complete_at {
+                    println!("cascade completed at {t:.1}s");
+                }
+            }
+            write_json(json_out.as_deref(), &report);
+        }
     }
-    println!(
-        "\ncluster: {:.1}% allocated / {:.1}% busy; {} of {} epochs overloaded; {} failed creates",
-        report.allocated_utilization * 100.0,
-        report.busy_utilization * 100.0,
-        report.overloaded_epochs,
-        report.epochs,
-        report.failed_creates
-    );
-    if let Some(p) = json_out {
-        std::fs::write(&p, serde_json::to_string_pretty(&report).expect("serializable"))
-            .unwrap_or_else(|e| {
-                eprintln!("error: writing {p}: {e}");
-                std::process::exit(1);
-            });
-        eprintln!("(wrote {p})");
-    }
+}
+
+/// Serialize and write the report only when `--json` was requested.
+fn write_json<T: serde::Serialize>(path: Option<&str>, report: &T) {
+    let Some(p) = path else { return };
+    let json = serde_json::to_string_pretty(report).expect("serializable");
+    std::fs::write(p, json).unwrap_or_else(|e| {
+        eprintln!("error: writing {p}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("(wrote {p})");
 }

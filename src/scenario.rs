@@ -10,11 +10,12 @@
 //! ```
 
 use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, UserId};
-use lass_core::{FunctionSetup, LassConfig, SimReport, Simulation};
+use lass_core::{FunctionSetup, LassConfig, SimReport, Simulation, StaticRrSimulation};
 use lass_functions::{
     binary_alert, geofence, image_resizer, micro_benchmark, mobilenet_v2, shufflenet_v2,
     squeezenet, FunctionSpec, WorkloadSpec,
 };
+use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
 use serde::{Deserialize, Serialize};
 
 /// Cluster shape.
@@ -41,6 +42,62 @@ impl Default for ClusterSpec {
             placement: PlacementPolicy::BestFit,
         }
     }
+}
+
+/// Which scheduler runs the scenario.
+///
+/// All three are [`SchedulerPolicy`](lass_simcore::SchedulerPolicy)
+/// implementations on the shared discrete-event engine; the JSON spelling
+/// is lowercase (`"lass"`, `"static-rr"`, `"openwhisk"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScenarioPolicy {
+    /// The LaSS controller (model-driven autoscaling, fair share).
+    #[default]
+    Lass,
+    /// Static allocation with round-robin dispatch (no autoscaling).
+    StaticRr,
+    /// The vanilla-OpenWhisk sharding-pool baseline (§6.6).
+    OpenWhisk,
+}
+
+impl ScenarioPolicy {
+    /// The JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScenarioPolicy::Lass => "lass",
+            ScenarioPolicy::StaticRr => "static-rr",
+            ScenarioPolicy::OpenWhisk => "openwhisk",
+        }
+    }
+}
+
+impl serde::Serialize for ScenarioPolicy {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_owned())
+    }
+}
+
+impl serde::Deserialize for ScenarioPolicy {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v.as_str() {
+            Some("lass") => Ok(ScenarioPolicy::Lass),
+            Some("static-rr" | "static_rr" | "static") => Ok(ScenarioPolicy::StaticRr),
+            Some("openwhisk" | "ow") => Ok(ScenarioPolicy::OpenWhisk),
+            Some(other) => Err(serde::Error::custom(format!(
+                "unknown policy {other:?} (expected \"lass\", \"static-rr\", or \"openwhisk\")"
+            ))),
+            None => Err(serde::Error::custom("policy must be a string")),
+        }
+    }
+}
+
+/// The result of a scenario run: which report shape depends on the policy.
+#[derive(Debug, Serialize)]
+pub enum ScenarioReport {
+    /// Report from the LaSS or static round-robin policies.
+    Lass(SimReport),
+    /// Report from the OpenWhisk baseline policy.
+    OpenWhisk(OwReport),
 }
 
 /// A function entry: either a catalog name or a custom spec.
@@ -115,6 +172,9 @@ pub struct Scenario {
     /// RNG seed (default 42).
     #[serde(default = "default_seed")]
     pub seed: u64,
+    /// Which scheduler to run (default: the LaSS controller).
+    #[serde(default)]
+    pub policy: ScenarioPolicy,
     /// Cluster shape (default: the paper's 3×4-vCPU testbed).
     #[serde(default)]
     pub cluster: ClusterSpec,
@@ -138,29 +198,95 @@ impl Scenario {
         serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))
     }
 
-    /// Build and run the simulation.
+    /// Build and run the simulation under the scenario's policy.
+    ///
+    /// Kept for callers that expect a [`SimReport`]; the `"openwhisk"`
+    /// policy produces a different report shape and is only reachable via
+    /// [`Scenario::run_report`].
     pub fn run(&self) -> Result<SimReport, String> {
-        if self.functions.is_empty() {
-            return Err("scenario has no functions".into());
+        match self.run_report()? {
+            ScenarioReport::Lass(report) => Ok(report),
+            ScenarioReport::OpenWhisk(_) => {
+                Err("the openwhisk policy produces an OwReport; use Scenario::run_report".into())
+            }
         }
-        self.config.validate()?;
-        let cluster = Cluster::homogeneous(
+    }
+
+    fn build_cluster(&self) -> Cluster {
+        Cluster::homogeneous(
             self.cluster.nodes,
             CpuMilli(self.cluster.cpu_milli),
             MemMib(self.cluster.mem_mib),
             self.cluster.placement,
-        );
-        let mut sim = Simulation::new(self.config.clone(), cluster, self.seed);
-        for entry in &self.functions {
-            let spec = entry.function.resolve()?;
-            let mut setup = FunctionSetup::new(spec, entry.slo_ms / 1e3, entry.workload.clone());
-            setup.weight = entry.weight;
-            setup.user = UserId(entry.user);
-            setup.user_weight = entry.user_weight;
-            setup.initial_containers = entry.initial_containers;
-            sim.add_function(setup);
+        )
+    }
+
+    fn build_setups(&self) -> Result<Vec<FunctionSetup>, String> {
+        self.functions
+            .iter()
+            .map(|entry| {
+                let spec = entry.function.resolve()?;
+                entry
+                    .workload
+                    .validate()
+                    .map_err(|e| format!("function {:?}: {e}", spec.name))?;
+                let mut setup =
+                    FunctionSetup::new(spec, entry.slo_ms / 1e3, entry.workload.clone());
+                setup.weight = entry.weight;
+                setup.user = UserId(entry.user);
+                setup.user_weight = entry.user_weight;
+                setup.initial_containers = entry.initial_containers;
+                Ok(setup)
+            })
+            .collect()
+    }
+
+    /// Build and run the simulation, returning whichever report shape the
+    /// scenario's policy produces.
+    pub fn run_report(&self) -> Result<ScenarioReport, String> {
+        if self.functions.is_empty() {
+            return Err("scenario has no functions".into());
         }
-        Ok(sim.run(self.duration_secs))
+        if self.cluster.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.cluster.cpu_milli == 0 || self.cluster.mem_mib == 0 {
+            return Err("cluster nodes need non-zero cpu_milli and mem_mib".into());
+        }
+        self.config.validate()?;
+        match self.policy {
+            ScenarioPolicy::Lass => {
+                let mut sim = Simulation::new(self.config.clone(), self.build_cluster(), self.seed);
+                for setup in self.build_setups()? {
+                    sim.add_function(setup);
+                }
+                Ok(ScenarioReport::Lass(sim.run(self.duration_secs)))
+            }
+            ScenarioPolicy::StaticRr => {
+                let mut sim = StaticRrSimulation::new(self.build_cluster(), self.seed);
+                for setup in self.build_setups()? {
+                    sim.add_function(setup);
+                }
+                Ok(ScenarioReport::Lass(sim.run(self.duration_secs)))
+            }
+            ScenarioPolicy::OpenWhisk => {
+                let mut sim = OwSimulation::new(OwConfig {
+                    invokers: self.cluster.nodes,
+                    mem_per_invoker: MemMib(self.cluster.mem_mib),
+                    cpu_per_invoker: CpuMilli(self.cluster.cpu_milli),
+                    seed: self.seed,
+                    ..OwConfig::default()
+                });
+                for setup in self.build_setups()? {
+                    sim.add_function(OwFunctionSetup {
+                        spec: setup.spec,
+                        workload: setup.workload,
+                        slo_deadline: setup.slo_deadline,
+                    });
+                }
+                Ok(ScenarioReport::OpenWhisk(sim.run(self.duration_secs)))
+            }
+        }
     }
 }
 
@@ -209,7 +335,10 @@ mod tests {
             "geofence",
             "image_resizer",
         ] {
-            assert!(FunctionRef::Catalog(name.into()).resolve().is_ok(), "{name}");
+            assert!(
+                FunctionRef::Catalog(name.into()).resolve().is_ok(),
+                "{name}"
+            );
         }
         assert!(FunctionRef::Catalog("nope".into()).resolve().is_err());
         let mb = FunctionRef::Catalog("micro_benchmark:250".into())
@@ -222,12 +351,73 @@ mod tests {
     fn empty_scenario_rejected() {
         let sc = Scenario {
             seed: 1,
+            policy: ScenarioPolicy::default(),
             cluster: ClusterSpec::default(),
             config: LassConfig::default(),
             functions: vec![],
             duration_secs: None,
         };
         assert!(sc.run().is_err());
+    }
+
+    #[test]
+    fn static_rr_policy_runs_from_json() {
+        let text = r#"{
+            "policy": "static-rr",
+            "functions": [
+                {
+                    "function": "micro_benchmark:100",
+                    "slo_ms": 100,
+                    "workload": { "Static": { "rate": 10.0, "duration": 60.0 } },
+                    "initial_containers": 3
+                }
+            ]
+        }"#;
+        let sc = Scenario::from_json(text).expect("valid scenario");
+        assert_eq!(sc.policy, ScenarioPolicy::StaticRr);
+        let report = sc.run().expect("runs");
+        let f = &report.per_fn[&0];
+        assert!(f.completed > 400, "completed={}", f.completed);
+        // Static policy never plans epochs.
+        assert_eq!(report.epochs, 0);
+    }
+
+    #[test]
+    fn openwhisk_policy_runs_from_json() {
+        let text = r#"{
+            "policy": "openwhisk",
+            "functions": [
+                {
+                    "function": "binary_alert",
+                    "slo_ms": 100,
+                    "workload": { "Static": { "rate": 10.0, "duration": 60.0 } }
+                }
+            ]
+        }"#;
+        let sc = Scenario::from_json(text).expect("valid scenario");
+        let ScenarioReport::OpenWhisk(report) = sc.run_report().expect("runs") else {
+            panic!("expected an OpenWhisk report");
+        };
+        assert!(report.per_fn[&0].completed > 400);
+        assert!(report.failures.is_empty());
+        // run() refuses the mismatched report shape.
+        assert!(sc.run().is_err());
+    }
+
+    #[test]
+    fn policy_strings_parse_and_roundtrip() {
+        for (text, want) in [
+            ("\"lass\"", ScenarioPolicy::Lass),
+            ("\"static-rr\"", ScenarioPolicy::StaticRr),
+            ("\"static\"", ScenarioPolicy::StaticRr),
+            ("\"openwhisk\"", ScenarioPolicy::OpenWhisk),
+        ] {
+            let got: ScenarioPolicy = serde_json::from_str(text).expect("parses");
+            assert_eq!(got, want);
+        }
+        assert!(serde_json::from_str::<ScenarioPolicy>("\"knative\"").is_err());
+        let json = serde_json::to_string(&ScenarioPolicy::StaticRr).unwrap();
+        assert_eq!(json, "\"static-rr\"");
     }
 
     #[test]

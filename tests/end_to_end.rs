@@ -2,12 +2,8 @@
 //! ↔ baseline, exercised through the public facade (`lass::*`).
 
 use lass::cluster::{Cluster, UserId};
-use lass::core::{
-    DispatchPolicy, FunctionSetup, LassConfig, ReclamationPolicy, Simulation,
-};
-use lass::functions::{
-    binary_alert, micro_benchmark, mobilenet_v2, squeezenet, WorkloadSpec,
-};
+use lass::core::{DispatchPolicy, FunctionSetup, LassConfig, ReclamationPolicy, Simulation};
+use lass::functions::{binary_alert, micro_benchmark, mobilenet_v2, squeezenet, WorkloadSpec};
 use lass::openwhisk::{OwConfig, OwFunctionSetup, OwSimulation};
 use lass::queueing::{required_containers_exact, SolverConfig};
 
@@ -115,8 +111,14 @@ fn reclamation_policies_respect_fair_share() {
         let report = sim.run(Some(300.0));
         assert!(report.overloaded_epochs > 10, "scenario must overload");
         (
-            report.per_fn[&0].cpu_timeline.mean_between(150.0, 300.0).unwrap(),
-            report.per_fn[&1].cpu_timeline.mean_between(150.0, 300.0).unwrap(),
+            report.per_fn[&0]
+                .cpu_timeline
+                .mean_between(150.0, 300.0)
+                .unwrap(),
+            report.per_fn[&1]
+                .cpu_timeline
+                .mean_between(150.0, 300.0)
+                .unwrap(),
         )
     };
     let (term_a, term_b) = run(ReclamationPolicy::Termination);
@@ -129,8 +131,14 @@ fn reclamation_policies_respect_fair_share() {
         assert!(a + b <= 12_100.0, "{label}: over capacity");
     }
     // Deflation retains at least as much for each function.
-    assert!(defl_a + 1.0 >= term_a * 0.95, "defl_a={defl_a} term_a={term_a}");
-    assert!(defl_b + 1.0 >= term_b * 0.95, "defl_b={defl_b} term_b={term_b}");
+    assert!(
+        defl_a + 1.0 >= term_a * 0.95,
+        "defl_a={defl_a} term_a={term_a}"
+    );
+    assert!(
+        defl_b + 1.0 >= term_b * 0.95,
+        "defl_b={defl_b} term_b={term_b}"
+    );
 }
 
 /// The same CPU-heavy burst that cascades vanilla OpenWhisk leaves LaSS
@@ -226,12 +234,21 @@ fn dispatch_disciplines_order_correctly() {
         setup.initial_containers = 6;
         sim.add_function(setup);
         let mut report = sim.run(Some(300.0));
-        report.per_fn.get_mut(&0).unwrap().wait.percentile(0.95).unwrap()
+        report
+            .per_fn
+            .get_mut(&0)
+            .unwrap()
+            .wait
+            .percentile(0.95)
+            .unwrap()
     };
     let shared = run(DispatchPolicy::SharedQueue);
     let idle_first = run(DispatchPolicy::IdleFirstWrr);
     let wrr = run(DispatchPolicy::Wrr);
-    assert!(shared <= idle_first * 1.2, "shared={shared} idle={idle_first}");
+    assert!(
+        shared <= idle_first * 1.2,
+        "shared={shared} idle={idle_first}"
+    );
     assert!(idle_first < wrr, "idle={idle_first} wrr={wrr}");
 }
 
@@ -280,7 +297,11 @@ fn survives_container_crash_injection() {
     ));
     let report = sim.run(Some(300.0));
     let f = &report.per_fn[&0];
-    assert!(report.crashes > 10, "crash injection active: {}", report.crashes);
+    assert!(
+        report.crashes > 10,
+        "crash injection active: {}",
+        report.crashes
+    );
     assert!(f.reruns > 0, "orphans were re-dispatched");
     let done = f.completed as f64 / f.arrivals as f64;
     assert!(done > 0.97, "completion ratio {done} despite crashes");

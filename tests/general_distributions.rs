@@ -58,12 +58,7 @@ fn mdc_model_validates_against_deterministic_service() {
         )
         .expect("feasible")
         .containers;
-        let p95 = measure_p95(
-            custom_fn(ServiceDistribution::Deterministic),
-            c,
-            lambda,
-            31,
-        );
+        let p95 = measure_p95(custom_fn(ServiceDistribution::Deterministic), c, lambda, 31);
         assert!(
             p95 <= 0.1,
             "M/D/c allocation c={c} missed: p95={p95:.4}s at λ={lambda}"
@@ -83,11 +78,13 @@ fn mdc_needs_fewer_containers_than_mmc() {
     )
     .unwrap()
     .containers;
-    let exp =
-        required_containers_general(50.0, 10.0, Variability::MARKOVIAN, 0.05, &solver)
-            .unwrap()
-            .containers;
-    assert!(det <= exp, "M/D/c ({det}) should need at most M/M/c ({exp})");
+    let exp = required_containers_general(50.0, 10.0, Variability::MARKOVIAN, 0.05, &solver)
+        .unwrap()
+        .containers;
+    assert!(
+        det <= exp,
+        "M/D/c ({det}) should need at most M/M/c ({exp})"
+    );
 }
 
 #[test]
@@ -97,15 +94,10 @@ fn lognormal_service_sized_by_its_cv_meets_slo() {
     let cv = 1.5;
     let solver = SolverConfig::default();
     let lambda = 30.0;
-    let c = required_containers_general(
-        lambda,
-        10.0,
-        Variability::from_service_cv(cv),
-        0.1,
-        &solver,
-    )
-    .expect("feasible")
-    .containers;
+    let c =
+        required_containers_general(lambda, 10.0, Variability::from_service_cv(cv), 0.1, &solver)
+            .expect("feasible")
+            .containers;
     let p95 = measure_p95(
         custom_fn(ServiceDistribution::LogNormal { cv }),
         c,
@@ -119,5 +111,8 @@ fn lognormal_service_sized_by_its_cv_meets_slo() {
     let c_exp = required_containers_general(lambda, 10.0, Variability::MARKOVIAN, 0.1, &solver)
         .unwrap()
         .containers;
-    assert!(c >= c_exp, "cv=1.5 sizing ({c}) >= exponential sizing ({c_exp})");
+    assert!(
+        c >= c_exp,
+        "cv=1.5 sizing ({c}) >= exponential sizing ({c_exp})"
+    );
 }
