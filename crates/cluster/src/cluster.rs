@@ -277,6 +277,27 @@ impl Cluster {
         self.containers_of(fn_id).len()
     }
 
+    /// The fastest (highest-CPU) idle schedulable container of a
+    /// function, resolved in one pass over the per-function index —
+    /// the hot-path query behind the default shared-queue dispatch,
+    /// which previously snapshotted every candidate per request. Ties
+    /// keep the later container in index order, matching a `max_by`
+    /// scan over the same sequence.
+    pub fn fastest_idle_container(&self, fn_id: FnId) -> Option<ContainerId> {
+        let mut best: Option<(ContainerId, f64)> = None;
+        for c in self.fn_containers(fn_id) {
+            if !c.is_schedulable() || c.state() != ContainerState::Idle {
+                continue;
+            }
+            let w = f64::from(c.cpu().0).max(1.0);
+            match best {
+                Some((_, bw)) if w < bw => {}
+                _ => best = Some((c.id(), w)),
+            }
+        }
+        best.map(|(cid, _)| cid)
+    }
+
     /// All live containers (deterministic order).
     pub fn all_containers(&self) -> impl Iterator<Item = &Container> {
         self.containers.values()

@@ -19,6 +19,7 @@ pub mod ids;
 pub mod node;
 pub mod placement;
 pub mod resources;
+pub mod topology;
 
 pub use cluster::{Cluster, ClusterError, Termination};
 pub use container::{Container, ContainerState};
@@ -26,3 +27,4 @@ pub use ids::{ContainerId, FnId, NodeId, RequestId, UserId};
 pub use node::Node;
 pub use placement::PlacementPolicy;
 pub use resources::{CpuMilli, MemMib};
+pub use topology::{Site, SiteId, Topology};

@@ -1,0 +1,193 @@
+//! A federated topology: named cluster sites behind a front-end router.
+//!
+//! The paper's testbed is one edge cluster; its future-work direction —
+//! and the federation layer built on top of this type — runs a single
+//! logical serverless platform over *several* resource pools (an edge
+//! rack plus a regional cloud, say), each an independent [`Cluster`]
+//! reached over a network hop of known latency. [`Topology`] is the
+//! policy-free description of that fleet: who the sites are, what they
+//! can host, and how far away they sit. Deciding *which* site serves a
+//! request is the router's job (`lass_simcore::router`).
+
+use crate::cluster::Cluster;
+use crate::resources::CpuMilli;
+use std::fmt;
+
+/// Identifies a site within one [`Topology`] (its index, in insertion
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// One site: a named cluster plus its network distance from the
+/// front-end router.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Display name, unique within the topology (`"edge"`, `"cloud"`…).
+    pub name: String,
+    /// The site's resource pool.
+    pub cluster: Cluster,
+    /// One-way network latency (seconds) from the front-end router to
+    /// the site. Requests dispatched here arrive this much later, and
+    /// the hop counts toward their response time.
+    pub latency_secs: f64,
+}
+
+/// An ordered collection of sites, keyed by [`SiteId`].
+///
+/// The degenerate single-site topology (see [`Topology::single`])
+/// represents the classic one-cluster deployment; policies built for it
+/// run unchanged when more sites are added.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    sites: Vec<Site>,
+}
+
+impl Topology {
+    /// An empty topology; add sites with [`Topology::add_site`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The degenerate topology: one zero-latency site named `"local"`.
+    /// Simulations over it reproduce the plain single-cluster runs.
+    pub fn single(cluster: Cluster) -> Self {
+        let mut t = Self::new();
+        t.add_site("local", cluster, 0.0);
+        t
+    }
+
+    /// Append a site and return its id.
+    pub fn add_site(
+        &mut self,
+        name: impl Into<String>,
+        cluster: Cluster,
+        latency_secs: f64,
+    ) -> SiteId {
+        let id = SiteId(self.sites.len() as u32);
+        self.sites.push(Site {
+            name: name.into(),
+            cluster,
+            latency_secs,
+        });
+        id
+    }
+
+    /// Check the topology is usable: at least one site, unique names,
+    /// finite non-negative latencies, non-empty clusters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sites.is_empty() {
+            return Err("topology needs at least one site".into());
+        }
+        for (i, site) in self.sites.iter().enumerate() {
+            if site.name.is_empty() {
+                return Err(format!("site {i} has an empty name"));
+            }
+            if !(site.latency_secs.is_finite() && site.latency_secs >= 0.0) {
+                return Err(format!(
+                    "site {:?}: latency must be finite and non-negative",
+                    site.name
+                ));
+            }
+            if site.cluster.nodes().is_empty() {
+                return Err(format!("site {:?} has no nodes", site.name));
+            }
+            if self.sites[..i].iter().any(|s| s.name == site.name) {
+                return Err(format!("duplicate site name {:?}", site.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the topology has no sites yet.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site with the given id.
+    pub fn site(&self, id: SiteId) -> Option<&Site> {
+        self.sites.get(id.0 as usize)
+    }
+
+    /// All sites in id order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Consume the topology into its sites (id order).
+    pub fn into_sites(self) -> Vec<Site> {
+        self.sites
+    }
+
+    /// Total CPU capacity across every site.
+    pub fn total_cpu_capacity(&self) -> CpuMilli {
+        self.sites
+            .iter()
+            .map(|s| s.cluster.total_cpu_capacity())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+    use crate::resources::MemMib;
+
+    fn cluster(nodes: u32) -> Cluster {
+        Cluster::homogeneous(
+            nodes,
+            CpuMilli(4000),
+            MemMib(16 * 1024),
+            PlacementPolicy::BestFit,
+        )
+    }
+
+    #[test]
+    fn single_site_is_valid_and_degenerate() {
+        let t = Topology::single(Cluster::paper_testbed());
+        assert!(t.validate().is_ok());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.site(SiteId(0)).unwrap().latency_secs, 0.0);
+        assert_eq!(t.total_cpu_capacity(), CpuMilli(12000));
+    }
+
+    #[test]
+    fn multi_site_capacity_aggregates() {
+        let mut t = Topology::new();
+        let edge = t.add_site("edge", cluster(2), 0.002);
+        let cloud = t.add_site("cloud", cluster(8), 0.040);
+        assert_eq!((edge, cloud), (SiteId(0), SiteId(1)));
+        assert!(t.validate().is_ok());
+        assert_eq!(t.total_cpu_capacity(), CpuMilli(40_000));
+        assert_eq!(t.site(cloud).unwrap().name, "cloud");
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        assert!(Topology::new().validate().is_err());
+
+        let mut dup = Topology::new();
+        dup.add_site("a", cluster(1), 0.0);
+        dup.add_site("a", cluster(1), 0.0);
+        assert!(dup.validate().is_err());
+
+        let mut neg = Topology::new();
+        neg.add_site("a", cluster(1), -1.0);
+        assert!(neg.validate().is_err());
+
+        let mut empty = Topology::new();
+        empty.add_site("a", cluster(0), 0.0);
+        assert!(empty.validate().is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Federated simulation: a [`Topology`] of cluster sites behind a
+//! front-end router, each running its own scheduler instance.
+//!
+//! This is the harness tying the layers together: `lass-cluster`'s
+//! [`Topology`] describes the fleet, `lass-simcore`'s
+//! [`Federation`] meta-policy multiplexes one event pump across the
+//! per-site schedulers, and a [`RouterKind`] decides where each arrival
+//! goes (with the network hop added to its response time). Any of the
+//! `SimReport`-shaped schedulers — the LaSS controller, static
+//! round-robin, or the Knative-style concurrency scaler — can serve as
+//! the per-site policy.
+//!
+//! A single-site topology with zero latency is the degenerate case and
+//! reproduces the corresponding plain single-cluster simulation
+//! event-for-event (the golden-parity tests pin this).
+
+use crate::config::LassConfig;
+use crate::knative::KnativePolicy;
+use crate::simulation::{FunctionSetup, LassPolicy, SimReport};
+use crate::staticalloc::StaticRrPolicy;
+use lass_cluster::{FnId, Topology};
+use lass_simcore::{
+    run_simulation, EngineConfig, FedFunction, FederatedReport, Federation, FunctionEntry,
+    RouterKind, SchedulerPolicy, SimDuration, SiteMeta,
+};
+
+/// The report of a federated run: one [`SimReport`] per site plus the
+/// engine's cross-site aggregate statistics.
+pub type FederatedSimReport = FederatedReport<SimReport>;
+
+/// Which scheduler runs on every site of a federated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SitePolicyKind {
+    /// The LaSS controller (default).
+    #[default]
+    Lass,
+    /// Static allocation with round-robin dispatch.
+    StaticRr,
+    /// The Knative-style concurrency-target autoscaler.
+    Knative,
+}
+
+/// A simulation over a federated [`Topology`].
+pub struct FederatedSimulation {
+    cfg: LassConfig,
+    topology: Topology,
+    seed: u64,
+    router: RouterKind,
+    policy: SitePolicyKind,
+    setups: Vec<FunctionSetup>,
+}
+
+impl FederatedSimulation {
+    /// Create a federated simulation (round-robin router, LaSS sites by
+    /// default).
+    pub fn new(cfg: LassConfig, topology: Topology, seed: u64) -> Self {
+        cfg.validate().expect("invalid LassConfig");
+        Self {
+            cfg,
+            topology,
+            seed,
+            router: RouterKind::default(),
+            policy: SitePolicyKind::default(),
+            setups: Vec::new(),
+        }
+    }
+
+    /// Choose the front-end router.
+    pub fn set_router(&mut self, router: RouterKind) -> &mut Self {
+        self.router = router;
+        self
+    }
+
+    /// Choose the per-site scheduler.
+    pub fn set_policy(&mut self, policy: SitePolicyKind) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Deploy a function on every site; returns its id (assigned in
+    /// registration order). `initial_containers` are provisioned
+    /// per-site.
+    pub fn add_function(&mut self, setup: FunctionSetup) -> FnId {
+        let id = FnId(self.setups.len() as u32);
+        self.setups.push(setup);
+        id
+    }
+
+    /// Run to completion. `duration` defaults to the longest workload.
+    pub fn run(self, duration_override: Option<f64>) -> Result<FederatedSimReport, String> {
+        self.topology.validate()?;
+        if self.setups.is_empty() {
+            return Err("federated simulation has no functions".into());
+        }
+        let duration = duration_override.unwrap_or_else(|| {
+            self.setups
+                .iter()
+                .map(|s| s.workload.duration())
+                .fold(0.0f64, f64::max)
+        });
+        if duration <= 0.0 {
+            return Err("simulation needs a positive duration".into());
+        }
+        let entries: Vec<FunctionEntry> = self
+            .setups
+            .iter()
+            .map(|s| FunctionEntry {
+                name: s.spec.name.clone(),
+                slo_deadline: s.slo_deadline,
+                process: s.workload.build(),
+            })
+            .collect();
+        let fed_functions: Vec<FedFunction> = self
+            .setups
+            .iter()
+            .map(|s| FedFunction {
+                name: s.spec.name.clone(),
+                slo_deadline: s.slo_deadline,
+            })
+            .collect();
+        let metas: Vec<SiteMeta> = self
+            .topology
+            .sites()
+            .iter()
+            .map(|site| SiteMeta {
+                name: site.name.clone(),
+                latency: SimDuration::from_secs_f64(site.latency_secs),
+                capacity_hint: site.cluster.total_cpu_capacity().as_cores(),
+            })
+            .collect();
+        let site_count = self.topology.len();
+        let sites = self.topology.into_sites();
+        let router = self.router.build();
+
+        // The engine RNG prefix matches the corresponding single-cluster
+        // simulation so the degenerate one-site topology replays it
+        // exactly (same arrival and service streams).
+        let report = match self.policy {
+            SitePolicyKind::Lass => {
+                let fed = Federation::new(
+                    metas
+                        .into_iter()
+                        .zip(sites)
+                        .enumerate()
+                        .map(|(i, (meta, site))| {
+                            // A degenerate one-site topology keeps the
+                            // plain run's crash-stream label so parity
+                            // holds even with failure injection on;
+                            // multi-site topologies decorrelate per site.
+                            let label = if site_count == 1 {
+                                String::new()
+                            } else {
+                                format!("site{i}:")
+                            };
+                            (
+                                meta,
+                                LassPolicy::new(
+                                    self.cfg.clone(),
+                                    site.cluster,
+                                    self.seed,
+                                    &self.setups,
+                                    &label,
+                                ),
+                            )
+                        })
+                        .collect(),
+                    router,
+                    &fed_functions,
+                );
+                run_fed(self.seed, "", duration, entries, fed)
+            }
+            SitePolicyKind::StaticRr => {
+                let fed = Federation::new(
+                    metas
+                        .into_iter()
+                        .zip(sites)
+                        .map(|(meta, site)| {
+                            (meta, StaticRrPolicy::new(site.cluster, self.setups.clone()))
+                        })
+                        .collect(),
+                    router,
+                    &fed_functions,
+                );
+                run_fed(self.seed, "static-", duration, entries, fed)
+            }
+            SitePolicyKind::Knative => {
+                let fed = Federation::new(
+                    metas
+                        .into_iter()
+                        .zip(sites)
+                        .map(|(meta, site)| {
+                            (
+                                meta,
+                                KnativePolicy::new(
+                                    self.cfg.clone(),
+                                    site.cluster,
+                                    self.setups.clone(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                    router,
+                    &fed_functions,
+                );
+                run_fed(self.seed, "knative-", duration, entries, fed)
+            }
+        };
+        Ok(report)
+    }
+}
+
+fn run_fed<P: SchedulerPolicy<Report = SimReport>>(
+    seed: u64,
+    prefix: &str,
+    duration: f64,
+    entries: Vec<FunctionEntry>,
+    fed: Federation<P>,
+) -> FederatedSimReport {
+    run_simulation(
+        EngineConfig {
+            seed,
+            rng_label_prefix: prefix.into(),
+            duration_secs: duration,
+            drain_secs: 120.0,
+        },
+        entries,
+        fed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy};
+    use lass_functions::{micro_benchmark, WorkloadSpec};
+
+    fn edge_cloud() -> Topology {
+        let mut t = Topology::new();
+        t.add_site(
+            "edge",
+            Cluster::homogeneous(
+                1,
+                CpuMilli(4000),
+                MemMib(16 * 1024),
+                PlacementPolicy::BestFit,
+            ),
+            0.002,
+        );
+        t.add_site(
+            "cloud",
+            Cluster::homogeneous(
+                6,
+                CpuMilli(4000),
+                MemMib(16 * 1024),
+                PlacementPolicy::BestFit,
+            ),
+            0.040,
+        );
+        t
+    }
+
+    fn overload_sim(router: RouterKind) -> FederatedSimReport {
+        let mut sim = FederatedSimulation::new(LassConfig::default(), edge_cloud(), 42);
+        sim.set_router(router);
+        let mut setup = FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 60.0,
+                duration: 120.0,
+            },
+        );
+        setup.initial_containers = 1;
+        sim.add_function(setup);
+        sim.run(Some(120.0)).expect("runs")
+    }
+
+    #[test]
+    fn latency_aware_offloads_overflow_to_the_cloud() {
+        let rep = overload_sim(RouterKind::LatencyAware);
+        assert_eq!(rep.per_site.len(), 2);
+        let (edge, cloud) = (&rep.per_site[0], &rep.per_site[1]);
+        assert!(edge.routed > 0, "edge starved");
+        assert!(
+            cloud.routed > 0,
+            "60 req/s against a 4-core edge must spill: {:?}",
+            (edge.routed, cloud.routed)
+        );
+        // Conservation: every arrival was routed somewhere.
+        assert_eq!(edge.routed + cloud.routed, rep.aggregate_per_fn[0].arrivals);
+    }
+
+    #[test]
+    fn federated_run_is_deterministic() {
+        let a = overload_sim(RouterKind::LeastLoaded);
+        let b = overload_sim(RouterKind::LeastLoaded);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn static_and_knative_site_policies_run() {
+        for kind in [SitePolicyKind::StaticRr, SitePolicyKind::Knative] {
+            let mut sim = FederatedSimulation::new(LassConfig::default(), edge_cloud(), 7);
+            sim.set_policy(kind).set_router(RouterKind::RoundRobin);
+            let mut setup = FunctionSetup::new(
+                micro_benchmark(0.1),
+                0.1,
+                WorkloadSpec::Static {
+                    rate: 20.0,
+                    duration: 60.0,
+                },
+            );
+            setup.initial_containers = 2;
+            sim.add_function(setup);
+            let rep = sim.run(Some(60.0)).expect("runs");
+            let completed: usize = rep
+                .per_site
+                .iter()
+                .map(|s| s.report.per_fn[&0].completed)
+                .sum();
+            assert!(completed > 900, "{kind:?}: completed={completed}");
+        }
+    }
+
+    #[test]
+    fn invalid_topology_is_rejected() {
+        let sim = FederatedSimulation::new(LassConfig::default(), Topology::new(), 1);
+        assert!(sim.run(Some(10.0)).is_err());
+    }
+}

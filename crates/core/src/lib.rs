@@ -38,6 +38,8 @@ pub mod commands;
 pub mod config;
 pub mod controller;
 pub mod fairshare;
+pub mod federated;
+pub mod knative;
 pub mod loadbalancer;
 pub mod model;
 pub mod predictor;
@@ -51,6 +53,8 @@ pub use commands::{Command, Plan};
 pub use config::{DispatchPolicy, LassConfig, ReclamationPolicy, ScalerKind};
 pub use controller::{ApplyOutcome, LassController};
 pub use fairshare::{fair_share, fair_share_paper, guaranteed_shares, is_overloaded, ShareRequest};
+pub use federated::{FederatedSimReport, FederatedSimulation, SitePolicyKind};
+pub use knative::KnativeSimulation;
 pub use loadbalancer::SmoothWrr;
 pub use model::{desired_allocation, wait_budget_for, DesiredAllocation, ModelError};
 pub use predictor::{BurstAwarePredictor, HoltPredictor, PeakPredictor, Predictor, PredictorKind};

@@ -20,7 +20,7 @@ use crate::registry::FunctionRegistry;
 use lass_cluster::{Cluster, ContainerId, ContainerState, FnId, RequestId, UserId};
 use lass_functions::{FunctionSpec, WorkloadSpec};
 use lass_simcore::{
-    run_simulation, EngineConfig, EngineCtx, EngineOutcome, FunctionEntry, ReqId, SampleStats,
+    run_simulation, EngineConfig, EngineOutcome, FunctionEntry, PolicyCtx, ReqId, SampleStats,
     SchedulerPolicy, SimTime, TimeSeries, TimeWeightedGauge,
 };
 use serde::Serialize;
@@ -66,7 +66,7 @@ impl FunctionSetup {
 
 /// Policy events for the LaSS simulation (arrivals are engine-level).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
+pub(crate) enum Ev {
     Ready(ContainerId),
     Complete {
         cid: ContainerId,
@@ -212,7 +212,7 @@ impl Simulation {
             duration_secs: duration,
             drain_secs: 120.0,
         };
-        let mut policy = LassPolicy::new(self.cfg, self.cluster, self.seed, &self.setups);
+        let mut policy = LassPolicy::new(self.cfg, self.cluster, self.seed, &self.setups, "");
         tweak(&mut policy.controller, &mut policy.cluster);
         run_simulation(engine_cfg, entries, policy)
     }
@@ -224,11 +224,16 @@ struct FnRuntime {
     cpu_timeline: TimeSeries,
     container_timeline: TimeSeries,
     rate_timeline: TimeSeries,
+    /// Reusable candidate buffers for the WRR dispatch modes (cleared
+    /// per request; avoids a heap allocation on every arrival).
+    scratch_idle: Vec<(ContainerId, f64)>,
+    scratch_all: Vec<(ContainerId, f64)>,
 }
 
 /// The LaSS scheduling policy: §5 dispatch over a [`Cluster`], with the
-/// controller re-planning every epoch.
-struct LassPolicy {
+/// controller re-planning every epoch. Crate-visible so the federated
+/// harness can instantiate one policy per topology site.
+pub(crate) struct LassPolicy {
     cfg: LassConfig,
     cluster: Cluster,
     controller: LassController,
@@ -247,7 +252,17 @@ struct LassPolicy {
 }
 
 impl LassPolicy {
-    fn new(cfg: LassConfig, cluster: Cluster, seed: u64, setups: &[FunctionSetup]) -> Self {
+    /// Build the policy. `rng_site_label` prefixes the crash stream's
+    /// RNG label (`""` for plain single-cluster runs — the historical
+    /// label — and `"site<i>:"` under a federated topology so sites
+    /// draw decorrelated failure times).
+    pub(crate) fn new(
+        cfg: LassConfig,
+        cluster: Cluster,
+        seed: u64,
+        setups: &[FunctionSetup],
+        rng_site_label: &str,
+    ) -> Self {
         let mut registry = FunctionRegistry::new();
         let mut fns = BTreeMap::new();
         for (i, s) in setups.iter().enumerate() {
@@ -262,6 +277,8 @@ impl LassPolicy {
                     cpu_timeline: TimeSeries::new(),
                     container_timeline: TimeSeries::new(),
                     rate_timeline: TimeSeries::new(),
+                    scratch_idle: Vec::new(),
+                    scratch_all: Vec::new(),
                 },
             );
         }
@@ -299,7 +316,10 @@ impl LassPolicy {
             fns,
             in_service: HashMap::new(),
             next_seq: 0,
-            crash_rng: lass_simcore::SimRng::from_seed_label(seed, "crashes"),
+            crash_rng: lass_simcore::SimRng::from_seed_label(
+                seed,
+                &format!("{rng_site_label}crashes"),
+            ),
             crashes: 0,
             util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
             busy_cpu_seconds: 0.0,
@@ -311,7 +331,7 @@ impl LassPolicy {
     }
 
     /// Failure injection: arm an exponential crash timer for a container.
-    fn arm_crash(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
+    fn arm_crash(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
         if let Some(mtbf) = self.cfg.container_mtbf_secs {
             let dt = self.crash_rng.exp(1.0 / mtbf);
             ctx.schedule(
@@ -321,7 +341,7 @@ impl LassPolicy {
         }
     }
 
-    fn on_crash(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
+    fn on_crash(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
         let Ok(term) = self.cluster.terminate_container(cid, now) else {
             return; // already gone (stale timer)
         };
@@ -337,41 +357,34 @@ impl LassPolicy {
 
     /// Hand a request to a container per the dispatch policy, or park it in
     /// the function's pending queue when no container exists yet.
-    fn dispatch(&mut self, ctx: &mut EngineCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
-        let policy = self.cfg.dispatch;
-        // Snapshot candidate containers.
-        let mut idle: Vec<(ContainerId, f64)> = Vec::new();
-        let mut all: Vec<(ContainerId, f64)> = Vec::new();
-        for c in self.cluster.fn_containers(f) {
-            if !c.is_schedulable() {
-                continue;
-            }
-            let w = f64::from(c.cpu().0).max(1.0);
-            all.push((c.id(), w));
-            if c.state() == ContainerState::Idle {
-                idle.push((c.id(), w));
-            }
-        }
-        let chosen = match policy {
+    fn dispatch(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
+        let chosen = match self.cfg.dispatch {
             DispatchPolicy::SharedQueue => {
                 // Park centrally; the fastest idle container pulls first
                 // (the opposite of the worst-case slowest-first analysis,
-                // as §3.2 notes a real scheduler would do).
-                idle.iter()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
-                    .map(|&(cid, _)| cid)
+                // as §3.2 notes a real scheduler would do). One pass over
+                // the cluster's per-function index, no snapshot.
+                self.cluster.fastest_idle_container(f)
             }
-            DispatchPolicy::IdleFirstWrr => {
+            policy @ (DispatchPolicy::IdleFirstWrr | DispatchPolicy::Wrr) => {
                 let rt = self.fns.get_mut(&f).expect("known fn");
-                if !idle.is_empty() {
-                    rt.wrr.pick(&idle)
-                } else {
-                    rt.wrr.pick(&all)
+                rt.scratch_idle.clear();
+                rt.scratch_all.clear();
+                for c in self.cluster.fn_containers(f) {
+                    if !c.is_schedulable() {
+                        continue;
+                    }
+                    let w = f64::from(c.cpu().0).max(1.0);
+                    rt.scratch_all.push((c.id(), w));
+                    if c.state() == ContainerState::Idle {
+                        rt.scratch_idle.push((c.id(), w));
+                    }
                 }
-            }
-            DispatchPolicy::Wrr => {
-                let rt = self.fns.get_mut(&f).expect("known fn");
-                rt.wrr.pick(&all)
+                if policy == DispatchPolicy::IdleFirstWrr && !rt.scratch_idle.is_empty() {
+                    rt.wrr.pick(&rt.scratch_idle)
+                } else {
+                    rt.wrr.pick(&rt.scratch_all)
+                }
             }
         };
         match chosen {
@@ -395,7 +408,7 @@ impl LassPolicy {
     /// Begin service on `cid` if it is idle with queued work. Requests
     /// whose queueing time already exceeds the platform's hard limit are
     /// abandoned at dequeue (§2.1's execution time limit).
-    fn try_start(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
+    fn try_start(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
         let timeout = self.cfg.request_timeout_secs;
         let (fn_id, deflation, rid) = loop {
             let Some(c) = self.cluster.container_mut(cid) else {
@@ -436,7 +449,7 @@ impl LassPolicy {
         );
     }
 
-    fn on_ready(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
+    fn on_ready(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
         let Some(c) = self.cluster.container_mut(cid) else {
             return; // terminated while starting
         };
@@ -450,7 +463,13 @@ impl LassPolicy {
 
     /// Give an idle container work: first its own queue, then the
     /// function's pending backlog.
-    fn feed_container(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, f: FnId, now: SimTime) {
+    fn feed_container(
+        &mut self,
+        ctx: &mut impl PolicyCtx<Ev>,
+        cid: ContainerId,
+        f: FnId,
+        now: SimTime,
+    ) {
         self.try_start(ctx, cid, now);
         loop {
             let Some(c) = self.cluster.container(cid) else {
@@ -470,7 +489,13 @@ impl LassPolicy {
         }
     }
 
-    fn on_complete(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, seq: u64, now: SimTime) {
+    fn on_complete(
+        &mut self,
+        ctx: &mut impl PolicyCtx<Ev>,
+        cid: ContainerId,
+        seq: u64,
+        now: SimTime,
+    ) {
         // Validate against stale events (container terminated / rerun).
         match self.in_service.get(&cid) {
             Some(&(_, s, _)) if s == seq => {}
@@ -496,7 +521,7 @@ impl LassPolicy {
         self.feed_container(ctx, cid, f, now);
     }
 
-    fn on_monitor(&mut self, ctx: &mut EngineCtx<Ev>, now: SimTime) {
+    fn on_monitor(&mut self, ctx: &mut impl PolicyCtx<Ev>, now: SimTime) {
         let now_secs = now.as_secs_f64();
         let window = ctx.take_window_counts();
         let mut counts = BTreeMap::new();
@@ -509,7 +534,7 @@ impl LassPolicy {
         self.controller.on_monitor_tick(now_secs, &counts);
     }
 
-    fn on_epoch(&mut self, ctx: &mut EngineCtx<Ev>, now: SimTime) {
+    fn on_epoch(&mut self, ctx: &mut impl PolicyCtx<Ev>, now: SimTime) {
         let now_secs = now.as_secs_f64();
         let plan: Plan = self.controller.plan_epoch(&self.cluster, now_secs);
         self.epochs += 1;
@@ -564,7 +589,7 @@ impl SchedulerPolicy for LassPolicy {
     type Event = Ev;
     type Report = SimReport;
 
-    fn on_start(&mut self, ctx: &mut EngineCtx<Ev>) {
+    fn on_start(&mut self, ctx: &mut impl PolicyCtx<Ev>) {
         self.util_gauge
             .set(SimTime::ZERO, self.cluster.cpu_utilization());
         let initial: Vec<ContainerId> = self.cluster.all_containers().map(|c| c.id()).collect();
@@ -583,11 +608,11 @@ impl SchedulerPolicy for LassPolicy {
         );
     }
 
-    fn on_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
+    fn on_arrival(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
         self.dispatch(ctx, RequestId(rid.0), FnId(fn_idx), now);
     }
 
-    fn on_event(&mut self, ctx: &mut EngineCtx<Ev>, ev: Ev, now: SimTime) {
+    fn on_event(&mut self, ctx: &mut impl PolicyCtx<Ev>, ev: Ev, now: SimTime) {
         match ev {
             Ev::Ready(cid) => self.on_ready(ctx, cid, now),
             Ev::Complete { cid, seq } => self.on_complete(ctx, cid, seq, now),

@@ -13,7 +13,7 @@
 use crate::simulation::{FnReport, FunctionSetup, SimReport};
 use lass_cluster::{Cluster, ContainerId, FnId, RequestId};
 use lass_simcore::{
-    run_simulation, EngineConfig, EngineCtx, EngineOutcome, FunctionEntry, ReqId, SchedulerPolicy,
+    run_simulation, EngineConfig, EngineOutcome, FunctionEntry, PolicyCtx, ReqId, SchedulerPolicy,
     SimDuration, SimTime, TimeSeries, TimeWeightedGauge,
 };
 use std::collections::{BTreeMap, HashMap};
@@ -68,9 +68,42 @@ impl StaticRrSimulation {
             duration_secs: duration,
             drain_secs: 120.0,
         };
-        let mut cluster = self.cluster;
+        let policy = StaticRrPolicy::new(self.cluster, self.setups);
+        run_simulation(engine_cfg, entries, policy)
+    }
+}
+
+struct Pool {
+    /// The fixed container fleet, in creation order.
+    containers: Vec<ContainerId>,
+    /// Round-robin position.
+    cursor: usize,
+}
+
+/// Policy events (completions only — nothing is ever re-planned).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    Complete { cid: ContainerId, seq: u64 },
+}
+
+/// The static round-robin policy. Crate-visible so the federated
+/// harness can instantiate one per topology site.
+pub(crate) struct StaticRrPolicy {
+    setups: Vec<FunctionSetup>,
+    cluster: Cluster,
+    pools: BTreeMap<FnId, Pool>,
+    in_service: HashMap<ContainerId, (RequestId, u64, SimTime)>,
+    next_seq: u64,
+    util_gauge: TimeWeightedGauge,
+    busy_cpu_seconds: f64,
+}
+
+impl StaticRrPolicy {
+    /// Provision each function's fixed warm pool (minimum one container)
+    /// on `cluster` at `t = 0` and build the policy.
+    pub(crate) fn new(mut cluster: Cluster, setups: Vec<FunctionSetup>) -> Self {
         let mut pools: BTreeMap<FnId, Pool> = BTreeMap::new();
-        for (i, s) in self.setups.iter().enumerate() {
+        for (i, s) in setups.iter().enumerate() {
             let fn_id = FnId(i as u32);
             let want = s.initial_containers.max(1);
             let mut pool = Pool {
@@ -94,43 +127,17 @@ impl StaticRrSimulation {
             }
             pools.insert(fn_id, pool);
         }
-        let policy = StaticRrPolicy {
-            setups: self.setups,
+        Self {
+            setups,
             cluster,
             pools,
             in_service: HashMap::new(),
             next_seq: 0,
             util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
             busy_cpu_seconds: 0.0,
-        };
-        run_simulation(engine_cfg, entries, policy)
+        }
     }
-}
-
-struct Pool {
-    /// The fixed container fleet, in creation order.
-    containers: Vec<ContainerId>,
-    /// Round-robin position.
-    cursor: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Complete { cid: ContainerId, seq: u64 },
-}
-
-struct StaticRrPolicy {
-    setups: Vec<FunctionSetup>,
-    cluster: Cluster,
-    pools: BTreeMap<FnId, Pool>,
-    in_service: HashMap<ContainerId, (RequestId, u64, SimTime)>,
-    next_seq: u64,
-    util_gauge: TimeWeightedGauge,
-    busy_cpu_seconds: f64,
-}
-
-impl StaticRrPolicy {
-    fn dispatch(&mut self, ctx: &mut EngineCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
+    fn dispatch(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
         let pool = self.pools.get_mut(&f).expect("known fn");
         let n = pool.containers.len();
         if n == 0 {
@@ -148,7 +155,7 @@ impl StaticRrPolicy {
         self.try_start(ctx, cid, now);
     }
 
-    fn try_start(&mut self, ctx: &mut EngineCtx<Ev>, cid: ContainerId, now: SimTime) {
+    fn try_start(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
         let Some(c) = self.cluster.container_mut(cid) else {
             return;
         };
@@ -175,16 +182,16 @@ impl SchedulerPolicy for StaticRrPolicy {
     type Event = Ev;
     type Report = SimReport;
 
-    fn on_start(&mut self, _ctx: &mut EngineCtx<Ev>) {
+    fn on_start(&mut self, _ctx: &mut impl PolicyCtx<Ev>) {
         self.util_gauge
             .set(SimTime::ZERO, self.cluster.cpu_utilization());
     }
 
-    fn on_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
+    fn on_arrival(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
         self.dispatch(ctx, RequestId(rid.0), FnId(fn_idx), now);
     }
 
-    fn on_event(&mut self, ctx: &mut EngineCtx<Ev>, ev: Ev, now: SimTime) {
+    fn on_event(&mut self, ctx: &mut impl PolicyCtx<Ev>, ev: Ev, now: SimTime) {
         let Ev::Complete { cid, seq } = ev;
         match self.in_service.get(&cid) {
             Some(&(_, s, _)) if s == seq => {}

@@ -145,6 +145,38 @@ impl WorkloadSpec {
         }
     }
 
+    /// The same workload with every rate multiplied by `factor` —
+    /// the knob scenario sweeps turn to push a fixed traffic shape
+    /// through under- to over-load. Trace counts are scaled and
+    /// rounded; `factor` must be finite and non-negative.
+    pub fn scale_rate(&self, factor: f64) -> WorkloadSpec {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate factor must be finite and >= 0, got {factor}"
+        );
+        match self {
+            WorkloadSpec::Static { rate, duration } => WorkloadSpec::Static {
+                rate: rate * factor,
+                duration: *duration,
+            },
+            WorkloadSpec::Steps { steps, duration } => WorkloadSpec::Steps {
+                steps: steps.iter().map(|&(t, r)| (t, r * factor)).collect(),
+                duration: *duration,
+            },
+            WorkloadSpec::Ramp { from, to, duration } => WorkloadSpec::Ramp {
+                from: from * factor,
+                to: to * factor,
+                duration: *duration,
+            },
+            WorkloadSpec::Trace { per_minute } => WorkloadSpec::Trace {
+                per_minute: per_minute
+                    .iter()
+                    .map(|&n| (n as f64 * factor).round() as u64)
+                    .collect(),
+            },
+        }
+    }
+
     /// The nominal rate at time `t` (seconds); for analysis and plotting.
     pub fn rate_at(&self, t: f64) -> f64 {
         match self {

@@ -4,7 +4,7 @@
 use lass_cluster::{CpuMilli, FnId, MemMib, RequestId};
 use lass_functions::{FunctionSpec, WorkloadSpec};
 use lass_simcore::{
-    run_simulation, EngineConfig, EngineCtx, EngineOutcome, FunctionEntry, ReqId, SampleStats,
+    run_simulation, EngineConfig, EngineOutcome, FunctionEntry, PolicyCtx, ReqId, SampleStats,
     SchedulerPolicy, SimDuration, SimTime, TimeSeries,
 };
 use serde::Serialize;
@@ -230,7 +230,7 @@ struct OwPolicy {
 }
 
 impl OwPolicy {
-    fn update_overload(&mut self, ctx: &mut EngineCtx<Ev>, inv_idx: u32, now: SimTime) {
+    fn update_overload(&mut self, ctx: &mut impl PolicyCtx<Ev>, inv_idx: u32, now: SimTime) {
         let inv = &mut self.invokers[inv_idx as usize];
         if inv.is_unresponsive() {
             return;
@@ -250,7 +250,7 @@ impl OwPolicy {
         }
     }
 
-    fn try_start(&mut self, ctx: &mut EngineCtx<Ev>, inv_idx: u32, cid: u64, now: SimTime) {
+    fn try_start(&mut self, ctx: &mut impl PolicyCtx<Ev>, inv_idx: u32, cid: u64, now: SimTime) {
         let inv = &mut self.invokers[inv_idx as usize];
         if !inv.is_unresponsive() {
             // Proportional-share slowdown once CPU is oversubscribed.
@@ -286,7 +286,13 @@ impl OwPolicy {
         self.update_overload(ctx, inv_idx, now);
     }
 
-    fn place_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
+    fn place_arrival(
+        &mut self,
+        ctx: &mut impl PolicyCtx<Ev>,
+        rid: RequestId,
+        f: FnId,
+        now: SimTime,
+    ) {
         // Sharding-pool: home invoker + ring probing over invokers the
         // controller believes healthy.
         let cfg_invokers = self.cfg.invokers;
@@ -385,7 +391,7 @@ impl SchedulerPolicy for OwPolicy {
     type Event = Ev;
     type Report = OwReport;
 
-    fn on_start(&mut self, ctx: &mut EngineCtx<Ev>) {
+    fn on_start(&mut self, ctx: &mut impl PolicyCtx<Ev>) {
         self.healthy_timeline
             .push(SimTime::ZERO, f64::from(self.cfg.invokers));
         ctx.schedule(
@@ -394,11 +400,11 @@ impl SchedulerPolicy for OwPolicy {
         );
     }
 
-    fn on_arrival(&mut self, ctx: &mut EngineCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
+    fn on_arrival(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: ReqId, fn_idx: u32, now: SimTime) {
         self.place_arrival(ctx, RequestId(rid.0), FnId(fn_idx), now);
     }
 
-    fn on_event(&mut self, ctx: &mut EngineCtx<Ev>, ev: Ev, now: SimTime) {
+    fn on_event(&mut self, ctx: &mut impl PolicyCtx<Ev>, ev: Ev, now: SimTime) {
         match ev {
             Ev::Ready { invoker, ctr } => {
                 let inv = &mut self.invokers[invoker as usize];

@@ -29,6 +29,7 @@ use crate::events::EventQueue;
 use crate::metrics::SampleStats;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
 use std::collections::HashMap;
 
 /// A request identifier, unique within one engine run (assigned in
@@ -63,7 +64,7 @@ pub struct EngineConfig {
 }
 
 /// Per-function statistics collected by the engine.
-#[derive(Debug)]
+#[derive(Debug, Serialize)]
 pub struct FnStats {
     /// Function display name.
     pub name: String,
@@ -119,11 +120,47 @@ pub struct EngineOutcome {
     pub duration_secs: f64,
 }
 
+/// The engine surface a [`SchedulerPolicy`] drives during a run.
+///
+/// [`EngineCtx`] is the canonical implementation; wrappers (such as the
+/// per-site scoped context used by [`crate::federation::Federation`])
+/// implement it too, remapping event payloads and statistics so a policy
+/// written against this trait runs unchanged whether it owns the whole
+/// simulation or one site of a federated topology.
+pub trait PolicyCtx<E> {
+    /// Schedule a policy event at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, ev: E);
+    /// The nominal end of the run. Recurring timers should not
+    /// reschedule at or past this instant.
+    fn end_time(&self) -> SimTime;
+    /// Number of registered functions.
+    fn fn_count(&self) -> usize;
+    /// The function's deterministic service-time stream.
+    fn service_rng(&mut self, fn_idx: u32) -> &mut SimRng;
+    /// Look up a live request: `(fn_idx, arrival)`.
+    fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)>;
+    /// Record a completion (see [`EngineCtx::complete`]).
+    fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion>;
+    /// Abandon a request that exceeded a hard time limit.
+    fn abandon(&mut self, rid: ReqId) -> Option<u32>;
+    /// Drop a request that could not be placed anywhere.
+    fn lose(&mut self, rid: ReqId) -> Option<u32>;
+    /// Note that a live request lost its server and will be re-dispatched.
+    fn rerun(&mut self, rid: ReqId) -> Option<u32>;
+    /// Arrival counts per function since the previous call; resets the
+    /// windows.
+    fn take_window_counts(&mut self) -> Vec<u64>;
+    /// Requests currently in flight.
+    fn outstanding(&self) -> usize;
+}
+
 /// A scheduling policy plugged into the engine.
 ///
 /// The engine delivers arrivals and the policy's own scheduled events;
 /// the policy decides placement/scaling and reports request outcomes
-/// back through the [`EngineCtx`].
+/// back through its [`PolicyCtx`]. Policies are written against the
+/// trait rather than [`EngineCtx`] directly so the same implementation
+/// can be instantiated once per site under a federated topology.
 pub trait SchedulerPolicy {
     /// Policy-private event payloads (timers, completions, failures…).
     type Event;
@@ -132,19 +169,19 @@ pub trait SchedulerPolicy {
 
     /// Called once before the pump starts (arrival events are already
     /// scheduled). Set up initial state and recurring timers here.
-    fn on_start(&mut self, ctx: &mut EngineCtx<Self::Event>);
+    fn on_start(&mut self, ctx: &mut impl PolicyCtx<Self::Event>);
 
     /// A new request arrived for function `fn_idx`.
     fn on_arrival(
         &mut self,
-        ctx: &mut EngineCtx<Self::Event>,
+        ctx: &mut impl PolicyCtx<Self::Event>,
         rid: ReqId,
         fn_idx: u32,
         now: SimTime,
     );
 
     /// One of the policy's own events fired.
-    fn on_event(&mut self, ctx: &mut EngineCtx<Self::Event>, ev: Self::Event, now: SimTime);
+    fn on_event(&mut self, ctx: &mut impl PolicyCtx<Self::Event>, ev: Self::Event, now: SimTime);
 
     /// Build the final report from the engine's measurements.
     fn finish(self, outcome: EngineOutcome) -> Self::Report;
@@ -333,6 +370,11 @@ impl<E> EngineCtx<E> {
         }
     }
 
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
     fn into_outcome(self, duration_secs: f64) -> EngineOutcome {
         EngineOutcome {
             outstanding: self.requests.len(),
@@ -355,6 +397,42 @@ impl<E> EngineCtx<E> {
                 .collect(),
             duration_secs,
         }
+    }
+}
+
+impl<E> PolicyCtx<E> for EngineCtx<E> {
+    fn schedule(&mut self, at: SimTime, ev: E) {
+        EngineCtx::schedule(self, at, ev);
+    }
+    fn end_time(&self) -> SimTime {
+        EngineCtx::end_time(self)
+    }
+    fn fn_count(&self) -> usize {
+        EngineCtx::fn_count(self)
+    }
+    fn service_rng(&mut self, fn_idx: u32) -> &mut SimRng {
+        EngineCtx::service_rng(self, fn_idx)
+    }
+    fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)> {
+        EngineCtx::request_info(self, rid)
+    }
+    fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion> {
+        EngineCtx::complete(self, rid, started, now)
+    }
+    fn abandon(&mut self, rid: ReqId) -> Option<u32> {
+        EngineCtx::abandon(self, rid)
+    }
+    fn lose(&mut self, rid: ReqId) -> Option<u32> {
+        EngineCtx::lose(self, rid)
+    }
+    fn rerun(&mut self, rid: ReqId) -> Option<u32> {
+        EngineCtx::rerun(self, rid)
+    }
+    fn take_window_counts(&mut self) -> Vec<u64> {
+        EngineCtx::take_window_counts(self)
+    }
+    fn outstanding(&self) -> usize {
+        EngineCtx::outstanding(self)
     }
 }
 
@@ -411,9 +489,15 @@ mod tests {
         type Event = SsEv;
         type Report = EngineOutcome;
 
-        fn on_start(&mut self, _ctx: &mut EngineCtx<SsEv>) {}
+        fn on_start(&mut self, _ctx: &mut impl PolicyCtx<SsEv>) {}
 
-        fn on_arrival(&mut self, ctx: &mut EngineCtx<SsEv>, rid: ReqId, _f: u32, now: SimTime) {
+        fn on_arrival(
+            &mut self,
+            ctx: &mut impl PolicyCtx<SsEv>,
+            rid: ReqId,
+            _f: u32,
+            now: SimTime,
+        ) {
             if self.busy {
                 self.queue.push_back((rid, now));
             } else {
@@ -425,7 +509,7 @@ mod tests {
             }
         }
 
-        fn on_event(&mut self, ctx: &mut EngineCtx<SsEv>, ev: SsEv, now: SimTime) {
+        fn on_event(&mut self, ctx: &mut impl PolicyCtx<SsEv>, ev: SsEv, now: SimTime) {
             let SsEv::Done(rid, started) = ev;
             ctx.complete(rid, started, now);
             self.busy = false;
@@ -489,8 +573,14 @@ mod tests {
         impl SchedulerPolicy for DropAll {
             type Event = ();
             type Report = EngineOutcome;
-            fn on_start(&mut self, _ctx: &mut EngineCtx<()>) {}
-            fn on_arrival(&mut self, ctx: &mut EngineCtx<()>, rid: ReqId, _f: u32, _now: SimTime) {
+            fn on_start(&mut self, _ctx: &mut impl PolicyCtx<()>) {}
+            fn on_arrival(
+                &mut self,
+                ctx: &mut impl PolicyCtx<()>,
+                rid: ReqId,
+                _f: u32,
+                now: SimTime,
+            ) {
                 match rid.0 % 3 {
                     0 => {
                         ctx.lose(rid);
@@ -500,12 +590,11 @@ mod tests {
                     }
                     _ => {
                         ctx.rerun(rid);
-                        let started = ctx.events.now();
-                        ctx.complete(rid, started, started + SimDuration::from_millis(10));
+                        ctx.complete(rid, now, now + SimDuration::from_millis(10));
                     }
                 }
             }
-            fn on_event(&mut self, _ctx: &mut EngineCtx<()>, _ev: (), _now: SimTime) {}
+            fn on_event(&mut self, _ctx: &mut impl PolicyCtx<()>, _ev: (), _now: SimTime) {}
             fn finish(self, outcome: EngineOutcome) -> EngineOutcome {
                 outcome
             }

@@ -1,0 +1,575 @@
+//! The federated meta-policy: one engine, many sites.
+//!
+//! [`Federation`] is itself a [`SchedulerPolicy`] — it plugs into the
+//! ordinary [`run_simulation`](crate::run_simulation) pump — but instead
+//! of scheduling requests onto containers it owns a [`RouterPolicy`] and
+//! one *inner* scheduler instance per site. Arrivals are routed to a
+//! site, delayed by the site's network latency, and then delivered to
+//! that site's scheduler through a scoped [`PolicyCtx`] that:
+//!
+//! * tags the site's scheduled events so they come back to the right
+//!   instance ([`FedEv::Site`]);
+//! * maintains per-site request statistics (the engine's own statistics
+//!   remain the cross-site aggregate);
+//! * gives each site its own arrival-rate windows, so per-site monitors
+//!   observe only the traffic routed to them.
+//!
+//! Because the inner scheduler is written against [`PolicyCtx`] rather
+//! than the concrete engine context, it runs *unchanged* — the same
+//! `LassPolicy` that owns a whole simulation serves one site of a
+//! federation. A single-site federation with zero latency is the
+//! degenerate case and reproduces the plain single-cluster run.
+//!
+//! Routing latency is modeled on the inbound hop: a request routed at
+//! `t` reaches its site at `t + latency`, and since waiting time is
+//! measured from the front-end arrival instant, the hop is part of the
+//! request's waiting — and therefore response — time, exactly like the
+//! paper's edge clients would observe when offloaded to a remote pool.
+
+use crate::engine::{Completion, EngineOutcome, FnStats, PolicyCtx, ReqId, SchedulerPolicy};
+use crate::metrics::SampleStats;
+use crate::rng::SimRng;
+use crate::router::{RouterPolicy, SiteState};
+use crate::time::{SimDuration, SimTime};
+use serde::{Map, Serialize, Value};
+
+/// Static description of one site handed to [`Federation::new`].
+#[derive(Debug, Clone)]
+pub struct SiteMeta {
+    /// Site display name (unique within the topology).
+    pub name: String,
+    /// One-way network latency from the front-end router to the site.
+    pub latency: SimDuration,
+    /// Concurrent-request capacity hint used to normalize router load
+    /// (typically the site's total CPU core count).
+    pub capacity_hint: f64,
+}
+
+/// Per-function metadata shared by every site (used to seed the
+/// per-site statistics tables).
+#[derive(Debug, Clone)]
+pub struct FedFunction {
+    /// Function display name.
+    pub name: String,
+    /// SLO deadline (seconds) on the waiting time.
+    pub slo_deadline: f64,
+}
+
+/// Events of a federated run: deliveries completing their network hop,
+/// plus the inner schedulers' own events tagged by site.
+pub enum FedEv<E> {
+    /// A routed request reaches its destination site.
+    Deliver {
+        /// Destination site index.
+        site: u32,
+        /// The request.
+        rid: ReqId,
+        /// The request's function.
+        fn_idx: u32,
+    },
+    /// An inner scheduler's event, tagged with its site.
+    Site {
+        /// Owning site index.
+        site: u32,
+        /// The inner event payload.
+        ev: E,
+    },
+}
+
+/// Per-site bookkeeping maintained by the scoped context.
+struct SiteTally {
+    /// Requests delivered to the site and not yet finished.
+    in_flight: usize,
+    /// Requests the router sent to this site (delivered or in transit).
+    routed: usize,
+    /// Requests that finished at this site (completed, abandoned, or
+    /// lost). `routed - finished` is the router's view of the site's
+    /// commitment: it includes requests still in transit, which the
+    /// front-end knows it dispatched even though the site hasn't seen
+    /// them yet — otherwise a burst shorter than the network hop would
+    /// herd entirely onto a high-latency site before any delivery
+    /// moves its visible load.
+    finished: usize,
+    /// Per-function arrival counts since the site's last window take.
+    window: Vec<u64>,
+    /// Per-function statistics of requests finished at this site.
+    per_fn: Vec<FnStats>,
+}
+
+impl SiteTally {
+    fn new(functions: &[FedFunction]) -> Self {
+        Self {
+            in_flight: 0,
+            routed: 0,
+            finished: 0,
+            window: vec![0; functions.len()],
+            per_fn: functions
+                .iter()
+                .map(|f| FnStats {
+                    name: f.name.clone(),
+                    slo_deadline: f.slo_deadline,
+                    arrivals: 0,
+                    completed: 0,
+                    reruns: 0,
+                    timeouts: 0,
+                    lost: 0,
+                    slo_violations: 0,
+                    wait: SampleStats::new(),
+                    response: SampleStats::new(),
+                    service: SampleStats::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The per-site view of the engine: delegates to the real context while
+/// tagging events with the site and keeping the site's statistics.
+struct SiteCtx<'a, C> {
+    inner: &'a mut C,
+    site: u32,
+    tally: &'a mut SiteTally,
+}
+
+impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
+    fn schedule(&mut self, at: SimTime, ev: E) {
+        self.inner.schedule(
+            at,
+            FedEv::Site {
+                site: self.site,
+                ev,
+            },
+        );
+    }
+
+    fn end_time(&self) -> SimTime {
+        self.inner.end_time()
+    }
+
+    fn fn_count(&self) -> usize {
+        self.inner.fn_count()
+    }
+
+    fn service_rng(&mut self, fn_idx: u32) -> &mut SimRng {
+        self.inner.service_rng(fn_idx)
+    }
+
+    fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)> {
+        self.inner.request_info(rid)
+    }
+
+    fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion> {
+        let c = self.inner.complete(rid, started, now)?;
+        let f = &mut self.tally.per_fn[c.fn_idx as usize];
+        f.completed += 1;
+        f.wait.record(c.wait);
+        f.service.record(c.service);
+        f.response.record(c.response);
+        if c.violated_slo {
+            f.slo_violations += 1;
+        }
+        self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
+        self.tally.finished += 1;
+        Some(c)
+    }
+
+    fn abandon(&mut self, rid: ReqId) -> Option<u32> {
+        let fn_idx = self.inner.abandon(rid)?;
+        let f = &mut self.tally.per_fn[fn_idx as usize];
+        f.timeouts += 1;
+        f.slo_violations += 1;
+        self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
+        self.tally.finished += 1;
+        Some(fn_idx)
+    }
+
+    fn lose(&mut self, rid: ReqId) -> Option<u32> {
+        let fn_idx = self.inner.lose(rid)?;
+        self.tally.per_fn[fn_idx as usize].lost += 1;
+        self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
+        self.tally.finished += 1;
+        Some(fn_idx)
+    }
+
+    fn rerun(&mut self, rid: ReqId) -> Option<u32> {
+        let fn_idx = self.inner.rerun(rid)?;
+        self.tally.per_fn[fn_idx as usize].reruns += 1;
+        Some(fn_idx)
+    }
+
+    fn take_window_counts(&mut self) -> Vec<u64> {
+        self.tally.window.iter_mut().map(std::mem::take).collect()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.tally.in_flight
+    }
+}
+
+/// One site's slice of a [`FederatedReport`].
+#[derive(Debug)]
+pub struct SiteReport<R> {
+    /// Site name.
+    pub name: String,
+    /// One-way routing latency to the site, seconds.
+    pub latency_secs: f64,
+    /// Requests the router sent to this site.
+    pub routed: usize,
+    /// The inner scheduler's own report, built from the site-local
+    /// request statistics.
+    pub report: R,
+}
+
+/// The report of a federated run: one inner report per site plus the
+/// engine's cross-site aggregate.
+#[derive(Debug)]
+pub struct FederatedReport<R> {
+    /// Name of the router that made the dispatch decisions.
+    pub router: String,
+    /// Per-site reports, in topology order.
+    pub per_site: Vec<SiteReport<R>>,
+    /// Cross-site per-function statistics (the engine's own measurement,
+    /// indexed by function registration order). Waiting times include the
+    /// routing hop.
+    pub aggregate_per_fn: Vec<FnStats>,
+    /// Requests unanswered when the run ended (including in-transit).
+    pub outstanding: usize,
+    /// Simulated duration in seconds (excluding drain).
+    pub duration: f64,
+}
+
+impl<R: Serialize> Serialize for SiteReport<R> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name".into(), self.name.serialize());
+        m.insert("latency_secs".into(), self.latency_secs.serialize());
+        m.insert("routed".into(), self.routed.serialize());
+        m.insert("report".into(), self.report.serialize());
+        Value::Object(m)
+    }
+}
+
+impl<R: Serialize> Serialize for FederatedReport<R> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("router".into(), self.router.serialize());
+        m.insert("per_site".into(), self.per_site.serialize());
+        m.insert("aggregate_per_fn".into(), self.aggregate_per_fn.serialize());
+        m.insert("outstanding".into(), self.outstanding.serialize());
+        m.insert("duration".into(), self.duration.serialize());
+        Value::Object(m)
+    }
+}
+
+/// The federated meta-policy: a router in front of one inner scheduler
+/// instance per site. See the module docs for the full contract.
+pub struct Federation<P: SchedulerPolicy> {
+    sites: Vec<P>,
+    metas: Vec<SiteMeta>,
+    tallies: Vec<SiteTally>,
+    router: Box<dyn RouterPolicy + Send>,
+    /// Scratch router view, refreshed from the tallies per decision.
+    states: Vec<SiteState>,
+}
+
+impl<P: SchedulerPolicy> Federation<P> {
+    /// Build a federation over `sites` (meta + inner scheduler each),
+    /// fronted by `router`. `functions` carries the per-function names
+    /// and SLO deadlines used for per-site statistics; it must match the
+    /// engine's function registration order.
+    pub fn new(
+        sites: Vec<(SiteMeta, P)>,
+        router: Box<dyn RouterPolicy + Send>,
+        functions: &[FedFunction],
+    ) -> Self {
+        assert!(!sites.is_empty(), "federation needs at least one site");
+        let (metas, sites): (Vec<SiteMeta>, Vec<P>) = sites.into_iter().unzip();
+        let tallies = metas.iter().map(|_| SiteTally::new(functions)).collect();
+        let states = metas
+            .iter()
+            .map(|m| SiteState {
+                name: m.name.clone(),
+                latency: m.latency,
+                capacity_hint: m.capacity_hint,
+                in_flight: 0,
+            })
+            .collect();
+        Self {
+            sites,
+            metas,
+            tallies,
+            router,
+            states,
+        }
+    }
+
+    /// Deliver a routed request to its site's scheduler.
+    fn deliver(
+        &mut self,
+        ctx: &mut impl PolicyCtx<FedEv<P::Event>>,
+        site: u32,
+        rid: ReqId,
+        fn_idx: u32,
+        now: SimTime,
+    ) {
+        let i = site as usize;
+        let tally = &mut self.tallies[i];
+        tally.in_flight += 1;
+        tally.window[fn_idx as usize] += 1;
+        tally.per_fn[fn_idx as usize].arrivals += 1;
+        self.sites[i].on_arrival(
+            &mut SiteCtx {
+                inner: ctx,
+                site,
+                tally,
+            },
+            rid,
+            fn_idx,
+            now,
+        );
+    }
+}
+
+impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
+    type Event = FedEv<P::Event>;
+    type Report = FederatedReport<P::Report>;
+
+    fn on_start(&mut self, ctx: &mut impl PolicyCtx<Self::Event>) {
+        for (i, (site, tally)) in self.sites.iter_mut().zip(&mut self.tallies).enumerate() {
+            site.on_start(&mut SiteCtx {
+                inner: ctx,
+                site: i as u32,
+                tally,
+            });
+        }
+    }
+
+    fn on_arrival(
+        &mut self,
+        ctx: &mut impl PolicyCtx<Self::Event>,
+        rid: ReqId,
+        fn_idx: u32,
+        now: SimTime,
+    ) {
+        for (state, tally) in self.states.iter_mut().zip(&self.tallies) {
+            // The router sees everything it has committed to a site and
+            // that hasn't finished — delivered work plus requests still
+            // crossing the network hop.
+            state.in_flight = tally.routed.saturating_sub(tally.finished) as u64;
+        }
+        let chosen = self.router.route(fn_idx, now, &self.states);
+        debug_assert!(chosen < self.sites.len(), "router returned site {chosen}");
+        let chosen = chosen.min(self.sites.len() - 1);
+        self.tallies[chosen].routed += 1;
+        let latency = self.metas[chosen].latency;
+        if latency == SimDuration::ZERO {
+            // Zero-latency hop: deliver inline so the degenerate
+            // single-site topology replays the plain run event-for-event.
+            self.deliver(ctx, chosen as u32, rid, fn_idx, now);
+        } else {
+            ctx.schedule(
+                now + latency,
+                FedEv::Deliver {
+                    site: chosen as u32,
+                    rid,
+                    fn_idx,
+                },
+            );
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut impl PolicyCtx<Self::Event>, ev: Self::Event, now: SimTime) {
+        match ev {
+            FedEv::Deliver { site, rid, fn_idx } => self.deliver(ctx, site, rid, fn_idx, now),
+            FedEv::Site { site, ev } => {
+                let i = site as usize;
+                self.sites[i].on_event(
+                    &mut SiteCtx {
+                        inner: ctx,
+                        site,
+                        tally: &mut self.tallies[i],
+                    },
+                    ev,
+                    now,
+                );
+            }
+        }
+    }
+
+    fn finish(self, outcome: EngineOutcome) -> Self::Report {
+        let duration = outcome.duration_secs;
+        let per_site = self
+            .sites
+            .into_iter()
+            .zip(self.metas)
+            .zip(self.tallies)
+            .map(|((site, meta), tally)| {
+                let site_outcome = EngineOutcome {
+                    per_fn: tally.per_fn,
+                    outstanding: tally.in_flight,
+                    duration_secs: duration,
+                };
+                SiteReport {
+                    name: meta.name,
+                    latency_secs: meta.latency.as_secs_f64(),
+                    routed: tally.routed,
+                    report: site.finish(site_outcome),
+                }
+            })
+            .collect();
+        FederatedReport {
+            router: self.router.name().to_owned(),
+            per_site,
+            aggregate_per_fn: outcome.per_fn,
+            outstanding: outcome.outstanding,
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::StaticPoisson;
+    use crate::engine::{run_simulation, EngineConfig, FunctionEntry};
+    use crate::router::RouterKind;
+
+    /// A fixed-service-time single-server policy (per site).
+    struct OneServer {
+        busy: bool,
+        queue: std::collections::VecDeque<ReqId>,
+        service_secs: f64,
+    }
+
+    enum Ev {
+        Done(ReqId, SimTime),
+    }
+
+    impl SchedulerPolicy for OneServer {
+        type Event = Ev;
+        type Report = EngineOutcome;
+
+        fn on_start(&mut self, _ctx: &mut impl PolicyCtx<Ev>) {}
+
+        fn on_arrival(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: ReqId, _f: u32, now: SimTime) {
+            if self.busy {
+                self.queue.push_back(rid);
+            } else {
+                self.busy = true;
+                ctx.schedule(
+                    now + SimDuration::from_secs_f64(self.service_secs),
+                    Ev::Done(rid, now),
+                );
+            }
+        }
+
+        fn on_event(&mut self, ctx: &mut impl PolicyCtx<Ev>, ev: Ev, now: SimTime) {
+            let Ev::Done(rid, started) = ev;
+            ctx.complete(rid, started, now);
+            self.busy = false;
+            if let Some(next) = self.queue.pop_front() {
+                self.busy = true;
+                ctx.schedule(
+                    now + SimDuration::from_secs_f64(self.service_secs),
+                    Ev::Done(next, now),
+                );
+            }
+        }
+
+        fn finish(self, outcome: EngineOutcome) -> EngineOutcome {
+            outcome
+        }
+    }
+
+    fn run_fed(kind: RouterKind, latencies: &[f64]) -> FederatedReport<EngineOutcome> {
+        let sites = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &lat)| {
+                (
+                    SiteMeta {
+                        name: format!("s{i}"),
+                        latency: SimDuration::from_secs_f64(lat),
+                        capacity_hint: 1.0,
+                    },
+                    OneServer {
+                        busy: false,
+                        queue: Default::default(),
+                        service_secs: 0.05,
+                    },
+                )
+            })
+            .collect();
+        let functions = vec![FedFunction {
+            name: "probe".into(),
+            slo_deadline: 0.5,
+        }];
+        let fed = Federation::new(sites, kind.build(), &functions);
+        run_simulation(
+            EngineConfig {
+                seed: 11,
+                rng_label_prefix: String::new(),
+                duration_secs: 60.0,
+                drain_secs: 30.0,
+            },
+            vec![FunctionEntry {
+                name: "probe".into(),
+                slo_deadline: 0.5,
+                process: Box::new(StaticPoisson::until(8.0, SimTime::from_secs(60))),
+            }],
+            fed,
+        )
+    }
+
+    #[test]
+    fn arrivals_are_conserved_across_sites() {
+        let rep = run_fed(RouterKind::RoundRobin, &[0.001, 0.02]);
+        let total = rep.aggregate_per_fn[0].arrivals;
+        let routed: usize = rep.per_site.iter().map(|s| s.routed).sum();
+        assert_eq!(total, routed);
+        let delivered: usize = rep
+            .per_site
+            .iter()
+            .map(|s| s.report.per_fn[0].arrivals)
+            .sum();
+        // Every routed request is delivered (latencies are shorter than
+        // the drain, and nothing else retires in-transit requests).
+        assert_eq!(delivered, routed);
+        let completed: usize = rep
+            .per_site
+            .iter()
+            .map(|s| s.report.per_fn[0].completed)
+            .sum();
+        assert_eq!(completed, rep.aggregate_per_fn[0].completed);
+    }
+
+    #[test]
+    fn routing_latency_shows_up_in_waits() {
+        // One site, 100 ms away: every wait includes the hop.
+        let rep = run_fed(RouterKind::RoundRobin, &[0.1]);
+        let agg = &rep.aggregate_per_fn[0];
+        assert!(agg.completed > 100);
+        let min_wait = agg
+            .wait
+            .samples()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_wait >= 0.1 - 1e-9,
+            "min wait {min_wait} missing the hop"
+        );
+    }
+
+    #[test]
+    fn federated_runs_are_deterministic() {
+        let a = run_fed(RouterKind::LeastLoaded, &[0.001, 0.02]);
+        let b = run_fed(RouterKind::LeastLoaded, &[0.001, 0.02]);
+        assert_eq!(
+            serde_json::to_string(&a.aggregate_per_fn[0]).unwrap(),
+            serde_json::to_string(&b.aggregate_per_fn[0]).unwrap()
+        );
+        assert_eq!(a.per_site[0].routed, b.per_site[0].routed);
+        assert_eq!(a.per_site[1].routed, b.per_site[1].routed);
+    }
+}

@@ -11,8 +11,12 @@
 //! On top of that substrate, [`engine`] provides the generic
 //! discrete-event simulation engine shared by every simulator in the
 //! workspace: the event pump, the request lifecycle and its statistics,
-//! and the [`SchedulerPolicy`] seam that schedulers (LaSS, the OpenWhisk
-//! baseline, static round-robin, …) plug into.
+//! and the [`SchedulerPolicy`] seam (driven through [`PolicyCtx`]) that
+//! schedulers (LaSS, the OpenWhisk baseline, static round-robin,
+//! Knative-style scaling, …) plug into. [`federation`] stacks a
+//! multi-site meta-policy on that seam — one scheduler instance per
+//! site behind a [`router`]-provided front-end routing policy — for
+//! federated edge↔cloud topologies.
 //!
 //! Nothing in this crate knows about containers or controllers — those live
 //! in `lass-cluster` and `lass-core`.
@@ -23,8 +27,10 @@
 pub mod arrivals;
 pub mod engine;
 pub mod events;
+pub mod federation;
 pub mod metrics;
 pub mod rng;
+pub mod router;
 pub mod time;
 
 pub use arrivals::{
@@ -33,9 +39,13 @@ pub use arrivals::{
 };
 pub use engine::{
     run_simulation, Completion, EngineConfig, EngineCtx, EngineOutcome, FnStats, FunctionEntry,
-    ReqId, SchedulerPolicy,
+    PolicyCtx, ReqId, SchedulerPolicy,
 };
 pub use events::EventQueue;
+pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
 pub use metrics::{SampleStats, TimeSeries, TimeWeightedGauge};
 pub use rng::SimRng;
+pub use router::{
+    LatencyAwareRouter, LeastLoadedRouter, RoundRobinRouter, RouterKind, RouterPolicy, SiteState,
+};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

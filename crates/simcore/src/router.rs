@@ -1,0 +1,291 @@
+//! Front-end routing policies for federated multi-site topologies.
+//!
+//! A federated simulation runs one scheduler instance per *site* (an
+//! independent cluster with its own capacity, reached over a network hop
+//! of known latency). Every arrival first passes through a front-end
+//! router that picks a site; the routing hop's latency is added to the
+//! request's response time. [`RouterPolicy`] is the seam that decision
+//! plugs into — mirroring how [`SchedulerPolicy`](crate::SchedulerPolicy)
+//! is the seam for per-site scheduling.
+//!
+//! Three routers ship with the workspace:
+//!
+//! * [`RoundRobinRouter`] — deal arrivals across sites in rotation.
+//! * [`LeastLoadedRouter`] — send each arrival to the site with the
+//!   lowest in-flight load relative to its capacity.
+//! * [`LatencyAwareRouter`] — prefer the lowest-latency (edge) site while
+//!   it has headroom and spill to farther (cloud) sites under overload —
+//!   the paper's future-work edge↔cloud offload pattern.
+//!
+//! All routers are deterministic: decisions depend only on the event
+//! history, never on wall-clock time or ambient randomness.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A router's view of one site at the instant of a routing decision.
+#[derive(Debug, Clone)]
+pub struct SiteState {
+    /// Site display name (for reports and debugging).
+    pub name: String,
+    /// One-way network latency from the front-end router to the site.
+    pub latency: SimDuration,
+    /// Rough concurrent-request capacity of the site (the federated
+    /// harness uses the site's total CPU core count). Only ratios
+    /// matter; the hint normalizes load across heterogeneous sites.
+    pub capacity_hint: f64,
+    /// Requests currently delivered to the site and not yet finished
+    /// (queued + in service).
+    pub in_flight: u64,
+}
+
+impl SiteState {
+    /// In-flight load normalized by the capacity hint.
+    pub fn load(&self) -> f64 {
+        self.in_flight as f64 / self.capacity_hint.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A front-end routing policy: picks the destination site for each
+/// arrival in a federated topology.
+pub trait RouterPolicy {
+    /// Choose a site index in `0..sites.len()` for an arrival of
+    /// function `fn_idx` at simulated time `now`. `sites` is never
+    /// empty; returning an out-of-range index is a logic error (the
+    /// federation clamps it in release builds and panics in debug).
+    fn route(&mut self, fn_idx: u32, now: SimTime, sites: &[SiteState]) -> usize;
+
+    /// Short policy name carried into reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Index of the least-loaded site (ties broken toward the lower index).
+fn least_loaded(sites: &[SiteState]) -> usize {
+    let mut best = 0usize;
+    for (i, s) in sites.iter().enumerate().skip(1) {
+        if s.load() < sites[best].load() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Deal arrivals across sites in strict rotation, ignoring load and
+/// latency. The baseline router.
+#[derive(Debug, Default)]
+pub struct RoundRobinRouter {
+    cursor: usize,
+}
+
+impl RoundRobinRouter {
+    /// A router starting at site 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RouterPolicy for RoundRobinRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        let i = self.cursor % sites.len();
+        self.cursor = (self.cursor + 1) % sites.len();
+        i
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Send each arrival to the site with the lowest normalized in-flight
+/// load (capacity-aware join-the-shortest-queue).
+#[derive(Debug, Default)]
+pub struct LeastLoadedRouter;
+
+impl LeastLoadedRouter {
+    /// A stateless least-loaded router.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RouterPolicy for LeastLoadedRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        least_loaded(sites)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// Prefer the lowest-latency site that still has headroom; spill to the
+/// next-closest site when the preferred one is saturated, and fall back
+/// to plain least-loaded when every site is saturated.
+///
+/// This is the edge↔cloud offload pattern: requests stay at the nearby
+/// edge site until its in-flight load exceeds `spill_load × capacity`,
+/// then overflow to the (higher-latency, higher-capacity) cloud site.
+#[derive(Debug)]
+pub struct LatencyAwareRouter {
+    /// Normalized load (see [`SiteState::load`]) beyond which a site is
+    /// considered saturated. 1.0 means "one in-flight request per unit
+    /// of capacity".
+    pub spill_load: f64,
+}
+
+impl LatencyAwareRouter {
+    /// A router that spills once in-flight load reaches the site's
+    /// capacity hint.
+    pub fn new() -> Self {
+        Self { spill_load: 1.0 }
+    }
+}
+
+impl Default for LatencyAwareRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouterPolicy for LatencyAwareRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        let mut best: Option<usize> = None;
+        for (i, s) in sites.iter().enumerate() {
+            if s.load() >= self.spill_load {
+                continue;
+            }
+            match best {
+                Some(b) if sites[b].latency <= s.latency => {}
+                _ => best = Some(i),
+            }
+        }
+        best.unwrap_or_else(|| least_loaded(sites))
+    }
+
+    fn name(&self) -> &'static str {
+        "latency-aware"
+    }
+}
+
+/// The shipped router choices, as named in scenario JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// [`RoundRobinRouter`] (default).
+    #[default]
+    RoundRobin,
+    /// [`LeastLoadedRouter`].
+    LeastLoaded,
+    /// [`LatencyAwareRouter`] with the default spill threshold.
+    LatencyAware,
+}
+
+impl RouterKind {
+    /// Every shipped router, for sweeps and tests.
+    pub const ALL: [RouterKind; 3] = [
+        RouterKind::RoundRobin,
+        RouterKind::LeastLoaded,
+        RouterKind::LatencyAware,
+    ];
+
+    /// The JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastLoaded => "least-loaded",
+            RouterKind::LatencyAware => "latency-aware",
+        }
+    }
+
+    /// Parse a JSON spelling (hyphen or underscore separated).
+    pub fn parse(s: &str) -> Option<RouterKind> {
+        match s {
+            "round-robin" | "round_robin" | "rr" => Some(RouterKind::RoundRobin),
+            "least-loaded" | "least_loaded" => Some(RouterKind::LeastLoaded),
+            "latency-aware" | "latency_aware" => Some(RouterKind::LatencyAware),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the router.
+    pub fn build(self) -> Box<dyn RouterPolicy + Send> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobinRouter::new()),
+            RouterKind::LeastLoaded => Box::new(LeastLoadedRouter::new()),
+            RouterKind::LatencyAware => Box::new(LatencyAwareRouter::new()),
+        }
+    }
+}
+
+impl Serialize for RouterKind {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for RouterKind {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some(s) => RouterKind::parse(s).ok_or_else(|| {
+                Error::custom(format!(
+                    "unknown router {s:?} (expected \"round-robin\", \"least-loaded\", or \"latency-aware\")"
+                ))
+            }),
+            None => Err(Error::custom("router must be a string")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(spec: &[(f64, f64, u64)]) -> Vec<SiteState> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(latency, cap, in_flight))| SiteState {
+                name: format!("s{i}"),
+                latency: SimDuration::from_secs_f64(latency),
+                capacity_hint: cap,
+                in_flight,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let s = sites(&[(0.0, 1.0, 0), (0.0, 1.0, 0), (0.0, 1.0, 0)]);
+        let mut r = RoundRobinRouter::new();
+        let picks: Vec<usize> = (0..6).map(|_| r.route(0, SimTime::ZERO, &s)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_normalizes_by_capacity() {
+        // Site 0: 3 in flight / 4 cap = 0.75; site 1: 5 / 12 ≈ 0.42.
+        let s = sites(&[(0.001, 4.0, 3), (0.040, 12.0, 5)]);
+        assert_eq!(LeastLoadedRouter::new().route(0, SimTime::ZERO, &s), 1);
+    }
+
+    #[test]
+    fn latency_aware_prefers_edge_until_saturated() {
+        let mut r = LatencyAwareRouter::new();
+        // Edge has headroom: stay at the edge despite cloud being empty.
+        let s = sites(&[(0.002, 4.0, 3), (0.040, 100.0, 0)]);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+        // Edge saturated: spill to the cloud.
+        let s = sites(&[(0.002, 4.0, 4), (0.040, 100.0, 0)]);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+        // Everything saturated: degrade to least-loaded.
+        let s = sites(&[(0.002, 4.0, 8), (0.040, 100.0, 150)]);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for kind in RouterKind::ALL {
+            assert_eq!(RouterKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.build().name(), kind.as_str());
+        }
+        assert_eq!(RouterKind::parse("nope"), None);
+    }
+}

@@ -6,7 +6,8 @@
 //! supported shapes are exactly what this workspace uses:
 //!
 //! * structs with named fields (`#[serde(default)]`,
-//!   `#[serde(default = "path")]`, `#[serde(skip)]` honoured per field);
+//!   `#[serde(default = "path")]`, `#[serde(skip)]` honoured per field;
+//!   container-level `#[serde(default)]` marks every field defaultable);
 //! * tuple structs (newtypes serialize transparently, wider tuples as
 //!   arrays);
 //! * enums with unit / newtype / tuple / struct variants, externally
@@ -51,6 +52,9 @@ enum Kind {
 struct Item {
     name: String,
     untagged: bool,
+    /// Container-level `#[serde(default)]`: absent fields fall back to
+    /// the corresponding field of `Self::default()`.
+    container_default: bool,
     kind: Kind,
 }
 
@@ -139,6 +143,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 return Ok(Item {
                     name,
                     untagged: container.untagged,
+                    container_default: container.default.is_some(),
                     kind,
                 });
             }
@@ -432,6 +437,35 @@ fn field_expr(f: &Field, map_var: &str, ty: &str) -> String {
 fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
+        Kind::NamedStruct(fields) if item.container_default => {
+            // Start from `Self::default()` and overwrite the fields the
+            // document actually provides (serde's container-default
+            // semantics; field-level attributes still win).
+            let mut s = format!(
+                "let m = ::serde::helpers::as_object(v, \"{name}\")?;\n\
+                 let mut __out = <{name} as ::std::default::Default>::default();\n"
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                if f.attrs.default.is_some() {
+                    s.push_str(&format!(
+                        "__out.{0} = {1};\n",
+                        f.name,
+                        field_expr(f, "m", name)
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "if let Some(__v) = ::serde::helpers::opt_field(m, \"{0}\", \"{name}\")? \
+                         {{ __out.{0} = __v; }}\n",
+                        f.name
+                    ));
+                }
+            }
+            s.push_str("Ok(__out)");
+            s
+        }
         Kind::NamedStruct(fields) => {
             let mut s =
                 format!("let m = ::serde::helpers::as_object(v, \"{name}\")?;\nOk({name} {{\n");

@@ -3,7 +3,10 @@
 //!
 //! The scenario's `"policy"` field picks the scheduler: `"lass"` (the
 //! paper's controller, default), `"static-rr"` (fixed pools, round-robin
-//! dispatch), or `"openwhisk"` (the §6.6 sharding-pool baseline).
+//! dispatch), `"knative"` (concurrency-target autoscaling), or
+//! `"openwhisk"` (the §6.6 sharding-pool baseline). An optional
+//! `"topology"` block federates the run across several cluster sites
+//! behind a front-end router (see `scenarios/federated-*.json`).
 //!
 //! ```sh
 //! cargo run --bin lass-sim -- scenarios/demo.json [--json out.json]
@@ -97,6 +100,51 @@ fn main() {
                     println!("cascade completed at {t:.1}s");
                 }
             }
+            write_json(json_out.as_deref(), &report);
+        }
+        ScenarioReport::Federated(mut report) => {
+            println!("router: {}\n", report.router);
+            println!(
+                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>10}",
+                "site", "lat(ms)", "routed", "done", "t/o", "p95W(ms)"
+            );
+            for site in report.per_site.iter_mut() {
+                let (mut done, mut timeouts) = (0, 0);
+                let mut waits = lass_simcore::SampleStats::new();
+                for f in site.report.per_fn.values() {
+                    done += f.completed;
+                    timeouts += f.timeouts;
+                    for &w in f.wait.samples() {
+                        waits.record(w);
+                    }
+                }
+                println!(
+                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>10.1}",
+                    site.name,
+                    site.latency_secs * 1e3,
+                    site.routed,
+                    done,
+                    timeouts,
+                    waits.percentile(0.95).unwrap_or(0.0) * 1e3,
+                );
+            }
+            println!(
+                "\n{:>4} {:>18} {:>9} {:>9} {:>7} {:>10} {:>10}",
+                "fn", "name", "arrivals", "done", "lost", "p95W(ms)", "p99W(ms)"
+            );
+            for (id, f) in report.aggregate_per_fn.iter_mut().enumerate() {
+                println!(
+                    "{:>4} {:>18} {:>9} {:>9} {:>7} {:>10.1} {:>10.1}",
+                    id,
+                    f.name,
+                    f.arrivals,
+                    f.completed,
+                    f.lost,
+                    f.wait.percentile(0.95).unwrap_or(0.0) * 1e3,
+                    f.wait.percentile(0.99).unwrap_or(0.0) * 1e3,
+                );
+            }
+            println!("\noutstanding at end: {}", report.outstanding);
             write_json(json_out.as_deref(), &report);
         }
     }

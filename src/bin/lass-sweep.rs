@@ -1,0 +1,255 @@
+//! `lass-sweep` — fan a scenario grid across worker threads and emit
+//! one JSON table.
+//!
+//! Takes a sweep spec: a base scenario plus the grid axes to vary —
+//! rate multipliers, scheduling policies, front-end routers (for
+//! federated scenarios), and seeds. Every combination is an independent
+//! simulation; they run in parallel on the rayon thread pool and the
+//! collected rows (one summary per run, in grid order) are printed as a
+//! JSON array on stdout.
+//!
+//! ```sh
+//! cargo run --release --bin lass-sweep -- scenarios/sweep-demo.json [--out table.json]
+//! ```
+//!
+//! Spec format (every axis optional; omitted axes keep the base
+//! scenario's setting):
+//!
+//! ```json
+//! {
+//!     "scenario": "scenarios/demo.json",
+//!     "rate_scales": [0.5, 1.0, 2.0],
+//!     "policies": ["lass", "static-rr", "knative"],
+//!     "routers": ["round-robin", "latency-aware"],
+//!     "seeds": [42, 43, 44]
+//! }
+//! ```
+
+use lass::scenario::{Scenario, ScenarioPolicy, ScenarioReport};
+use lass_simcore::{RouterKind, SampleStats};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The sweep specification.
+#[derive(Debug, Deserialize)]
+struct SweepSpec {
+    /// Path to the base scenario JSON (relative to the cwd). Exactly one
+    /// of `scenario` / `base` must be given.
+    #[serde(default)]
+    scenario: Option<String>,
+    /// Inline base scenario.
+    #[serde(default)]
+    base: Option<Scenario>,
+    /// Rate multipliers applied to every function's workload.
+    #[serde(default)]
+    rate_scales: Option<Vec<f64>>,
+    /// Scheduling policies to run.
+    #[serde(default)]
+    policies: Option<Vec<ScenarioPolicy>>,
+    /// Front-end routers (requires a `topology` in the base scenario).
+    #[serde(default)]
+    routers: Option<Vec<RouterKind>>,
+    /// RNG seeds.
+    #[serde(default)]
+    seeds: Option<Vec<u64>>,
+}
+
+/// One row of the output table: the grid point plus run summary
+/// statistics aggregated over every function.
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    policy: String,
+    router: Option<String>,
+    rate_scale: f64,
+    seed: u64,
+    arrivals: usize,
+    completed: usize,
+    lost: usize,
+    timeouts: usize,
+    slo_violations: usize,
+    slo_attainment: f64,
+    mean_wait_ms: f64,
+    p95_wait_ms: f64,
+    p99_wait_ms: f64,
+    duration_secs: f64,
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: lass-sweep <sweep.json> [--out <table.json>]");
+        std::process::exit(2);
+    };
+    let out_path = match (args.next().as_deref(), args.next()) {
+        (Some("--out"), Some(p)) => Some(p),
+        (None, _) => None,
+        _ => {
+            eprintln!("usage: lass-sweep <sweep.json> [--out <table.json>]");
+            std::process::exit(2);
+        }
+    };
+
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
+    let spec: SweepSpec =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("sweep spec: {e}")));
+
+    let base: Scenario = match (&spec.base, &spec.scenario) {
+        (Some(base), None) => base.clone(),
+        (None, Some(p)) => {
+            let text =
+                std::fs::read_to_string(p).unwrap_or_else(|e| fail(format!("reading {p}: {e}")));
+            Scenario::from_json(&text).unwrap_or_else(|e| fail(e))
+        }
+        _ => fail("sweep spec needs exactly one of \"scenario\" (path) or \"base\" (inline)"),
+    };
+
+    let scales = spec.rate_scales.unwrap_or_else(|| vec![1.0]);
+    let policies = spec.policies.unwrap_or_else(|| vec![base.policy]);
+    let seeds = spec.seeds.unwrap_or_else(|| vec![base.seed]);
+    let routers: Vec<Option<RouterKind>> = match spec.routers {
+        Some(list) => {
+            if base.topology.is_none() {
+                fail("\"routers\" requires the base scenario to have a \"topology\" block");
+            }
+            list.into_iter().map(Some).collect()
+        }
+        None => vec![None],
+    };
+
+    // Build the full grid up front; each cell is an independent scenario.
+    let mut grid: Vec<(Scenario, SweepRowKey)> = Vec::new();
+    for &scale in &scales {
+        for &policy in &policies {
+            for &router in &routers {
+                for &seed in &seeds {
+                    let mut sc = base.clone();
+                    sc.seed = seed;
+                    sc.policy = policy;
+                    for f in &mut sc.functions {
+                        f.workload = f.workload.scale_rate(scale);
+                    }
+                    if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
+                        topo.router = r;
+                    }
+                    grid.push((
+                        sc,
+                        SweepRowKey {
+                            policy,
+                            router,
+                            rate_scale: scale,
+                            seed,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    eprintln!("sweep: {} runs across the grid", grid.len());
+
+    let rows: Vec<SweepRow> = grid
+        .into_par_iter()
+        .map(|(sc, key)| run_cell(&sc, &key).unwrap_or_else(|e| fail(e)))
+        .collect();
+
+    let json = serde_json::to_string_pretty(&rows).expect("serializable");
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).unwrap_or_else(|e| fail(format!("writing {p}: {e}")));
+            eprintln!("(wrote {p})");
+        }
+        None => println!("{json}"),
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SweepRowKey {
+    policy: ScenarioPolicy,
+    router: Option<RouterKind>,
+    rate_scale: f64,
+    seed: u64,
+}
+
+/// Run one grid cell and summarize whichever report shape it produced.
+fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
+    let report = sc.run_report()?;
+    let mut row = SweepRow {
+        policy: key.policy.as_str().to_owned(),
+        router: key.router.map(|r| r.as_str().to_owned()),
+        rate_scale: key.rate_scale,
+        seed: key.seed,
+        arrivals: 0,
+        completed: 0,
+        lost: 0,
+        timeouts: 0,
+        slo_violations: 0,
+        slo_attainment: 1.0,
+        mean_wait_ms: 0.0,
+        p95_wait_ms: 0.0,
+        p99_wait_ms: 0.0,
+        duration_secs: 0.0,
+    };
+    let mut waits = SampleStats::new();
+    match report {
+        ScenarioReport::Lass(rep) => {
+            row.duration_secs = rep.duration;
+            for f in rep.per_fn.values() {
+                row.arrivals += f.arrivals;
+                row.completed += f.completed;
+                row.timeouts += f.timeouts;
+                row.slo_violations += f.slo_violations;
+                pool(&mut waits, &f.wait);
+            }
+        }
+        ScenarioReport::OpenWhisk(rep) => {
+            // OwReport carries no duration; recompute the simulator's
+            // default (longest workload) when the override is absent.
+            row.duration_secs = sc.duration_secs.unwrap_or_else(|| {
+                sc.functions
+                    .iter()
+                    .map(|f| f.workload.duration())
+                    .fold(0.0f64, f64::max)
+            });
+            for f in rep.per_fn.values() {
+                row.arrivals += f.arrivals;
+                row.completed += f.completed;
+                row.lost += f.lost;
+                row.slo_violations += f.slo_violations;
+                pool(&mut waits, &f.wait);
+            }
+        }
+        ScenarioReport::Federated(rep) => {
+            row.duration_secs = rep.duration;
+            for f in &rep.aggregate_per_fn {
+                row.arrivals += f.arrivals;
+                row.completed += f.completed;
+                row.lost += f.lost;
+                row.timeouts += f.timeouts;
+                row.slo_violations += f.slo_violations;
+                pool(&mut waits, &f.wait);
+            }
+        }
+    }
+    let finished = row.completed + row.timeouts;
+    row.slo_attainment = if finished == 0 {
+        1.0
+    } else {
+        1.0 - row.slo_violations as f64 / finished as f64
+    };
+    row.mean_wait_ms = waits.mean().unwrap_or(0.0) * 1e3;
+    row.p95_wait_ms = waits.percentile(0.95).unwrap_or(0.0) * 1e3;
+    row.p99_wait_ms = waits.percentile(0.99).unwrap_or(0.0) * 1e3;
+    Ok(row)
+}
+
+/// Pool one instrument's samples into the run-level aggregate.
+fn pool(into: &mut SampleStats, from: &SampleStats) {
+    for &w in from.samples() {
+        into.record(w);
+    }
+}

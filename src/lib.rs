@@ -7,17 +7,19 @@
 //!   Algorithm 1 container solvers, rate estimators.
 //! * [`simcore`] — deterministic discrete-event simulation substrate.
 //! * [`cluster`] — edge-cluster runtime: nodes, containers, placement,
-//!   in-place CPU resize (deflation mechanism).
+//!   in-place CPU resize (deflation mechanism), multi-site topologies.
 //! * [`functions`] — the paper's function catalog (Table 1), deflation
 //!   service-time models (Fig. 7), workload generators and Azure-like
 //!   traces.
 //! * [`core`] — the LaSS controller: model-driven autoscaling, weighted
 //!   fair share, termination/deflation reclamation, the end-to-end
-//!   simulation.
+//!   simulation — plus the static-rr / knative policies and the
+//!   federated multi-site harness.
 //! * [`openwhisk`] — the vanilla OpenWhisk baseline scheduler (§6.6).
 //!
-//! The [`scenario`] module adds declarative JSON scenarios for the
-//! `lass-sim` binary. See `examples/quickstart.rs` for a five-minute tour.
+//! The [`scenario`] module adds declarative JSON scenarios (including
+//! federated `topology` blocks) for the `lass-sim` and `lass-sweep`
+//! binaries. See `examples/quickstart.rs` for a five-minute tour.
 
 pub mod scenario;
 

@@ -9,13 +9,17 @@
 //! cargo run --bin lass-sim -- scenarios/demo.json
 //! ```
 
-use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, UserId};
-use lass_core::{FunctionSetup, LassConfig, SimReport, Simulation, StaticRrSimulation};
+use lass_cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, Topology, UserId};
+use lass_core::{
+    FederatedSimReport, FederatedSimulation, FunctionSetup, KnativeSimulation, LassConfig,
+    SimReport, Simulation, SitePolicyKind, StaticRrSimulation,
+};
 use lass_functions::{
     binary_alert, geofence, image_resizer, micro_benchmark, mobilenet_v2, shufflenet_v2,
     squeezenet, FunctionSpec, WorkloadSpec,
 };
 use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
+use lass_simcore::RouterKind;
 use serde::{Deserialize, Serialize};
 
 /// Cluster shape.
@@ -44,11 +48,34 @@ impl Default for ClusterSpec {
     }
 }
 
+impl ClusterSpec {
+    /// Check the shape before building.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.cpu_milli == 0 || self.mem_mib == 0 {
+            return Err("cluster nodes need non-zero cpu_milli and mem_mib".into());
+        }
+        Ok(())
+    }
+
+    /// Materialize the cluster.
+    pub fn build(&self) -> Cluster {
+        Cluster::homogeneous(
+            self.nodes,
+            CpuMilli(self.cpu_milli),
+            MemMib(self.mem_mib),
+            self.placement,
+        )
+    }
+}
+
 /// Which scheduler runs the scenario.
 ///
-/// All three are [`SchedulerPolicy`](lass_simcore::SchedulerPolicy)
+/// All four are [`SchedulerPolicy`](lass_simcore::SchedulerPolicy)
 /// implementations on the shared discrete-event engine; the JSON spelling
-/// is lowercase (`"lass"`, `"static-rr"`, `"openwhisk"`).
+/// is lowercase (`"lass"`, `"static-rr"`, `"knative"`, `"openwhisk"`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScenarioPolicy {
     /// The LaSS controller (model-driven autoscaling, fair share).
@@ -56,6 +83,9 @@ pub enum ScenarioPolicy {
     Lass,
     /// Static allocation with round-robin dispatch (no autoscaling).
     StaticRr,
+    /// Knative-style concurrency-target autoscaling (Little's-law
+    /// heuristic; borrows `config.scaler`'s `ConcurrencyTarget` knob).
+    Knative,
     /// The vanilla-OpenWhisk sharding-pool baseline (§6.6).
     OpenWhisk,
 }
@@ -66,6 +96,7 @@ impl ScenarioPolicy {
         match self {
             ScenarioPolicy::Lass => "lass",
             ScenarioPolicy::StaticRr => "static-rr",
+            ScenarioPolicy::Knative => "knative",
             ScenarioPolicy::OpenWhisk => "openwhisk",
         }
     }
@@ -82,22 +113,55 @@ impl serde::Deserialize for ScenarioPolicy {
         match v.as_str() {
             Some("lass") => Ok(ScenarioPolicy::Lass),
             Some("static-rr" | "static_rr" | "static") => Ok(ScenarioPolicy::StaticRr),
+            Some("knative" | "concurrency-target") => Ok(ScenarioPolicy::Knative),
             Some("openwhisk" | "ow") => Ok(ScenarioPolicy::OpenWhisk),
             Some(other) => Err(serde::Error::custom(format!(
-                "unknown policy {other:?} (expected \"lass\", \"static-rr\", or \"openwhisk\")"
+                "unknown policy {other:?} (expected \"lass\", \"static-rr\", \"knative\", or \"openwhisk\")"
             ))),
             None => Err(serde::Error::custom("policy must be a string")),
         }
     }
 }
 
-/// The result of a scenario run: which report shape depends on the policy.
+/// One site of a federated scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Site display name (unique within the topology).
+    pub name: String,
+    /// The site's cluster shape (defaults to the paper's testbed).
+    #[serde(default)]
+    pub cluster: ClusterSpec,
+    /// One-way network latency (milliseconds) from the front-end router
+    /// to the site; added to every routed request's response time.
+    #[serde(default)]
+    pub latency_ms: f64,
+}
+
+/// The optional `topology` block: run the scenario over a federation of
+/// named cluster sites behind a front-end router instead of a single
+/// cluster. The scenario's `policy` is instantiated once per site
+/// (`"openwhisk"` is not federatable).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Which front-end router dispatches arrivals across sites
+    /// (`"round-robin"`, `"least-loaded"`, or `"latency-aware"`;
+    /// default round-robin).
+    #[serde(default)]
+    pub router: RouterKind,
+    /// The sites, in id order.
+    pub sites: Vec<SiteSpec>,
+}
+
+/// The result of a scenario run: which report shape depends on the policy
+/// and on whether a `topology` block is present.
 #[derive(Debug, Serialize)]
 pub enum ScenarioReport {
-    /// Report from the LaSS or static round-robin policies.
+    /// Report from the LaSS, static round-robin, or knative policies.
     Lass(SimReport),
     /// Report from the OpenWhisk baseline policy.
     OpenWhisk(OwReport),
+    /// Report from a federated (multi-site) run.
+    Federated(FederatedSimReport),
 }
 
 /// A function entry: either a catalog name or a custom spec.
@@ -186,6 +250,10 @@ pub struct Scenario {
     /// Optional duration override in seconds (default: longest workload).
     #[serde(default)]
     pub duration_secs: Option<f64>,
+    /// Optional federated topology; when present the single-cluster
+    /// `cluster` field is ignored and the policy runs once per site.
+    #[serde(default)]
+    pub topology: Option<TopologySpec>,
 }
 
 fn default_seed() -> u64 {
@@ -201,24 +269,63 @@ impl Scenario {
     /// Build and run the simulation under the scenario's policy.
     ///
     /// Kept for callers that expect a [`SimReport`]; the `"openwhisk"`
-    /// policy produces a different report shape and is only reachable via
-    /// [`Scenario::run_report`].
+    /// policy and federated topologies produce different report shapes
+    /// and are only reachable via [`Scenario::run_report`].
     pub fn run(&self) -> Result<SimReport, String> {
         match self.run_report()? {
             ScenarioReport::Lass(report) => Ok(report),
             ScenarioReport::OpenWhisk(_) => {
                 Err("the openwhisk policy produces an OwReport; use Scenario::run_report".into())
             }
+            ScenarioReport::Federated(_) => Err(
+                "a federated topology produces a FederatedSimReport; use Scenario::run_report"
+                    .into(),
+            ),
         }
     }
 
     fn build_cluster(&self) -> Cluster {
-        Cluster::homogeneous(
-            self.cluster.nodes,
-            CpuMilli(self.cluster.cpu_milli),
-            MemMib(self.cluster.mem_mib),
-            self.cluster.placement,
-        )
+        self.cluster.build()
+    }
+
+    fn build_topology(&self, spec: &TopologySpec) -> Result<Topology, String> {
+        let mut topology = Topology::new();
+        for site in &spec.sites {
+            site.cluster
+                .validate()
+                .map_err(|e| format!("site {:?}: {e}", site.name))?;
+            topology.add_site(
+                site.name.clone(),
+                site.cluster.build(),
+                site.latency_ms / 1e3,
+            );
+        }
+        topology.validate()?;
+        Ok(topology)
+    }
+
+    /// Run a scenario with a `topology` block through the federated
+    /// harness.
+    fn run_federated(&self, spec: &TopologySpec) -> Result<FederatedSimReport, String> {
+        let site_policy = match self.policy {
+            ScenarioPolicy::Lass => SitePolicyKind::Lass,
+            ScenarioPolicy::StaticRr => SitePolicyKind::StaticRr,
+            ScenarioPolicy::Knative => SitePolicyKind::Knative,
+            ScenarioPolicy::OpenWhisk => {
+                return Err(
+                    "the openwhisk policy cannot run over a topology (its report shape is \
+                     per-invoker, not per-site); use \"lass\", \"static-rr\", or \"knative\""
+                        .into(),
+                )
+            }
+        };
+        let topology = self.build_topology(spec)?;
+        let mut sim = FederatedSimulation::new(self.config.clone(), topology, self.seed);
+        sim.set_router(spec.router).set_policy(site_policy);
+        for setup in self.build_setups()? {
+            sim.add_function(setup);
+        }
+        sim.run(self.duration_secs)
     }
 
     fn build_setups(&self) -> Result<Vec<FunctionSetup>, String> {
@@ -247,13 +354,11 @@ impl Scenario {
         if self.functions.is_empty() {
             return Err("scenario has no functions".into());
         }
-        if self.cluster.nodes == 0 {
-            return Err("cluster needs at least one node".into());
-        }
-        if self.cluster.cpu_milli == 0 || self.cluster.mem_mib == 0 {
-            return Err("cluster nodes need non-zero cpu_milli and mem_mib".into());
-        }
         self.config.validate()?;
+        if let Some(spec) = &self.topology {
+            return self.run_federated(spec).map(ScenarioReport::Federated);
+        }
+        self.cluster.validate()?;
         match self.policy {
             ScenarioPolicy::Lass => {
                 let mut sim = Simulation::new(self.config.clone(), self.build_cluster(), self.seed);
@@ -264,6 +369,14 @@ impl Scenario {
             }
             ScenarioPolicy::StaticRr => {
                 let mut sim = StaticRrSimulation::new(self.build_cluster(), self.seed);
+                for setup in self.build_setups()? {
+                    sim.add_function(setup);
+                }
+                Ok(ScenarioReport::Lass(sim.run(self.duration_secs)))
+            }
+            ScenarioPolicy::Knative => {
+                let mut sim =
+                    KnativeSimulation::new(self.config.clone(), self.build_cluster(), self.seed);
                 for setup in self.build_setups()? {
                     sim.add_function(setup);
                 }
@@ -356,6 +469,7 @@ mod tests {
             config: LassConfig::default(),
             functions: vec![],
             duration_secs: None,
+            topology: None,
         };
         assert!(sc.run().is_err());
     }
@@ -410,14 +524,100 @@ mod tests {
             ("\"lass\"", ScenarioPolicy::Lass),
             ("\"static-rr\"", ScenarioPolicy::StaticRr),
             ("\"static\"", ScenarioPolicy::StaticRr),
+            ("\"knative\"", ScenarioPolicy::Knative),
             ("\"openwhisk\"", ScenarioPolicy::OpenWhisk),
         ] {
             let got: ScenarioPolicy = serde_json::from_str(text).expect("parses");
             assert_eq!(got, want);
         }
-        assert!(serde_json::from_str::<ScenarioPolicy>("\"knative\"").is_err());
+        assert!(serde_json::from_str::<ScenarioPolicy>("\"fifo\"").is_err());
         let json = serde_json::to_string(&ScenarioPolicy::StaticRr).unwrap();
         assert_eq!(json, "\"static-rr\"");
+    }
+
+    #[test]
+    fn knative_policy_runs_from_json() {
+        let text = r#"{
+            "policy": "knative",
+            "config": { "scaler": { "ConcurrencyTarget": { "target": 2.0 } } },
+            "functions": [
+                {
+                    "function": "micro_benchmark:100",
+                    "slo_ms": 100,
+                    "workload": { "Static": { "rate": 20.0, "duration": 90.0 } }
+                }
+            ]
+        }"#;
+        let sc = Scenario::from_json(text).expect("valid scenario");
+        assert_eq!(sc.policy, ScenarioPolicy::Knative);
+        let report = sc.run().expect("runs");
+        let f = &report.per_fn[&0];
+        assert!(f.completed > 1500, "completed={}", f.completed);
+        assert!(report.epochs > 0);
+    }
+
+    const FEDERATED: &str = r#"{
+        "seed": 9,
+        "policy": "lass",
+        "topology": {
+            "router": "latency-aware",
+            "sites": [
+                { "name": "edge",  "cluster": { "nodes": 1, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 2 },
+                { "name": "cloud", "cluster": { "nodes": 6, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 40 }
+            ]
+        },
+        "functions": [
+            {
+                "function": "micro_benchmark:100",
+                "slo_ms": 150,
+                "workload": { "Static": { "rate": 60.0, "duration": 90.0 } },
+                "initial_containers": 1
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn federated_scenario_parses_and_runs() {
+        let sc = Scenario::from_json(FEDERATED).expect("valid scenario");
+        let spec = sc.topology.as_ref().expect("topology block");
+        assert_eq!(spec.router, lass_simcore::RouterKind::LatencyAware);
+        assert_eq!(spec.sites.len(), 2);
+        let ScenarioReport::Federated(report) = sc.run_report().expect("runs") else {
+            panic!("expected a federated report");
+        };
+        assert_eq!(report.per_site.len(), 2);
+        assert_eq!(report.router, "latency-aware");
+        let routed: usize = report.per_site.iter().map(|s| s.routed).sum();
+        assert_eq!(routed, report.aggregate_per_fn[0].arrivals);
+        // run() refuses the mismatched report shape.
+        assert!(sc.run().is_err());
+    }
+
+    #[test]
+    fn federated_scenario_round_trips_through_json() {
+        let sc = Scenario::from_json(FEDERATED).expect("valid scenario");
+        let json = serde_json::to_string(&sc).unwrap();
+        let back = Scenario::from_json(&json).expect("round-trips");
+        let spec = back.topology.expect("topology survives");
+        assert_eq!(spec.sites[1].name, "cloud");
+        assert_eq!(spec.sites[1].latency_ms, 40.0);
+    }
+
+    #[test]
+    fn openwhisk_rejects_topology() {
+        let text = r#"{
+            "policy": "openwhisk",
+            "topology": { "sites": [ { "name": "a" } ] },
+            "functions": [
+                {
+                    "function": "binary_alert",
+                    "slo_ms": 100,
+                    "workload": { "Static": { "rate": 5.0, "duration": 30.0 } }
+                }
+            ]
+        }"#;
+        let sc = Scenario::from_json(text).expect("parses");
+        assert!(sc.run_report().is_err());
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Federated-topology integration tests.
+//!
+//! Three families:
+//!
+//! * **Degenerate-topology parity** — a single-site, zero-latency
+//!   topology must reproduce the corresponding plain single-cluster
+//!   simulation *byte-for-byte* (same RNG streams, same event order,
+//!   same statistics). Together with `golden_parity.rs`, which pins the
+//!   plain runs against pre-refactor outputs, this pins the federated
+//!   code path to the goldens transitively.
+//! * **Router invariants** (property tests) — every arrival is routed
+//!   to a live site, and arrivals are conserved across sites.
+//! * **Fixed-seed federated end-to-end** — a two-site latency-aware
+//!   edge↔cloud run is deterministic, offloads under overload, and
+//!   reports consistent per-site and aggregate statistics.
+
+use lass::cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, Topology};
+use lass::core::{
+    FederatedSimReport, FederatedSimulation, FunctionSetup, LassConfig, SimReport, Simulation,
+    SitePolicyKind, StaticRrSimulation,
+};
+use lass::functions::{micro_benchmark, WorkloadSpec};
+use lass::scenario::{Scenario, ScenarioReport};
+use lass::simcore::{RouterKind, SimTime, SiteState};
+use proptest::prelude::*;
+
+fn testbed_setup(rate: f64, duration: f64, initial: u32) -> FunctionSetup {
+    let mut setup = FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static { rate, duration },
+    );
+    setup.initial_containers = initial;
+    setup
+}
+
+/// A single-site zero-latency LaSS federation reproduces the plain
+/// simulation byte-for-byte.
+#[test]
+fn degenerate_topology_matches_plain_lass_run() {
+    let plain: SimReport = {
+        let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 42);
+        sim.add_function(testbed_setup(20.0, 120.0, 1));
+        sim.run(Some(120.0))
+    };
+    let fed: FederatedSimReport = {
+        let mut sim = FederatedSimulation::new(
+            LassConfig::default(),
+            Topology::single(Cluster::paper_testbed()),
+            42,
+        );
+        sim.add_function(testbed_setup(20.0, 120.0, 1));
+        sim.run(Some(120.0)).expect("runs")
+    };
+    assert_eq!(fed.per_site.len(), 1);
+    assert_eq!(fed.per_site[0].routed, plain.per_fn[&0].arrivals);
+    // The site's inner report is the plain report, bit for bit.
+    assert_eq!(
+        serde_json::to_string(&fed.per_site[0].report).unwrap(),
+        serde_json::to_string(&plain).unwrap()
+    );
+    // And the engine's aggregate repeats the same numbers.
+    let agg = &fed.aggregate_per_fn[0];
+    assert_eq!(agg.arrivals, plain.per_fn[&0].arrivals);
+    assert_eq!(agg.completed, plain.per_fn[&0].completed);
+    assert_eq!(agg.wait.samples(), plain.per_fn[&0].wait.samples());
+}
+
+/// Degenerate parity holds even with failure injection on: the single
+/// site draws from the plain run's crash RNG stream.
+#[test]
+fn degenerate_topology_matches_plain_run_with_crashes() {
+    let mut cfg = LassConfig::default();
+    cfg.container_mtbf_secs = Some(120.0);
+    let plain: SimReport = {
+        let mut sim = Simulation::new(cfg.clone(), Cluster::paper_testbed(), 21);
+        sim.add_function(testbed_setup(20.0, 120.0, 2));
+        sim.run(Some(120.0))
+    };
+    assert!(plain.crashes > 0, "scenario must actually crash containers");
+    let fed = {
+        let mut sim = FederatedSimulation::new(cfg, Topology::single(Cluster::paper_testbed()), 21);
+        sim.add_function(testbed_setup(20.0, 120.0, 2));
+        sim.run(Some(120.0)).expect("runs")
+    };
+    assert_eq!(
+        serde_json::to_string(&fed.per_site[0].report).unwrap(),
+        serde_json::to_string(&plain).unwrap()
+    );
+}
+
+/// Same degenerate parity for the static round-robin site policy.
+#[test]
+fn degenerate_topology_matches_plain_static_rr_run() {
+    let plain: SimReport = {
+        let mut sim = StaticRrSimulation::new(Cluster::paper_testbed(), 5);
+        sim.add_function(testbed_setup(12.0, 60.0, 3));
+        sim.run(Some(60.0))
+    };
+    let fed = {
+        let mut sim = FederatedSimulation::new(
+            LassConfig::default(),
+            Topology::single(Cluster::paper_testbed()),
+            5,
+        );
+        sim.set_policy(SitePolicyKind::StaticRr);
+        sim.add_function(testbed_setup(12.0, 60.0, 3));
+        sim.run(Some(60.0)).expect("runs")
+    };
+    assert_eq!(
+        serde_json::to_string(&fed.per_site[0].report).unwrap(),
+        serde_json::to_string(&plain).unwrap()
+    );
+}
+
+fn small_cluster(nodes: u32) -> Cluster {
+    Cluster::homogeneous(
+        nodes,
+        CpuMilli(4000),
+        MemMib(16 * 1024),
+        PlacementPolicy::BestFit,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routers only ever pick live sites, whatever the load picture.
+    #[test]
+    fn routers_pick_live_sites(
+        latencies in prop::collection::vec(0.0f64..0.2, 1..6),
+        loads in prop::collection::vec(0u64..500, 1..6),
+        caps in prop::collection::vec(1.0f64..64.0, 1..6),
+        arrivals in 1u64..200,
+    ) {
+        let n = latencies.len().min(loads.len()).min(caps.len());
+        prop_assume!(n >= 1);
+        let mut sites: Vec<SiteState> = (0..n)
+            .map(|i| SiteState {
+                name: format!("s{i}"),
+                latency: lass::simcore::SimDuration::from_secs_f64(latencies[i]),
+                capacity_hint: caps[i],
+                in_flight: loads[i],
+            })
+            .collect();
+        for kind in RouterKind::ALL {
+            let mut router = kind.build();
+            for k in 0..arrivals {
+                let idx = router.route((k % 3) as u32, SimTime::from_secs(k), &sites);
+                prop_assert!(idx < n, "{}: site {idx} of {n}", kind.as_str());
+                // Feed the decision back so stateful routers see load move.
+                sites[idx].in_flight += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    // End-to-end conservation runs a real simulation per case; keep the
+    // case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every arrival is routed exactly once and every site-side record
+    /// adds back up to the engine's aggregate.
+    #[test]
+    fn arrivals_are_conserved_across_sites(
+        rate in 5.0f64..40.0,
+        seed in 0u64..1000,
+        edge_latency_ms in 0.0f64..10.0,
+        cloud_latency_ms in 10.0f64..80.0,
+        router_pick in 0usize..3,
+    ) {
+        let mut topology = Topology::new();
+        topology.add_site("edge", small_cluster(1), edge_latency_ms / 1e3);
+        topology.add_site("cloud", small_cluster(4), cloud_latency_ms / 1e3);
+        let mut sim = FederatedSimulation::new(LassConfig::default(), topology, seed);
+        sim.set_router(RouterKind::ALL[router_pick]);
+        sim.add_function(testbed_setup(rate, 30.0, 1));
+        let rep = sim.run(Some(30.0)).expect("runs");
+
+        let agg = &rep.aggregate_per_fn[0];
+        let routed: usize = rep.per_site.iter().map(|s| s.routed).sum();
+        prop_assert_eq!(routed, agg.arrivals, "every arrival routed to a live site");
+        let delivered: usize = rep.per_site.iter().map(|s| s.report.per_fn[&0].arrivals).sum();
+        prop_assert!(delivered <= routed);
+        let completed: usize = rep.per_site.iter().map(|s| s.report.per_fn[&0].completed).sum();
+        prop_assert_eq!(completed, agg.completed);
+        let timeouts: usize = rep.per_site.iter().map(|s| s.report.per_fn[&0].timeouts).sum();
+        prop_assert_eq!(timeouts, agg.timeouts);
+        // Everything the engine still counts as open is either in
+        // transit or held by a site.
+        prop_assert!(rep.outstanding >= routed - delivered);
+    }
+}
+
+/// The federated edge↔cloud scenario file: deterministic under its fixed
+/// seed, with offload to the cloud and per-site + aggregate stats that
+/// agree.
+#[test]
+fn fixed_seed_federated_scenario_end_to_end() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/federated-edge-cloud.json"
+    ))
+    .expect("scenario file");
+    let sc = Scenario::from_json(&text).expect("valid scenario");
+
+    let run = || {
+        let ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+            panic!("expected a federated report");
+        };
+        rep
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "federated run must be deterministic under a fixed seed"
+    );
+
+    assert_eq!(a.router, "latency-aware");
+    assert_eq!(a.per_site.len(), 2);
+    let (edge, cloud) = (&a.per_site[0], &a.per_site[1]);
+    assert_eq!(edge.name, "edge");
+    assert_eq!(cloud.name, "cloud");
+    // The 1-node edge cannot absorb the burst alone: offload happened.
+    assert!(
+        edge.routed > 0 && cloud.routed > 0,
+        "no offload: {:?}",
+        (edge.routed, cloud.routed)
+    );
+    // Latency preference: the close site takes the larger share.
+    assert!(edge.routed > cloud.routed);
+
+    // Per-site reports and the aggregate agree for every function.
+    for (i, agg) in a.aggregate_per_fn.iter().enumerate() {
+        let routed: usize = a.per_site.iter().map(|s| s.routed).sum();
+        assert_eq!(routed, a.aggregate_per_fn.iter().map(|f| f.arrivals).sum());
+        let completed: usize = a
+            .per_site
+            .iter()
+            .map(|s| s.report.per_fn[&(i as u32)].completed)
+            .sum();
+        assert_eq!(completed, agg.completed, "fn {i} completion mismatch");
+    }
+
+    // Cloud waits include the 40 ms hop; edge waits only the 2 ms hop.
+    let min_cloud_wait = cloud
+        .report
+        .per_fn
+        .values()
+        .flat_map(|f| f.wait.samples().iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_cloud_wait >= 0.040 - 1e-9,
+        "cloud wait {min_cloud_wait} is missing the routing hop"
+    );
+}
+
+/// A federated knative run exercises the third site-policy path.
+#[test]
+fn federated_knative_runs_deterministically() {
+    let run = || {
+        let mut topology = Topology::new();
+        topology.add_site("edge", small_cluster(2), 0.002);
+        topology.add_site("cloud", small_cluster(4), 0.030);
+        let mut sim = FederatedSimulation::new(LassConfig::default(), topology, 13);
+        sim.set_policy(SitePolicyKind::Knative)
+            .set_router(RouterKind::LeastLoaded);
+        sim.add_function(testbed_setup(25.0, 60.0, 1));
+        sim.run(Some(60.0)).expect("runs")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+    let completed: usize = a
+        .per_site
+        .iter()
+        .map(|s| s.report.per_fn[&0].completed)
+        .sum();
+    assert!(completed > 1000, "completed={completed}");
+}

@@ -161,6 +161,43 @@ fn openwhisk_cascade_matches_pre_refactor_goldens() {
 }
 
 #[test]
+fn single_site_topology_matches_pre_refactor_goldens() {
+    // The degenerate federated path (one zero-latency site) must hit the
+    // same pre-refactor goldens as the plain run: same arrival stream,
+    // same event order, same statistics, same serialized bytes.
+    let mut sim = lass::core::FederatedSimulation::new(
+        LassConfig::default(),
+        lass::cluster::Topology::single(Cluster::paper_testbed()),
+        42,
+    );
+    let mut setup = FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static {
+            rate: 20.0,
+            duration: 120.0,
+        },
+    );
+    setup.initial_containers = 1;
+    sim.add_function(setup);
+    let fed = sim.run(Some(120.0)).expect("runs");
+    let report = &fed.per_site[0].report;
+    let f = &report.per_fn[&0];
+    assert_eq!(f.arrivals, 2358);
+    assert_eq!(f.completed, 2358);
+    assert_eq!(f.slo_violations, 313);
+    assert_eq!(f.wait.mean().unwrap().to_bits(), 4600885491099660003);
+    assert_eq!(report.busy_utilization.to_bits(), 4589391036886297787);
+    assert_eq!(report.allocated_utilization.to_bits(), 4594772509834817879);
+    let json = serde_json::to_string(report).unwrap();
+    assert_eq!(
+        fnv64(&json),
+        6027010988220804034,
+        "single-site topology drifted from the plain-run golden"
+    );
+}
+
+#[test]
 fn same_seed_gives_byte_identical_serialized_reports() {
     // Determinism satellite: two runs at the same seed serialize to the
     // exact same bytes, for every policy.
