@@ -303,6 +303,12 @@ impl Cluster {
         self.containers.values()
     }
 
+    /// Ids of all live containers, in id (creation) order — the
+    /// deterministic victim pool for fault-injection bursts.
+    pub fn container_ids(&self) -> Vec<ContainerId> {
+        self.containers.keys().copied().collect()
+    }
+
     /// Total number of live containers.
     pub fn container_count(&self) -> usize {
         self.containers.len()

@@ -13,15 +13,25 @@
 //! A single-site topology with zero latency is the degenerate case and
 //! reproduces the corresponding plain single-cluster simulation
 //! event-for-event (the golden-parity tests pin this).
+//!
+//! Every federated run goes through a
+//! [`ChaosPolicy`](lass_simcore::ChaosPolicy) wrapper. With the default
+//! (empty) [`ChaosConfig`] the wrapper is transparent — the goldens pin
+//! that — and [`FederatedSimulation::set_chaos`] arms site crashes,
+//! router↔site partitions, container-crash bursts, and cross-site
+//! migration of a dead site's orphans. Crashed sites recover *cold*:
+//! the per-site scheduler is rebuilt from the original provisioning
+//! (initial containers, fresh controller state), with its crash RNG
+//! stream relabelled per restart so replays stay deterministic.
 
 use crate::config::LassConfig;
 use crate::knative::KnativePolicy;
 use crate::simulation::{FunctionSetup, LassPolicy, SimReport};
 use crate::staticalloc::StaticRrPolicy;
-use lass_cluster::{FnId, Topology};
+use lass_cluster::{Cluster, FnId, Topology};
 use lass_simcore::{
-    run_simulation, EngineConfig, FedFunction, FederatedReport, Federation, FunctionEntry,
-    RouterKind, SchedulerPolicy, SimDuration, SiteMeta,
+    run_simulation, ChaosConfig, ChaosPolicy, ContainerChaos, EngineConfig, FedFunction,
+    FederatedReport, Federation, FunctionEntry, RouterKind, SimDuration, SiteMeta,
 };
 
 /// The report of a federated run: one [`SimReport`] per site plus the
@@ -47,12 +57,13 @@ pub struct FederatedSimulation {
     seed: u64,
     router: RouterKind,
     policy: SitePolicyKind,
+    chaos: ChaosConfig,
     setups: Vec<FunctionSetup>,
 }
 
 impl FederatedSimulation {
-    /// Create a federated simulation (round-robin router, LaSS sites by
-    /// default).
+    /// Create a federated simulation (round-robin router, LaSS sites,
+    /// no chaos by default).
     pub fn new(cfg: LassConfig, topology: Topology, seed: u64) -> Self {
         cfg.validate().expect("invalid LassConfig");
         Self {
@@ -61,6 +72,7 @@ impl FederatedSimulation {
             seed,
             router: RouterKind::default(),
             policy: SitePolicyKind::default(),
+            chaos: ChaosConfig::default(),
             setups: Vec::new(),
         }
     }
@@ -74,6 +86,14 @@ impl FederatedSimulation {
     /// Choose the per-site scheduler.
     pub fn set_policy(&mut self, policy: SitePolicyKind) -> &mut Self {
         self.policy = policy;
+        self
+    }
+
+    /// Arm fault injection: timed and stochastic site crashes,
+    /// partitions, and container bursts (see [`ChaosConfig`]). Faults
+    /// target sites by topology index.
+    pub fn set_chaos(&mut self, chaos: ChaosConfig) -> &mut Self {
+        self.chaos = chaos;
         self
     }
 
@@ -91,6 +111,16 @@ impl FederatedSimulation {
         self.topology.validate()?;
         if self.setups.is_empty() {
             return Err("federated simulation has no functions".into());
+        }
+        self.chaos.validate()?;
+        let site_count = self.topology.len();
+        for (at, fault) in &self.chaos.events {
+            if fault.site() as usize >= site_count {
+                return Err(format!(
+                    "chaos event at t={at}s targets site {} of a {site_count}-site topology",
+                    fault.site()
+                ));
+            }
         }
         let duration = duration_override.unwrap_or_else(|| {
             self.setups
@@ -128,94 +158,117 @@ impl FederatedSimulation {
                 capacity_hint: site.cluster.total_cpu_capacity().as_cores(),
             })
             .collect();
-        let site_count = self.topology.len();
-        let sites = self.topology.into_sites();
+        // Pristine per-site clusters: the build closure doubles as the
+        // chaos layer's rebuild factory, so a crashed site recovers with
+        // its original provisioning.
+        let clusters: Vec<Cluster> = self
+            .topology
+            .into_sites()
+            .into_iter()
+            .map(|s| s.cluster)
+            .collect();
         let router = self.router.build();
+        let (cfg, seed, setups, chaos) = (self.cfg, self.seed, self.setups, self.chaos);
 
         // The engine RNG prefix matches the corresponding single-cluster
         // simulation so the degenerate one-site topology replays it
         // exactly (same arrival and service streams).
         let report = match self.policy {
             SitePolicyKind::Lass => {
-                let fed = Federation::new(
-                    metas
-                        .into_iter()
-                        .zip(sites)
-                        .enumerate()
-                        .map(|(i, (meta, site))| {
-                            // A degenerate one-site topology keeps the
-                            // plain run's crash-stream label so parity
-                            // holds even with failure injection on;
-                            // multi-site topologies decorrelate per site.
-                            let label = if site_count == 1 {
-                                String::new()
-                            } else {
-                                format!("site{i}:")
-                            };
-                            (
-                                meta,
-                                LassPolicy::new(
-                                    self.cfg.clone(),
-                                    site.cluster,
-                                    self.seed,
-                                    &self.setups,
-                                    &label,
-                                ),
-                            )
-                        })
-                        .collect(),
+                let setups = setups.clone();
+                let build = move |i: usize, restart: u32| {
+                    // A degenerate one-site topology keeps the plain
+                    // run's crash-stream label so parity holds even with
+                    // failure injection on; multi-site topologies
+                    // decorrelate per site, and every restart of a
+                    // crashed site draws a fresh stream.
+                    let base = if site_count == 1 {
+                        String::new()
+                    } else {
+                        format!("site{i}:")
+                    };
+                    let label = if restart == 0 {
+                        base
+                    } else {
+                        format!("{base}r{restart}:")
+                    };
+                    LassPolicy::new(cfg.clone(), clusters[i].clone(), seed, &setups, &label)
+                };
+                launch(
+                    seed,
+                    chaos,
+                    metas,
+                    build,
                     router,
                     &fed_functions,
-                );
-                run_fed(self.seed, "", duration, entries, fed)
+                    "",
+                    duration,
+                    entries,
+                )
             }
             SitePolicyKind::StaticRr => {
-                let fed = Federation::new(
-                    metas
-                        .into_iter()
-                        .zip(sites)
-                        .map(|(meta, site)| {
-                            (meta, StaticRrPolicy::new(site.cluster, self.setups.clone()))
-                        })
-                        .collect(),
+                let build = move |i: usize, _restart: u32| {
+                    StaticRrPolicy::new(clusters[i].clone(), setups.clone())
+                };
+                launch(
+                    seed,
+                    chaos,
+                    metas,
+                    build,
                     router,
                     &fed_functions,
-                );
-                run_fed(self.seed, "static-", duration, entries, fed)
+                    "static-",
+                    duration,
+                    entries,
+                )
             }
             SitePolicyKind::Knative => {
-                let fed = Federation::new(
-                    metas
-                        .into_iter()
-                        .zip(sites)
-                        .map(|(meta, site)| {
-                            (
-                                meta,
-                                KnativePolicy::new(
-                                    self.cfg.clone(),
-                                    site.cluster,
-                                    self.setups.clone(),
-                                ),
-                            )
-                        })
-                        .collect(),
+                let build = move |i: usize, _restart: u32| {
+                    KnativePolicy::new(cfg.clone(), clusters[i].clone(), setups.clone())
+                };
+                launch(
+                    seed,
+                    chaos,
+                    metas,
+                    build,
                     router,
                     &fed_functions,
-                );
-                run_fed(self.seed, "knative-", duration, entries, fed)
+                    "knative-",
+                    duration,
+                    entries,
+                )
             }
         };
         Ok(report)
     }
 }
 
-fn run_fed<P: SchedulerPolicy<Report = SimReport>>(
+/// Assemble the federation (initial policies from `build(i, 0)`, the
+/// same closure installed as the crash-recovery rebuild factory), arm
+/// the chaos wrapper, and pump the engine.
+#[allow(clippy::too_many_arguments)]
+fn launch<P, F>(
     seed: u64,
+    chaos: ChaosConfig,
+    metas: Vec<SiteMeta>,
+    mut build: F,
+    router: Box<dyn lass_simcore::RouterPolicy + Send>,
+    fed_functions: &[FedFunction],
     prefix: &str,
     duration: f64,
     entries: Vec<FunctionEntry>,
-    fed: Federation<P>,
-) -> FederatedSimReport {
+) -> FederatedSimReport
+where
+    P: ContainerChaos<Report = SimReport>,
+    F: FnMut(usize, u32) -> P + Send + 'static,
+{
+    let sites = metas
+        .into_iter()
+        .enumerate()
+        .map(|(i, meta)| (meta, build(i, 0)))
+        .collect();
+    let mut fed = Federation::new(sites, router, fed_functions).with_rebuild(Box::new(build));
+    fed.set_migration_penalty(SimDuration::from_secs_f64(chaos.migration_penalty_secs));
     run_simulation(
         EngineConfig {
             seed,
@@ -224,7 +277,7 @@ fn run_fed<P: SchedulerPolicy<Report = SimReport>>(
             drain_secs: 120.0,
         },
         entries,
-        fed,
+        ChaosPolicy::new(fed, chaos, seed),
     )
 }
 

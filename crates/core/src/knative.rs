@@ -130,6 +130,9 @@ pub(crate) struct KnativePolicy {
     epochs: usize,
     overloaded_epochs: usize,
     failed_creates: u32,
+    /// Containers lost to chaos bursts (the next scale tick replaces
+    /// them if the concurrency target still wants the capacity).
+    crashes: usize,
     free_timeline: TimeSeries,
 }
 
@@ -182,6 +185,7 @@ impl KnativePolicy {
             epochs: 0,
             overloaded_epochs: 0,
             failed_creates: 0,
+            crashes: 0,
             free_timeline: TimeSeries::new(),
         }
     }
@@ -367,6 +371,32 @@ impl KnativePolicy {
     }
 }
 
+impl lass_simcore::ContainerChaos for KnativePolicy {
+    /// Chaos burst: terminate up to `count` live containers (lowest ids
+    /// first). Orphans re-enter dispatch, which may activator-cold-start
+    /// replacements immediately; the scale loop restores the fleet.
+    fn crash_containers(&mut self, ctx: &mut impl PolicyCtx<Ev>, count: u32, now: SimTime) -> u32 {
+        let mut victims = self.cluster.container_ids();
+        victims.truncate(count as usize);
+        let mut crashed = 0u32;
+        for cid in victims {
+            let Ok(term) = self.cluster.terminate_container(cid, now) else {
+                continue;
+            };
+            crashed += 1;
+            self.crashes += 1;
+            self.in_service.remove(&cid);
+            let f = term.container.fn_id();
+            for rid in term.orphans {
+                if ctx.rerun(ReqId(rid.0)).is_some() {
+                    self.dispatch(ctx, rid, f, now);
+                }
+            }
+        }
+        crashed
+    }
+}
+
 impl SchedulerPolicy for KnativePolicy {
     type Event = Ev;
     type Report = SimReport;
@@ -410,10 +440,11 @@ impl SchedulerPolicy for KnativePolicy {
                 debug_assert_eq!(done, rid);
                 let f = c.fn_id();
                 let cpu_cores = c.cpu().as_cores();
-                let completion = ctx
-                    .complete(ReqId(rid.0), started, now)
-                    .expect("known request");
-                self.busy_cpu_seconds += completion.service * cpu_cores;
+                // `None`: the completion was withheld upstream (stalled
+                // behind a federated network partition).
+                if let Some(completion) = ctx.complete(ReqId(rid.0), started, now) {
+                    self.busy_cpu_seconds += completion.service * cpu_cores;
+                }
                 self.feed(ctx, cid, f, now);
             }
             Ev::Scale => {
@@ -470,7 +501,7 @@ impl SchedulerPolicy for KnativePolicy {
             overloaded_epochs: self.overloaded_epochs,
             epochs: self.epochs,
             failed_creates: self.failed_creates,
-            crashes: 0,
+            crashes: self.crashes,
             free_timeline: std::mem::take(&mut self.free_timeline),
         }
     }

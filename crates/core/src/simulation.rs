@@ -511,12 +511,14 @@ impl LassPolicy {
         let f = c.fn_id();
         let cpu_cores = c.cpu().as_cores();
 
-        let completion = ctx
-            .complete(ReqId(rid.0), started, now)
-            .expect("known request");
-        self.busy_cpu_seconds += completion.service * cpu_cores;
-        self.controller
-            .record_service(f, deflation, completion.service);
+        // `None` means the completion was withheld upstream (a federated
+        // site whose response is stalled behind a network partition): the
+        // container is free either way, only the measurement is deferred.
+        if let Some(completion) = ctx.complete(ReqId(rid.0), started, now) {
+            self.busy_cpu_seconds += completion.service * cpu_cores;
+            self.controller
+                .record_service(f, deflation, completion.service);
+        }
 
         self.feed_container(ctx, cid, f, now);
     }
@@ -582,6 +584,26 @@ impl LassPolicy {
         }
         #[cfg(debug_assertions)]
         self.cluster.check_invariants();
+    }
+}
+
+impl lass_simcore::ContainerChaos for LassPolicy {
+    /// Chaos burst: crash up to `count` uniformly-drawn live containers
+    /// (drawn from the site's crash stream, so bursts stay deterministic
+    /// per seed). Orphaned requests are re-dispatched exactly like an
+    /// MTBF crash's.
+    fn crash_containers(&mut self, ctx: &mut impl PolicyCtx<Ev>, count: u32, now: SimTime) -> u32 {
+        let mut victims = self.cluster.container_ids();
+        let before = self.crashes;
+        for _ in 0..count {
+            if victims.is_empty() {
+                break;
+            }
+            let pick = self.crash_rng.below(victims.len());
+            let cid = victims.swap_remove(pick);
+            self.on_crash(ctx, cid, now);
+        }
+        (self.crashes - before) as u32
     }
 }
 

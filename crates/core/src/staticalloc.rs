@@ -96,6 +96,10 @@ pub(crate) struct StaticRrPolicy {
     next_seq: u64,
     util_gauge: TimeWeightedGauge,
     busy_cpu_seconds: f64,
+    /// Containers lost to chaos bursts (nothing replaces them: the
+    /// static pool permanently shrinks, as a no-autoscaler baseline
+    /// honestly would).
+    crashes: usize,
 }
 
 impl StaticRrPolicy {
@@ -135,6 +139,7 @@ impl StaticRrPolicy {
             next_seq: 0,
             util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
             busy_cpu_seconds: 0.0,
+            crashes: 0,
         }
     }
     fn dispatch(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
@@ -178,6 +183,38 @@ impl StaticRrPolicy {
     }
 }
 
+impl lass_simcore::ContainerChaos for StaticRrPolicy {
+    /// Chaos burst: terminate up to `count` live containers (lowest ids
+    /// first — the pools are fixed, so the order is reproducible without
+    /// a policy-side RNG). Orphans are re-dispatched over whatever pool
+    /// remains; an emptied pool loses all future requests.
+    fn crash_containers(&mut self, ctx: &mut impl PolicyCtx<Ev>, count: u32, now: SimTime) -> u32 {
+        let mut victims = self.cluster.container_ids();
+        victims.truncate(count as usize);
+        let mut crashed = 0u32;
+        for cid in victims {
+            let Ok(term) = self.cluster.terminate_container(cid, now) else {
+                continue;
+            };
+            crashed += 1;
+            self.crashes += 1;
+            self.in_service.remove(&cid);
+            let f = term.container.fn_id();
+            self.pools
+                .get_mut(&f)
+                .expect("known fn")
+                .containers
+                .retain(|&c| c != cid);
+            for rid in term.orphans {
+                if ctx.rerun(ReqId(rid.0)).is_some() {
+                    self.dispatch(ctx, rid, f, now);
+                }
+            }
+        }
+        crashed
+    }
+}
+
 impl SchedulerPolicy for StaticRrPolicy {
     type Event = Ev;
     type Report = SimReport;
@@ -204,10 +241,11 @@ impl SchedulerPolicy for StaticRrPolicy {
         let done = c.complete_service(now);
         debug_assert_eq!(done, rid);
         let cpu_cores = c.cpu().as_cores();
-        let completion = ctx
-            .complete(ReqId(rid.0), started, now)
-            .expect("known request");
-        self.busy_cpu_seconds += completion.service * cpu_cores;
+        // `None`: the completion was withheld upstream (stalled behind a
+        // federated network partition); only the measurement is deferred.
+        if let Some(completion) = ctx.complete(ReqId(rid.0), started, now) {
+            self.busy_cpu_seconds += completion.service * cpu_cores;
+        }
         self.try_start(ctx, cid, now);
     }
 
@@ -267,7 +305,7 @@ impl SchedulerPolicy for StaticRrPolicy {
             overloaded_epochs: 0,
             epochs: 0,
             failed_creates: 0,
-            crashes: 0,
+            crashes: self.crashes,
             free_timeline: TimeSeries::new(),
         }
     }

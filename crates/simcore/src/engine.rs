@@ -140,6 +140,12 @@ pub trait PolicyCtx<E> {
     /// Look up a live request: `(fn_idx, arrival)`.
     fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)>;
     /// Record a completion (see [`EngineCtx::complete`]).
+    ///
+    /// `None` means the completion was **not** recorded — the request is
+    /// unknown (already retired), or a wrapping context withheld it (a
+    /// federated site stalling responses behind a network partition).
+    /// Policies must tolerate `None` and skip their own completion
+    /// accounting; the request may still be live engine-side.
     fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion>;
     /// Abandon a request that exceeded a hard time limit.
     fn abandon(&mut self, rid: ReqId) -> Option<u32>;

@@ -8,7 +8,9 @@
 //! that site's scheduler through a scoped [`PolicyCtx`] that:
 //!
 //! * tags the site's scheduled events so they come back to the right
-//!   instance ([`FedEv::Site`]);
+//!   instance ([`FedEv::Site`]), stamped with the site's *incarnation*
+//!   so events of a crashed instance are dropped instead of corrupting
+//!   its replacement;
 //! * maintains per-site request statistics (the engine's own statistics
 //!   remain the cross-site aggregate);
 //! * gives each site its own arrival-rate windows, so per-site monitors
@@ -25,13 +27,46 @@
 //! measured from the front-end arrival instant, the hop is part of the
 //! request's waiting — and therefore response — time, exactly like the
 //! paper's edge clients would observe when offloaded to a remote pool.
+//!
+//! # Failure semantics
+//!
+//! The federation implements [`ChaosTarget`], so a
+//! [`ChaosPolicy`](crate::chaos::ChaosPolicy) wrapper can inject
+//! site-level faults:
+//!
+//! * **Site crash** ([`Fault::SiteDown`]): the site leaves the router's
+//!   view immediately. Its queued and in-service requests are orphaned
+//!   and **migrated** — re-routed among the surviving sites with the
+//!   destination's inbound hop plus a configurable migration penalty,
+//!   all of it visible in the request's waiting/response time. Requests
+//!   still crossing the network when the site died bounce the same way
+//!   at delivery time, so nothing ever lands on a dead site. With no
+//!   survivor the request is **failed** (engine-level `lost`). On
+//!   [`Fault::SiteUp`] the site restarts *cold* from the rebuild
+//!   factory ([`Federation::with_rebuild`]).
+//! * **Partition** ([`Fault::PartitionStart`]): the router↔site link is
+//!   cut. Arrivals route around the site and in-transit requests bounce
+//!   exactly as for a crash, but the site keeps serving what it already
+//!   holds; completions are **stalled** — buffered and recorded when
+//!   the partition heals, so the stall shows up in response time. (A
+//!   stalled request's recorded *service* time also absorbs the stall:
+//!   the front-end cannot observe where inside the dark interval the
+//!   container actually finished.)
+//! * **Container bursts** ([`Fault::ContainerBurst`]) are forwarded to
+//!   the site's scheduler through the [`ContainerChaos`] seam.
+//!
+//! Per-site fault accounting (`migrated`, `failed`, `downtime_secs`, …)
+//! is carried in [`SiteReport`]; the engine's aggregate conserves every
+//! arrival as completed, failed (lost), timed out, or still outstanding.
 
+use crate::chaos::{ChaosTarget, ContainerChaos, Fault};
 use crate::engine::{Completion, EngineOutcome, FnStats, PolicyCtx, ReqId, SchedulerPolicy};
-use crate::metrics::SampleStats;
+use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
 use crate::router::{RouterPolicy, SiteState};
 use crate::time::{SimDuration, SimTime};
 use serde::{Map, Serialize, Value};
+use std::collections::BTreeMap;
 
 /// Static description of one site handed to [`Federation::new`].
 #[derive(Debug, Clone)]
@@ -71,6 +106,10 @@ pub enum FedEv<E> {
     Site {
         /// Owning site index.
         site: u32,
+        /// The site incarnation that scheduled the event. A crash bumps
+        /// the incarnation, so events of the dead instance are dropped
+        /// instead of being misdelivered to its replacement.
+        epoch: u32,
         /// The inner event payload.
         ev: E,
     },
@@ -82,18 +121,45 @@ struct SiteTally {
     in_flight: usize,
     /// Requests the router sent to this site (delivered or in transit).
     routed: usize,
-    /// Requests that finished at this site (completed, abandoned, or
-    /// lost). `routed - finished` is the router's view of the site's
-    /// commitment: it includes requests still in transit, which the
-    /// front-end knows it dispatched even though the site hasn't seen
-    /// them yet — otherwise a burst shorter than the network hop would
-    /// herd entirely onto a high-latency site before any delivery
-    /// moves its visible load.
+    /// Requests that finished at this site (completed, abandoned, lost,
+    /// or migrated away). `routed - finished` is the router's view of
+    /// the site's commitment: it includes requests still in transit,
+    /// which the front-end knows it dispatched even though the site
+    /// hasn't seen them yet — otherwise a burst shorter than the network
+    /// hop would herd entirely onto a high-latency site before any
+    /// delivery moves its visible load.
     finished: usize,
     /// Per-function arrival counts since the site's last window take.
     window: Vec<u64>,
     /// Per-function statistics of requests finished at this site.
     per_fn: Vec<FnStats>,
+    /// Live requests held by the site (delivered, not yet finished),
+    /// keyed by request id for deterministic evacuation order.
+    live: BTreeMap<u64, u32>,
+    /// Completions held back by an ongoing partition: `(rid, started)`.
+    stalled: Vec<(u64, SimTime)>,
+    /// Whether the site is alive (not crashed).
+    up: bool,
+    /// Whether the router↔site link is currently cut.
+    partitioned: bool,
+    /// Site incarnation; bumped on crash to invalidate stale events.
+    epoch: u32,
+    /// Completed crash/rebuild cycles (labels the replacement policy).
+    restarts: u32,
+    /// The site crashed and its scheduler must be rebuilt on recovery.
+    needs_rebuild: bool,
+    /// Requests migrated away from this site (orphans of a crash plus
+    /// in-transit bounces off a dead or partitioned site).
+    migrated_out: usize,
+    /// Migrated requests this site accepted from a failing site.
+    migrated_in: usize,
+    /// Requests committed to this site that could not be migrated
+    /// anywhere (engine-level lost).
+    failed: usize,
+    /// Containers crashed here by chaos bursts.
+    chaos_crashes: u32,
+    /// Total time the site was unroutable (crashed or partitioned).
+    downtime: DowntimeClock,
 }
 
 impl SiteTally {
@@ -119,7 +185,38 @@ impl SiteTally {
                     service: SampleStats::new(),
                 })
                 .collect(),
+            live: BTreeMap::new(),
+            stalled: Vec::new(),
+            up: true,
+            partitioned: false,
+            epoch: 0,
+            restarts: 0,
+            needs_rebuild: false,
+            migrated_out: 0,
+            migrated_in: 0,
+            failed: 0,
+            chaos_crashes: 0,
+            downtime: DowntimeClock::new(),
         }
+    }
+
+    /// Whether the router may send arrivals here right now.
+    fn routable(&self) -> bool {
+        self.up && !self.partitioned
+    }
+
+    /// Fold one finished request into the site's statistics.
+    fn record_completion(&mut self, c: &Completion) {
+        let f = &mut self.per_fn[c.fn_idx as usize];
+        f.completed += 1;
+        f.wait.record(c.wait);
+        f.service.record(c.service);
+        f.response.record(c.response);
+        if c.violated_slo {
+            f.slo_violations += 1;
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.finished += 1;
     }
 }
 
@@ -137,6 +234,7 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
             at,
             FedEv::Site {
                 site: self.site,
+                epoch: self.tally.epoch,
                 ev,
             },
         );
@@ -159,17 +257,19 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
     }
 
     fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion> {
-        let c = self.inner.complete(rid, started, now)?;
-        let f = &mut self.tally.per_fn[c.fn_idx as usize];
-        f.completed += 1;
-        f.wait.record(c.wait);
-        f.service.record(c.service);
-        f.response.record(c.response);
-        if c.violated_slo {
-            f.slo_violations += 1;
+        if self.tally.partitioned {
+            // The response cannot cross the cut link: hold it until the
+            // partition heals (the stall lands in response time). The
+            // policy sees `None` and skips its own completion
+            // accounting; the request stays live engine-side.
+            if self.tally.live.contains_key(&rid.0) {
+                self.tally.stalled.push((rid.0, started));
+            }
+            return None;
         }
-        self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
-        self.tally.finished += 1;
+        let c = self.inner.complete(rid, started, now)?;
+        self.tally.live.remove(&rid.0);
+        self.tally.record_completion(&c);
         Some(c)
     }
 
@@ -178,6 +278,7 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
         let f = &mut self.tally.per_fn[fn_idx as usize];
         f.timeouts += 1;
         f.slo_violations += 1;
+        self.tally.live.remove(&rid.0);
         self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
         self.tally.finished += 1;
         Some(fn_idx)
@@ -186,6 +287,7 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
     fn lose(&mut self, rid: ReqId) -> Option<u32> {
         let fn_idx = self.inner.lose(rid)?;
         self.tally.per_fn[fn_idx as usize].lost += 1;
+        self.tally.live.remove(&rid.0);
         self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
         self.tally.finished += 1;
         Some(fn_idx)
@@ -206,6 +308,50 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
     }
 }
 
+/// A context whose scheduled times are shifted by a fixed offset — used
+/// to replay a policy's `on_start` (written against `t = 0`) when its
+/// site restarts mid-run.
+struct OffsetCtx<'a, C> {
+    inner: &'a mut C,
+    offset: SimDuration,
+}
+
+impl<E, C: PolicyCtx<E>> PolicyCtx<E> for OffsetCtx<'_, C> {
+    fn schedule(&mut self, at: SimTime, ev: E) {
+        self.inner.schedule(at + self.offset, ev);
+    }
+    fn end_time(&self) -> SimTime {
+        self.inner.end_time()
+    }
+    fn fn_count(&self) -> usize {
+        self.inner.fn_count()
+    }
+    fn service_rng(&mut self, fn_idx: u32) -> &mut SimRng {
+        self.inner.service_rng(fn_idx)
+    }
+    fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)> {
+        self.inner.request_info(rid)
+    }
+    fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion> {
+        self.inner.complete(rid, started, now)
+    }
+    fn abandon(&mut self, rid: ReqId) -> Option<u32> {
+        self.inner.abandon(rid)
+    }
+    fn lose(&mut self, rid: ReqId) -> Option<u32> {
+        self.inner.lose(rid)
+    }
+    fn rerun(&mut self, rid: ReqId) -> Option<u32> {
+        self.inner.rerun(rid)
+    }
+    fn take_window_counts(&mut self) -> Vec<u64> {
+        self.inner.take_window_counts()
+    }
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding()
+    }
+}
+
 /// One site's slice of a [`FederatedReport`].
 #[derive(Debug)]
 pub struct SiteReport<R> {
@@ -215,6 +361,19 @@ pub struct SiteReport<R> {
     pub latency_secs: f64,
     /// Requests the router sent to this site.
     pub routed: usize,
+    /// Requests migrated away from this site (crash orphans plus
+    /// bounced in-transit deliveries).
+    pub migrated: usize,
+    /// Migrated requests this site accepted from failing sites.
+    pub migrated_in: usize,
+    /// Requests committed here that could not be migrated anywhere and
+    /// were failed.
+    pub failed: usize,
+    /// Containers crashed here by chaos bursts.
+    pub chaos_crashes: u32,
+    /// Total time the site was unroutable (crashed or partitioned),
+    /// seconds, measured over the nominal run duration.
+    pub downtime_secs: f64,
     /// The inner scheduler's own report, built from the site-local
     /// request statistics.
     pub report: R,
@@ -232,6 +391,8 @@ pub struct FederatedReport<R> {
     /// indexed by function registration order). Waiting times include the
     /// routing hop.
     pub aggregate_per_fn: Vec<FnStats>,
+    /// Arrivals dropped at the front door because no site was routable.
+    pub unroutable: usize,
     /// Requests unanswered when the run ended (including in-transit).
     pub outstanding: usize,
     /// Simulated duration in seconds (excluding drain).
@@ -244,6 +405,11 @@ impl<R: Serialize> Serialize for SiteReport<R> {
         m.insert("name".into(), self.name.serialize());
         m.insert("latency_secs".into(), self.latency_secs.serialize());
         m.insert("routed".into(), self.routed.serialize());
+        m.insert("migrated".into(), self.migrated.serialize());
+        m.insert("migrated_in".into(), self.migrated_in.serialize());
+        m.insert("failed".into(), self.failed.serialize());
+        m.insert("chaos_crashes".into(), self.chaos_crashes.serialize());
+        m.insert("downtime_secs".into(), self.downtime_secs.serialize());
         m.insert("report".into(), self.report.serialize());
         Value::Object(m)
     }
@@ -255,11 +421,16 @@ impl<R: Serialize> Serialize for FederatedReport<R> {
         m.insert("router".into(), self.router.serialize());
         m.insert("per_site".into(), self.per_site.serialize());
         m.insert("aggregate_per_fn".into(), self.aggregate_per_fn.serialize());
+        m.insert("unroutable".into(), self.unroutable.serialize());
         m.insert("outstanding".into(), self.outstanding.serialize());
         m.insert("duration".into(), self.duration.serialize());
         Value::Object(m)
     }
 }
+
+/// Rebuilds a site's scheduler after a crash: `(site index, restart
+/// count)` → a fresh policy instance (cold, as provisioned at `t = 0`).
+pub type SiteRebuild<P> = Box<dyn FnMut(usize, u32) -> P + Send>;
 
 /// The federated meta-policy: a router in front of one inner scheduler
 /// instance per site. See the module docs for the full contract.
@@ -270,6 +441,13 @@ pub struct Federation<P: SchedulerPolicy> {
     router: Box<dyn RouterPolicy + Send>,
     /// Scratch router view, refreshed from the tallies per decision.
     states: Vec<SiteState>,
+    /// Extra latency added to a migrated request's re-delivery, on top
+    /// of the destination's inbound hop.
+    migration_penalty: SimDuration,
+    /// Factory that rebuilds a crashed site's scheduler on recovery.
+    rebuild: Option<SiteRebuild<P>>,
+    /// Arrivals dropped because no site was routable.
+    unroutable: usize,
 }
 
 impl<P: SchedulerPolicy> Federation<P> {
@@ -292,6 +470,7 @@ impl<P: SchedulerPolicy> Federation<P> {
                 latency: m.latency,
                 capacity_hint: m.capacity_hint,
                 in_flight: 0,
+                up: true,
             })
             .collect();
         Self {
@@ -300,6 +479,52 @@ impl<P: SchedulerPolicy> Federation<P> {
             tallies,
             router,
             states,
+            migration_penalty: SimDuration::ZERO,
+            rebuild: None,
+            unroutable: 0,
+        }
+    }
+
+    /// Install the factory that rebuilds a crashed site's scheduler on
+    /// recovery. Required before injecting [`Fault::SiteDown`].
+    pub fn with_rebuild(mut self, rebuild: SiteRebuild<P>) -> Self {
+        self.rebuild = Some(rebuild);
+        self
+    }
+
+    /// Extra latency added to every migrated request's re-delivery.
+    pub fn set_migration_penalty(&mut self, penalty: SimDuration) -> &mut Self {
+        self.migration_penalty = penalty;
+        self
+    }
+
+    /// Refresh the router's scratch view from the tallies.
+    fn refresh_states(&mut self) {
+        for (state, tally) in self.states.iter_mut().zip(&self.tallies) {
+            // The router sees everything it has committed to a site and
+            // that hasn't finished — delivered work plus requests still
+            // crossing the network hop.
+            state.in_flight = tally.routed.saturating_sub(tally.finished) as u64;
+            state.up = tally.routable();
+        }
+    }
+
+    /// Route an arrival (or migrated orphan) to a live site. Assumes the
+    /// caller checked at least one site is routable.
+    fn pick_site(&mut self, fn_idx: u32, now: SimTime) -> usize {
+        self.refresh_states();
+        let fallback = self
+            .tallies
+            .iter()
+            .position(SiteTally::routable)
+            .expect("caller checked a routable site exists");
+        let chosen = self.router.route(fn_idx, now, &self.states);
+        let ok = chosen < self.sites.len() && self.tallies[chosen].routable();
+        debug_assert!(ok, "router returned unroutable site {chosen}");
+        if ok {
+            chosen
+        } else {
+            fallback
         }
     }
 
@@ -313,10 +538,17 @@ impl<P: SchedulerPolicy> Federation<P> {
         now: SimTime,
     ) {
         let i = site as usize;
+        if !self.tallies[i].routable() {
+            // The destination died (or was cut off) while the request
+            // was in flight: it bounces off the dark site and migrates.
+            self.migrate(ctx, i, rid, fn_idx, now, false);
+            return;
+        }
         let tally = &mut self.tallies[i];
         tally.in_flight += 1;
         tally.window[fn_idx as usize] += 1;
         tally.per_fn[fn_idx as usize].arrivals += 1;
+        tally.live.insert(rid.0, fn_idx);
         self.sites[i].on_arrival(
             &mut SiteCtx {
                 inner: ctx,
@@ -327,6 +559,76 @@ impl<P: SchedulerPolicy> Federation<P> {
             fn_idx,
             now,
         );
+    }
+
+    /// Move a request committed to site `from` onto a surviving site
+    /// (or fail it when none is left). `delivered` says whether the
+    /// request had already reached the site (crash orphan) or was still
+    /// in transit (bounced delivery).
+    fn migrate(
+        &mut self,
+        ctx: &mut impl PolicyCtx<FedEv<P::Event>>,
+        from: usize,
+        rid: ReqId,
+        fn_idx: u32,
+        now: SimTime,
+        delivered: bool,
+    ) {
+        // Release the source site's commitment either way.
+        let tally = &mut self.tallies[from];
+        tally.finished += 1;
+        if delivered {
+            tally.in_flight = tally.in_flight.saturating_sub(1);
+            tally.live.remove(&rid.0);
+        }
+        if !self.tallies.iter().any(SiteTally::routable) {
+            // Nowhere to go: the request is failed.
+            self.tallies[from].failed += 1;
+            if delivered {
+                self.tallies[from].per_fn[fn_idx as usize].lost += 1;
+            }
+            ctx.lose(rid);
+            return;
+        }
+        self.tallies[from].migrated_out += 1;
+        if delivered {
+            // The orphan lost its server; the aggregate rerun counter is
+            // the cross-site view of that.
+            ctx.rerun(rid);
+        }
+        let dest = self.pick_site(fn_idx, now);
+        self.tallies[dest].routed += 1;
+        self.tallies[dest].migrated_in += 1;
+        let hop = self.metas[dest].latency + self.migration_penalty;
+        if hop == SimDuration::ZERO {
+            self.deliver(ctx, dest as u32, rid, fn_idx, now);
+        } else {
+            ctx.schedule(
+                now + hop,
+                FedEv::Deliver {
+                    site: dest as u32,
+                    rid,
+                    fn_idx,
+                },
+            );
+        }
+    }
+
+    /// Close the downtime clock transition for site `i` after its
+    /// routability may have changed. The instant is clamped to the
+    /// nominal end of the run: faults keep resolving through the drain
+    /// (recoveries scheduled past `end` still fire), but `downtime_secs`
+    /// only measures the nominal window, so a recovery at `end + k` must
+    /// close its interval at `end`, not spill `k` extra seconds into the
+    /// report.
+    fn clock_routability(&mut self, i: usize, now: SimTime, end: SimTime) {
+        let now = now.min(end);
+        let tally = &mut self.tallies[i];
+        if tally.routable() {
+            tally.downtime.mark_up(now);
+        } else {
+            tally.downtime.mark_down(now);
+        }
     }
 }
 
@@ -351,15 +653,14 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
         fn_idx: u32,
         now: SimTime,
     ) {
-        for (state, tally) in self.states.iter_mut().zip(&self.tallies) {
-            // The router sees everything it has committed to a site and
-            // that hasn't finished — delivered work plus requests still
-            // crossing the network hop.
-            state.in_flight = tally.routed.saturating_sub(tally.finished) as u64;
+        if !self.tallies.iter().any(SiteTally::routable) {
+            // Every site is dark: the front door has nowhere to send
+            // the request and sheds it.
+            self.unroutable += 1;
+            ctx.lose(rid);
+            return;
         }
-        let chosen = self.router.route(fn_idx, now, &self.states);
-        debug_assert!(chosen < self.sites.len(), "router returned site {chosen}");
-        let chosen = chosen.min(self.sites.len() - 1);
+        let chosen = self.pick_site(fn_idx, now);
         self.tallies[chosen].routed += 1;
         let latency = self.metas[chosen].latency;
         if latency == SimDuration::ZERO {
@@ -381,8 +682,11 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
     fn on_event(&mut self, ctx: &mut impl PolicyCtx<Self::Event>, ev: Self::Event, now: SimTime) {
         match ev {
             FedEv::Deliver { site, rid, fn_idx } => self.deliver(ctx, site, rid, fn_idx, now),
-            FedEv::Site { site, ev } => {
+            FedEv::Site { site, epoch, ev } => {
                 let i = site as usize;
+                if epoch != self.tallies[i].epoch {
+                    return; // stale event of a crashed incarnation
+                }
                 self.sites[i].on_event(
                     &mut SiteCtx {
                         inner: ctx,
@@ -398,6 +702,7 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
 
     fn finish(self, outcome: EngineOutcome) -> Self::Report {
         let duration = outcome.duration_secs;
+        let end = SimTime::from_secs_f64(duration);
         let per_site = self
             .sites
             .into_iter()
@@ -413,6 +718,11 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
                     name: meta.name,
                     latency_secs: meta.latency.as_secs_f64(),
                     routed: tally.routed,
+                    migrated: tally.migrated_out,
+                    migrated_in: tally.migrated_in,
+                    failed: tally.failed,
+                    chaos_crashes: tally.chaos_crashes,
+                    downtime_secs: tally.downtime.total_until(end),
                     report: site.finish(site_outcome),
                 }
             })
@@ -421,8 +731,116 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
             router: self.router.name().to_owned(),
             per_site,
             aggregate_per_fn: outcome.per_fn,
+            unroutable: self.unroutable,
             outstanding: outcome.outstanding,
             duration,
+        }
+    }
+}
+
+impl<P: ContainerChaos> ChaosTarget for Federation<P> {
+    fn fault_domains(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn inject(&mut self, ctx: &mut impl PolicyCtx<Self::Event>, fault: Fault, now: SimTime) {
+        let i = fault.site() as usize;
+        if i >= self.sites.len() {
+            debug_assert!(false, "fault targets unknown site {i}");
+            return;
+        }
+        let end = ctx.end_time();
+        match fault {
+            Fault::SiteDown { .. } => {
+                if !self.tallies[i].up {
+                    return;
+                }
+                assert!(
+                    self.rebuild.is_some(),
+                    "site-crash faults require Federation::with_rebuild"
+                );
+                let tally = &mut self.tallies[i];
+                tally.up = false;
+                tally.needs_rebuild = true;
+                // Invalidate every event the dead incarnation scheduled.
+                tally.epoch += 1;
+                tally.stalled.clear();
+                let orphans: Vec<(u64, u32)> =
+                    std::mem::take(&mut tally.live).into_iter().collect();
+                self.clock_routability(i, now, end);
+                for (rid, fn_idx) in orphans {
+                    self.migrate(ctx, i, ReqId(rid), fn_idx, now, true);
+                }
+            }
+            Fault::SiteUp { .. } => {
+                if self.tallies[i].up {
+                    return;
+                }
+                self.tallies[i].up = true;
+                self.clock_routability(i, now, end);
+                if self.tallies[i].needs_rebuild {
+                    let tally = &mut self.tallies[i];
+                    tally.needs_rebuild = false;
+                    tally.restarts += 1;
+                    tally.in_flight = 0;
+                    for w in &mut tally.window {
+                        *w = 0;
+                    }
+                    let restarts = tally.restarts;
+                    let rebuild = self.rebuild.as_mut().expect("checked at SiteDown");
+                    self.sites[i] = rebuild(i, restarts);
+                    // Replay the fresh policy's start-up (timer setup,
+                    // initial provisioning) shifted to the present.
+                    let mut shifted = OffsetCtx {
+                        inner: ctx,
+                        offset: now.saturating_since(SimTime::ZERO),
+                    };
+                    self.sites[i].on_start(&mut SiteCtx {
+                        inner: &mut shifted,
+                        site: i as u32,
+                        tally: &mut self.tallies[i],
+                    });
+                }
+            }
+            Fault::PartitionStart { .. } => {
+                if self.tallies[i].partitioned {
+                    return;
+                }
+                self.tallies[i].partitioned = true;
+                self.clock_routability(i, now, end);
+            }
+            Fault::PartitionEnd { .. } => {
+                if !self.tallies[i].partitioned {
+                    return;
+                }
+                self.tallies[i].partitioned = false;
+                self.clock_routability(i, now, end);
+                // Release the responses the cut link held back; their
+                // response time now includes the stall.
+                let stalled = std::mem::take(&mut self.tallies[i].stalled);
+                for (rid, started) in stalled {
+                    if let Some(c) = ctx.complete(ReqId(rid), started, now) {
+                        let tally = &mut self.tallies[i];
+                        tally.live.remove(&rid);
+                        tally.record_completion(&c);
+                    }
+                }
+            }
+            Fault::ContainerBurst { count, .. } => {
+                if !self.tallies[i].up {
+                    return; // a dead site has nothing left to crash
+                }
+                let crashed = self.sites[i].crash_containers(
+                    &mut SiteCtx {
+                        inner: ctx,
+                        site: i as u32,
+                        tally: &mut self.tallies[i],
+                    },
+                    count,
+                    now,
+                );
+                self.tallies[i].chaos_crashes += crashed;
+            }
         }
     }
 }
@@ -431,27 +849,47 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
 mod tests {
     use super::*;
     use crate::arrivals::StaticPoisson;
+    use crate::chaos::{ChaosConfig, ChaosPolicy};
     use crate::engine::{run_simulation, EngineConfig, FunctionEntry};
     use crate::router::RouterKind;
 
-    /// A fixed-service-time single-server policy (per site).
+    /// A fixed-service-time single-server policy (per site) that records
+    /// the instant of the last delivery it saw.
     struct OneServer {
         busy: bool,
         queue: std::collections::VecDeque<ReqId>,
         service_secs: f64,
+        last_delivery: Option<SimTime>,
+    }
+
+    impl OneServer {
+        fn new(service_secs: f64) -> Self {
+            Self {
+                busy: false,
+                queue: Default::default(),
+                service_secs,
+                last_delivery: None,
+            }
+        }
     }
 
     enum Ev {
         Done(ReqId, SimTime),
     }
 
+    struct OneServerReport {
+        outcome: EngineOutcome,
+        last_delivery: Option<SimTime>,
+    }
+
     impl SchedulerPolicy for OneServer {
         type Event = Ev;
-        type Report = EngineOutcome;
+        type Report = OneServerReport;
 
         fn on_start(&mut self, _ctx: &mut impl PolicyCtx<Ev>) {}
 
         fn on_arrival(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: ReqId, _f: u32, now: SimTime) {
+            self.last_delivery = Some(now);
             if self.busy {
                 self.queue.push_back(rid);
             } else {
@@ -476,12 +914,17 @@ mod tests {
             }
         }
 
-        fn finish(self, outcome: EngineOutcome) -> EngineOutcome {
-            outcome
+        fn finish(self, outcome: EngineOutcome) -> OneServerReport {
+            OneServerReport {
+                outcome,
+                last_delivery: self.last_delivery,
+            }
         }
     }
 
-    fn run_fed(kind: RouterKind, latencies: &[f64]) -> FederatedReport<EngineOutcome> {
+    impl ContainerChaos for OneServer {}
+
+    fn make_fed(kind: RouterKind, latencies: &[f64], service_secs: f64) -> Federation<OneServer> {
         let sites = latencies
             .iter()
             .enumerate()
@@ -492,11 +935,7 @@ mod tests {
                         latency: SimDuration::from_secs_f64(lat),
                         capacity_hint: 1.0,
                     },
-                    OneServer {
-                        busy: false,
-                        queue: Default::default(),
-                        service_secs: 0.05,
-                    },
+                    OneServer::new(service_secs),
                 )
             })
             .collect();
@@ -504,20 +943,47 @@ mod tests {
             name: "probe".into(),
             slo_deadline: 0.5,
         }];
-        let fed = Federation::new(sites, kind.build(), &functions);
+        Federation::new(sites, kind.build(), &functions)
+            .with_rebuild(Box::new(move |_, _| OneServer::new(service_secs)))
+    }
+
+    fn engine_cfg(seed: u64) -> EngineConfig {
+        EngineConfig {
+            seed,
+            rng_label_prefix: String::new(),
+            duration_secs: 60.0,
+            drain_secs: 30.0,
+        }
+    }
+
+    fn probe_entry(rate: f64) -> Vec<FunctionEntry> {
+        vec![FunctionEntry {
+            name: "probe".into(),
+            slo_deadline: 0.5,
+            process: Box::new(StaticPoisson::until(rate, SimTime::from_secs(60))),
+        }]
+    }
+
+    fn run_fed(kind: RouterKind, latencies: &[f64]) -> FederatedReport<OneServerReport> {
         run_simulation(
-            EngineConfig {
-                seed: 11,
-                rng_label_prefix: String::new(),
-                duration_secs: 60.0,
-                drain_secs: 30.0,
-            },
-            vec![FunctionEntry {
-                name: "probe".into(),
-                slo_deadline: 0.5,
-                process: Box::new(StaticPoisson::until(8.0, SimTime::from_secs(60))),
-            }],
-            fed,
+            engine_cfg(11),
+            probe_entry(8.0),
+            make_fed(kind, latencies, 0.05),
+        )
+    }
+
+    /// Chaos runs use a long service time (0.3 s at 8 req/s over ≤ 2
+    /// servers) so the sites are saturated and every fault instant is
+    /// guaranteed to catch requests in flight.
+    fn run_chaos(
+        kind: RouterKind,
+        latencies: &[f64],
+        chaos: ChaosConfig,
+    ) -> FederatedReport<OneServerReport> {
+        run_simulation(
+            engine_cfg(11),
+            probe_entry(8.0),
+            ChaosPolicy::new(make_fed(kind, latencies, 0.3), chaos, 11),
         )
     }
 
@@ -530,7 +996,7 @@ mod tests {
         let delivered: usize = rep
             .per_site
             .iter()
-            .map(|s| s.report.per_fn[0].arrivals)
+            .map(|s| s.report.outcome.per_fn[0].arrivals)
             .sum();
         // Every routed request is delivered (latencies are shorter than
         // the drain, and nothing else retires in-transit requests).
@@ -538,9 +1004,14 @@ mod tests {
         let completed: usize = rep
             .per_site
             .iter()
-            .map(|s| s.report.per_fn[0].completed)
+            .map(|s| s.report.outcome.per_fn[0].completed)
             .sum();
         assert_eq!(completed, rep.aggregate_per_fn[0].completed);
+        assert_eq!(rep.unroutable, 0);
+        for s in &rep.per_site {
+            assert_eq!((s.migrated, s.failed), (0, 0));
+            assert_eq!(s.downtime_secs, 0.0);
+        }
     }
 
     #[test]
@@ -571,5 +1042,187 @@ mod tests {
         );
         assert_eq!(a.per_site[0].routed, b.per_site[0].routed);
         assert_eq!(a.per_site[1].routed, b.per_site[1].routed);
+    }
+
+    /// Regression: once a site crashes mid-run, it receives no further
+    /// deliveries — not even requests that were in transit — until it
+    /// recovers. The router sees the site vanish at the very next
+    /// decision, mid-window.
+    #[test]
+    fn crashed_site_receives_zero_deliveries_while_down() {
+        let chaos = ChaosConfig {
+            events: vec![(30.0, Fault::SiteDown { site: 0 })],
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(RouterKind::RoundRobin, &[0.001, 0.02], chaos);
+        let dead = &rep.per_site[0];
+        // The (never-recovered) site saw its last delivery before the
+        // crash instant.
+        let last = dead.report.last_delivery.expect("site saw traffic");
+        assert!(
+            last <= SimTime::from_secs_f64(30.0),
+            "delivery at {last} after the crash"
+        );
+        assert!(dead.migrated > 0, "orphans/no in-transit migrated?");
+        // ~30s of a 60s run spent down.
+        assert!(
+            (dead.downtime_secs - 30.0).abs() < 1e-6,
+            "downtime {}",
+            dead.downtime_secs
+        );
+        // Everything still adds up at the engine.
+        let agg = &rep.aggregate_per_fn[0];
+        assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding
+        );
+        assert_eq!(rep.per_site[1].migrated_in, dead.migrated);
+    }
+
+    #[test]
+    fn single_site_crash_fails_everything_with_no_survivor() {
+        let chaos = ChaosConfig {
+            events: vec![(30.0, Fault::SiteDown { site: 0 })],
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(RouterKind::RoundRobin, &[0.001], chaos);
+        let site = &rep.per_site[0];
+        assert!(site.failed > 0, "orphans had nowhere to go");
+        assert_eq!(site.migrated, 0);
+        let agg = &rep.aggregate_per_fn[0];
+        assert!(agg.lost >= site.failed);
+        // Post-crash arrivals are shed at the front door.
+        assert!(rep.unroutable > 0);
+        assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding
+        );
+    }
+
+    #[test]
+    fn site_recovers_and_serves_again() {
+        let chaos = ChaosConfig {
+            events: vec![
+                (20.0, Fault::SiteDown { site: 0 }),
+                (40.0, Fault::SiteUp { site: 0 }),
+            ],
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(RouterKind::RoundRobin, &[0.001, 0.02], chaos);
+        let revived = &rep.per_site[0];
+        let last = revived.report.last_delivery.expect("recovered site used");
+        assert!(
+            last >= SimTime::from_secs_f64(40.0),
+            "no delivery after recovery (last {last})"
+        );
+        assert!((revived.downtime_secs - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partition_stalls_responses_until_heal() {
+        let chaos = ChaosConfig {
+            events: vec![
+                (20.0, Fault::PartitionStart { site: 0 }),
+                (35.0, Fault::PartitionEnd { site: 0 }),
+            ],
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(RouterKind::RoundRobin, &[0.001, 0.02], chaos);
+        let part = &rep.per_site[0];
+        assert!((part.downtime_secs - 15.0).abs() < 1e-6);
+        // At least one response was stalled across the partition: its
+        // response time spans from just before the cut to the heal.
+        let max_response = part.report.outcome.per_fn[0]
+            .response
+            .samples()
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_response >= 14.0,
+            "no stalled response visible (max {max_response})"
+        );
+        // Nothing was failed: the site kept its work.
+        assert_eq!(part.failed, 0);
+        let agg = &rep.aggregate_per_fn[0];
+        assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding
+        );
+    }
+
+    /// A recovery scheduled past the nominal end still fires in the
+    /// drain (the partition heals, stalled responses are released), and
+    /// `downtime_secs` is clamped to the nominal window rather than
+    /// spilling into the drain.
+    #[test]
+    fn recovery_in_the_drain_heals_and_downtime_is_clamped() {
+        let chaos = ChaosConfig {
+            events: vec![
+                (40.0, Fault::PartitionStart { site: 0 }),
+                (70.0, Fault::PartitionEnd { site: 0 }), // past end=60, inside drain
+            ],
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(RouterKind::RoundRobin, &[0.001, 0.02], chaos);
+        let part = &rep.per_site[0];
+        // Unroutable from 40 to the nominal end at 60: 20 s, not 30.
+        assert!(
+            (part.downtime_secs - 20.0).abs() < 1e-6,
+            "downtime {}",
+            part.downtime_secs
+        );
+        // The heal released the stalled responses: completions recorded
+        // at t=70 with the stall visible in the response tail.
+        let max_response = part.report.outcome.per_fn[0]
+            .response
+            .samples()
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_response >= 25.0,
+            "stalled responses never released (max {max_response})"
+        );
+        let agg = &rep.aggregate_per_fn[0];
+        assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding
+        );
+
+        // Same for a crash healing in the drain: downtime stops at end.
+        let chaos = ChaosConfig {
+            events: vec![
+                (50.0, Fault::SiteDown { site: 0 }),
+                (80.0, Fault::SiteUp { site: 0 }),
+            ],
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(RouterKind::RoundRobin, &[0.001, 0.02], chaos);
+        assert!(
+            (rep.per_site[0].downtime_secs - 10.0).abs() < 1e-6,
+            "downtime {}",
+            rep.per_site[0].downtime_secs
+        );
+    }
+
+    #[test]
+    fn noop_chaos_reproduces_plain_federated_run() {
+        let plain = run_fed(RouterKind::LeastLoaded, &[0.001, 0.02]);
+        let wrapped = run_simulation(
+            engine_cfg(11),
+            probe_entry(8.0),
+            ChaosPolicy::new(
+                make_fed(RouterKind::LeastLoaded, &[0.001, 0.02], 0.05),
+                ChaosConfig::default(),
+                11,
+            ),
+        );
+        assert_eq!(
+            serde_json::to_string(&plain.aggregate_per_fn).unwrap(),
+            serde_json::to_string(&wrapped.aggregate_per_fn).unwrap()
+        );
+        assert_eq!(plain.per_site[0].routed, wrapped.per_site[0].routed);
+        assert_eq!(plain.per_site[1].routed, wrapped.per_site[1].routed);
     }
 }

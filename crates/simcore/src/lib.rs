@@ -16,7 +16,11 @@
 //! Knative-style scaling, …) plug into. [`federation`] stacks a
 //! multi-site meta-policy on that seam — one scheduler instance per
 //! site behind a [`router`]-provided front-end routing policy — for
-//! federated edge↔cloud topologies.
+//! federated edge↔cloud topologies, and [`chaos`] stacks a
+//! fault-injection meta-policy on top of *that*: site crashes,
+//! router↔site partitions, container-crash bursts, and cross-site
+//! migration of a dead site's orphans, all from labelled deterministic
+//! RNG streams.
 //!
 //! Nothing in this crate knows about containers or controllers — those live
 //! in `lass-cluster` and `lass-core`.
@@ -25,6 +29,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arrivals;
+pub mod chaos;
 pub mod engine;
 pub mod events;
 pub mod federation;
@@ -37,13 +42,14 @@ pub use arrivals::{
     collect_arrivals, ArrivalProcess, ModulatedPoisson, PerMinuteTrace, PiecewiseConstantPoisson,
     StaticPoisson,
 };
+pub use chaos::{ChaosConfig, ChaosEv, ChaosPolicy, ChaosTarget, ContainerChaos, Fault};
 pub use engine::{
     run_simulation, Completion, EngineConfig, EngineCtx, EngineOutcome, FnStats, FunctionEntry,
     PolicyCtx, ReqId, SchedulerPolicy,
 };
 pub use events::EventQueue;
 pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
-pub use metrics::{SampleStats, TimeSeries, TimeWeightedGauge};
+pub use metrics::{DowntimeClock, SampleStats, TimeSeries, TimeWeightedGauge};
 pub use rng::SimRng;
 pub use router::{
     LatencyAwareRouter, LeastLoadedRouter, RoundRobinRouter, RouterKind, RouterPolicy, SiteState,

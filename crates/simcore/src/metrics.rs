@@ -146,6 +146,55 @@ impl TimeWeightedGauge {
     }
 }
 
+/// Accumulates the total time a component spends unavailable.
+///
+/// Chaos layers flip a site between reachable and unreachable many times
+/// over a run (crashes, recoveries, partitions); this instrument sums the
+/// closed down-intervals and lets an open interval be closed at the
+/// report boundary. Idempotent: repeated `mark_down`/`mark_up` calls in
+/// the same state are no-ops, so overlapping fault processes (a crash
+/// during a partition, say) can share one clock.
+#[derive(Debug, Clone, Default)]
+pub struct DowntimeClock {
+    total_secs: f64,
+    down_since: Option<SimTime>,
+}
+
+impl DowntimeClock {
+    /// A clock that has never been down.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component became unavailable at `t` (no-op if already down).
+    pub fn mark_down(&mut self, t: SimTime) {
+        if self.down_since.is_none() {
+            self.down_since = Some(t);
+        }
+    }
+
+    /// The component became available at `t` (no-op if already up).
+    pub fn mark_up(&mut self, t: SimTime) {
+        if let Some(since) = self.down_since.take() {
+            self.total_secs += t.saturating_since(since).as_secs_f64();
+        }
+    }
+
+    /// Whether the clock is currently in a down interval.
+    pub fn is_down(&self) -> bool {
+        self.down_since.is_some()
+    }
+
+    /// Total downtime in seconds up to `t`, closing any open interval at
+    /// `t` for the measurement (without mutating the clock).
+    pub fn total_until(&self, t: SimTime) -> f64 {
+        match self.down_since {
+            Some(since) => self.total_secs + t.saturating_since(since).as_secs_f64(),
+            None => self.total_secs,
+        }
+    }
+}
+
 /// A timestamped series of observations, for timeline plots.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TimeSeries {
@@ -244,6 +293,24 @@ mod tests {
     fn gauge_average_at_start_is_value() {
         let g = TimeWeightedGauge::new(SimTime::from_secs(5), 7.0);
         assert_eq!(g.average_until(SimTime::from_secs(5)), 7.0);
+    }
+
+    #[test]
+    fn downtime_clock_accumulates_and_is_idempotent() {
+        let mut c = DowntimeClock::new();
+        assert!(!c.is_down());
+        assert_eq!(c.total_until(SimTime::from_secs(100)), 0.0);
+        c.mark_down(SimTime::from_secs(10));
+        c.mark_down(SimTime::from_secs(12)); // no-op: already down
+        assert!(c.is_down());
+        // Open interval measured without closing it.
+        assert!((c.total_until(SimTime::from_secs(15)) - 5.0).abs() < 1e-12);
+        c.mark_up(SimTime::from_secs(20));
+        c.mark_up(SimTime::from_secs(25)); // no-op: already up
+        assert!(!c.is_down());
+        assert!((c.total_until(SimTime::from_secs(100)) - 10.0).abs() < 1e-12);
+        c.mark_down(SimTime::from_secs(90));
+        assert!((c.total_until(SimTime::from_secs(100)) - 20.0).abs() < 1e-12);
     }
 
     #[test]

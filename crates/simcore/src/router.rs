@@ -37,6 +37,12 @@ pub struct SiteState {
     /// Requests currently delivered to the site and not yet finished
     /// (queued + in service).
     pub in_flight: u64,
+    /// Whether the site is reachable *right now*. A crashed or
+    /// partitioned site is marked down by the chaos layer; every router
+    /// must treat a down site as nonexistent, so a site that dies
+    /// mid-window stops receiving arrivals at the very next routing
+    /// decision (not at the next load refresh).
+    pub up: bool,
 }
 
 impl SiteState {
@@ -51,23 +57,32 @@ impl SiteState {
 pub trait RouterPolicy {
     /// Choose a site index in `0..sites.len()` for an arrival of
     /// function `fn_idx` at simulated time `now`. `sites` is never
-    /// empty; returning an out-of-range index is a logic error (the
-    /// federation clamps it in release builds and panics in debug).
+    /// empty and at least one site is up; the chosen site must be up
+    /// (down sites are invisible to arrivals), and returning an
+    /// out-of-range or down index is a logic error (the federation
+    /// falls back to a live site in release builds and panics in
+    /// debug).
     fn route(&mut self, fn_idx: u32, now: SimTime, sites: &[SiteState]) -> usize;
 
     /// Short policy name carried into reports.
     fn name(&self) -> &'static str;
 }
 
-/// Index of the least-loaded site (ties broken toward the lower index).
+/// Index of the least-loaded **up** site (ties broken toward the lower
+/// index). Falls back to index 0 if every site is down (the federation
+/// never routes in that state).
 fn least_loaded(sites: &[SiteState]) -> usize {
-    let mut best = 0usize;
-    for (i, s) in sites.iter().enumerate().skip(1) {
-        if s.load() < sites[best].load() {
-            best = i;
+    let mut best: Option<usize> = None;
+    for (i, s) in sites.iter().enumerate() {
+        if !s.up {
+            continue;
+        }
+        match best {
+            Some(b) if sites[b].load() <= s.load() => {}
+            _ => best = Some(i),
         }
     }
-    best
+    best.unwrap_or(0)
 }
 
 /// Deal arrivals across sites in strict rotation, ignoring load and
@@ -86,9 +101,17 @@ impl RoundRobinRouter {
 
 impl RouterPolicy for RoundRobinRouter {
     fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
-        let i = self.cursor % sites.len();
-        self.cursor = (self.cursor + 1) % sites.len();
-        i
+        // Deal from the cursor, skipping down sites; when every site is
+        // up this is the classic strict rotation.
+        let n = sites.len();
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if sites[i].up {
+                self.cursor = (i + 1) % n;
+                return i;
+            }
+        }
+        self.cursor % n
     }
 
     fn name(&self) -> &'static str {
@@ -151,7 +174,7 @@ impl RouterPolicy for LatencyAwareRouter {
     fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
         let mut best: Option<usize> = None;
         for (i, s) in sites.iter().enumerate() {
-            if s.load() >= self.spill_load {
+            if !s.up || s.load() >= self.spill_load {
                 continue;
             }
             match best {
@@ -247,6 +270,7 @@ mod tests {
                 latency: SimDuration::from_secs_f64(latency),
                 capacity_hint: cap,
                 in_flight,
+                up: true,
             })
             .collect()
     }
@@ -278,6 +302,37 @@ mod tests {
         // Everything saturated: degrade to least-loaded.
         let s = sites(&[(0.002, 4.0, 8), (0.040, 100.0, 150)]);
         assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    /// Regression (chaos layer): a site marked down must receive zero
+    /// picks from every router, even though routers only read load at
+    /// routing time — the `up` flag is part of the per-decision
+    /// snapshot, not of a periodic refresh.
+    #[test]
+    fn down_sites_are_never_picked() {
+        let mut s = sites(&[(0.001, 4.0, 0), (0.020, 8.0, 50), (0.050, 16.0, 80)]);
+        s[0].up = false; // the attractive site (empty, closest) is down
+        for kind in RouterKind::ALL {
+            let mut r = kind.build();
+            for k in 0..100u64 {
+                let i = r.route(0, SimTime::from_secs(k), &s);
+                assert_ne!(i, 0, "{} picked a down site", kind.as_str());
+                assert!(i < s.len());
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_down_sites_and_keeps_rotating() {
+        let mut s = sites(&[(0.0, 1.0, 0), (0.0, 1.0, 0), (0.0, 1.0, 0)]);
+        s[1].up = false;
+        let mut r = RoundRobinRouter::new();
+        let picks: Vec<usize> = (0..6).map(|_| r.route(0, SimTime::ZERO, &s)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2, 0, 2]);
+        // The site coming back mid-window rejoins the rotation.
+        s[1].up = true;
+        let picks: Vec<usize> = (0..6).map(|_| r.route(0, SimTime::ZERO, &s)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]

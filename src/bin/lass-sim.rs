@@ -6,7 +6,10 @@
 //! dispatch), `"knative"` (concurrency-target autoscaling), or
 //! `"openwhisk"` (the §6.6 sharding-pool baseline). An optional
 //! `"topology"` block federates the run across several cluster sites
-//! behind a front-end router (see `scenarios/federated-*.json`).
+//! behind a front-end router (see `scenarios/federated-*.json`), and an
+//! optional `"chaos"` block injects site crashes, router↔site
+//! partitions, and container-crash bursts with cross-site migration
+//! (see `scenarios/chaos-*.json`).
 //!
 //! ```sh
 //! cargo run --bin lass-sim -- scenarios/demo.json [--json out.json]
@@ -105,8 +108,8 @@ fn main() {
         ScenarioReport::Federated(mut report) => {
             println!("router: {}\n", report.router);
             println!(
-                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>10}",
-                "site", "lat(ms)", "routed", "done", "t/o", "p95W(ms)"
+                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>10}",
+                "site", "lat(ms)", "routed", "done", "t/o", "migr", "fail", "down(s)", "p95W(ms)"
             );
             for site in report.per_site.iter_mut() {
                 let (mut done, mut timeouts) = (0, 0);
@@ -119,13 +122,22 @@ fn main() {
                     }
                 }
                 println!(
-                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>10.1}",
+                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8.1} {:>10.1}",
                     site.name,
                     site.latency_secs * 1e3,
                     site.routed,
                     done,
                     timeouts,
+                    site.migrated,
+                    site.failed,
+                    site.downtime_secs,
                     waits.percentile(0.95).unwrap_or(0.0) * 1e3,
+                );
+            }
+            if report.unroutable > 0 {
+                println!(
+                    "\n{} arrivals shed at the front door (no routable site)",
+                    report.unroutable
                 );
             }
             println!(

@@ -3,10 +3,10 @@
 //!
 //! Takes a sweep spec: a base scenario plus the grid axes to vary —
 //! rate multipliers, scheduling policies, front-end routers (for
-//! federated scenarios), and seeds. Every combination is an independent
-//! simulation; they run in parallel on the rayon thread pool and the
-//! collected rows (one summary per run, in grid order) are printed as a
-//! JSON array on stdout.
+//! federated scenarios), chaos profiles, and seeds. Every combination
+//! is an independent simulation; they run in parallel on the rayon
+//! thread pool and the collected rows (one summary per run, in grid
+//! order) are printed as a JSON array on stdout.
 //!
 //! ```sh
 //! cargo run --release --bin lass-sweep -- scenarios/sweep-demo.json [--out table.json]
@@ -21,11 +21,15 @@
 //!     "rate_scales": [0.5, 1.0, 2.0],
 //!     "policies": ["lass", "static-rr", "knative"],
 //!     "routers": ["round-robin", "latency-aware"],
+//!     "chaos": [
+//!         { "name": "baseline" },
+//!         { "name": "crash", "events": [ { "at": 60.0, "kind": "site-down", "site": "edge" } ] }
+//!     ],
 //!     "seeds": [42, 43, 44]
 //! }
 //! ```
 
-use lass::scenario::{Scenario, ScenarioPolicy, ScenarioReport};
+use lass::scenario::{ChaosSpec, Scenario, ScenarioPolicy, ScenarioReport};
 use lass_simcore::{RouterKind, SampleStats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -49,6 +53,11 @@ struct SweepSpec {
     /// Front-end routers (requires a `topology` in the base scenario).
     #[serde(default)]
     routers: Option<Vec<RouterKind>>,
+    /// Chaos profiles (requires a `topology` in the base scenario).
+    /// Each profile replaces the base scenario's `chaos` block; an empty
+    /// profile (`{ "name": "baseline" }`) is the fault-free control.
+    #[serde(default)]
+    chaos: Option<Vec<ChaosSpec>>,
     /// RNG seeds.
     #[serde(default)]
     seeds: Option<Vec<u64>>,
@@ -60,6 +69,7 @@ struct SweepSpec {
 struct SweepRow {
     policy: String,
     router: Option<String>,
+    chaos: Option<String>,
     rate_scale: f64,
     seed: u64,
     arrivals: usize,
@@ -67,6 +77,8 @@ struct SweepRow {
     lost: usize,
     timeouts: usize,
     slo_violations: usize,
+    migrated: usize,
+    failed: usize,
     slo_attainment: f64,
     mean_wait_ms: f64,
     p95_wait_ms: f64,
@@ -121,31 +133,46 @@ fn main() {
         }
         None => vec![None],
     };
+    let chaos_profiles: Vec<Option<ChaosSpec>> = match spec.chaos {
+        Some(list) => {
+            if base.topology.is_none() {
+                fail("\"chaos\" requires the base scenario to have a \"topology\" block");
+            }
+            list.into_iter().map(Some).collect()
+        }
+        None => vec![None],
+    };
 
     // Build the full grid up front; each cell is an independent scenario.
     let mut grid: Vec<(Scenario, SweepRowKey)> = Vec::new();
     for &scale in &scales {
         for &policy in &policies {
             for &router in &routers {
-                for &seed in &seeds {
-                    let mut sc = base.clone();
-                    sc.seed = seed;
-                    sc.policy = policy;
-                    for f in &mut sc.functions {
-                        f.workload = f.workload.scale_rate(scale);
+                for chaos in &chaos_profiles {
+                    for &seed in &seeds {
+                        let mut sc = base.clone();
+                        sc.seed = seed;
+                        sc.policy = policy;
+                        for f in &mut sc.functions {
+                            f.workload = f.workload.scale_rate(scale);
+                        }
+                        if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
+                            topo.router = r;
+                        }
+                        if let Some(profile) = chaos {
+                            sc.chaos = Some(profile.clone());
+                        }
+                        grid.push((
+                            sc,
+                            SweepRowKey {
+                                policy,
+                                router,
+                                chaos: chaos.as_ref().map(ChaosSpec::label),
+                                rate_scale: scale,
+                                seed,
+                            },
+                        ));
                     }
-                    if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
-                        topo.router = r;
-                    }
-                    grid.push((
-                        sc,
-                        SweepRowKey {
-                            policy,
-                            router,
-                            rate_scale: scale,
-                            seed,
-                        },
-                    ));
                 }
             }
         }
@@ -167,10 +194,11 @@ fn main() {
     }
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct SweepRowKey {
     policy: ScenarioPolicy,
     router: Option<RouterKind>,
+    chaos: Option<String>,
     rate_scale: f64,
     seed: u64,
 }
@@ -181,6 +209,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
     let mut row = SweepRow {
         policy: key.policy.as_str().to_owned(),
         router: key.router.map(|r| r.as_str().to_owned()),
+        chaos: key.chaos.clone(),
         rate_scale: key.rate_scale,
         seed: key.seed,
         arrivals: 0,
@@ -188,6 +217,8 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         lost: 0,
         timeouts: 0,
         slo_violations: 0,
+        migrated: 0,
+        failed: 0,
         slo_attainment: 1.0,
         mean_wait_ms: 0.0,
         p95_wait_ms: 0.0,
@@ -233,6 +264,11 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
                 row.slo_violations += f.slo_violations;
                 pool(&mut waits, &f.wait);
             }
+            for site in &rep.per_site {
+                row.migrated += site.migrated;
+                row.failed += site.failed;
+            }
+            row.failed += rep.unroutable;
         }
     }
     let finished = row.completed + row.timeouts;

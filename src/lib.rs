@@ -18,8 +18,9 @@
 //! * [`openwhisk`] — the vanilla OpenWhisk baseline scheduler (§6.6).
 //!
 //! The [`scenario`] module adds declarative JSON scenarios (including
-//! federated `topology` blocks) for the `lass-sim` and `lass-sweep`
-//! binaries. See `examples/quickstart.rs` for a five-minute tour.
+//! federated `topology` blocks and fault-injecting `chaos` blocks) for
+//! the `lass-sim` and `lass-sweep` binaries. See
+//! `examples/quickstart.rs` for a five-minute tour.
 
 pub mod scenario;
 

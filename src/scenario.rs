@@ -19,7 +19,7 @@ use lass_functions::{
     squeezenet, FunctionSpec, WorkloadSpec,
 };
 use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
-use lass_simcore::RouterKind;
+use lass_simcore::{ChaosConfig, Fault, RouterKind};
 use serde::{Deserialize, Serialize};
 
 /// Cluster shape.
@@ -152,6 +152,145 @@ pub struct TopologySpec {
     pub sites: Vec<SiteSpec>,
 }
 
+/// One timed fault in a scenario's `chaos` block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosEventSpec {
+    /// When the fault fires, in seconds from the start of the run.
+    pub at: f64,
+    /// Fault kind: `"site-down"`, `"site-up"`, `"partition-start"`,
+    /// `"partition-end"`, or `"container-burst"`.
+    pub kind: String,
+    /// Target site name (must exist in the scenario's `topology`).
+    pub site: String,
+    /// Containers to crash (`"container-burst"` only; default 1).
+    #[serde(default = "one_u32")]
+    pub count: u32,
+}
+
+/// The optional `chaos` block: timed faults plus stochastic fault
+/// processes injected into a federated run. Requires a `topology`
+/// block; every fault is drawn from labelled deterministic RNG streams,
+/// so a chaos run is exactly reproducible under its seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// Optional profile name (labels `lass-sweep` rows).
+    #[serde(default)]
+    pub name: Option<String>,
+    /// Explicit timed faults.
+    #[serde(default)]
+    pub events: Vec<ChaosEventSpec>,
+    /// Mean time between stochastic site crashes, per site (exponential;
+    /// omit to disable).
+    #[serde(default)]
+    pub site_mtbf_secs: Option<f64>,
+    /// Mean time to recover a crashed site (default 30 s).
+    #[serde(default = "thirty")]
+    pub site_mttr_secs: f64,
+    /// Mean time between stochastic router↔site partitions, per site
+    /// (exponential; omit to disable).
+    #[serde(default)]
+    pub partition_mtbf_secs: Option<f64>,
+    /// Mean time for a partition to heal (default 15 s).
+    #[serde(default = "fifteen")]
+    pub partition_mttr_secs: f64,
+    /// Mean time between stochastic container-crash bursts (global; each
+    /// burst hits one uniformly-drawn site; omit to disable).
+    #[serde(default)]
+    pub burst_mtbf_secs: Option<f64>,
+    /// Containers crashed per stochastic burst (default 1).
+    #[serde(default = "one_u32")]
+    pub burst_size: u32,
+    /// Extra latency (milliseconds) added to every migrated request's
+    /// re-delivery, on top of the destination site's inbound hop.
+    #[serde(default)]
+    pub migration_penalty_ms: f64,
+}
+
+fn one_u32() -> u32 {
+    1
+}
+fn thirty() -> f64 {
+    30.0
+}
+fn fifteen() -> f64 {
+    15.0
+}
+
+impl ChaosSpec {
+    /// The profile label used in sweep tables (`name` or a digest of the
+    /// knobs).
+    pub fn label(&self) -> String {
+        if let Some(name) = &self.name {
+            return name.clone();
+        }
+        let mut parts = Vec::new();
+        if !self.events.is_empty() {
+            parts.push(format!("{}ev", self.events.len()));
+        }
+        if let Some(m) = self.site_mtbf_secs {
+            parts.push(format!("crash{m}"));
+        }
+        if let Some(m) = self.partition_mtbf_secs {
+            parts.push(format!("part{m}"));
+        }
+        if let Some(m) = self.burst_mtbf_secs {
+            parts.push(format!("burst{m}"));
+        }
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Resolve site names against the topology and build the simulator's
+    /// [`ChaosConfig`].
+    pub fn to_config(&self, topology: &TopologySpec) -> Result<ChaosConfig, String> {
+        let site_index = |name: &str| -> Result<u32, String> {
+            topology
+                .sites
+                .iter()
+                .position(|s| s.name == name)
+                .map(|i| i as u32)
+                .ok_or_else(|| format!("chaos event targets unknown site {name:?}"))
+        };
+        let mut events = Vec::with_capacity(self.events.len());
+        for ev in &self.events {
+            let site = site_index(&ev.site)?;
+            let fault = match ev.kind.as_str() {
+                "site-down" | "site_down" => Fault::SiteDown { site },
+                "site-up" | "site_up" => Fault::SiteUp { site },
+                "partition-start" | "partition_start" => Fault::PartitionStart { site },
+                "partition-end" | "partition_end" => Fault::PartitionEnd { site },
+                "container-burst" | "container_burst" => Fault::ContainerBurst {
+                    site,
+                    count: ev.count,
+                },
+                other => {
+                    return Err(format!(
+                        "unknown chaos fault kind {other:?} (expected \"site-down\", \
+                         \"site-up\", \"partition-start\", \"partition-end\", or \
+                         \"container-burst\")"
+                    ))
+                }
+            };
+            events.push((ev.at, fault));
+        }
+        let cfg = ChaosConfig {
+            events,
+            site_mtbf_secs: self.site_mtbf_secs,
+            site_mttr_secs: self.site_mttr_secs,
+            partition_mtbf_secs: self.partition_mtbf_secs,
+            partition_mttr_secs: self.partition_mttr_secs,
+            burst_mtbf_secs: self.burst_mtbf_secs,
+            burst_size: self.burst_size,
+            migration_penalty_secs: self.migration_penalty_ms / 1e3,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
 /// The result of a scenario run: which report shape depends on the policy
 /// and on whether a `topology` block is present.
 #[derive(Debug, Serialize)]
@@ -254,6 +393,11 @@ pub struct Scenario {
     /// `cluster` field is ignored and the policy runs once per site.
     #[serde(default)]
     pub topology: Option<TopologySpec>,
+    /// Optional fault injection (requires `topology`): timed site
+    /// crashes / partitions / container bursts plus stochastic fault
+    /// processes, with cross-site migration of a dead site's requests.
+    #[serde(default)]
+    pub chaos: Option<ChaosSpec>,
 }
 
 fn default_seed() -> u64 {
@@ -322,6 +466,9 @@ impl Scenario {
         let topology = self.build_topology(spec)?;
         let mut sim = FederatedSimulation::new(self.config.clone(), topology, self.seed);
         sim.set_router(spec.router).set_policy(site_policy);
+        if let Some(chaos) = &self.chaos {
+            sim.set_chaos(chaos.to_config(spec)?);
+        }
         for setup in self.build_setups()? {
             sim.add_function(setup);
         }
@@ -357,6 +504,12 @@ impl Scenario {
         self.config.validate()?;
         if let Some(spec) = &self.topology {
             return self.run_federated(spec).map(ScenarioReport::Federated);
+        }
+        if self.chaos.is_some() {
+            return Err(
+                "a \"chaos\" block requires a \"topology\" block (faults target topology sites)"
+                    .into(),
+            );
         }
         self.cluster.validate()?;
         match self.policy {
@@ -470,6 +623,7 @@ mod tests {
             functions: vec![],
             duration_secs: None,
             topology: None,
+            chaos: None,
         };
         assert!(sc.run().is_err());
     }
@@ -618,6 +772,103 @@ mod tests {
         }"#;
         let sc = Scenario::from_json(text).expect("parses");
         assert!(sc.run_report().is_err());
+    }
+
+    const CHAOS: &str = r#"{
+        "seed": 13,
+        "policy": "lass",
+        "topology": {
+            "router": "least-loaded",
+            "sites": [
+                { "name": "a", "cluster": { "nodes": 2, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 2 },
+                { "name": "b", "cluster": { "nodes": 2, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 10 }
+            ]
+        },
+        "chaos": {
+            "name": "crash-a",
+            "migration_penalty_ms": 5,
+            "events": [
+                { "at": 30.0, "kind": "site-down", "site": "a" },
+                { "at": 60.0, "kind": "site-up", "site": "a" },
+                { "at": 70.0, "kind": "container-burst", "site": "b", "count": 2 }
+            ]
+        },
+        "functions": [
+            {
+                "function": "micro_benchmark:100",
+                "slo_ms": 150,
+                "workload": { "Static": { "rate": 30.0, "duration": 90.0 } },
+                "initial_containers": 2
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn chaos_scenario_parses_runs_and_migrates() {
+        let sc = Scenario::from_json(CHAOS).expect("valid scenario");
+        let chaos = sc.chaos.as_ref().expect("chaos block");
+        assert_eq!(chaos.label(), "crash-a");
+        assert_eq!(chaos.events.len(), 3);
+        let ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+            panic!("expected a federated report");
+        };
+        let a = &rep.per_site[0];
+        assert!(a.migrated > 0, "site a's orphans must migrate");
+        assert!((a.downtime_secs - 30.0).abs() < 1e-6, "{}", a.downtime_secs);
+        assert_eq!(rep.per_site[1].migrated_in, a.migrated);
+        assert!(rep.per_site[1].chaos_crashes > 0, "burst must land on b");
+        // Conservation at the engine aggregate.
+        let agg = &rep.aggregate_per_fn[0];
+        assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding
+        );
+    }
+
+    #[test]
+    fn chaos_scenario_round_trips_through_json() {
+        let sc = Scenario::from_json(CHAOS).expect("valid scenario");
+        let json = serde_json::to_string(&sc).unwrap();
+        let back = Scenario::from_json(&json).expect("round-trips");
+        let chaos = back.chaos.expect("chaos survives");
+        assert_eq!(chaos.events[0].kind, "site-down");
+        assert_eq!(chaos.events[2].count, 2);
+        assert_eq!(chaos.migration_penalty_ms, 5.0);
+    }
+
+    #[test]
+    fn chaos_without_topology_is_rejected() {
+        let text = r#"{
+            "chaos": { "events": [ { "at": 10.0, "kind": "site-down", "site": "a" } ] },
+            "functions": [
+                {
+                    "function": "binary_alert",
+                    "slo_ms": 100,
+                    "workload": { "Static": { "rate": 5.0, "duration": 30.0 } }
+                }
+            ]
+        }"#;
+        let sc = Scenario::from_json(text).expect("parses");
+        let err = sc.run_report().unwrap_err();
+        assert!(err.contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn chaos_bad_site_and_kind_are_rejected() {
+        let mut sc = Scenario::from_json(CHAOS).expect("valid scenario");
+        sc.chaos.as_mut().unwrap().events[0].site = "nope".into();
+        assert!(sc.run_report().unwrap_err().contains("unknown site"));
+        let mut sc = Scenario::from_json(CHAOS).expect("valid scenario");
+        sc.chaos.as_mut().unwrap().events[0].kind = "meteor-strike".into();
+        assert!(sc.run_report().unwrap_err().contains("fault kind"));
+    }
+
+    #[test]
+    fn chaos_labels_summarize_profiles() {
+        let spec: ChaosSpec = serde_json::from_str(r#"{ "site_mtbf_secs": 120.0 }"#).unwrap();
+        assert_eq!(spec.label(), "crash120");
+        let spec: ChaosSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec.label(), "none");
     }
 
     #[test]

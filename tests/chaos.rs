@@ -1,0 +1,378 @@
+//! Chaos-injection integration tests.
+//!
+//! Four families:
+//!
+//! * **Fixed-seed chaos goldens** — the shipped `scenarios/chaos-*.json`
+//!   files (site crash + recovery, partition, migration) serialize to
+//!   identical FNV-64 hashes across repeated runs: every fault is drawn
+//!   from labelled deterministic RNG streams, so a chaos run is exactly
+//!   as reproducible as a fault-free one.
+//! * **No-chaos transparency** — a `ChaosPolicy` wrapper with an empty
+//!   schedule reproduces the plain runs byte-for-byte (same pattern as
+//!   `tests/federation.rs`); together with `golden_parity.rs` this pins
+//!   the chaos code path to the pre-refactor goldens transitively.
+//! * **Conservation invariants** (property tests) — under random fault
+//!   schedules every arrival is exactly one of completed, failed
+//!   (lost), timed out, or still outstanding; cross-site migration is
+//!   symmetric (every migrated-out request is migrated-in somewhere).
+//! * **`lass-sweep` output** — the chaos-profile grid is complete and
+//!   rows are deterministic per seed (the binary is parsed, not just
+//!   smoke-run).
+
+use lass::cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, Topology};
+use lass::core::{FederatedSimulation, FunctionSetup, LassConfig, SimReport, Simulation};
+use lass::functions::{micro_benchmark, WorkloadSpec};
+use lass::scenario::{Scenario, ScenarioReport};
+use lass::simcore::{ChaosConfig, Fault};
+use proptest::prelude::*;
+
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_scenario_file(name: &str) -> lass::core::FederatedSimReport {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("scenario file");
+    let sc = Scenario::from_json(&text).expect("valid scenario");
+    let ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+        panic!("expected a federated report from {name}");
+    };
+    rep
+}
+
+/// The acceptance scenario: site crash at t = 60 s, recovery at
+/// t = 120 s. Two runs must produce identical FNV-64 hashes of the full
+/// serialized report, and the faults must actually bite.
+#[test]
+fn site_crash_scenario_hashes_are_reproducible() {
+    let a = run_scenario_file("chaos-site-crash.json");
+    let b = run_scenario_file("chaos-site-crash.json");
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(
+        fnv64(&ja),
+        fnv64(&jb),
+        "chaos run must be byte-for-byte reproducible under its seed"
+    );
+    assert_eq!(ja, jb);
+
+    let edge = &a.per_site[0];
+    assert_eq!(edge.name, "edge");
+    // Crash at 60, recovery at 120: exactly 60 s of downtime.
+    assert!(
+        (edge.downtime_secs - 60.0).abs() < 1e-6,
+        "downtime {}",
+        edge.downtime_secs
+    );
+    // The orphans of the crash migrated to the surviving cloud site.
+    assert!(edge.migrated > 0, "no cross-site migration happened");
+    assert_eq!(a.per_site[1].migrated_in, edge.migrated);
+    // Nothing was failed: the cloud had capacity for the orphans.
+    assert_eq!(edge.failed + a.per_site[1].failed, 0);
+    assert_eq!(a.unroutable, 0);
+}
+
+#[test]
+fn partition_scenario_hashes_are_reproducible() {
+    let a = run_scenario_file("chaos-partition.json");
+    let b = run_scenario_file("chaos-partition.json");
+    assert_eq!(
+        fnv64(&serde_json::to_string(&a).unwrap()),
+        fnv64(&serde_json::to_string(&b).unwrap())
+    );
+    let edge = &a.per_site[0];
+    // Partition from 45 to 75: 30 s unroutable, but nothing failed or
+    // crashed — the site kept its work and released it at the heal.
+    assert!(
+        (edge.downtime_secs - 30.0).abs() < 1e-6,
+        "downtime {}",
+        edge.downtime_secs
+    );
+    assert_eq!(edge.failed, 0);
+    // The burst at t = 100 crashed cloud containers.
+    assert_eq!(a.per_site[1].chaos_crashes, 3);
+    assert_eq!(a.per_site[1].report.crashes, 3);
+    // Stalled responses surface as a response-time tail ≥ the stall.
+    let max_response = edge
+        .report
+        .per_fn
+        .values()
+        .flat_map(|f| f.response.samples().iter().copied())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_response >= 1.0,
+        "no stalled response visible (max {max_response})"
+    );
+}
+
+#[test]
+fn stochastic_chaos_is_deterministic_per_seed() {
+    let a = run_scenario_file("chaos-stochastic.json");
+    let b = run_scenario_file("chaos-stochastic.json");
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+    // The storm must actually do something under this seed.
+    let downtime: f64 = a.per_site.iter().map(|s| s.downtime_secs).sum();
+    assert!(downtime > 0.0, "no site ever went down");
+    let agg = &a.aggregate_per_fn[0];
+    assert_eq!(
+        agg.arrivals,
+        agg.completed + agg.lost + agg.timeouts + a.outstanding
+    );
+}
+
+fn testbed_setup(rate: f64, duration: f64, initial: u32) -> FunctionSetup {
+    let mut setup = FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static { rate, duration },
+    );
+    setup.initial_containers = initial;
+    setup
+}
+
+/// A `ChaosPolicy` wrapper with an empty schedule reproduces the plain
+/// single-cluster run byte-for-byte — the explicit no-chaos parity pin
+/// (every federated run goes through the wrapper, so this also guards
+/// the production path).
+#[test]
+fn no_chaos_wrapper_reproduces_plain_run_byte_for_byte() {
+    let plain: SimReport = {
+        let mut sim = Simulation::new(LassConfig::default(), Cluster::paper_testbed(), 42);
+        sim.add_function(testbed_setup(20.0, 120.0, 1));
+        sim.run(Some(120.0))
+    };
+    let fed = {
+        let mut sim = FederatedSimulation::new(
+            LassConfig::default(),
+            Topology::single(Cluster::paper_testbed()),
+            42,
+        );
+        // An explicitly-default chaos config: schedules nothing.
+        sim.set_chaos(ChaosConfig::default());
+        sim.add_function(testbed_setup(20.0, 120.0, 1));
+        sim.run(Some(120.0)).expect("runs")
+    };
+    assert_eq!(
+        serde_json::to_string(&fed.per_site[0].report).unwrap(),
+        serde_json::to_string(&plain).unwrap(),
+        "no-chaos wrapper drifted from the plain run"
+    );
+    assert_eq!(fed.per_site[0].migrated, 0);
+    assert_eq!(fed.per_site[0].downtime_secs, 0.0);
+}
+
+fn small_cluster(nodes: u32) -> Cluster {
+    Cluster::homogeneous(
+        nodes,
+        CpuMilli(4000),
+        MemMib(16 * 1024),
+        PlacementPolicy::BestFit,
+    )
+}
+
+fn two_site_sim(seed: u64, chaos: ChaosConfig) -> lass::core::FederatedSimReport {
+    let mut topology = Topology::new();
+    topology.add_site("a", small_cluster(1), 0.002);
+    topology.add_site("b", small_cluster(2), 0.020);
+    let mut sim = FederatedSimulation::new(LassConfig::default(), topology, seed);
+    sim.set_chaos(chaos);
+    sim.add_function(testbed_setup(20.0, 30.0, 1));
+    sim.run(Some(30.0)).expect("runs")
+}
+
+proptest! {
+    // Every case runs a real federated simulation; keep the count
+    // modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation under random fault schedules: every arrival is
+    /// exactly one of completed, failed (lost), timed out, or still
+    /// outstanding — and migration is symmetric across sites. This is
+    /// the "exactly one fate" invariant: migrated-then-completed
+    /// requests count once, in `completed`.
+    #[test]
+    fn arrivals_are_conserved_under_random_faults(
+        seed in 0u64..500,
+        schedule in prop::collection::vec(
+            (1.0f64..28.0, 0u8..5, 0u32..2, 1u32..4),
+            0..8,
+        ),
+    ) {
+        let events = schedule
+            .into_iter()
+            .map(|(at, kind, site, count)| {
+                let fault = match kind {
+                    0 => Fault::SiteDown { site },
+                    1 => Fault::SiteUp { site },
+                    2 => Fault::PartitionStart { site },
+                    3 => Fault::PartitionEnd { site },
+                    _ => Fault::ContainerBurst { site, count },
+                };
+                (at, fault)
+            })
+            .collect();
+        let chaos = ChaosConfig { events, ..ChaosConfig::default() };
+        let rep = two_site_sim(seed, chaos);
+
+        let agg = &rep.aggregate_per_fn[0];
+        prop_assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding,
+            "conservation broke"
+        );
+        let migrated_out: usize = rep.per_site.iter().map(|s| s.migrated).sum();
+        let migrated_in: usize = rep.per_site.iter().map(|s| s.migrated_in).sum();
+        prop_assert_eq!(migrated_out, migrated_in, "migration is not symmetric");
+        // Failures only come from faults: front-door shedding plus
+        // per-site dead ends, all bounded by the engine's lost count.
+        let failed: usize = rep.per_site.iter().map(|s| s.failed).sum();
+        prop_assert_eq!(failed + rep.unroutable, agg.lost);
+    }
+
+    /// A site crashed for the rest of the run receives zero deliveries
+    /// after the crash: its per-function arrival count freezes at the
+    /// crash instant (migrated orphans land only on the survivor).
+    #[test]
+    fn dead_sites_receive_nothing(
+        seed in 0u64..500,
+        crash_at in 2.0f64..25.0,
+    ) {
+        let chaos = ChaosConfig {
+            events: vec![(crash_at, Fault::SiteDown { site: 0 })],
+            ..ChaosConfig::default()
+        };
+        let rep = two_site_sim(seed, chaos);
+        let dead = &rep.per_site[0];
+        prop_assert!((dead.downtime_secs - (30.0 - crash_at)).abs() < 1e-6);
+        // Everything the dead site ever saw arrived before the crash;
+        // with a 20 req/s workload the pre-crash share is well under the
+        // full-run total. The survivor took the rest plus the orphans.
+        let dead_arrivals = dead.report.per_fn[&0].arrivals;
+        let total = rep.aggregate_per_fn[0].arrivals;
+        prop_assert!(dead_arrivals < total, "dead site kept absorbing traffic");
+        let survivor = &rep.per_site[1];
+        prop_assert_eq!(survivor.migrated_in, dead.migrated);
+        prop_assert_eq!(survivor.downtime_secs, 0.0);
+        // The dead site's monitor loop died with it: its rate timeline
+        // has no points meaningfully past the crash instant.
+        let last_tick = dead.report.per_fn[&0]
+            .rate_timeline
+            .points()
+            .last()
+            .map_or(0.0, |&(t, _)| t);
+        prop_assert!(
+            last_tick <= crash_at + 2.0 + 1e-9,
+            "monitor tick at {last_tick} after crash at {crash_at}"
+        );
+    }
+}
+
+/// Run `lass-sweep` over a chaos grid and check the output table: the
+/// grid is complete (one row per cell, in grid order) and rows are
+/// deterministic per seed. The binary was previously only smoke-run.
+#[test]
+fn sweep_grid_is_complete_and_deterministic() {
+    let spec = r#"{
+        "base": {
+            "seed": 1,
+            "policy": "lass",
+            "topology": {
+                "router": "least-loaded",
+                "sites": [
+                    { "name": "a", "cluster": { "nodes": 1, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 2 },
+                    { "name": "b", "cluster": { "nodes": 1, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 10 }
+                ]
+            },
+            "functions": [
+                {
+                    "function": "micro_benchmark:100",
+                    "slo_ms": 150,
+                    "workload": { "Static": { "rate": 10.0, "duration": 30.0 } },
+                    "initial_containers": 1
+                }
+            ]
+        },
+        "rate_scales": [1.0, 2.0],
+        "chaos": [
+            { "name": "baseline" },
+            { "name": "crash-a", "events": [ { "at": 10.0, "kind": "site-down", "site": "a" } ] }
+        ],
+        "seeds": [5, 6]
+    }"#;
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join("lass-chaos-sweep-spec.json");
+    std::fs::write(&spec_path, spec).expect("write spec");
+
+    let run = |out: &std::path::Path| {
+        let status = std::process::Command::new(env!("CARGO_BIN_EXE_lass-sweep"))
+            .arg(&spec_path)
+            .arg("--out")
+            .arg(out)
+            .status()
+            .expect("lass-sweep runs");
+        assert!(status.success(), "lass-sweep exited with {status}");
+        std::fs::read_to_string(out).expect("table written")
+    };
+    let out_a = dir.join("lass-chaos-sweep-a.json");
+    let out_b = dir.join("lass-chaos-sweep-b.json");
+    let (table_a, table_b) = (run(&out_a), run(&out_b));
+    assert_eq!(
+        table_a, table_b,
+        "sweep rows must be deterministic per seed"
+    );
+
+    let rows: serde_json::Value = serde_json::from_str(&table_a).expect("valid JSON table");
+    let rows = rows.as_array().expect("array of rows");
+    // 2 rate scales × 1 policy × 1 router(base) × 2 chaos × 2 seeds.
+    assert_eq!(rows.len(), 8, "grid is incomplete");
+
+    let num = |row: &serde_json::Value, key: &str| -> f64 {
+        row.as_object()
+            .expect("row object")
+            .get(key)
+            .unwrap_or_else(|| panic!("row missing {key}"))
+            .as_f64()
+            .unwrap_or_else(|| panic!("{key} is not a number"))
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for row in rows {
+        let scale = num(row, "rate_scale");
+        let chaos = row
+            .as_object()
+            .unwrap()
+            .get("chaos")
+            .and_then(|v| v.as_str())
+            .expect("chaos label")
+            .to_owned();
+        let seed = num(row, "seed") as u64;
+        assert!(
+            seen.insert((scale.to_bits(), chaos.clone(), seed)),
+            "duplicate grid cell"
+        );
+        let arrivals = num(row, "arrivals");
+        assert!(arrivals > 100.0, "cell barely ran: {arrivals} arrivals");
+        // The crash profile migrates or fails work; the baseline must not.
+        let (migrated, failed) = (num(row, "migrated"), num(row, "failed"));
+        if chaos == "baseline" {
+            assert_eq!((migrated, failed), (0.0, 0.0), "baseline rows saw faults");
+        }
+    }
+    for (scale, chaos, seed) in [
+        (1.0f64, "baseline", 5u64),
+        (2.0, "crash-a", 6),
+        (1.0, "crash-a", 5),
+    ] {
+        assert!(
+            seen.contains(&(scale.to_bits(), chaos.to_owned(), seed)),
+            "missing grid cell ({scale}, {chaos}, {seed})"
+        );
+    }
+}

@@ -141,6 +141,7 @@ proptest! {
                 latency: lass::simcore::SimDuration::from_secs_f64(latencies[i]),
                 capacity_hint: caps[i],
                 in_flight: loads[i],
+                up: true,
             })
             .collect();
         for kind in RouterKind::ALL {
