@@ -277,6 +277,16 @@ impl Cluster {
         self.containers_of(fn_id).len()
     }
 
+    /// Number of *warm* containers of a function: booted (past their
+    /// cold start) and not terminated — the fleet that could serve a
+    /// request right now without paying a cold start. The affinity
+    /// router's per-site census.
+    pub fn fn_warm_count(&self, fn_id: FnId) -> u64 {
+        self.fn_containers(fn_id)
+            .filter(|c| matches!(c.state(), ContainerState::Idle | ContainerState::Busy))
+            .count() as u64
+    }
+
     /// The fastest (highest-CPU) idle schedulable container of a
     /// function, resolved in one pass over the per-function index —
     /// the hot-path query behind the default shared-queue dispatch,
@@ -579,6 +589,42 @@ mod tests {
         cl.resize_container_cpu(a, CpuMilli(750)).unwrap();
         assert_eq!(cl.fn_cpu(FnId(3)), CpuMilli(1750));
         assert_eq!(cl.fn_container_count(FnId(3)), 2);
+    }
+
+    #[test]
+    fn warm_census_tracks_container_lifecycle() {
+        let mut cl = small();
+        let a = cl
+            .create_container(
+                FnId(0),
+                CpuMilli(1000),
+                MemMib(512),
+                SimTime::ZERO,
+                SimTime::from_millis(500),
+            )
+            .unwrap();
+        cl.create_container(
+            FnId(0),
+            CpuMilli(1000),
+            MemMib(512),
+            SimTime::ZERO,
+            SimTime::from_millis(500),
+        )
+        .unwrap();
+        // Both containers still cold-starting: nothing is warm.
+        assert_eq!(cl.fn_warm_count(FnId(0)), 0);
+        assert_eq!(cl.fn_container_count(FnId(0)), 2);
+        cl.container_mut(a).unwrap().mark_ready();
+        assert_eq!(cl.fn_warm_count(FnId(0)), 1);
+        // A busy container still counts as warm.
+        {
+            let c = cl.container_mut(a).unwrap();
+            c.enqueue(RequestId(1));
+            c.try_begin_service(SimTime::from_secs(1));
+        }
+        assert_eq!(cl.fn_warm_count(FnId(0)), 1);
+        // Other functions see their own (empty) census.
+        assert_eq!(cl.fn_warm_count(FnId(9)), 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::staticalloc::StaticRrPolicy;
 use lass_cluster::{Cluster, FnId, Topology};
 use lass_simcore::{
     run_simulation, ChaosConfig, ChaosPolicy, ContainerChaos, EngineConfig, FedFunction,
-    FederatedReport, Federation, FunctionEntry, RouterKind, SimDuration, SiteMeta,
+    FederatedReport, Federation, FunctionEntry, RouterConfig, RouterKind, SimDuration, SiteMeta,
 };
 
 /// The report of a federated run: one [`SimReport`] per site plus the
@@ -56,6 +56,7 @@ pub struct FederatedSimulation {
     topology: Topology,
     seed: u64,
     router: RouterKind,
+    router_cfg: RouterConfig,
     policy: SitePolicyKind,
     chaos: ChaosConfig,
     setups: Vec<FunctionSetup>,
@@ -71,6 +72,7 @@ impl FederatedSimulation {
             topology,
             seed,
             router: RouterKind::default(),
+            router_cfg: RouterConfig::default(),
             policy: SitePolicyKind::default(),
             chaos: ChaosConfig::default(),
             setups: Vec::new(),
@@ -80,6 +82,14 @@ impl FederatedSimulation {
     /// Choose the front-end router.
     pub fn set_router(&mut self, router: RouterKind) -> &mut Self {
         self.router = router;
+        self
+    }
+
+    /// Tune the model-driven routers and the per-site telemetry feeding
+    /// them (SLO budget, percentile, EWMA constants — see
+    /// [`RouterConfig`]).
+    pub fn set_router_config(&mut self, cfg: RouterConfig) -> &mut Self {
+        self.router_cfg = cfg;
         self
     }
 
@@ -113,6 +123,7 @@ impl FederatedSimulation {
             return Err("federated simulation has no functions".into());
         }
         self.chaos.validate()?;
+        self.router_cfg.validate()?;
         let site_count = self.topology.len();
         for (at, fault) in &self.chaos.events {
             if fault.site() as usize >= site_count {
@@ -167,7 +178,8 @@ impl FederatedSimulation {
             .into_iter()
             .map(|s| s.cluster)
             .collect();
-        let router = self.router.build();
+        let router = self.router.build_with(&self.router_cfg);
+        let router_cfg = self.router_cfg;
         let (cfg, seed, setups, chaos) = (self.cfg, self.seed, self.setups, self.chaos);
 
         // The engine RNG prefix matches the corresponding single-cluster
@@ -197,6 +209,7 @@ impl FederatedSimulation {
                 launch(
                     seed,
                     chaos,
+                    router_cfg,
                     metas,
                     build,
                     router,
@@ -213,6 +226,7 @@ impl FederatedSimulation {
                 launch(
                     seed,
                     chaos,
+                    router_cfg,
                     metas,
                     build,
                     router,
@@ -229,6 +243,7 @@ impl FederatedSimulation {
                 launch(
                     seed,
                     chaos,
+                    router_cfg,
                     metas,
                     build,
                     router,
@@ -250,6 +265,7 @@ impl FederatedSimulation {
 fn launch<P, F>(
     seed: u64,
     chaos: ChaosConfig,
+    router_cfg: RouterConfig,
     metas: Vec<SiteMeta>,
     mut build: F,
     router: Box<dyn lass_simcore::RouterPolicy + Send>,
@@ -269,6 +285,7 @@ where
         .collect();
     let mut fed = Federation::new(sites, router, fed_functions).with_rebuild(Box::new(build));
     fed.set_migration_penalty(SimDuration::from_secs_f64(chaos.migration_penalty_secs));
+    fed.set_router_config(&router_cfg);
     run_simulation(
         EngineConfig {
             seed,

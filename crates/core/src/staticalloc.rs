@@ -213,6 +213,12 @@ impl lass_simcore::ContainerChaos for StaticRrPolicy {
         }
         crashed
     }
+
+    /// Warm-container census for the affinity router: the function's
+    /// booted fleet (cold-starting containers excluded).
+    fn warm_containers(&self, fn_idx: u32) -> u64 {
+        self.cluster.fn_warm_count(FnId(fn_idx))
+    }
 }
 
 impl SchedulerPolicy for StaticRrPolicy {

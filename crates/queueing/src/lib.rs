@@ -23,6 +23,9 @@
 //! * [`estimator`] — arrival-rate estimation: EWMA smoothing over per-epoch
 //!   observations (§3.3) and the dual sliding-window burst detector the
 //!   prototype borrows from Knative (§5).
+//! * [`predictor`] — online λ̂/μ̂ telemetry feeding the M/M/c closed forms:
+//!   the waiting-time forecasts behind model-driven (SLO-aware) routing,
+//!   plus the downtime EWMA behind failure-aware routing.
 //! * [`quantile`] — streaming quantile estimation (the P² algorithm) used by
 //!   the online service-time learner, plus exact percentiles over samples.
 //!
@@ -37,6 +40,7 @@ pub mod approx;
 pub mod estimator;
 pub mod hetero;
 pub mod mmc;
+pub mod predictor;
 pub mod quantile;
 pub mod solver;
 
@@ -46,6 +50,7 @@ pub use hetero::{
     required_additional_containers, required_additional_containers_naive, HeteroMmc, HeteroMmcNaive,
 };
 pub use mmc::{MmcQueue, QueueError};
+pub use predictor::{HealthEwma, PredictorConfig, WaitForecast, WaitPredictor};
 pub use quantile::{percentile_of_sorted, ExactPercentiles, P2Quantile};
 pub use solver::{
     required_containers, required_containers_exact, required_containers_for_slo, wait_budget,

@@ -171,13 +171,15 @@ impl ChaosConfig {
     }
 }
 
-/// The per-site scheduler's side of the chaos contract: how the layer
-/// reaches *inside* a scheduler to crash its containers.
+/// The per-site scheduler's introspection seam: how the federation
+/// reaches *inside* a scheduler — to crash its containers (chaos) and
+/// to census its warm fleet (affinity routing telemetry).
 ///
-/// The default implementation ignores the request (a scheduler with no
-/// container fleet, like a test stub, has nothing to crash). Real
-/// schedulers terminate up to `count` live containers and re-dispatch
-/// the orphaned requests, returning how many containers actually died.
+/// The default implementations ignore the request (a scheduler with no
+/// container fleet, like a test stub, has nothing to crash or census).
+/// Real schedulers terminate up to `count` live containers and
+/// re-dispatch the orphaned requests, returning how many containers
+/// actually died, and report their per-function warm-container counts.
 pub trait ContainerChaos: SchedulerPolicy {
     /// Crash up to `count` containers at `now`. Returns the number of
     /// containers actually crashed.
@@ -187,6 +189,13 @@ pub trait ContainerChaos: SchedulerPolicy {
         _count: u32,
         _now: SimTime,
     ) -> u32 {
+        0
+    }
+
+    /// Warm (booted, non-terminated) containers currently held for
+    /// function `fn_idx` — the affinity router's census. Observe-only:
+    /// implementations must not mutate state or draw randomness.
+    fn warm_containers(&self, _fn_idx: u32) -> u64 {
         0
     }
 }

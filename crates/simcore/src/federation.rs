@@ -28,6 +28,22 @@
 //! request's waiting — and therefore response — time, exactly like the
 //! paper's edge clients would observe when offloaded to a remote pool.
 //!
+//! # Router telemetry
+//!
+//! For every run — whatever the router — the federation maintains
+//! per-site model telemetry and refreshes it into the [`SiteState`]
+//! snapshot at each routing decision: a
+//! [`WaitPredictor`](lass_queueing::WaitPredictor) fed each routed
+//! arrival and each completed request's service time (its
+//! [`WaitForecast`] drives the SLO-aware and affinity routers), a
+//! [`HealthEwma`](lass_queueing::HealthEwma) fed the site's up/down
+//! transitions by the chaos path (the failure-aware router's
+//! `flakiness` score), and a warm-container census for the routed
+//! function pulled through the [`ContainerChaos`] introspection seam.
+//! The plumbing is observe-only — no randomness, no events — so
+//! routers that ignore it replay their pre-telemetry decisions
+//! byte-for-byte (pinned by the goldens).
+//!
 //! # Failure semantics
 //!
 //! The federation implements [`ChaosTarget`], so a
@@ -63,8 +79,9 @@ use crate::chaos::{ChaosTarget, ContainerChaos, Fault};
 use crate::engine::{Completion, EngineOutcome, FnStats, PolicyCtx, ReqId, SchedulerPolicy};
 use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
-use crate::router::{RouterPolicy, SiteState};
+use crate::router::{RouterConfig, RouterPolicy, SiteState};
 use crate::time::{SimDuration, SimTime};
+use lass_queueing::{HealthEwma, WaitForecast, WaitPredictor};
 use serde::{Map, Serialize, Value};
 use std::collections::BTreeMap;
 
@@ -160,10 +177,16 @@ struct SiteTally {
     chaos_crashes: u32,
     /// Total time the site was unroutable (crashed or partitioned).
     downtime: DowntimeClock,
+    /// Online λ̂/μ̂ telemetry feeding the model-driven routers'
+    /// [`WaitForecast`]s. Observe-only: maintained for every run, read
+    /// only by routers that care.
+    predictor: WaitPredictor,
+    /// Downtime EWMA behind the failure-aware router's flakiness score.
+    health: HealthEwma,
 }
 
 impl SiteTally {
-    fn new(functions: &[FedFunction]) -> Self {
+    fn new(functions: &[FedFunction], router_cfg: &RouterConfig) -> Self {
         Self {
             in_flight: 0,
             routed: 0,
@@ -197,6 +220,8 @@ impl SiteTally {
             failed: 0,
             chaos_crashes: 0,
             downtime: DowntimeClock::new(),
+            predictor: WaitPredictor::new(router_cfg.predictor()),
+            health: HealthEwma::new(router_cfg.health_tick_secs, router_cfg.health_alpha),
         }
     }
 
@@ -207,6 +232,11 @@ impl SiteTally {
 
     /// Fold one finished request into the site's statistics.
     fn record_completion(&mut self, c: &Completion) {
+        // Telemetry: the observed service time feeds the site's μ̂
+        // estimate. (A partition-stalled completion's recorded service
+        // absorbs the stall — the predictor sees the same degraded rate
+        // the front-end observes.)
+        self.predictor.on_service(c.service);
         let f = &mut self.per_fn[c.fn_idx as usize];
         f.completed += 1;
         f.wait.record(c.wait);
@@ -374,6 +404,9 @@ pub struct SiteReport<R> {
     /// Total time the site was unroutable (crashed or partitioned),
     /// seconds, measured over the nominal run duration.
     pub downtime_secs: f64,
+    /// The site's flakiness score (downtime EWMA in `[0, 1]`) at the
+    /// end of the run — the failure-aware router's view of the site.
+    pub flakiness: f64,
     /// The inner scheduler's own report, built from the site-local
     /// request statistics.
     pub report: R,
@@ -410,6 +443,7 @@ impl<R: Serialize> Serialize for SiteReport<R> {
         m.insert("failed".into(), self.failed.serialize());
         m.insert("chaos_crashes".into(), self.chaos_crashes.serialize());
         m.insert("downtime_secs".into(), self.downtime_secs.serialize());
+        m.insert("flakiness".into(), self.flakiness.serialize());
         m.insert("report".into(), self.report.serialize());
         Value::Object(m)
     }
@@ -450,7 +484,7 @@ pub struct Federation<P: SchedulerPolicy> {
     unroutable: usize,
 }
 
-impl<P: SchedulerPolicy> Federation<P> {
+impl<P: ContainerChaos> Federation<P> {
     /// Build a federation over `sites` (meta + inner scheduler each),
     /// fronted by `router`. `functions` carries the per-function names
     /// and SLO deadlines used for per-site statistics; it must match the
@@ -462,7 +496,11 @@ impl<P: SchedulerPolicy> Federation<P> {
     ) -> Self {
         assert!(!sites.is_empty(), "federation needs at least one site");
         let (metas, sites): (Vec<SiteMeta>, Vec<P>) = sites.into_iter().unzip();
-        let tallies = metas.iter().map(|_| SiteTally::new(functions)).collect();
+        let router_cfg = RouterConfig::default();
+        let tallies = metas
+            .iter()
+            .map(|_| SiteTally::new(functions, &router_cfg))
+            .collect();
         let states = metas
             .iter()
             .map(|m| SiteState {
@@ -471,6 +509,9 @@ impl<P: SchedulerPolicy> Federation<P> {
                 capacity_hint: m.capacity_hint,
                 in_flight: 0,
                 up: true,
+                forecast: WaitForecast::default(),
+                flakiness: 0.0,
+                warm: 0,
             })
             .collect();
         Self {
@@ -498,21 +539,57 @@ impl<P: SchedulerPolicy> Federation<P> {
         self
     }
 
-    /// Refresh the router's scratch view from the tallies.
-    fn refresh_states(&mut self) {
-        for (state, tally) in self.states.iter_mut().zip(&self.tallies) {
+    /// Re-seed the per-site telemetry (λ̂/μ̂ smoothing, flakiness EWMA)
+    /// from a scenario's `router_config` block. Call before the run
+    /// starts — the trackers are rebuilt empty.
+    pub fn set_router_config(&mut self, cfg: &RouterConfig) -> &mut Self {
+        for tally in &mut self.tallies {
+            tally.predictor = WaitPredictor::new(cfg.predictor());
+            tally.health = HealthEwma::new(cfg.health_tick_secs, cfg.health_alpha);
+        }
+        self
+    }
+
+    /// Refresh the router's scratch view from the tallies: the load
+    /// picture plus the model telemetry (λ̂/μ̂ forecast, flakiness, warm
+    /// census for the function being routed). Pure bookkeeping — no
+    /// randomness, no events — so routers that ignore the telemetry
+    /// replay their pre-telemetry decisions exactly.
+    fn refresh_states(&mut self, fn_idx: u32, now: SimTime) {
+        let t = now.as_secs_f64();
+        for i in 0..self.states.len() {
+            let tally = &mut self.tallies[i];
+            let state = &mut self.states[i];
             // The router sees everything it has committed to a site and
             // that hasn't finished — delivered work plus requests still
             // crossing the network hop.
             state.in_flight = tally.routed.saturating_sub(tally.finished) as u64;
             state.up = tally.routable();
+            tally.health.observe(t, !tally.routable());
+            state.flakiness = tally.health.value();
+            state.warm = self.sites[i].warm_containers(fn_idx);
+            // Model server count: the predictor's λ̂/μ̂ are site-wide
+            // (all functions pooled), so the matching `c` is the
+            // site-wide warm fleet — not the routed function's census,
+            // which would understate capacity under multi-function
+            // traffic. Fall back to the static hint while nothing is
+            // warm (cold start, or a site policy without a census).
+            let fleet: u64 = (0..tally.per_fn.len())
+                .map(|f| self.sites[i].warm_containers(f as u32))
+                .sum();
+            let servers = if fleet > 0 {
+                fleet.min(u64::from(u32::MAX)) as u32
+            } else {
+                state.capacity_hint.round().max(1.0) as u32
+            };
+            state.forecast = tally.predictor.forecast(t, servers);
         }
     }
 
     /// Route an arrival (or migrated orphan) to a live site. Assumes the
     /// caller checked at least one site is routable.
     fn pick_site(&mut self, fn_idx: u32, now: SimTime) -> usize {
-        self.refresh_states();
+        self.refresh_states(fn_idx, now);
         let fallback = self
             .tallies
             .iter()
@@ -598,6 +675,7 @@ impl<P: SchedulerPolicy> Federation<P> {
         }
         let dest = self.pick_site(fn_idx, now);
         self.tallies[dest].routed += 1;
+        self.tallies[dest].predictor.on_arrival(now.as_secs_f64());
         self.tallies[dest].migrated_in += 1;
         let hop = self.metas[dest].latency + self.migration_penalty;
         if hop == SimDuration::ZERO {
@@ -622,8 +700,10 @@ impl<P: SchedulerPolicy> Federation<P> {
     /// close its interval at `end`, not spill `k` extra seconds into the
     /// report.
     fn clock_routability(&mut self, i: usize, now: SimTime, end: SimTime) {
-        let now = now.min(end);
         let tally = &mut self.tallies[i];
+        // The flakiness EWMA sees the transition at its true instant.
+        tally.health.observe(now.as_secs_f64(), !tally.routable());
+        let now = now.min(end);
         if tally.routable() {
             tally.downtime.mark_up(now);
         } else {
@@ -632,7 +712,7 @@ impl<P: SchedulerPolicy> Federation<P> {
     }
 }
 
-impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
+impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
     type Event = FedEv<P::Event>;
     type Report = FederatedReport<P::Report>;
 
@@ -662,6 +742,7 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
         }
         let chosen = self.pick_site(fn_idx, now);
         self.tallies[chosen].routed += 1;
+        self.tallies[chosen].predictor.on_arrival(now.as_secs_f64());
         let latency = self.metas[chosen].latency;
         if latency == SimDuration::ZERO {
             // Zero-latency hop: deliver inline so the degenerate
@@ -723,6 +804,7 @@ impl<P: SchedulerPolicy> SchedulerPolicy for Federation<P> {
                     failed: tally.failed,
                     chaos_crashes: tally.chaos_crashes,
                     downtime_secs: tally.downtime.total_until(end),
+                    flakiness: tally.health.value(),
                     report: site.finish(site_outcome),
                 }
             })

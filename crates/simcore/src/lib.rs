@@ -49,9 +49,11 @@ pub use engine::{
 };
 pub use events::EventQueue;
 pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
+pub use lass_queueing::{PredictorConfig, WaitForecast, WaitPredictor};
 pub use metrics::{DowntimeClock, SampleStats, TimeSeries, TimeWeightedGauge};
 pub use rng::SimRng;
 pub use router::{
-    LatencyAwareRouter, LeastLoadedRouter, RoundRobinRouter, RouterKind, RouterPolicy, SiteState,
+    AffinityRouter, FailureAwareRouter, LatencyAwareRouter, LeastLoadedRouter, RoundRobinRouter,
+    RouterConfig, RouterKind, RouterPolicy, SiteState, SloAwareRouter,
 };
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

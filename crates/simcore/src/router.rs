@@ -8,7 +8,9 @@
 //! plugs into — mirroring how [`SchedulerPolicy`](crate::SchedulerPolicy)
 //! is the seam for per-site scheduling.
 //!
-//! Three routers ship with the workspace:
+//! Six routers ship with the workspace, in two families.
+//!
+//! **Load/latency routers** read only the instantaneous load picture:
 //!
 //! * [`RoundRobinRouter`] — deal arrivals across sites in rotation.
 //! * [`LeastLoadedRouter`] — send each arrival to the site with the
@@ -17,10 +19,31 @@
 //!   it has headroom and spill to farther (cloud) sites under overload —
 //!   the paper's future-work edge↔cloud offload pattern.
 //!
+//! **Model-driven routers** additionally consume the per-site telemetry
+//! the federation maintains in [`SiteState`] — a
+//! [`WaitForecast`](lass_queueing::WaitForecast) built from EWMA'd
+//! arrival/service rates (the same M/M/c mathematics the per-site
+//! scheduler plans with), a warm-container census for the routed
+//! function, and a downtime EWMA fed by the chaos layer:
+//!
+//! * [`SloAwareRouter`] — hold the SLO at minimum network cost: among
+//!   sites whose predicted wait percentile (plus hop) meets the SLO
+//!   budget, pick the closest; when none qualifies, pick the site
+//!   minimizing predicted percentile response, with hysteresis so the
+//!   herd does not flap between near-equal sites.
+//! * [`AffinityRouter`] — route a function to sites already holding its
+//!   warm containers, spilling by predicted wait when they saturate.
+//! * [`FailureAwareRouter`] — avoid recently-failed (browned-out) sites
+//!   by their downtime EWMA, re-admitting them through a deterministic
+//!   credit trickle as their health score decays.
+//!
 //! All routers are deterministic: decisions depend only on the event
-//! history, never on wall-clock time or ambient randomness.
+//! history, never on wall-clock time or ambient randomness (the
+//! failure-aware router's "probabilistic" re-admission is a Bresenham
+//! style credit counter, not a coin flip).
 
 use crate::time::{SimDuration, SimTime};
+use lass_queueing::{PredictorConfig, WaitForecast};
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// A router's view of one site at the instant of a routing decision.
@@ -43,12 +66,142 @@ pub struct SiteState {
     /// mid-window stops receiving arrivals at the very next routing
     /// decision (not at the next load refresh).
     pub up: bool,
+    /// Model-driven waiting-time forecast from the site's live λ̂/μ̂
+    /// telemetry (zero-wait before any telemetry accumulates). Old
+    /// routers ignore it; the federation maintains it either way.
+    pub forecast: WaitForecast,
+    /// EWMA'd recent downtime fraction in `[0, 1]` fed by the chaos
+    /// layer: 0 for a site that has been healthy for a while, high for
+    /// one that recently crashed or partitioned.
+    pub flakiness: f64,
+    /// Warm (booted, non-terminated) containers the site holds for the
+    /// function being routed — the affinity census.
+    pub warm: u64,
 }
 
 impl SiteState {
     /// In-flight load normalized by the capacity hint.
     pub fn load(&self) -> f64 {
         self.in_flight as f64 / self.capacity_hint.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Knobs for the model-driven routers and the per-site telemetry that
+/// feeds them, carried by the scenario `topology.router_config` block.
+/// Every field has a default, so partial JSON blocks work.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RouterConfig {
+    /// SLO budget (milliseconds) on the predicted percentile response
+    /// (hop latency + predicted wait). The SLO-aware router holds this
+    /// budget at minimum network cost; `0` disables the satisficing
+    /// tier and yields pure minimum-predicted-response routing.
+    pub slo_ms: f64,
+    /// Waiting-time percentile the model-driven routers predict.
+    pub percentile: f64,
+    /// Score edge (milliseconds) a challenger site must have before the
+    /// SLO-aware router abandons its previous pick (herd damping).
+    pub hysteresis_ms: f64,
+    /// Normalized load beyond which the affinity router considers a
+    /// warm site saturated and spills by predicted wait.
+    pub spill_load: f64,
+    /// Downtime-EWMA score above which the failure-aware router browns
+    /// a site out.
+    pub flakiness_threshold: f64,
+    /// Re-admission credit a browned-out site accrues per routing
+    /// decision (scaled by its health); at credit 1 it receives one
+    /// probe request.
+    pub readmit_rate: f64,
+    /// Arrival-rate estimation tick (seconds) for the per-site λ̂ EWMA.
+    pub lambda_tick_secs: f64,
+    /// EWMA weight on the newest per-tick arrival rate.
+    pub lambda_alpha: f64,
+    /// EWMA weight on the newest observed service time.
+    pub service_alpha: f64,
+    /// Downtime-EWMA tick (seconds) for the flakiness score.
+    pub health_tick_secs: f64,
+    /// EWMA weight on the newest per-tick downtime fraction.
+    pub health_alpha: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            slo_ms: 100.0,
+            percentile: 0.95,
+            hysteresis_ms: 2.0,
+            spill_load: 1.0,
+            flakiness_threshold: 0.1,
+            readmit_rate: 0.05,
+            lambda_tick_secs: 1.0,
+            lambda_alpha: 0.3,
+            service_alpha: 0.05,
+            health_tick_secs: 5.0,
+            health_alpha: 0.2,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The smoothing constants consumed by the federation's per-site
+    /// [`WaitPredictor`](lass_queueing::WaitPredictor)s.
+    pub fn predictor(&self) -> PredictorConfig {
+        PredictorConfig {
+            tick_secs: self.lambda_tick_secs,
+            lambda_alpha: self.lambda_alpha,
+            service_alpha: self.service_alpha,
+        }
+    }
+
+    /// Check the knobs before building routers.
+    pub fn validate(&self) -> Result<(), String> {
+        self.predictor().validate()?;
+        if !(self.slo_ms.is_finite() && self.slo_ms >= 0.0) {
+            return Err(format!("slo_ms must be non-negative, got {}", self.slo_ms));
+        }
+        if !(0.0..1.0).contains(&self.percentile) {
+            return Err(format!(
+                "percentile must be in [0, 1), got {}",
+                self.percentile
+            ));
+        }
+        if !(self.hysteresis_ms.is_finite() && self.hysteresis_ms >= 0.0) {
+            return Err(format!(
+                "hysteresis_ms must be non-negative, got {}",
+                self.hysteresis_ms
+            ));
+        }
+        if !(self.spill_load.is_finite() && self.spill_load > 0.0) {
+            return Err(format!(
+                "spill_load must be positive, got {}",
+                self.spill_load
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.flakiness_threshold) {
+            return Err(format!(
+                "flakiness_threshold must be in [0, 1], got {}",
+                self.flakiness_threshold
+            ));
+        }
+        if !(self.readmit_rate.is_finite() && self.readmit_rate >= 0.0) {
+            return Err(format!(
+                "readmit_rate must be non-negative, got {}",
+                self.readmit_rate
+            ));
+        }
+        if !(self.health_tick_secs.is_finite() && self.health_tick_secs > 0.0) {
+            return Err(format!(
+                "health_tick_secs must be positive, got {}",
+                self.health_tick_secs
+            ));
+        }
+        if !(self.health_alpha > 0.0 && self.health_alpha <= 1.0) {
+            return Err(format!(
+                "health_alpha must be in (0, 1], got {}",
+                self.health_alpha
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -190,6 +343,255 @@ impl RouterPolicy for LatencyAwareRouter {
     }
 }
 
+/// A site's predicted percentile *response* score: hop latency plus the
+/// model-forecast waiting-time percentile (service time is omitted — it
+/// is the same wherever the request lands). Infinite when the site's
+/// estimated load exceeds its estimated capacity.
+fn predicted_score(s: &SiteState, percentile: f64) -> f64 {
+    s.latency.as_secs_f64() + s.forecast.wait_percentile(percentile)
+}
+
+/// Model-driven SLO holder: among sites whose predicted percentile
+/// response meets the SLO budget, pick the closest (cheapest network
+/// hop); when none qualifies, pick the site minimizing the predicted
+/// percentile response, sticking with the previous pick unless a
+/// challenger beats it by more than the hysteresis margin. Falls back
+/// to least-loaded when every forecast is unstable (estimated overload
+/// everywhere — the model can no longer rank sites).
+#[derive(Debug)]
+pub struct SloAwareRouter {
+    /// SLO budget, seconds (0 disables the satisficing tier).
+    slo: f64,
+    /// Predicted waiting-time percentile.
+    percentile: f64,
+    /// Required challenger edge, seconds.
+    hysteresis: f64,
+    /// Previous pick (hysteresis anchor).
+    last: Option<usize>,
+    /// Scratch: per-site scores, so each M/M/c model is evaluated once
+    /// per decision (the evaluation allocates — see the routing bench).
+    scores: Vec<f64>,
+}
+
+impl SloAwareRouter {
+    /// Build from the shared [`RouterConfig`].
+    pub fn new(cfg: &RouterConfig) -> Self {
+        Self {
+            slo: cfg.slo_ms / 1e3,
+            percentile: cfg.percentile,
+            hysteresis: cfg.hysteresis_ms / 1e3,
+            last: None,
+            scores: Vec::new(),
+        }
+    }
+}
+
+impl RouterPolicy for SloAwareRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        self.scores.clear();
+        self.scores
+            .extend(sites.iter().map(|s| predicted_score(s, self.percentile)));
+        // Tier 1: closest site already predicted to meet the SLO.
+        let mut satisficer: Option<usize> = None;
+        // Tier 2: minimum predicted response among up sites.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in sites.iter().enumerate() {
+            if !s.up {
+                continue;
+            }
+            let score = self.scores[i];
+            if self.slo > 0.0 && score <= self.slo {
+                match satisficer {
+                    Some(b) if sites[b].latency <= s.latency => {}
+                    _ => satisficer = Some(i),
+                }
+            }
+            if score.is_finite() {
+                match best {
+                    Some((_, bs)) if bs <= score => {}
+                    _ => best = Some((i, score)),
+                }
+            }
+        }
+        let pick = if let Some(i) = satisficer {
+            i
+        } else if let Some((i, best_score)) = best {
+            // Hysteresis: keep the previous pick while it is within the
+            // margin of the current minimum.
+            match self.last {
+                Some(prev)
+                    if prev < sites.len()
+                        && sites[prev].up
+                        && self.scores[prev] <= best_score + self.hysteresis =>
+                {
+                    prev
+                }
+                _ => i,
+            }
+        } else {
+            // Every model says overload: degrade to join-shortest-queue.
+            least_loaded(sites)
+        };
+        self.last = Some(pick);
+        pick
+    }
+
+    fn name(&self) -> &'static str {
+        "slo-aware"
+    }
+}
+
+/// Warm-container affinity: route a function to sites already holding
+/// its warm containers (no cold start), choosing among them by predicted
+/// percentile response; a warm site whose load passed the spill
+/// threshold no longer counts. When no warm site is eligible the router
+/// spills by predicted wait over all up sites, and degrades to
+/// least-loaded when every forecast is unstable.
+#[derive(Debug)]
+pub struct AffinityRouter {
+    percentile: f64,
+    spill_load: f64,
+    /// Scratch: per-site scores, evaluated once per decision and shared
+    /// by the warm pass and the spill pass.
+    scores: Vec<f64>,
+}
+
+impl AffinityRouter {
+    /// Build from the shared [`RouterConfig`].
+    pub fn new(cfg: &RouterConfig) -> Self {
+        Self {
+            percentile: cfg.percentile,
+            spill_load: cfg.spill_load,
+            scores: Vec::new(),
+        }
+    }
+
+    /// Minimum pre-computed score over `sites` restricted by
+    /// `eligible`; ties prefer the larger warm census, then the lower
+    /// index.
+    fn best_by_score(
+        &self,
+        sites: &[SiteState],
+        mut eligible: impl FnMut(&SiteState) -> bool,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in sites.iter().enumerate() {
+            if !s.up || !eligible(s) {
+                continue;
+            }
+            let score = self.scores[i];
+            if !score.is_finite() {
+                continue;
+            }
+            match best {
+                Some((b, bs)) if bs < score || (bs == score && sites[b].warm >= s.warm) => {}
+                _ => best = Some((i, score)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl RouterPolicy for AffinityRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        self.scores.clear();
+        self.scores
+            .extend(sites.iter().map(|s| predicted_score(s, self.percentile)));
+        self.best_by_score(sites, |s| s.warm > 0 && s.load() < self.spill_load)
+            .or_else(|| self.best_by_score(sites, |_| true))
+            .unwrap_or_else(|| least_loaded(sites))
+    }
+
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+}
+
+/// Failure-aware brown-out avoidance: sites whose downtime EWMA exceeds
+/// the flakiness threshold are excluded from normal (least-loaded)
+/// routing and re-admitted through a deterministic credit trickle —
+/// each browned-out site accrues `readmit_rate × (1 − flakiness)`
+/// credit per decision and receives one probe request whenever the
+/// credit reaches 1, so a recovering site is eased back in proportion
+/// to its health instead of being herded onto the moment it reports up.
+/// When every up site is browned out the router routes among all of
+/// them (degraded service beats shedding).
+#[derive(Debug)]
+pub struct FailureAwareRouter {
+    threshold: f64,
+    readmit_rate: f64,
+    /// Per-site deterministic re-admission credit.
+    credit: Vec<f64>,
+    /// Scratch: sites admitted for this decision.
+    admitted: Vec<bool>,
+}
+
+impl FailureAwareRouter {
+    /// Build from the shared [`RouterConfig`].
+    pub fn new(cfg: &RouterConfig) -> Self {
+        Self {
+            threshold: cfg.flakiness_threshold,
+            readmit_rate: cfg.readmit_rate,
+            credit: Vec::new(),
+            admitted: Vec::new(),
+        }
+    }
+}
+
+impl RouterPolicy for FailureAwareRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        let n = sites.len();
+        self.credit.resize(n, 0.0);
+        self.admitted.clear();
+        self.admitted.resize(n, false);
+
+        let any_healthy = sites.iter().any(|s| s.up && s.flakiness <= self.threshold);
+        for (i, s) in sites.iter().enumerate() {
+            if !s.up {
+                // A dark site restarts its probation from zero.
+                self.credit[i] = 0.0;
+                continue;
+            }
+            if s.flakiness <= self.threshold || !any_healthy {
+                self.admitted[i] = true;
+            } else {
+                // Browned out: accrue credit toward one probe request.
+                // The bucket caps at one token so a site that stays
+                // admitted-but-unpicked for a long stretch cannot bank
+                // credit and later absorb a burst of back-to-back
+                // probes — the whole point is a trickle.
+                self.credit[i] =
+                    (self.credit[i] + self.readmit_rate * (1.0 - s.flakiness).max(0.0)).min(1.0);
+                if self.credit[i] >= 1.0 {
+                    self.admitted[i] = true;
+                }
+            }
+        }
+
+        // Least-loaded among the admitted sites (ties → lower index).
+        let mut best: Option<usize> = None;
+        for (i, s) in sites.iter().enumerate() {
+            if !s.up || !self.admitted[i] {
+                continue;
+            }
+            match best {
+                Some(b) if sites[b].load() <= s.load() => {}
+                _ => best = Some(i),
+            }
+        }
+        let pick = best.unwrap_or_else(|| least_loaded(sites));
+        // A browned-out site spends its credit only when actually probed.
+        if sites[pick].flakiness > self.threshold && self.credit[pick] >= 1.0 {
+            self.credit[pick] -= 1.0;
+        }
+        pick
+    }
+
+    fn name(&self) -> &'static str {
+        "failure-aware"
+    }
+}
+
 /// The shipped router choices, as named in scenario JSON.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RouterKind {
@@ -200,14 +602,30 @@ pub enum RouterKind {
     LeastLoaded,
     /// [`LatencyAwareRouter`] with the default spill threshold.
     LatencyAware,
+    /// [`SloAwareRouter`] (model-driven SLO holder).
+    SloAware,
+    /// [`AffinityRouter`] (warm-container affinity).
+    Affinity,
+    /// [`FailureAwareRouter`] (downtime-EWMA brown-out avoidance).
+    FailureAware,
 }
 
 impl RouterKind {
     /// Every shipped router, for sweeps and tests.
-    pub const ALL: [RouterKind; 3] = [
+    pub const ALL: [RouterKind; 6] = [
         RouterKind::RoundRobin,
         RouterKind::LeastLoaded,
         RouterKind::LatencyAware,
+        RouterKind::SloAware,
+        RouterKind::Affinity,
+        RouterKind::FailureAware,
+    ];
+
+    /// The model-driven routers added by the SLO-aware routing layer.
+    pub const MODEL_DRIVEN: [RouterKind; 3] = [
+        RouterKind::SloAware,
+        RouterKind::Affinity,
+        RouterKind::FailureAware,
     ];
 
     /// The JSON spelling.
@@ -216,6 +634,9 @@ impl RouterKind {
             RouterKind::RoundRobin => "round-robin",
             RouterKind::LeastLoaded => "least-loaded",
             RouterKind::LatencyAware => "latency-aware",
+            RouterKind::SloAware => "slo-aware",
+            RouterKind::Affinity => "affinity",
+            RouterKind::FailureAware => "failure-aware",
         }
     }
 
@@ -225,16 +646,29 @@ impl RouterKind {
             "round-robin" | "round_robin" | "rr" => Some(RouterKind::RoundRobin),
             "least-loaded" | "least_loaded" => Some(RouterKind::LeastLoaded),
             "latency-aware" | "latency_aware" => Some(RouterKind::LatencyAware),
+            "slo-aware" | "slo_aware" | "slo" => Some(RouterKind::SloAware),
+            "affinity" | "warm-affinity" | "warm_affinity" => Some(RouterKind::Affinity),
+            "failure-aware" | "failure_aware" => Some(RouterKind::FailureAware),
             _ => None,
         }
     }
 
-    /// Instantiate the router.
+    /// Instantiate the router with the default [`RouterConfig`].
     pub fn build(self) -> Box<dyn RouterPolicy + Send> {
+        self.build_with(&RouterConfig::default())
+    }
+
+    /// Instantiate the router with explicit knobs.
+    pub fn build_with(self, cfg: &RouterConfig) -> Box<dyn RouterPolicy + Send> {
         match self {
             RouterKind::RoundRobin => Box::new(RoundRobinRouter::new()),
             RouterKind::LeastLoaded => Box::new(LeastLoadedRouter::new()),
-            RouterKind::LatencyAware => Box::new(LatencyAwareRouter::new()),
+            RouterKind::LatencyAware => Box::new(LatencyAwareRouter {
+                spill_load: cfg.spill_load,
+            }),
+            RouterKind::SloAware => Box::new(SloAwareRouter::new(cfg)),
+            RouterKind::Affinity => Box::new(AffinityRouter::new(cfg)),
+            RouterKind::FailureAware => Box::new(FailureAwareRouter::new(cfg)),
         }
     }
 }
@@ -250,7 +684,8 @@ impl Deserialize for RouterKind {
         match v.as_str() {
             Some(s) => RouterKind::parse(s).ok_or_else(|| {
                 Error::custom(format!(
-                    "unknown router {s:?} (expected \"round-robin\", \"least-loaded\", or \"latency-aware\")"
+                    "unknown router {s:?} (expected \"round-robin\", \"least-loaded\", \
+                     \"latency-aware\", \"slo-aware\", \"affinity\", or \"failure-aware\")"
                 ))
             }),
             None => Err(Error::custom("router must be a string")),
@@ -262,17 +697,37 @@ impl Deserialize for RouterKind {
 mod tests {
     use super::*;
 
+    pub(crate) fn site(latency: f64, cap: f64, in_flight: u64) -> SiteState {
+        SiteState {
+            name: String::new(),
+            latency: SimDuration::from_secs_f64(latency),
+            capacity_hint: cap,
+            in_flight,
+            up: true,
+            forecast: WaitForecast::default(),
+            flakiness: 0.0,
+            warm: 0,
+        }
+    }
+
     fn sites(spec: &[(f64, f64, u64)]) -> Vec<SiteState> {
         spec.iter()
             .enumerate()
-            .map(|(i, &(latency, cap, in_flight))| SiteState {
-                name: format!("s{i}"),
-                latency: SimDuration::from_secs_f64(latency),
-                capacity_hint: cap,
-                in_flight,
-                up: true,
+            .map(|(i, &(latency, cap, in_flight))| {
+                let mut s = site(latency, cap, in_flight);
+                s.name = format!("s{i}");
+                s
             })
             .collect()
+    }
+
+    /// A forecast predicting the given λ/μ/c model.
+    fn forecast(lambda: f64, mu: f64, servers: u32) -> WaitForecast {
+        WaitForecast {
+            lambda,
+            mu,
+            servers,
+        }
     }
 
     #[test]
@@ -312,6 +767,7 @@ mod tests {
     fn down_sites_are_never_picked() {
         let mut s = sites(&[(0.001, 4.0, 0), (0.020, 8.0, 50), (0.050, 16.0, 80)]);
         s[0].up = false; // the attractive site (empty, closest) is down
+        s[0].warm = 5; // …and the only one holding warm containers
         for kind in RouterKind::ALL {
             let mut r = kind.build();
             for k in 0..100u64 {
@@ -342,5 +798,173 @@ mod tests {
             assert_eq!(kind.build().name(), kind.as_str());
         }
         assert_eq!(RouterKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn router_config_validates() {
+        assert!(RouterConfig::default().validate().is_ok());
+        let mut cfg = RouterConfig::default();
+        cfg.percentile = 1.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RouterConfig::default();
+        cfg.lambda_alpha = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RouterConfig::default();
+        cfg.flakiness_threshold = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn slo_aware_holds_slo_at_minimum_latency() {
+        let cfg = RouterConfig {
+            slo_ms: 100.0,
+            percentile: 0.95,
+            ..RouterConfig::default()
+        };
+        let mut r = SloAwareRouter::new(&cfg);
+        // Both sites meet the SLO comfortably: stay at the closer one
+        // even though the far one predicts a shorter wait.
+        let mut s = sites(&[(0.005, 2.0, 0), (0.050, 2.0, 0)]);
+        s[0].forecast = forecast(4.0, 10.0, 2); // light queueing
+        s[1].forecast = forecast(1.0, 10.0, 2); // nearly idle
+        assert!(predicted_score(&s[0], 0.95) <= 0.1, "site 0 must meet SLO");
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+        // The close site's model saturates: it no longer meets the SLO
+        // and the router moves to the minimum predicted response.
+        s[0].forecast = forecast(25.0, 10.0, 2); // unstable: ρ > 1
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    #[test]
+    fn slo_aware_minimizes_predicted_response_when_slo_unreachable() {
+        // slo 0 disables the satisficing tier: pure min-response.
+        let cfg = RouterConfig {
+            slo_ms: 0.0,
+            hysteresis_ms: 0.0,
+            ..RouterConfig::default()
+        };
+        let mut r = SloAwareRouter::new(&cfg);
+        let mut s = sites(&[(0.005, 2.0, 0), (0.030, 2.0, 0)]);
+        // Site 0 is closer but predicts a long queue; site 1's model is
+        // idle: 5 ms + W(0.95) vs 30 ms + ~0.
+        s[0].forecast = forecast(18.0, 10.0, 2); // rho = 0.9 => long waits
+        s[1].forecast = forecast(1.0, 10.0, 2);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+        // With no telemetry at all the score is the pure hop latency.
+        let s = sites(&[(0.005, 2.0, 0), (0.030, 2.0, 0)]);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+    }
+
+    #[test]
+    fn slo_aware_hysteresis_damps_flapping() {
+        let cfg = RouterConfig {
+            slo_ms: 0.0,
+            hysteresis_ms: 30.0,
+            ..RouterConfig::default()
+        };
+        let mut r = SloAwareRouter::new(&cfg);
+        // First decision with cold telemetry: site 0 wins (closer hop).
+        let mut s = sites(&[(0.010, 2.0, 0), (0.012, 2.0, 0)]);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+        // Site 1 becomes marginally better (by < hysteresis): stick.
+        s[0].forecast = forecast(4.4, 10.0, 2);
+        let margin = predicted_score(&s[0], 0.95) - predicted_score(&s[1], 0.95);
+        assert!(margin > 0.0 && margin < 0.030, "margin {margin}");
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+        // Site 1 becomes decisively better: switch.
+        s[0].forecast = forecast(19.0, 10.0, 2);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    #[test]
+    fn slo_aware_degrades_to_least_loaded_under_total_overload() {
+        let cfg = RouterConfig {
+            slo_ms: 0.0,
+            ..RouterConfig::default()
+        };
+        let mut r = SloAwareRouter::new(&cfg);
+        let mut s = sites(&[(0.005, 2.0, 9), (0.030, 2.0, 2)]);
+        s[0].forecast = forecast(30.0, 10.0, 2); // unstable
+        s[1].forecast = forecast(28.0, 10.0, 2); // unstable
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    #[test]
+    fn affinity_prefers_warm_sites_and_spills_when_saturated() {
+        let cfg = RouterConfig::default();
+        let mut r = AffinityRouter::new(&cfg);
+        // Only the far site holds warm containers: affinity wins over
+        // latency.
+        let mut s = sites(&[(0.002, 4.0, 0), (0.040, 4.0, 1)]);
+        s[1].warm = 3;
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+        // The warm site saturates: spill to the cold-but-idle site by
+        // predicted wait.
+        s[1].in_flight = 4;
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+        // Two warm sites: the one with the better predicted response
+        // wins.
+        let mut s = sites(&[(0.002, 4.0, 1), (0.040, 4.0, 1)]);
+        s[0].warm = 1;
+        s[1].warm = 2;
+        s[0].forecast = forecast(35.0, 10.0, 4); // heavy queueing
+        s[1].forecast = forecast(2.0, 10.0, 4);
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    #[test]
+    fn failure_aware_avoids_flaky_sites_with_trickle_readmission() {
+        let cfg = RouterConfig {
+            flakiness_threshold: 0.1,
+            readmit_rate: 0.25,
+            ..RouterConfig::default()
+        };
+        let mut r = FailureAwareRouter::new(&cfg);
+        // Site 0 recently crashed (flaky, now empty and attractive);
+        // site 1 is healthy but loaded.
+        let mut s = sites(&[(0.002, 4.0, 0), (0.020, 4.0, 10)]);
+        s[0].flakiness = 0.5;
+        // credit grows by 0.25 × 0.5 = 0.125/decision: one probe every
+        // 8 decisions, the rest pinned to the healthy site.
+        let picks: Vec<usize> = (0..16).map(|_| r.route(0, SimTime::ZERO, &s)).collect();
+        let probes = picks.iter().filter(|&&i| i == 0).count();
+        assert_eq!(probes, 2, "picks {picks:?}");
+        // Once the EWMA decays below threshold, normal routing resumes.
+        s[0].flakiness = 0.05;
+        assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
+        // All sites flaky: still route (degraded beats shedding).
+        s[0].flakiness = 0.9;
+        s[1].flakiness = 0.9;
+        let i = r.route(0, SimTime::ZERO, &s);
+        assert!(i < 2);
+    }
+
+    #[test]
+    fn failure_aware_matches_least_loaded_on_healthy_fleet() {
+        let cfg = RouterConfig::default();
+        let mut fa = FailureAwareRouter::new(&cfg);
+        let mut ll = LeastLoadedRouter::new();
+        let s = sites(&[(0.001, 4.0, 3), (0.040, 12.0, 5), (0.010, 2.0, 1)]);
+        for k in 0..20u64 {
+            let t = SimTime::from_secs(k);
+            assert_eq!(fa.route(0, t, &s), ll.route(0, t, &s));
+        }
+    }
+
+    #[test]
+    fn router_config_round_trips_through_json() {
+        let cfg = RouterConfig {
+            slo_ms: 150.0,
+            percentile: 0.99,
+            ..RouterConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RouterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slo_ms, 150.0);
+        assert_eq!(back.percentile, 0.99);
+        // Partial blocks fill from defaults.
+        let partial: RouterConfig = serde_json::from_str(r#"{ "percentile": 0.9 }"#).unwrap();
+        assert_eq!(partial.percentile, 0.9);
+        assert_eq!(partial.slo_ms, RouterConfig::default().slo_ms);
     }
 }

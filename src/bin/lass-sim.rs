@@ -108,8 +108,17 @@ fn main() {
         ScenarioReport::Federated(mut report) => {
             println!("router: {}\n", report.router);
             println!(
-                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>10}",
-                "site", "lat(ms)", "routed", "done", "t/o", "migr", "fail", "down(s)", "p95W(ms)"
+                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>6} {:>10}",
+                "site",
+                "lat(ms)",
+                "routed",
+                "done",
+                "t/o",
+                "migr",
+                "fail",
+                "down(s)",
+                "flaky",
+                "p95W(ms)"
             );
             for site in report.per_site.iter_mut() {
                 let (mut done, mut timeouts) = (0, 0);
@@ -122,7 +131,7 @@ fn main() {
                     }
                 }
                 println!(
-                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8.1} {:>10.1}",
+                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8.1} {:>6.2} {:>10.1}",
                     site.name,
                     site.latency_secs * 1e3,
                     site.routed,
@@ -131,6 +140,7 @@ fn main() {
                     site.migrated,
                     site.failed,
                     site.downtime_secs,
+                    site.flakiness,
                     waits.percentile(0.95).unwrap_or(0.0) * 1e3,
                 );
             }

@@ -83,6 +83,7 @@ struct SweepRow {
     mean_wait_ms: f64,
     p95_wait_ms: f64,
     p99_wait_ms: f64,
+    p95_response_ms: f64,
     duration_secs: f64,
 }
 
@@ -223,9 +224,11 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         mean_wait_ms: 0.0,
         p95_wait_ms: 0.0,
         p99_wait_ms: 0.0,
+        p95_response_ms: 0.0,
         duration_secs: 0.0,
     };
     let mut waits = SampleStats::new();
+    let mut responses = SampleStats::new();
     match report {
         ScenarioReport::Lass(rep) => {
             row.duration_secs = rep.duration;
@@ -235,6 +238,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
                 row.timeouts += f.timeouts;
                 row.slo_violations += f.slo_violations;
                 pool(&mut waits, &f.wait);
+                pool(&mut responses, &f.response);
             }
         }
         ScenarioReport::OpenWhisk(rep) => {
@@ -251,6 +255,8 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
                 row.completed += f.completed;
                 row.lost += f.lost;
                 row.slo_violations += f.slo_violations;
+                // OwFnReport carries no response samples; the response
+                // percentile stays 0 for openwhisk rows.
                 pool(&mut waits, &f.wait);
             }
         }
@@ -263,6 +269,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
                 row.timeouts += f.timeouts;
                 row.slo_violations += f.slo_violations;
                 pool(&mut waits, &f.wait);
+                pool(&mut responses, &f.response);
             }
             for site in &rep.per_site {
                 row.migrated += site.migrated;
@@ -280,6 +287,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
     row.mean_wait_ms = waits.mean().unwrap_or(0.0) * 1e3;
     row.p95_wait_ms = waits.percentile(0.95).unwrap_or(0.0) * 1e3;
     row.p99_wait_ms = waits.percentile(0.99).unwrap_or(0.0) * 1e3;
+    row.p95_response_ms = responses.percentile(0.95).unwrap_or(0.0) * 1e3;
     Ok(row)
 }
 

@@ -19,7 +19,7 @@ use lass_functions::{
     squeezenet, FunctionSpec, WorkloadSpec,
 };
 use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
-use lass_simcore::{ChaosConfig, Fault, RouterKind};
+use lass_simcore::{ChaosConfig, Fault, RouterConfig, RouterKind};
 use serde::{Deserialize, Serialize};
 
 /// Cluster shape.
@@ -144,10 +144,18 @@ pub struct SiteSpec {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TopologySpec {
     /// Which front-end router dispatches arrivals across sites
-    /// (`"round-robin"`, `"least-loaded"`, or `"latency-aware"`;
-    /// default round-robin).
+    /// (`"round-robin"`, `"least-loaded"`, `"latency-aware"`,
+    /// `"slo-aware"`, `"affinity"`, or `"failure-aware"`; default
+    /// round-robin).
     #[serde(default)]
     pub router: RouterKind,
+    /// Knobs for the model-driven routers and the per-site telemetry
+    /// feeding them: SLO budget, target percentile, hysteresis, spill
+    /// and brown-out thresholds, and the λ̂/μ̂/health EWMA constants.
+    /// Partial blocks fill from defaults; harmless for the non-model
+    /// routers.
+    #[serde(default)]
+    pub router_config: RouterConfig,
     /// The sites, in id order.
     pub sites: Vec<SiteSpec>,
 }
@@ -465,7 +473,9 @@ impl Scenario {
         };
         let topology = self.build_topology(spec)?;
         let mut sim = FederatedSimulation::new(self.config.clone(), topology, self.seed);
-        sim.set_router(spec.router).set_policy(site_policy);
+        sim.set_router(spec.router)
+            .set_router_config(spec.router_config)
+            .set_policy(site_policy);
         if let Some(chaos) = &self.chaos {
             sim.set_chaos(chaos.to_config(spec)?);
         }

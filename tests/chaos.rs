@@ -23,7 +23,7 @@ use lass::cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, Topology};
 use lass::core::{FederatedSimulation, FunctionSetup, LassConfig, SimReport, Simulation};
 use lass::functions::{micro_benchmark, WorkloadSpec};
 use lass::scenario::{Scenario, ScenarioReport};
-use lass::simcore::{ChaosConfig, Fault};
+use lass::simcore::{ChaosConfig, Fault, RouterKind};
 use proptest::prelude::*;
 
 fn fnv64(s: &str) -> u64 {
@@ -271,6 +271,81 @@ proptest! {
         prop_assert!(
             last_tick <= crash_at + 2.0 + 1e-9,
             "monitor tick at {last_tick} after crash at {crash_at}"
+        );
+    }
+}
+
+/// Chaos × routing interaction: under a stochastic MTBF/MTTR storm the
+/// failure-aware router measurably cuts the requests that die with a
+/// site (`failed`) compared to least-loaded, at a fixed seed.
+///
+/// Mechanism: least-loaded herds onto a just-recovered site the moment
+/// it reports up (it is empty, hence maximally attractive); when that
+/// site — or the last healthy peer — crashes again, everything
+/// committed there dies. Failure-aware's downtime EWMA keeps the
+/// recovering site browned out and re-admits it as a trickle, so far
+/// fewer requests are exposed. The ordering is asserted, not exact
+/// values; front-door shedding (`unroutable`) is router-independent
+/// (all-dark windows) and must match between the two runs.
+#[test]
+fn failure_aware_routing_cuts_failures_under_chaos_storm() {
+    let run = |kind: RouterKind| {
+        let mut topology = Topology::new();
+        topology.add_site("a", small_cluster(2), 0.002);
+        topology.add_site("b", small_cluster(2), 0.008);
+        topology.add_site("c", small_cluster(2), 0.015);
+        let mut sim = FederatedSimulation::new(LassConfig::default(), topology, 7);
+        sim.set_router(kind);
+        sim.set_chaos(ChaosConfig {
+            site_mtbf_secs: Some(90.0),
+            site_mttr_secs: 25.0,
+            migration_penalty_secs: 0.005,
+            ..ChaosConfig::default()
+        });
+        sim.add_function(testbed_setup(45.0, 300.0, 2));
+        sim.run(Some(300.0)).expect("runs")
+    };
+    let ll = run(RouterKind::LeastLoaded);
+    let fa = run(RouterKind::FailureAware);
+
+    // The storm actually bit, identically often (faults are drawn from
+    // chaos streams independent of the router).
+    let downtime = |rep: &lass::core::FederatedSimReport| -> f64 {
+        rep.per_site.iter().map(|s| s.downtime_secs).sum()
+    };
+    assert!(downtime(&ll) > 0.0);
+    assert_eq!(
+        downtime(&ll),
+        downtime(&fa),
+        "fault schedule must not depend on router"
+    );
+    assert_eq!(
+        ll.unroutable, fa.unroutable,
+        "front-door shedding is router-independent"
+    );
+
+    let failed = |rep: &lass::core::FederatedSimReport| -> usize {
+        rep.per_site.iter().map(|s| s.failed).sum()
+    };
+    let (ll_failed, fa_failed) = (failed(&ll), failed(&fa));
+    assert!(
+        ll_failed > 0,
+        "seed must produce failures under least-loaded to compare against"
+    );
+    assert!(
+        fa_failed * 2 < ll_failed,
+        "failure-aware must cut failed requests: {fa_failed} vs {ll_failed}"
+    );
+    // A recently-crashed site ends the run with a worse health score
+    // than one that stayed up longer — the signal the router acts on.
+    assert!(fa.per_site.iter().any(|s| s.flakiness > 0.0));
+
+    // Both runs still conserve every arrival.
+    for rep in [&ll, &fa] {
+        let agg = &rep.aggregate_per_fn[0];
+        assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding
         );
     }
 }

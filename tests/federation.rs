@@ -21,7 +21,7 @@ use lass::core::{
 };
 use lass::functions::{micro_benchmark, WorkloadSpec};
 use lass::scenario::{Scenario, ScenarioReport};
-use lass::simcore::{RouterKind, SimTime, SiteState};
+use lass::simcore::{RouterKind, SimTime, SiteState, WaitForecast};
 use proptest::prelude::*;
 
 fn testbed_setup(rate: f64, duration: f64, initial: u32) -> FunctionSetup {
@@ -122,6 +122,22 @@ fn small_cluster(nodes: u32) -> Cluster {
     )
 }
 
+/// Build a router-view site for the property tests. Telemetry starts
+/// empty (zero forecast, healthy, no warm census) unless the test sets
+/// it explicitly.
+fn prop_site(latency: f64, cap: f64, in_flight: u64) -> SiteState {
+    SiteState {
+        name: String::new(),
+        latency: lass::simcore::SimDuration::from_secs_f64(latency),
+        capacity_hint: cap,
+        in_flight,
+        up: true,
+        forecast: WaitForecast::default(),
+        flakiness: 0.0,
+        warm: 0,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -136,12 +152,10 @@ proptest! {
         let n = latencies.len().min(loads.len()).min(caps.len());
         prop_assume!(n >= 1);
         let mut sites: Vec<SiteState> = (0..n)
-            .map(|i| SiteState {
-                name: format!("s{i}"),
-                latency: lass::simcore::SimDuration::from_secs_f64(latencies[i]),
-                capacity_hint: caps[i],
-                in_flight: loads[i],
-                up: true,
+            .map(|i| {
+                let mut s = prop_site(latencies[i], caps[i], loads[i]);
+                s.name = format!("s{i}");
+                s
             })
             .collect();
         for kind in RouterKind::ALL {
@@ -151,6 +165,90 @@ proptest! {
                 prop_assert!(idx < n, "{}: site {idx} of {n}", kind.as_str());
                 // Feed the decision back so stateful routers see load move.
                 sites[idx].in_flight += 1;
+            }
+        }
+    }
+
+    /// Under arbitrary telemetry (forecasts, flakiness, warm censuses)
+    /// and arbitrary up/down patterns with at least one live site, no
+    /// router ever picks a down site — the chaos contract extended to
+    /// the model-driven routers, whose extra signals might otherwise
+    /// make a dark site look attractive.
+    #[test]
+    fn routers_never_pick_down_sites_under_random_telemetry(
+        spec in prop::collection::vec(
+            // ((latency, cap, in_flight, up), (lambda, mu, servers, flaky, warm))
+            ((0.0f64..0.2, 1.0f64..32.0, 0u64..200, 0u8..2),
+             (0.0f64..50.0, 0.1f64..20.0, 1u32..16, 0.0f64..1.0, 0u64..8)),
+            2..6,
+        ),
+        arrivals in 1u64..150,
+    ) {
+        let mut sites: Vec<SiteState> = spec
+            .iter()
+            .map(|&((lat, cap, load, up), (lambda, mu, servers, flaky, warm))| {
+                let mut s = prop_site(lat, cap, load);
+                s.up = up == 1;
+                s.forecast = WaitForecast { lambda, mu, servers };
+                s.flakiness = flaky;
+                s.warm = warm;
+                s
+            })
+            .collect();
+        prop_assume!(sites.iter().any(|s| s.up));
+        for kind in RouterKind::ALL {
+            let mut router = kind.build();
+            for k in 0..arrivals {
+                let idx = router.route((k % 2) as u32, SimTime::from_secs(k), &sites);
+                prop_assert!(idx < sites.len(), "{} out of range", kind.as_str());
+                prop_assert!(sites[idx].up, "{} picked a down site", kind.as_str());
+                sites[idx].in_flight += 1;
+            }
+        }
+    }
+
+    /// Routing decisions are a pure function of the observed state
+    /// sequence: two instances of the same router fed the same
+    /// `SiteState` sequence pick identical sites (deterministic
+    /// tie-breaks, no hidden randomness) — and every arrival lands on
+    /// exactly one site, so routed counts are conserved.
+    #[test]
+    fn routers_are_deterministic_and_conserve_arrivals(
+        spec in prop::collection::vec(
+            (0.0f64..0.1, 1.0f64..16.0, 0u8..2, 0.0f64..40.0, 0.0f64..0.6),
+            2..5,
+        ),
+        arrivals in 1u64..120,
+    ) {
+        prop_assume!(spec.iter().any(|&(_, _, up, _, _)| up == 1));
+        let build_sites = || -> Vec<SiteState> {
+            spec.iter()
+                .map(|&(lat, cap, up, lambda, flaky)| {
+                    let mut s = prop_site(lat, cap, 0);
+                    s.up = up == 1;
+                    s.forecast = WaitForecast { lambda, mu: 10.0, servers: 2 };
+                    s.flakiness = flaky;
+                    s
+                })
+                .collect()
+        };
+        for kind in RouterKind::ALL {
+            let (mut a, mut b) = (kind.build(), kind.build());
+            let (mut sa, mut sb) = (build_sites(), build_sites());
+            let mut picks = vec![0u64; sa.len()];
+            for k in 0..arrivals {
+                let t = SimTime::from_secs(k);
+                let ia = a.route(0, t, &sa);
+                let ib = b.route(0, t, &sb);
+                prop_assert_eq!(ia, ib, "{} diverged at arrival {}", kind.as_str(), k);
+                picks[ia] += 1;
+                sa[ia].in_flight += 1;
+                sb[ib].in_flight += 1;
+            }
+            // Conservation at the router: every arrival routed once.
+            prop_assert_eq!(picks.iter().sum::<u64>(), arrivals);
+            for (i, s) in sa.iter().enumerate() {
+                prop_assert_eq!(u64::from(!s.up) * picks[i], 0, "down site got traffic");
             }
         }
     }

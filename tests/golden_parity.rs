@@ -271,3 +271,36 @@ fn lass_and_static_policies_decorrelate_but_share_workload_shape() {
     );
     assert!(srr.per_fn[&0].completed as f64 > b * 0.99);
 }
+
+/// Fixed-seed golden for the model-driven routing layer: the
+/// `slo-routing` scenario (slo-aware router over an edge↔cloud LaSS
+/// federation) pins its full serialized federated report. Telemetry,
+/// forecasts, hysteresis — everything must replay bit-for-bit. If a
+/// deliberate routing change invalidates this, re-record and say so in
+/// the commit message.
+#[test]
+fn slo_aware_scenario_matches_pinned_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/slo-routing.json");
+    let text = std::fs::read_to_string(path).expect("scenario file");
+    let sc = lass::scenario::Scenario::from_json(&text).expect("valid scenario");
+    let run = || {
+        let lass::scenario::ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+            panic!("expected a federated report");
+        };
+        rep
+    };
+    let rep = run();
+    assert_eq!(rep.router, "slo-aware");
+    assert_eq!(
+        (rep.per_site[0].routed, rep.per_site[1].routed),
+        (2500, 2252)
+    );
+    let json = serde_json::to_string(&rep).unwrap();
+    assert_eq!(
+        fnv64(&json),
+        17219371903003920091,
+        "slo-aware routing golden drifted"
+    );
+    // And it replays byte-for-byte.
+    assert_eq!(json, serde_json::to_string(&run()).unwrap());
+}
