@@ -8,6 +8,14 @@
 //! Besides the criterion output, the run writes `BENCH_routing.json`
 //! (cwd) with ns-per-decision per router × fleet size, seeding the perf
 //! trajectory for future optimization PRs.
+//!
+//! With `ROUTER_BENCH_SMOKE` set, the run instead times a short burst
+//! per router and **fails** (non-zero exit) if any router exceeds a
+//! generous per-decision ceiling — the CI tripwire against
+//! re-introducing per-decision model construction on the routing hot
+//! path (the pre-cache model-driven routers paid ~20 µs/decision at 64
+//! sites; the cached path is 2–3 orders of magnitude below the
+//! ceiling).
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use lass_simcore::{RouterKind, SimDuration, SimRng, SimTime, SiteState, WaitForecast};
@@ -32,7 +40,8 @@ fn make_sites(n: usize) -> Vec<SiteState> {
                     lambda: rng.uniform() * f64::from(servers) * mu * 1.1,
                     mu,
                     servers,
-                },
+                }
+                .into(),
                 flakiness: if i % 5 == 0 { rng.uniform() * 0.5 } else { 0.0 },
                 warm: (rng.uniform() * 4.0) as u64,
             }
@@ -59,7 +68,41 @@ fn measure(kind: RouterKind, sites: &mut [SiteState], decisions: u64) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / decisions as f64
 }
 
+/// Smoke-mode ceiling, ns/decision. Generous (CI machines are noisy and
+/// slow), yet half the pre-optimization cost of the model-driven family
+/// at 64 sites — an accidental return of per-decision `MmcQueue`
+/// construction blows straight through it.
+const SMOKE_CEILING_NS: f64 = 10_000.0;
+
 fn main() {
+    if std::env::var_os("ROUTER_BENCH_SMOKE").is_some() {
+        let mut failed = false;
+        for &n in &[2usize, 64] {
+            for kind in RouterKind::ALL {
+                let mut sites = make_sites(n);
+                let ns = measure(kind, &mut sites, 20_000);
+                let verdict = if ns > SMOKE_CEILING_NS {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "smoke route/{}/{}: {:.1} ns/decision [{}]",
+                    kind.as_str(),
+                    n,
+                    ns,
+                    verdict
+                );
+            }
+        }
+        assert!(
+            !failed,
+            "a router exceeded the {SMOKE_CEILING_NS} ns/decision smoke ceiling — \
+             was per-decision allocation reintroduced on the route hot path?"
+        );
+        return;
+    }
     let mut c = Criterion::default();
     let mut rows = Vec::new();
     let decisions = 100_000u64;

@@ -57,14 +57,52 @@ pub struct Termination {
     pub orphans: Vec<RequestId>,
 }
 
+/// One candidate in a function's incrementally-maintained weighted
+/// dispatch index (see [`Cluster::wrr_candidates`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrrSlot {
+    /// The container.
+    pub cid: ContainerId,
+    /// WRR dispatch weight: the container's *current* CPU allocation in
+    /// milli (never below 1.0), updated in place on every resize.
+    pub weight: f64,
+    /// Whether the container is warm and not serving anything.
+    pub idle: bool,
+    /// Whether the container has finished booting (idle or busy) — the
+    /// affinity census predicate.
+    pub warm: bool,
+}
+
+/// A function's dispatch index: its live containers' WRR weights and
+/// readiness flags in creation order, plus the warm census, all
+/// maintained incrementally so the per-request dispatch path never
+/// walks the container map.
+#[derive(Debug, Clone, Default)]
+struct FnDispatch {
+    slots: Vec<WrrSlot>,
+    /// Number of warm slots (kept in lockstep with the flags).
+    warm: u64,
+}
+
 /// The edge cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
     containers: BTreeMap<ContainerId, Container>,
     by_fn: BTreeMap<FnId, Vec<ContainerId>>,
+    /// Per-function weighted dispatch index, mirroring `by_fn` order.
+    /// Weights change only on create/terminate/resize and the
+    /// idle/warm flags only through the cluster-level service
+    /// transitions, so the index is updated at those (rare) points
+    /// instead of being rebuilt per request.
+    dispatch: BTreeMap<FnId, FnDispatch>,
     next_container: u64,
     placement: PlacementPolicy,
+}
+
+/// The WRR dispatch weight of a container allocation.
+fn wrr_weight(cpu: CpuMilli) -> f64 {
+    f64::from(cpu.0).max(1.0)
 }
 
 impl Cluster {
@@ -83,6 +121,7 @@ impl Cluster {
             nodes,
             containers: BTreeMap::new(),
             by_fn: BTreeMap::new(),
+            dispatch: BTreeMap::new(),
             next_container: 0,
             placement,
         }
@@ -192,6 +231,12 @@ impl Cluster {
         let ctr = Container::new(id, fn_id, node_id, standard_cpu, cpu, mem, now, ready_at);
         self.containers.insert(id, ctr);
         self.by_fn.entry(fn_id).or_default().push(id);
+        self.dispatch.entry(fn_id).or_default().slots.push(WrrSlot {
+            cid: id,
+            weight: wrr_weight(cpu),
+            idle: false, // cold-starting until marked ready
+            warm: false,
+        });
         Ok(id)
     }
 
@@ -211,6 +256,14 @@ impl Cluster {
         node.release(ctr.cpu(), ctr.mem());
         if let Some(list) = self.by_fn.get_mut(&ctr.fn_id()) {
             list.retain(|&c| c != cid);
+        }
+        if let Some(d) = self.dispatch.get_mut(&ctr.fn_id()) {
+            if let Some(pos) = d.slots.iter().position(|s| s.cid == cid) {
+                if d.slots[pos].warm {
+                    d.warm -= 1;
+                }
+                d.slots.remove(pos);
+            }
         }
         Ok(Termination {
             container: ctr,
@@ -238,11 +291,84 @@ impl Cluster {
             return Err(ClusterError::ResizeExceedsNode(cid));
         }
         node.resize_cpu(old, new_cpu);
-        self.containers
-            .get_mut(&cid)
-            .expect("checked above")
-            .set_cpu(new_cpu);
+        let fn_id = {
+            let c = self.containers.get_mut(&cid).expect("checked above");
+            c.set_cpu(new_cpu);
+            c.fn_id()
+        };
+        // Keep the dispatch index's weight current: resizes are the only
+        // way a live container's WRR weight changes.
+        if let Some(slot) = self.slot_mut(fn_id, cid) {
+            slot.weight = wrr_weight(new_cpu);
+        }
         Ok(())
+    }
+
+    /// Mutable access to a container's dispatch-index slot.
+    fn slot_mut(&mut self, fn_id: FnId, cid: ContainerId) -> Option<&mut WrrSlot> {
+        self.dispatch
+            .get_mut(&fn_id)?
+            .slots
+            .iter_mut()
+            .find(|s| s.cid == cid)
+    }
+
+    /// Mark a cold-starting container ready (idle, warm). Returns
+    /// `false` — without touching anything — when the container is gone
+    /// or not in the `Starting` state, so stale readiness events are
+    /// harmless.
+    pub fn mark_container_ready(&mut self, cid: ContainerId) -> bool {
+        let Some(c) = self.containers.get_mut(&cid) else {
+            return false;
+        };
+        if !matches!(c.state(), ContainerState::Starting { .. }) {
+            return false;
+        }
+        c.mark_ready();
+        let fn_id = c.fn_id();
+        let slot = self.slot_mut(fn_id, cid).expect("live container indexed");
+        slot.idle = true;
+        slot.warm = true;
+        self.dispatch.get_mut(&fn_id).expect("indexed").warm += 1;
+        true
+    }
+
+    /// Begin service on `cid` if it is idle with queued work, keeping
+    /// the dispatch index coherent. `None` when the container is gone,
+    /// not idle, or has nothing queued.
+    pub fn begin_service(&mut self, cid: ContainerId, now: SimTime) -> Option<RequestId> {
+        let c = self.containers.get_mut(&cid)?;
+        let rid = c.try_begin_service(now)?;
+        let fn_id = c.fn_id();
+        self.slot_mut(fn_id, cid)
+            .expect("live container indexed")
+            .idle = false;
+        Some(rid)
+    }
+
+    /// Finish the in-service request on `cid`, keeping the dispatch
+    /// index coherent. `None` when the container is gone; panics (like
+    /// the underlying container) when it is not busy.
+    pub fn finish_service(&mut self, cid: ContainerId, now: SimTime) -> Option<RequestId> {
+        let c = self.containers.get_mut(&cid)?;
+        let rid = c.complete_service(now);
+        let fn_id = c.fn_id();
+        self.slot_mut(fn_id, cid)
+            .expect("live container indexed")
+            .idle = true;
+        Some(rid)
+    }
+
+    /// The function's weighted dispatch index: every live container's
+    /// WRR weight and readiness flags, in creation order — the same
+    /// candidates (same order, same weights) the historical per-request
+    /// walk over [`Cluster::fn_containers`] produced, but maintained
+    /// incrementally on create/terminate/resize and the service
+    /// transitions instead of being rebuilt per request.
+    pub fn wrr_candidates(&self, fn_id: FnId) -> &[WrrSlot] {
+        self.dispatch
+            .get(&fn_id)
+            .map_or(&[], |d| d.slots.as_slice())
     }
 
     /// Immutable container access.
@@ -280,29 +406,27 @@ impl Cluster {
     /// Number of *warm* containers of a function: booted (past their
     /// cold start) and not terminated — the fleet that could serve a
     /// request right now without paying a cold start. The affinity
-    /// router's per-site census.
+    /// router's per-site census, answered in O(1) from the maintained
+    /// count (the federation sums this over every function at every
+    /// routing decision).
     pub fn fn_warm_count(&self, fn_id: FnId) -> u64 {
-        self.fn_containers(fn_id)
-            .filter(|c| matches!(c.state(), ContainerState::Idle | ContainerState::Busy))
-            .count() as u64
+        self.dispatch.get(&fn_id).map_or(0, |d| d.warm)
     }
 
     /// The fastest (highest-CPU) idle schedulable container of a
-    /// function, resolved in one pass over the per-function index —
-    /// the hot-path query behind the default shared-queue dispatch,
-    /// which previously snapshotted every candidate per request. Ties
-    /// keep the later container in index order, matching a `max_by`
-    /// scan over the same sequence.
+    /// function, resolved in one pass over the weighted dispatch index
+    /// (no container-map lookups) — the hot-path query behind the
+    /// default shared-queue dispatch. Ties keep the later container in
+    /// index order, matching a `max_by` scan over the same sequence.
     pub fn fastest_idle_container(&self, fn_id: FnId) -> Option<ContainerId> {
         let mut best: Option<(ContainerId, f64)> = None;
-        for c in self.fn_containers(fn_id) {
-            if !c.is_schedulable() || c.state() != ContainerState::Idle {
+        for s in self.wrr_candidates(fn_id) {
+            if !s.idle {
                 continue;
             }
-            let w = f64::from(c.cpu().0).max(1.0);
             match best {
-                Some((_, bw)) if w < bw => {}
-                _ => best = Some((c.id(), w)),
+                Some((_, bw)) if s.weight < bw => {}
+                _ => best = Some((s.cid, s.weight)),
             }
         }
         best.map(|(cid, _)| cid)
@@ -368,6 +492,34 @@ impl Cluster {
                     .expect("by_fn points at live container");
                 assert_eq!(ctr.fn_id(), *fn_id, "by_fn index corrupted");
             }
+            // The dispatch index must be the by_fn walk, slot for slot:
+            // same containers in the same order, weights equal to the
+            // current allocation, flags equal to the current state.
+            let slots = self.wrr_candidates(*fn_id);
+            assert_eq!(slots.len(), list.len(), "dispatch index drift on {fn_id}");
+            let mut warm = 0u64;
+            for (slot, cid) in slots.iter().zip(list) {
+                assert_eq!(slot.cid, *cid, "dispatch order drift on {fn_id}");
+                let ctr = self.containers.get(cid).expect("checked above");
+                assert_eq!(
+                    slot.weight,
+                    wrr_weight(ctr.cpu()),
+                    "stale weight for {cid} of {fn_id}"
+                );
+                assert_eq!(
+                    slot.idle,
+                    ctr.state() == ContainerState::Idle,
+                    "stale idle flag for {cid} of {fn_id}"
+                );
+                let is_warm = matches!(ctr.state(), ContainerState::Idle | ContainerState::Busy);
+                assert_eq!(slot.warm, is_warm, "stale warm flag for {cid} of {fn_id}");
+                warm += u64::from(is_warm);
+            }
+            assert_eq!(
+                self.fn_warm_count(*fn_id),
+                warm,
+                "warm census drift on {fn_id}"
+            );
         }
     }
 }
@@ -555,13 +707,13 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
+        cl.mark_container_ready(a);
         {
             let c = cl.container_mut(a).unwrap();
-            c.mark_ready();
             c.enqueue(RequestId(1));
             c.enqueue(RequestId(2));
-            c.try_begin_service(SimTime::ZERO);
         }
+        cl.begin_service(a, SimTime::ZERO);
         let term = cl.terminate_container(a, SimTime::from_secs(1)).unwrap();
         assert_eq!(term.orphans, vec![RequestId(1), RequestId(2)]);
     }
@@ -614,17 +766,15 @@ mod tests {
         // Both containers still cold-starting: nothing is warm.
         assert_eq!(cl.fn_warm_count(FnId(0)), 0);
         assert_eq!(cl.fn_container_count(FnId(0)), 2);
-        cl.container_mut(a).unwrap().mark_ready();
+        cl.mark_container_ready(a);
         assert_eq!(cl.fn_warm_count(FnId(0)), 1);
         // A busy container still counts as warm.
-        {
-            let c = cl.container_mut(a).unwrap();
-            c.enqueue(RequestId(1));
-            c.try_begin_service(SimTime::from_secs(1));
-        }
+        cl.container_mut(a).unwrap().enqueue(RequestId(1));
+        cl.begin_service(a, SimTime::from_secs(1));
         assert_eq!(cl.fn_warm_count(FnId(0)), 1);
         // Other functions see their own (empty) census.
         assert_eq!(cl.fn_warm_count(FnId(9)), 0);
+        cl.check_invariants();
     }
 
     #[test]

@@ -153,7 +153,12 @@ impl Container {
     /// Resize the CPU allocation in place (deflate or re-inflate). The node
     /// accounting is the cluster's responsibility; this only enforces the
     /// container-local bound `0 < cpu ≤ standard`.
-    pub fn set_cpu(&mut self, cpu: CpuMilli) {
+    ///
+    /// Crate-private: go through
+    /// [`Cluster::resize_container_cpu`](crate::Cluster::resize_container_cpu),
+    /// which also updates the node reservation and the dispatch index's
+    /// WRR weight.
+    pub(crate) fn set_cpu(&mut self, cpu: CpuMilli) {
         assert!(cpu > CpuMilli::ZERO, "cannot deflate to zero");
         assert!(
             cpu <= self.standard_cpu,
@@ -173,7 +178,11 @@ impl Container {
     }
 
     /// Mark boot complete. Panics unless currently `Starting`.
-    pub fn mark_ready(&mut self) {
+    ///
+    /// Crate-private: state transitions must go through the cluster
+    /// ([`Cluster::mark_container_ready`](crate::Cluster::mark_container_ready)),
+    /// which keeps the per-function weighted dispatch index coherent.
+    pub(crate) fn mark_ready(&mut self) {
         match self.state {
             ContainerState::Starting { .. } => self.state = ContainerState::Idle,
             s => panic!("mark_ready on container in state {s:?}"),
@@ -188,7 +197,11 @@ impl Container {
 
     /// If idle with a non-empty queue, pop the head and begin service.
     /// Returns the request now in service.
-    pub fn try_begin_service(&mut self, now: SimTime) -> Option<RequestId> {
+    ///
+    /// Crate-private: go through
+    /// [`Cluster::begin_service`](crate::Cluster::begin_service) so the
+    /// dispatch index's idle flag stays coherent.
+    pub(crate) fn try_begin_service(&mut self, now: SimTime) -> Option<RequestId> {
         if self.state != ContainerState::Idle {
             return None;
         }
@@ -200,7 +213,11 @@ impl Container {
     }
 
     /// Finish the in-service request, returning it. Panics unless `Busy`.
-    pub fn complete_service(&mut self, now: SimTime) -> RequestId {
+    ///
+    /// Crate-private: go through
+    /// [`Cluster::finish_service`](crate::Cluster::finish_service) so the
+    /// dispatch index's idle flag stays coherent.
+    pub(crate) fn complete_service(&mut self, now: SimTime) -> RequestId {
         assert_eq!(self.state, ContainerState::Busy, "complete on non-busy");
         let rid = self.in_service.take().expect("busy implies in-service");
         if let Some(since) = self.busy_since.take() {
@@ -213,7 +230,12 @@ impl Container {
     /// Terminate, returning every request that must be re-dispatched (the
     /// in-service one first, then the queue — the paper notes terminated
     /// containers cause "requests that need to be rerun").
-    pub fn terminate(&mut self, now: SimTime) -> Vec<RequestId> {
+    ///
+    /// Crate-private: go through
+    /// [`Cluster::terminate_container`](crate::Cluster::terminate_container),
+    /// which also releases the node reservation and the dispatch index
+    /// entry.
+    pub(crate) fn terminate(&mut self, now: SimTime) -> Vec<RequestId> {
         if let Some(since) = self.busy_since.take() {
             self.busy_total = self.busy_total + now.saturating_since(since);
         }

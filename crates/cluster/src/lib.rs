@@ -21,7 +21,7 @@ pub mod placement;
 pub mod resources;
 pub mod topology;
 
-pub use cluster::{Cluster, ClusterError, Termination};
+pub use cluster::{Cluster, ClusterError, Termination, WrrSlot};
 pub use container::{Container, ContainerState};
 pub use ids::{ContainerId, FnId, NodeId, RequestId, UserId};
 pub use node::Node;

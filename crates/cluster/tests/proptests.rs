@@ -1,7 +1,13 @@
 //! Property tests: cluster capacity accounting must survive arbitrary
-//! interleavings of create / terminate / resize operations.
+//! interleavings of create / terminate / resize operations, and the
+//! incrementally-maintained weighted dispatch index must stay
+//! equivalent to a full walk of the container map through arbitrary
+//! lifecycle/resize sequences.
 
-use lass_cluster::{Cluster, ClusterError, ContainerId, CpuMilli, FnId, MemMib, PlacementPolicy};
+use lass_cluster::{
+    Cluster, ClusterError, ContainerId, ContainerState, CpuMilli, FnId, MemMib, PlacementPolicy,
+    RequestId,
+};
 use lass_simcore::SimTime;
 use proptest::prelude::*;
 
@@ -11,6 +17,9 @@ enum Op {
     Terminate { idx: usize },
     Resize { idx: usize, ratio: f64 },
     Reinflate { idx: usize },
+    Ready { idx: usize },
+    Serve { idx: usize },
+    Finish { idx: usize },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -23,7 +32,122 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..64).prop_map(|idx| Op::Terminate { idx }),
         ((0usize..64), 0.3f64..1.0).prop_map(|(idx, ratio)| Op::Resize { idx, ratio }),
         (0usize..64).prop_map(|idx| Op::Reinflate { idx }),
+        (0usize..64).prop_map(|idx| Op::Ready { idx }),
+        (0usize..64).prop_map(|idx| Op::Serve { idx }),
+        (0usize..64).prop_map(|idx| Op::Finish { idx }),
     ]
+}
+
+/// Apply one lifecycle operation to the cluster — the single driver
+/// shared by the capacity-accounting and index-equivalence proptests,
+/// so the two suites cannot silently diverge in what they exercise.
+/// Unplaceable creates are skipped; lifecycle ops against containers in
+/// the wrong state are no-ops (both are part of the property space).
+fn apply_op(
+    cluster: &mut Cluster,
+    live: &mut Vec<ContainerId>,
+    next_rid: &mut u64,
+    op: Op,
+    now: SimTime,
+) {
+    match op {
+        Op::Create { fn_id, cpu, mem } => {
+            match cluster.create_container(FnId(fn_id), CpuMilli(cpu), MemMib(mem), now, now) {
+                Ok(cid) => live.push(cid),
+                Err(ClusterError::InsufficientCapacity { .. }) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        Op::Terminate { idx } => {
+            if !live.is_empty() {
+                let cid = live.remove(idx % live.len());
+                cluster
+                    .terminate_container(cid, now)
+                    .expect("live container");
+            }
+        }
+        Op::Resize { idx, ratio } => {
+            if !live.is_empty() {
+                let cid = live[idx % live.len()];
+                let std = cluster.container(cid).expect("live").standard_cpu();
+                // Down-resizes always succeed; treat as exercised.
+                let _ = cluster.resize_container_cpu(cid, std.scale(ratio).max(CpuMilli(1)));
+            }
+        }
+        Op::Reinflate { idx } => {
+            if !live.is_empty() {
+                let cid = live[idx % live.len()];
+                let std = cluster.container(cid).expect("live").standard_cpu();
+                // May fail when the node filled up meanwhile: fine.
+                let _ = cluster.resize_container_cpu(cid, std);
+            }
+        }
+        Op::Ready { idx } => {
+            if !live.is_empty() {
+                // A no-op unless the container is still starting.
+                cluster.mark_container_ready(live[idx % live.len()]);
+            }
+        }
+        Op::Serve { idx } => {
+            if !live.is_empty() {
+                let cid = live[idx % live.len()];
+                if cluster.container(cid).expect("live").is_idle() {
+                    *next_rid += 1;
+                    cluster
+                        .container_mut(cid)
+                        .expect("live")
+                        .enqueue(RequestId(*next_rid));
+                    assert!(cluster.begin_service(cid, now).is_some());
+                }
+            }
+        }
+        Op::Finish { idx } => {
+            if !live.is_empty() {
+                let cid = live[idx % live.len()];
+                if cluster.container(cid).expect("live").state() == ContainerState::Busy {
+                    assert!(cluster.finish_service(cid, now).is_some());
+                }
+            }
+        }
+    }
+}
+
+/// Weighted candidates: (container, WRR weight) pairs.
+type Candidates = Vec<(ContainerId, f64)>;
+
+/// The historical per-request dispatch walk: every live container of the
+/// function in index order with its current WRR weight, plus the idle
+/// subset — the reference the maintained index must match exactly.
+fn full_walk(cluster: &Cluster, f: FnId) -> (Candidates, Candidates) {
+    let mut all = Vec::new();
+    let mut idle = Vec::new();
+    for c in cluster.fn_containers(f) {
+        if !c.is_schedulable() {
+            continue;
+        }
+        let w = f64::from(c.cpu().0).max(1.0);
+        all.push((c.id(), w));
+        if c.state() == ContainerState::Idle {
+            idle.push((c.id(), w));
+        }
+    }
+    (all, idle)
+}
+
+/// The historical `fastest_idle_container` walk over the container map.
+fn fastest_idle_walk(cluster: &Cluster, f: FnId) -> Option<ContainerId> {
+    let mut best: Option<(ContainerId, f64)> = None;
+    for c in cluster.fn_containers(f) {
+        if !c.is_schedulable() || c.state() != ContainerState::Idle {
+            continue;
+        }
+        let w = f64::from(c.cpu().0).max(1.0);
+        match best {
+            Some((_, bw)) if w < bw => {}
+            _ => best = Some((c.id(), w)),
+        }
+    }
+    best.map(|(cid, _)| cid)
 }
 
 proptest! {
@@ -40,48 +164,12 @@ proptest! {
     ) {
         let mut cluster = Cluster::homogeneous(3, CpuMilli(4000), MemMib(8192), policy);
         let mut live: Vec<ContainerId> = Vec::new();
+        let mut next_rid = 0u64;
         let mut t = 0u64;
         for op in ops {
             t += 1;
             let now = SimTime::from_secs(t);
-            match op {
-                Op::Create { fn_id, cpu, mem } => {
-                    match cluster.create_container(
-                        FnId(fn_id),
-                        CpuMilli(cpu),
-                        MemMib(mem),
-                        now,
-                        now,
-                    ) {
-                        Ok(cid) => live.push(cid),
-                        Err(ClusterError::InsufficientCapacity { .. }) => {}
-                        Err(e) => prop_assert!(false, "unexpected error: {e}"),
-                    }
-                }
-                Op::Terminate { idx } => {
-                    if !live.is_empty() {
-                        let cid = live.remove(idx % live.len());
-                        cluster.terminate_container(cid, now).expect("live container");
-                    }
-                }
-                Op::Resize { idx, ratio } => {
-                    if !live.is_empty() {
-                        let cid = live[idx % live.len()];
-                        let std = cluster.container(cid).expect("live").standard_cpu();
-                        let target = std.scale(ratio).max(CpuMilli(1));
-                        // Down-resizes always succeed; treat as exercised.
-                        let _ = cluster.resize_container_cpu(cid, target);
-                    }
-                }
-                Op::Reinflate { idx } => {
-                    if !live.is_empty() {
-                        let cid = live[idx % live.len()];
-                        let std = cluster.container(cid).expect("live").standard_cpu();
-                        // May fail when the node filled up meanwhile: fine.
-                        let _ = cluster.resize_container_cpu(cid, std);
-                    }
-                }
-            }
+            apply_op(&mut cluster, &mut live, &mut next_rid, op, now);
             // The load-bearing check: per-node accounting equals the sum of
             // resident containers after every single operation.
             cluster.check_invariants();
@@ -96,6 +184,58 @@ proptest! {
         cluster.check_invariants();
         prop_assert_eq!(cluster.total_cpu_used(), CpuMilli::ZERO);
         prop_assert_eq!(cluster.container_count(), 0);
+    }
+
+    /// Equivalence of the incrementally-maintained weighted dispatch
+    /// index with a full container-map walk across arbitrary
+    /// create / terminate / resize / ready / serve / finish sequences:
+    /// same candidates in the same order with the same (bit-equal)
+    /// weights, the same idle subset, the same fastest-idle answer, and
+    /// the same warm census.
+    #[test]
+    fn wrr_index_matches_full_walk(
+        ops in prop::collection::vec(op_strategy(), 1..160),
+    ) {
+        let mut cluster =
+            Cluster::homogeneous(3, CpuMilli(4000), MemMib(8192), PlacementPolicy::BestFit);
+        let mut live: Vec<ContainerId> = Vec::new();
+        let mut next_rid = 0u64;
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            apply_op(&mut cluster, &mut live, &mut next_rid, op, now);
+            // Index ≡ walk, for every function after every operation.
+            for f in 0..4u32 {
+                let f = FnId(f);
+                let (all, idle) = full_walk(&cluster, f);
+                let slots = cluster.wrr_candidates(f);
+                prop_assert_eq!(slots.len(), all.len(), "candidate count drift");
+                for (slot, (cid, w)) in slots.iter().zip(&all) {
+                    prop_assert_eq!(slot.cid, *cid, "order drift");
+                    prop_assert_eq!(slot.weight.to_bits(), w.to_bits(), "weight drift");
+                }
+                let idle_slots: Vec<(ContainerId, f64)> = slots
+                    .iter()
+                    .filter(|s| s.idle)
+                    .map(|s| (s.cid, s.weight))
+                    .collect();
+                prop_assert_eq!(idle_slots, idle, "idle subset drift");
+                prop_assert_eq!(
+                    cluster.fastest_idle_container(f),
+                    fastest_idle_walk(&cluster, f),
+                    "fastest-idle drift"
+                );
+                let warm_walk = cluster
+                    .fn_containers(f)
+                    .filter(|c| {
+                        matches!(c.state(), ContainerState::Idle | ContainerState::Busy)
+                    })
+                    .count() as u64;
+                prop_assert_eq!(cluster.fn_warm_count(f), warm_walk, "warm census drift");
+            }
+            cluster.check_invariants();
+        }
     }
 
     #[test]

@@ -155,10 +155,7 @@ impl KnativePolicy {
                     SimTime::ZERO,
                     SimTime::ZERO,
                 ) {
-                    cluster
-                        .container_mut(cid)
-                        .expect("just created")
-                        .mark_ready();
+                    cluster.mark_container_ready(cid);
                 }
             }
             fns.insert(
@@ -245,12 +242,12 @@ impl KnativePolicy {
     }
 
     fn try_start(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
-        let Some(c) = self.cluster.container_mut(cid) else {
+        let Some(c) = self.cluster.container(cid) else {
             return;
         };
         let fn_id = c.fn_id();
         let deflation = c.deflation_ratio();
-        let Some(rid) = c.try_begin_service(now) else {
+        let Some(rid) = self.cluster.begin_service(cid, now) else {
             return;
         };
         let dur = self.setups[fn_id.0 as usize]
@@ -423,14 +420,10 @@ impl SchedulerPolicy for KnativePolicy {
     fn on_event(&mut self, ctx: &mut impl PolicyCtx<Ev>, ev: Ev, now: SimTime) {
         match ev {
             Ev::Ready(cid) => {
-                let Some(c) = self.cluster.container_mut(cid) else {
-                    return;
-                };
-                if !matches!(c.state(), lass_cluster::ContainerState::Starting { .. }) {
-                    return;
+                if !self.cluster.mark_container_ready(cid) {
+                    return; // terminated while starting, or a stale event
                 }
-                c.mark_ready();
-                let f = c.fn_id();
+                let f = self.cluster.container(cid).expect("just marked").fn_id();
                 self.feed(ctx, cid, f, now);
             }
             Ev::Complete { cid, seq } => {
@@ -439,13 +432,16 @@ impl SchedulerPolicy for KnativePolicy {
                     _ => return,
                 }
                 let (rid, _, started) = self.in_service.remove(&cid).expect("checked");
-                let Some(c) = self.cluster.container_mut(cid) else {
+                let Some(c) = self.cluster.container(cid) else {
                     return;
                 };
-                let done = c.complete_service(now);
-                debug_assert_eq!(done, rid);
                 let f = c.fn_id();
                 let cpu_cores = c.cpu().as_cores();
+                let done = self
+                    .cluster
+                    .finish_service(cid, now)
+                    .expect("live container");
+                debug_assert_eq!(done, rid);
                 // `None`: the completion was withheld upstream (stalled
                 // behind a federated network partition).
                 if let Some(completion) = ctx.complete(ReqId(rid.0), started, now) {

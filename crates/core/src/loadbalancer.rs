@@ -26,25 +26,41 @@ impl SmoothWrr {
 
     /// Pick one container from `candidates` (id + weight). Weights must be
     /// positive. Returns `None` on an empty candidate set.
+    pub fn pick(&mut self, candidates: &[(ContainerId, f64)]) -> Option<ContainerId> {
+        self.pick_from(candidates.iter().copied())
+    }
+
+    /// [`SmoothWrr::pick`] over any re-iterable candidate sequence —
+    /// lets the dispatch hot path feed the cluster's incrementally
+    /// maintained weighted index (optionally filtered down to its idle
+    /// slots) straight into the picker, with no intermediate candidate
+    /// buffer.
     ///
     /// Smooth WRR: every candidate's credit grows by its weight, the
     /// largest credit wins and is decremented by the total weight. Over `W`
     /// (total weight) consecutive picks each candidate is chosen
     /// proportionally to its weight, with the picks interleaved.
-    pub fn pick(&mut self, candidates: &[(ContainerId, f64)]) -> Option<ContainerId> {
-        if candidates.is_empty() {
+    pub fn pick_from<I>(&mut self, candidates: I) -> Option<ContainerId>
+    where
+        I: Iterator<Item = (ContainerId, f64)> + Clone,
+    {
+        // One prefix pass measures the sequence and totals the weights
+        // (left-to-right, matching the historical `.sum()` bit-for-bit).
+        let (count, total) = candidates
+            .clone()
+            .fold((0usize, 0.0f64), |(n, t), (_, w)| (n + 1, t + w));
+        if count == 0 {
             return None;
         }
-        debug_assert!(candidates.iter().all(|&(_, w)| w > 0.0));
+        debug_assert!(candidates.clone().all(|(_, w)| w > 0.0));
         // Prune state for containers no longer offered.
-        if self.credit.len() > candidates.len() * 2 {
+        if self.credit.len() > count * 2 {
             let alive: std::collections::BTreeSet<ContainerId> =
-                candidates.iter().map(|&(c, _)| c).collect();
+                candidates.clone().map(|(c, _)| c).collect();
             self.credit.retain(|c, _| alive.contains(c));
         }
-        let total: f64 = candidates.iter().map(|&(_, w)| w).sum();
         let mut best: Option<(ContainerId, f64)> = None;
-        for &(cid, w) in candidates {
+        for (cid, w) in candidates {
             let credit = self.credit.entry(cid).or_insert(0.0);
             *credit += w;
             match best {

@@ -224,10 +224,6 @@ struct FnRuntime {
     cpu_timeline: TimeSeries,
     container_timeline: TimeSeries,
     rate_timeline: TimeSeries,
-    /// Reusable candidate buffers for the WRR dispatch modes (cleared
-    /// per request; avoids a heap allocation on every arrival).
-    scratch_idle: Vec<(ContainerId, f64)>,
-    scratch_all: Vec<(ContainerId, f64)>,
 }
 
 /// The LaSS scheduling policy: §5 dispatch over a [`Cluster`], with the
@@ -277,8 +273,6 @@ impl LassPolicy {
                     cpu_timeline: TimeSeries::new(),
                     container_timeline: TimeSeries::new(),
                     rate_timeline: TimeSeries::new(),
-                    scratch_idle: Vec::new(),
-                    scratch_all: Vec::new(),
                 },
             );
         }
@@ -300,10 +294,7 @@ impl LassPolicy {
                     ready,
                 ) {
                     if s.warm_start {
-                        cluster
-                            .container_mut(cid)
-                            .expect("just created")
-                            .mark_ready();
+                        cluster.mark_container_ready(cid);
                     }
                 }
             }
@@ -367,23 +358,18 @@ impl LassPolicy {
                 self.cluster.fastest_idle_container(f)
             }
             policy @ (DispatchPolicy::IdleFirstWrr | DispatchPolicy::Wrr) => {
+                // The cluster maintains the candidate weights (and idle
+                // flags) incrementally on create/terminate/resize and
+                // the service transitions, so dispatch feeds the index
+                // straight into the picker — no per-request snapshot,
+                // no container-map walk.
                 let rt = self.fns.get_mut(&f).expect("known fn");
-                rt.scratch_idle.clear();
-                rt.scratch_all.clear();
-                for c in self.cluster.fn_containers(f) {
-                    if !c.is_schedulable() {
-                        continue;
-                    }
-                    let w = f64::from(c.cpu().0).max(1.0);
-                    rt.scratch_all.push((c.id(), w));
-                    if c.state() == ContainerState::Idle {
-                        rt.scratch_idle.push((c.id(), w));
-                    }
-                }
-                if policy == DispatchPolicy::IdleFirstWrr && !rt.scratch_idle.is_empty() {
-                    rt.wrr.pick(&rt.scratch_idle)
+                let cands = self.cluster.wrr_candidates(f);
+                if policy == DispatchPolicy::IdleFirstWrr && cands.iter().any(|s| s.idle) {
+                    rt.wrr
+                        .pick_from(cands.iter().filter(|s| s.idle).map(|s| (s.cid, s.weight)))
                 } else {
-                    rt.wrr.pick(&rt.scratch_all)
+                    rt.wrr.pick_from(cands.iter().map(|s| (s.cid, s.weight)))
                 }
             }
         };
@@ -411,12 +397,12 @@ impl LassPolicy {
     fn try_start(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
         let timeout = self.cfg.request_timeout_secs;
         let (fn_id, deflation, rid) = loop {
-            let Some(c) = self.cluster.container_mut(cid) else {
+            let Some(c) = self.cluster.container(cid) else {
                 return;
             };
             let fn_id = c.fn_id();
             let deflation = c.deflation_ratio();
-            let Some(rid) = c.try_begin_service(now) else {
+            let Some(rid) = self.cluster.begin_service(cid, now) else {
                 return;
             };
             let expired = timeout.is_some_and(|limit| {
@@ -427,8 +413,7 @@ impl LassPolicy {
                 break (fn_id, deflation, rid);
             }
             // Abandon: undo the service start and drop the request.
-            let c = self.cluster.container_mut(cid).expect("still live");
-            let dropped = c.complete_service(now);
+            let dropped = self.cluster.finish_service(cid, now).expect("still live");
             debug_assert_eq!(dropped, rid);
             ctx.abandon(ReqId(rid.0));
         };
@@ -450,14 +435,10 @@ impl LassPolicy {
     }
 
     fn on_ready(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
-        let Some(c) = self.cluster.container_mut(cid) else {
-            return; // terminated while starting
-        };
-        if !matches!(c.state(), ContainerState::Starting { .. }) {
-            return;
+        if !self.cluster.mark_container_ready(cid) {
+            return; // terminated while starting, or a stale event
         }
-        c.mark_ready();
-        let f = c.fn_id();
+        let f = self.cluster.container(cid).expect("just marked").fn_id();
         self.feed_container(ctx, cid, f, now);
     }
 
@@ -502,14 +483,17 @@ impl LassPolicy {
             _ => return,
         }
         let (rid, _, started) = self.in_service.remove(&cid).expect("checked");
-        let Some(c) = self.cluster.container_mut(cid) else {
+        let Some(c) = self.cluster.container(cid) else {
             return;
         };
         let deflation = c.deflation_ratio();
-        let done = c.complete_service(now);
-        debug_assert_eq!(done, rid);
         let f = c.fn_id();
         let cpu_cores = c.cpu().as_cores();
+        let done = self
+            .cluster
+            .finish_service(cid, now)
+            .expect("live container");
+        debug_assert_eq!(done, rid);
 
         // `None` means the completion was withheld upstream (a federated
         // site whose response is stalled behind a network partition): the

@@ -122,10 +122,7 @@ impl StaticRrPolicy {
                     SimTime::ZERO,
                     SimTime::ZERO,
                 ) {
-                    cluster
-                        .container_mut(cid)
-                        .expect("just created")
-                        .mark_ready();
+                    cluster.mark_container_ready(cid);
                     pool.containers.push(cid);
                 }
             }
@@ -161,12 +158,12 @@ impl StaticRrPolicy {
     }
 
     fn try_start(&mut self, ctx: &mut impl PolicyCtx<Ev>, cid: ContainerId, now: SimTime) {
-        let Some(c) = self.cluster.container_mut(cid) else {
+        let Some(c) = self.cluster.container(cid) else {
             return;
         };
         let fn_id = c.fn_id();
         let deflation = c.deflation_ratio();
-        let Some(rid) = c.try_begin_service(now) else {
+        let Some(rid) = self.cluster.begin_service(cid, now) else {
             return;
         };
         let dur = self.setups[fn_id.0 as usize]
@@ -241,12 +238,15 @@ impl SchedulerPolicy for StaticRrPolicy {
             _ => return,
         }
         let (rid, _, started) = self.in_service.remove(&cid).expect("checked");
-        let Some(c) = self.cluster.container_mut(cid) else {
+        let Some(c) = self.cluster.container(cid) else {
             return;
         };
-        let done = c.complete_service(now);
-        debug_assert_eq!(done, rid);
         let cpu_cores = c.cpu().as_cores();
+        let done = self
+            .cluster
+            .finish_service(cid, now)
+            .expect("live container");
+        debug_assert_eq!(done, rid);
         // `None`: the completion was withheld upstream (stalled behind a
         // federated network partition); only the measurement is deferred.
         if let Some(completion) = ctx.complete(ReqId(rid.0), started, now) {

@@ -99,21 +99,12 @@ impl GgcApprox {
     /// Approximate `P(W ≤ t)` via the exponential conditional-wait tail.
     /// Exact for `Variability::MARKOVIAN`.
     pub fn wait_cdf(&self, t: f64) -> f64 {
-        assert!(t >= 0.0);
-        if !self.is_stable() {
-            return 0.0;
-        }
-        let pw = self.wait_probability();
-        if pw <= 0.0 {
-            return 1.0;
-        }
-        let mean_wait = self.mean_wait();
-        if mean_wait <= 0.0 {
-            return 1.0;
-        }
-        // E[W | W > 0] = E[W] / P(W > 0).
-        let cond = mean_wait / pw;
-        (1.0 - pw * (-t / cond).exp()).clamp(0.0, 1.0)
+        approx_wait_cdf(
+            self.is_stable(),
+            self.wait_probability(),
+            self.mean_wait(),
+            t,
+        )
     }
 
     /// Smallest `t` with `P(W ≤ t) ≥ p`.
@@ -131,10 +122,34 @@ impl GgcApprox {
     }
 }
 
+/// The exponential conditional-wait tail shared by [`GgcApprox::wait_cdf`]
+/// and the allocation-free solver sweep, so the two paths cannot drift.
+fn approx_wait_cdf(stable: bool, pw: f64, mean_wait: f64, t: f64) -> f64 {
+    assert!(t >= 0.0);
+    if !stable {
+        return 0.0;
+    }
+    if pw <= 0.0 {
+        return 1.0;
+    }
+    if mean_wait <= 0.0 {
+        return 1.0;
+    }
+    // E[W | W > 0] = E[W] / P(W > 0).
+    let cond = mean_wait / pw;
+    (1.0 - pw * (-t / cond).exp()).clamp(0.0, 1.0)
+}
+
 /// Container solver for general distributions: the smallest `c` whose
 /// approximate `P(W ≤ t)` meets the target percentile. With
 /// `Variability::MARKOVIAN` this mirrors Algorithm 1 on the exact
 /// waiting-time CDF.
+///
+/// The `c` sweep evaluates the M/M/c backbone through one reused
+/// [`ErlangScratch`](crate::mmc::ErlangScratch): `(λ, μ)` is fixed, so
+/// each step extends the state-probability recurrence by one term
+/// instead of rebuilding (and re-allocating) the whole model — the
+/// results are bit-identical to the per-`c` [`GgcApprox`] construction.
 pub fn required_containers_general(
     lambda: f64,
     mu: f64,
@@ -145,14 +160,20 @@ pub fn required_containers_general(
     if t <= 0.0 || t.is_nan() {
         return Err(SolverError::BudgetExhausted { budget: t });
     }
+    assert!(
+        variability.ca2 >= 0.0 && variability.cs2 >= 0.0,
+        "squared CVs must be non-negative"
+    );
     let r = lambda / mu;
     let mut c = (r.floor() as u32).saturating_add(1).max(1);
     let mut iterations = 0u32;
     let mut best = 0.0f64;
+    let mut scratch = crate::mmc::ErlangScratch::new();
     while c <= cfg.max_containers {
         iterations += 1;
-        let q = GgcApprox::new(lambda, mu, c, variability).map_err(SolverError::from)?;
-        let p = q.wait_cdf(t);
+        let snap = scratch.eval(lambda, mu, c).map_err(SolverError::from)?;
+        let mean_wait = snap.mean_wait() * variability.correction();
+        let p = approx_wait_cdf(snap.is_stable(), snap.erlang_c(), mean_wait, t);
         best = best.max(p);
         if p >= cfg.target_percentile {
             return Ok(SolverResult {
@@ -265,6 +286,34 @@ mod tests {
         assert!(!q.is_stable());
         assert_eq!(q.wait_cdf(1.0), 0.0);
         assert_eq!(q.wait_percentile(0.9), f64::INFINITY);
+    }
+
+    /// The allocation-free sweep must reproduce the per-`c` GgcApprox
+    /// evaluation exactly: same container counts, same achieved
+    /// percentile bits.
+    #[test]
+    fn scratch_sweep_matches_per_c_construction() {
+        let cfg = SolverConfig::default();
+        for &(lambda, cv) in &[(10.0, 1.0), (40.0, 0.5), (95.0, 2.0)] {
+            let v = Variability::from_service_cv(cv);
+            let got = required_containers_general(lambda, 10.0, v, 0.05, &cfg).unwrap();
+            // Reference: evaluate each c with a fresh GgcApprox.
+            let mut c = ((lambda / 10.0).floor() as u32).saturating_add(1).max(1);
+            let want = loop {
+                let q = GgcApprox::new(lambda, 10.0, c, v).unwrap();
+                let p = q.wait_cdf(0.05);
+                if p >= cfg.target_percentile {
+                    break (c, p);
+                }
+                c += 1;
+            };
+            assert_eq!(got.containers, want.0, "λ={lambda} cv={cv}");
+            assert_eq!(
+                got.achieved.to_bits(),
+                want.1.to_bits(),
+                "λ={lambda} cv={cv}"
+            );
+        }
     }
 
     #[test]

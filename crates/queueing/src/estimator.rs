@@ -41,6 +41,24 @@ impl Ewma {
         v
     }
 
+    /// Fold `n` identical observations of `x` in O(1) via the closed-form
+    /// decay `v ← x + (v − x)·(1 − α)ⁿ` — equivalent to calling
+    /// [`Ewma::observe`] with `x` `n` times, up to floating-point rounding
+    /// (the iterated product and the power round differently in the last
+    /// ULPs, so callers that need bit-exact replay must keep the loop for
+    /// short runs and reserve this for long gaps).
+    pub fn fold_constant(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.value = Some(match self.value {
+            // The first observation seeds the average; every further
+            // identical observation leaves it at `x`.
+            None => x,
+            Some(v) => x + (v - x) * (1.0 - self.alpha).powf(n as f64),
+        });
+    }
+
     /// Current smoothed value, if any observation has been folded in.
     pub fn value(&self) -> Option<f64> {
         self.value
@@ -191,6 +209,35 @@ mod tests {
         let mut e = Ewma::new(1.0);
         e.observe(5.0);
         assert_eq!(e.observe(9.0), 9.0);
+    }
+
+    #[test]
+    fn ewma_fold_constant_matches_iteration() {
+        for &x in &[0.0, 1.0, 3.5] {
+            let mut folded = Ewma::new(0.3);
+            let mut looped = Ewma::new(0.3);
+            folded.observe(10.0);
+            looped.observe(10.0);
+            folded.fold_constant(x, 40);
+            for _ in 0..40 {
+                looped.observe(x);
+            }
+            let (f, l) = (folded.value().unwrap(), looped.value().unwrap());
+            assert!((f - l).abs() < 1e-12, "x={x}: folded {f} vs looped {l}");
+        }
+        // Seeding: n identical observations on an empty EWMA yield x.
+        let mut e = Ewma::new(0.3);
+        e.fold_constant(7.0, 3);
+        assert_eq!(e.value(), Some(7.0));
+        // n = 0 is a no-op.
+        let mut e = Ewma::new(0.3);
+        e.fold_constant(7.0, 0);
+        assert_eq!(e.value(), None);
+        // Huge n decays to x without iterating.
+        let mut e = Ewma::new(0.3);
+        e.observe(123.0);
+        e.fold_constant(0.0, 1_000_000_000_000);
+        assert_eq!(e.value(), Some(0.0));
     }
 
     #[test]

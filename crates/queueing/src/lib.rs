@@ -7,7 +7,9 @@
 //! * [`mmc`] — steady-state analysis of the homogeneous M/M/c/FCFS queue
 //!   (Eq. 1–2 of the paper), including the waiting-time tail bound the paper
 //!   derives from the state probabilities (Eq. 3–4) and the classical exact
-//!   waiting-time distribution for cross-validation.
+//!   waiting-time distribution for cross-validation. For hot paths that
+//!   evaluate many models, [`ErlangScratch`] is an allocation-free
+//!   incremental evaluator producing bit-identical [`MmcSnapshot`]s.
 //! * [`solver`] — Algorithm 1: the iterative procedure that finds the
 //!   smallest container count `c` such that a target percentile of requests
 //!   waits no longer than the SLO budget.
@@ -49,8 +51,10 @@ pub use estimator::{DualWindowEstimator, Ewma};
 pub use hetero::{
     required_additional_containers, required_additional_containers_naive, HeteroMmc, HeteroMmcNaive,
 };
-pub use mmc::{MmcQueue, QueueError};
-pub use predictor::{HealthEwma, PredictorConfig, WaitForecast, WaitPredictor};
+pub use mmc::{ErlangScratch, MmcQueue, MmcSnapshot, QueueError};
+pub use predictor::{
+    EvaluatedForecast, ForecastCache, HealthEwma, PredictorConfig, WaitForecast, WaitPredictor,
+};
 pub use quantile::{percentile_of_sorted, ExactPercentiles, P2Quantile};
 pub use solver::{
     required_containers, required_containers_exact, required_containers_for_slo, wait_budget,

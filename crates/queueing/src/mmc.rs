@@ -66,34 +66,77 @@ pub struct MmcQueue {
     log_z: f64,
 }
 
+/// Validate M/M/c parameters — the shared gate for [`MmcQueue::new`] and
+/// [`ErlangScratch::eval`], so both paths accept and reject exactly the
+/// same inputs.
+fn validate_params(lambda: f64, mu: f64, c: u32) -> Result<(), QueueError> {
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(QueueError::InvalidArrivalRate);
+    }
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(QueueError::InvalidServiceRate);
+    }
+    if c == 0 {
+        return Err(QueueError::ZeroServers);
+    }
+    Ok(())
+}
+
+/// Extend `log_terms` so that `log_terms[n] = ln(r^n / n!)` holds for
+/// `0 ≤ n ≤ c`, reusing the first `valid` entries (already computed for
+/// the same `log_r`). Entries are produced by the same one-step
+/// recurrence whatever `valid` is, so an incremental extension is
+/// bit-identical to a fresh build.
+fn fill_log_terms(log_r: f64, c: u32, log_terms: &mut Vec<f64>, valid: &mut usize) {
+    let need = c as usize + 1;
+    if *valid == 0 {
+        if log_terms.is_empty() {
+            log_terms.push(0.0); // ln(r^0/0!) = 0
+        } else {
+            log_terms[0] = 0.0;
+        }
+        *valid = 1;
+    }
+    while *valid < need {
+        let n = *valid;
+        let term = log_terms[n - 1] + log_r - (n as f64).ln();
+        if n < log_terms.len() {
+            log_terms[n] = term;
+        } else {
+            log_terms.push(term);
+        }
+        *valid += 1;
+    }
+}
+
+/// Log of the normalization constant `1/P0` for a stable queue
+/// (`rho < 1`), evaluated over the caller's scratch buffer so the hot
+/// path allocates nothing. The summands are laid out exactly as the
+/// historical `MmcQueue::new` did (head terms in order, geometric tail
+/// last), so the result is bit-identical.
+fn log_normalization(rho: f64, log_terms: &[f64], c: u32, items: &mut Vec<f64>) -> f64 {
+    // Z = sum_{n=0}^{c-1} r^n/n!  +  r^c / (c! (1 - rho))
+    let tail = log_terms[c as usize] - (1.0 - rho).ln();
+    items.clear();
+    items.extend_from_slice(&log_terms[..c as usize]);
+    items.push(tail);
+    log_sum_exp(items)
+}
+
 impl MmcQueue {
     /// Build the model, pre-computing the state-probability recurrence.
     pub fn new(lambda: f64, mu: f64, c: u32) -> Result<Self, QueueError> {
-        if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(QueueError::InvalidArrivalRate);
-        }
-        if !(mu.is_finite() && mu > 0.0) {
-            return Err(QueueError::InvalidServiceRate);
-        }
-        if c == 0 {
-            return Err(QueueError::ZeroServers);
-        }
+        validate_params(lambda, mu, c)?;
         let r = lambda / mu;
         let log_r = r.ln();
         let mut log_terms = Vec::with_capacity(c as usize + 1);
-        log_terms.push(0.0); // ln(r^0/0!) = 0
-        for n in 1..=c {
-            let prev = log_terms[n as usize - 1];
-            log_terms.push(prev + log_r - f64::from(n).ln());
-        }
+        let mut valid = 0;
+        fill_log_terms(log_r, c, &mut log_terms, &mut valid);
 
         let rho = r / f64::from(c);
         let log_z = if rho < 1.0 {
-            // Z = sum_{n=0}^{c-1} r^n/n!  +  r^c / (c! (1 - rho))
-            let tail = log_terms[c as usize] - (1.0 - rho).ln();
-            let mut items: Vec<f64> = log_terms[..c as usize].to_vec();
-            items.push(tail);
-            log_sum_exp(&items)
+            let mut items = Vec::with_capacity(c as usize + 1);
+            log_normalization(rho, &log_terms, c, &mut items)
         } else {
             f64::INFINITY // unstable: P0 = 0
         };
@@ -272,6 +315,180 @@ impl MmcQueue {
     }
 }
 
+/// Allocation-free incremental Erlang-C evaluator — the route-decision
+/// hot path's replacement for building one [`MmcQueue`] per call.
+///
+/// [`MmcQueue::new`] allocates a fresh `log_terms` vector (plus the
+/// normalization scratch) on every construction; at one model per site
+/// per routing decision that allocation dominates the decision cost
+/// (see `BENCH_routing.json`). `ErlangScratch` keeps both buffers alive
+/// across evaluations and exploits two incremental structures:
+///
+/// * the `ln(r^n/n!)` recurrence depends only on `r = λ/μ`, so while
+///   `(λ, μ)` is unchanged a larger `c` just *extends* the existing
+///   terms (the P₀ recurrence) instead of rebuilding them;
+/// * the normalization `ln Z` is re-summed over the retained buffer —
+///   O(c) arithmetic, zero allocation.
+///
+/// Every evaluation is **bit-identical** to the corresponding
+/// [`MmcQueue`] queries (both paths share `fill_log_terms` /
+/// `log_normalization` / `log_sum_exp`, performing the same operations
+/// in the same order), which the differential proptests pin to the last
+/// ULP. The result is a tiny Copy [`MmcSnapshot`] answering the
+/// waiting-time queries in O(1).
+#[derive(Debug, Clone, Default)]
+pub struct ErlangScratch {
+    /// Parameters the cached `log_terms` prefix was computed for.
+    lambda: f64,
+    mu: f64,
+    log_r: f64,
+    /// Number of leading `log_terms` entries valid for `(lambda, mu)`.
+    valid: usize,
+    /// `log_terms[n] = ln(r^n / n!)` scratch, grown monotonically.
+    log_terms: Vec<f64>,
+    /// Scratch for the normalization log-sum-exp.
+    items: Vec<f64>,
+}
+
+impl ErlangScratch {
+    /// A fresh evaluator with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate the M/M/c model at `(lambda, mu, c)`, reusing every term
+    /// still valid from the previous call. Validation matches
+    /// [`MmcQueue::new`] exactly.
+    pub fn eval(&mut self, lambda: f64, mu: f64, c: u32) -> Result<MmcSnapshot, QueueError> {
+        validate_params(lambda, mu, c)?;
+        let r = lambda / mu;
+        if lambda != self.lambda || mu != self.mu || self.valid == 0 {
+            // New rate pair: the recurrence restarts from ln(r^0/0!).
+            self.lambda = lambda;
+            self.mu = mu;
+            self.log_r = r.ln();
+            self.valid = 0;
+        }
+        fill_log_terms(self.log_r, c, &mut self.log_terms, &mut self.valid);
+
+        let rho = r / f64::from(c);
+        let log_z = if rho < 1.0 {
+            log_normalization(rho, &self.log_terms, c, &mut self.items)
+        } else {
+            f64::INFINITY // unstable: P0 = 0
+        };
+        // The Erlang-C probability, precomputed once per (λ, μ, c) so the
+        // snapshot's waiting-time queries are pure arithmetic. Mirrors
+        // `MmcQueue::erlang_c` exactly, including its use of the
+        // *utilization* form of rho.
+        let util = lambda / (f64::from(c) * mu);
+        let erlang_c = if util < 1.0 {
+            let log_c = self.log_terms[c as usize] - (1.0 - util).ln() - log_z;
+            log_c.exp().min(1.0)
+        } else {
+            1.0
+        };
+        Ok(MmcSnapshot {
+            lambda,
+            mu,
+            c,
+            erlang_c,
+        })
+    }
+}
+
+/// A point evaluation of one M/M/c model: the parameters plus the
+/// precomputed Erlang-C probability, from which the mean wait and every
+/// waiting-time percentile follow in O(1) — no buffers, no allocation.
+///
+/// Produced by [`ErlangScratch::eval`]; each query returns the same bits
+/// as the corresponding [`MmcQueue`] method (the formulas are copied
+/// verbatim and the Erlang-C value is computed by the same expression).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmcSnapshot {
+    lambda: f64,
+    mu: f64,
+    c: u32,
+    erlang_c: f64,
+}
+
+impl MmcSnapshot {
+    /// Mean arrival rate λ.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-container service rate μ.
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Number of containers `c`.
+    #[inline]
+    pub fn servers(&self) -> u32 {
+        self.c
+    }
+
+    /// System utilization `ρ = λ/(cμ)`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.lambda / (f64::from(self.c) * self.mu)
+    }
+
+    /// Whether the queue is stable (`ρ < 1`).
+    #[inline]
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// The Erlang-C probability `P(W > 0)`; `1.0` for an unstable
+    /// system. Matches [`MmcQueue::erlang_c`] bit-for-bit.
+    #[inline]
+    pub fn erlang_c(&self) -> f64 {
+        if !self.is_stable() {
+            return 1.0;
+        }
+        self.erlang_c
+    }
+
+    /// Mean waiting time `E[W] = C(c,r) / (cμ − λ)`. Matches
+    /// [`MmcQueue::mean_wait`] bit-for-bit.
+    pub fn mean_wait(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        self.erlang_c() / (f64::from(self.c) * self.mu - self.lambda)
+    }
+
+    /// Exact waiting-time CDF `P(W ≤ t)`. Matches [`MmcQueue::wait_cdf`]
+    /// bit-for-bit.
+    pub fn wait_cdf(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "wait budget must be non-negative");
+        if !self.is_stable() {
+            return 0.0;
+        }
+        let drain = f64::from(self.c) * self.mu - self.lambda;
+        (1.0 - self.erlang_c() * (-drain * t).exp()).clamp(0.0, 1.0)
+    }
+
+    /// Smallest `t` with `P(W ≤ t) ≥ p`; infinite when unstable. Matches
+    /// [`MmcQueue::wait_percentile`] bit-for-bit.
+    pub fn wait_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "percentile must be in [0,1)");
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let ec = self.erlang_c();
+        if ec <= 1.0 - p {
+            return 0.0;
+        }
+        let drain = f64::from(self.c) * self.mu - self.lambda;
+        (ec / (1.0 - p)).ln() / drain
+    }
+}
+
 /// Numerically-stable `ln Σ exp(x_i)`.
 pub(crate) fn log_sum_exp(xs: &[f64]) -> f64 {
     let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -443,6 +660,79 @@ mod tests {
         let q = MmcQueue::new(30.0, 5.0, 10).unwrap();
         assert!((q.offered_load() - 6.0).abs() < 1e-12);
         assert!((q.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    /// Bit-level agreement between a fresh `MmcQueue` and a reused
+    /// `ErlangScratch` across a parameter walk that exercises every
+    /// reuse mode: same rates with growing/shrinking `c`, changed rates,
+    /// stable and unstable regimes.
+    #[test]
+    fn scratch_matches_queue_to_the_last_ulp() {
+        let mut scratch = ErlangScratch::new();
+        let walk = [
+            (20.0, 5.0, 6u32),
+            (20.0, 5.0, 12),    // extend terms incrementally
+            (20.0, 5.0, 3),     // shrink (prefix reuse), unstable
+            (20.0, 5.0, 4),     // boundary rho = 1
+            (20.0, 5.0, 5),     // stable again
+            (900.0, 1.0, 1000), // rate change + large fleet
+            (0.7, 1.0, 1),      // M/M/1
+            (0.7, 1.0, 1),      // exact repeat
+        ];
+        for &(l, m, c) in &walk {
+            let q = MmcQueue::new(l, m, c).unwrap();
+            let s = scratch.eval(l, m, c).unwrap();
+            assert_eq!(
+                s.erlang_c().to_bits(),
+                q.erlang_c().to_bits(),
+                "erlang_c λ={l} μ={m} c={c}"
+            );
+            assert_eq!(
+                s.mean_wait().to_bits(),
+                q.mean_wait().to_bits(),
+                "mean_wait λ={l} μ={m} c={c}"
+            );
+            for &p in &[0.0, 0.5, 0.9, 0.95, 0.99] {
+                assert_eq!(
+                    s.wait_percentile(p).to_bits(),
+                    q.wait_percentile(p).to_bits(),
+                    "wait_percentile({p}) λ={l} μ={m} c={c}"
+                );
+            }
+            for &t in &[0.0, 0.01, 0.1, 1.0] {
+                assert_eq!(
+                    s.wait_cdf(t).to_bits(),
+                    q.wait_cdf(t).to_bits(),
+                    "wait_cdf({t}) λ={l} μ={m} c={c}"
+                );
+            }
+            assert_eq!(s.utilization().to_bits(), q.utilization().to_bits());
+            assert_eq!(s.is_stable(), q.is_stable());
+        }
+    }
+
+    #[test]
+    fn scratch_rejects_exactly_like_queue() {
+        let mut scratch = ErlangScratch::new();
+        for &(l, m, c) in &[
+            (0.0, 1.0, 1u32),
+            (-2.0, 1.0, 1),
+            (f64::NAN, 1.0, 1),
+            (f64::INFINITY, 1.0, 1),
+            (1.0, 0.0, 1),
+            (1.0, f64::NAN, 1),
+            (1.0, 1.0, 0),
+        ] {
+            assert_eq!(
+                scratch.eval(l, m, c).err(),
+                MmcQueue::new(l, m, c).err(),
+                "λ={l} μ={m} c={c}"
+            );
+        }
+        // A rejected call must not poison the next valid one.
+        let s = scratch.eval(20.0, 5.0, 6).unwrap();
+        let q = MmcQueue::new(20.0, 5.0, 6).unwrap();
+        assert_eq!(s.mean_wait().to_bits(), q.mean_wait().to_bits());
     }
 
     #[test]

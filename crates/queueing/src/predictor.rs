@@ -23,8 +23,17 @@
 //! reproducible from the observation sequence.
 
 use crate::estimator::Ewma;
-use crate::mmc::MmcQueue;
+use crate::mmc::{ErlangScratch, MmcQueue, MmcSnapshot};
 use serde::{Deserialize, Serialize};
+
+/// Number of whole zero-arrival (or constant-state) ticks beyond which
+/// an idle gap is folded into an EWMA in closed form (`v·(1−α)ⁿ`)
+/// instead of per-tick. Below the threshold the historical per-tick
+/// loop runs unchanged — bit-for-bit with previous releases, which the
+/// pinned goldens rely on; above it the fold is O(1), so a site quiet
+/// for days (or a large `now` jump after recovery) costs constant work
+/// instead of one EWMA fold per elapsed tick.
+const GAP_FOLD_TICKS: u64 = 64;
 
 /// Smoothing constants for a [`WaitPredictor`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -135,6 +144,12 @@ pub struct WaitPredictor {
     win_count: u64,
     lambda: Ewma,
     service: Ewma,
+    /// Bumped whenever the λ EWMA folds in a tick — the λ̂ estimate can
+    /// only change when this does.
+    lambda_epoch: u64,
+    /// Bumped whenever a service-time observation is accepted — the μ̂
+    /// estimate can only change when this does.
+    mu_epoch: u64,
 }
 
 impl Default for WaitPredictor {
@@ -153,22 +168,45 @@ impl WaitPredictor {
             win_count: 0,
             lambda: Ewma::new(cfg.lambda_alpha),
             service: Ewma::new(cfg.service_alpha),
+            lambda_epoch: 0,
+            mu_epoch: 0,
         }
     }
 
     /// Close every arrival tick that ended before `now`, folding its
     /// rate into the λ EWMA (ticks with zero arrivals count too — an
-    /// idle site must see its estimate decay).
+    /// idle site must see its estimate decay). Gaps longer than
+    /// [`GAP_FOLD_TICKS`] fold their zero-arrival run in O(1) via the
+    /// closed-form EWMA decay, so a quiet stretch of any length costs
+    /// constant work.
     fn advance(&mut self, now: f64) {
         let Some(mut start) = self.win_start else {
             self.win_start = Some(now);
             return;
         };
-        while now - start >= self.cfg.tick_secs {
+        if now - start >= self.cfg.tick_secs {
+            // Close the tick holding the buffered arrivals.
             self.lambda
                 .observe(self.win_count as f64 / self.cfg.tick_secs);
+            self.lambda_epoch += 1;
             self.win_count = 0;
             start += self.cfg.tick_secs;
+            // Every further elapsed tick saw zero arrivals. Fold long
+            // runs in closed form, leaving the last tick to the exact
+            // loop so the window phase is always advanced by the same
+            // bookkeeping.
+            let gap = (now - start) / self.cfg.tick_secs;
+            if gap >= GAP_FOLD_TICKS as f64 {
+                let n = (gap as u64).saturating_sub(1);
+                self.lambda.fold_constant(0.0, n);
+                self.lambda_epoch += 1;
+                start += self.cfg.tick_secs * n as f64;
+            }
+            while now - start >= self.cfg.tick_secs {
+                self.lambda.observe(0.0);
+                self.lambda_epoch += 1;
+                start += self.cfg.tick_secs;
+            }
         }
         self.win_start = Some(start);
     }
@@ -183,7 +221,16 @@ impl WaitPredictor {
     pub fn on_service(&mut self, service_secs: f64) {
         if service_secs.is_finite() && service_secs > 0.0 {
             self.service.observe(service_secs);
+            self.mu_epoch += 1;
         }
+    }
+
+    /// The predictor's `(λ̂ epoch, μ̂ epoch)` — monotone counters that
+    /// advance exactly when the respective estimate may have changed.
+    /// [`ForecastCache`] keys on them (plus the server count) to skip
+    /// re-evaluating the M/M/c model between ticks.
+    pub fn epochs(&self) -> (u64, u64) {
+        (self.lambda_epoch, self.mu_epoch)
     }
 
     /// Build the forecast as of `now`, assuming the site currently holds
@@ -200,6 +247,145 @@ impl WaitPredictor {
             mu,
             servers,
         }
+    }
+}
+
+/// A [`WaitForecast`] with its M/M/c model already evaluated: the raw
+/// λ̂/μ̂/c triple plus a precomputed [`MmcSnapshot`], so `mean_wait` and
+/// `wait_percentile` are O(1) arithmetic instead of a model build.
+///
+/// This is what the federation hands the model-driven routers in each
+/// `SiteState`: the routers' waiting-time queries return exactly the
+/// same bits as the uncached [`WaitForecast`] methods (the snapshot is
+/// a bit-identical stand-in for the [`MmcQueue`] those build), but the
+/// per-decision cost collapses from one allocation-plus-O(c) model
+/// construction per site to a handful of float operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvaluatedForecast {
+    raw: WaitForecast,
+    /// The evaluated model; `None` exactly when the uncached path would
+    /// fail to build one (insufficient telemetry or parameters the
+    /// model rejects).
+    model: Option<MmcSnapshot>,
+}
+
+impl EvaluatedForecast {
+    /// Evaluate `raw` through the caller's scratch buffers.
+    pub fn evaluate(scratch: &mut ErlangScratch, raw: WaitForecast) -> Self {
+        let model = if raw.has_model() {
+            scratch.eval(raw.lambda, raw.mu, raw.servers).ok()
+        } else {
+            None
+        };
+        Self { raw, model }
+    }
+
+    /// The raw λ̂/μ̂/c triple.
+    #[inline]
+    pub fn raw(&self) -> WaitForecast {
+        self.raw
+    }
+
+    /// Estimated arrival rate λ̂ (requests/second).
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.raw.lambda
+    }
+
+    /// Estimated per-server service rate μ̂ (requests/second).
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.raw.mu
+    }
+
+    /// Server count assumed for the forecast.
+    #[inline]
+    pub fn servers(&self) -> u32 {
+        self.raw.servers
+    }
+
+    /// Whether enough telemetry has accumulated to build a model.
+    #[inline]
+    pub fn has_model(&self) -> bool {
+        self.raw.has_model()
+    }
+
+    /// Estimated utilization `λ̂ / (c μ̂)` (0 without a model).
+    pub fn utilization(&self) -> f64 {
+        self.raw.utilization()
+    }
+
+    /// Predicted mean waiting time, seconds — bit-identical to
+    /// [`WaitForecast::mean_wait`].
+    pub fn mean_wait(&self) -> f64 {
+        self.model.map_or(0.0, |m| m.mean_wait())
+    }
+
+    /// Predicted waiting time at percentile `p ∈ [0, 1)`, seconds —
+    /// bit-identical to [`WaitForecast::wait_percentile`].
+    pub fn wait_percentile(&self, p: f64) -> f64 {
+        self.model.map_or(0.0, |m| m.wait_percentile(p))
+    }
+}
+
+impl From<WaitForecast> for EvaluatedForecast {
+    /// Evaluate through throw-away scratch buffers — convenient off the
+    /// hot path (tests, benches); the routing loop goes through a
+    /// [`ForecastCache`] instead.
+    fn from(raw: WaitForecast) -> Self {
+        Self::evaluate(&mut ErlangScratch::new(), raw)
+    }
+}
+
+/// Per-site forecast cache keyed by `(λ̂ epoch, μ̂ epoch, c)`.
+///
+/// The federation refreshes every site's forecast at every routing
+/// decision, but the underlying estimates only move when the predictor
+/// closes an arrival tick, accepts a service observation, or the site's
+/// server count changes. The cache compares the predictor's
+/// [`epochs`](WaitPredictor::epochs) (after advancing it to `now`) and
+/// the server count against the key of the last evaluation and returns
+/// the retained [`EvaluatedForecast`] on a hit — making the steady-state
+/// refresh path allocation-free and O(1) per site. Evaluations reuse one
+/// [`ErlangScratch`], so even misses allocate nothing once the buffers
+/// have grown to the fleet size.
+#[derive(Debug, Clone, Default)]
+pub struct ForecastCache {
+    scratch: ErlangScratch,
+    /// `(λ̂ epoch, μ̂ epoch, servers)` of the retained evaluation.
+    key: Option<(u64, u64, u32)>,
+    cached: EvaluatedForecast,
+}
+
+impl ForecastCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The site's forecast as of `now` with `servers` servers,
+    /// re-evaluated only if the predictor advanced or the server count
+    /// changed since the last call.
+    pub fn refresh(
+        &mut self,
+        predictor: &mut WaitPredictor,
+        now: f64,
+        servers: u32,
+    ) -> EvaluatedForecast {
+        predictor.advance(now);
+        let (le, me) = predictor.epochs();
+        let key = (le, me, servers);
+        if self.key != Some(key) {
+            let raw = predictor.forecast(now, servers);
+            self.cached = EvaluatedForecast::evaluate(&mut self.scratch, raw);
+            self.key = Some(key);
+        }
+        self.cached
+    }
+
+    /// Drop the retained evaluation (the next refresh recomputes).
+    pub fn invalidate(&mut self) {
+        self.key = None;
     }
 }
 
@@ -244,6 +430,13 @@ impl HealthEwma {
 
     /// Record that the site is `down` (or up) as of time `now`.
     /// Timestamps must be non-decreasing.
+    ///
+    /// A gap spanning more than [`GAP_FOLD_TICKS`] ticks is folded in
+    /// O(1): after the first closed tick the state is constant across
+    /// every whole tick of the gap (fully down ⇒ 1.0, fully up ⇒ 0.0),
+    /// so the run collapses to one closed-form EWMA decay instead of a
+    /// per-tick loop — a site observed again after a long outage (or a
+    /// long healthy stretch) costs constant work.
     pub fn observe(&mut self, now: f64, down: bool) {
         let Some(mut start) = self.win_start else {
             self.win_start = Some(now);
@@ -251,9 +444,9 @@ impl HealthEwma {
             self.down = down;
             return;
         };
-        // Close every tick that ended before `now`, attributing the
-        // previous state to the elapsed span.
-        while now - start >= self.tick_secs {
+        if now - start >= self.tick_secs {
+            // Close the first elapsed tick exactly — it may hold a
+            // partial span of accumulated downtime.
             let tick_end = start + self.tick_secs;
             if self.down {
                 self.acc_down += tick_end - self.last_t;
@@ -263,6 +456,26 @@ impl HealthEwma {
             self.acc_down = 0.0;
             self.last_t = tick_end;
             start = tick_end;
+            // The remaining whole ticks all carry the same state.
+            let gap = (now - start) / self.tick_secs;
+            if gap >= GAP_FOLD_TICKS as f64 {
+                let n = (gap as u64).saturating_sub(1);
+                self.ewma
+                    .fold_constant(if self.down { 1.0 } else { 0.0 }, n);
+                start += self.tick_secs * n as f64;
+                self.last_t = start;
+            }
+            while now - start >= self.tick_secs {
+                let tick_end = start + self.tick_secs;
+                if self.down {
+                    self.acc_down += tick_end - self.last_t;
+                }
+                self.ewma
+                    .observe((self.acc_down / self.tick_secs).clamp(0.0, 1.0));
+                self.acc_down = 0.0;
+                self.last_t = tick_end;
+                start = tick_end;
+            }
         }
         if self.down {
             self.acc_down += now - self.last_t;
@@ -368,6 +581,126 @@ mod tests {
         p.on_service(f64::NAN);
         p.on_service(-1.0);
         assert!((p.forecast(0.0, 1).mu - 1.0 / 0.15).abs() < 1e-9);
+    }
+
+    /// Regression: a million-tick idle gap (or an equally large `now`
+    /// jump after site recovery) must fold in O(1), not iterate one
+    /// EWMA observation per elapsed tick. Finishing this test at all is
+    /// the check — the pre-fix loop ran 10⁶ folds per call here.
+    #[test]
+    fn million_tick_gap_folds_in_constant_time() {
+        let mut p = WaitPredictor::default();
+        for i in 0..100 {
+            p.on_arrival(f64::from(i) * 0.1); // 10/s for 10 s
+        }
+        assert!(p.forecast(10.0, 1).lambda > 5.0);
+        // 10⁶ quiet seconds (tick_secs = 1): the estimate collapses.
+        let f = p.forecast(1.0e6 + 10.0, 1);
+        assert_eq!(f.lambda, 0.0, "lambda must fully decay: {}", f.lambda);
+        // The short-gap path is unaffected: folding 10 quiet ticks by
+        // loop (under the threshold) matches a fresh predictor fed the
+        // same history.
+        let mut a = WaitPredictor::default();
+        let mut b = WaitPredictor::default();
+        for i in 0..50 {
+            a.on_arrival(f64::from(i) * 0.2);
+            b.on_arrival(f64::from(i) * 0.2);
+        }
+        let fa = a.forecast(20.0, 2);
+        let fb = b.forecast(20.0, 2);
+        assert_eq!(fa.lambda.to_bits(), fb.lambda.to_bits());
+
+        // Same bound for the health tracker: a huge observation gap.
+        let mut h = HealthEwma::new(5.0, 0.3);
+        h.observe(0.0, true);
+        h.observe(30.0, false); // 30 s down, then up
+        h.observe(5.0e6, false); // ~10⁶ healthy ticks later
+        assert!(h.value() < 1e-12, "healed score {}", h.value());
+        let mut h = HealthEwma::new(5.0, 0.3);
+        h.observe(0.0, false);
+        h.observe(5.0e6, true); // down after a huge healthy stretch
+        assert!(h.value() >= 0.5);
+        h.observe(5.0e6 + 1.0e7, true); // down for 10⁷ s: score saturates
+        assert!(h.value() > 0.99, "saturated score {}", h.value());
+    }
+
+    #[test]
+    fn epochs_move_exactly_with_the_estimates() {
+        let mut p = WaitPredictor::default();
+        assert_eq!(p.epochs(), (0, 0));
+        p.on_arrival(0.1); // first observation only opens the window
+        assert_eq!(p.epochs(), (0, 0));
+        p.on_arrival(0.2); // same tick: no fold
+        assert_eq!(p.epochs(), (0, 0));
+        let _ = p.forecast(1.5, 2); // closes tick [0.1, 1.1)
+        assert_eq!(p.epochs(), (1, 0));
+        let _ = p.forecast(1.6, 2); // same tick: cacheable
+        assert_eq!(p.epochs(), (1, 0));
+        p.on_service(0.2);
+        assert_eq!(p.epochs(), (1, 1));
+        p.on_service(f64::NAN); // rejected: estimate unchanged
+        p.on_service(-1.0);
+        assert_eq!(p.epochs(), (1, 1));
+    }
+
+    /// The cache returns bit-identical forecasts to the uncached
+    /// WaitForecast + MmcQueue path across a telemetry stream, while
+    /// only re-evaluating when an epoch or the server count moves.
+    #[test]
+    fn forecast_cache_is_bit_identical_to_uncached_path() {
+        let mut pred = WaitPredictor::default();
+        let mut cache = ForecastCache::new();
+        let mut t = 0.0;
+        for step in 0..400 {
+            t += 0.05 + f64::from(step % 7) * 0.03;
+            if step % 3 == 0 {
+                pred.on_arrival(t);
+            }
+            if step % 5 == 0 {
+                pred.on_service(0.05 + f64::from(step % 11) * 0.01);
+            }
+            let servers = 1 + (step % 4) as u32;
+            let cached = cache.refresh(&mut pred, t, servers);
+            let raw = pred.forecast(t, servers);
+            assert_eq!(cached.lambda().to_bits(), raw.lambda.to_bits());
+            assert_eq!(cached.mu().to_bits(), raw.mu.to_bits());
+            assert_eq!(cached.servers(), raw.servers);
+            assert_eq!(
+                cached.mean_wait().to_bits(),
+                raw.mean_wait().to_bits(),
+                "step {step}"
+            );
+            for &p in &[0.5, 0.95, 0.99] {
+                assert_eq!(
+                    cached.wait_percentile(p).to_bits(),
+                    raw.wait_percentile(p).to_bits(),
+                    "step {step} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_cache_hits_between_ticks() {
+        let mut pred = WaitPredictor::default();
+        let mut cache = ForecastCache::new();
+        for i in 0..40 {
+            pred.on_arrival(f64::from(i) * 0.05);
+        }
+        pred.on_service(0.1);
+        let a = cache.refresh(&mut pred, 2.0, 3);
+        let key_after_first = cache.key;
+        // Queries inside the same tick with the same server count must
+        // not re-evaluate (the key is unchanged)…
+        let b = cache.refresh(&mut pred, 2.4, 3);
+        assert_eq!(cache.key, key_after_first);
+        assert_eq!(a.mean_wait().to_bits(), b.mean_wait().to_bits());
+        // …while a server-count change or a closed tick invalidates.
+        let _ = cache.refresh(&mut pred, 2.4, 4);
+        assert_ne!(cache.key, key_after_first);
+        let key_after_resize = cache.key;
+        let _ = cache.refresh(&mut pred, 3.4, 4); // next tick closed
+        assert_ne!(cache.key, key_after_resize);
     }
 
     #[test]

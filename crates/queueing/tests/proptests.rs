@@ -143,6 +143,90 @@ proptest! {
         }
     }
 
+    /// Differential: a reused `ErlangScratch` walked through an
+    /// arbitrary `(λ, μ, c)` sequence — rate changes, fleet
+    /// growth/shrink, stable and unstable regimes interleaved — must
+    /// agree with a fresh `MmcQueue` per step to the last ULP on every
+    /// waiting-time query.
+    #[test]
+    fn erlang_scratch_walk_is_bit_identical_to_fresh_models(
+        params in prop::collection::vec(
+            (0.1f64..300.0, 0.1f64..50.0, 1u32..300),
+            1..40,
+        ),
+        p in 0.01f64..0.999,
+        t in 0.0f64..2.0,
+    ) {
+        let mut scratch = lass_queueing::ErlangScratch::new();
+        for (l, m, c) in params {
+            let q = MmcQueue::new(l, m, c).unwrap();
+            let s = scratch.eval(l, m, c).unwrap();
+            prop_assert_eq!(
+                s.erlang_c().to_bits(), q.erlang_c().to_bits(),
+                "erlang_c λ={} μ={} c={}", l, m, c
+            );
+            prop_assert_eq!(
+                s.mean_wait().to_bits(), q.mean_wait().to_bits(),
+                "mean_wait λ={} μ={} c={}", l, m, c
+            );
+            prop_assert_eq!(
+                s.wait_percentile(p).to_bits(), q.wait_percentile(p).to_bits(),
+                "wait_percentile({}) λ={} μ={} c={}", p, l, m, c
+            );
+            prop_assert_eq!(
+                s.wait_cdf(t).to_bits(), q.wait_cdf(t).to_bits(),
+                "wait_cdf({}) λ={} μ={} c={}", t, l, m, c
+            );
+        }
+    }
+
+    /// Differential: driving one predictor through a `ForecastCache`
+    /// and a clone of it through the uncached
+    /// `WaitForecast` → `MmcQueue` path over the same arbitrary
+    /// arrival/service/query stream yields the same `mean_wait` and
+    /// `wait_percentile` bits at every query instant.
+    #[test]
+    fn forecast_cache_walk_is_bit_identical_to_uncached(
+        steps in prop::collection::vec(
+            (0.001f64..3.0, 0u8..3, 0.001f64..2.0, 1u32..40),
+            1..120,
+        ),
+        p in 0.01f64..0.999,
+    ) {
+        let mut cached_pred = lass_queueing::WaitPredictor::default();
+        let mut uncached_pred = lass_queueing::WaitPredictor::default();
+        let mut cache = lass_queueing::ForecastCache::new();
+        let mut now = 0.0;
+        for (dt, kind, service, servers) in steps {
+            now += dt;
+            match kind {
+                0 => {
+                    cached_pred.on_arrival(now);
+                    uncached_pred.on_arrival(now);
+                }
+                1 => {
+                    cached_pred.on_service(service);
+                    uncached_pred.on_service(service);
+                }
+                _ => {}
+            }
+            let cached = cache.refresh(&mut cached_pred, now, servers);
+            let raw = uncached_pred.forecast(now, servers);
+            prop_assert_eq!(cached.lambda().to_bits(), raw.lambda.to_bits());
+            prop_assert_eq!(cached.mu().to_bits(), raw.mu.to_bits());
+            prop_assert_eq!(
+                cached.mean_wait().to_bits(),
+                raw.mean_wait().to_bits(),
+                "mean_wait at t={}", now
+            );
+            prop_assert_eq!(
+                cached.wait_percentile(p).to_bits(),
+                raw.wait_percentile(p).to_bits(),
+                "wait_percentile({}) at t={}", p, now
+            );
+        }
+    }
+
     #[test]
     fn p2_tracks_exact_quantile(seed in 0u64..1000, p in 0.05f64..0.95) {
         use rand::prelude::*;

@@ -34,8 +34,10 @@
 //! per-site model telemetry and refreshes it into the [`SiteState`]
 //! snapshot at each routing decision: a
 //! [`WaitPredictor`](lass_queueing::WaitPredictor) fed each routed
-//! arrival and each completed request's service time (its
-//! [`WaitForecast`] drives the SLO-aware and affinity routers), a
+//! arrival and each completed request's service time (its forecast,
+//! memoized per `(λ̂ epoch, μ̂ epoch, servers)` by a
+//! [`ForecastCache`](lass_queueing::ForecastCache), drives the
+//! SLO-aware and affinity routers), a
 //! [`HealthEwma`](lass_queueing::HealthEwma) fed the site's up/down
 //! transitions by the chaos path (the failure-aware router's
 //! `flakiness` score), and a warm-container census for the routed
@@ -81,7 +83,7 @@ use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
 use crate::router::{RouterConfig, RouterPolicy, SiteState};
 use crate::time::{SimDuration, SimTime};
-use lass_queueing::{HealthEwma, WaitForecast, WaitPredictor};
+use lass_queueing::{EvaluatedForecast, ForecastCache, HealthEwma, WaitPredictor};
 use serde::{Map, Serialize, Value};
 use std::collections::BTreeMap;
 
@@ -178,9 +180,16 @@ struct SiteTally {
     /// Total time the site was unroutable (crashed or partitioned).
     downtime: DowntimeClock,
     /// Online λ̂/μ̂ telemetry feeding the model-driven routers'
-    /// [`WaitForecast`]s. Observe-only: maintained for every run, read
-    /// only by routers that care.
+    /// forecasts. Observe-only: maintained for every run, read only by
+    /// routers that care.
     predictor: WaitPredictor,
+    /// Memoized M/M/c evaluation of the predictor's forecast, keyed by
+    /// `(λ̂ epoch, μ̂ epoch, server count)`: the refresh before each
+    /// routing decision re-evaluates the model only when the predictor
+    /// actually advanced a tick (or absorbed a completion) or the
+    /// site's warm fleet changed — otherwise it is a key compare and a
+    /// copy, allocation-free.
+    fcache: ForecastCache,
     /// Downtime EWMA behind the failure-aware router's flakiness score.
     health: HealthEwma,
 }
@@ -221,6 +230,7 @@ impl SiteTally {
             chaos_crashes: 0,
             downtime: DowntimeClock::new(),
             predictor: WaitPredictor::new(router_cfg.predictor()),
+            fcache: ForecastCache::new(),
             health: HealthEwma::new(router_cfg.health_tick_secs, router_cfg.health_alpha),
         }
     }
@@ -509,7 +519,7 @@ impl<P: ContainerChaos> Federation<P> {
                 capacity_hint: m.capacity_hint,
                 in_flight: 0,
                 up: true,
-                forecast: WaitForecast::default(),
+                forecast: EvaluatedForecast::default(),
                 flakiness: 0.0,
                 warm: 0,
             })
@@ -545,6 +555,7 @@ impl<P: ContainerChaos> Federation<P> {
     pub fn set_router_config(&mut self, cfg: &RouterConfig) -> &mut Self {
         for tally in &mut self.tallies {
             tally.predictor = WaitPredictor::new(cfg.predictor());
+            tally.fcache = ForecastCache::new();
             tally.health = HealthEwma::new(cfg.health_tick_secs, cfg.health_alpha);
         }
         self
@@ -582,7 +593,11 @@ impl<P: ContainerChaos> Federation<P> {
             } else {
                 state.capacity_hint.round().max(1.0) as u32
             };
-            state.forecast = tally.predictor.forecast(t, servers);
+            // The cache re-evaluates the M/M/c model only when the
+            // predictor advanced a tick / absorbed a completion or
+            // `servers` changed — the steady-state refresh is a key
+            // compare plus a copy.
+            state.forecast = tally.fcache.refresh(&mut tally.predictor, t, servers);
         }
     }
 

@@ -49,7 +49,9 @@ pub use engine::{
 };
 pub use events::EventQueue;
 pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
-pub use lass_queueing::{PredictorConfig, WaitForecast, WaitPredictor};
+pub use lass_queueing::{
+    EvaluatedForecast, ForecastCache, PredictorConfig, WaitForecast, WaitPredictor,
+};
 pub use metrics::{DowntimeClock, SampleStats, TimeSeries, TimeWeightedGauge};
 pub use rng::SimRng;
 pub use router::{

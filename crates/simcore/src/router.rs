@@ -43,7 +43,7 @@
 //! style credit counter, not a coin flip).
 
 use crate::time::{SimDuration, SimTime};
-use lass_queueing::{PredictorConfig, WaitForecast};
+use lass_queueing::{EvaluatedForecast, PredictorConfig};
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// A router's view of one site at the instant of a routing decision.
@@ -67,9 +67,12 @@ pub struct SiteState {
     /// decision (not at the next load refresh).
     pub up: bool,
     /// Model-driven waiting-time forecast from the site's live λ̂/μ̂
-    /// telemetry (zero-wait before any telemetry accumulates). Old
-    /// routers ignore it; the federation maintains it either way.
-    pub forecast: WaitForecast,
+    /// telemetry (zero-wait before any telemetry accumulates), with its
+    /// M/M/c model pre-evaluated through the federation's per-site
+    /// [`ForecastCache`](lass_queueing::ForecastCache) so the routers'
+    /// waiting-time queries are O(1) and allocation-free. Old routers
+    /// ignore it; the federation maintains it either way.
+    pub forecast: EvaluatedForecast,
     /// EWMA'd recent downtime fraction in `[0, 1]` fed by the chaos
     /// layer: 0 for a site that has been healthy for a while, high for
     /// one that recently crashed or partitioned.
@@ -343,12 +346,27 @@ impl RouterPolicy for LatencyAwareRouter {
     }
 }
 
+/// The explicit saturated score assigned to a site whose forecast is
+/// unusable for ranking: an unstable model (estimated load at or beyond
+/// estimated capacity) and any non-finite arithmetic both land here.
+/// A saturated site loses every score comparison and never passes the
+/// SLO tier, so it is only picked through the explicit least-loaded
+/// degradation once *every* site saturates — a NaN can therefore never
+/// win a min-comparison or poison the hysteresis anchor.
+const SATURATED_SCORE: f64 = f64::INFINITY;
+
 /// A site's predicted percentile *response* score: hop latency plus the
 /// model-forecast waiting-time percentile (service time is omitted — it
-/// is the same wherever the request lands). Infinite when the site's
-/// estimated load exceeds its estimated capacity.
+/// is the same wherever the request lands). [`SATURATED_SCORE`] when
+/// the site's estimated load exceeds its estimated capacity, or when
+/// the telemetry is degenerate enough to produce a NaN.
 fn predicted_score(s: &SiteState, percentile: f64) -> f64 {
-    s.latency.as_secs_f64() + s.forecast.wait_percentile(percentile)
+    let score = s.latency.as_secs_f64() + s.forecast.wait_percentile(percentile);
+    if score.is_nan() {
+        SATURATED_SCORE
+    } else {
+        score
+    }
 }
 
 /// Model-driven SLO holder: among sites whose predicted percentile
@@ -368,8 +386,9 @@ pub struct SloAwareRouter {
     hysteresis: f64,
     /// Previous pick (hysteresis anchor).
     last: Option<usize>,
-    /// Scratch: per-site scores, so each M/M/c model is evaluated once
-    /// per decision (the evaluation allocates — see the routing bench).
+    /// Scratch: per-site scores, computed once per decision from the
+    /// pre-evaluated forecasts (O(1) per site, allocation-free once the
+    /// buffer has grown to the fleet size).
     scores: Vec<f64>,
 }
 
@@ -696,6 +715,7 @@ impl Deserialize for RouterKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lass_queueing::WaitForecast;
 
     pub(crate) fn site(latency: f64, cap: f64, in_flight: u64) -> SiteState {
         SiteState {
@@ -704,7 +724,7 @@ mod tests {
             capacity_hint: cap,
             in_flight,
             up: true,
-            forecast: WaitForecast::default(),
+            forecast: EvaluatedForecast::default(),
             flakiness: 0.0,
             warm: 0,
         }
@@ -721,13 +741,15 @@ mod tests {
             .collect()
     }
 
-    /// A forecast predicting the given λ/μ/c model.
-    fn forecast(lambda: f64, mu: f64, servers: u32) -> WaitForecast {
+    /// A forecast predicting the given λ/μ/c model, pre-evaluated the
+    /// way the federation's cache would.
+    fn forecast(lambda: f64, mu: f64, servers: u32) -> EvaluatedForecast {
         WaitForecast {
             lambda,
             mu,
             servers,
         }
+        .into()
     }
 
     #[test]
@@ -949,6 +971,56 @@ mod tests {
             let t = SimTime::from_secs(k);
             assert_eq!(fa.route(0, t, &s), ll.route(0, t, &s));
         }
+    }
+
+    /// Regression (overload/NaN scoring): degenerate telemetry — an
+    /// unstable model, μ̂ = 0 with traffic, extreme magnitudes — must
+    /// never produce a NaN score, and a site with a saturated score
+    /// must lose to any site with a finite one in both model-driven
+    /// score passes.
+    #[test]
+    fn saturated_and_degenerate_forecasts_never_win() {
+        let degenerate = [
+            forecast(25.0, 10.0, 2),     // ρ > 1: unstable
+            forecast(1e308, 1e-300, 1),  // r overflows to ∞
+            forecast(1e-308, 1e308, 3),  // r underflows to 0
+            forecast(5e-324, 5e-324, 1), // subnormal rates, ρ = 1
+            forecast(1e10, 1e308, 10),   // c·μ̂ overflows
+            WaitForecast {
+                lambda: f64::NAN,
+                mu: f64::NAN,
+                servers: 2,
+            }
+            .into(), // hand-built NaN telemetry
+        ];
+        for (i, f) in degenerate.iter().enumerate() {
+            let mut s = site(0.001, 2.0, 0);
+            s.forecast = *f;
+            let score = predicted_score(&s, 0.95);
+            assert!(!score.is_nan(), "case {i}: NaN score leaked");
+        }
+        // A healthy-but-distant site must beat every saturated site.
+        let cfg = RouterConfig {
+            slo_ms: 0.0,
+            ..RouterConfig::default()
+        };
+        for f in &degenerate[..2] {
+            let mut s = sites(&[(0.001, 2.0, 0), (0.090, 2.0, 5)]);
+            s[0].forecast = *f; // attractive hop, saturated model
+            s[1].forecast = forecast(1.0, 10.0, 2);
+            let mut slo = SloAwareRouter::new(&cfg);
+            assert_eq!(slo.route(0, SimTime::ZERO, &s), 1);
+            let mut aff = AffinityRouter::new(&RouterConfig::default());
+            s[0].warm = 5; // even warm affinity cannot save a saturated site
+            assert_eq!(aff.route(0, SimTime::ZERO, &s), 1);
+        }
+        // Saturated everywhere: the explicit least-loaded degradation
+        // picks the lower-load site instead of shedding.
+        let mut s = sites(&[(0.001, 2.0, 7), (0.090, 2.0, 3)]);
+        s[0].forecast = forecast(25.0, 10.0, 2);
+        s[1].forecast = forecast(30.0, 10.0, 2);
+        let mut slo = SloAwareRouter::new(&cfg);
+        assert_eq!(slo.route(0, SimTime::ZERO, &s), 1);
     }
 
     #[test]

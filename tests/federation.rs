@@ -132,7 +132,7 @@ fn prop_site(latency: f64, cap: f64, in_flight: u64) -> SiteState {
         capacity_hint: cap,
         in_flight,
         up: true,
-        forecast: WaitForecast::default(),
+        forecast: WaitForecast::default().into(),
         flakiness: 0.0,
         warm: 0,
     }
@@ -189,7 +189,7 @@ proptest! {
             .map(|&((lat, cap, load, up), (lambda, mu, servers, flaky, warm))| {
                 let mut s = prop_site(lat, cap, load);
                 s.up = up == 1;
-                s.forecast = WaitForecast { lambda, mu, servers };
+                s.forecast = WaitForecast { lambda, mu, servers }.into();
                 s.flakiness = flaky;
                 s.warm = warm;
                 s
@@ -202,6 +202,73 @@ proptest! {
                 let idx = router.route((k % 2) as u32, SimTime::from_secs(k), &sites);
                 prop_assert!(idx < sites.len(), "{} out of range", kind.as_str());
                 prop_assert!(sites[idx].up, "{} picked a down site", kind.as_str());
+                sites[idx].in_flight += 1;
+            }
+        }
+    }
+
+    /// Overload/NaN scoring pin: with arbitrarily degenerate telemetry —
+    /// non-finite λ̂/μ̂, unstable models, NaN flakiness — every router
+    /// still returns an in-range up site, and whenever any up site has a
+    /// finite predicted score the score-ranked routers (slo-aware,
+    /// affinity) never elect a saturated/NaN-scored site over it.
+    #[test]
+    fn degenerate_telemetry_never_elects_a_saturated_site(
+        spec in prop::collection::vec(
+            ((0.0f64..0.2, 1.0f64..32.0, 0u64..200, 0u8..2),
+             (0u8..6, 0.0f64..400.0, 0u8..6, 0.01f64..20.0, 1u32..40),
+             (0u8..5, 0u64..8)),
+            2..6,
+        ),
+        arrivals in 1u64..100,
+    ) {
+        fn weird(sel: u8, finite: f64) -> f64 {
+            match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => 1e308,
+                3 => 5e-324,
+                _ => finite,
+            }
+        }
+        let mut sites: Vec<SiteState> = spec
+            .iter()
+            .map(
+                |&((lat, cap, load, up), (lsel, lambda, msel, mu, servers), (fsel, warm))| {
+                    let mut s = prop_site(lat, cap, load);
+                    s.up = up == 1;
+                    s.forecast = WaitForecast {
+                        lambda: weird(lsel, lambda),
+                        mu: weird(msel, mu),
+                        servers,
+                    }
+                    .into();
+                    s.flakiness = weird(fsel, 0.3);
+                    s.warm = warm;
+                    s
+                },
+            )
+            .collect();
+        prop_assume!(sites.iter().any(|s| s.up));
+        let percentile = 0.95; // RouterConfig::default().percentile
+        let finite_score = |s: &SiteState| {
+            (s.latency.as_secs_f64() + s.forecast.wait_percentile(percentile)).is_finite()
+        };
+        for kind in RouterKind::ALL {
+            let mut router = kind.build();
+            let score_ranked =
+                matches!(kind, RouterKind::SloAware | RouterKind::Affinity);
+            for k in 0..arrivals {
+                let idx = router.route((k % 2) as u32, SimTime::from_secs(k), &sites);
+                prop_assert!(idx < sites.len(), "{} out of range", kind.as_str());
+                prop_assert!(sites[idx].up, "{} picked a down site", kind.as_str());
+                if score_ranked && sites.iter().any(|s| s.up && finite_score(s)) {
+                    prop_assert!(
+                        finite_score(&sites[idx]),
+                        "{} elected a saturated site over a finite-scored one",
+                        kind.as_str()
+                    );
+                }
                 sites[idx].in_flight += 1;
             }
         }
@@ -226,7 +293,7 @@ proptest! {
                 .map(|&(lat, cap, up, lambda, flaky)| {
                     let mut s = prop_site(lat, cap, 0);
                     s.up = up == 1;
-                    s.forecast = WaitForecast { lambda, mu: 10.0, servers: 2 };
+                    s.forecast = WaitForecast { lambda, mu: 10.0, servers: 2 }.into();
                     s.flakiness = flaky;
                     s
                 })
