@@ -73,12 +73,14 @@ pub struct WrrSlot {
     pub warm: bool,
 }
 
-/// A function's dispatch index: its live containers' WRR weights and
-/// readiness flags in creation order, plus the warm census, all
-/// maintained incrementally so the per-request dispatch path never
-/// walks the container map.
+/// A function's dense per-function record: its live container ids and its
+/// dispatch index — the containers' WRR weights and readiness flags in
+/// creation order (`slots` mirrors `containers` slot for slot) plus the
+/// warm census, all maintained incrementally so the per-request dispatch
+/// path never walks the container map.
 #[derive(Debug, Clone, Default)]
-struct FnDispatch {
+struct FnEntry {
+    containers: Vec<ContainerId>,
     slots: Vec<WrrSlot>,
     /// Number of warm slots (kept in lockstep with the flags).
     warm: u64,
@@ -89,13 +91,14 @@ struct FnDispatch {
 pub struct Cluster {
     nodes: Vec<Node>,
     containers: BTreeMap<ContainerId, Container>,
-    by_fn: BTreeMap<FnId, Vec<ContainerId>>,
-    /// Per-function weighted dispatch index, mirroring `by_fn` order.
-    /// Weights change only on create/terminate/resize and the
-    /// idle/warm flags only through the cluster-level service
-    /// transitions, so the index is updated at those (rare) points
-    /// instead of being rebuilt per request.
-    dispatch: BTreeMap<FnId, FnDispatch>,
+    /// Per-function records, indexed densely by `FnId` (ids are interned
+    /// first-seen, so this is a flat vector rather than a map — O(1)
+    /// lookups with no tree walk or hashing even at 10⁶ functions).
+    /// Weights change only on create/terminate/resize and the idle/warm
+    /// flags only through the cluster-level service transitions, so the
+    /// index is updated at those (rare) points instead of being rebuilt
+    /// per request.
+    fns: Vec<FnEntry>,
     next_container: u64,
     placement: PlacementPolicy,
 }
@@ -120,8 +123,7 @@ impl Cluster {
         Self {
             nodes,
             containers: BTreeMap::new(),
-            by_fn: BTreeMap::new(),
-            dispatch: BTreeMap::new(),
+            fns: Vec::new(),
             next_container: 0,
             placement,
         }
@@ -230,8 +232,9 @@ impl Cluster {
         self.next_container += 1;
         let ctr = Container::new(id, fn_id, node_id, standard_cpu, cpu, mem, now, ready_at);
         self.containers.insert(id, ctr);
-        self.by_fn.entry(fn_id).or_default().push(id);
-        self.dispatch.entry(fn_id).or_default().slots.push(WrrSlot {
+        let entry = self.fn_entry_mut(fn_id);
+        entry.containers.push(id);
+        entry.slots.push(WrrSlot {
             cid: id,
             weight: wrr_weight(cpu),
             idle: false, // cold-starting until marked ready
@@ -254,15 +257,13 @@ impl Cluster {
         let orphans = ctr.terminate(now);
         let node = &mut self.nodes[ctr.node().0 as usize];
         node.release(ctr.cpu(), ctr.mem());
-        if let Some(list) = self.by_fn.get_mut(&ctr.fn_id()) {
-            list.retain(|&c| c != cid);
-        }
-        if let Some(d) = self.dispatch.get_mut(&ctr.fn_id()) {
-            if let Some(pos) = d.slots.iter().position(|s| s.cid == cid) {
-                if d.slots[pos].warm {
-                    d.warm -= 1;
+        if let Some(e) = self.fns.get_mut(ctr.fn_id().0 as usize) {
+            e.containers.retain(|&c| c != cid);
+            if let Some(pos) = e.slots.iter().position(|s| s.cid == cid) {
+                if e.slots[pos].warm {
+                    e.warm -= 1;
                 }
-                d.slots.remove(pos);
+                e.slots.remove(pos);
             }
         }
         Ok(Termination {
@@ -304,10 +305,19 @@ impl Cluster {
         Ok(())
     }
 
+    /// The function's record, growing the dense vector on first sight.
+    fn fn_entry_mut(&mut self, fn_id: FnId) -> &mut FnEntry {
+        let idx = fn_id.0 as usize;
+        if idx >= self.fns.len() {
+            self.fns.resize_with(idx + 1, FnEntry::default);
+        }
+        &mut self.fns[idx]
+    }
+
     /// Mutable access to a container's dispatch-index slot.
     fn slot_mut(&mut self, fn_id: FnId, cid: ContainerId) -> Option<&mut WrrSlot> {
-        self.dispatch
-            .get_mut(&fn_id)?
+        self.fns
+            .get_mut(fn_id.0 as usize)?
             .slots
             .iter_mut()
             .find(|s| s.cid == cid)
@@ -329,7 +339,7 @@ impl Cluster {
         let slot = self.slot_mut(fn_id, cid).expect("live container indexed");
         slot.idle = true;
         slot.warm = true;
-        self.dispatch.get_mut(&fn_id).expect("indexed").warm += 1;
+        self.fns[fn_id.0 as usize].warm += 1;
         true
     }
 
@@ -366,9 +376,9 @@ impl Cluster {
     /// incrementally on create/terminate/resize and the service
     /// transitions instead of being rebuilt per request.
     pub fn wrr_candidates(&self, fn_id: FnId) -> &[WrrSlot] {
-        self.dispatch
-            .get(&fn_id)
-            .map_or(&[], |d| d.slots.as_slice())
+        self.fns
+            .get(fn_id.0 as usize)
+            .map_or(&[], |e| e.slots.as_slice())
     }
 
     /// Immutable container access.
@@ -383,7 +393,9 @@ impl Cluster {
 
     /// Ids of the live containers of a function (deterministic order).
     pub fn containers_of(&self, fn_id: FnId) -> &[ContainerId] {
-        self.by_fn.get(&fn_id).map_or(&[], Vec::as_slice)
+        self.fns
+            .get(fn_id.0 as usize)
+            .map_or(&[], |e| e.containers.as_slice())
     }
 
     /// Live containers of a function.
@@ -410,7 +422,7 @@ impl Cluster {
     /// count (the federation sums this over every function at every
     /// routing decision).
     pub fn fn_warm_count(&self, fn_id: FnId) -> u64 {
-        self.dispatch.get(&fn_id).map_or(0, |d| d.warm)
+        self.fns.get(fn_id.0 as usize).map_or(0, |e| e.warm)
     }
 
     /// The fastest (highest-CPU) idle schedulable container of a
@@ -484,18 +496,20 @@ impl Cluster {
                 node.id()
             );
         }
-        for (fn_id, list) in &self.by_fn {
+        for (idx, entry) in self.fns.iter().enumerate() {
+            let fn_id = FnId(idx as u32);
+            let list = &entry.containers;
             for cid in list {
                 let ctr = self
                     .containers
                     .get(cid)
-                    .expect("by_fn points at live container");
-                assert_eq!(ctr.fn_id(), *fn_id, "by_fn index corrupted");
+                    .expect("fn entry points at live container");
+                assert_eq!(ctr.fn_id(), fn_id, "container index corrupted");
             }
-            // The dispatch index must be the by_fn walk, slot for slot:
-            // same containers in the same order, weights equal to the
-            // current allocation, flags equal to the current state.
-            let slots = self.wrr_candidates(*fn_id);
+            // The dispatch index must be the container walk, slot for
+            // slot: same containers in the same order, weights equal to
+            // the current allocation, flags equal to the current state.
+            let slots = self.wrr_candidates(fn_id);
             assert_eq!(slots.len(), list.len(), "dispatch index drift on {fn_id}");
             let mut warm = 0u64;
             for (slot, cid) in slots.iter().zip(list) {
@@ -516,7 +530,7 @@ impl Cluster {
                 warm += u64::from(is_warm);
             }
             assert_eq!(
-                self.fn_warm_count(*fn_id),
+                self.fn_warm_count(fn_id),
                 warm,
                 "warm census drift on {fn_id}"
             );

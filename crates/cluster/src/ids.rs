@@ -1,6 +1,8 @@
-//! Strongly-typed identifiers for cluster entities.
+//! Strongly-typed identifiers for cluster entities, plus the function-name
+//! interner that maps trace strings to dense [`FnId`]s.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 macro_rules! id_type {
@@ -46,6 +48,64 @@ id_type!(
     RequestId, u64, "req-"
 );
 
+/// Interns external function names (trace hashes, action names) into
+/// dense [`FnId`]s assigned in first-seen order, so per-function state
+/// everywhere downstream can live in flat vectors indexed by `FnId(0)..`
+/// instead of string-keyed maps. Ids are stable for the interner's
+/// lifetime; `name()` recovers the original string for reports.
+#[derive(Debug, Clone, Default)]
+pub struct FnInterner {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl FnInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id for `name`, allocating the next dense id on first sight.
+    pub fn intern(&mut self, name: &str) -> FnId {
+        if let Some(&idx) = self.index.get(name) {
+            return FnId(idx);
+        }
+        let idx = u32::try_from(self.names.len()).expect("more than u32::MAX functions");
+        let owned: Box<str> = name.into();
+        self.names.push(owned.clone());
+        self.index.insert(owned, idx);
+        FnId(idx)
+    }
+
+    /// The id for `name` if it has been interned.
+    pub fn get(&self, name: &str) -> Option<FnId> {
+        self.index.get(name).map(|&idx| FnId(idx))
+    }
+
+    /// The original name behind `id`.
+    pub fn name(&self, id: FnId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(|s| &**s)
+    }
+
+    /// Number of interned names. Ids are exactly `0..len()`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FnId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FnId(i as u32), &**s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +117,28 @@ mod tests {
         assert_eq!(ContainerId(12).to_string(), "ctr-12");
         assert_eq!(UserId(1).to_string(), "user-1");
         assert_eq!(RequestId(9).to_string(), "req-9");
+    }
+
+    #[test]
+    fn interner_assigns_dense_first_seen_ids() {
+        let mut i = FnInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern("mobilenet");
+        let b = i.intern("binary-alert");
+        assert_eq!(a, FnId(0));
+        assert_eq!(b, FnId(1));
+        // Re-interning is idempotent.
+        assert_eq!(i.intern("mobilenet"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("binary-alert"), Some(b));
+        assert_eq!(i.get("unknown"), None);
+        assert_eq!(i.name(a), Some("mobilenet"));
+        assert_eq!(i.name(FnId(7)), None);
+        let collected: Vec<_> = i.iter().collect();
+        assert_eq!(
+            collected,
+            vec![(FnId(0), "mobilenet"), (FnId(1), "binary-alert")]
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod topology;
 
 pub use cluster::{Cluster, ClusterError, Termination, WrrSlot};
 pub use container::{Container, ContainerState};
-pub use ids::{ContainerId, FnId, NodeId, RequestId, UserId};
+pub use ids::{ContainerId, FnId, FnInterner, NodeId, RequestId, UserId};
 pub use node::Node;
 pub use placement::PlacementPolicy;
 pub use resources::{CpuMilli, MemMib};

@@ -292,6 +292,7 @@ where
             rng_label_prefix: prefix.into(),
             duration_secs: duration,
             drain_secs: 120.0,
+            stream_stats: false,
         },
         entries,
         ChaosPolicy::new(fed, chaos, seed),

@@ -88,6 +88,7 @@ impl KnativeSimulation {
             rng_label_prefix: "knative-".into(),
             duration_secs: duration,
             drain_secs: 120.0,
+            stream_stats: false,
         };
         let policy = KnativePolicy::new(self.cfg, self.cluster, self.setups);
         run_simulation(engine_cfg, entries, policy)

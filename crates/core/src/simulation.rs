@@ -211,6 +211,7 @@ impl Simulation {
             rng_label_prefix: String::new(),
             duration_secs: duration,
             drain_secs: 120.0,
+            stream_stats: false,
         };
         let mut policy = LassPolicy::new(self.cfg, self.cluster, self.seed, &self.setups, "");
         tweak(&mut policy.controller, &mut policy.cluster);
@@ -233,7 +234,9 @@ pub(crate) struct LassPolicy {
     cfg: LassConfig,
     cluster: Cluster,
     controller: LassController,
-    fns: BTreeMap<FnId, FnRuntime>,
+    /// Per-function runtime state, indexed densely by `FnId` (ids are
+    /// assigned sequentially at registration).
+    fns: Vec<FnRuntime>,
     /// Per-container current service: (request, seq, start).
     in_service: HashMap<ContainerId, (RequestId, u64, SimTime)>,
     next_seq: u64,
@@ -260,21 +263,18 @@ impl LassPolicy {
         rng_site_label: &str,
     ) -> Self {
         let mut registry = FunctionRegistry::new();
-        let mut fns = BTreeMap::new();
+        let mut fns = Vec::with_capacity(setups.len());
         for (i, s) in setups.iter().enumerate() {
             registry.set_user_weight(s.user, s.user_weight);
             let fn_id = registry.register(s.spec.clone(), s.slo_deadline, s.weight, s.user);
             debug_assert_eq!(fn_id, FnId(i as u32));
-            fns.insert(
-                fn_id,
-                FnRuntime {
-                    wrr: crate::loadbalancer::SmoothWrr::new(),
-                    pending: VecDeque::new(),
-                    cpu_timeline: TimeSeries::new(),
-                    container_timeline: TimeSeries::new(),
-                    rate_timeline: TimeSeries::new(),
-                },
-            );
+            fns.push(FnRuntime {
+                wrr: crate::loadbalancer::SmoothWrr::new(),
+                pending: VecDeque::new(),
+                cpu_timeline: TimeSeries::new(),
+                container_timeline: TimeSeries::new(),
+                rate_timeline: TimeSeries::new(),
+            });
         }
         let mut cluster = cluster;
         // Pre-provision initial containers.
@@ -363,7 +363,7 @@ impl LassPolicy {
                 // the service transitions, so dispatch feeds the index
                 // straight into the picker — no per-request snapshot,
                 // no container-map walk.
-                let rt = self.fns.get_mut(&f).expect("known fn");
+                let rt = self.fns.get_mut(f.0 as usize).expect("known fn");
                 let cands = self.cluster.wrr_candidates(f);
                 if policy == DispatchPolicy::IdleFirstWrr && cands.iter().any(|s| s.idle) {
                     rt.wrr
@@ -383,7 +383,7 @@ impl LassPolicy {
             }
             None => {
                 self.fns
-                    .get_mut(&f)
+                    .get_mut(f.0 as usize)
                     .expect("known fn")
                     .pending
                     .push_back(rid);
@@ -459,7 +459,13 @@ impl LassPolicy {
             if c.state() != ContainerState::Idle {
                 return;
             }
-            let Some(rid) = self.fns.get_mut(&f).expect("known fn").pending.pop_front() else {
+            let Some(rid) = self
+                .fns
+                .get_mut(f.0 as usize)
+                .expect("known fn")
+                .pending
+                .pop_front()
+            else {
                 return;
             };
             self.cluster
@@ -511,9 +517,9 @@ impl LassPolicy {
         let now_secs = now.as_secs_f64();
         let window = ctx.take_window_counts();
         let mut counts = BTreeMap::new();
-        for (f, rt) in &mut self.fns {
-            let n = window[f.0 as usize];
-            counts.insert(*f, n);
+        for (i, rt) in self.fns.iter_mut().enumerate() {
+            let n = window[i];
+            counts.insert(FnId(i as u32), n);
             rt.rate_timeline
                 .push(now, n as f64 / self.cfg.monitor_interval_secs);
         }
@@ -551,13 +557,13 @@ impl LassPolicy {
         self.util_gauge.set(now, self.cluster.cpu_utilization());
         self.free_timeline
             .push(now, 1.0 - self.cluster.cpu_utilization());
-        for (f, rt) in &mut self.fns {
+        for (i, rt) in self.fns.iter_mut().enumerate() {
             // Lazily-marked containers are logically released (they are
             // cached for reuse, §3.3), so the reported allocation excludes
             // them — matching the downscaling visible in the paper's
             // timelines.
             let (mut cpu, mut count) = (0u32, 0u32);
-            for c in self.cluster.fn_containers(*f) {
+            for c in self.cluster.fn_containers(FnId(i as u32)) {
                 if !c.is_marked_for_termination() {
                     cpu += c.cpu().0;
                     count += 1;
@@ -662,7 +668,7 @@ impl SchedulerPolicy for LassPolicy {
             .enumerate()
             .map(|(i, stats)| {
                 let f = FnId(i as u32);
-                let rt = self.fns.get_mut(&f).expect("known fn");
+                let rt = self.fns.get_mut(i).expect("known fn");
                 let name = self
                     .controller
                     .registry()

@@ -67,6 +67,7 @@ impl StaticRrSimulation {
             rng_label_prefix: "static-".into(),
             duration_secs: duration,
             drain_secs: 120.0,
+            stream_stats: false,
         };
         let policy = StaticRrPolicy::new(self.cluster, self.setups);
         run_simulation(engine_cfg, entries, policy)

@@ -98,15 +98,25 @@ pub fn parse_invocations_csv(text: &str) -> Result<Vec<TraceRow>, TraceError> {
     Ok(rows)
 }
 
-/// Extract a window of `minutes` starting at `start_minute` from a trace
-/// row (the paper samples 11:00–12:00, i.e. minutes 660–720).
+/// Extract a window of exactly `minutes` per-minute counts starting at
+/// `start_minute` from a trace row (the paper samples 11:00–12:00, i.e.
+/// minutes 660–720).
+///
+/// Reads are clamped to the recorded data: a window running past the end
+/// of the row — or starting at or beyond it — is zero-filled to the
+/// requested length instead of being silently shortened, so every
+/// function in a replay shares the same horizon whatever its row length.
 pub fn sample_window(row: &TraceRow, start_minute: usize, minutes: usize) -> Vec<u64> {
-    row.per_minute
-        .iter()
-        .copied()
-        .skip(start_minute)
-        .take(minutes)
-        .collect()
+    let mut out = Vec::with_capacity(minutes);
+    let end = row
+        .per_minute
+        .len()
+        .min(start_minute.saturating_add(minutes));
+    if start_minute < end {
+        out.extend_from_slice(&row.per_minute[start_minute..end]);
+    }
+    out.resize(minutes, 0);
+    out
 }
 
 /// Synthetic per-minute trace shapes matching the Azure 2019 qualitative
@@ -340,7 +350,24 @@ o2,a2,f3,queue,100,0,0,0,40
     fn window_sampling() {
         let rows = parse_invocations_csv(CSV).unwrap();
         assert_eq!(sample_window(&rows[0], 1, 3), vec![5, 10, 0]);
-        assert_eq!(sample_window(&rows[0], 4, 10), vec![2]);
+        // Overruns are zero-filled to the requested length, not shortened.
+        assert_eq!(
+            sample_window(&rows[0], 4, 10),
+            vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn window_sampling_clamps_at_and_past_the_end() {
+        let rows = parse_invocations_csv(CSV).unwrap();
+        // Row has 5 minutes. A window starting exactly at the end, or
+        // beyond it, yields all-zero minutes of the requested length.
+        assert_eq!(sample_window(&rows[0], 5, 3), vec![0, 0, 0]);
+        assert_eq!(sample_window(&rows[0], 99, 2), vec![0, 0]);
+        // Exact fit is untouched.
+        assert_eq!(sample_window(&rows[0], 0, 5), vec![0, 5, 10, 0, 2]);
+        // Zero-length windows stay empty wherever they start.
+        assert_eq!(sample_window(&rows[0], 2, 0), Vec::<u64>::new());
     }
 
     #[test]

@@ -192,6 +192,7 @@ impl OwSimulation {
             rng_label_prefix: "ow-".into(),
             duration_secs: duration,
             drain_secs: 60.0,
+            stream_stats: false,
         };
         let invokers: Vec<Invoker> = (0..cfg.invokers)
             .map(|_| Invoker {

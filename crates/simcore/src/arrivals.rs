@@ -8,7 +8,8 @@
 //! time-varying intensity.
 
 use crate::rng::SimRng;
-use crate::time::{SimDuration, SimTime};
+use crate::time::{SimDuration, SimTime, NANOS_PER_SEC};
+use std::sync::Arc;
 
 /// A (possibly time-varying) stochastic arrival process.
 pub trait ArrivalProcess {
@@ -216,6 +217,67 @@ impl ArrivalProcess for PerMinuteTrace {
     }
 }
 
+/// Per-minute trace replay sharing one rate *shape* across many functions.
+///
+/// Replaying 10⁴–10⁶ distinct functions with a private segment table per
+/// function costs O(minutes) memory each; popularity in such traces is
+/// Zipf-like, so most functions can share a handful of temporal shapes
+/// and differ only in magnitude. The shape — per-second rates for a
+/// scale of 1.0, one entry per minute — lives once behind an `Arc`, and
+/// each function's process is just `(shared shape, scale)`: a few words
+/// of private state regardless of trace length. Arrivals are Poisson at
+/// `shape[minute] × scale` within each minute, the same
+/// piecewise-constant semantics as [`PerMinuteTrace`].
+#[derive(Debug, Clone)]
+pub struct ScaledShapeTrace {
+    shape: Arc<[f64]>,
+    scale: f64,
+    end: SimTime,
+}
+
+impl ScaledShapeTrace {
+    /// Build from a shared per-minute rate shape (req/s at scale 1.0)
+    /// and this function's scale factor. The process ends with the
+    /// shape's last minute.
+    pub fn new(shape: Arc<[f64]>, scale: f64) -> Self {
+        assert!(!shape.is_empty(), "shape needs at least one minute");
+        assert!(scale >= 0.0 && scale.is_finite(), "invalid scale");
+        assert!(shape.iter().all(|&r| r >= 0.0 && r.is_finite()));
+        let end = SimTime::from_secs(shape.len() as u64 * 60);
+        Self { shape, scale, end }
+    }
+
+    /// The per-second rate in force at `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let minute = (t.0 / (60 * NANOS_PER_SEC)) as usize;
+        self.shape.get(minute).map_or(0.0, |r| r * self.scale)
+    }
+}
+
+impl ArrivalProcess for ScaledShapeTrace {
+    fn next_after(&mut self, now: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+        const MINUTE: u64 = 60 * NANOS_PER_SEC;
+        let mut t = now;
+        loop {
+            if t >= self.end {
+                return None;
+            }
+            let minute = t.0 / MINUTE;
+            let rate = self.shape[minute as usize] * self.scale;
+            let seg_end = SimTime((minute + 1) * MINUTE);
+            if rate <= 0.0 {
+                t = seg_end;
+                continue;
+            }
+            let cand = t + SimDuration::from_secs_f64(rng.exp(rate));
+            if cand < seg_end {
+                return if cand >= self.end { None } else { Some(cand) };
+            }
+            t = seg_end; // memoryless restart at the minute boundary
+        }
+    }
+}
+
 /// Drain a process into a vector of arrival instants (test/analysis helper).
 pub fn collect_arrivals(
     p: &mut dyn ArrivalProcess,
@@ -363,6 +425,37 @@ mod tests {
         assert_eq!(m1, 0);
         assert!((m2 as f64 - 1200.0).abs() < 140.0, "m2={m2}");
         assert_eq!(p.rate_at(SimTime::from_secs(61)), 0.0);
+    }
+
+    #[test]
+    fn scaled_shape_shares_one_table() {
+        // Two functions, same shape, 10x apart in scale.
+        let shape: Arc<[f64]> = Arc::from(vec![10.0, 0.0, 5.0].into_boxed_slice());
+        let mut small = ScaledShapeTrace::new(shape.clone(), 0.1);
+        let mut big = ScaledShapeTrace::new(shape, 1.0);
+        assert_eq!(small.rate_at(SimTime::ZERO), 1.0);
+        assert_eq!(big.rate_at(SimTime::from_secs(61)), 0.0);
+        assert_eq!(big.rate_at(SimTime::from_secs(121)), 5.0);
+        assert_eq!(big.rate_at(SimTime::from_secs(300)), 0.0);
+
+        let mut rng = SimRng::from_seed(9);
+        let arr_b = collect_arrivals(&mut big, &mut rng, usize::MAX);
+        let mut rng = SimRng::from_seed(9);
+        let arr_s = collect_arrivals(&mut small, &mut rng, usize::MAX);
+        // Minute 1 has rate zero for both; everything ends at minute 3.
+        for arr in [&arr_b, &arr_s] {
+            assert!(arr
+                .iter()
+                .all(|&t| t < SimTime::from_secs(60) || t >= SimTime::from_secs(120)));
+            assert!(arr.iter().all(|&t| t < SimTime::from_secs(180)));
+        }
+        // 10 req/s for 60 s + 5 req/s for 60 s ≈ 900 arrivals at scale 1.
+        assert!(
+            (arr_b.len() as f64 - 900.0).abs() < 120.0,
+            "{}",
+            arr_b.len()
+        );
+        assert!((arr_s.len() as f64 - 90.0).abs() < 40.0, "{}", arr_s.len());
     }
 
     #[test]

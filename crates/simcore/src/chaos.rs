@@ -468,6 +468,7 @@ mod tests {
                 rng_label_prefix: String::new(),
                 duration_secs: 100.0,
                 drain_secs: 20.0,
+                stream_stats: false,
             },
             vec![FunctionEntry {
                 name: "probe".into(),
@@ -561,6 +562,7 @@ mod tests {
                 rng_label_prefix: String::new(),
                 duration_secs: 100.0,
                 drain_secs: 20.0,
+                stream_stats: false,
             },
             vec![FunctionEntry {
                 name: "probe".into(),

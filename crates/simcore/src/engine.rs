@@ -27,10 +27,10 @@
 use crate::arrivals::ArrivalProcess;
 use crate::events::EventQueue;
 use crate::metrics::SampleStats;
+use crate::reqtable::RequestTable;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// A request identifier, unique within one engine run (assigned in
 /// arrival order, starting at 0).
@@ -61,6 +61,11 @@ pub struct EngineConfig {
     /// Grace period after the nominal end during which in-flight events
     /// still run (lets the system drain).
     pub drain_secs: f64,
+    /// Collect per-function statistics in streaming (P², O(1)-memory)
+    /// form instead of retaining every sample. Off for the figure-repro
+    /// simulations (their goldens hash exact sample vectors); on for
+    /// trace replay at 10⁴–10⁶ functions.
+    pub stream_stats: bool,
 }
 
 /// Per-function statistics collected by the engine.
@@ -220,7 +225,7 @@ struct FnRt {
 pub struct EngineCtx<E> {
     events: EventQueue<Ev<E>>,
     fns: Vec<FnRt>,
-    requests: HashMap<u64, (u32, SimTime)>,
+    requests: RequestTable,
     next_req: u64,
     end: SimTime,
     hard_end: SimTime,
@@ -228,6 +233,11 @@ pub struct EngineCtx<E> {
 
 impl<E> EngineCtx<E> {
     fn new(cfg: &EngineConfig, functions: Vec<FunctionEntry>) -> Self {
+        let new_stats = if cfg.stream_stats {
+            SampleStats::streaming
+        } else {
+            SampleStats::new
+        };
         let fns = functions
             .into_iter()
             .enumerate()
@@ -250,16 +260,16 @@ impl<E> EngineCtx<E> {
                 timeouts: 0,
                 lost: 0,
                 slo_violations: 0,
-                wait: SampleStats::new(),
-                response: SampleStats::new(),
-                service: SampleStats::new(),
+                wait: new_stats(),
+                response: new_stats(),
+                service: new_stats(),
             })
             .collect();
         let end = SimTime::from_secs_f64(cfg.duration_secs);
         Self {
             events: EventQueue::new(),
             fns,
-            requests: HashMap::new(),
+            requests: RequestTable::new(),
             next_req: 0,
             end,
             hard_end: end + SimDuration::from_secs_f64(cfg.drain_secs),
@@ -289,14 +299,14 @@ impl<E> EngineCtx<E> {
 
     /// Look up a live request: `(fn_idx, arrival)`.
     pub fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)> {
-        self.requests.get(&rid.0).copied()
+        self.requests.get(rid.0)
     }
 
     /// Record a completion: computes wait/service/response from the
     /// stored arrival, feeds the function's statistics, and retires the
     /// request. Returns `None` for an unknown (already retired) request.
     pub fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion> {
-        let (fn_idx, arrival) = self.requests.remove(&rid.0)?;
+        let (fn_idx, arrival) = self.requests.remove(rid.0)?;
         let wait = started.saturating_since(arrival).as_secs_f64();
         let service = now.saturating_since(started).as_secs_f64();
         let response = now.saturating_since(arrival).as_secs_f64();
@@ -322,7 +332,7 @@ impl<E> EngineCtx<E> {
     /// Abandon a request that exceeded a hard time limit: counts as a
     /// timeout *and* an SLO violation, and retires the request.
     pub fn abandon(&mut self, rid: ReqId) -> Option<u32> {
-        let (fn_idx, _) = self.requests.remove(&rid.0)?;
+        let (fn_idx, _) = self.requests.remove(rid.0)?;
         let rt = &mut self.fns[fn_idx as usize];
         rt.timeouts += 1;
         rt.slo_violations += 1;
@@ -331,7 +341,7 @@ impl<E> EngineCtx<E> {
 
     /// Drop a request that could not be placed anywhere.
     pub fn lose(&mut self, rid: ReqId) -> Option<u32> {
-        let (fn_idx, _) = self.requests.remove(&rid.0)?;
+        let (fn_idx, _) = self.requests.remove(rid.0)?;
         self.fns[fn_idx as usize].lost += 1;
         Some(fn_idx)
     }
@@ -340,7 +350,7 @@ impl<E> EngineCtx<E> {
     /// re-dispatched. Returns the owning function while keeping the
     /// request alive.
     pub fn rerun(&mut self, rid: ReqId) -> Option<u32> {
-        let (fn_idx, _) = self.requests.get(&rid.0).copied()?;
+        let (fn_idx, _) = self.requests.get(rid.0)?;
         self.fns[fn_idx as usize].reruns += 1;
         Some(fn_idx)
     }
@@ -362,7 +372,7 @@ impl<E> EngineCtx<E> {
     fn new_request(&mut self, fn_idx: u32, now: SimTime) -> ReqId {
         let rid = ReqId(self.next_req);
         self.next_req += 1;
-        self.requests.insert(rid.0, (fn_idx, now));
+        self.requests.insert(rid.0, fn_idx, now);
         let rt = &mut self.fns[fn_idx as usize];
         rt.arrivals += 1;
         rt.window_count += 1;
@@ -540,6 +550,7 @@ mod tests {
                 rng_label_prefix: String::new(),
                 duration_secs: 60.0,
                 drain_secs: 30.0,
+                stream_stats: false,
             },
             vec![FunctionEntry {
                 name: "probe".into(),
@@ -611,6 +622,7 @@ mod tests {
                 rng_label_prefix: "x-".into(),
                 duration_secs: 30.0,
                 drain_secs: 10.0,
+                stream_stats: false,
             },
             vec![FunctionEntry {
                 name: "drops".into(),

@@ -2,9 +2,24 @@
 //!
 //! Ties at the same instant are broken by insertion order (a monotonically
 //! increasing sequence number), which makes simulations fully deterministic
-//! regardless of heap internals.
+//! regardless of calendar internals.
+//!
+//! Two interchangeable backends implement that contract:
+//!
+//! * [`crate::wheel::TimerWheel`] — a hierarchical timer wheel (the
+//!   default): `O(1)` scheduling, cache-friendly buckets, built for
+//!   trace replay with 10⁴–10⁶ in-flight timers.
+//! * [`HeapCalendar`] — the original `BinaryHeap`: simple and obviously
+//!   correct, kept as the differential-testing oracle and selectable as
+//!   the [`EventQueue`] backend with the `heap-calendar` feature.
+//!
+//! A differential proptest (`tests/calendar_differential.rs`) holds the
+//! two to bit-identical pop order over arbitrary schedules, so every
+//! fixed-seed golden in the workspace is insensitive to the choice.
 
 use crate::time::SimTime;
+#[cfg(not(feature = "heap-calendar"))]
+use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -36,6 +51,63 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The binary-heap calendar backend: the reference implementation of
+/// the `(time, seq)` earliest-first contract.
+///
+/// [`EventQueue`] uses the timer wheel by default; this type remains
+/// `pub` so differential tests can drive both backends with identical
+/// `(at, seq)` streams, and so the `heap-calendar` feature can fall
+/// back to it wholesale.
+#[derive(Debug)]
+pub struct HeapCalendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Default for HeapCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapCalendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Insert an event with an explicit tie-break sequence number.
+    pub fn insert(&mut self, at: SimTime, seq: u64, event: E) {
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Remove and return the earliest `(at, seq)` event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Timestamp of the earliest pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
 /// A deterministic discrete-event calendar.
 ///
 /// ```
@@ -50,7 +122,10 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    #[cfg(not(feature = "heap-calendar"))]
+    calendar: TimerWheel<E>,
+    #[cfg(feature = "heap-calendar")]
+    calendar: HeapCalendar<E>,
     seq: u64,
     now: SimTime,
 }
@@ -65,7 +140,10 @@ impl<E> EventQueue<E> {
     /// An empty calendar positioned at `t = 0`.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            #[cfg(not(feature = "heap-calendar"))]
+            calendar: TimerWheel::new(),
+            #[cfg(feature = "heap-calendar")]
+            calendar: HeapCalendar::new(),
             seq: 0,
             now: SimTime::ZERO,
         }
@@ -88,39 +166,35 @@ impl<E> EventQueue<E> {
             self.now
         );
         let at = at.max(self.now);
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
+        self.calendar.insert(at, self.seq, event);
         self.seq += 1;
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        self.now = s.at;
-        Some((s.at, s.event))
+        let (at, event) = self.calendar.pop()?;
+        self.now = at;
+        Some((at, event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.calendar.peek_time()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.calendar.len()
     }
 
     /// Whether the calendar is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.calendar.is_empty()
     }
 
     /// Drop all pending events (the clock is kept).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.calendar.clear();
     }
 }
 
@@ -187,5 +261,21 @@ mod tests {
         q.schedule(SimTime::from_secs(2), ());
         q.pop();
         q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn heap_calendar_matches_contract() {
+        // The oracle backend honors the same (time, seq) contract.
+        let mut h = HeapCalendar::new();
+        let t = SimTime::from_secs(1);
+        h.insert(t, 1, "b");
+        h.insert(t, 0, "a");
+        h.insert(SimTime::from_secs(2), 2, "c");
+        assert_eq!(h.peek_time(), Some(t));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop(), Some((t, "a")));
+        assert_eq!(h.pop(), Some((t, "b")));
+        assert_eq!(h.pop(), Some((SimTime::from_secs(2), "c")));
+        assert!(h.is_empty());
     }
 }

@@ -543,6 +543,22 @@ impl<P: ContainerChaos> Federation<P> {
         self
     }
 
+    /// Collect per-site per-function statistics in streaming (P²,
+    /// O(1)-memory) form instead of retaining every sample. Pair with
+    /// [`crate::engine::EngineConfig::stream_stats`] when replaying
+    /// traces with very large function populations; call before the run
+    /// starts.
+    pub fn with_streaming_stats(mut self) -> Self {
+        for tally in &mut self.tallies {
+            for f in &mut tally.per_fn {
+                f.wait = SampleStats::streaming();
+                f.response = SampleStats::streaming();
+                f.service = SampleStats::streaming();
+            }
+        }
+        self
+    }
+
     /// Extra latency added to every migrated request's re-delivery.
     pub fn set_migration_penalty(&mut self, penalty: SimDuration) -> &mut Self {
         self.migration_penalty = penalty;
@@ -1050,6 +1066,7 @@ mod tests {
             rng_label_prefix: String::new(),
             duration_secs: 60.0,
             drain_secs: 30.0,
+            stream_stats: false,
         }
     }
 

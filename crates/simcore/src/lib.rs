@@ -34,28 +34,32 @@ pub mod engine;
 pub mod events;
 pub mod federation;
 pub mod metrics;
+pub mod reqtable;
 pub mod rng;
 pub mod router;
 pub mod time;
+pub mod wheel;
 
 pub use arrivals::{
     collect_arrivals, ArrivalProcess, ModulatedPoisson, PerMinuteTrace, PiecewiseConstantPoisson,
-    StaticPoisson,
+    ScaledShapeTrace, StaticPoisson,
 };
 pub use chaos::{ChaosConfig, ChaosEv, ChaosPolicy, ChaosTarget, ContainerChaos, Fault};
 pub use engine::{
     run_simulation, Completion, EngineConfig, EngineCtx, EngineOutcome, FnStats, FunctionEntry,
     PolicyCtx, ReqId, SchedulerPolicy,
 };
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapCalendar};
 pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
 pub use lass_queueing::{
     EvaluatedForecast, ForecastCache, PredictorConfig, WaitForecast, WaitPredictor,
 };
 pub use metrics::{DowntimeClock, SampleStats, TimeSeries, TimeWeightedGauge};
+pub use reqtable::RequestTable;
 pub use rng::SimRng;
 pub use router::{
     AffinityRouter, FailureAwareRouter, LatencyAwareRouter, LeastLoadedRouter, RoundRobinRouter,
     RouterConfig, RouterKind, RouterPolicy, SiteState, SloAwareRouter,
 };
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
+pub use wheel::TimerWheel;

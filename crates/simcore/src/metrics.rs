@@ -1,98 +1,325 @@
 //! Measurement instruments for simulations.
 //!
-//! * [`SampleStats`] — exact statistics over recorded samples (mean, max,
-//!   arbitrary percentiles) — used for waiting/response times.
+//! * [`SampleStats`] — per-function latency statistics, in one of two
+//!   representations: **exact** (every sample retained; arbitrary
+//!   percentiles, byte-stable serialization — the default, used by the
+//!   figure-repro simulations and all fixed-seed goldens) or
+//!   **streaming** (O(1) memory per instrument; mean/min/max moments
+//!   plus P² marker estimates of p50/p95/p99 — used by trace replay at
+//!   10⁴–10⁶ distinct functions, where retaining samples would grow
+//!   without bound).
 //! * [`TimeWeightedGauge`] — integrates a piecewise-constant value over
 //!   simulated time (container counts, allocated CPU, utilization).
 //! * [`TimeSeries`] — timestamped observations for plotting allocation
 //!   timelines (Figs. 6, 8, 9).
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use lass_queueing::P2Quantile;
+use serde::{Deserialize, Error, Map, Serialize, Value};
 
-/// Exact sample statistics with deferred sorting.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The P² marker estimators of a hot streaming instrument. Boxed and
+/// allocated on first record: under a Zipf popularity law most of a
+/// million functions see little or no traffic, and cold instruments
+/// stay a few dozen bytes.
+#[derive(Debug, Clone)]
+struct Quants {
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Quants {
+    fn new() -> Box<Self> {
+        Box::new(Self {
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Exact {
+        samples: Vec<f64>,
+        sorted: bool,
+    },
+    Streaming {
+        count: usize,
+        sum: f64,
+        min: f64,
+        max: f64,
+        quants: Option<Box<Quants>>,
+    },
+}
+
+/// Sample statistics: exact (retained samples) or streaming (bounded).
+#[derive(Debug, Clone)]
 pub struct SampleStats {
-    samples: Vec<f64>,
-    #[serde(skip)]
-    sorted: bool,
+    repr: Repr,
+}
+
+impl Default for SampleStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SampleStats {
-    /// Empty instrument.
+    /// Empty exact instrument: every sample retained, percentiles exact,
+    /// serialization byte-stable (`{"samples": [...]}`).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            repr: Repr::Exact {
+                samples: Vec::new(),
+                sorted: false,
+            },
+        }
+    }
+
+    /// Empty streaming instrument: O(1) memory; mean/min/max moments and
+    /// P² estimates of p50/p95/p99. [`Self::samples`] returns `&[]` and
+    /// [`Self::fraction_within`] `None` — callers that need raw samples
+    /// must use the exact representation.
+    pub fn streaming() -> Self {
+        Self {
+            repr: Repr::Streaming {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                quants: None,
+            },
+        }
+    }
+
+    /// Whether this instrument streams (no retained samples).
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.repr, Repr::Streaming { .. })
+    }
+
+    /// Number of samples retained in memory (0 when streaming) — the
+    /// memory-regression probe.
+    pub fn retained(&self) -> usize {
+        match &self.repr {
+            Repr::Exact { samples, .. } => samples.len(),
+            Repr::Streaming { .. } => 0,
+        }
     }
 
     /// Record one sample.
     pub fn record(&mut self, x: f64) {
         debug_assert!(x.is_finite());
-        self.samples.push(x);
-        self.sorted = false;
+        match &mut self.repr {
+            Repr::Exact { samples, sorted } => {
+                samples.push(x);
+                *sorted = false;
+            }
+            Repr::Streaming {
+                count,
+                sum,
+                min,
+                max,
+                quants,
+            } => {
+                *count += 1;
+                *sum += x;
+                *min = min.min(x);
+                *max = max.max(x);
+                let q = quants.get_or_insert_with(Quants::new);
+                q.p50.observe(x);
+                q.p95.observe(x);
+                q.p99.observe(x);
+            }
+        }
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        match &self.repr {
+            Repr::Exact { samples, .. } => samples.len(),
+            Repr::Streaming { count, .. } => *count,
+        }
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count() == 0
     }
 
     /// Sample mean (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            None
-        } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        match &self.repr {
+            Repr::Exact { samples, .. } => {
+                if samples.is_empty() {
+                    None
+                } else {
+                    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+                }
+            }
+            Repr::Streaming { count, sum, .. } => {
+                if *count == 0 {
+                    None
+                } else {
+                    Some(sum / *count as f64)
+                }
+            }
         }
     }
 
     /// Largest sample (`None` when empty).
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().reduce(f64::max)
+        match &self.repr {
+            Repr::Exact { samples, .. } => samples.iter().copied().reduce(f64::max),
+            Repr::Streaming { count, max, .. } => (*count > 0).then_some(*max),
+        }
     }
 
-    /// Exact percentile with linear interpolation, `p ∈ [0, 1]`.
+    /// Percentile, `p ∈ [0, 1]`: exact (linear interpolation) for the
+    /// exact representation; for streaming, the P² estimate of the
+    /// nearest tracked marker (p50 / p95 / p99), with `p = 0` / `p = 1`
+    /// served from the tracked min/max.
     pub fn percentile(&mut self, p: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&p));
-        if self.samples.is_empty() {
-            return None;
+        match &mut self.repr {
+            Repr::Exact { samples, sorted } => {
+                if samples.is_empty() {
+                    return None;
+                }
+                if !*sorted {
+                    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                    *sorted = true;
+                }
+                let s = &samples[..];
+                if s.len() == 1 {
+                    return Some(s[0]);
+                }
+                let rank = p * (s.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                Some(if lo == hi {
+                    s[lo]
+                } else {
+                    let w = rank - lo as f64;
+                    s[lo] * (1.0 - w) + s[hi] * w
+                })
+            }
+            Repr::Streaming {
+                count,
+                min,
+                max,
+                quants,
+                ..
+            } => {
+                if *count == 0 {
+                    return None;
+                }
+                if p == 0.0 {
+                    return Some(*min);
+                }
+                if p == 1.0 {
+                    return Some(*max);
+                }
+                let q = quants.as_ref()?;
+                let est = if p <= 0.725 {
+                    &q.p50
+                } else if p <= 0.97 {
+                    &q.p95
+                } else {
+                    &q.p99
+                };
+                est.estimate()
+            }
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-            self.sorted = true;
-        }
-        let s = &self.samples;
-        if s.len() == 1 {
-            return Some(s[0]);
-        }
-        let rank = p * (s.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        Some(if lo == hi {
-            s[lo]
-        } else {
-            let w = rank - lo as f64;
-            s[lo] * (1.0 - w) + s[hi] * w
-        })
     }
 
-    /// Fraction of samples `≤ bound` (`None` when empty).
+    /// Fraction of samples `≤ bound` (`None` when empty **or
+    /// streaming** — the streaming representation keeps no sample set to
+    /// count over).
     pub fn fraction_within(&self, bound: f64) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
+        match &self.repr {
+            Repr::Exact { samples, .. } => {
+                if samples.is_empty() {
+                    return None;
+                }
+                let n = samples.iter().filter(|&&x| x <= bound).count();
+                Some(n as f64 / samples.len() as f64)
+            }
+            Repr::Streaming { .. } => None,
         }
-        let n = self.samples.iter().filter(|&&x| x <= bound).count();
-        Some(n as f64 / self.samples.len() as f64)
     }
 
-    /// Raw samples (insertion or sorted order, unspecified).
+    /// Raw samples (insertion or sorted order, unspecified); empty when
+    /// streaming.
     pub fn samples(&self) -> &[f64] {
-        &self.samples
+        match &self.repr {
+            Repr::Exact { samples, .. } => samples,
+            Repr::Streaming { .. } => &[],
+        }
+    }
+}
+
+// Hand-written (de)serialization: the exact representation must keep the
+// `{"samples": [...]}` shape the previous derive emitted — every
+// fixed-seed golden hashes the serialized report bytes. Streaming
+// serializes its summary (the estimators are not round-trippable).
+impl Serialize for SampleStats {
+    fn serialize(&self) -> Value {
+        match &self.repr {
+            Repr::Exact { samples, .. } => {
+                let mut m = Map::new();
+                m.insert("samples".to_string(), samples.serialize());
+                Value::Object(m)
+            }
+            Repr::Streaming {
+                count,
+                sum,
+                min,
+                max,
+                quants,
+            } => {
+                let est = |f: fn(&Quants) -> &P2Quantile| -> Value {
+                    quants
+                        .as_ref()
+                        .and_then(|q| f(q).estimate())
+                        .map_or(Value::Null, |v| v.serialize())
+                };
+                let mut m = Map::new();
+                m.insert("count".to_string(), count.serialize());
+                if *count == 0 {
+                    for k in ["max", "mean", "min", "p50", "p95", "p99"] {
+                        m.insert(k.to_string(), Value::Null);
+                    }
+                } else {
+                    m.insert("max".to_string(), max.serialize());
+                    m.insert("mean".to_string(), (sum / *count as f64).serialize());
+                    m.insert("min".to_string(), min.serialize());
+                    m.insert("p50".to_string(), est(|q| &q.p50));
+                    m.insert("p95".to_string(), est(|q| &q.p95));
+                    m.insert("p99".to_string(), est(|q| &q.p99));
+                }
+                Value::Object(m)
+            }
+        }
+    }
+}
+
+impl Deserialize for SampleStats {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| Error::custom("SampleStats: expected object"))?;
+        match m.get("samples") {
+            Some(s) => Ok(Self {
+                repr: Repr::Exact {
+                    samples: Vec::<f64>::deserialize(s)?,
+                    sorted: false,
+                },
+            }),
+            None => Err(Error::custom(
+                "SampleStats: streaming summaries are not round-trippable",
+            )),
+        }
     }
 }
 
@@ -276,6 +503,55 @@ mod tests {
         assert_eq!(s.percentile(1.0), Some(5.0));
         s.record(10.0);
         assert_eq!(s.percentile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn streaming_stats_bounded_memory_close_estimates() {
+        let mut s = SampleStats::streaming();
+        assert!(s.is_streaming());
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.95), None);
+        for i in 1..=10_000 {
+            s.record(f64::from(i));
+        }
+        // No retained samples, ever.
+        assert_eq!(s.retained(), 0);
+        assert!(s.samples().is_empty());
+        assert_eq!(s.count(), 10_000);
+        assert!((s.mean().unwrap() - 5000.5).abs() < 1e-9);
+        assert_eq!(s.max(), Some(10_000.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(1.0), Some(10_000.0));
+        // P² estimates land near the exact quantiles on a uniform ramp.
+        assert!((s.percentile(0.5).unwrap() - 5000.0).abs() < 250.0);
+        assert!((s.percentile(0.95).unwrap() - 9500.0).abs() < 250.0);
+        assert!((s.percentile(0.99).unwrap() - 9900.0).abs() < 250.0);
+        // No sample set to count over.
+        assert_eq!(s.fraction_within(5000.0), None);
+    }
+
+    #[test]
+    fn exact_serialization_shape_is_stable_and_round_trips() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut s = SampleStats::new();
+        s.record(1.5);
+        s.record(0.25);
+        // The golden-pinned byte shape.
+        assert_eq!(
+            serde_json::to_string(&s.serialize()).unwrap(),
+            r#"{"samples":[1.5,0.25]}"#
+        );
+        let back = SampleStats::deserialize(&s.serialize()).unwrap();
+        assert_eq!(back.samples(), s.samples());
+
+        let mut t = SampleStats::streaming();
+        t.record(2.0);
+        let v = t.serialize();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("count").and_then(|c| c.as_f64()), Some(1.0));
+        assert_eq!(obj.get("mean").and_then(|c| c.as_f64()), Some(2.0));
+        // Streaming summaries don't round-trip.
+        assert!(SampleStats::deserialize(&v).is_err());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Arena storage for the engine's request lifecycle records.
+//!
+//! The engine retires most requests within a bounded horizon of their
+//! arrival, so the live set occupies a *moving window* of the
+//! sequentially-assigned request-id space. A `HashMap<u64, _>` pays
+//! hashing, probing, and amortized rehash allocations on every request;
+//! this table instead keeps
+//!
+//! * a **slab** of record slots recycled through a free list, each
+//!   guarded by a generation counter so a stale slot reference can never
+//!   alias a recycled record, and
+//! * a **ring index** mapping request id → slot handle, dense over the
+//!   live window (`rid - base`), popped from the front as the oldest
+//!   requests retire.
+//!
+//! Steady-state insert/lookup/remove are O(1) with **zero heap
+//! allocation**: the slab and ring grow to the peak live-window size
+//! during warm-up and are reused thereafter. Memory is O(peak live
+//! window), not O(total requests).
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A slot handle packed as `generation << 32 | slot`.
+const INVALID: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    fn_idx: u32,
+    generation: u32,
+    arrival: SimTime,
+}
+
+/// Arena table mapping sequentially-assigned request ids to
+/// `(fn_idx, arrival)` lifecycle records.
+#[derive(Debug, Default)]
+pub struct RequestTable {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Ring of packed slot handles for rids `base .. base + ring.len()`;
+    /// `INVALID` marks retired requests inside the window.
+    ring: VecDeque<u64>,
+    /// Request id of `ring[0]`.
+    base: u64,
+    live: usize,
+}
+
+impl RequestTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no requests are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert the record for `rid`. Ids must be inserted in increasing
+    /// order without gaps (the engine assigns them sequentially).
+    pub fn insert(&mut self, rid: u64, fn_idx: u32, arrival: SimTime) {
+        debug_assert_eq!(
+            rid,
+            self.base + self.ring.len() as u64,
+            "request ids must arrive sequentially"
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let rec = &mut self.slots[s as usize];
+                rec.fn_idx = fn_idx;
+                rec.arrival = arrival;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    fn_idx,
+                    generation: 0,
+                    arrival,
+                });
+                s
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.ring
+            .push_back(u64::from(generation) << 32 | u64::from(slot));
+        self.live += 1;
+    }
+
+    #[inline]
+    fn handle(&self, rid: u64) -> Option<(u32, u32)> {
+        let idx = rid.checked_sub(self.base)?;
+        let packed = *self.ring.get(usize::try_from(idx).ok()?)?;
+        if packed == INVALID {
+            return None;
+        }
+        Some(((packed >> 32) as u32, packed as u32))
+    }
+
+    /// Look up a live request: `(fn_idx, arrival)`.
+    pub fn get(&self, rid: u64) -> Option<(u32, SimTime)> {
+        let (generation, slot) = self.handle(rid)?;
+        let rec = self.slots[slot as usize];
+        debug_assert_eq!(rec.generation, generation, "stale slot handle");
+        Some((rec.fn_idx, rec.arrival))
+    }
+
+    /// Retire `rid`, returning its record. The slot goes back on the
+    /// free list; fully-retired prefixes of the ring are reclaimed so
+    /// the window tracks the live span.
+    pub fn remove(&mut self, rid: u64) -> Option<(u32, SimTime)> {
+        let (generation, slot) = self.handle(rid)?;
+        let rec = &mut self.slots[slot as usize];
+        debug_assert_eq!(rec.generation, generation, "stale slot handle");
+        let out = (rec.fn_idx, rec.arrival);
+        rec.generation = rec.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.ring[(rid - self.base) as usize] = INVALID;
+        self.live -= 1;
+        while let Some(&front) = self.ring.front() {
+            if front != INVALID {
+                break;
+            }
+            self.ring.pop_front();
+            self.base += 1;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = RequestTable::new();
+        assert!(t.is_empty());
+        for rid in 0..10u64 {
+            t.insert(rid, rid as u32 * 2, SimTime(rid * 100));
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.get(3), Some((6, SimTime(300))));
+        assert_eq!(t.get(10), None);
+        assert_eq!(t.remove(3), Some((6, SimTime(300))));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.remove(3), None);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn out_of_order_retirement_reclaims_window() {
+        let mut t = RequestTable::new();
+        for rid in 0..6u64 {
+            t.insert(rid, 0, SimTime(rid));
+        }
+        // Retire out of order; the window only shrinks when the oldest
+        // live request goes.
+        for rid in [4, 2, 0, 1, 3] {
+            assert!(t.remove(rid).is_some());
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), Some((0, SimTime(5))));
+        assert!(t.remove(5).is_some());
+        assert!(t.is_empty());
+        // Sequential ids continue past the drained window.
+        t.insert(6, 7, SimTime(60));
+        assert_eq!(t.get(6), Some((7, SimTime(60))));
+    }
+
+    #[test]
+    fn steady_state_reuses_capacity() {
+        let mut t = RequestTable::new();
+        let mut rid = 0u64;
+        // Warm up to a window of 64 in-flight requests.
+        for _ in 0..64 {
+            t.insert(rid, 1, SimTime(rid));
+            rid += 1;
+        }
+        // Churn: every insert matched by retiring the oldest live one.
+        for i in 0..10_000u64 {
+            assert!(t.remove(i).is_some());
+            t.insert(rid, 1, SimTime(rid));
+            rid += 1;
+        }
+        assert_eq!(t.len(), 64);
+        // The slab never outgrew the peak window (+1 transient).
+        assert!(t.slots.len() <= 65, "slab grew to {}", t.slots.len());
+        assert!(
+            t.ring.capacity() <= 256,
+            "ring grew to {}",
+            t.ring.capacity()
+        );
+    }
+
+    #[test]
+    fn unknown_and_double_remove_are_none() {
+        let mut t = RequestTable::new();
+        t.insert(0, 0, SimTime(0));
+        assert_eq!(t.remove(99), None);
+        assert_eq!(t.remove(0), Some((0, SimTime(0))));
+        assert_eq!(t.remove(0), None);
+        assert_eq!(t.get(0), None);
+    }
+}

@@ -22,6 +22,7 @@
 //! the `lass-sim` and `lass-sweep` binaries. See
 //! `examples/quickstart.rs` for a five-minute tour.
 
+pub mod replay;
 pub mod scenario;
 
 pub use lass_cluster as cluster;

@@ -1,0 +1,113 @@
+//! Memory-regression guard for the million-function replay stack: the
+//! streaming statistics path must hold a *bounded* footprint per
+//! function — O(1) P² markers, never retained samples — and its
+//! steady-state record path must be allocation-free.
+//!
+//! The probe is a counting `#[global_allocator]` (integration tests
+//! compile as standalone binaries, so the allocator swap is scoped to
+//! this file). It is deliberately coarse: we assert on *deltas* around
+//! the measured region, not absolute numbers, so allocator internals
+//! and test-harness noise cannot trip it.
+
+use lass_simcore::SampleStats;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn bytes() -> usize {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// 10⁵ functions' worth of streaming stats: warm them past the lazy
+/// quantile-estimator boot, then assert the steady-state record path
+/// performs zero allocation and retains zero samples.
+#[test]
+fn streaming_stats_footprint_is_bounded_at_100k_functions() {
+    const FUNCTIONS: usize = 100_000;
+    let mut stats: Vec<SampleStats> = (0..FUNCTIONS).map(|_| SampleStats::streaming()).collect();
+
+    // Warm-up: the first few records may allocate (each stat boots its
+    // P² marker block lazily) — that is the *bounded* footprint.
+    let warm_bytes_before = bytes();
+    for (i, s) in stats.iter_mut().enumerate() {
+        for k in 0..10u32 {
+            s.record(f64::from(k) + i as f64 * 1e-6);
+        }
+    }
+    let warm_bytes = bytes() - warm_bytes_before;
+    // Bounded footprint: O(1) per function. 1 KiB each is ~10× the real
+    // marker-block size — a retained-sample representation (8 B/sample
+    // growing forever) blows through this within the warm-up alone.
+    assert!(
+        warm_bytes < FUNCTIONS * 1024,
+        "streaming warm-up allocated {warm_bytes} bytes for {FUNCTIONS} stats"
+    );
+
+    // Steady state: recording into warm streaming stats must not touch
+    // the allocator at all.
+    let (a0, b0) = (allocs(), bytes());
+    for (i, s) in stats.iter_mut().enumerate() {
+        for k in 0..20u32 {
+            s.record(f64::from(k) * 0.5 + (i % 97) as f64);
+        }
+    }
+    let (da, db) = (allocs() - a0, bytes() - b0);
+    assert_eq!(
+        da, 0,
+        "steady-state streaming record performed {da} allocations ({db} bytes)"
+    );
+
+    // And nothing is retained: the whole point of the streaming path.
+    for s in &stats {
+        assert_eq!(s.retained(), 0);
+        assert_eq!(s.count(), 30);
+    }
+    // Estimates stay sane after 3M total records.
+    let p95 = stats[0].percentile(0.95).unwrap();
+    assert!(p95.is_finite() && p95 >= 0.0);
+}
+
+/// The exact (golden-pinned) representation *does* retain samples —
+/// the probe must see the difference, or it is not measuring anything.
+#[test]
+fn exact_stats_retain_and_allocate() {
+    let mut s = SampleStats::new();
+    let (a0, _) = (allocs(), bytes());
+    for k in 0..10_000u32 {
+        s.record(f64::from(k));
+    }
+    assert_eq!(s.retained(), 10_000);
+    assert!(
+        allocs() - a0 > 0,
+        "exact stats grew a 10k-sample vec without allocating?"
+    );
+}

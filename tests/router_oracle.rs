@@ -118,6 +118,7 @@ fn run_mmc(seed: u64, lambda: f64, mu: f64, servers: u32, duration: f64) -> Engi
             rng_label_prefix: String::new(),
             duration_secs: duration,
             drain_secs: 120.0,
+            stream_stats: false,
         },
         vec![FunctionEntry {
             name: "probe".into(),
@@ -276,6 +277,7 @@ fn run_split(
             rng_label_prefix: String::new(),
             duration_secs: duration,
             drain_secs: 120.0,
+            stream_stats: false,
         },
         vec![FunctionEntry {
             name: "probe".into(),
