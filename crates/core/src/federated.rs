@@ -30,8 +30,9 @@ use crate::simulation::{FunctionSetup, LassPolicy, SimReport};
 use crate::staticalloc::StaticRrPolicy;
 use lass_cluster::{Cluster, FnId, Topology};
 use lass_simcore::{
-    run_simulation, ChaosConfig, ChaosPolicy, ContainerChaos, EngineConfig, FedFunction,
-    FederatedReport, Federation, FunctionEntry, RouterConfig, RouterKind, SimDuration, SiteMeta,
+    run_federation_parallel, run_simulation, ChaosConfig, ChaosPolicy, ContainerChaos,
+    EngineConfig, FedFunction, FederatedReport, Federation, FunctionEntry, RouterConfig,
+    RouterKind, SimDuration, SiteMeta,
 };
 
 /// The report of a federated run: one [`SimReport`] per site plus the
@@ -59,6 +60,7 @@ pub struct FederatedSimulation {
     router_cfg: RouterConfig,
     policy: SitePolicyKind,
     chaos: ChaosConfig,
+    parallel: Option<usize>,
     setups: Vec<FunctionSetup>,
 }
 
@@ -75,6 +77,7 @@ impl FederatedSimulation {
             router_cfg: RouterConfig::default(),
             policy: SitePolicyKind::default(),
             chaos: ChaosConfig::default(),
+            parallel: None,
             setups: Vec::new(),
         }
     }
@@ -104,6 +107,20 @@ impl FederatedSimulation {
     /// target sites by topology index.
     pub fn set_chaos(&mut self, chaos: ChaosConfig) -> &mut Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Run sites on a pool of `threads` worker threads using the
+    /// conservative-synchronization parallel executor (see
+    /// `lass_simcore::parallel`). Requires a multi-site topology where
+    /// every site has a strictly positive router latency — degenerate
+    /// topologies fall back to the sequential engine with a warning on
+    /// stderr. The parallel report is deterministic for a given seed
+    /// regardless of `threads`, but is not byte-identical to the
+    /// sequential engine's (per-site RNG streams, barrier-stale router
+    /// telemetry).
+    pub fn set_parallel(&mut self, threads: Option<usize>) -> &mut Self {
+        self.parallel = threads;
         self
     }
 
@@ -180,6 +197,31 @@ impl FederatedSimulation {
             .collect();
         let router = self.router.build_with(&self.router_cfg);
         let router_cfg = self.router_cfg;
+        // Conservative parallelism needs lookahead: a multi-site
+        // topology with strictly positive latencies. Anything else
+        // degenerates (zero lookahead would force zero-width windows),
+        // so fall back to the sequential engine rather than deadlock.
+        let parallel = match self.parallel {
+            Some(n) if n >= 1 => {
+                if site_count < 2 {
+                    eprintln!(
+                        "warning: parallel_sites={n} ignored — single-site topology runs sequentially"
+                    );
+                    None
+                } else if metas.iter().any(|m| m.latency.0 == 0) {
+                    eprintln!(
+                        "warning: parallel_sites={n} ignored — zero-latency site leaves no lookahead; running sequentially"
+                    );
+                    None
+                } else {
+                    Some(n)
+                }
+            }
+            Some(0) => {
+                return Err("parallel_sites must be >= 1 when set".into());
+            }
+            _ => None,
+        };
         let (cfg, seed, setups, chaos) = (self.cfg, self.seed, self.setups, self.chaos);
 
         // The engine RNG prefix matches the corresponding single-cluster
@@ -217,6 +259,7 @@ impl FederatedSimulation {
                     "",
                     duration,
                     entries,
+                    parallel,
                 )
             }
             SitePolicyKind::StaticRr => {
@@ -234,6 +277,7 @@ impl FederatedSimulation {
                     "static-",
                     duration,
                     entries,
+                    parallel,
                 )
             }
             SitePolicyKind::Knative => {
@@ -251,6 +295,7 @@ impl FederatedSimulation {
                     "knative-",
                     duration,
                     entries,
+                    parallel,
                 )
             }
         };
@@ -273,9 +318,11 @@ fn launch<P, F>(
     prefix: &str,
     duration: f64,
     entries: Vec<FunctionEntry>,
+    parallel: Option<usize>,
 ) -> FederatedSimReport
 where
-    P: ContainerChaos<Report = SimReport>,
+    P: ContainerChaos<Report = SimReport> + Send,
+    P::Event: Send,
     F: FnMut(usize, u32) -> P + Send + 'static,
 {
     let sites = metas
@@ -286,17 +333,20 @@ where
     let mut fed = Federation::new(sites, router, fed_functions).with_rebuild(Box::new(build));
     fed.set_migration_penalty(SimDuration::from_secs_f64(chaos.migration_penalty_secs));
     fed.set_router_config(&router_cfg);
-    run_simulation(
-        EngineConfig {
-            seed,
-            rng_label_prefix: prefix.into(),
-            duration_secs: duration,
-            drain_secs: 120.0,
-            stream_stats: false,
-        },
-        entries,
-        ChaosPolicy::new(fed, chaos, seed),
-    )
+    let cfg = EngineConfig {
+        seed,
+        rng_label_prefix: prefix.into(),
+        duration_secs: duration,
+        drain_secs: 120.0,
+        stream_stats: false,
+        parallel_sites: parallel,
+    };
+    match parallel {
+        // The parallel executor barriers the fault schedule itself, so
+        // the federation goes in bare rather than chaos-wrapped.
+        Some(_) => run_federation_parallel(cfg, entries, fed, chaos, seed),
+        None => run_simulation(cfg, entries, ChaosPolicy::new(fed, chaos, seed)),
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +444,33 @@ mod tests {
                 .sum();
             assert!(completed > 900, "{kind:?}: completed={completed}");
         }
+    }
+
+    #[test]
+    fn parallel_execution_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut sim = FederatedSimulation::new(LassConfig::default(), edge_cloud(), 42);
+            sim.set_router(RouterKind::LeastLoaded)
+                .set_parallel(Some(threads));
+            let mut setup = FunctionSetup::new(
+                micro_benchmark(0.1),
+                0.1,
+                WorkloadSpec::Static {
+                    rate: 40.0,
+                    duration: 60.0,
+                },
+            );
+            setup.initial_containers = 1;
+            sim.add_function(setup);
+            sim.run(Some(60.0)).expect("runs")
+        };
+        let (a, b) = (run(1), run(4));
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "parallel LaSS federation diverged across thread counts"
+        );
+        assert!(a.aggregate_per_fn[0].completed > 1000);
     }
 
     #[test]

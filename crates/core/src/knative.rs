@@ -89,6 +89,7 @@ impl KnativeSimulation {
             duration_secs: duration,
             drain_secs: 120.0,
             stream_stats: false,
+            parallel_sites: None,
         };
         let policy = KnativePolicy::new(self.cfg, self.cluster, self.setups);
         run_simulation(engine_cfg, entries, policy)

@@ -212,6 +212,7 @@ impl Simulation {
             duration_secs: duration,
             drain_secs: 120.0,
             stream_stats: false,
+            parallel_sites: None,
         };
         let mut policy = LassPolicy::new(self.cfg, self.cluster, self.seed, &self.setups, "");
         tweak(&mut policy.controller, &mut policy.cluster);

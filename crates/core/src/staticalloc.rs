@@ -68,6 +68,7 @@ impl StaticRrSimulation {
             duration_secs: duration,
             drain_secs: 120.0,
             stream_stats: false,
+            parallel_sites: None,
         };
         let policy = StaticRrPolicy::new(self.cluster, self.setups);
         run_simulation(engine_cfg, entries, policy)

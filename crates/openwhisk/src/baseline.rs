@@ -193,6 +193,7 @@ impl OwSimulation {
             duration_secs: duration,
             drain_secs: 60.0,
             stream_stats: false,
+            parallel_sites: None,
         };
         let invokers: Vec<Invoker> = (0..cfg.invokers)
             .map(|_| Invoker {

@@ -138,6 +138,99 @@ impl ChaosConfig {
             && self.burst_mtbf_secs.is_none()
     }
 
+    /// Materialize the full fault schedule this configuration injects
+    /// over a run of `domains` fault domains ending (nominally) at
+    /// `end`, in **scheduling order**: timed events in config order
+    /// (onsets at or past `end` dropped, recoveries kept), then the
+    /// per-domain crash renewals, the per-domain partition renewals, and
+    /// the burst process — exactly the order [`ChaosPolicy::on_start`]
+    /// schedules them, so the `(time, seq)` pairs of a sequential run
+    /// are reproducible from this list. The parallel federated executor
+    /// consumes the same list, which is what keeps its fault timeline
+    /// byte-identical to the sequential oracle's.
+    pub fn build_schedule(&self, seed: u64, domains: usize, end: SimTime) -> Vec<(SimTime, Fault)> {
+        let mut out = Vec::new();
+        for &(at, fault) in &self.events {
+            let at = SimTime::from_secs_f64(at);
+            let is_recovery = matches!(fault, Fault::SiteUp { .. } | Fault::PartitionEnd { .. });
+            if is_recovery || at < end {
+                out.push((at, fault));
+            }
+        }
+        let renewal = |rng: &mut SimRng,
+                       mtbf: f64,
+                       mttr: f64,
+                       out: &mut Vec<(SimTime, Fault)>,
+                       mut fault_pair: Box<dyn FnMut(bool) -> Fault>| {
+            let mut t = 0.0f64;
+            loop {
+                let down_at = t + rng.exp(1.0 / mtbf);
+                if down_at >= end.as_secs_f64() {
+                    return;
+                }
+                let up_at = down_at + rng.exp(1.0 / mttr);
+                out.push((SimTime::from_secs_f64(down_at), fault_pair(true)));
+                out.push((SimTime::from_secs_f64(up_at), fault_pair(false)));
+                t = up_at;
+            }
+        };
+        if let Some(mtbf) = self.site_mtbf_secs {
+            for site in 0..domains as u32 {
+                let mut rng = SimRng::from_seed_label(seed, &format!("chaos:crash:{site}"));
+                renewal(
+                    &mut rng,
+                    mtbf,
+                    self.site_mttr_secs,
+                    &mut out,
+                    Box::new(move |down| {
+                        if down {
+                            Fault::SiteDown { site }
+                        } else {
+                            Fault::SiteUp { site }
+                        }
+                    }),
+                );
+            }
+        }
+        if let Some(mtbf) = self.partition_mtbf_secs {
+            for site in 0..domains as u32 {
+                let mut rng = SimRng::from_seed_label(seed, &format!("chaos:partition:{site}"));
+                renewal(
+                    &mut rng,
+                    mtbf,
+                    self.partition_mttr_secs,
+                    &mut out,
+                    Box::new(move |down| {
+                        if down {
+                            Fault::PartitionStart { site }
+                        } else {
+                            Fault::PartitionEnd { site }
+                        }
+                    }),
+                );
+            }
+        }
+        if let Some(mtbf) = self.burst_mtbf_secs {
+            let mut rng = SimRng::from_seed_label(seed, "chaos:burst");
+            let mut t = 0.0f64;
+            loop {
+                t += rng.exp(1.0 / mtbf);
+                if t >= end.as_secs_f64() {
+                    break;
+                }
+                let site = rng.below(domains.max(1)) as u32;
+                out.push((
+                    SimTime::from_secs_f64(t),
+                    Fault::ContainerBurst {
+                        site,
+                        count: self.burst_size,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
     /// Basic sanity checks on the knobs.
     pub fn validate(&self) -> Result<(), String> {
         for (name, v) in [
@@ -292,36 +385,6 @@ impl<T: ChaosTarget> ChaosPolicy<T> {
     pub fn faults_injected(&self) -> usize {
         self.faults_injected
     }
-
-    /// Schedule one alternating down/up renewal process over `[0, end)`.
-    fn schedule_renewal(
-        ctx: &mut impl PolicyCtx<ChaosEv<T::Event>>,
-        rng: &mut SimRng,
-        mtbf: f64,
-        mttr: f64,
-        end: SimTime,
-        mut fault_pair: impl FnMut(bool) -> Fault,
-    ) {
-        let mut t = 0.0f64;
-        loop {
-            let down_at = t + rng.exp(1.0 / mtbf);
-            if down_at >= end.as_secs_f64() {
-                return;
-            }
-            let up_at = down_at + rng.exp(1.0 / mttr);
-            ctx.schedule(
-                SimTime::from_secs_f64(down_at),
-                ChaosEv::Fault(fault_pair(true)),
-            );
-            // The recovery may land in the drain; that is fine — the
-            // pump keeps running until the hard end.
-            ctx.schedule(
-                SimTime::from_secs_f64(up_at),
-                ChaosEv::Fault(fault_pair(false)),
-            );
-            t = up_at;
-        }
-    }
 }
 
 impl<T: ChaosTarget> SchedulerPolicy for ChaosPolicy<T> {
@@ -331,71 +394,16 @@ impl<T: ChaosTarget> SchedulerPolicy for ChaosPolicy<T> {
     fn on_start(&mut self, ctx: &mut impl PolicyCtx<Self::Event>) {
         self.target.on_start(&mut InnerCtx { inner: ctx });
         let end = ctx.end_time();
+        let domains = self.target.fault_domains();
         // Timed faults first (stable order for equal instants), then the
         // stochastic processes in domain order — all deterministic.
-        for &(at, fault) in &self.cfg.events {
-            let at = SimTime::from_secs_f64(at);
-            // Fault onsets at or past the nominal end are pointless and
-            // dropped; *recoveries* are scheduled regardless, so a
-            // down/up pair straddling the end still heals during the
-            // drain (matching the stochastic renewal processes) instead
-            // of leaving the site dark — or its stalled responses
-            // buffered — forever.
-            let is_recovery = matches!(fault, Fault::SiteUp { .. } | Fault::PartitionEnd { .. });
-            if is_recovery || at < end {
-                ctx.schedule(at, ChaosEv::Fault(fault));
-            }
-        }
-        let domains = self.target.fault_domains();
-        if let Some(mtbf) = self.cfg.site_mtbf_secs {
-            for site in 0..domains as u32 {
-                let mut rng = SimRng::from_seed_label(self.seed, &format!("chaos:crash:{site}"));
-                Self::schedule_renewal(ctx, &mut rng, mtbf, self.cfg.site_mttr_secs, end, |down| {
-                    if down {
-                        Fault::SiteDown { site }
-                    } else {
-                        Fault::SiteUp { site }
-                    }
-                });
-            }
-        }
-        if let Some(mtbf) = self.cfg.partition_mtbf_secs {
-            for site in 0..domains as u32 {
-                let mut rng =
-                    SimRng::from_seed_label(self.seed, &format!("chaos:partition:{site}"));
-                Self::schedule_renewal(
-                    ctx,
-                    &mut rng,
-                    mtbf,
-                    self.cfg.partition_mttr_secs,
-                    end,
-                    |down| {
-                        if down {
-                            Fault::PartitionStart { site }
-                        } else {
-                            Fault::PartitionEnd { site }
-                        }
-                    },
-                );
-            }
-        }
-        if let Some(mtbf) = self.cfg.burst_mtbf_secs {
-            let mut rng = SimRng::from_seed_label(self.seed, "chaos:burst");
-            let mut t = 0.0f64;
-            loop {
-                t += rng.exp(1.0 / mtbf);
-                if t >= end.as_secs_f64() {
-                    break;
-                }
-                let site = rng.below(domains.max(1)) as u32;
-                ctx.schedule(
-                    SimTime::from_secs_f64(t),
-                    ChaosEv::Fault(Fault::ContainerBurst {
-                        site,
-                        count: self.cfg.burst_size,
-                    }),
-                );
-            }
+        // Fault onsets at or past the nominal end are pointless and
+        // dropped; *recoveries* are scheduled regardless, so a down/up
+        // pair straddling the end still heals during the drain instead
+        // of leaving the site dark — or its stalled responses buffered —
+        // forever. `build_schedule` encodes both rules.
+        for (at, fault) in self.cfg.build_schedule(self.seed, domains, end) {
+            ctx.schedule(at, ChaosEv::Fault(fault));
         }
     }
 
@@ -469,6 +477,7 @@ mod tests {
                 duration_secs: 100.0,
                 drain_secs: 20.0,
                 stream_stats: false,
+                parallel_sites: None,
             },
             vec![FunctionEntry {
                 name: "probe".into(),
@@ -563,6 +572,7 @@ mod tests {
                 duration_secs: 100.0,
                 drain_secs: 20.0,
                 stream_stats: false,
+                parallel_sites: None,
             },
             vec![FunctionEntry {
                 name: "probe".into(),

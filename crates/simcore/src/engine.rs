@@ -66,6 +66,27 @@ pub struct EngineConfig {
     /// simulations (their goldens hash exact sample vectors); on for
     /// trace replay at 10⁴–10⁶ functions.
     pub stream_stats: bool,
+    /// Worker threads for the parallel federated executor
+    /// ([`crate::parallel::run_federation_parallel`]). `None` (the
+    /// default) keeps the sequential event pump; [`run_simulation`]
+    /// itself ignores the knob — federated launchers dispatch on it.
+    /// The parallel executor is deterministic in this value's presence
+    /// but not its magnitude: any `Some(n)` produces byte-identical
+    /// reports.
+    pub parallel_sites: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            rng_label_prefix: String::new(),
+            duration_secs: 60.0,
+            drain_secs: 30.0,
+            stream_stats: false,
+            parallel_sites: None,
+        }
+    }
 }
 
 /// Per-function statistics collected by the engine.
@@ -551,6 +572,7 @@ mod tests {
                 duration_secs: 60.0,
                 drain_secs: 30.0,
                 stream_stats: false,
+                parallel_sites: None,
             },
             vec![FunctionEntry {
                 name: "probe".into(),
@@ -623,6 +645,7 @@ mod tests {
                 duration_secs: 30.0,
                 drain_secs: 10.0,
                 stream_stats: false,
+                parallel_sites: None,
             },
             vec![FunctionEntry {
                 name: "drops".into(),

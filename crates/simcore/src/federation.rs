@@ -135,11 +135,11 @@ pub enum FedEv<E> {
 }
 
 /// Per-site bookkeeping maintained by the scoped context.
-struct SiteTally {
+pub(crate) struct SiteTally {
     /// Requests delivered to the site and not yet finished.
-    in_flight: usize,
+    pub(crate) in_flight: usize,
     /// Requests the router sent to this site (delivered or in transit).
-    routed: usize,
+    pub(crate) routed: usize,
     /// Requests that finished at this site (completed, abandoned, lost,
     /// or migrated away). `routed - finished` is the router's view of
     /// the site's commitment: it includes requests still in transit,
@@ -147,55 +147,55 @@ struct SiteTally {
     /// hasn't seen them yet — otherwise a burst shorter than the network
     /// hop would herd entirely onto a high-latency site before any
     /// delivery moves its visible load.
-    finished: usize,
+    pub(crate) finished: usize,
     /// Per-function arrival counts since the site's last window take.
-    window: Vec<u64>,
+    pub(crate) window: Vec<u64>,
     /// Per-function statistics of requests finished at this site.
-    per_fn: Vec<FnStats>,
+    pub(crate) per_fn: Vec<FnStats>,
     /// Live requests held by the site (delivered, not yet finished),
     /// keyed by request id for deterministic evacuation order.
-    live: BTreeMap<u64, u32>,
+    pub(crate) live: BTreeMap<u64, u32>,
     /// Completions held back by an ongoing partition: `(rid, started)`.
-    stalled: Vec<(u64, SimTime)>,
+    pub(crate) stalled: Vec<(u64, SimTime)>,
     /// Whether the site is alive (not crashed).
-    up: bool,
+    pub(crate) up: bool,
     /// Whether the router↔site link is currently cut.
-    partitioned: bool,
+    pub(crate) partitioned: bool,
     /// Site incarnation; bumped on crash to invalidate stale events.
-    epoch: u32,
+    pub(crate) epoch: u32,
     /// Completed crash/rebuild cycles (labels the replacement policy).
-    restarts: u32,
+    pub(crate) restarts: u32,
     /// The site crashed and its scheduler must be rebuilt on recovery.
-    needs_rebuild: bool,
+    pub(crate) needs_rebuild: bool,
     /// Requests migrated away from this site (orphans of a crash plus
     /// in-transit bounces off a dead or partitioned site).
-    migrated_out: usize,
+    pub(crate) migrated_out: usize,
     /// Migrated requests this site accepted from a failing site.
-    migrated_in: usize,
+    pub(crate) migrated_in: usize,
     /// Requests committed to this site that could not be migrated
     /// anywhere (engine-level lost).
-    failed: usize,
+    pub(crate) failed: usize,
     /// Containers crashed here by chaos bursts.
-    chaos_crashes: u32,
+    pub(crate) chaos_crashes: u32,
     /// Total time the site was unroutable (crashed or partitioned).
-    downtime: DowntimeClock,
+    pub(crate) downtime: DowntimeClock,
     /// Online λ̂/μ̂ telemetry feeding the model-driven routers'
     /// forecasts. Observe-only: maintained for every run, read only by
     /// routers that care.
-    predictor: WaitPredictor,
+    pub(crate) predictor: WaitPredictor,
     /// Memoized M/M/c evaluation of the predictor's forecast, keyed by
     /// `(λ̂ epoch, μ̂ epoch, server count)`: the refresh before each
     /// routing decision re-evaluates the model only when the predictor
     /// actually advanced a tick (or absorbed a completion) or the
     /// site's warm fleet changed — otherwise it is a key compare and a
     /// copy, allocation-free.
-    fcache: ForecastCache,
+    pub(crate) fcache: ForecastCache,
     /// Downtime EWMA behind the failure-aware router's flakiness score.
-    health: HealthEwma,
+    pub(crate) health: HealthEwma,
 }
 
 impl SiteTally {
-    fn new(functions: &[FedFunction], router_cfg: &RouterConfig) -> Self {
+    pub(crate) fn new(functions: &[FedFunction], router_cfg: &RouterConfig) -> Self {
         Self {
             in_flight: 0,
             routed: 0,
@@ -236,12 +236,12 @@ impl SiteTally {
     }
 
     /// Whether the router may send arrivals here right now.
-    fn routable(&self) -> bool {
+    pub(crate) fn routable(&self) -> bool {
         self.up && !self.partitioned
     }
 
     /// Fold one finished request into the site's statistics.
-    fn record_completion(&mut self, c: &Completion) {
+    pub(crate) fn record_completion(&mut self, c: &Completion) {
         // Telemetry: the observed service time feeds the site's μ̂
         // estimate. (A partition-stalled completion's recorded service
         // absorbs the stall — the predictor sees the same degraded rate
@@ -479,19 +479,19 @@ pub type SiteRebuild<P> = Box<dyn FnMut(usize, u32) -> P + Send>;
 /// The federated meta-policy: a router in front of one inner scheduler
 /// instance per site. See the module docs for the full contract.
 pub struct Federation<P: SchedulerPolicy> {
-    sites: Vec<P>,
-    metas: Vec<SiteMeta>,
-    tallies: Vec<SiteTally>,
-    router: Box<dyn RouterPolicy + Send>,
+    pub(crate) sites: Vec<P>,
+    pub(crate) metas: Vec<SiteMeta>,
+    pub(crate) tallies: Vec<SiteTally>,
+    pub(crate) router: Box<dyn RouterPolicy + Send>,
     /// Scratch router view, refreshed from the tallies per decision.
-    states: Vec<SiteState>,
+    pub(crate) states: Vec<SiteState>,
     /// Extra latency added to a migrated request's re-delivery, on top
     /// of the destination's inbound hop.
-    migration_penalty: SimDuration,
+    pub(crate) migration_penalty: SimDuration,
     /// Factory that rebuilds a crashed site's scheduler on recovery.
-    rebuild: Option<SiteRebuild<P>>,
+    pub(crate) rebuild: Option<SiteRebuild<P>>,
     /// Arrivals dropped because no site was routable.
-    unroutable: usize,
+    pub(crate) unroutable: usize,
 }
 
 impl<P: ContainerChaos> Federation<P> {
@@ -1067,6 +1067,7 @@ mod tests {
             duration_secs: 60.0,
             drain_secs: 30.0,
             stream_stats: false,
+            parallel_sites: None,
         }
     }
 

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod events;
 pub mod federation;
 pub mod metrics;
+pub mod parallel;
 pub mod reqtable;
 pub mod rng;
 pub mod router;
@@ -55,6 +56,7 @@ pub use lass_queueing::{
     EvaluatedForecast, ForecastCache, PredictorConfig, WaitForecast, WaitPredictor,
 };
 pub use metrics::{DowntimeClock, SampleStats, TimeSeries, TimeWeightedGauge};
+pub use parallel::run_federation_parallel;
 pub use reqtable::RequestTable;
 pub use rng::SimRng;
 pub use router::{

@@ -1,0 +1,1062 @@
+//! Parallel conservative-synchronization executor for federated runs.
+//!
+//! The sequential federated pump ([`crate::run_simulation`] over a
+//! [`Federation`]) interleaves every site's events in one calendar. But
+//! the federation's inter-site network latency is a textbook
+//! conservative-PDES *lookahead* (Chandy–Misra–Bryant): the front-end
+//! router cannot affect a site sooner than the router→site hop, and a
+//! site cannot affect anything outside itself at all — completions only
+//! become visible to the router as telemetry. So per-site event loops
+//! can run concurrently between *lookahead barriers* with zero
+//! speculation and no rollback.
+//!
+//! # Execution model
+//!
+//! Simulated time is cut into windows `[T, H)` with
+//! `H = min(T_eff + L, next fault, hard_end)` where `L` is the minimum
+//! site latency (the global lookahead) and `T_eff` skips ahead over idle
+//! gaps to the earliest pending event. Each window runs three strictly
+//! ordered phases:
+//!
+//! 1. **Front-end phase** (main thread): arrivals and due deliveries in
+//!    `[T, H)` are processed from the front-end calendar. Routing
+//!    decisions happen here — arrivals are routed exactly as the
+//!    sequential federation routes them, and each routed request is
+//!    scheduled as a delivery at `t + latency`. A delivery whose
+//!    destination went dark bounces into migration, also here. Because
+//!    `latency ≥ L`, a delivery created in this window always lands in
+//!    a later window, so the per-site inboxes only ever hold
+//!    current-window messages.
+//! 2. **Worker phase**: `parallel_sites` worker threads drain each
+//!    site's inbox and local event queue through `[T, H)`, running the
+//!    site's scheduler exactly as the sequential run would. Sites are
+//!    fully independent inside a window; outcomes (completions,
+//!    timeouts, losses, reruns) are appended to a per-site log.
+//! 3. **Merge phase** (main thread): the per-site logs are merged in
+//!    deterministic `(time, site, log-index)` order and folded into the
+//!    cross-site aggregate statistics and the router telemetry — the
+//!    same fold order regardless of how many worker threads ran, which
+//!    is what makes the report byte-identical for every
+//!    `parallel_sites` value.
+//!
+//! Site-level faults ([`Fault`]) are window split points: the fault
+//! schedule is materialized up front
+//! ([`ChaosConfig::build_schedule`]), each fault instant terminates a
+//! window, and the fault is applied by the main thread at the barrier —
+//! crash orphan migration, rebuild-on-recovery, partition bookkeeping —
+//! mirroring the sequential [`ChaosTarget`] implementation of the
+//! federation.
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed the executor is **byte-identical across every
+//! `parallel_sites` value** (1, 2, 8, … — workers only touch their own
+//! shards and the merge order is thread-independent). It is *not* in
+//! general byte-identical to the sequential federation, for three
+//! documented reasons:
+//!
+//! * service-time draws use per-site streams
+//!   (`"{prefix}s{site}:service:{fn}"`) instead of the sequential run's
+//!   site-shared streams — unavoidable once sites draw concurrently;
+//! * router *telemetry* (per-site finished counts, warm census, μ̂ from
+//!   completions) is refreshed at barriers, so load-driven routers see
+//!   site state up to one lookahead window (≤ `L`) stale;
+//! * cross-site events at the *exact same* timestamp merge in
+//!   `(time, site)` order rather than global scheduling order — a
+//!   measure-zero tie under continuous arrival/service distributions.
+//!
+//! Under a telemetry-free router (round-robin) and a deterministic
+//! service-time policy, none of the three applies and the parallel
+//! report equals the sequential report exactly — the differential
+//! oracle pinned by `tests/parallel_federation.rs`.
+//!
+//! Zero-latency sites would degenerate the lookahead to nothing, so the
+//! executor requires every site latency to be positive; launchers fall
+//! back to the sequential path (with a warning) otherwise.
+
+use crate::arrivals::ArrivalProcess;
+use crate::chaos::{ChaosConfig, ContainerChaos, Fault};
+use crate::engine::{
+    Completion, EngineConfig, EngineOutcome, FnStats, FunctionEntry, PolicyCtx, ReqId,
+};
+use crate::events::EventQueue;
+use crate::federation::{FederatedReport, Federation, SiteMeta, SiteReport, SiteTally};
+use crate::metrics::{DowntimeClock, SampleStats};
+use crate::rng::SimRng;
+use crate::router::{RouterPolicy, SiteState};
+use crate::time::{SimDuration, SimTime};
+use lass_queueing::{ForecastCache, HealthEwma, WaitPredictor};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Barrier, Mutex};
+
+/// A time-stamped inter-shard message: what the front-end hands a site
+/// for one window. Deliveries are the routed (or migrated) requests
+/// completing their network hop; the control variants forward
+/// fault-driven state flips that the sequential federation applies
+/// through the site's scoped context.
+enum Msg {
+    /// A routed request reaches the site.
+    Deliver {
+        rid: u64,
+        fn_idx: u32,
+        arrival: SimTime,
+    },
+    /// The router↔site link was cut: hold responses from now on.
+    PartitionStart,
+    /// The link healed: release everything held back.
+    PartitionEnd,
+    /// A chaos burst crashes up to `count` containers.
+    Burst { count: u32 },
+}
+
+/// One request outcome recorded by a shard, replayed by the merge phase
+/// into the cross-site aggregate in deterministic order.
+enum LogKind {
+    Completed {
+        fn_idx: u32,
+        wait: f64,
+        service: f64,
+        response: f64,
+        violated: bool,
+    },
+    Timeout {
+        fn_idx: u32,
+    },
+    Lost {
+        fn_idx: u32,
+    },
+    Rerun {
+        fn_idx: u32,
+    },
+}
+
+struct LogEntry {
+    t: SimTime,
+    kind: LogKind,
+}
+
+/// The shard-private half of one site: everything a worker thread may
+/// touch during its window.
+struct ShardState<E> {
+    site: u32,
+    /// The site scheduler's own event calendar.
+    queue: EventQueue<E>,
+    /// Current-window messages from the front-end, time-sorted.
+    inbox: VecDeque<(SimTime, Msg)>,
+    /// Live requests held by the site: rid → (fn, arrival), keyed by
+    /// request id for deterministic crash-evacuation order.
+    live: BTreeMap<u64, (u32, SimTime)>,
+    /// Completions held back by an ongoing partition: `(rid, started)`.
+    stalled: Vec<(u64, SimTime)>,
+    /// Whether the router↔site link is currently cut (shard's view).
+    partitioned: bool,
+    /// Requests delivered and not yet finished.
+    in_flight: usize,
+    /// Per-function arrival counts since the last window take.
+    window: Vec<u64>,
+    /// Per-function statistics of requests finished at this site.
+    per_fn: Vec<FnStats>,
+    /// Containers crashed here by chaos bursts.
+    chaos_crashes: u32,
+    /// Outcomes recorded this window, drained by the merge phase.
+    log: Vec<LogEntry>,
+    /// Lazily created per-site service streams, labelled
+    /// `"{prefix}s{site}:service:{fn}"`.
+    service_rngs: HashMap<u32, SimRng>,
+    seed: u64,
+    prefix: String,
+    /// Nominal end of the run.
+    end: SimTime,
+    fn_count: usize,
+}
+
+/// One site: its scheduler instance plus the shard state, split so the
+/// scheduler can borrow a [`PolicyCtx`] over the state.
+struct Shard<P: ContainerChaos> {
+    policy: P,
+    st: ShardState<P::Event>,
+}
+
+/// The site-local [`PolicyCtx`]: the parallel analogue of the
+/// federation's scoped `SiteCtx`, backed by shard-private state instead
+/// of the shared engine.
+struct LocalCtx<'a, E> {
+    st: &'a mut ShardState<E>,
+    /// The current event's timestamp — stamps outcome log entries so
+    /// the merge phase orders them correctly (the local calendar's
+    /// clock lags while inbox messages are being processed).
+    now: SimTime,
+    /// Shift applied to scheduled times — non-zero only while replaying
+    /// a rebuilt policy's `on_start` after a crash recovery.
+    offset: SimDuration,
+}
+
+impl<E> ShardState<E> {
+    /// The shared completion path: compute the request's timings, fold
+    /// them into the site statistics, and log the outcome for the merge
+    /// phase. Mirrors the sequential engine's `complete` +
+    /// `SiteTally::record_completion` pair (the predictor half of
+    /// `record_completion` is replayed by the merge phase).
+    fn complete_now(&mut self, rid: u64, started: SimTime, now: SimTime) -> Option<Completion> {
+        let (fn_idx, arrival) = self.live.remove(&rid)?;
+        let wait = started.saturating_since(arrival).as_secs_f64();
+        let service = now.saturating_since(started).as_secs_f64();
+        let response = now.saturating_since(arrival).as_secs_f64();
+        let f = &mut self.per_fn[fn_idx as usize];
+        let violated_slo = wait > f.slo_deadline;
+        f.completed += 1;
+        f.wait.record(wait);
+        f.service.record(service);
+        f.response.record(response);
+        if violated_slo {
+            f.slo_violations += 1;
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.log.push(LogEntry {
+            t: now,
+            kind: LogKind::Completed {
+                fn_idx,
+                wait,
+                service,
+                response,
+                violated: violated_slo,
+            },
+        });
+        Some(Completion {
+            fn_idx,
+            arrival,
+            wait,
+            service,
+            response,
+            violated_slo,
+        })
+    }
+}
+
+impl<E> PolicyCtx<E> for LocalCtx<'_, E> {
+    fn schedule(&mut self, at: SimTime, ev: E) {
+        self.st.queue.schedule(at + self.offset, ev);
+    }
+
+    fn end_time(&self) -> SimTime {
+        self.st.end
+    }
+
+    fn fn_count(&self) -> usize {
+        self.st.fn_count
+    }
+
+    fn service_rng(&mut self, fn_idx: u32) -> &mut SimRng {
+        let (seed, site, prefix) = (self.st.seed, self.st.site, &self.st.prefix);
+        self.st.service_rngs.entry(fn_idx).or_insert_with(|| {
+            SimRng::from_seed_label(seed, &format!("{prefix}s{site}:service:{fn_idx}"))
+        })
+    }
+
+    fn request_info(&self, rid: ReqId) -> Option<(u32, SimTime)> {
+        self.st.live.get(&rid.0).copied()
+    }
+
+    fn complete(&mut self, rid: ReqId, started: SimTime, now: SimTime) -> Option<Completion> {
+        if self.st.partitioned {
+            // The response cannot cross the cut link: hold it until the
+            // partition heals, exactly like the sequential SiteCtx.
+            if self.st.live.contains_key(&rid.0) {
+                self.st.stalled.push((rid.0, started));
+            }
+            return None;
+        }
+        self.st.complete_now(rid.0, started, now)
+    }
+
+    fn abandon(&mut self, rid: ReqId) -> Option<u32> {
+        let (fn_idx, _) = self.st.live.remove(&rid.0)?;
+        let f = &mut self.st.per_fn[fn_idx as usize];
+        f.timeouts += 1;
+        f.slo_violations += 1;
+        self.st.in_flight = self.st.in_flight.saturating_sub(1);
+        self.st.log.push(LogEntry {
+            t: self.now,
+            kind: LogKind::Timeout { fn_idx },
+        });
+        Some(fn_idx)
+    }
+
+    fn lose(&mut self, rid: ReqId) -> Option<u32> {
+        let (fn_idx, _) = self.st.live.remove(&rid.0)?;
+        self.st.per_fn[fn_idx as usize].lost += 1;
+        self.st.in_flight = self.st.in_flight.saturating_sub(1);
+        self.st.log.push(LogEntry {
+            t: self.now,
+            kind: LogKind::Lost { fn_idx },
+        });
+        Some(fn_idx)
+    }
+
+    fn rerun(&mut self, rid: ReqId) -> Option<u32> {
+        let &(fn_idx, _) = self.st.live.get(&rid.0)?;
+        self.st.per_fn[fn_idx as usize].reruns += 1;
+        self.st.log.push(LogEntry {
+            t: self.now,
+            kind: LogKind::Rerun { fn_idx },
+        });
+        Some(fn_idx)
+    }
+
+    fn take_window_counts(&mut self) -> Vec<u64> {
+        self.st.window.iter_mut().map(std::mem::take).collect()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.st.in_flight
+    }
+}
+
+/// Advance one shard through `[its current time, horizon)`: drain the
+/// window's inbox merged with the local calendar in time order (inbox
+/// first on ties — front-end messages were scheduled before the site's
+/// own run-time events in the sequential calendar).
+fn pump_shard<P: ContainerChaos>(shard: &mut Shard<P>, horizon: SimTime) {
+    loop {
+        let next_inbox = shard.st.inbox.front().map(|&(t, _)| t);
+        let next_local = shard.st.queue.peek_time();
+        let take_inbox = match (next_inbox, next_local) {
+            (Some(ti), Some(tl)) => ti <= tl,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_inbox {
+            let t = next_inbox.expect("checked");
+            if t >= horizon {
+                break;
+            }
+            let (_, msg) = shard.st.inbox.pop_front().expect("checked");
+            let Shard { policy, st } = shard;
+            let mut ctx = LocalCtx {
+                st,
+                now: t,
+                offset: SimDuration::ZERO,
+            };
+            match msg {
+                Msg::Deliver {
+                    rid,
+                    fn_idx,
+                    arrival,
+                } => {
+                    ctx.st.in_flight += 1;
+                    ctx.st.window[fn_idx as usize] += 1;
+                    ctx.st.per_fn[fn_idx as usize].arrivals += 1;
+                    ctx.st.live.insert(rid, (fn_idx, arrival));
+                    policy.on_arrival(&mut ctx, ReqId(rid), fn_idx, t);
+                }
+                Msg::PartitionStart => {
+                    ctx.st.partitioned = true;
+                }
+                Msg::PartitionEnd => {
+                    ctx.st.partitioned = false;
+                    // Release the responses the cut link held back; the
+                    // stall lands in their response time.
+                    let stalled = std::mem::take(&mut ctx.st.stalled);
+                    for (rid, started) in stalled {
+                        ctx.st.complete_now(rid, started, t);
+                    }
+                }
+                Msg::Burst { count } => {
+                    let crashed = policy.crash_containers(&mut ctx, count, t);
+                    ctx.st.chaos_crashes += crashed;
+                }
+            }
+        } else {
+            let tl = next_local.expect("checked");
+            if tl >= horizon {
+                break;
+            }
+            let (t, ev) = shard.st.queue.pop().expect("checked");
+            let Shard { policy, st } = shard;
+            policy.on_event(
+                &mut LocalCtx {
+                    st,
+                    now: t,
+                    offset: SimDuration::ZERO,
+                },
+                ev,
+                t,
+            );
+        }
+    }
+}
+
+/// The front-end's per-site bookkeeping: the router-visible half of the
+/// sequential `SiteTally`.
+struct FrontSite {
+    meta: SiteMeta,
+    routed: usize,
+    finished: usize,
+    up: bool,
+    partitioned: bool,
+    needs_rebuild: bool,
+    restarts: u32,
+    migrated_out: usize,
+    migrated_in: usize,
+    failed: usize,
+    downtime: DowntimeClock,
+    predictor: WaitPredictor,
+    fcache: ForecastCache,
+    health: HealthEwma,
+}
+
+impl FrontSite {
+    fn routable(&self) -> bool {
+        self.up && !self.partitioned
+    }
+
+    /// Close the downtime-clock transition after routability changed;
+    /// the flakiness EWMA sees the true instant, the clock is clamped
+    /// to the nominal end (mirrors the sequential `clock_routability`).
+    fn clock_routability(&mut self, now: SimTime, end: SimTime) {
+        self.health.observe(now.as_secs_f64(), !self.routable());
+        let now = now.min(end);
+        if self.routable() {
+            self.downtime.mark_up(now);
+        } else {
+            self.downtime.mark_down(now);
+        }
+    }
+}
+
+/// Front-end calendar events: the arrival pump plus in-flight network
+/// hops. Faults are *not* calendar events here — every fault instant is
+/// a window barrier handled by the main thread.
+enum FeEv {
+    Arrival(u32),
+    DeliveryDue {
+        site: u32,
+        rid: u64,
+        fn_idx: u32,
+        arrival: SimTime,
+    },
+}
+
+/// Everything the main thread owns between worker phases.
+struct Frontend<P: ContainerChaos> {
+    calendar: EventQueue<FeEv>,
+    fronts: Vec<FrontSite>,
+    router: Box<dyn RouterPolicy + Send>,
+    states: Vec<SiteState>,
+    migration_penalty: SimDuration,
+    rebuild: Option<crate::federation::SiteRebuild<P>>,
+    /// Per-function arrival machinery — identical streams and call
+    /// sequence to the sequential engine, so the arrival timeline (and
+    /// request-id assignment) matches the sequential run exactly.
+    procs: Vec<(Box<dyn ArrivalProcess + Send>, SimRng)>,
+    /// Cross-site aggregate statistics (the engine's own measurement in
+    /// the sequential run).
+    agg: Vec<FnStats>,
+    unroutable: usize,
+    arrivals_total: usize,
+    completed_total: usize,
+    timeouts_total: usize,
+    lost_total: usize,
+    next_rid: u64,
+    end: SimTime,
+}
+
+impl<P: ContainerChaos> Frontend<P> {
+    fn schedule_next_arrival(&mut self, fn_idx: u32, now: SimTime) {
+        let (process, rng) = &mut self.procs[fn_idx as usize];
+        if let Some(t) = process.next_after(now, rng) {
+            self.calendar.schedule(t, FeEv::Arrival(fn_idx));
+        }
+    }
+
+    /// Replicate the sequential `refresh_states` + router call: refresh
+    /// the scratch view from the front-end counters and the shards'
+    /// (barrier-stale) warm census, then route with
+    /// fallback-to-first-routable.
+    fn pick_site(&mut self, shards: &[Mutex<Shard<P>>], fn_idx: u32, now: SimTime) -> usize {
+        let t = now.as_secs_f64();
+        for (i, state) in self.states.iter_mut().enumerate() {
+            let front = &mut self.fronts[i];
+            state.in_flight = front.routed.saturating_sub(front.finished) as u64;
+            state.up = front.routable();
+            front.health.observe(t, !front.routable());
+            state.flakiness = front.health.value();
+            // The census reads the shard directly — phases never
+            // overlap, so the lock is uncontended; the fleet is the
+            // site's state as of the last barrier (≤ one lookahead
+            // window stale).
+            let shard = shards[i].lock().expect("shard lock");
+            state.warm = shard.policy.warm_containers(fn_idx);
+            let fleet: u64 = (0..shard.st.per_fn.len())
+                .map(|f| shard.policy.warm_containers(f as u32))
+                .sum();
+            drop(shard);
+            let servers = if fleet > 0 {
+                fleet.min(u64::from(u32::MAX)) as u32
+            } else {
+                state.capacity_hint.round().max(1.0) as u32
+            };
+            state.forecast = front.fcache.refresh(&mut front.predictor, t, servers);
+        }
+        let fallback = self
+            .fronts
+            .iter()
+            .position(FrontSite::routable)
+            .expect("caller checked a routable site exists");
+        let chosen = self.router.route(fn_idx, now, &self.states);
+        let ok = chosen < self.fronts.len() && self.fronts[chosen].routable();
+        debug_assert!(ok, "router returned unroutable site {chosen}");
+        if ok {
+            chosen
+        } else {
+            fallback
+        }
+    }
+
+    /// Move a request committed to site `from` onto a surviving site, or
+    /// fail it when none is left — the front-end half of the sequential
+    /// `Federation::migrate`. `delivered` says whether the request had
+    /// already reached the site (crash orphan, shard-side accounting
+    /// already released) or was still in transit (bounced delivery).
+    #[allow(clippy::too_many_arguments)]
+    fn migrate(
+        &mut self,
+        shards: &[Mutex<Shard<P>>],
+        from: usize,
+        rid: u64,
+        fn_idx: u32,
+        arrival: SimTime,
+        now: SimTime,
+        delivered: bool,
+    ) {
+        self.fronts[from].finished += 1;
+        if !self.fronts.iter().any(FrontSite::routable) {
+            // Nowhere to go: the request is failed (engine-level lost).
+            self.fronts[from].failed += 1;
+            if delivered {
+                let mut shard = shards[from].lock().expect("shard lock");
+                shard.st.per_fn[fn_idx as usize].lost += 1;
+            }
+            self.agg[fn_idx as usize].lost += 1;
+            self.lost_total += 1;
+            return;
+        }
+        self.fronts[from].migrated_out += 1;
+        if delivered {
+            // The orphan lost its server; the aggregate rerun counter is
+            // the cross-site view of that.
+            self.agg[fn_idx as usize].reruns += 1;
+        }
+        let dest = self.pick_site(shards, fn_idx, now);
+        self.fronts[dest].routed += 1;
+        self.fronts[dest].predictor.on_arrival(now.as_secs_f64());
+        self.fronts[dest].migrated_in += 1;
+        // Latencies are validated positive, so the hop is never zero and
+        // the re-delivery always goes through the calendar.
+        let hop = self.fronts[dest].meta.latency + self.migration_penalty;
+        self.calendar.schedule(
+            now + hop,
+            FeEv::DeliveryDue {
+                site: dest as u32,
+                rid,
+                fn_idx,
+                arrival,
+            },
+        );
+    }
+
+    /// Apply one fault at a window barrier — the parallel analogue of
+    /// the federation's `ChaosTarget::inject`.
+    fn apply_fault(&mut self, shards: &[Mutex<Shard<P>>], fault: Fault, now: SimTime) {
+        let i = fault.site() as usize;
+        if i >= self.fronts.len() {
+            debug_assert!(false, "fault targets unknown site {i}");
+            return;
+        }
+        let end = self.end;
+        match fault {
+            Fault::SiteDown { .. } => {
+                if !self.fronts[i].up {
+                    return;
+                }
+                assert!(
+                    self.rebuild.is_some(),
+                    "site-crash faults require Federation::with_rebuild"
+                );
+                self.fronts[i].up = false;
+                self.fronts[i].needs_rebuild = true;
+                let orphans: Vec<(u64, (u32, SimTime))> = {
+                    let mut shard = shards[i].lock().expect("shard lock");
+                    // Every pending event belongs to the dead
+                    // incarnation — the shard advanced exactly to the
+                    // fault instant, so the whole calendar is invalid.
+                    shard.st.queue.clear();
+                    shard.st.stalled.clear();
+                    shard.st.in_flight = 0;
+                    std::mem::take(&mut shard.st.live).into_iter().collect()
+                };
+                self.fronts[i].clock_routability(now, end);
+                for (rid, (fn_idx, arrival)) in orphans {
+                    self.migrate(shards, i, rid, fn_idx, arrival, now, true);
+                }
+            }
+            Fault::SiteUp { .. } => {
+                if self.fronts[i].up {
+                    return;
+                }
+                self.fronts[i].up = true;
+                self.fronts[i].clock_routability(now, end);
+                if self.fronts[i].needs_rebuild {
+                    self.fronts[i].needs_rebuild = false;
+                    self.fronts[i].restarts += 1;
+                    let restarts = self.fronts[i].restarts;
+                    let rebuild = self.rebuild.as_mut().expect("checked at SiteDown");
+                    let mut shard = shards[i].lock().expect("shard lock");
+                    shard.policy = rebuild(i, restarts);
+                    shard.st.in_flight = 0;
+                    for w in &mut shard.st.window {
+                        *w = 0;
+                    }
+                    // Replay the fresh policy's start-up (timer setup,
+                    // initial provisioning) shifted to the present.
+                    let Shard { policy, st } = &mut *shard;
+                    policy.on_start(&mut LocalCtx {
+                        st,
+                        now,
+                        offset: now.saturating_since(SimTime::ZERO),
+                    });
+                }
+            }
+            Fault::PartitionStart { .. } => {
+                if self.fronts[i].partitioned {
+                    return;
+                }
+                self.fronts[i].partitioned = true;
+                self.fronts[i].clock_routability(now, end);
+                let mut shard = shards[i].lock().expect("shard lock");
+                shard.st.inbox.push_back((now, Msg::PartitionStart));
+            }
+            Fault::PartitionEnd { .. } => {
+                if !self.fronts[i].partitioned {
+                    return;
+                }
+                self.fronts[i].partitioned = false;
+                self.fronts[i].clock_routability(now, end);
+                let mut shard = shards[i].lock().expect("shard lock");
+                shard.st.inbox.push_back((now, Msg::PartitionEnd));
+            }
+            Fault::ContainerBurst { count, .. } => {
+                if !self.fronts[i].up {
+                    return; // a dead site has nothing left to crash
+                }
+                let mut shard = shards[i].lock().expect("shard lock");
+                shard.st.inbox.push_back((now, Msg::Burst { count }));
+            }
+        }
+    }
+
+    /// Merge the window's per-site outcome logs into the aggregate in
+    /// deterministic `(time, site, log-index)` order and feed the
+    /// per-site telemetry — thread-count-independent by construction.
+    fn merge_window(&mut self, shards: &[Mutex<Shard<P>>]) {
+        let mut merged: Vec<(u32, LogEntry)> = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let mut shard = shard.lock().expect("shard lock");
+            for e in shard.st.log.drain(..) {
+                merged.push((i as u32, e));
+            }
+        }
+        // Stable by time: equal instants keep (site, log-index) order.
+        merged.sort_by_key(|(_, e)| e.t);
+        for (site, e) in merged {
+            let front = &mut self.fronts[site as usize];
+            match e.kind {
+                LogKind::Completed {
+                    fn_idx,
+                    wait,
+                    service,
+                    response,
+                    violated,
+                } => {
+                    front.finished += 1;
+                    front.predictor.on_service(service);
+                    let f = &mut self.agg[fn_idx as usize];
+                    f.completed += 1;
+                    f.wait.record(wait);
+                    f.service.record(service);
+                    f.response.record(response);
+                    if violated {
+                        f.slo_violations += 1;
+                    }
+                    self.completed_total += 1;
+                }
+                LogKind::Timeout { fn_idx } => {
+                    front.finished += 1;
+                    let f = &mut self.agg[fn_idx as usize];
+                    f.timeouts += 1;
+                    f.slo_violations += 1;
+                    self.timeouts_total += 1;
+                }
+                LogKind::Lost { fn_idx } => {
+                    front.finished += 1;
+                    self.agg[fn_idx as usize].lost += 1;
+                    self.lost_total += 1;
+                }
+                LogKind::Rerun { fn_idx } => {
+                    self.agg[fn_idx as usize].reruns += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Run a federated simulation over per-site worker threads with
+/// conservative latency-lookahead synchronization. See the module docs
+/// for the execution model and determinism contract.
+///
+/// `federation` must be freshly built (no prior run);
+/// `chaos`/`chaos_seed` describe the fault schedule the sequential path
+/// would inject through a
+/// [`ChaosPolicy`](crate::chaos::ChaosPolicy) wrapper (pass
+/// `ChaosConfig::default()` for a fault-free run). The worker count
+/// comes from `cfg.parallel_sites` (clamped to the site count; `None`
+/// runs the windowed executor single-threaded, which produces the same
+/// bytes as any other thread count).
+///
+/// # Panics
+///
+/// Panics if any site latency is zero (the lookahead would be
+/// degenerate — callers are expected to validate and fall back to the
+/// sequential path) or if the duration is not positive.
+pub fn run_federation_parallel<P>(
+    cfg: EngineConfig,
+    functions: Vec<FunctionEntry>,
+    federation: Federation<P>,
+    chaos: ChaosConfig,
+    chaos_seed: u64,
+) -> FederatedReport<P::Report>
+where
+    P: ContainerChaos + Send,
+    P::Event: Send,
+{
+    assert!(
+        cfg.duration_secs > 0.0,
+        "simulation needs a positive duration"
+    );
+    chaos.validate().expect("invalid ChaosConfig");
+    let Federation {
+        sites,
+        metas,
+        tallies,
+        router,
+        states,
+        migration_penalty,
+        rebuild,
+        unroutable,
+    } = federation;
+    let n_sites = metas.len();
+    let lookahead = metas
+        .iter()
+        .map(|m| m.latency)
+        .min()
+        .expect("federation has at least one site");
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "parallel federated execution requires every site latency > 0 \
+         (zero latency degenerates the conservative lookahead); \
+         fall back to the sequential path"
+    );
+    let end = SimTime::from_secs_f64(cfg.duration_secs);
+    let hard_end = end + SimDuration::from_secs_f64(cfg.drain_secs);
+    let duration_secs = cfg.duration_secs;
+    let threads = cfg.parallel_sites.unwrap_or(1).clamp(1, n_sites);
+
+    // The fault timeline, materialized up front in the same order the
+    // sequential ChaosPolicy schedules it; a stable sort by time turns
+    // scheduling order into firing order.
+    let mut faults = chaos.build_schedule(chaos_seed, n_sites, end);
+    faults.sort_by_key(|&(t, _)| t);
+
+    // Disassemble the federation: tallies split into the router-visible
+    // front half and the shard-private half (the telemetry instances
+    // move so `set_router_config` reseeding is preserved).
+    let mut fronts = Vec::with_capacity(n_sites);
+    let mut shards = Vec::with_capacity(n_sites);
+    for (i, ((policy, meta), tally)) in sites.into_iter().zip(metas).zip(tallies).enumerate() {
+        let SiteTally {
+            per_fn,
+            window,
+            predictor,
+            fcache,
+            health,
+            downtime,
+            ..
+        } = tally;
+        fronts.push(FrontSite {
+            meta,
+            routed: 0,
+            finished: 0,
+            up: true,
+            partitioned: false,
+            needs_rebuild: false,
+            restarts: 0,
+            migrated_out: 0,
+            migrated_in: 0,
+            failed: 0,
+            downtime,
+            predictor,
+            fcache,
+            health,
+        });
+        shards.push(Mutex::new(Shard {
+            policy,
+            st: ShardState {
+                site: i as u32,
+                queue: EventQueue::new(),
+                inbox: VecDeque::new(),
+                live: BTreeMap::new(),
+                stalled: Vec::new(),
+                partitioned: false,
+                in_flight: 0,
+                window,
+                per_fn,
+                chaos_crashes: 0,
+                log: Vec::new(),
+                service_rngs: HashMap::new(),
+                seed: cfg.seed,
+                prefix: cfg.rng_label_prefix.clone(),
+                end,
+                fn_count: functions.len(),
+            },
+        }));
+    }
+
+    // Aggregate statistics + arrival machinery, mirroring EngineCtx.
+    let new_stats = if cfg.stream_stats {
+        SampleStats::streaming
+    } else {
+        SampleStats::new
+    };
+    let mut agg = Vec::with_capacity(functions.len());
+    let mut procs = Vec::with_capacity(functions.len());
+    for (i, f) in functions.into_iter().enumerate() {
+        agg.push(FnStats {
+            name: f.name,
+            slo_deadline: f.slo_deadline,
+            arrivals: 0,
+            completed: 0,
+            reruns: 0,
+            timeouts: 0,
+            lost: 0,
+            slo_violations: 0,
+            wait: new_stats(),
+            response: new_stats(),
+            service: new_stats(),
+        });
+        procs.push((
+            f.process,
+            SimRng::from_seed_label(cfg.seed, &format!("{}arrival:{i}", cfg.rng_label_prefix)),
+        ));
+    }
+    let mut fe = Frontend {
+        calendar: EventQueue::new(),
+        fronts,
+        router,
+        states,
+        migration_penalty,
+        rebuild,
+        procs,
+        agg,
+        unroutable,
+        arrivals_total: 0,
+        completed_total: 0,
+        timeouts_total: 0,
+        lost_total: 0,
+        next_rid: 0,
+        end,
+    };
+    for i in 0..fe.procs.len() as u32 {
+        fe.schedule_next_arrival(i, SimTime::ZERO);
+    }
+    // Site start-up runs on the main thread before the first window.
+    for shard in &shards {
+        let mut shard = shard.lock().expect("shard lock");
+        let Shard { policy, st } = &mut *shard;
+        policy.on_start(&mut LocalCtx {
+            st,
+            now: SimTime::ZERO,
+            offset: SimDuration::ZERO,
+        });
+    }
+
+    // Bulk-synchronous window loop: two barrier waits per window, the
+    // horizon handed to the persistent workers through a mutex.
+    let start_barrier = Barrier::new(threads + 1);
+    let done_barrier = Barrier::new(threads + 1);
+    // (horizon, stop)
+    let command = Mutex::new((SimTime::ZERO, false));
+    let shards_ref = &shards;
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let start = &start_barrier;
+            let done = &done_barrier;
+            let command = &command;
+            scope.spawn(move || loop {
+                start.wait();
+                let (horizon, stop) = *command.lock().expect("command lock");
+                if stop {
+                    return;
+                }
+                for i in (w..n_sites).step_by(threads) {
+                    let mut shard = shards_ref[i].lock().expect("shard lock");
+                    pump_shard(&mut shard, horizon);
+                }
+                done.wait();
+            });
+        }
+
+        let mut t_window = SimTime::ZERO;
+        let mut fi = 0usize;
+        loop {
+            // Barrier phase: apply every fault due at the window start.
+            while fi < faults.len() && faults[fi].0 <= t_window {
+                let (t, fault) = faults[fi];
+                fi += 1;
+                fe.apply_fault(shards_ref, fault, t.max(t_window));
+            }
+            // Horizon: earliest pending work anywhere, advanced by the
+            // lookahead, cut at the next fault and the hard end.
+            let mut pending = fe.calendar.peek_time();
+            for shard in shards_ref {
+                let shard = shard.lock().expect("shard lock");
+                pending = match (pending, shard.st.queue.peek_time()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let next_fault = faults.get(fi).map(|&(t, _)| t);
+            let earliest = match (pending, next_fault) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if earliest > hard_end {
+                break;
+            }
+            let t_eff = t_window.max(earliest);
+            let mut horizon = t_eff + lookahead;
+            if let Some(ft) = next_fault {
+                horizon = horizon.min(ft);
+            }
+            // Events at exactly the hard end still run (the sequential
+            // pump only breaks strictly past it).
+            horizon = horizon.min(SimTime(hard_end.0 + 1));
+
+            // Front-end phase: arrivals and due deliveries in [T, H).
+            while fe.calendar.peek_time().is_some_and(|t| t < horizon) {
+                let (now, ev) = fe.calendar.pop().expect("checked");
+                match ev {
+                    FeEv::Arrival(fn_idx) => {
+                        let rid = fe.next_rid;
+                        fe.next_rid += 1;
+                        fe.arrivals_total += 1;
+                        fe.agg[fn_idx as usize].arrivals += 1;
+                        if !fe.fronts.iter().any(FrontSite::routable) {
+                            // Every site is dark: shed at the front door.
+                            fe.unroutable += 1;
+                            fe.agg[fn_idx as usize].lost += 1;
+                            fe.lost_total += 1;
+                        } else {
+                            let chosen = fe.pick_site(shards_ref, fn_idx, now);
+                            fe.fronts[chosen].routed += 1;
+                            fe.fronts[chosen].predictor.on_arrival(now.as_secs_f64());
+                            let latency = fe.fronts[chosen].meta.latency;
+                            fe.calendar.schedule(
+                                now + latency,
+                                FeEv::DeliveryDue {
+                                    site: chosen as u32,
+                                    rid,
+                                    fn_idx,
+                                    arrival: now,
+                                },
+                            );
+                        }
+                        fe.schedule_next_arrival(fn_idx, now);
+                    }
+                    FeEv::DeliveryDue {
+                        site,
+                        rid,
+                        fn_idx,
+                        arrival,
+                    } => {
+                        if fe.fronts[site as usize].routable() {
+                            let mut shard = shards_ref[site as usize].lock().expect("shard lock");
+                            shard.st.inbox.push_back((
+                                now,
+                                Msg::Deliver {
+                                    rid,
+                                    fn_idx,
+                                    arrival,
+                                },
+                            ));
+                        } else {
+                            // The destination went dark while the request
+                            // was in flight: bounce and migrate.
+                            fe.migrate(shards_ref, site as usize, rid, fn_idx, arrival, now, false);
+                        }
+                    }
+                }
+            }
+
+            // Worker phase.
+            *command.lock().expect("command lock") = (horizon, false);
+            start_barrier.wait();
+            done_barrier.wait();
+
+            // Merge phase.
+            fe.merge_window(shards_ref);
+            t_window = horizon;
+        }
+        *command.lock().expect("command lock") = (SimTime::ZERO, true);
+        start_barrier.wait();
+    });
+
+    // Assemble the report exactly as the sequential finish() does.
+    let outstanding = fe
+        .arrivals_total
+        .saturating_sub(fe.completed_total + fe.timeouts_total + fe.lost_total);
+    let per_site = shards
+        .into_iter()
+        .zip(fe.fronts)
+        .map(|(shard, front)| {
+            let shard = shard.into_inner().expect("shard lock");
+            let site_outcome = EngineOutcome {
+                per_fn: shard.st.per_fn,
+                outstanding: shard.st.in_flight,
+                duration_secs,
+            };
+            SiteReport {
+                name: front.meta.name,
+                latency_secs: front.meta.latency.as_secs_f64(),
+                routed: front.routed,
+                migrated: front.migrated_out,
+                migrated_in: front.migrated_in,
+                failed: front.failed,
+                chaos_crashes: shard.st.chaos_crashes,
+                downtime_secs: front.downtime.total_until(end),
+                flakiness: front.health.value(),
+                report: shard.policy.finish(site_outcome),
+            }
+        })
+        .collect();
+    FederatedReport {
+        router: fe.router.name().to_owned(),
+        per_site,
+        aggregate_per_fn: fe.agg,
+        unroutable: fe.unroutable,
+        outstanding,
+        duration: duration_secs,
+    }
+}

@@ -117,6 +117,58 @@ fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) ->
     results.into_iter().map(|(_, out)| out).collect()
 }
 
+/// Run two closures, potentially in parallel, and return both results
+/// (`rayon::join` semantics: `a` on the calling thread, `b` on a scoped
+/// worker). Panics propagate to the caller once both sides have been
+/// joined.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A fork-join scope handed to the closure passed to [`scope`]; spawned
+/// tasks may borrow from the enclosing stack frame (`'scope` outlives
+/// every task) and all complete before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task into the scope. Unlike real rayon the task body
+    /// takes no argument (no nested-scope handle); nest by calling
+    /// [`scope`] again inside the task.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// `rayon::scope` semantics on OS threads: run `f` with a [`Scope`],
+/// block until every spawned task finishes, and propagate the first
+/// panic. One OS thread per spawn — callers in this workspace fan out a
+/// handful of long-running workers, not thousands of tasks.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
 /// The commonly-glob-imported surface.
 pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
@@ -157,5 +209,87 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "b".repeat(3));
+        assert_eq!(a, 4);
+        assert_eq!(b, "bbb");
+    }
+
+    #[test]
+    fn join_allows_borrowing_the_stack() {
+        let data: Vec<u64> = (0..100).collect();
+        let (front, back) = super::join(
+            || data[..50].iter().sum::<u64>(),
+            || data[50..].iter().sum::<u64>(),
+        );
+        assert_eq!(front + back, data.iter().sum());
+    }
+
+    #[test]
+    fn join_propagates_panics_from_the_spawned_side() {
+        let caught = std::panic::catch_unwind(|| {
+            super::join(|| 1, || panic!("worker exploded"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn scope_runs_all_spawns_before_returning() {
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_spawns_can_borrow_and_mutate_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        super::scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let total = AtomicUsize::new(0);
+        super::scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    super::scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        let v = super::scope(|s| {
+            s.spawn(|| {});
+            7
+        });
+        assert_eq!(v, 7);
     }
 }

@@ -21,7 +21,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: lass-replay [--functions N] [--minutes M] [--seed S] [--zipf EXP] \
          [--rps TOTAL] [--sites K] [--router NAME] [--utilization U] [--slo SECS] \
-         [--csv PATH] [--window MINUTE] [--out FILE]"
+         [--csv PATH] [--window MINUTE] [--parallel THREADS] [--site-latency-ms MS] \
+         [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -53,6 +54,8 @@ fn main() {
             "--slo" => cfg.slo_deadline = parse(&arg, args.next()),
             "--window" => cfg.window_start = parse(&arg, args.next()),
             "--csv" => cfg.csv = Some(parse(&arg, args.next())),
+            "--parallel" => cfg.parallel = Some(parse(&arg, args.next())),
+            "--site-latency-ms" => cfg.site_latency_ms = Some(parse(&arg, args.next())),
             "--out" => out = Some(parse(&arg, args.next())),
             "--router" => {
                 let name: String = parse(&arg, args.next());

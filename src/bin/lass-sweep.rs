@@ -61,6 +61,13 @@ struct SweepSpec {
     /// RNG seeds.
     #[serde(default)]
     seeds: Option<Vec<u64>>,
+    /// Override the topology's `parallel_sites` knob for every cell
+    /// (requires a `topology` in the base scenario): run each federated
+    /// cell on this many worker threads via the conservative parallel
+    /// executor. Cells still run concurrently on the rayon pool, so
+    /// prefer this only when sweeping a few large scenarios.
+    #[serde(default)]
+    parallel_sites: Option<usize>,
 }
 
 /// One row of the output table: the grid point plus run summary
@@ -134,6 +141,9 @@ fn main() {
         }
         None => vec![None],
     };
+    if spec.parallel_sites.is_some() && base.topology.is_none() {
+        fail("\"parallel_sites\" requires the base scenario to have a \"topology\" block");
+    }
     let chaos_profiles: Vec<Option<ChaosSpec>> = match spec.chaos {
         Some(list) => {
             if base.topology.is_none() {
@@ -159,6 +169,9 @@ fn main() {
                         }
                         if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
                             topo.router = r;
+                        }
+                        if let (Some(n), Some(topo)) = (spec.parallel_sites, sc.topology.as_mut()) {
+                            topo.parallel_sites = Some(n);
                         }
                         if let Some(profile) = chaos {
                             sc.chaos = Some(profile.clone());

@@ -31,9 +31,10 @@
 use lass_cluster::FnInterner;
 use lass_functions::{parse_invocations_csv, sample_window, synthesize, TracePattern};
 use lass_simcore::{
-    run_simulation, ArrivalProcess, ContainerChaos, EngineConfig, EngineOutcome, FedFunction,
-    FederatedReport, Federation, FunctionEntry, PerMinuteTrace, PolicyCtx, ReqId, RouterKind,
-    ScaledShapeTrace, SchedulerPolicy, SimDuration, SimRng, SimTime, SiteMeta,
+    run_federation_parallel, run_simulation, ArrivalProcess, ChaosConfig, ContainerChaos,
+    EngineConfig, EngineOutcome, FedFunction, FederatedReport, Federation, FunctionEntry,
+    PerMinuteTrace, PolicyCtx, ReqId, RouterKind, ScaledShapeTrace, SchedulerPolicy, SimDuration,
+    SimRng, SimTime, SiteMeta,
 };
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -69,6 +70,16 @@ pub struct ReplayConfig {
     pub csv: Option<String>,
     /// First minute of the CSV window (e.g. 660 for 11:00).
     pub window_start: usize,
+    /// Worker threads for the conservative-synchronization parallel
+    /// executor; `None` runs the sequential engine. Needs `sites >= 2`
+    /// and strictly positive inbound latency on every site (set
+    /// `site_latency_ms`), otherwise the replay warns and falls back to
+    /// the sequential engine.
+    pub parallel: Option<usize>,
+    /// Uniform router→site latency in milliseconds for every site;
+    /// `None` keeps the legacy ladder (site `i` pays `2·i` ms, so site 0
+    /// is the zero-latency local pool).
+    pub site_latency_ms: Option<f64>,
 }
 
 impl Default for ReplayConfig {
@@ -85,6 +96,8 @@ impl Default for ReplayConfig {
             slo_deadline: 0.1,
             csv: None,
             window_start: 0,
+            parallel: None,
+            site_latency_ms: None,
         }
     }
 }
@@ -101,6 +114,9 @@ pub struct ReplaySummary {
     pub seed: u64,
     /// Sites in the topology.
     pub sites: usize,
+    /// Worker threads the run actually used (1 = sequential engine,
+    /// including parallel requests that fell back).
+    pub threads: usize,
     /// Router name.
     pub router: String,
     /// FCFS servers provisioned per site.
@@ -424,14 +440,35 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
     // burst shapes).
     let total_servers = (workload.offered_erlangs / cfg.utilization).ceil() as u32;
     let servers_per_site = (total_servers / cfg.sites as u32).max(1) + 1;
+    let site_latency = |i: usize| match cfg.site_latency_ms {
+        Some(ms) => SimDuration::from_secs_f64(ms / 1e3),
+        // Legacy ladder: site 0 is the zero-latency local pool; remote
+        // pools pay a small inbound hop (more calendar traffic).
+        None => SimDuration::from_millis(2 * i as u64),
+    };
+    // Parallel execution needs conservative lookahead: at least two
+    // sites, every inbound hop strictly positive.
+    let threads = match cfg.parallel {
+        Some(0) => return Err("parallel must be >= 1 when set".into()),
+        Some(n) if cfg.sites < 2 => {
+            eprintln!("warning: parallel={n} ignored — single-site replay runs sequentially");
+            None
+        }
+        Some(n) if (0..cfg.sites).any(|i| site_latency(i).0 == 0) => {
+            eprintln!(
+                "warning: parallel={n} ignored — zero-latency site leaves no lookahead \
+                 (set --site-latency-ms > 0); running sequentially"
+            );
+            None
+        }
+        other => other,
+    };
     let sites: Vec<(SiteMeta, CapacityPolicy)> = (0..cfg.sites)
         .map(|i| {
             (
                 SiteMeta {
                     name: format!("site{i}"),
-                    // Site 0 is the zero-latency local pool; remote pools
-                    // pay a small inbound hop (more calendar traffic).
-                    latency: SimDuration::from_millis(2 * i as u64),
+                    latency: site_latency(i),
                     capacity_hint: f64::from(servers_per_site),
                 },
                 CapacityPolicy::new(servers_per_site, workload.service_means.clone()),
@@ -446,10 +483,19 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
         duration_secs: cfg.minutes as f64 * 60.0,
         drain_secs: 120.0,
         stream_stats: true,
+        parallel_sites: threads,
     };
     let wall_start = std::time::Instant::now();
-    let mut report: FederatedReport<CapacityReport> =
-        run_simulation(engine_cfg, workload.entries, federation);
+    let mut report: FederatedReport<CapacityReport> = match threads {
+        Some(_) => run_federation_parallel(
+            engine_cfg,
+            workload.entries,
+            federation,
+            ChaosConfig::default(),
+            cfg.seed,
+        ),
+        None => run_simulation(engine_cfg, workload.entries, federation),
+    };
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
     // Aggregate the engine's cross-site per-function statistics.
@@ -480,6 +526,7 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
         minutes: cfg.minutes,
         seed: cfg.seed,
         sites: cfg.sites,
+        threads: threads.unwrap_or(1),
         router: cfg.router.as_str().to_string(),
         servers_per_site,
         arrivals,
@@ -557,6 +604,53 @@ mod tests {
         other.seed = 8;
         let c = run_replay(&other).unwrap();
         assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn parallel_replay_conserves_and_is_thread_count_invariant() {
+        let cfg = |threads: usize| ReplayConfig {
+            sites: 4,
+            parallel: Some(threads),
+            site_latency_ms: Some(5.0),
+            ..quick_cfg()
+        };
+        let a = run_replay(&cfg(1)).unwrap();
+        let b = run_replay(&cfg(4)).unwrap();
+        assert_eq!(a.threads, 1);
+        assert_eq!(b.threads, 4);
+        assert!(a.conserved, "{a:?}");
+        assert!(a.arrivals > 5_000);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.outstanding, b.outstanding);
+        assert_eq!(a.mean_wait_ms, b.mean_wait_ms);
+        assert_eq!(a.p95_wait_ms_top_fn, b.p95_wait_ms_top_fn);
+    }
+
+    #[test]
+    fn parallel_replay_with_zero_latency_falls_back() {
+        // Legacy ladder gives site 0 zero latency → sequential fallback,
+        // bit-identical to the plain sequential replay.
+        let seq = run_replay(&ReplayConfig {
+            sites: 2,
+            ..quick_cfg()
+        })
+        .unwrap();
+        let fell_back = run_replay(&ReplayConfig {
+            sites: 2,
+            parallel: Some(4),
+            ..quick_cfg()
+        })
+        .unwrap();
+        assert_eq!(fell_back.threads, 1);
+        assert_eq!(seq.arrivals, fell_back.arrivals);
+        assert_eq!(seq.completed, fell_back.completed);
+        assert_eq!(seq.mean_wait_ms, fell_back.mean_wait_ms);
+        assert!(run_replay(&ReplayConfig {
+            parallel: Some(0),
+            ..quick_cfg()
+        })
+        .is_err());
     }
 
     #[test]

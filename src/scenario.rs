@@ -156,8 +156,34 @@ pub struct TopologySpec {
     /// routers.
     #[serde(default)]
     pub router_config: RouterConfig,
+    /// Worker threads for the conservative-synchronization parallel
+    /// executor (omit or `null` for the sequential engine). Needs a
+    /// multi-site topology where every `latency_ms` is strictly
+    /// positive — zero latency leaves the executor no lookahead, so
+    /// such topologies warn and fall back to the sequential engine.
+    #[serde(default)]
+    pub parallel_sites: Option<usize>,
     /// The sites, in id order.
     pub sites: Vec<SiteSpec>,
+}
+
+impl TopologySpec {
+    /// Check the parallel-execution knob against the topology shape.
+    pub fn validate_parallel(&self) -> Result<(), String> {
+        match self.parallel_sites {
+            Some(0) => Err("topology.parallel_sites must be >= 1 when set".into()),
+            Some(n) if n > 1 && self.sites.iter().any(|s| s.latency_ms <= 0.0) => {
+                // Not an error — the harness falls back to sequential —
+                // but surface it early so scenario authors notice.
+                eprintln!(
+                    "warning: topology.parallel_sites={n} with a zero-latency site: \
+                     no conservative lookahead, running sequentially"
+                );
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 /// One timed fault in a scenario's `chaos` block.
@@ -471,11 +497,13 @@ impl Scenario {
                 )
             }
         };
+        spec.validate_parallel()?;
         let topology = self.build_topology(spec)?;
         let mut sim = FederatedSimulation::new(self.config.clone(), topology, self.seed);
         sim.set_router(spec.router)
             .set_router_config(spec.router_config)
-            .set_policy(site_policy);
+            .set_policy(site_policy)
+            .set_parallel(spec.parallel_sites);
         if let Some(chaos) = &self.chaos {
             sim.set_chaos(chaos.to_config(spec)?);
         }
@@ -833,6 +861,57 @@ mod tests {
             agg.arrivals,
             agg.completed + agg.lost + agg.timeouts + rep.outstanding
         );
+    }
+
+    #[test]
+    fn parallel_topology_runs_and_matches_itself() {
+        let with_threads = |threads: &str| {
+            FEDERATED.replace(
+                "\"router\": \"latency-aware\",",
+                &format!("\"router\": \"latency-aware\", \"parallel_sites\": {threads},"),
+            )
+        };
+        let run = |text: &str| {
+            let sc = Scenario::from_json(text).expect("valid scenario");
+            let ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+                panic!("expected a federated report");
+            };
+            serde_json::to_string(&rep).unwrap()
+        };
+        let a = run(&with_threads("1"));
+        let b = run(&with_threads("4"));
+        assert_eq!(a, b, "parallel scenario diverged across thread counts");
+    }
+
+    #[test]
+    fn parallel_sites_zero_is_rejected() {
+        let text = FEDERATED.replace(
+            "\"router\": \"latency-aware\",",
+            "\"router\": \"latency-aware\", \"parallel_sites\": 0,",
+        );
+        let sc = Scenario::from_json(&text).expect("parses");
+        let err = sc.run_report().unwrap_err();
+        assert!(err.contains("parallel_sites"), "{err}");
+    }
+
+    #[test]
+    fn zero_latency_parallel_topology_falls_back_to_sequential() {
+        // Site latency 0 ms → no conservative lookahead; the run must
+        // complete (sequential fallback) and match the plain sequential
+        // report exactly.
+        let base = FEDERATED.replace("\"latency_ms\": 2", "\"latency_ms\": 0");
+        let par = base.replace(
+            "\"router\": \"latency-aware\",",
+            "\"router\": \"latency-aware\", \"parallel_sites\": 4,",
+        );
+        let run = |text: &str| {
+            let sc = Scenario::from_json(text).expect("valid scenario");
+            let ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+                panic!("expected a federated report");
+            };
+            serde_json::to_string(&rep).unwrap()
+        };
+        assert_eq!(run(&base), run(&par), "fallback must be the sequential run");
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn run_mmc(seed: u64, lambda: f64, mu: f64, servers: u32, duration: f64) -> Engi
             duration_secs: duration,
             drain_secs: 120.0,
             stream_stats: false,
+            parallel_sites: None,
         },
         vec![FunctionEntry {
             name: "probe".into(),
@@ -278,6 +279,7 @@ fn run_split(
             duration_secs: duration,
             drain_secs: 120.0,
             stream_stats: false,
+            parallel_sites: None,
         },
         vec![FunctionEntry {
             name: "probe".into(),
