@@ -32,7 +32,7 @@ use lass_cluster::{Cluster, FnId, Topology};
 use lass_simcore::{
     run_federation_parallel, run_simulation, ChaosConfig, ChaosPolicy, ContainerChaos,
     EngineConfig, FedFunction, FederatedReport, Federation, FunctionEntry, RouterConfig,
-    RouterKind, SimDuration, SiteMeta,
+    RouterKind, SimDuration, SiteMeta, TelemetryConfig,
 };
 
 /// The report of a federated run: one [`SimReport`] per site plus the
@@ -58,6 +58,7 @@ pub struct FederatedSimulation {
     seed: u64,
     router: RouterKind,
     router_cfg: RouterConfig,
+    telemetry: TelemetryConfig,
     policy: SitePolicyKind,
     chaos: ChaosConfig,
     parallel: Option<usize>,
@@ -75,6 +76,7 @@ impl FederatedSimulation {
             seed,
             router: RouterKind::default(),
             router_cfg: RouterConfig::default(),
+            telemetry: TelemetryConfig::default(),
             policy: SitePolicyKind::default(),
             chaos: ChaosConfig::default(),
             parallel: None,
@@ -93,6 +95,17 @@ impl FederatedSimulation {
     /// [`RouterConfig`]).
     pub fn set_router_config(&mut self, cfg: RouterConfig) -> &mut Self {
         self.router_cfg = cfg;
+        self
+    }
+
+    /// Enable delayed telemetry propagation between sites and the
+    /// router (the scenario `topology.telemetry` block): sites publish
+    /// snapshots on a jittered report interval and routing decisions
+    /// read the last snapshot that *arrived* over the site's network
+    /// latency. The default (zero interval) keeps oracle-fresh routing,
+    /// byte-for-byte identical to the pre-telemetry engine.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryConfig) -> &mut Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -141,6 +154,7 @@ impl FederatedSimulation {
         }
         self.chaos.validate()?;
         self.router_cfg.validate()?;
+        self.telemetry.validate()?;
         let site_count = self.topology.len();
         for (at, fault) in &self.chaos.events {
             if fault.site() as usize >= site_count {
@@ -197,6 +211,7 @@ impl FederatedSimulation {
             .collect();
         let router = self.router.build_with(&self.router_cfg);
         let router_cfg = self.router_cfg;
+        let telemetry = self.telemetry;
         // Conservative parallelism needs lookahead: a multi-site
         // topology with strictly positive latencies. Anything else
         // degenerates (zero lookahead would force zero-width windows),
@@ -252,6 +267,7 @@ impl FederatedSimulation {
                     seed,
                     chaos,
                     router_cfg,
+                    telemetry,
                     metas,
                     build,
                     router,
@@ -270,6 +286,7 @@ impl FederatedSimulation {
                     seed,
                     chaos,
                     router_cfg,
+                    telemetry,
                     metas,
                     build,
                     router,
@@ -288,6 +305,7 @@ impl FederatedSimulation {
                     seed,
                     chaos,
                     router_cfg,
+                    telemetry,
                     metas,
                     build,
                     router,
@@ -311,6 +329,7 @@ fn launch<P, F>(
     seed: u64,
     chaos: ChaosConfig,
     router_cfg: RouterConfig,
+    telemetry: TelemetryConfig,
     metas: Vec<SiteMeta>,
     mut build: F,
     router: Box<dyn lass_simcore::RouterPolicy + Send>,
@@ -333,6 +352,9 @@ where
     let mut fed = Federation::new(sites, router, fed_functions).with_rebuild(Box::new(build));
     fed.set_migration_penalty(SimDuration::from_secs_f64(chaos.migration_penalty_secs));
     fed.set_router_config(&router_cfg);
+    // A disabled (zero-interval) runtime is inert: the federation keeps
+    // routing on oracle-fresh state and emits no telemetry events.
+    fed.set_telemetry(telemetry, seed);
     let cfg = EngineConfig {
         seed,
         rng_label_prefix: prefix.into(),

@@ -53,7 +53,8 @@ pub use hetero::{
 };
 pub use mmc::{ErlangScratch, MmcQueue, MmcSnapshot, QueueError};
 pub use predictor::{
-    EvaluatedForecast, ForecastCache, HealthEwma, PredictorConfig, WaitForecast, WaitPredictor,
+    EvaluatedForecast, ForecastCache, HealthEwma, PredictorConfig, SnapshotCache, WaitForecast,
+    WaitPredictor,
 };
 pub use quantile::{percentile_of_sorted, ExactPercentiles, P2Quantile};
 pub use solver::{

@@ -389,6 +389,52 @@ impl ForecastCache {
     }
 }
 
+/// Value-keyed evaluation cache for *snapshotted* forecasts.
+///
+/// A [`ForecastCache`] keys on the live predictor's epoch counters, so
+/// it only works next to the predictor that produced the forecast. A
+/// telemetry snapshot travels away from its predictor (site → router,
+/// over the network model), and after a site rebuild the replacement
+/// predictor's epochs restart at zero — epoch keys would collide across
+/// incarnations. This cache instead keys on the forecast's *value*
+/// (`λ̂` bits, `μ̂` bits, server count): consecutive snapshots of a
+/// quiet site carry identical estimates and hit without re-running the
+/// Erlang-C recurrence, while any change in the reported triple — from
+/// whichever predictor incarnation — re-evaluates through the retained
+/// scratch buffers, allocation-free once they have grown to fleet size.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotCache {
+    scratch: ErlangScratch,
+    /// `(λ̂ bits, μ̂ bits, servers)` of the retained evaluation.
+    key: Option<(u64, u64, u32)>,
+    cached: EvaluatedForecast,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate `raw` through the cache: a key compare and a copy when
+    /// the reported triple is unchanged since the last call, a full
+    /// [`EvaluatedForecast::evaluate`] otherwise. Bit-identical to the
+    /// uncached path either way.
+    pub fn evaluate(&mut self, raw: WaitForecast) -> EvaluatedForecast {
+        let key = (raw.lambda.to_bits(), raw.mu.to_bits(), raw.servers);
+        if self.key != Some(key) {
+            self.cached = EvaluatedForecast::evaluate(&mut self.scratch, raw);
+            self.key = Some(key);
+        }
+        self.cached
+    }
+
+    /// Drop the retained evaluation (the next call recomputes).
+    pub fn invalidate(&mut self) {
+        self.key = None;
+    }
+}
+
 /// EWMA of a site's *down* fraction over fixed ticks — the
 /// failure-aware router's memory of recent crashes and partitions.
 ///
@@ -701,6 +747,45 @@ mod tests {
         let key_after_resize = cache.key;
         let _ = cache.refresh(&mut pred, 3.4, 4); // next tick closed
         assert_ne!(cache.key, key_after_resize);
+    }
+
+    /// The value-keyed snapshot cache is bit-identical to the uncached
+    /// evaluation, hits on repeated triples, and — unlike the
+    /// epoch-keyed [`ForecastCache`] — distinguishes forecasts from
+    /// different predictor incarnations by value rather than colliding
+    /// on restarted epoch counters.
+    #[test]
+    fn snapshot_cache_is_bit_identical_and_value_keyed() {
+        let mut cache = SnapshotCache::new();
+        let mut pred = WaitPredictor::default();
+        for i in 0..60 {
+            pred.on_arrival(f64::from(i) * 0.04);
+        }
+        pred.on_service(0.08);
+        let raw = pred.forecast(3.0, 3);
+        let uncached = EvaluatedForecast::from(raw);
+        let a = cache.evaluate(raw);
+        let key_after_first = cache.key;
+        assert_eq!(a.mean_wait().to_bits(), uncached.mean_wait().to_bits());
+        assert_eq!(
+            a.wait_percentile(0.95).to_bits(),
+            uncached.wait_percentile(0.95).to_bits()
+        );
+        // Identical triple — even via a *rebuilt* predictor whose epochs
+        // restarted — must hit without re-keying.
+        let _ = cache.evaluate(raw);
+        assert_eq!(cache.key, key_after_first);
+        // A changed server count re-evaluates…
+        let resized = cache.evaluate(pred.forecast(3.0, 4));
+        assert_ne!(cache.key, key_after_first);
+        assert_ne!(a.mean_wait().to_bits(), resized.mean_wait().to_bits());
+        // …and a fresh (cold) predictor's no-model forecast is its own key.
+        let cold = WaitPredictor::default().forecast(0.0, 3);
+        let c = cache.evaluate(cold);
+        assert!(!c.has_model());
+        assert_eq!(c.mean_wait(), 0.0);
+        cache.invalidate();
+        assert_eq!(cache.key, None);
     }
 
     #[test]

@@ -291,6 +291,25 @@ pub trait ContainerChaos: SchedulerPolicy {
     fn warm_containers(&self, _fn_idx: u32) -> u64 {
         0
     }
+
+    /// Apply a reconciler directive: resize toward `desired` total warm
+    /// containers. This is the receiving end of the
+    /// [`ReconcilerSeam`](crate::telemetry::ReconcilerSeam) round-trip —
+    /// the directive was computed from a *reported* snapshot and arrives
+    /// one network hop later, so by the time it lands the site may
+    /// already have moved on; implementations reconcile toward the
+    /// desired state rather than assuming it. Returns whether the
+    /// directive changed anything. The default ignores it (a scheduler
+    /// with no elastic fleet, or one that scales autonomously, has
+    /// nothing to reconcile).
+    fn apply_desired_fleet(
+        &mut self,
+        _ctx: &mut impl PolicyCtx<Self::Event>,
+        _desired: u32,
+        _now: SimTime,
+    ) -> bool {
+        false
+    }
 }
 
 /// A scheduler that can absorb [`Fault`]s — the target side of

@@ -82,6 +82,7 @@ use crate::engine::{Completion, EngineOutcome, FnStats, PolicyCtx, ReqId, Schedu
 use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
 use crate::router::{RouterConfig, RouterPolicy, SiteState};
+use crate::telemetry::{ReconcilerSeam, TelemetryConfig, TelemetryRuntime, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 use lass_queueing::{EvaluatedForecast, ForecastCache, HealthEwma, WaitPredictor};
 use serde::{Map, Serialize, Value};
@@ -131,6 +132,29 @@ pub enum FedEv<E> {
         epoch: u32,
         /// The inner event payload.
         ev: E,
+    },
+    /// A site's node agent publishes its telemetry snapshot (only
+    /// scheduled when the propagation layer is enabled). The handler
+    /// re-arms the next publish, so the schedule is self-perpetuating.
+    Publish {
+        /// Publishing site index.
+        site: u32,
+    },
+    /// A published snapshot completes its network hop and reaches the
+    /// router's view.
+    SnapshotArrive {
+        /// Originating site index.
+        site: u32,
+        /// The snapshot, as published.
+        snap: TelemetrySnapshot,
+    },
+    /// A reconciler directive (desired server count, computed from a
+    /// *reported* snapshot) completes its return hop to the site.
+    Directive {
+        /// Destination site index.
+        site: u32,
+        /// Desired total warm-container count.
+        desired: u32,
     },
 }
 
@@ -440,6 +464,13 @@ pub struct FederatedReport<R> {
     pub outstanding: usize,
     /// Simulated duration in seconds (excluding drain).
     pub duration: f64,
+    /// Worker threads the run *actually* used: 1 for a sequential run
+    /// (including the parallel driver's zero-latency/single-site
+    /// fallback), the effective pool size otherwise. Deliberately
+    /// excluded from the serialized report — the JSON key set is pinned
+    /// by goldens, and the thread count must never differ across
+    /// byte-identical runs anyway.
+    pub threads: usize,
 }
 
 impl<R: Serialize> Serialize for SiteReport<R> {
@@ -485,6 +516,14 @@ pub struct Federation<P: SchedulerPolicy> {
     pub(crate) router: Box<dyn RouterPolicy + Send>,
     /// Scratch router view, refreshed from the tallies per decision.
     pub(crate) states: Vec<SiteState>,
+    /// The router/telemetry knobs in force (rebuilds a crashed site's
+    /// predictor with the same smoothing constants).
+    pub(crate) router_cfg: RouterConfig,
+    /// Delayed-telemetry propagation state; disabled (zero interval)
+    /// unless [`Federation::set_telemetry`] installs a config.
+    pub(crate) telemetry: TelemetryRuntime,
+    /// Optional scaling reconciler fed each snapshot as it arrives.
+    pub(crate) reconciler: Option<Box<dyn ReconcilerSeam>>,
     /// Extra latency added to a migrated request's re-delivery, on top
     /// of the destination's inbound hop.
     pub(crate) migration_penalty: SimDuration,
@@ -530,6 +569,9 @@ impl<P: ContainerChaos> Federation<P> {
             tallies,
             router,
             states,
+            router_cfg,
+            telemetry: TelemetryRuntime::disabled(),
+            reconciler: None,
             migration_penalty: SimDuration::ZERO,
             rebuild: None,
             unroutable: 0,
@@ -567,13 +609,49 @@ impl<P: ContainerChaos> Federation<P> {
 
     /// Re-seed the per-site telemetry (λ̂/μ̂ smoothing, flakiness EWMA)
     /// from a scenario's `router_config` block. Call before the run
-    /// starts — the trackers are rebuilt empty.
+    /// starts — the trackers are rebuilt empty, and every telemetry
+    /// value already folded into the router's scratch [`SiteState`]s
+    /// (forecast, flakiness, warm census) is cleared with them, so the
+    /// first post-swap decision can never route on mixed-config scores.
     pub fn set_router_config(&mut self, cfg: &RouterConfig) -> &mut Self {
+        self.router_cfg = *cfg;
         for tally in &mut self.tallies {
             tally.predictor = WaitPredictor::new(cfg.predictor());
             tally.fcache = ForecastCache::new();
             tally.health = HealthEwma::new(cfg.health_tick_secs, cfg.health_alpha);
         }
+        for state in &mut self.states {
+            state.in_flight = 0;
+            state.up = true;
+            state.forecast = EvaluatedForecast::default();
+            state.flakiness = 0.0;
+            state.warm = 0;
+        }
+        self.telemetry.reset_views();
+        self
+    }
+
+    /// Enable delayed telemetry propagation: sites publish snapshots on
+    /// `cfg`'s jittered report interval and the router scores them on
+    /// the last snapshot that arrived. A zero interval keeps today's
+    /// oracle-fresh behavior byte-for-byte. Call before the run starts;
+    /// `seed` is the run's master seed (the per-site jitter streams are
+    /// labelled off it, identically in the sequential and parallel
+    /// drivers).
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig, seed: u64) -> &mut Self {
+        let names: Vec<String> = self.metas.iter().map(|m| m.name.clone()).collect();
+        let n_fns = self.tallies.first().map_or(0, |t| t.per_fn.len());
+        self.telemetry = TelemetryRuntime::new(cfg, seed, &names, n_fns);
+        self
+    }
+
+    /// Install a scaling reconciler: each snapshot, as it *arrives* at
+    /// the control plane, may yield a desired server count that travels
+    /// back to the site at the same latency and lands through
+    /// [`ContainerChaos::apply_desired_fleet`]. No-op while telemetry
+    /// is disabled (there are no snapshots to reconcile against).
+    pub fn set_reconciler(&mut self, reconciler: Box<dyn ReconcilerSeam>) -> &mut Self {
+        self.reconciler = Some(reconciler);
         self
     }
 
@@ -582,7 +660,14 @@ impl<P: ContainerChaos> Federation<P> {
     /// census for the function being routed). Pure bookkeeping — no
     /// randomness, no events — so routers that ignore the telemetry
     /// replay their pre-telemetry decisions exactly.
+    ///
+    /// With delayed telemetry enabled the site-side columns come from
+    /// the last *arrived* snapshot instead ([`Self::refresh_states_stale`]).
     fn refresh_states(&mut self, fn_idx: u32, now: SimTime) {
+        if self.telemetry.enabled() {
+            self.refresh_states_stale(fn_idx, now);
+            return;
+        }
         let t = now.as_secs_f64();
         for i in 0..self.states.len() {
             let tally = &mut self.tallies[i];
@@ -617,10 +702,31 @@ impl<P: ContainerChaos> Federation<P> {
         }
     }
 
+    /// The stale-telemetry refresh: site-side columns (reachability,
+    /// forecast, flakiness, warm census) come from the last snapshot
+    /// that *arrived*, however old. Only the commitment counter stays
+    /// live — the front-end counts what it dispatched itself, so
+    /// `routed − finished` is genuinely router-local knowledge.
+    fn refresh_states_stale(&mut self, fn_idx: u32, now: SimTime) {
+        for i in 0..self.states.len() {
+            let tally = &self.tallies[i];
+            let view = &self.telemetry.views[i];
+            let state = &mut self.states[i];
+            state.in_flight = tally.routed.saturating_sub(tally.finished) as u64;
+            state.up = self.telemetry.view_up(i, self.metas[i].latency, now);
+            state.forecast = view.forecast;
+            state.flakiness = view.flakiness;
+            state.warm = view.warm.get(fn_idx as usize).copied().unwrap_or(0);
+        }
+    }
+
     /// Route an arrival (or migrated orphan) to a live site. Assumes the
     /// caller checked at least one site is routable.
     fn pick_site(&mut self, fn_idx: u32, now: SimTime) -> usize {
         self.refresh_states(fn_idx, now);
+        if self.telemetry.enabled() {
+            return self.pick_site_stale(fn_idx, now);
+        }
         let fallback = self
             .tallies
             .iter()
@@ -629,6 +735,32 @@ impl<P: ContainerChaos> Federation<P> {
         let chosen = self.router.route(fn_idx, now, &self.states);
         let ok = chosen < self.sites.len() && self.tallies[chosen].routable();
         debug_assert!(ok, "router returned unroutable site {chosen}");
+        if ok {
+            chosen
+        } else {
+            fallback
+        }
+    }
+
+    /// The stale-view routing decision (states already refreshed). The
+    /// router's contract is judged against its own *view*: it must
+    /// never pick a site whose last-arrived snapshot marks it down, but
+    /// a view-up site may still be physically dead — that is the point
+    /// of stale telemetry — and the delivery will bounce and migrate.
+    /// When the view marks *every* site down (mass staleness) the front
+    /// end routes blind to the first physically routable site rather
+    /// than shedding traffic its own counters can't justify dropping.
+    fn pick_site_stale(&mut self, fn_idx: u32, now: SimTime) -> usize {
+        let Some(fallback) = self.states.iter().position(|s| s.up) else {
+            return self
+                .tallies
+                .iter()
+                .position(SiteTally::routable)
+                .expect("caller checked a routable site exists");
+        };
+        let chosen = self.router.route(fn_idx, now, &self.states);
+        let ok = chosen < self.sites.len() && self.states[chosen].up;
+        debug_assert!(ok, "router returned view-down site {chosen}");
         if ok {
             chosen
         } else {
@@ -649,6 +781,14 @@ impl<P: ContainerChaos> Federation<P> {
         if !self.tallies[i].routable() {
             // The destination died (or was cut off) while the request
             // was in flight: it bounces off the dark site and migrates.
+            // Under delayed telemetry the bounce doubles as passive
+            // failure detection — the front-end marks the site down in
+            // its view long before the snapshots age out (and this
+            // bounds the inline zero-hop migrate recursion: each dark
+            // site is marked down at most once per outage).
+            if self.telemetry.enabled() {
+                self.telemetry.mark_down(i);
+            }
             self.migrate(ctx, i, rid, fn_idx, now, false);
             return;
         }
@@ -755,6 +895,12 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                 tally,
             });
         }
+        if self.telemetry.enabled() {
+            for i in 0..self.sites.len() {
+                let at = self.telemetry.next_publish(i);
+                ctx.schedule(at, FedEv::Publish { site: i as u32 });
+            }
+        }
     }
 
     fn on_arrival(
@@ -809,6 +955,77 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                     now,
                 );
             }
+            FedEv::Publish { site } => {
+                let i = site as usize;
+                // The agent's clock keeps ticking whatever the site's
+                // fate — re-arm first (one jitter draw per grid slot, so
+                // the schedule is identical across fault histories).
+                let next = self.telemetry.next_publish(i);
+                ctx.schedule(next, FedEv::Publish { site });
+                if !self.tallies[i].up {
+                    return; // crashed site: the node agent is dead too
+                }
+                if self.tallies[i].partitioned && self.telemetry.cfg.loss_under_partition {
+                    return; // snapshot lost on the cut link
+                }
+                let t = now.as_secs_f64();
+                let n_fns = self.tallies[i].per_fn.len();
+                let warm: Vec<u64> = (0..n_fns)
+                    .map(|f| self.sites[i].warm_containers(f as u32))
+                    .collect();
+                // Same server-count convention as the oracle refresh:
+                // the site-wide warm fleet, falling back to the static
+                // capacity hint while nothing is warm.
+                let fleet: u64 = warm.iter().sum();
+                let servers = if fleet > 0 {
+                    fleet.min(u64::from(u32::MAX)) as u32
+                } else {
+                    self.metas[i].capacity_hint.round().max(1.0) as u32
+                };
+                let tally = &mut self.tallies[i];
+                tally.health.observe(t, !tally.routable());
+                let snap = TelemetrySnapshot {
+                    published_at: now,
+                    forecast: tally.predictor.forecast(t, servers),
+                    flakiness: tally.health.value(),
+                    warm,
+                };
+                ctx.schedule(
+                    now + self.metas[i].latency,
+                    FedEv::SnapshotArrive { site, snap },
+                );
+            }
+            FedEv::SnapshotArrive { site, snap } => {
+                let i = site as usize;
+                if self.tallies[i].partitioned && self.telemetry.cfg.loss_under_partition {
+                    return; // the link was cut while the snapshot flew
+                }
+                if let Some(rec) = self.reconciler.as_mut() {
+                    if let Some(desired) = rec.desired_fleet(i, &snap, now) {
+                        ctx.schedule(
+                            now + self.metas[i].latency,
+                            FedEv::Directive { site, desired },
+                        );
+                    }
+                }
+                self.telemetry.ingest(i, snap, now);
+            }
+            FedEv::Directive { site, desired } => {
+                let i = site as usize;
+                let tally = &mut self.tallies[i];
+                if !tally.up || (tally.partitioned && self.telemetry.cfg.loss_under_partition) {
+                    return; // directive lost with the site or the link
+                }
+                self.sites[i].apply_desired_fleet(
+                    &mut SiteCtx {
+                        inner: ctx,
+                        site,
+                        tally,
+                    },
+                    desired,
+                    now,
+                );
+            }
         }
     }
 
@@ -847,6 +1064,7 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
             unroutable: self.unroutable,
             outstanding: outcome.outstanding,
             duration,
+            threads: 1,
         }
     }
 }
@@ -892,6 +1110,7 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                 self.tallies[i].up = true;
                 self.clock_routability(i, now, end);
                 if self.tallies[i].needs_rebuild {
+                    let predictor_cfg = self.router_cfg.predictor();
                     let tally = &mut self.tallies[i];
                     tally.needs_rebuild = false;
                     tally.restarts += 1;
@@ -899,6 +1118,14 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                     for w in &mut tally.window {
                         *w = 0;
                     }
+                    // The rebuilt site starts cold with no history: its
+                    // λ̂/μ̂ telemetry must not carry the dead
+                    // incarnation's rates into the replacement's
+                    // forecasts. (The health EWMA stays — the *router*
+                    // remembers the site crashed even though the site
+                    // itself forgot.)
+                    tally.predictor = WaitPredictor::new(predictor_cfg);
+                    tally.fcache = ForecastCache::new();
                     let restarts = tally.restarts;
                     let rebuild = self.rebuild.as_mut().expect("checked at SiteDown");
                     self.sites[i] = rebuild(i, restarts);
@@ -973,6 +1200,8 @@ mod tests {
         queue: std::collections::VecDeque<ReqId>,
         service_secs: f64,
         last_delivery: Option<SimTime>,
+        /// Desired-fleet directives received through the reconciler seam.
+        desired: Vec<u32>,
     }
 
     impl OneServer {
@@ -982,6 +1211,7 @@ mod tests {
                 queue: Default::default(),
                 service_secs,
                 last_delivery: None,
+                desired: Vec::new(),
             }
         }
     }
@@ -993,6 +1223,7 @@ mod tests {
     struct OneServerReport {
         outcome: EngineOutcome,
         last_delivery: Option<SimTime>,
+        desired: Vec<u32>,
     }
 
     impl SchedulerPolicy for OneServer {
@@ -1031,11 +1262,22 @@ mod tests {
             OneServerReport {
                 outcome,
                 last_delivery: self.last_delivery,
+                desired: self.desired,
             }
         }
     }
 
-    impl ContainerChaos for OneServer {}
+    impl ContainerChaos for OneServer {
+        fn apply_desired_fleet(
+            &mut self,
+            _ctx: &mut impl PolicyCtx<Ev>,
+            desired: u32,
+            _now: SimTime,
+        ) -> bool {
+            self.desired.push(desired);
+            true
+        }
+    }
 
     fn make_fed(kind: RouterKind, latencies: &[f64], service_secs: f64) -> Federation<OneServer> {
         let sites = latencies
@@ -1339,5 +1581,156 @@ mod tests {
         );
         assert_eq!(plain.per_site[0].routed, wrapped.per_site[0].routed);
         assert_eq!(plain.per_site[1].routed, wrapped.per_site[1].routed);
+    }
+
+    /// An inert [`PolicyCtx`] for driving [`ChaosTarget::inject`]
+    /// directly against a federation with no live requests.
+    struct NullCtx {
+        end: SimTime,
+        rng: SimRng,
+    }
+
+    impl PolicyCtx<FedEv<Ev>> for NullCtx {
+        fn schedule(&mut self, _at: SimTime, _ev: FedEv<Ev>) {}
+        fn end_time(&self) -> SimTime {
+            self.end
+        }
+        fn fn_count(&self) -> usize {
+            1
+        }
+        fn service_rng(&mut self, _fn_idx: u32) -> &mut SimRng {
+            &mut self.rng
+        }
+        fn request_info(&self, _rid: ReqId) -> Option<(u32, SimTime)> {
+            None
+        }
+        fn complete(
+            &mut self,
+            _rid: ReqId,
+            _started: SimTime,
+            _now: SimTime,
+        ) -> Option<Completion> {
+            None
+        }
+        fn abandon(&mut self, _rid: ReqId) -> Option<u32> {
+            None
+        }
+        fn lose(&mut self, _rid: ReqId) -> Option<u32> {
+            None
+        }
+        fn rerun(&mut self, _rid: ReqId) -> Option<u32> {
+            None
+        }
+        fn take_window_counts(&mut self) -> Vec<u64> {
+            vec![0]
+        }
+        fn outstanding(&self) -> usize {
+            0
+        }
+    }
+
+    fn null_ctx() -> NullCtx {
+        NullCtx {
+            end: SimTime::from_secs(60),
+            rng: SimRng::from_seed_label(1, "null"),
+        }
+    }
+
+    /// Warm a tally's predictor well past the model threshold: steady
+    /// 20 req/s arrivals with 50 ms services over `secs` seconds.
+    fn warm_predictor(tally: &mut SiteTally, secs: f64) {
+        let mut t = 0.0;
+        while t < secs {
+            tally.predictor.on_arrival(t);
+            tally.predictor.on_service(0.05);
+            t += 0.05;
+        }
+    }
+
+    /// Regression: a crash + `with_rebuild` recovery must not carry the
+    /// dead incarnation's λ̂/μ̂ into the replacement's forecasts. The
+    /// router's health memory of the crash, by contrast, survives — the
+    /// site forgot, the router didn't.
+    #[test]
+    fn rebuilt_site_starts_with_cold_rates() {
+        let mut fed = make_fed(RouterKind::SloAware, &[0.003, 0.010], 0.05);
+        warm_predictor(&mut fed.tallies[0], 10.0);
+        assert!(
+            fed.tallies[0].predictor.forecast(10.0, 1).has_model(),
+            "predictor should be warm before the crash"
+        );
+        let mut ctx = null_ctx();
+        fed.inject(
+            &mut ctx,
+            Fault::SiteDown { site: 0 },
+            SimTime::from_secs(12),
+        );
+        fed.inject(&mut ctx, Fault::SiteUp { site: 0 }, SimTime::from_secs(19));
+        assert_eq!(fed.tallies[0].restarts, 1);
+        assert!(
+            !fed.tallies[0].predictor.forecast(19.0, 1).has_model(),
+            "rebuilt site inherited pre-crash rates"
+        );
+        assert!(
+            fed.tallies[0].health.value() > 0.0,
+            "the router's crash memory must survive the rebuild"
+        );
+        // The untouched site keeps its telemetry.
+        warm_predictor(&mut fed.tallies[1], 10.0);
+        assert!(fed.tallies[1].predictor.forecast(19.0, 1).has_model());
+    }
+
+    /// Regression: `set_router_config` restarts the telemetry layer
+    /// wholesale — predictors, forecast caches, health EWMAs, *and* the
+    /// router-facing scratch columns (up/forecast/flakiness/warm), which
+    /// older versions left holding the previous configuration's values.
+    #[test]
+    fn router_config_reset_covers_full_tally() {
+        let mut fed = make_fed(RouterKind::SloAware, &[0.003, 0.010], 0.05);
+        warm_predictor(&mut fed.tallies[0], 10.0);
+        fed.tallies[0].health.observe(0.0, true);
+        fed.tallies[0].health.observe(20.0, true);
+        assert!(fed.tallies[0].health.value() > 0.0);
+        fed.states[0].in_flight = 9;
+        fed.states[0].up = false;
+        fed.states[0].flakiness = 0.7;
+        fed.states[0].warm = 3;
+        fed.set_router_config(&RouterConfig::default());
+        assert!(
+            !fed.tallies[0].predictor.forecast(20.0, 1).has_model(),
+            "predictor survived the config reset"
+        );
+        assert_eq!(fed.tallies[0].health.value(), 0.0);
+        assert_eq!(fed.states[0].in_flight, 0);
+        assert!(fed.states[0].up);
+        assert_eq!(fed.states[0].flakiness, 0.0);
+        assert_eq!(fed.states[0].warm, 0);
+    }
+
+    /// The reconciler seam round-trips: snapshots arrive at the control
+    /// plane, the reconciler sizes the fleet from the *reported* state,
+    /// and the directive lands back at the site through
+    /// [`ContainerChaos::apply_desired_fleet`] one latency later.
+    #[test]
+    fn reconciler_directives_round_trip_to_sites() {
+        let telemetry = TelemetryConfig {
+            report_interval: SimDuration::from_millis(250),
+            jitter: SimDuration::from_millis(50),
+            loss_under_partition: true,
+        };
+        let mut fed = make_fed(RouterKind::RoundRobin, &[0.003, 0.010], 0.05);
+        fed.set_telemetry(telemetry, 11);
+        // μ̂ ≈ 20/s at λ ≈ 4/s per site: targeting ρ = 0.2 wants
+        // ceil(4 / (20 · 0.2)) = 1 = the reported single server, so
+        // nothing fires; ρ = 0.05 wants 4 and every snapshot does.
+        fed.set_reconciler(Box::new(crate::telemetry::UtilizationReconciler::new(0.05)));
+        let rep = run_simulation(engine_cfg(11), probe_entry(8.0), fed);
+        let landed: usize = rep.per_site.iter().map(|s| s.report.desired.len()).sum();
+        assert!(landed > 100, "only {landed} directives reached the sites");
+        for site in &rep.per_site {
+            for &d in &site.report.desired {
+                assert!(d >= 2, "reconciler sized below the reported fleet");
+            }
+        }
     }
 }

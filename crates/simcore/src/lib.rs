@@ -38,6 +38,7 @@ pub mod parallel;
 pub mod reqtable;
 pub mod rng;
 pub mod router;
+pub mod telemetry;
 pub mod time;
 pub mod wheel;
 
@@ -53,7 +54,7 @@ pub use engine::{
 pub use events::{EventQueue, HeapCalendar};
 pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
 pub use lass_queueing::{
-    EvaluatedForecast, ForecastCache, PredictorConfig, WaitForecast, WaitPredictor,
+    EvaluatedForecast, ForecastCache, PredictorConfig, SnapshotCache, WaitForecast, WaitPredictor,
 };
 pub use metrics::{DowntimeClock, SampleStats, TimeSeries, TimeWeightedGauge};
 pub use parallel::run_federation_parallel;
@@ -63,5 +64,6 @@ pub use router::{
     AffinityRouter, FailureAwareRouter, LatencyAwareRouter, LeastLoadedRouter, RoundRobinRouter,
     RouterConfig, RouterKind, RouterPolicy, SiteState, SloAwareRouter,
 };
+pub use telemetry::{ReconcilerSeam, TelemetryConfig, TelemetrySnapshot, UtilizationReconciler};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use wheel::TimerWheel;

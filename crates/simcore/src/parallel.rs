@@ -83,7 +83,8 @@ use crate::events::EventQueue;
 use crate::federation::{FederatedReport, Federation, SiteMeta, SiteReport, SiteTally};
 use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
-use crate::router::{RouterPolicy, SiteState};
+use crate::router::{RouterConfig, RouterPolicy, SiteState};
+use crate::telemetry::{ReconcilerSeam, TelemetryRuntime, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 use lass_queueing::{ForecastCache, HealthEwma, WaitPredictor};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -107,6 +108,9 @@ enum Msg {
     PartitionEnd,
     /// A chaos burst crashes up to `count` containers.
     Burst { count: u32 },
+    /// A reconciler directive (desired server count) completes its
+    /// return hop and lands on the site's scheduler.
+    Directive { desired: u32 },
 }
 
 /// One request outcome recorded by a shard, replayed by the merge phase
@@ -366,6 +370,9 @@ fn pump_shard<P: ContainerChaos>(shard: &mut Shard<P>, horizon: SimTime) {
                     let crashed = policy.crash_containers(&mut ctx, count, t);
                     ctx.st.chaos_crashes += crashed;
                 }
+                Msg::Directive { desired } => {
+                    policy.apply_desired_fleet(&mut ctx, desired, t);
+                }
             }
         } else {
             let tl = next_local.expect("checked");
@@ -436,6 +443,26 @@ enum FeEv {
         fn_idx: u32,
         arrival: SimTime,
     },
+    /// A site's node agent publishes its telemetry snapshot
+    /// (self-re-arming; only scheduled when telemetry is enabled). The
+    /// snapshot is assembled in the front-end phase from the
+    /// barrier-stale shard census plus the front-end-owned predictor —
+    /// deterministic for every thread count, since every shard is
+    /// parked at the window start when the front-end phase runs.
+    Publish {
+        site: u32,
+    },
+    /// A published snapshot completes its hop to the router's view.
+    SnapshotDue {
+        site: u32,
+        snap: TelemetrySnapshot,
+    },
+    /// A reconciler directive completes its return hop; forwarded into
+    /// the site's inbox as a current-window [`Msg::Directive`].
+    DirectiveDue {
+        site: u32,
+        desired: u32,
+    },
 }
 
 /// Everything the main thread owns between worker phases.
@@ -444,6 +471,13 @@ struct Frontend<P: ContainerChaos> {
     fronts: Vec<FrontSite>,
     router: Box<dyn RouterPolicy + Send>,
     states: Vec<SiteState>,
+    /// The router/telemetry knobs in force (rebuilds a crashed site's
+    /// predictor with the same smoothing constants).
+    router_cfg: RouterConfig,
+    /// Delayed-telemetry propagation state (disabled ⇒ oracle routing).
+    telemetry: TelemetryRuntime,
+    /// Optional scaling reconciler fed each snapshot as it arrives.
+    reconciler: Option<Box<dyn ReconcilerSeam>>,
     migration_penalty: SimDuration,
     rebuild: Option<crate::federation::SiteRebuild<P>>,
     /// Per-function arrival machinery — identical streams and call
@@ -475,6 +509,9 @@ impl<P: ContainerChaos> Frontend<P> {
     /// (barrier-stale) warm census, then route with
     /// fallback-to-first-routable.
     fn pick_site(&mut self, shards: &[Mutex<Shard<P>>], fn_idx: u32, now: SimTime) -> usize {
+        if self.telemetry.enabled() {
+            return self.pick_site_stale(fn_idx, now);
+        }
         let t = now.as_secs_f64();
         for (i, state) in self.states.iter_mut().enumerate() {
             let front = &mut self.fronts[i];
@@ -507,6 +544,39 @@ impl<P: ContainerChaos> Frontend<P> {
         let chosen = self.router.route(fn_idx, now, &self.states);
         let ok = chosen < self.fronts.len() && self.fronts[chosen].routable();
         debug_assert!(ok, "router returned unroutable site {chosen}");
+        if ok {
+            chosen
+        } else {
+            fallback
+        }
+    }
+
+    /// The stale-view routing decision — the exact mirror of the
+    /// sequential `Federation::pick_site_stale`: site-side columns come
+    /// from the last *arrived* snapshot (no shard lock, no per-decision
+    /// health observation), only the commitment counter stays live, and
+    /// when the view marks every site down the front end routes blind
+    /// to the first physically routable site.
+    fn pick_site_stale(&mut self, fn_idx: u32, now: SimTime) -> usize {
+        for (i, state) in self.states.iter_mut().enumerate() {
+            let front = &self.fronts[i];
+            let view = &self.telemetry.views[i];
+            state.in_flight = front.routed.saturating_sub(front.finished) as u64;
+            state.up = self.telemetry.view_up(i, front.meta.latency, now);
+            state.forecast = view.forecast;
+            state.flakiness = view.flakiness;
+            state.warm = view.warm.get(fn_idx as usize).copied().unwrap_or(0);
+        }
+        let Some(fallback) = self.states.iter().position(|s| s.up) else {
+            return self
+                .fronts
+                .iter()
+                .position(FrontSite::routable)
+                .expect("caller checked a routable site exists");
+        };
+        let chosen = self.router.route(fn_idx, now, &self.states);
+        let ok = chosen < self.fronts.len() && self.states[chosen].up;
+        debug_assert!(ok, "router returned view-down site {chosen}");
         if ok {
             chosen
         } else {
@@ -610,6 +680,13 @@ impl<P: ContainerChaos> Frontend<P> {
                 if self.fronts[i].needs_rebuild {
                     self.fronts[i].needs_rebuild = false;
                     self.fronts[i].restarts += 1;
+                    // The rebuilt site starts cold with no history: drop
+                    // the dead incarnation's λ̂/μ̂ so the replacement's
+                    // forecasts start empty (the health EWMA stays — the
+                    // router remembers the crash). Mirrors the
+                    // sequential rebuild arm.
+                    self.fronts[i].predictor = WaitPredictor::new(self.router_cfg.predictor());
+                    self.fronts[i].fcache = ForecastCache::new();
                     let restarts = self.fronts[i].restarts;
                     let rebuild = self.rebuild.as_mut().expect("checked at SiteDown");
                     let mut shard = shards[i].lock().expect("shard lock");
@@ -751,6 +828,9 @@ where
         tallies,
         router,
         states,
+        router_cfg,
+        telemetry,
+        reconciler,
         migration_penalty,
         rebuild,
         unroutable,
@@ -864,6 +944,9 @@ where
         fronts,
         router,
         states,
+        router_cfg,
+        telemetry,
+        reconciler,
         migration_penalty,
         rebuild,
         procs,
@@ -878,6 +961,12 @@ where
     };
     for i in 0..fe.procs.len() as u32 {
         fe.schedule_next_arrival(i, SimTime::ZERO);
+    }
+    if fe.telemetry.enabled() {
+        for i in 0..n_sites {
+            let at = fe.telemetry.next_publish(i);
+            fe.calendar.schedule(at, FeEv::Publish { site: i as u32 });
+        }
     }
     // Site start-up runs on the main thread before the first window.
     for shard in &shards {
@@ -1003,8 +1092,78 @@ where
                             ));
                         } else {
                             // The destination went dark while the request
-                            // was in flight: bounce and migrate.
+                            // was in flight: bounce and migrate. Under
+                            // delayed telemetry the bounce doubles as
+                            // passive failure detection (mirrors the
+                            // sequential deliver()).
+                            if fe.telemetry.enabled() {
+                                fe.telemetry.mark_down(site as usize);
+                            }
                             fe.migrate(shards_ref, site as usize, rid, fn_idx, arrival, now, false);
+                        }
+                    }
+                    FeEv::Publish { site } => {
+                        let i = site as usize;
+                        // Re-arm first: one jitter draw per grid slot,
+                        // whatever the site's fate, so the schedule is
+                        // identical across fault histories and thread
+                        // counts (and matches the sequential driver).
+                        let next = fe.telemetry.next_publish(i);
+                        fe.calendar.schedule(next, FeEv::Publish { site });
+                        let skip = !fe.fronts[i].up
+                            || (fe.fronts[i].partitioned && fe.telemetry.cfg.loss_under_partition);
+                        if !skip {
+                            let t = now.as_secs_f64();
+                            // Census under an uncontended lock: every
+                            // shard is parked at the window start, so the
+                            // snapshot is barrier-stale but deterministic
+                            // for every thread count (same as the oracle
+                            // pick_site census).
+                            let shard = shards_ref[i].lock().expect("shard lock");
+                            let warm: Vec<u64> = (0..shard.st.per_fn.len())
+                                .map(|f| shard.policy.warm_containers(f as u32))
+                                .collect();
+                            drop(shard);
+                            let fleet: u64 = warm.iter().sum();
+                            let front = &mut fe.fronts[i];
+                            let servers = if fleet > 0 {
+                                fleet.min(u64::from(u32::MAX)) as u32
+                            } else {
+                                front.meta.capacity_hint.round().max(1.0) as u32
+                            };
+                            front.health.observe(t, !front.routable());
+                            let snap = TelemetrySnapshot {
+                                published_at: now,
+                                forecast: front.predictor.forecast(t, servers),
+                                flakiness: front.health.value(),
+                                warm,
+                            };
+                            let at = now + front.meta.latency;
+                            fe.calendar.schedule(at, FeEv::SnapshotDue { site, snap });
+                        }
+                    }
+                    FeEv::SnapshotDue { site, snap } => {
+                        let i = site as usize;
+                        let lost =
+                            fe.fronts[i].partitioned && fe.telemetry.cfg.loss_under_partition;
+                        if !lost {
+                            if let Some(rec) = fe.reconciler.as_mut() {
+                                if let Some(desired) = rec.desired_fleet(i, &snap, now) {
+                                    let at = now + fe.fronts[i].meta.latency;
+                                    fe.calendar
+                                        .schedule(at, FeEv::DirectiveDue { site, desired });
+                                }
+                            }
+                            fe.telemetry.ingest(i, snap, now);
+                        }
+                    }
+                    FeEv::DirectiveDue { site, desired } => {
+                        let i = site as usize;
+                        let front = &fe.fronts[i];
+                        if front.up && !(front.partitioned && fe.telemetry.cfg.loss_under_partition)
+                        {
+                            let mut shard = shards_ref[i].lock().expect("shard lock");
+                            shard.st.inbox.push_back((now, Msg::Directive { desired }));
                         }
                     }
                 }
@@ -1058,5 +1217,6 @@ where
         unroutable: fe.unroutable,
         outstanding,
         duration: duration_secs,
+        threads,
     }
 }

@@ -25,9 +25,16 @@
 //!         { "name": "baseline" },
 //!         { "name": "crash", "events": [ { "at": 60.0, "kind": "site-down", "site": "edge" } ] }
 //!     ],
+//!     "report_intervals_ms": [0, 250, 1000],
 //!     "seeds": [42, 43, 44]
 //! }
 //! ```
+//!
+//! The `report_intervals_ms` axis sweeps telemetry staleness: each value
+//! replaces `topology.telemetry.report_interval_ms`, so the same grid
+//! cell runs once with oracle-fresh routing (`0`) and once per
+//! propagation delay — the decay curve of router advantage vs staleness
+//! falls straight out of the table.
 
 use lass::scenario::{ChaosSpec, Scenario, ScenarioPolicy, ScenarioReport};
 use lass_simcore::{RouterKind, SampleStats};
@@ -58,6 +65,12 @@ struct SweepSpec {
     /// profile (`{ "name": "baseline" }`) is the fault-free control.
     #[serde(default)]
     chaos: Option<Vec<ChaosSpec>>,
+    /// Telemetry report intervals (milliseconds) to sweep; each value
+    /// overwrites `topology.telemetry.report_interval_ms` (requires a
+    /// `topology` in the base scenario). `0` is the oracle-fresh
+    /// control.
+    #[serde(default)]
+    report_intervals_ms: Option<Vec<f64>>,
     /// RNG seeds.
     #[serde(default)]
     seeds: Option<Vec<u64>>,
@@ -77,8 +90,16 @@ struct SweepRow {
     policy: String,
     router: Option<String>,
     chaos: Option<String>,
+    /// Grid point on the staleness axis; `None` when the sweep spec has
+    /// no `report_intervals_ms` axis (the base scenario's telemetry
+    /// block, if any, applies unchanged).
+    report_interval_ms: Option<f64>,
     rate_scale: f64,
     seed: u64,
+    /// Worker threads the cell actually ran on, as recorded by the
+    /// engine (1 = sequential, including parallel requests that fell
+    /// back or were clamped to the site count).
+    threads: usize,
     arrivals: usize,
     completed: usize,
     lost: usize,
@@ -153,6 +174,15 @@ fn main() {
         }
         None => vec![None],
     };
+    let report_intervals: Vec<Option<f64>> = match spec.report_intervals_ms {
+        Some(list) => {
+            if base.topology.is_none() {
+                fail("\"report_intervals_ms\" requires the base scenario to have a \"topology\" block");
+            }
+            list.into_iter().map(Some).collect()
+        }
+        None => vec![None],
+    };
 
     // Build the full grid up front; each cell is an independent scenario.
     let mut grid: Vec<(Scenario, SweepRowKey)> = Vec::new();
@@ -160,32 +190,40 @@ fn main() {
         for &policy in &policies {
             for &router in &routers {
                 for chaos in &chaos_profiles {
-                    for &seed in &seeds {
-                        let mut sc = base.clone();
-                        sc.seed = seed;
-                        sc.policy = policy;
-                        for f in &mut sc.functions {
-                            f.workload = f.workload.scale_rate(scale);
+                    for &interval in &report_intervals {
+                        for &seed in &seeds {
+                            let mut sc = base.clone();
+                            sc.seed = seed;
+                            sc.policy = policy;
+                            for f in &mut sc.functions {
+                                f.workload = f.workload.scale_rate(scale);
+                            }
+                            if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
+                                topo.router = r;
+                            }
+                            if let (Some(n), Some(topo)) =
+                                (spec.parallel_sites, sc.topology.as_mut())
+                            {
+                                topo.parallel_sites = Some(n);
+                            }
+                            if let (Some(ms), Some(topo)) = (interval, sc.topology.as_mut()) {
+                                topo.telemetry.report_interval_ms = ms;
+                            }
+                            if let Some(profile) = chaos {
+                                sc.chaos = Some(profile.clone());
+                            }
+                            grid.push((
+                                sc,
+                                SweepRowKey {
+                                    policy,
+                                    router,
+                                    chaos: chaos.as_ref().map(ChaosSpec::label),
+                                    report_interval_ms: interval,
+                                    rate_scale: scale,
+                                    seed,
+                                },
+                            ));
                         }
-                        if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
-                            topo.router = r;
-                        }
-                        if let (Some(n), Some(topo)) = (spec.parallel_sites, sc.topology.as_mut()) {
-                            topo.parallel_sites = Some(n);
-                        }
-                        if let Some(profile) = chaos {
-                            sc.chaos = Some(profile.clone());
-                        }
-                        grid.push((
-                            sc,
-                            SweepRowKey {
-                                policy,
-                                router,
-                                chaos: chaos.as_ref().map(ChaosSpec::label),
-                                rate_scale: scale,
-                                seed,
-                            },
-                        ));
                     }
                 }
             }
@@ -213,6 +251,7 @@ struct SweepRowKey {
     policy: ScenarioPolicy,
     router: Option<RouterKind>,
     chaos: Option<String>,
+    report_interval_ms: Option<f64>,
     rate_scale: f64,
     seed: u64,
 }
@@ -224,8 +263,10 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         policy: key.policy.as_str().to_owned(),
         router: key.router.map(|r| r.as_str().to_owned()),
         chaos: key.chaos.clone(),
+        report_interval_ms: key.report_interval_ms,
         rate_scale: key.rate_scale,
         seed: key.seed,
+        threads: 1,
         arrivals: 0,
         completed: 0,
         lost: 0,
@@ -275,6 +316,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         }
         ScenarioReport::Federated(rep) => {
             row.duration_secs = rep.duration;
+            row.threads = rep.threads;
             for f in &rep.aggregate_per_fn {
                 row.arrivals += f.arrivals;
                 row.completed += f.completed;

@@ -114,8 +114,10 @@ pub struct ReplaySummary {
     pub seed: u64,
     /// Sites in the topology.
     pub sites: usize,
-    /// Worker threads the run actually used (1 = sequential engine,
-    /// including parallel requests that fell back).
+    /// Worker threads the run actually used, as recorded by the engine
+    /// itself (1 = sequential, including parallel requests that fell
+    /// back; requests beyond the site count are clamped, and the clamp
+    /// shows here rather than the requested figure).
     pub threads: usize,
     /// Router name.
     pub router: String,
@@ -526,7 +528,7 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
         minutes: cfg.minutes,
         seed: cfg.seed,
         sites: cfg.sites,
-        threads: threads.unwrap_or(1),
+        threads: report.threads,
         router: cfg.router.as_str().to_string(),
         servers_per_site,
         arrivals,
@@ -625,6 +627,12 @@ mod tests {
         assert_eq!(a.outstanding, b.outstanding);
         assert_eq!(a.mean_wait_ms, b.mean_wait_ms);
         assert_eq!(a.p95_wait_ms_top_fn, b.p95_wait_ms_top_fn);
+        // Requesting more workers than sites is clamped by the engine,
+        // and the summary reports the clamp, not the request.
+        let c = run_replay(&cfg(8)).unwrap();
+        assert_eq!(c.threads, 4);
+        assert_eq!(a.arrivals, c.arrivals);
+        assert_eq!(a.mean_wait_ms, c.mean_wait_ms);
     }
 
     #[test]

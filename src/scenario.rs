@@ -19,7 +19,7 @@ use lass_functions::{
     squeezenet, FunctionSpec, WorkloadSpec,
 };
 use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
-use lass_simcore::{ChaosConfig, Fault, RouterConfig, RouterKind};
+use lass_simcore::{ChaosConfig, Fault, RouterConfig, RouterKind, SimDuration, TelemetryConfig};
 use serde::{Deserialize, Serialize};
 
 /// Cluster shape.
@@ -163,8 +163,69 @@ pub struct TopologySpec {
     /// such topologies warn and fall back to the sequential engine.
     #[serde(default)]
     pub parallel_sites: Option<usize>,
+    /// Telemetry propagation between sites and the router (omit for
+    /// oracle-fresh routing, byte-identical to the classic engine).
+    #[serde(default)]
+    pub telemetry: TelemetrySpec,
     /// The sites, in id order.
     pub sites: Vec<SiteSpec>,
+}
+
+/// The optional `topology.telemetry` block: how site state reaches the
+/// front-end router. With a nonzero `report_interval_ms` each site
+/// publishes a snapshot of its telemetry (λ̂/μ̂ forecast inputs, warm
+/// census, health, server count) on a jittered interval; the snapshot
+/// travels at the site's network latency, and routing decisions score
+/// sites on the last snapshot that *arrived* rather than on live state.
+/// `report_interval_ms: 0` (the default) keeps the oracle-fresh hot
+/// path, byte-for-byte.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Milliseconds between snapshot publishes per site; 0 disables the
+    /// propagation model entirely (oracle-fresh routing).
+    #[serde(default)]
+    pub report_interval_ms: f64,
+    /// Uniform jitter added to each publish slot, in milliseconds; must
+    /// not exceed the interval (so slots never reorder).
+    #[serde(default)]
+    pub jitter_ms: f64,
+    /// Drop snapshots published while a router↔site partition is
+    /// active (default true); `false` models an out-of-band telemetry
+    /// channel that survives data-plane partitions.
+    #[serde(default = "default_true")]
+    pub loss_under_partition: bool,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        Self {
+            report_interval_ms: 0.0,
+            jitter_ms: 0.0,
+            loss_under_partition: true,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    fn to_config(&self) -> Result<TelemetryConfig, String> {
+        if !(self.report_interval_ms.is_finite() && self.report_interval_ms >= 0.0) {
+            return Err("topology.telemetry.report_interval_ms must be finite and >= 0".into());
+        }
+        if !(self.jitter_ms.is_finite() && self.jitter_ms >= 0.0) {
+            return Err("topology.telemetry.jitter_ms must be finite and >= 0".into());
+        }
+        let cfg = TelemetryConfig {
+            report_interval: SimDuration::from_secs_f64(self.report_interval_ms / 1e3),
+            jitter: SimDuration::from_secs_f64(self.jitter_ms / 1e3),
+            loss_under_partition: self.loss_under_partition,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
 }
 
 impl TopologySpec {
@@ -502,6 +563,7 @@ impl Scenario {
         let mut sim = FederatedSimulation::new(self.config.clone(), topology, self.seed);
         sim.set_router(spec.router)
             .set_router_config(spec.router_config)
+            .set_telemetry(spec.telemetry.to_config()?)
             .set_policy(site_policy)
             .set_parallel(spec.parallel_sites);
         if let Some(chaos) = &self.chaos {
