@@ -31,8 +31,8 @@ use crate::staticalloc::StaticRrPolicy;
 use lass_cluster::{Cluster, FnId, Topology};
 use lass_simcore::{
     run_federation_parallel, run_simulation, ChaosConfig, ChaosPolicy, ContainerChaos,
-    EngineConfig, FedFunction, FederatedReport, Federation, FunctionEntry, RouterConfig,
-    RouterKind, SimDuration, SiteMeta, TelemetryConfig,
+    EngineConfig, FedFunction, FederatedReport, Federation, FunctionEntry, HedgeConfig,
+    RouterConfig, RouterKind, SimDuration, SiteMeta, TelemetryConfig,
 };
 
 /// The report of a federated run: one [`SimReport`] per site plus the
@@ -59,6 +59,8 @@ pub struct FederatedSimulation {
     router: RouterKind,
     router_cfg: RouterConfig,
     telemetry: TelemetryConfig,
+    reconciler_target: Option<f64>,
+    hedge: Option<HedgeConfig>,
     policy: SitePolicyKind,
     chaos: ChaosConfig,
     parallel: Option<usize>,
@@ -77,6 +79,8 @@ impl FederatedSimulation {
             router: RouterKind::default(),
             router_cfg: RouterConfig::default(),
             telemetry: TelemetryConfig::default(),
+            reconciler_target: None,
+            hedge: None,
             policy: SitePolicyKind::default(),
             chaos: ChaosConfig::default(),
             parallel: None,
@@ -106,6 +110,28 @@ impl FederatedSimulation {
     /// byte-for-byte identical to the pre-telemetry engine.
     pub fn set_telemetry(&mut self, telemetry: TelemetryConfig) -> &mut Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Install the control plane's utilization reconciler: every
+    /// telemetry snapshot that arrives at the router is fed to a
+    /// [`lass_simcore::UtilizationReconciler`] targeting this busy
+    /// fraction, and the resulting desired-fleet directive travels back
+    /// to the site (one latency each way) where the site policy
+    /// reconciles its container fleet toward it. Requires telemetry to
+    /// be enabled (snapshots are the reconciler's only input).
+    pub fn set_reconciler_target(&mut self, target: Option<f64>) -> &mut Self {
+        self.reconciler_target = target;
+        self
+    }
+
+    /// Arm request hedging (the scenario `topology.hedge` block): the
+    /// router dispatches up to `max_clones` extra copies of each
+    /// request per the configured trigger, the first response wins, and
+    /// cancels chase the losers at each site's network latency. `None`
+    /// (the default) keeps the single-dispatch engine byte-identical.
+    pub fn set_hedge(&mut self, hedge: Option<HedgeConfig>) -> &mut Self {
+        self.hedge = hedge;
         self
     }
 
@@ -155,6 +181,21 @@ impl FederatedSimulation {
         self.chaos.validate()?;
         self.router_cfg.validate()?;
         self.telemetry.validate()?;
+        if let Some(h) = &self.hedge {
+            h.validate()?;
+        }
+        if let Some(rho) = self.reconciler_target {
+            if !(rho.is_finite() && rho > 0.0 && rho < 1.0) {
+                return Err(format!(
+                    "reconciler target utilization must be in (0, 1), got {rho}"
+                ));
+            }
+            if !self.telemetry.enabled() {
+                return Err(
+                    "the reconciler needs telemetry enabled (snapshots are its only input)".into(),
+                );
+            }
+        }
         let site_count = self.topology.len();
         for (at, fault) in &self.chaos.events {
             if fault.site() as usize >= site_count {
@@ -238,6 +279,8 @@ impl FederatedSimulation {
             _ => None,
         };
         let (cfg, seed, setups, chaos) = (self.cfg, self.seed, self.setups, self.chaos);
+        let reconciler_target = self.reconciler_target;
+        let hedge = self.hedge;
 
         // The engine RNG prefix matches the corresponding single-cluster
         // simulation so the degenerate one-site topology replays it
@@ -268,6 +311,8 @@ impl FederatedSimulation {
                     chaos,
                     router_cfg,
                     telemetry,
+                    reconciler_target,
+                    hedge,
                     metas,
                     build,
                     router,
@@ -287,6 +332,8 @@ impl FederatedSimulation {
                     chaos,
                     router_cfg,
                     telemetry,
+                    reconciler_target,
+                    hedge,
                     metas,
                     build,
                     router,
@@ -306,6 +353,8 @@ impl FederatedSimulation {
                     chaos,
                     router_cfg,
                     telemetry,
+                    reconciler_target,
+                    hedge,
                     metas,
                     build,
                     router,
@@ -330,6 +379,8 @@ fn launch<P, F>(
     chaos: ChaosConfig,
     router_cfg: RouterConfig,
     telemetry: TelemetryConfig,
+    reconciler_target: Option<f64>,
+    hedge: Option<HedgeConfig>,
     metas: Vec<SiteMeta>,
     mut build: F,
     router: Box<dyn lass_simcore::RouterPolicy + Send>,
@@ -355,6 +406,12 @@ where
     // A disabled (zero-interval) runtime is inert: the federation keeps
     // routing on oracle-fresh state and emits no telemetry events.
     fed.set_telemetry(telemetry, seed);
+    if let Some(rho) = reconciler_target {
+        fed.set_reconciler(Box::new(lass_simcore::UtilizationReconciler::new(rho)));
+    }
+    if let Some(h) = hedge {
+        fed.set_hedge(h);
+    }
     let cfg = EngineConfig {
         seed,
         rng_label_prefix: prefix.into(),
@@ -431,6 +488,58 @@ mod tests {
         );
         // Conservation: every arrival was routed somewhere.
         assert_eq!(edge.routed + cloud.routed, rep.aggregate_per_fn[0].arrivals);
+    }
+
+    /// Regression for the reconciler seam: with the site autoscaler
+    /// off, only the control plane's utilization reconciler can grow an
+    /// under-provisioned fleet — each directive round-trips through the
+    /// telemetry layer (one latency each way) into
+    /// [`LassPolicy`]'s `apply_desired_fleet`, which must actually
+    /// create containers rather than hit the default no-op seam.
+    #[test]
+    fn reconciler_directives_scale_lass_sites_through_the_seam() {
+        let run = |target: Option<f64>| {
+            let mut cfg = LassConfig::default();
+            cfg.autoscale = false;
+            let mut sim = FederatedSimulation::new(cfg, edge_cloud(), 42);
+            let mut telemetry = TelemetryConfig::default();
+            telemetry.report_interval = SimDuration::from_secs_f64(1.0);
+            sim.set_telemetry(telemetry);
+            sim.set_reconciler_target(target);
+            let mut setup = FunctionSetup::new(
+                micro_benchmark(0.1),
+                0.1,
+                WorkloadSpec::Static {
+                    rate: 30.0,
+                    duration: 60.0,
+                },
+            );
+            setup.initial_containers = 1;
+            sim.add_function(setup);
+            sim.run(Some(60.0)).expect("runs")
+        };
+        let base = run(None);
+        let scaled = run(Some(0.2));
+        // 30 req/s against one μ=10 container per site cannot keep up —
+        // the frozen fleet only finishes its backlog during the drain
+        // grace, with queueing delays in the tens of seconds. The
+        // reconciled fleet must hold waits near the service time and
+        // violate the SLO far less.
+        let (b, s) = (&base.aggregate_per_fn[0], &scaled.aggregate_per_fn[0]);
+        let (bw, sw) = (
+            b.wait.mean().unwrap_or(0.0),
+            s.wait.mean().unwrap_or(f64::INFINITY),
+        );
+        assert!(
+            sw < bw * 0.5,
+            "reconciler failed to grow the fleet: mean wait {bw} -> {sw}"
+        );
+        assert!(
+            s.slo_violations < b.slo_violations / 2,
+            "slo violations {} -> {}",
+            b.slo_violations,
+            s.slo_violations
+        );
     }
 
     #[test]

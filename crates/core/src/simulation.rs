@@ -602,6 +602,113 @@ impl lass_simcore::ContainerChaos for LassPolicy {
     fn warm_containers(&self, fn_idx: u32) -> u64 {
         self.cluster.fn_warm_count(FnId(fn_idx))
     }
+
+    /// Reconcile the site toward a fleet of `desired` containers — the
+    /// receiving end of the utilization reconciler's directive. The
+    /// directive was computed from a snapshot published one hop ago, so
+    /// the epoch planner may already have moved the fleet; reconcile
+    /// against the cluster as it stands now and report whether anything
+    /// changed.
+    ///
+    /// Scale-up containers go to the functions with the deepest parked
+    /// backlog per container (ties break toward the smaller fleet, then
+    /// the lower function id), boot at the standard size through the
+    /// usual cold start, and join the MTBF crash process like any
+    /// epoch-planned create. Scale-down prefers containers the planner
+    /// already marked for termination, then idle ones, never takes a
+    /// function's last container, and re-dispatches orphaned requests.
+    fn apply_desired_fleet(
+        &mut self,
+        ctx: &mut impl PolicyCtx<Ev>,
+        desired: u32,
+        now: SimTime,
+    ) -> bool {
+        let current = self.cluster.container_count() as u32;
+        let mut changed = false;
+        if desired > current {
+            for _ in 0..desired - current {
+                let mut best: Option<(usize, usize, usize)> = None;
+                for f in 0..self.fns.len() {
+                    let pending = self.fns[f].pending.len();
+                    let count = self.cluster.fn_container_count(FnId(f as u32));
+                    let better = match best {
+                        None => true,
+                        Some((_, bp, bc)) => pending > bp || (pending == bp && count < bc),
+                    };
+                    if better {
+                        best = Some((f, pending, count));
+                    }
+                }
+                let Some((f, _, _)) = best else { break };
+                let fn_id = FnId(f as u32);
+                let (cpu, mem, cold) = {
+                    let rec = self
+                        .controller
+                        .registry()
+                        .get(fn_id)
+                        .expect("registered fn");
+                    (
+                        rec.spec.standard_cpu,
+                        rec.spec.standard_mem,
+                        rec.spec.cold_start,
+                    )
+                };
+                match self
+                    .cluster
+                    .create_container(fn_id, cpu, mem, now, now + cold)
+                {
+                    Ok(cid) => {
+                        ctx.schedule(now + cold, Ev::Ready(cid));
+                        self.arm_crash(ctx, cid, now);
+                        changed = true;
+                    }
+                    Err(_) => {
+                        self.failed_creates += 1;
+                        break; // cluster full: further creates would fail too
+                    }
+                }
+            }
+        } else if desired < current {
+            // Rank victims: already-marked first, then idle, then the
+            // lightest-loaded; container id breaks ties so the order is
+            // deterministic whatever the map iteration order.
+            let mut victims: Vec<(bool, bool, usize, ContainerId, FnId)> = self
+                .cluster
+                .all_containers()
+                .map(|c| {
+                    (
+                        !c.is_marked_for_termination(),
+                        !c.is_idle(),
+                        c.load(),
+                        c.id(),
+                        c.fn_id(),
+                    )
+                })
+                .collect();
+            victims.sort_unstable();
+            let mut excess = current - desired;
+            for (_, _, _, cid, f) in victims {
+                if excess == 0 {
+                    break;
+                }
+                if self.cluster.fn_container_count(f) <= 1 {
+                    continue; // never strand a function's parked backlog
+                }
+                let Ok(term) = self.cluster.terminate_container(cid, now) else {
+                    continue;
+                };
+                self.in_service.remove(&cid);
+                for rid in term.orphans {
+                    if ctx.rerun(ReqId(rid.0)).is_some() {
+                        self.dispatch(ctx, rid, f, now);
+                    }
+                }
+                excess -= 1;
+                changed = true;
+            }
+        }
+        changed
+    }
 }
 
 impl SchedulerPolicy for LassPolicy {
@@ -840,5 +947,100 @@ mod tests {
         let report = sim.run(Some(120.0));
         assert!(report.per_fn[&0].completed > 800);
         assert!(report.per_fn[&1].completed > 1800);
+    }
+
+    /// Minimal context for driving the reconciler seam directly.
+    struct StubCtx {
+        scheduled: Vec<(SimTime, Ev)>,
+        rng: lass_simcore::SimRng,
+    }
+
+    impl PolicyCtx<Ev> for StubCtx {
+        fn schedule(&mut self, at: SimTime, ev: Ev) {
+            self.scheduled.push((at, ev));
+        }
+        fn end_time(&self) -> SimTime {
+            SimTime::from_secs_f64(1e9)
+        }
+        fn fn_count(&self) -> usize {
+            1
+        }
+        fn service_rng(&mut self, _fn_idx: u32) -> &mut lass_simcore::SimRng {
+            &mut self.rng
+        }
+        fn request_info(&self, _rid: ReqId) -> Option<(u32, SimTime)> {
+            None
+        }
+        fn complete(
+            &mut self,
+            _rid: ReqId,
+            _started: SimTime,
+            _now: SimTime,
+        ) -> Option<lass_simcore::Completion> {
+            None
+        }
+        fn abandon(&mut self, _rid: ReqId) -> Option<u32> {
+            None
+        }
+        fn lose(&mut self, _rid: ReqId) -> Option<u32> {
+            None
+        }
+        fn rerun(&mut self, _rid: ReqId) -> Option<u32> {
+            None
+        }
+        fn take_window_counts(&mut self) -> Vec<u64> {
+            vec![0]
+        }
+        fn outstanding(&self) -> usize {
+            0
+        }
+    }
+
+    /// The reconciler seam is real for [`LassPolicy`]: a desired-fleet
+    /// directive grows the fleet (cold-starting each create through
+    /// `Ev::Ready`) and shrinks it, never below one container per
+    /// function, and reports convergence honestly.
+    #[test]
+    fn desired_fleet_directive_scales_the_cluster() {
+        use lass_simcore::ContainerChaos;
+        let mut setup = FunctionSetup::new(
+            micro_benchmark(0.1),
+            0.1,
+            WorkloadSpec::Static {
+                rate: 1.0,
+                duration: 10.0,
+            },
+        );
+        setup.initial_containers = 2;
+        let mut policy = LassPolicy::new(
+            LassConfig::default(),
+            Cluster::paper_testbed(),
+            7,
+            &[setup],
+            "",
+        );
+        let mut ctx = StubCtx {
+            scheduled: Vec::new(),
+            rng: lass_simcore::SimRng::from_seed_label(7, "stub"),
+        };
+        let now = SimTime::from_secs_f64(1.0);
+        // Scale up 2 → 5: three creates, each paying its cold start.
+        assert!(policy.apply_desired_fleet(&mut ctx, 5, now));
+        assert_eq!(policy.cluster.container_count(), 5);
+        let readies = ctx
+            .scheduled
+            .iter()
+            .filter(|(_, e)| matches!(e, Ev::Ready(_)))
+            .count();
+        assert_eq!(readies, 3, "each create boots through Ev::Ready");
+        assert!(
+            ctx.scheduled.iter().all(|(at, _)| *at > now),
+            "new containers must not be ready instantly"
+        );
+        // Scale to zero keeps the function's last container.
+        assert!(policy.apply_desired_fleet(&mut ctx, 0, now));
+        assert_eq!(policy.cluster.container_count(), 1);
+        // Converged: reapplying the directive changes nothing.
+        assert!(!policy.apply_desired_fleet(&mut ctx, 1, now));
     }
 }

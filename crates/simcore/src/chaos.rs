@@ -373,6 +373,18 @@ impl<E, C: PolicyCtx<ChaosEv<E>>> PolicyCtx<E> for InnerCtx<'_, C> {
     fn outstanding(&self) -> usize {
         self.inner.outstanding()
     }
+    fn schedule_cancellable(&mut self, at: SimTime, ev: E) -> Option<u64> {
+        self.inner.schedule_cancellable(at, ChaosEv::Inner(ev))
+    }
+    fn cancel_scheduled(&mut self, token: u64) -> bool {
+        self.inner.cancel_scheduled(token)
+    }
+    fn note_hedged(&mut self, fn_idx: u32) {
+        self.inner.note_hedged(fn_idx);
+    }
+    fn note_cancelled(&mut self, fn_idx: u32) {
+        self.inner.note_cancelled(fn_idx);
+    }
 }
 
 /// The chaos meta-policy: schedules the configured faults and forwards

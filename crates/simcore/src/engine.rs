@@ -90,7 +90,16 @@ impl Default for EngineConfig {
 }
 
 /// Per-function statistics collected by the engine.
-#[derive(Debug, Serialize)]
+///
+/// `hedged` / `cancelled` count request *clones*: a hedged dispatch
+/// duplicates an in-flight request without creating a new engine
+/// arrival, and a cancelled clone retires without touching the
+/// completion/loss/timeout tallies. The conservation identity therefore
+/// stays `arrivals = completed + lost + timeouts + outstanding` with
+/// clones accounted for separately. Serialization emits the two keys
+/// only when nonzero so reports from hedging-free runs are
+/// byte-identical to the pre-hedging format.
+#[derive(Debug)]
 pub struct FnStats {
     /// Function display name.
     pub name: String,
@@ -109,12 +118,45 @@ pub struct FnStats {
     /// Requests whose waiting time exceeded the SLO deadline (includes
     /// timeouts).
     pub slo_violations: usize,
+    /// Hedge clones dispatched for this function's requests.
+    pub hedged: usize,
+    /// Hedge clones cancelled after a sibling won the race.
+    pub cancelled: usize,
     /// Waiting times (arrival → service start), seconds.
     pub wait: SampleStats,
     /// Response times (arrival → completion), seconds.
     pub response: SampleStats,
     /// Service times (start → completion), seconds.
     pub service: SampleStats,
+}
+
+impl Serialize for FnStats {
+    fn serialize(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("name".to_string(), self.name.serialize());
+        m.insert("slo_deadline".to_string(), self.slo_deadline.serialize());
+        m.insert("arrivals".to_string(), self.arrivals.serialize());
+        m.insert("completed".to_string(), self.completed.serialize());
+        m.insert("reruns".to_string(), self.reruns.serialize());
+        m.insert("timeouts".to_string(), self.timeouts.serialize());
+        m.insert("lost".to_string(), self.lost.serialize());
+        m.insert(
+            "slo_violations".to_string(),
+            self.slo_violations.serialize(),
+        );
+        // Hedging tallies appear only when hedging actually fired, so
+        // hedge-free reports keep their exact historical byte layout.
+        if self.hedged != 0 {
+            m.insert("hedged".to_string(), self.hedged.serialize());
+        }
+        if self.cancelled != 0 {
+            m.insert("cancelled".to_string(), self.cancelled.serialize());
+        }
+        m.insert("wait".to_string(), self.wait.serialize());
+        m.insert("response".to_string(), self.response.serialize());
+        m.insert("service".to_string(), self.service.serialize());
+        serde::Value::Object(m)
+    }
 }
 
 /// What `EngineCtx::complete` computed for one finished request.
@@ -184,6 +226,29 @@ pub trait PolicyCtx<E> {
     fn take_window_counts(&mut self) -> Vec<u64>;
     /// Requests currently in flight.
     fn outstanding(&self) -> usize;
+
+    // --- Hedging support (defaulted so contexts that cannot hedge — or
+    // that merely forward to an inner context — need no changes). ---
+
+    /// Schedule a policy event and return a cancellation token for it.
+    /// Contexts without a cancellable calendar return `None`; callers
+    /// must then treat the event as uncancellable and make its handler
+    /// a liveness-checked no-op, which keeps behaviour (and reports)
+    /// identical either way.
+    fn schedule_cancellable(&mut self, at: SimTime, ev: E) -> Option<u64> {
+        self.schedule(at, ev);
+        None
+    }
+    /// Cancel a pending event by its [`PolicyCtx::schedule_cancellable`]
+    /// token. Returns whether the event was still pending. Tokens are
+    /// never reused, so a stale cancel is always a no-op.
+    fn cancel_scheduled(&mut self, _token: u64) -> bool {
+        false
+    }
+    /// Tally a hedge clone dispatched for `fn_idx`.
+    fn note_hedged(&mut self, _fn_idx: u32) {}
+    /// Tally a hedge clone cancelled (its sibling won) for `fn_idx`.
+    fn note_cancelled(&mut self, _fn_idx: u32) {}
 }
 
 /// A scheduling policy plugged into the engine.
@@ -237,6 +302,8 @@ struct FnRt {
     timeouts: usize,
     lost: usize,
     slo_violations: usize,
+    hedged: usize,
+    cancelled: usize,
     wait: SampleStats,
     response: SampleStats,
     service: SampleStats,
@@ -281,6 +348,8 @@ impl<E> EngineCtx<E> {
                 timeouts: 0,
                 lost: 0,
                 slo_violations: 0,
+                hedged: 0,
+                cancelled: 0,
                 wait: new_stats(),
                 response: new_stats(),
                 service: new_stats(),
@@ -311,6 +380,16 @@ impl<E> EngineCtx<E> {
     /// Schedule a policy event at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, ev: E) {
         self.events.schedule(at, Ev::Policy(ev));
+    }
+
+    /// Schedule a policy event and return its cancellation token.
+    pub fn schedule_cancellable(&mut self, at: SimTime, ev: E) -> u64 {
+        self.events.schedule_cancellable(at, Ev::Policy(ev))
+    }
+
+    /// Cancel a pending event; returns whether it was still pending.
+    pub fn cancel_scheduled(&mut self, token: u64) -> bool {
+        self.events.cancel(token)
     }
 
     /// The function's deterministic service-time stream.
@@ -390,6 +469,28 @@ impl<E> EngineCtx<E> {
         self.requests.len()
     }
 
+    /// Tally a hedge clone dispatched for `fn_idx`.
+    pub fn note_hedged(&mut self, fn_idx: u32) {
+        self.fns[fn_idx as usize].hedged += 1;
+    }
+
+    /// Tally a hedge clone cancelled for `fn_idx`.
+    pub fn note_cancelled(&mut self, fn_idx: u32) {
+        self.fns[fn_idx as usize].cancelled += 1;
+    }
+
+    /// Generation-stamped slot token for a live request (see
+    /// [`RequestTable::slot_token`]); used by hedging layers to make a
+    /// stale cancel of a reused slot a provable no-op.
+    pub fn request_token(&self, rid: ReqId) -> Option<u64> {
+        self.requests.slot_token(rid.0)
+    }
+
+    /// Whether `token` still refers to `rid`'s live record.
+    pub fn request_token_live(&self, rid: ReqId, token: u64) -> bool {
+        self.requests.token_live(rid.0, token)
+    }
+
     fn new_request(&mut self, fn_idx: u32, now: SimTime) -> ReqId {
         let rid = ReqId(self.next_req);
         self.next_req += 1;
@@ -427,6 +528,8 @@ impl<E> EngineCtx<E> {
                     timeouts: rt.timeouts,
                     lost: rt.lost,
                     slo_violations: rt.slo_violations,
+                    hedged: rt.hedged,
+                    cancelled: rt.cancelled,
                     wait: rt.wait,
                     response: rt.response,
                     service: rt.service,
@@ -470,6 +573,18 @@ impl<E> PolicyCtx<E> for EngineCtx<E> {
     }
     fn outstanding(&self) -> usize {
         EngineCtx::outstanding(self)
+    }
+    fn schedule_cancellable(&mut self, at: SimTime, ev: E) -> Option<u64> {
+        Some(EngineCtx::schedule_cancellable(self, at, ev))
+    }
+    fn cancel_scheduled(&mut self, token: u64) -> bool {
+        EngineCtx::cancel_scheduled(self, token)
+    }
+    fn note_hedged(&mut self, fn_idx: u32) {
+        EngineCtx::note_hedged(self, fn_idx);
+    }
+    fn note_cancelled(&mut self, fn_idx: u32) {
+        EngineCtx::note_cancelled(self, fn_idx);
     }
 }
 

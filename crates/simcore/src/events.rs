@@ -22,6 +22,7 @@ use crate::time::SimTime;
 use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashSet;
 
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -61,6 +62,9 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug)]
 pub struct HeapCalendar<E> {
     heap: BinaryHeap<Scheduled<E>>,
+    /// Tombstones for cancelled-but-still-resident events by `seq`,
+    /// purged lazily as pops/peeks reach them. `len` excludes them.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for HeapCalendar<E> {
@@ -74,6 +78,7 @@ impl<E> HeapCalendar<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -82,29 +87,54 @@ impl<E> HeapCalendar<E> {
         self.heap.push(Scheduled { at, seq, event });
     }
 
-    /// Remove and return the earliest `(at, seq)` event.
+    /// Cancel a pending event by its insertion `seq` (same contract as
+    /// [`crate::wheel::TimerWheel::cancel`]): the entry becomes a
+    /// tombstone purged lazily by pops/peeks, and `len` drops now. The
+    /// `seq` must be pending; a double cancel is absorbed (`false`).
+    pub fn cancel(&mut self, seq: u64) -> bool {
+        self.cancelled.insert(seq)
+    }
+
+    /// Remove and return the earliest `(at, seq)` event, purging
+    /// cancelled tombstones on the way.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        loop {
+            let s = self.heap.pop()?;
+            if !self.cancelled.is_empty() && self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            return Some((s.at, s.event));
+        }
     }
 
     /// Timestamp of the earliest pending event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+    /// Purges cancelled tombstones off the front so peek and pop agree.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let top = self.heap.peek()?;
+            if !self.cancelled.is_empty() && self.cancelled.contains(&top.seq) {
+                let s = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&s.seq);
+                continue;
+            }
+            return Some(top.at);
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drop all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancelled.clear();
     }
 }
 
@@ -170,6 +200,26 @@ impl<E> EventQueue<E> {
         self.seq += 1;
     }
 
+    /// Schedule `event` at `at` and return a cancellation token for it.
+    /// The token is the event's unique insertion sequence number; pass
+    /// it to [`EventQueue::cancel`] while the event is still pending to
+    /// remove it without it ever firing.
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> u64 {
+        let token = self.seq;
+        self.schedule(at, event);
+        token
+    }
+
+    /// Cancel a pending event by the token
+    /// [`EventQueue::schedule_cancellable`] returned. The event must
+    /// still be pending (not yet popped): liveness is the caller's
+    /// responsibility — the engine's request table guards its cancel
+    /// tokens with generation checks so a stale cancel never reaches
+    /// here. Returns `false` on a (caller-bug) double cancel.
+    pub fn cancel(&mut self, token: u64) -> bool {
+        self.calendar.cancel(token)
+    }
+
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let (at, event) = self.calendar.pop()?;
@@ -177,8 +227,10 @@ impl<E> EventQueue<E> {
         Some((at, event))
     }
 
-    /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    /// Timestamp of the next event without popping it. Takes `&mut`
+    /// because cancelled tombstones are purged off the front so the
+    /// answer always matches what `pop` would return.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.calendar.peek_time()
     }
 
@@ -261,6 +313,53 @@ mod tests {
         q.schedule(SimTime::from_secs(2), ());
         q.pop();
         q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok), "double cancel must be absorbed");
+        assert_eq!(q.len(), 1);
+        // Peek must not report the tombstoned front event.
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelling_everything_empties_the_queue() {
+        let mut q = EventQueue::new();
+        let toks: Vec<u64> = (0..10)
+            .map(|i| q.schedule_cancellable(SimTime::from_secs(i), i))
+            .collect();
+        for t in toks {
+            assert!(q.cancel(t));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+        // The queue stays usable afterwards.
+        q.schedule(SimTime::from_secs(20), 99);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(20), 99)));
+    }
+
+    #[test]
+    fn heap_calendar_cancel_matches_wheel_semantics() {
+        let mut h = HeapCalendar::new();
+        h.insert(SimTime::from_secs(1), 0, "a");
+        h.insert(SimTime::from_secs(2), 1, "b");
+        h.insert(SimTime::from_secs(3), 2, "c");
+        assert!(h.cancel(1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(h.peek_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(h.pop(), Some((SimTime::from_secs(3), "c")));
+        assert!(h.is_empty());
     }
 
     #[test]

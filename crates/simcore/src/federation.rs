@@ -81,12 +81,12 @@ use crate::chaos::{ChaosTarget, ContainerChaos, Fault};
 use crate::engine::{Completion, EngineOutcome, FnStats, PolicyCtx, ReqId, SchedulerPolicy};
 use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
-use crate::router::{RouterConfig, RouterPolicy, SiteState};
+use crate::router::{predicted_score, RouterConfig, RouterPolicy, SiteState};
 use crate::telemetry::{ReconcilerSeam, TelemetryConfig, TelemetryRuntime, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 use lass_queueing::{EvaluatedForecast, ForecastCache, HealthEwma, WaitPredictor};
-use serde::{Map, Serialize, Value};
-use std::collections::BTreeMap;
+use serde::{Deserialize, Error, Map, Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Static description of one site handed to [`Federation::new`].
 #[derive(Debug, Clone)]
@@ -108,6 +108,139 @@ pub struct FedFunction {
     pub name: String,
     /// SLO deadline (seconds) on the waiting time.
     pub slo_deadline: f64,
+}
+
+/// When a hedged topology dispatches the extra request clones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HedgeTrigger {
+    /// Clone at dispatch time, unconditionally.
+    Immediate,
+    /// Clone only if the primary has not answered after this many
+    /// milliseconds (classic deferred hedging: the follow-up fires from
+    /// the front-end's own calendar and is cancelled — or degrades to a
+    /// liveness-checked no-op — once the primary responds).
+    DeferredMs(f64),
+    /// Clone at dispatch time only when the primary site's predicted
+    /// response (its forecast wait percentile plus the network hop)
+    /// already exceeds the configured SLO — hedge exactly the requests
+    /// the model expects to miss.
+    PredictedP95OverSlo,
+}
+
+/// Hedged-request configuration for a [`Federation`] (installed with
+/// [`Federation::set_hedge`]; absent = no hedging, byte-identical to
+/// the pre-hedging engine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// When clones are dispatched.
+    pub trigger: HedgeTrigger,
+    /// Maximum extra clones per request (1 = classic hedging pair).
+    /// Clones go to the best-scored routable sites not already holding
+    /// a copy, so the effective count is also bounded by the topology.
+    pub max_clones: u32,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self {
+            trigger: HedgeTrigger::Immediate,
+            max_clones: 1,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// Basic sanity checks on the knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_clones == 0 {
+            return Err("hedge max_clones must be at least 1".into());
+        }
+        if let HedgeTrigger::DeferredMs(ms) = self.trigger {
+            if !(ms.is_finite() && ms >= 0.0) {
+                return Err(format!(
+                    "hedge deferred_ms must be finite and non-negative, got {ms}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for HedgeTrigger {
+    fn serialize(&self) -> Value {
+        match self {
+            HedgeTrigger::Immediate => Value::String("immediate".into()),
+            HedgeTrigger::DeferredMs(ms) => {
+                let mut m = Map::new();
+                m.insert("deferred_ms".into(), ms.serialize());
+                Value::Object(m)
+            }
+            HedgeTrigger::PredictedP95OverSlo => Value::String("predicted-p95-over-slo".into()),
+        }
+    }
+}
+
+impl Deserialize for HedgeTrigger {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "immediate" => Ok(HedgeTrigger::Immediate),
+                "predicted-p95-over-slo" => Ok(HedgeTrigger::PredictedP95OverSlo),
+                other => Err(Error::custom(format!(
+                    "unknown hedge trigger {other:?} (expected \"immediate\", \
+                     \"predicted-p95-over-slo\", or {{\"deferred_ms\": <ms>}})"
+                ))),
+            };
+        }
+        if let Value::Object(m) = v {
+            if let (1, Some(ms)) = (m.len(), m.get("deferred_ms")) {
+                return Ok(HedgeTrigger::DeferredMs(f64::deserialize(ms)?));
+            }
+        }
+        Err(Error::custom(
+            "hedge trigger must be \"immediate\", \"predicted-p95-over-slo\", \
+             or {\"deferred_ms\": <ms>}",
+        ))
+    }
+}
+
+impl Serialize for HedgeConfig {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("trigger".into(), self.trigger.serialize());
+        m.insert("max_clones".into(), self.max_clones.serialize());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for HedgeConfig {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = serde::helpers::as_object(v, "hedge config")?;
+        let mut cfg = HedgeConfig::default();
+        for (k, val) in m {
+            match k.as_str() {
+                "trigger" => cfg.trigger = HedgeTrigger::deserialize(val)?,
+                "max_clones" => cfg.max_clones = u32::deserialize(val)?,
+                other => {
+                    return Err(Error::custom(format!(
+                        "unknown hedge config field {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// One logical request's live hedge state: which sites currently hold a
+/// copy, plus the deferred-trigger timer (if armed).
+struct HedgeGroup {
+    /// Sites holding (or about to receive) a copy; the primary first.
+    copies: Vec<u32>,
+    /// Cancellation token for a pending [`FedEv::HedgeFire`], when the
+    /// outer calendar supports cancellation. `None` means the fire
+    /// event (if any) is uncancellable and will no-op on arrival.
+    fire_token: Option<u64>,
 }
 
 /// Events of a federated run: deliveries completing their network hop,
@@ -155,6 +288,25 @@ pub enum FedEv<E> {
         site: u32,
         /// Desired total warm-container count.
         desired: u32,
+    },
+    /// A deferred hedge timer fires: if the request is still unanswered,
+    /// dispatch its clones now. Cancelled (or degraded to a
+    /// liveness-checked no-op) once the primary responds first.
+    HedgeFire {
+        /// The hedged request.
+        rid: ReqId,
+        /// The request's function.
+        fn_idx: u32,
+    },
+    /// A cancellation message for a losing hedge clone completes its
+    /// network hop to the clone's site. Arriving after the clone began
+    /// service is a wasted-work tally, not an error; arriving at a site
+    /// that already shed the clone (crash, migration) is a no-op.
+    CancelDeliver {
+        /// The losing clone's site.
+        site: u32,
+        /// The hedged request.
+        rid: ReqId,
     },
 }
 
@@ -216,6 +368,17 @@ pub(crate) struct SiteTally {
     pub(crate) fcache: ForecastCache,
     /// Downtime EWMA behind the failure-aware router's flakiness score.
     pub(crate) health: HealthEwma,
+    /// Hedge clones that lost the race at this site and may still be in
+    /// service — their eventual (suppressed) completion is wasted work.
+    /// Inserted when the sibling wins, consumed by the suppressed
+    /// completion; a clone cancelled while still queued leaves its entry
+    /// behind (it never completes), which is bookkeeping-only.
+    pub(crate) hedge_lost: BTreeSet<u64>,
+    /// Suppressed completions of cancelled clones: containers that ran a
+    /// request to the end after its sibling had already answered.
+    pub(crate) wasted: usize,
+    /// Service seconds burned by those wasted completions.
+    pub(crate) wasted_secs: f64,
 }
 
 impl SiteTally {
@@ -236,6 +399,8 @@ impl SiteTally {
                     timeouts: 0,
                     lost: 0,
                     slo_violations: 0,
+                    hedged: 0,
+                    cancelled: 0,
                     wait: SampleStats::new(),
                     response: SampleStats::new(),
                     service: SampleStats::new(),
@@ -256,6 +421,9 @@ impl SiteTally {
             predictor: WaitPredictor::new(router_cfg.predictor()),
             fcache: ForecastCache::new(),
             health: HealthEwma::new(router_cfg.health_tick_secs, router_cfg.health_alpha),
+            hedge_lost: BTreeSet::new(),
+            wasted: 0,
+            wasted_secs: 0.0,
         }
     }
 
@@ -290,6 +458,12 @@ struct SiteCtx<'a, C> {
     inner: &'a mut C,
     site: u32,
     tally: &'a mut SiteTally,
+    /// Logical-request retirements (complete / abandon / lose) recorded
+    /// during this callback, as `(rid, site)` — the federation drains
+    /// them afterwards to resolve hedge groups (first response wins,
+    /// losers get cancel messages). Unused — pushed to and cleared —
+    /// when hedging is off.
+    resolved: &'a mut Vec<(u64, u32)>,
 }
 
 impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
@@ -331,10 +505,24 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
             }
             return None;
         }
-        let c = self.inner.complete(rid, started, now)?;
-        self.tally.live.remove(&rid.0);
-        self.tally.record_completion(&c);
-        Some(c)
+        match self.inner.complete(rid, started, now) {
+            Some(c) => {
+                self.tally.live.remove(&rid.0);
+                self.tally.record_completion(&c);
+                self.resolved.push((rid.0, self.site));
+                Some(c)
+            }
+            None => {
+                // A suppressed completion of a hedge clone whose sibling
+                // already won: the container ran the request to the end
+                // for nothing — wasted work, not an error.
+                if self.tally.hedge_lost.remove(&rid.0) {
+                    self.tally.wasted += 1;
+                    self.tally.wasted_secs += now.saturating_since(started).as_secs_f64();
+                }
+                None
+            }
+        }
     }
 
     fn abandon(&mut self, rid: ReqId) -> Option<u32> {
@@ -345,6 +533,7 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
         self.tally.live.remove(&rid.0);
         self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
         self.tally.finished += 1;
+        self.resolved.push((rid.0, self.site));
         Some(fn_idx)
     }
 
@@ -354,6 +543,7 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
         self.tally.live.remove(&rid.0);
         self.tally.in_flight = self.tally.in_flight.saturating_sub(1);
         self.tally.finished += 1;
+        self.resolved.push((rid.0, self.site));
         Some(fn_idx)
     }
 
@@ -441,6 +631,11 @@ pub struct SiteReport<R> {
     /// The site's flakiness score (downtime EWMA in `[0, 1]`) at the
     /// end of the run — the failure-aware router's view of the site.
     pub flakiness: f64,
+    /// Hedge clones that ran to completion here after their sibling had
+    /// already answered (cancel arrived mid-service or too late).
+    pub wasted_work: usize,
+    /// Service seconds burned by those wasted completions.
+    pub wasted_secs: f64,
     /// The inner scheduler's own report, built from the site-local
     /// request statistics.
     pub report: R,
@@ -460,6 +655,9 @@ pub struct FederatedReport<R> {
     pub aggregate_per_fn: Vec<FnStats>,
     /// Arrivals dropped at the front door because no site was routable.
     pub unroutable: usize,
+    /// Total wasted-work completions across sites (hedge clones served
+    /// to the end after their sibling won).
+    pub wasted_work: usize,
     /// Requests unanswered when the run ended (including in-transit).
     pub outstanding: usize,
     /// Simulated duration in seconds (excluding drain).
@@ -485,6 +683,12 @@ impl<R: Serialize> Serialize for SiteReport<R> {
         m.insert("chaos_crashes".into(), self.chaos_crashes.serialize());
         m.insert("downtime_secs".into(), self.downtime_secs.serialize());
         m.insert("flakiness".into(), self.flakiness.serialize());
+        // Hedging keys appear only when hedging actually wasted work, so
+        // hedge-free reports keep their exact historical byte layout.
+        if self.wasted_work != 0 {
+            m.insert("wasted_work".into(), self.wasted_work.serialize());
+            m.insert("wasted_secs".into(), self.wasted_secs.serialize());
+        }
         m.insert("report".into(), self.report.serialize());
         Value::Object(m)
     }
@@ -497,6 +701,9 @@ impl<R: Serialize> Serialize for FederatedReport<R> {
         m.insert("per_site".into(), self.per_site.serialize());
         m.insert("aggregate_per_fn".into(), self.aggregate_per_fn.serialize());
         m.insert("unroutable".into(), self.unroutable.serialize());
+        if self.wasted_work != 0 {
+            m.insert("wasted_work".into(), self.wasted_work.serialize());
+        }
         m.insert("outstanding".into(), self.outstanding.serialize());
         m.insert("duration".into(), self.duration.serialize());
         Value::Object(m)
@@ -531,6 +738,14 @@ pub struct Federation<P: SchedulerPolicy> {
     pub(crate) rebuild: Option<SiteRebuild<P>>,
     /// Arrivals dropped because no site was routable.
     pub(crate) unroutable: usize,
+    /// Hedged-request configuration; `None` disables hedging entirely
+    /// (no new events, no new counters — byte-identical reports).
+    pub(crate) hedge: Option<HedgeConfig>,
+    /// Live hedge groups keyed by request id.
+    hedges: BTreeMap<u64, HedgeGroup>,
+    /// Retirements recorded by the scoped contexts during the current
+    /// callback, drained afterwards to resolve hedge groups.
+    hedge_resolved: Vec<(u64, u32)>,
 }
 
 impl<P: ContainerChaos> Federation<P> {
@@ -575,6 +790,9 @@ impl<P: ContainerChaos> Federation<P> {
             migration_penalty: SimDuration::ZERO,
             rebuild: None,
             unroutable: 0,
+            hedge: None,
+            hedges: BTreeMap::new(),
+            hedge_resolved: Vec::new(),
         }
     }
 
@@ -642,6 +860,16 @@ impl<P: ContainerChaos> Federation<P> {
         let names: Vec<String> = self.metas.iter().map(|m| m.name.clone()).collect();
         let n_fns = self.tallies.first().map_or(0, |t| t.per_fn.len());
         self.telemetry = TelemetryRuntime::new(cfg, seed, &names, n_fns);
+        self
+    }
+
+    /// Enable hedged requests: depending on `cfg.trigger`, arrivals are
+    /// cloned to the best-scored runner-up site(s), the first response
+    /// wins, and the losers are cancelled by messages travelling at the
+    /// losing site's network latency. Call before the run starts.
+    pub fn set_hedge(&mut self, cfg: HedgeConfig) -> &mut Self {
+        cfg.validate().expect("invalid HedgeConfig");
+        self.hedge = Some(cfg);
         self
     }
 
@@ -768,6 +996,142 @@ impl<P: ContainerChaos> Federation<P> {
         }
     }
 
+    /// Dispatch up to `max_clones` hedge clones of `rid` to the
+    /// best-scored routable sites not already holding a copy. Assumes
+    /// the router's scratch [`SiteState`]s were refreshed for `fn_idx`.
+    /// Runner-up ranking reads the same predicted score the model-driven
+    /// routers use but never touches the router itself, so the primary
+    /// decision stream is unperturbed.
+    fn dispatch_clones(
+        &mut self,
+        ctx: &mut impl PolicyCtx<FedEv<P::Event>>,
+        rid: ReqId,
+        fn_idx: u32,
+        primary: u32,
+        now: SimTime,
+    ) {
+        let cfg = self.hedge.expect("hedging enabled");
+        self.hedges.entry(rid.0).or_insert_with(|| HedgeGroup {
+            copies: vec![primary],
+            fire_token: None,
+        });
+        let pct = self.router_cfg.percentile;
+        let cold = self.router_cfg.cold_start_penalty_ms / 1e3;
+        for _ in 0..cfg.max_clones {
+            let copies = &self.hedges[&rid.0].copies;
+            let mut best: Option<(f64, usize)> = None;
+            for (i, s) in self.states.iter().enumerate() {
+                if !s.up || copies.contains(&(i as u32)) {
+                    continue;
+                }
+                let score = predicted_score(s, pct, cold);
+                if best.is_none_or(|(b, _)| score < b) {
+                    best = Some((score, i));
+                }
+            }
+            let Some((_, c)) = best else { break };
+            self.hedges
+                .get_mut(&rid.0)
+                .expect("group inserted above")
+                .copies
+                .push(c as u32);
+            let tally = &mut self.tallies[c];
+            tally.routed += 1;
+            tally.predictor.on_arrival(now.as_secs_f64());
+            tally.per_fn[fn_idx as usize].hedged += 1;
+            ctx.note_hedged(fn_idx);
+            let latency = self.metas[c].latency;
+            if latency == SimDuration::ZERO {
+                self.deliver(ctx, c as u32, rid, fn_idx, now);
+            } else {
+                ctx.schedule(
+                    now + latency,
+                    FedEv::Deliver {
+                        site: c as u32,
+                        rid,
+                        fn_idx,
+                    },
+                );
+            }
+        }
+        // A group that got no clone and has no pending deferred fire
+        // dissolves (nothing to race, nothing to cancel).
+        if self
+            .hedges
+            .get(&rid.0)
+            .is_some_and(|g| g.copies.len() == 1 && g.fire_token.is_none())
+        {
+            self.hedges.remove(&rid.0);
+        }
+    }
+
+    /// The landing side of a loser-cancellation hop: release the site's
+    /// books for the clone if it still holds one. Idempotent — the clone
+    /// may already have crashed away, migrated, or been consumed at the
+    /// delivery door.
+    fn cancel_clone_at(
+        &mut self,
+        ctx: &mut impl PolicyCtx<FedEv<P::Event>>,
+        site: u32,
+        rid: ReqId,
+    ) {
+        let tally = &mut self.tallies[site as usize];
+        if let Some(fn_idx) = tally.live.remove(&rid.0) {
+            tally.in_flight = tally.in_flight.saturating_sub(1);
+            tally.finished += 1;
+            tally.per_fn[fn_idx as usize].cancelled += 1;
+            ctx.note_cancelled(fn_idx);
+        }
+    }
+
+    /// Resolve hedge groups whose logical request retired during the
+    /// callback that just returned: first response wins — the other
+    /// copies get cancel messages travelling at their site's latency
+    /// (delivered inline for zero-latency sites), and a pending deferred
+    /// fire is cancelled where the calendar allows (it degrades to a
+    /// liveness-checked no-op where it doesn't).
+    fn drain_hedge_resolutions(&mut self, ctx: &mut impl PolicyCtx<FedEv<P::Event>>, now: SimTime) {
+        if self.hedge_resolved.is_empty() {
+            return;
+        }
+        if self.hedges.is_empty() {
+            self.hedge_resolved.clear();
+            return;
+        }
+        let mut resolved = std::mem::take(&mut self.hedge_resolved);
+        for (rid, winner) in resolved.drain(..) {
+            let Some(group) = self.hedges.remove(&rid) else {
+                continue;
+            };
+            if let Some(token) = group.fire_token {
+                ctx.cancel_scheduled(token);
+            }
+            for &site in &group.copies {
+                if site == winner {
+                    continue;
+                }
+                // Mark the loser immediately (accounting-only: a
+                // completion that beats the cancel message home is
+                // already wasted work), but release the site's books
+                // only when the cancel lands.
+                self.tallies[site as usize].hedge_lost.insert(rid);
+                let latency = self.metas[site as usize].latency;
+                if latency == SimDuration::ZERO {
+                    self.cancel_clone_at(ctx, site, ReqId(rid));
+                } else {
+                    ctx.schedule(
+                        now + latency,
+                        FedEv::CancelDeliver {
+                            site,
+                            rid: ReqId(rid),
+                        },
+                    );
+                }
+            }
+        }
+        self.hedge_resolved = resolved;
+    }
+
     /// Deliver a routed request to its site's scheduler.
     fn deliver(
         &mut self,
@@ -778,6 +1142,17 @@ impl<P: ContainerChaos> Federation<P> {
         now: SimTime,
     ) {
         let i = site as usize;
+        if self.hedge.is_some() && ctx.request_info(rid).is_none() {
+            // A hedge clone arriving after its sibling already answered
+            // (the race resolved while it crossed the network): consumed
+            // at the door, never enters the scheduler.
+            let tally = &mut self.tallies[i];
+            tally.finished += 1;
+            tally.per_fn[fn_idx as usize].arrivals += 1;
+            tally.per_fn[fn_idx as usize].cancelled += 1;
+            ctx.note_cancelled(fn_idx);
+            return;
+        }
         if !self.tallies[i].routable() {
             // The destination died (or was cut off) while the request
             // was in flight: it bounces off the dark site and migrates.
@@ -802,6 +1177,7 @@ impl<P: ContainerChaos> Federation<P> {
                 inner: ctx,
                 site,
                 tally,
+                resolved: &mut self.hedge_resolved,
             },
             rid,
             fn_idx,
@@ -829,6 +1205,24 @@ impl<P: ContainerChaos> Federation<P> {
             tally.in_flight = tally.in_flight.saturating_sub(1);
             tally.live.remove(&rid.0);
         }
+        if self.hedge.is_some() {
+            let sibling_alive = self.hedges.get(&rid.0).is_some_and(|g| g.copies.len() > 1);
+            if sibling_alive || ctx.request_info(rid).is_none() {
+                // A hedge clone with a surviving sibling — or whose
+                // request already won — dies quietly instead of
+                // migrating: an orphaned clone must never resurrect an
+                // answered request, and a sibling copy is already racing
+                // elsewhere.
+                if let Some(g) = self.hedges.get_mut(&rid.0) {
+                    g.copies.retain(|&s| s != from as u32);
+                }
+                if delivered {
+                    self.tallies[from].per_fn[fn_idx as usize].cancelled += 1;
+                }
+                ctx.note_cancelled(fn_idx);
+                return;
+            }
+        }
         if !self.tallies.iter().any(SiteTally::routable) {
             // Nowhere to go: the request is failed.
             self.tallies[from].failed += 1;
@@ -836,6 +1230,11 @@ impl<P: ContainerChaos> Federation<P> {
                 self.tallies[from].per_fn[fn_idx as usize].lost += 1;
             }
             ctx.lose(rid);
+            if self.hedge.is_some() {
+                // The last copy of a hedged request failing retires the
+                // logical request: resolve its (loser-free) group.
+                self.hedge_resolved.push((rid.0, from as u32));
+            }
             return;
         }
         self.tallies[from].migrated_out += 1;
@@ -845,6 +1244,15 @@ impl<P: ContainerChaos> Federation<P> {
             ctx.rerun(rid);
         }
         let dest = self.pick_site(fn_idx, now);
+        if self.hedge.is_some() {
+            // The surviving last copy moves: keep the group's site map
+            // honest so a later resolution cancels the right place.
+            if let Some(g) = self.hedges.get_mut(&rid.0) {
+                if let Some(p) = g.copies.iter_mut().find(|s| **s == from as u32) {
+                    *p = dest as u32;
+                }
+            }
+        }
         self.tallies[dest].routed += 1;
         self.tallies[dest].predictor.on_arrival(now.as_secs_f64());
         self.tallies[dest].migrated_in += 1;
@@ -888,11 +1296,12 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
     type Report = FederatedReport<P::Report>;
 
     fn on_start(&mut self, ctx: &mut impl PolicyCtx<Self::Event>) {
-        for (i, (site, tally)) in self.sites.iter_mut().zip(&mut self.tallies).enumerate() {
-            site.on_start(&mut SiteCtx {
+        for i in 0..self.sites.len() {
+            self.sites[i].on_start(&mut SiteCtx {
                 inner: ctx,
                 site: i as u32,
-                tally,
+                tally: &mut self.tallies[i],
+                resolved: &mut self.hedge_resolved,
             });
         }
         if self.telemetry.enabled() {
@@ -935,6 +1344,39 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                 },
             );
         }
+        if let Some(hcfg) = self.hedge {
+            // A zero-latency primary may already have answered inline;
+            // don't hedge a request that is no longer live.
+            if ctx.request_info(rid).is_some() {
+                match hcfg.trigger {
+                    HedgeTrigger::Immediate => {
+                        self.dispatch_clones(ctx, rid, fn_idx, chosen as u32, now);
+                    }
+                    HedgeTrigger::PredictedP95OverSlo => {
+                        let score = predicted_score(
+                            &self.states[chosen],
+                            self.router_cfg.percentile,
+                            self.router_cfg.cold_start_penalty_ms / 1e3,
+                        );
+                        if score > self.router_cfg.slo_ms / 1e3 {
+                            self.dispatch_clones(ctx, rid, fn_idx, chosen as u32, now);
+                        }
+                    }
+                    HedgeTrigger::DeferredMs(ms) => {
+                        let at = now + SimDuration::from_secs_f64(ms / 1e3);
+                        let token = ctx.schedule_cancellable(at, FedEv::HedgeFire { rid, fn_idx });
+                        self.hedges.insert(
+                            rid.0,
+                            HedgeGroup {
+                                copies: vec![chosen as u32],
+                                fire_token: token,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.drain_hedge_resolutions(ctx, now);
     }
 
     fn on_event(&mut self, ctx: &mut impl PolicyCtx<Self::Event>, ev: Self::Event, now: SimTime) {
@@ -950,11 +1392,28 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                         inner: ctx,
                         site,
                         tally: &mut self.tallies[i],
+                        resolved: &mut self.hedge_resolved,
                     },
                     ev,
                     now,
                 );
             }
+            FedEv::HedgeFire { rid, fn_idx } => {
+                // Fires only while the group is unresolved (a resolved
+                // group cancelled this event, or — under an
+                // uncancellable calendar — removed the group, making
+                // this a no-op).
+                if self.hedges.contains_key(&rid.0) && ctx.request_info(rid).is_some() {
+                    self.hedges
+                        .get_mut(&rid.0)
+                        .expect("checked above")
+                        .fire_token = None;
+                    let primary = self.hedges[&rid.0].copies[0];
+                    self.refresh_states(fn_idx, now);
+                    self.dispatch_clones(ctx, rid, fn_idx, primary, now);
+                }
+            }
+            FedEv::CancelDeliver { site, rid } => self.cancel_clone_at(ctx, site, rid),
             FedEv::Publish { site } => {
                 let i = site as usize;
                 // The agent's clock keeps ticking whatever the site's
@@ -962,11 +1421,17 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                 // the schedule is identical across fault histories).
                 let next = self.telemetry.next_publish(i);
                 ctx.schedule(next, FedEv::Publish { site });
+                // Drawn before the fate checks so the stream position is
+                // the same whether or not the site is down this slot.
+                let lost_in_transit = self.telemetry.publish_lost(i);
                 if !self.tallies[i].up {
                     return; // crashed site: the node agent is dead too
                 }
                 if self.tallies[i].partitioned && self.telemetry.cfg.loss_under_partition {
                     return; // snapshot lost on the cut link
+                }
+                if lost_in_transit {
+                    return; // background control-plane packet loss
                 }
                 let t = now.as_secs_f64();
                 let n_fns = self.tallies[i].per_fn.len();
@@ -1021,12 +1486,14 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                         inner: ctx,
                         site,
                         tally,
+                        resolved: &mut self.hedge_resolved,
                     },
                     desired,
                     now,
                 );
             }
         }
+        self.drain_hedge_resolutions(ctx, now);
     }
 
     fn finish(self, outcome: EngineOutcome) -> Self::Report {
@@ -1053,15 +1520,19 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                     chaos_crashes: tally.chaos_crashes,
                     downtime_secs: tally.downtime.total_until(end),
                     flakiness: tally.health.value(),
+                    wasted_work: tally.wasted,
+                    wasted_secs: tally.wasted_secs,
                     report: site.finish(site_outcome),
                 }
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let wasted_work = per_site.iter().map(|s| s.wasted_work).sum();
         FederatedReport {
             router: self.router.name().to_owned(),
             per_site,
             aggregate_per_fn: outcome.per_fn,
             unroutable: self.unroutable,
+            wasted_work,
             outstanding: outcome.outstanding,
             duration,
             threads: 1,
@@ -1139,6 +1610,7 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                         inner: &mut shifted,
                         site: i as u32,
                         tally: &mut self.tallies[i],
+                        resolved: &mut self.hedge_resolved,
                     });
                 }
             }
@@ -1163,6 +1635,25 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                         let tally = &mut self.tallies[i];
                         tally.live.remove(&rid);
                         tally.record_completion(&c);
+                        if self.hedge.is_some() {
+                            self.hedge_resolved.push((rid, i as u32));
+                        }
+                    } else if self.hedge.is_some() {
+                        // A sibling copy won while this one was stalled
+                        // behind the cut: the held response is wasted
+                        // work, and the clone leaves the books as
+                        // cancelled rather than completed.
+                        let tally = &mut self.tallies[i];
+                        if tally.hedge_lost.remove(&rid) {
+                            tally.wasted += 1;
+                            tally.wasted_secs += now.saturating_since(started).as_secs_f64();
+                        }
+                        if let Some(fn_idx) = tally.live.remove(&rid) {
+                            tally.in_flight = tally.in_flight.saturating_sub(1);
+                            tally.finished += 1;
+                            tally.per_fn[fn_idx as usize].cancelled += 1;
+                            ctx.note_cancelled(fn_idx);
+                        }
                     }
                 }
             }
@@ -1175,6 +1666,7 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                         inner: ctx,
                         site: i as u32,
                         tally: &mut self.tallies[i],
+                        resolved: &mut self.hedge_resolved,
                     },
                     count,
                     now,
@@ -1182,6 +1674,7 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                 self.tallies[i].chaos_crashes += crashed;
             }
         }
+        self.drain_hedge_resolutions(ctx, now);
     }
 }
 
@@ -1717,6 +2210,7 @@ mod tests {
             report_interval: SimDuration::from_millis(250),
             jitter: SimDuration::from_millis(50),
             loss_under_partition: true,
+            loss_prob: 0.0,
         };
         let mut fed = make_fed(RouterKind::RoundRobin, &[0.003, 0.010], 0.05);
         fed.set_telemetry(telemetry, 11);

@@ -52,7 +52,10 @@ pub use engine::{
     PolicyCtx, ReqId, SchedulerPolicy,
 };
 pub use events::{EventQueue, HeapCalendar};
-pub use federation::{FedEv, FedFunction, FederatedReport, Federation, SiteMeta, SiteReport};
+pub use federation::{
+    FedEv, FedFunction, FederatedReport, Federation, HedgeConfig, HedgeTrigger, SiteMeta,
+    SiteReport,
+};
 pub use lass_queueing::{
     EvaluatedForecast, ForecastCache, PredictorConfig, SnapshotCache, WaitForecast, WaitPredictor,
 };

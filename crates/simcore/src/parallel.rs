@@ -80,10 +80,12 @@ use crate::engine::{
     Completion, EngineConfig, EngineOutcome, FnStats, FunctionEntry, PolicyCtx, ReqId,
 };
 use crate::events::EventQueue;
-use crate::federation::{FederatedReport, Federation, SiteMeta, SiteReport, SiteTally};
+use crate::federation::{
+    FederatedReport, Federation, HedgeConfig, HedgeTrigger, SiteMeta, SiteReport, SiteTally,
+};
 use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
-use crate::router::{RouterConfig, RouterPolicy, SiteState};
+use crate::router::{predicted_score, RouterConfig, RouterPolicy, SiteState};
 use crate::telemetry::{ReconcilerSeam, TelemetryRuntime, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 use lass_queueing::{ForecastCache, HealthEwma, WaitPredictor};
@@ -111,12 +113,18 @@ enum Msg {
     /// A reconciler directive (desired server count) completes its
     /// return hop and lands on the site's scheduler.
     Directive { desired: u32 },
+    /// A hedge-race loser cancellation lands: release the clone's books
+    /// if the site still holds it (idempotent — the clone may already
+    /// have finished locally, in which case the merge phase reclassified
+    /// that finish as wasted work).
+    Cancel { rid: u64 },
 }
 
 /// One request outcome recorded by a shard, replayed by the merge phase
 /// into the cross-site aggregate in deterministic order.
 enum LogKind {
     Completed {
+        rid: u64,
         fn_idx: u32,
         wait: f64,
         service: f64,
@@ -124,12 +132,20 @@ enum LogKind {
         violated: bool,
     },
     Timeout {
+        rid: u64,
         fn_idx: u32,
     },
     Lost {
+        rid: u64,
         fn_idx: u32,
     },
     Rerun {
+        fn_idx: u32,
+    },
+    /// A hedge-loser clone released by a [`Msg::Cancel`] before it
+    /// finished locally.
+    Cancelled {
+        rid: u64,
         fn_idx: u32,
     },
 }
@@ -219,6 +235,7 @@ impl<E> ShardState<E> {
         self.log.push(LogEntry {
             t: now,
             kind: LogKind::Completed {
+                rid,
                 fn_idx,
                 wait,
                 service,
@@ -281,7 +298,7 @@ impl<E> PolicyCtx<E> for LocalCtx<'_, E> {
         self.st.in_flight = self.st.in_flight.saturating_sub(1);
         self.st.log.push(LogEntry {
             t: self.now,
-            kind: LogKind::Timeout { fn_idx },
+            kind: LogKind::Timeout { rid: rid.0, fn_idx },
         });
         Some(fn_idx)
     }
@@ -292,7 +309,7 @@ impl<E> PolicyCtx<E> for LocalCtx<'_, E> {
         self.st.in_flight = self.st.in_flight.saturating_sub(1);
         self.st.log.push(LogEntry {
             t: self.now,
-            kind: LogKind::Lost { fn_idx },
+            kind: LogKind::Lost { rid: rid.0, fn_idx },
         });
         Some(fn_idx)
     }
@@ -373,6 +390,20 @@ fn pump_shard<P: ContainerChaos>(shard: &mut Shard<P>, horizon: SimTime) {
                 Msg::Directive { desired } => {
                     policy.apply_desired_fleet(&mut ctx, desired, t);
                 }
+                Msg::Cancel { rid } => {
+                    // The site policy is not told: its own completion
+                    // event for the clone later finds the request gone
+                    // and degrades to a no-op, exactly like the
+                    // sequential cancel path.
+                    if let Some((fn_idx, _)) = ctx.st.live.remove(&rid) {
+                        ctx.st.in_flight = ctx.st.in_flight.saturating_sub(1);
+                        ctx.st.per_fn[fn_idx as usize].cancelled += 1;
+                        ctx.st.log.push(LogEntry {
+                            t,
+                            kind: LogKind::Cancelled { rid, fn_idx },
+                        });
+                    }
+                }
             }
         } else {
             let tl = next_local.expect("checked");
@@ -411,6 +442,11 @@ struct FrontSite {
     predictor: WaitPredictor,
     fcache: ForecastCache,
     health: HealthEwma,
+    /// Hedge-loser completions that beat their cancel home: the site
+    /// finished work nobody was waiting for.
+    wasted: usize,
+    /// Service seconds burnt on those completions.
+    wasted_secs: f64,
 }
 
 impl FrontSite {
@@ -463,6 +499,42 @@ enum FeEv {
         site: u32,
         desired: u32,
     },
+    /// A deferred hedge trigger comes due: dispatch the clones unless
+    /// the race already resolved (the resolution cancelled this event,
+    /// so a surviving fire is always live — the guard is belt and
+    /// braces).
+    HedgeFire {
+        rid: u64,
+        fn_idx: u32,
+    },
+    /// A loser-cancellation message completes its hop to the site;
+    /// forwarded into the site's inbox as a current-window
+    /// [`Msg::Cancel`]. Pushed regardless of partitions — cancels are
+    /// idempotent control traffic, mirroring the sequential
+    /// `CancelDeliver`.
+    CancelDue {
+        site: u32,
+        rid: u64,
+    },
+}
+
+/// Front-end bookkeeping for one hedged logical request.
+struct FeHedge {
+    /// Original arrival instant (clones inherit it so their shard-side
+    /// wait/response include the time since the logical arrival, as in
+    /// the sequential engine's shared request record).
+    arrival: SimTime,
+    /// Sites currently holding (or about to receive) a copy;
+    /// `copies[0]` is the primary.
+    copies: Vec<u32>,
+    /// Cancellable calendar token of a pending deferred fire.
+    fire_token: Option<u64>,
+    /// Whether the first response already won the race.
+    resolved: bool,
+    /// Losers still owing a terminal event (cancel landing,
+    /// dead-on-arrival delivery, or wasted completion); the group is
+    /// dropped when this reaches zero.
+    pending_losers: usize,
 }
 
 /// Everything the main thread owns between worker phases.
@@ -494,6 +566,12 @@ struct Frontend<P: ContainerChaos> {
     lost_total: usize,
     next_rid: u64,
     end: SimTime,
+    /// Hedged-request configuration (absent = no hedging; the hedge
+    /// paths below are then never taken and the executor is
+    /// byte-identical to its pre-hedging behaviour).
+    hedge: Option<HedgeConfig>,
+    /// Live hedge groups by logical request id.
+    hedges: BTreeMap<u64, FeHedge>,
 }
 
 impl<P: ContainerChaos> Frontend<P> {
@@ -504,13 +582,13 @@ impl<P: ContainerChaos> Frontend<P> {
         }
     }
 
-    /// Replicate the sequential `refresh_states` + router call: refresh
-    /// the scratch view from the front-end counters and the shards'
-    /// (barrier-stale) warm census, then route with
-    /// fallback-to-first-routable.
-    fn pick_site(&mut self, shards: &[Mutex<Shard<P>>], fn_idx: u32, now: SimTime) -> usize {
+    /// Refresh the router's scratch view — the parallel analogue of the
+    /// sequential `Federation::refresh_states`, dispatching between the
+    /// oracle census and the delayed-telemetry view.
+    fn refresh_states(&mut self, shards: &[Mutex<Shard<P>>], fn_idx: u32, now: SimTime) {
         if self.telemetry.enabled() {
-            return self.pick_site_stale(fn_idx, now);
+            self.refresh_states_stale(fn_idx, now);
+            return;
         }
         let t = now.as_secs_f64();
         for (i, state) in self.states.iter_mut().enumerate() {
@@ -536,6 +614,32 @@ impl<P: ContainerChaos> Frontend<P> {
             };
             state.forecast = front.fcache.refresh(&mut front.predictor, t, servers);
         }
+    }
+
+    /// The delayed-telemetry half of [`Frontend::refresh_states`]:
+    /// site-side columns come from the last *arrived* snapshot, only
+    /// the commitment counter stays live.
+    fn refresh_states_stale(&mut self, fn_idx: u32, now: SimTime) {
+        for (i, state) in self.states.iter_mut().enumerate() {
+            let front = &self.fronts[i];
+            let view = &self.telemetry.views[i];
+            state.in_flight = front.routed.saturating_sub(front.finished) as u64;
+            state.up = self.telemetry.view_up(i, front.meta.latency, now);
+            state.forecast = view.forecast;
+            state.flakiness = view.flakiness;
+            state.warm = view.warm.get(fn_idx as usize).copied().unwrap_or(0);
+        }
+    }
+
+    /// Replicate the sequential `refresh_states` + router call: refresh
+    /// the scratch view from the front-end counters and the shards'
+    /// (barrier-stale) warm census, then route with
+    /// fallback-to-first-routable.
+    fn pick_site(&mut self, shards: &[Mutex<Shard<P>>], fn_idx: u32, now: SimTime) -> usize {
+        self.refresh_states(shards, fn_idx, now);
+        if self.telemetry.enabled() {
+            return self.pick_site_stale(fn_idx, now);
+        }
         let fallback = self
             .fronts
             .iter()
@@ -552,21 +656,11 @@ impl<P: ContainerChaos> Frontend<P> {
     }
 
     /// The stale-view routing decision — the exact mirror of the
-    /// sequential `Federation::pick_site_stale`: site-side columns come
-    /// from the last *arrived* snapshot (no shard lock, no per-decision
-    /// health observation), only the commitment counter stays live, and
-    /// when the view marks every site down the front end routes blind
-    /// to the first physically routable site.
+    /// sequential `Federation::pick_site_stale` (states already
+    /// refreshed by [`Frontend::refresh_states`]): when the view marks
+    /// every site down the front end routes blind to the first
+    /// physically routable site.
     fn pick_site_stale(&mut self, fn_idx: u32, now: SimTime) -> usize {
-        for (i, state) in self.states.iter_mut().enumerate() {
-            let front = &self.fronts[i];
-            let view = &self.telemetry.views[i];
-            state.in_flight = front.routed.saturating_sub(front.finished) as u64;
-            state.up = self.telemetry.view_up(i, front.meta.latency, now);
-            state.forecast = view.forecast;
-            state.flakiness = view.flakiness;
-            state.warm = view.warm.get(fn_idx as usize).copied().unwrap_or(0);
-        }
         let Some(fallback) = self.states.iter().position(|s| s.up) else {
             return self
                 .fronts
@@ -581,6 +675,56 @@ impl<P: ContainerChaos> Frontend<P> {
             chosen
         } else {
             fallback
+        }
+    }
+
+    /// Dispatch hedge clones for `rid` to the best-scored sites (by the
+    /// routers' shared `predicted_score`) not already holding a copy —
+    /// the parallel mirror of `Federation::dispatch_clones`. Assumes
+    /// [`Frontend::refresh_states`] ran for this decision. A group that
+    /// ends with a single copy and no pending deferred fire dissolves.
+    fn dispatch_clones(&mut self, rid: u64, fn_idx: u32, now: SimTime) {
+        let Some(hcfg) = self.hedge else { return };
+        let pct = self.router_cfg.percentile;
+        let cold = self.router_cfg.cold_start_penalty_ms / 1e3;
+        for _ in 0..hcfg.max_clones {
+            let copies = &self.hedges[&rid].copies;
+            let mut best: Option<(f64, usize)> = None;
+            for (i, s) in self.states.iter().enumerate() {
+                if !s.up || copies.contains(&(i as u32)) {
+                    continue;
+                }
+                let score = predicted_score(s, pct, cold);
+                if best.is_none_or(|(b, _)| score < b) {
+                    best = Some((score, i));
+                }
+            }
+            let Some((_, c)) = best else { break };
+            let group = self.hedges.get_mut(&rid).expect("group inserted by caller");
+            group.copies.push(c as u32);
+            let arrival = group.arrival;
+            self.fronts[c].routed += 1;
+            self.fronts[c].predictor.on_arrival(now.as_secs_f64());
+            self.agg[fn_idx as usize].hedged += 1;
+            // Latencies are validated positive: the clone always
+            // crosses the calendar, landing in a later window.
+            let latency = self.fronts[c].meta.latency;
+            self.calendar.schedule(
+                now + latency,
+                FeEv::DeliveryDue {
+                    site: c as u32,
+                    rid,
+                    fn_idx,
+                    arrival,
+                },
+            );
+        }
+        if self
+            .hedges
+            .get(&rid)
+            .is_some_and(|g| g.copies.len() == 1 && g.fire_token.is_none())
+        {
+            self.hedges.remove(&rid);
         }
     }
 
@@ -601,6 +745,33 @@ impl<P: ContainerChaos> Frontend<P> {
         delivered: bool,
     ) {
         self.fronts[from].finished += 1;
+        if self.hedge.is_some() {
+            if let Some(g) = self.hedges.get_mut(&rid) {
+                if g.copies.len() > 1 || g.resolved {
+                    // A hedge clone with a surviving sibling — or whose
+                    // request already won — dies quietly instead of
+                    // migrating: an orphaned clone must never resurrect
+                    // an answered request, and a sibling copy is
+                    // already racing elsewhere.
+                    g.copies.retain(|&s| s != from as u32);
+                    let done = if g.resolved {
+                        g.pending_losers = g.pending_losers.saturating_sub(1);
+                        g.pending_losers == 0
+                    } else {
+                        false
+                    };
+                    if done {
+                        self.hedges.remove(&rid);
+                    }
+                    self.agg[fn_idx as usize].cancelled += 1;
+                    if delivered {
+                        let mut shard = shards[from].lock().expect("shard lock");
+                        shard.st.per_fn[fn_idx as usize].cancelled += 1;
+                    }
+                    return;
+                }
+            }
+        }
         if !self.fronts.iter().any(FrontSite::routable) {
             // Nowhere to go: the request is failed (engine-level lost).
             self.fronts[from].failed += 1;
@@ -610,6 +781,13 @@ impl<P: ContainerChaos> Frontend<P> {
             }
             self.agg[fn_idx as usize].lost += 1;
             self.lost_total += 1;
+            // The last copy of a hedged request failing retires its
+            // (loser-free) group.
+            if let Some(g) = self.hedges.remove(&rid) {
+                if let Some(token) = g.fire_token {
+                    self.calendar.cancel(token);
+                }
+            }
             return;
         }
         self.fronts[from].migrated_out += 1;
@@ -619,6 +797,13 @@ impl<P: ContainerChaos> Frontend<P> {
             self.agg[fn_idx as usize].reruns += 1;
         }
         let dest = self.pick_site(shards, fn_idx, now);
+        if let Some(g) = self.hedges.get_mut(&rid) {
+            // The surviving last copy moves: keep the group's site map
+            // honest so a later resolution cancels the right place.
+            if let Some(p) = g.copies.iter_mut().find(|s| **s == from as u32) {
+                *p = dest as u32;
+            }
+        }
         self.fronts[dest].routed += 1;
         self.fronts[dest].predictor.on_arrival(now.as_secs_f64());
         self.fronts[dest].migrated_in += 1;
@@ -733,6 +918,42 @@ impl<P: ContainerChaos> Frontend<P> {
         }
     }
 
+    /// First-response-wins arbitration, run against every terminal log
+    /// entry of a hedged request in merge order. Returns `false` for
+    /// the winner (the first terminal entry — fold it normally, after
+    /// scheduling loser cancellations at each loser site's latency) and
+    /// `true` for every later entry (a loser that finished before its
+    /// cancel landed — reclassify as cancelled/wasted). Because the
+    /// merge order is `(time, site, log-index)`-stable, the winner is
+    /// identical for every thread count.
+    fn hedge_arbitrate(&mut self, rid: u64, winner: u32, t: SimTime) -> bool {
+        let Some(g) = self.hedges.get_mut(&rid) else {
+            return false;
+        };
+        if g.resolved {
+            g.pending_losers = g.pending_losers.saturating_sub(1);
+            if g.pending_losers == 0 {
+                self.hedges.remove(&rid);
+            }
+            return true;
+        }
+        g.resolved = true;
+        let token = g.fire_token.take();
+        let losers: Vec<u32> = g.copies.iter().copied().filter(|&s| s != winner).collect();
+        g.pending_losers = losers.len();
+        if losers.is_empty() {
+            self.hedges.remove(&rid);
+        }
+        if let Some(token) = token {
+            self.calendar.cancel(token);
+        }
+        for site in losers {
+            let at = t + self.fronts[site as usize].meta.latency;
+            self.calendar.schedule(at, FeEv::CancelDue { site, rid });
+        }
+        false
+    }
+
     /// Merge the window's per-site outcome logs into the aggregate in
     /// deterministic `(time, site, log-index)` order and feed the
     /// per-site telemetry — thread-count-independent by construction.
@@ -746,16 +967,28 @@ impl<P: ContainerChaos> Frontend<P> {
         }
         // Stable by time: equal instants keep (site, log-index) order.
         merged.sort_by_key(|(_, e)| e.t);
+        let hedging = self.hedge.is_some();
         for (site, e) in merged {
-            let front = &mut self.fronts[site as usize];
             match e.kind {
                 LogKind::Completed {
+                    rid,
                     fn_idx,
                     wait,
                     service,
                     response,
                     violated,
                 } => {
+                    if hedging && self.hedge_arbitrate(rid, site, e.t) {
+                        // A loser finished before its cancel landed:
+                        // honest wasted work, not a logical completion.
+                        let front = &mut self.fronts[site as usize];
+                        front.finished += 1;
+                        front.wasted += 1;
+                        front.wasted_secs += service;
+                        self.agg[fn_idx as usize].cancelled += 1;
+                        continue;
+                    }
+                    let front = &mut self.fronts[site as usize];
                     front.finished += 1;
                     front.predictor.on_service(service);
                     let f = &mut self.agg[fn_idx as usize];
@@ -768,20 +1001,42 @@ impl<P: ContainerChaos> Frontend<P> {
                     }
                     self.completed_total += 1;
                 }
-                LogKind::Timeout { fn_idx } => {
+                LogKind::Timeout { rid, fn_idx } => {
+                    if hedging && self.hedge_arbitrate(rid, site, e.t) {
+                        self.fronts[site as usize].finished += 1;
+                        self.agg[fn_idx as usize].cancelled += 1;
+                        continue;
+                    }
+                    let front = &mut self.fronts[site as usize];
                     front.finished += 1;
                     let f = &mut self.agg[fn_idx as usize];
                     f.timeouts += 1;
                     f.slo_violations += 1;
                     self.timeouts_total += 1;
                 }
-                LogKind::Lost { fn_idx } => {
+                LogKind::Lost { rid, fn_idx } => {
+                    if hedging && self.hedge_arbitrate(rid, site, e.t) {
+                        self.fronts[site as usize].finished += 1;
+                        self.agg[fn_idx as usize].cancelled += 1;
+                        continue;
+                    }
+                    let front = &mut self.fronts[site as usize];
                     front.finished += 1;
                     self.agg[fn_idx as usize].lost += 1;
                     self.lost_total += 1;
                 }
                 LogKind::Rerun { fn_idx } => {
                     self.agg[fn_idx as usize].reruns += 1;
+                }
+                LogKind::Cancelled { rid, fn_idx } => {
+                    self.fronts[site as usize].finished += 1;
+                    self.agg[fn_idx as usize].cancelled += 1;
+                    if let Some(g) = self.hedges.get_mut(&rid) {
+                        g.pending_losers = g.pending_losers.saturating_sub(1);
+                        if g.pending_losers == 0 {
+                            self.hedges.remove(&rid);
+                        }
+                    }
                 }
             }
         }
@@ -834,6 +1089,8 @@ where
         migration_penalty,
         rebuild,
         unroutable,
+        hedge,
+        ..
     } = federation;
     let n_sites = metas.len();
     let lookahead = metas
@@ -888,6 +1145,8 @@ where
             predictor,
             fcache,
             health,
+            wasted: 0,
+            wasted_secs: 0.0,
         });
         shards.push(Mutex::new(Shard {
             policy,
@@ -930,6 +1189,8 @@ where
             timeouts: 0,
             lost: 0,
             slo_violations: 0,
+            hedged: 0,
+            cancelled: 0,
             wait: new_stats(),
             response: new_stats(),
             service: new_stats(),
@@ -958,6 +1219,8 @@ where
         lost_total: 0,
         next_rid: 0,
         end,
+        hedge,
+        hedges: BTreeMap::new(),
     };
     for i in 0..fe.procs.len() as u32 {
         fe.schedule_next_arrival(i, SimTime::ZERO);
@@ -1018,7 +1281,7 @@ where
             // lookahead, cut at the next fault and the hard end.
             let mut pending = fe.calendar.peek_time();
             for shard in shards_ref {
-                let shard = shard.lock().expect("shard lock");
+                let mut shard = shard.lock().expect("shard lock");
                 pending = match (pending, shard.st.queue.peek_time()) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
@@ -1071,6 +1334,46 @@ where
                                     arrival: now,
                                 },
                             );
+                            if let Some(hcfg) = fe.hedge {
+                                fe.hedges.insert(
+                                    rid,
+                                    FeHedge {
+                                        arrival: now,
+                                        copies: vec![chosen as u32],
+                                        fire_token: None,
+                                        resolved: false,
+                                        pending_losers: 0,
+                                    },
+                                );
+                                match hcfg.trigger {
+                                    HedgeTrigger::Immediate => {
+                                        // States are fresh from pick_site.
+                                        fe.dispatch_clones(rid, fn_idx, now);
+                                    }
+                                    HedgeTrigger::PredictedP95OverSlo => {
+                                        let pct = fe.router_cfg.percentile;
+                                        let cold = fe.router_cfg.cold_start_penalty_ms / 1e3;
+                                        if predicted_score(&fe.states[chosen], pct, cold)
+                                            > fe.router_cfg.slo_ms / 1e3
+                                        {
+                                            fe.dispatch_clones(rid, fn_idx, now);
+                                        } else {
+                                            fe.hedges.remove(&rid);
+                                        }
+                                    }
+                                    HedgeTrigger::DeferredMs(ms) => {
+                                        let at = now + SimDuration::from_secs_f64(ms / 1e3);
+                                        let token = fe.calendar.schedule_cancellable(
+                                            at,
+                                            FeEv::HedgeFire { rid, fn_idx },
+                                        );
+                                        fe.hedges
+                                            .get_mut(&rid)
+                                            .expect("just inserted")
+                                            .fire_token = Some(token);
+                                    }
+                                }
+                            }
                         }
                         fe.schedule_next_arrival(fn_idx, now);
                     }
@@ -1080,7 +1383,21 @@ where
                         fn_idx,
                         arrival,
                     } => {
-                        if fe.fronts[site as usize].routable() {
+                        if fe.hedge.is_some() && fe.hedges.get(&rid).is_some_and(|g| g.resolved) {
+                            // A hedge clone arriving after its sibling
+                            // already answered (the race resolved while
+                            // it crossed the network): consumed at the
+                            // door, never enters the scheduler.
+                            fe.fronts[site as usize].finished += 1;
+                            fe.agg[fn_idx as usize].cancelled += 1;
+                            if let Some(g) = fe.hedges.get_mut(&rid) {
+                                g.copies.retain(|&s| s != site);
+                                g.pending_losers = g.pending_losers.saturating_sub(1);
+                                if g.pending_losers == 0 {
+                                    fe.hedges.remove(&rid);
+                                }
+                            }
+                        } else if fe.fronts[site as usize].routable() {
                             let mut shard = shards_ref[site as usize].lock().expect("shard lock");
                             shard.st.inbox.push_back((
                                 now,
@@ -1110,7 +1427,12 @@ where
                         // counts (and matches the sequential driver).
                         let next = fe.telemetry.next_publish(i);
                         fe.calendar.schedule(next, FeEv::Publish { site });
-                        let skip = !fe.fronts[i].up
+                        // Drawn before the fate checks — stream position
+                        // invariant across fault histories, like the
+                        // jitter draw above.
+                        let lost_in_transit = fe.telemetry.publish_lost(i);
+                        let skip = lost_in_transit
+                            || !fe.fronts[i].up
                             || (fe.fronts[i].partitioned && fe.telemetry.cfg.loss_under_partition);
                         if !skip {
                             let t = now.as_secs_f64();
@@ -1166,6 +1488,17 @@ where
                             shard.st.inbox.push_back((now, Msg::Directive { desired }));
                         }
                     }
+                    FeEv::HedgeFire { rid, fn_idx } => {
+                        if fe.hedges.get(&rid).is_some_and(|g| !g.resolved) {
+                            fe.hedges.get_mut(&rid).expect("checked").fire_token = None;
+                            fe.refresh_states(shards_ref, fn_idx, now);
+                            fe.dispatch_clones(rid, fn_idx, now);
+                        }
+                    }
+                    FeEv::CancelDue { site, rid } => {
+                        let mut shard = shards_ref[site as usize].lock().expect("shard lock");
+                        shard.st.inbox.push_back((now, Msg::Cancel { rid }));
+                    }
                 }
             }
 
@@ -1206,15 +1539,19 @@ where
                 chaos_crashes: shard.st.chaos_crashes,
                 downtime_secs: front.downtime.total_until(end),
                 flakiness: front.health.value(),
+                wasted_work: front.wasted,
+                wasted_secs: front.wasted_secs,
                 report: shard.policy.finish(site_outcome),
             }
         })
-        .collect();
+        .collect::<Vec<_>>();
+    let wasted_work = per_site.iter().map(|s| s.wasted_work).sum();
     FederatedReport {
         router: fe.router.name().to_owned(),
         per_site,
         aggregate_per_fn: fe.agg,
         unroutable: fe.unroutable,
+        wasted_work,
         outstanding,
         duration: duration_secs,
         threads,

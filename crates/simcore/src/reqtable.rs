@@ -112,6 +112,28 @@ impl RequestTable {
         Some((rec.fn_idx, rec.arrival))
     }
 
+    /// A generation-stamped token for `rid`'s current slot (packed
+    /// `generation << 32 | slot`), or `None` if the request already
+    /// retired. Hedging holds these across clone lifetimes: retiring
+    /// the request bumps the slot generation, so a token taken before
+    /// retirement fails [`RequestTable::token_live`] even after the
+    /// slot is recycled for a later request.
+    pub fn slot_token(&self, rid: u64) -> Option<u64> {
+        let (generation, slot) = self.handle(rid)?;
+        Some(u64::from(generation) << 32 | u64::from(slot))
+    }
+
+    /// Whether `token` (from [`RequestTable::slot_token`]) still refers
+    /// to the live record of `rid`: the request must still be in the
+    /// table *and* its slot generation must match the token's stamp. A
+    /// stale token — the request retired, even if its slot was reused
+    /// by a newer request — never validates.
+    pub fn token_live(&self, rid: u64, token: u64) -> bool {
+        self.handle(rid).is_some_and(|(generation, slot)| {
+            u64::from(generation) << 32 | u64::from(slot) == token
+        })
+    }
+
     /// Retire `rid`, returning its record. The slot goes back on the
     /// free list; fully-retired prefixes of the ring are reclaimed so
     /// the window tracks the live span.

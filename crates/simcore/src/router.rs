@@ -125,6 +125,13 @@ pub struct RouterConfig {
     pub health_tick_secs: f64,
     /// EWMA weight on the newest per-tick downtime fraction.
     pub health_alpha: f64,
+    /// Cold-start penalty (milliseconds) the model-driven routers blend
+    /// into a site's predicted response, weighted by the probability
+    /// that the routed function finds no warm container there
+    /// (`1 / (1 + warm)` — certain when the census is zero, vanishing
+    /// as warm capacity accumulates). `0` (the default) disables the
+    /// term entirely, keeping older scenarios' scores bit-identical.
+    pub cold_start_penalty_ms: f64,
 }
 
 impl Default for RouterConfig {
@@ -141,6 +148,7 @@ impl Default for RouterConfig {
             service_alpha: 0.05,
             health_tick_secs: 5.0,
             health_alpha: 0.2,
+            cold_start_penalty_ms: 0.0,
         }
     }
 }
@@ -202,6 +210,12 @@ impl RouterConfig {
             return Err(format!(
                 "health_alpha must be in (0, 1], got {}",
                 self.health_alpha
+            ));
+        }
+        if !(self.cold_start_penalty_ms.is_finite() && self.cold_start_penalty_ms >= 0.0) {
+            return Err(format!(
+                "cold_start_penalty_ms must be non-negative, got {}",
+                self.cold_start_penalty_ms
             ));
         }
         Ok(())
@@ -357,11 +371,19 @@ const SATURATED_SCORE: f64 = f64::INFINITY;
 
 /// A site's predicted percentile *response* score: hop latency plus the
 /// model-forecast waiting-time percentile (service time is omitted — it
-/// is the same wherever the request lands). [`SATURATED_SCORE`] when
-/// the site's estimated load exceeds its estimated capacity, or when
-/// the telemetry is degenerate enough to produce a NaN.
-fn predicted_score(s: &SiteState, percentile: f64) -> f64 {
-    let score = s.latency.as_secs_f64() + s.forecast.wait_percentile(percentile);
+/// is the same wherever the request lands), plus a cold-start term
+/// blending the warm-container census in as a probability: the full
+/// penalty when the site holds no warm container for the function,
+/// shrinking as `1 / (1 + warm)` while capacity accumulates.
+/// `cold_penalty_secs` is 0 unless the scenario opts in, keeping the
+/// score identical for existing configurations. [`SATURATED_SCORE`]
+/// when the site's estimated load exceeds its estimated capacity, or
+/// when the telemetry is degenerate enough to produce a NaN.
+pub(crate) fn predicted_score(s: &SiteState, percentile: f64, cold_penalty_secs: f64) -> f64 {
+    let mut score = s.latency.as_secs_f64() + s.forecast.wait_percentile(percentile);
+    if cold_penalty_secs > 0.0 {
+        score += cold_penalty_secs / (1.0 + s.warm as f64);
+    }
     if score.is_nan() {
         SATURATED_SCORE
     } else {
@@ -384,6 +406,8 @@ pub struct SloAwareRouter {
     percentile: f64,
     /// Required challenger edge, seconds.
     hysteresis: f64,
+    /// Cold-start penalty, seconds (0 disables the census blend).
+    cold: f64,
     /// Previous pick (hysteresis anchor).
     last: Option<usize>,
     /// Scratch: per-site scores, computed once per decision from the
@@ -399,6 +423,7 @@ impl SloAwareRouter {
             slo: cfg.slo_ms / 1e3,
             percentile: cfg.percentile,
             hysteresis: cfg.hysteresis_ms / 1e3,
+            cold: cfg.cold_start_penalty_ms / 1e3,
             last: None,
             scores: Vec::new(),
         }
@@ -408,8 +433,11 @@ impl SloAwareRouter {
 impl RouterPolicy for SloAwareRouter {
     fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
         self.scores.clear();
-        self.scores
-            .extend(sites.iter().map(|s| predicted_score(s, self.percentile)));
+        self.scores.extend(
+            sites
+                .iter()
+                .map(|s| predicted_score(s, self.percentile, self.cold)),
+        );
         // Tier 1: closest site already predicted to meet the SLO.
         let mut satisficer: Option<usize> = None;
         // Tier 2: minimum predicted response among up sites.
@@ -470,6 +498,8 @@ impl RouterPolicy for SloAwareRouter {
 pub struct AffinityRouter {
     percentile: f64,
     spill_load: f64,
+    /// Cold-start penalty, seconds (0 disables the census blend).
+    cold: f64,
     /// Scratch: per-site scores, evaluated once per decision and shared
     /// by the warm pass and the spill pass.
     scores: Vec<f64>,
@@ -481,6 +511,7 @@ impl AffinityRouter {
         Self {
             percentile: cfg.percentile,
             spill_load: cfg.spill_load,
+            cold: cfg.cold_start_penalty_ms / 1e3,
             scores: Vec::new(),
         }
     }
@@ -514,8 +545,11 @@ impl AffinityRouter {
 impl RouterPolicy for AffinityRouter {
     fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
         self.scores.clear();
-        self.scores
-            .extend(sites.iter().map(|s| predicted_score(s, self.percentile)));
+        self.scores.extend(
+            sites
+                .iter()
+                .map(|s| predicted_score(s, self.percentile, self.cold)),
+        );
         self.best_by_score(sites, |s| s.warm > 0 && s.load() < self.spill_load)
             .or_else(|| self.best_by_score(sites, |_| true))
             .unwrap_or_else(|| least_loaded(sites))
@@ -849,7 +883,10 @@ mod tests {
         let mut s = sites(&[(0.005, 2.0, 0), (0.050, 2.0, 0)]);
         s[0].forecast = forecast(4.0, 10.0, 2); // light queueing
         s[1].forecast = forecast(1.0, 10.0, 2); // nearly idle
-        assert!(predicted_score(&s[0], 0.95) <= 0.1, "site 0 must meet SLO");
+        assert!(
+            predicted_score(&s[0], 0.95, 0.0) <= 0.1,
+            "site 0 must meet SLO"
+        );
         assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
         // The close site's model saturates: it no longer meets the SLO
         // and the router moves to the minimum predicted response.
@@ -890,7 +927,7 @@ mod tests {
         assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
         // Site 1 becomes marginally better (by < hysteresis): stick.
         s[0].forecast = forecast(4.4, 10.0, 2);
-        let margin = predicted_score(&s[0], 0.95) - predicted_score(&s[1], 0.95);
+        let margin = predicted_score(&s[0], 0.95, 0.0) - predicted_score(&s[1], 0.95, 0.0);
         assert!(margin > 0.0 && margin < 0.030, "margin {margin}");
         assert_eq!(r.route(0, SimTime::ZERO, &s), 0);
         // Site 1 becomes decisively better: switch.
@@ -996,7 +1033,7 @@ mod tests {
         for (i, f) in degenerate.iter().enumerate() {
             let mut s = site(0.001, 2.0, 0);
             s.forecast = *f;
-            let score = predicted_score(&s, 0.95);
+            let score = predicted_score(&s, 0.95, 0.0);
             assert!(!score.is_nan(), "case {i}: NaN score leaked");
         }
         // A healthy-but-distant site must beat every saturated site.
@@ -1021,6 +1058,46 @@ mod tests {
         s[1].forecast = forecast(30.0, 10.0, 2);
         let mut slo = SloAwareRouter::new(&cfg);
         assert_eq!(slo.route(0, SimTime::ZERO, &s), 1);
+    }
+
+    /// Satellite (cold-start blend): a nonzero penalty shifts routing
+    /// toward warm sites in proportion to `1 / (1 + warm)`, while the
+    /// default zero penalty leaves scores — and hence every existing
+    /// golden — untouched.
+    #[test]
+    fn cold_start_penalty_blends_warm_census_into_score() {
+        let mut s = site(0.010, 2.0, 0);
+        // Zero penalty: identical to the pre-blend score.
+        assert_eq!(
+            predicted_score(&s, 0.95, 0.0),
+            s.latency.as_secs_f64() + s.forecast.wait_percentile(0.95)
+        );
+        // No warm containers: full penalty lands on the score.
+        let base = predicted_score(&s, 0.95, 0.0);
+        assert!((predicted_score(&s, 0.95, 0.050) - (base + 0.050)).abs() < 1e-12);
+        // Census grows: the expected cold-start cost decays as 1/(1+w).
+        s.warm = 4;
+        assert!((predicted_score(&s, 0.95, 0.050) - (base + 0.010)).abs() < 1e-12);
+
+        // End to end: a closer cold site loses to a farther warm site
+        // once the penalty outweighs the hop difference.
+        let cfg = RouterConfig {
+            slo_ms: 0.0,
+            hysteresis_ms: 0.0,
+            cold_start_penalty_ms: 100.0,
+            ..RouterConfig::default()
+        };
+        let mut r = SloAwareRouter::new(&cfg);
+        let mut sites = sites(&[(0.005, 2.0, 0), (0.030, 2.0, 0)]);
+        sites[1].warm = 9; // 100 ms / 10 = 10 ms expected cold cost
+        assert_eq!(r.route(0, SimTime::ZERO, &sites), 1);
+        // Penalty off: the closer site wins again.
+        let mut r = SloAwareRouter::new(&RouterConfig {
+            slo_ms: 0.0,
+            hysteresis_ms: 0.0,
+            ..RouterConfig::default()
+        });
+        assert_eq!(r.route(0, SimTime::ZERO, &sites), 0);
     }
 
     #[test]

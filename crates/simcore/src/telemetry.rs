@@ -61,6 +61,15 @@ pub struct TelemetryConfig {
     /// router's view. `false` models a control plane on a separate
     /// network that survives data-path partitions.
     pub loss_under_partition: bool,
+    /// Per-snapshot loss probability, independent of partitions —
+    /// background packet loss on the control plane. Each publish slot
+    /// draws once from the site's `telemetry:{site}` stream whenever
+    /// the probability is nonzero (crashed or partitioned slots
+    /// included), so the loss pattern — and the jitter schedule sharing
+    /// the stream — is invariant across fault histories and thread
+    /// counts. `0` (the default) draws nothing and is byte-identical
+    /// to the pre-loss engine.
+    pub loss_prob: f64,
 }
 
 impl Default for TelemetryConfig {
@@ -69,6 +78,7 @@ impl Default for TelemetryConfig {
             report_interval: SimDuration::ZERO,
             jitter: SimDuration::ZERO,
             loss_under_partition: true,
+            loss_prob: 0.0,
         }
     }
 }
@@ -89,6 +99,13 @@ impl TelemetryConfig {
             return Err(format!(
                 "telemetry jitter ({}) must not exceed the report interval ({})",
                 self.jitter, self.report_interval
+            ));
+        }
+        if self.enabled() && !(self.loss_prob.is_finite() && (0.0..=1.0).contains(&self.loss_prob))
+        {
+            return Err(format!(
+                "telemetry loss_prob ({}) must be a probability in [0, 1]",
+                self.loss_prob
             ));
         }
         Ok(())
@@ -265,6 +282,16 @@ impl TelemetryRuntime {
         self.base[site] + jitter
     }
 
+    /// Whether this publish slot's snapshot is lost in transit. Exactly
+    /// one uniform draw per slot whenever `loss_prob > 0` — callers
+    /// invoke this before any crash/partition gating, so the per-site
+    /// stream position (and every schedule derived from it) is
+    /// invariant across fault histories and thread counts. The zero
+    /// default draws nothing, leaving pre-loss schedules untouched.
+    pub(crate) fn publish_lost(&mut self, site: usize) -> bool {
+        self.cfg.loss_prob > 0.0 && self.rngs[site].uniform() < self.cfg.loss_prob
+    }
+
     /// Fold an arrived snapshot into the site's view. Snapshots
     /// published before the one already ingested are dropped (jitter ≤
     /// interval keeps arrivals in publish order per site, but the guard
@@ -333,6 +360,7 @@ mod tests {
             report_interval: SimDuration::ZERO,
             jitter: SimDuration::from_millis(50),
             loss_under_partition: true,
+            loss_prob: 0.0,
         };
         assert!(!cfg.enabled());
         assert!(cfg.validate().is_ok());
@@ -344,8 +372,68 @@ mod tests {
             report_interval: SimDuration::from_millis(100),
             jitter: SimDuration::from_millis(101),
             loss_under_partition: true,
+            loss_prob: 0.0,
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn loss_prob_outside_unit_interval_is_rejected_when_enabled() {
+        let mut cfg = TelemetryConfig {
+            report_interval: SimDuration::from_millis(100),
+            ..TelemetryConfig::default()
+        };
+        cfg.loss_prob = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.loss_prob = f64::NAN;
+        assert!(cfg.validate().is_err());
+        cfg.loss_prob = 1.0;
+        assert!(cfg.validate().is_ok());
+    }
+
+    /// `loss_prob = 0` must draw nothing: the jitter schedule of a
+    /// runtime that consults `publish_lost` every slot has to match one
+    /// that never heard of snapshot loss, so pre-loss goldens hold.
+    #[test]
+    fn zero_loss_prob_leaves_the_jitter_stream_untouched() {
+        let cfg = TelemetryConfig {
+            report_interval: SimDuration::from_millis(250),
+            jitter: SimDuration::from_millis(50),
+            loss_under_partition: true,
+            loss_prob: 0.0,
+        };
+        let mut with_calls = TelemetryRuntime::new(cfg, 7, &names(1), 1);
+        let mut without = TelemetryRuntime::new(cfg, 7, &names(1), 1);
+        for _ in 0..20 {
+            assert!(!with_calls.publish_lost(0));
+            assert_eq!(with_calls.next_publish(0), without.next_publish(0));
+        }
+    }
+
+    /// With a nonzero probability the loss pattern is deterministic,
+    /// per-site, and roughly calibrated.
+    #[test]
+    fn loss_draws_are_deterministic_per_site_streams() {
+        let mut cfg = TelemetryConfig {
+            report_interval: SimDuration::from_millis(100),
+            ..TelemetryConfig::default()
+        };
+        cfg.loss_prob = 0.3;
+        let mut a = TelemetryRuntime::new(cfg, 7, &names(2), 1);
+        let mut b = TelemetryRuntime::new(cfg, 7, &names(2), 1);
+        let mut lost = [0u32; 2];
+        for _ in 0..400 {
+            for (site, tally) in lost.iter_mut().enumerate() {
+                a.next_publish(site);
+                b.next_publish(site);
+                let la = a.publish_lost(site);
+                assert_eq!(la, b.publish_lost(site), "loss must be deterministic");
+                *tally += u32::from(la);
+            }
+        }
+        for l in lost {
+            assert!((60..=180).contains(&l), "loss rate off: {l}/400");
+        }
     }
 
     #[test]
@@ -354,6 +442,7 @@ mod tests {
             report_interval: SimDuration::from_millis(250),
             jitter: SimDuration::from_millis(50),
             loss_under_partition: true,
+            loss_prob: 0.0,
         };
         let mut a = TelemetryRuntime::new(cfg, 7, &names(2), 1);
         let mut b = TelemetryRuntime::new(cfg, 7, &names(2), 1);
@@ -379,6 +468,7 @@ mod tests {
             report_interval: SimDuration::from_millis(100),
             jitter: SimDuration::ZERO,
             loss_under_partition: true,
+            loss_prob: 0.0,
         };
         let mut rt = TelemetryRuntime::new(cfg, 1, &names(1), 2);
         let fresh = TelemetrySnapshot {
@@ -413,6 +503,7 @@ mod tests {
             report_interval: SimDuration::from_millis(100),
             jitter: SimDuration::from_millis(20),
             loss_under_partition: true,
+            loss_prob: 0.0,
         };
         let mut rt = TelemetryRuntime::new(cfg, 1, &names(1), 1);
         let lat = SimDuration::from_millis(10);

@@ -30,6 +30,7 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
+use std::collections::HashSet;
 
 /// Slots per wheel level (64 so occupancy fits one `u64` bitmap).
 const SLOTS: u64 = 64;
@@ -144,6 +145,11 @@ pub struct TimerWheel<E> {
     /// Level-0 absolute slot the wheel has drained up to.
     cursor: u64,
     len: usize,
+    /// Tombstones for cancelled-but-still-resident events, keyed by the
+    /// unique insertion `seq`. Entries are purged lazily as pops and
+    /// peeks encounter them; `len` excludes them from the moment of
+    /// cancellation.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for TimerWheel<E> {
@@ -161,6 +167,7 @@ impl<E> TimerWheel<E> {
             ready: BinaryHeap::new(),
             cursor: 0,
             len: 0,
+            cancelled: HashSet::new(),
         }
     }
 
@@ -187,7 +194,23 @@ impl<E> TimerWheel<E> {
         }
         self.overflow.clear();
         self.ready.clear();
+        self.cancelled.clear();
         self.len = 0;
+    }
+
+    /// Cancel a pending event by its insertion `seq`. The event stays
+    /// physically resident as a tombstone and is purged lazily when a
+    /// pop or peek reaches it; `len` drops immediately. The `seq` must
+    /// belong to an event that is currently pending — cancelling one
+    /// that already popped (or cancelling twice) is a caller logic
+    /// error; the double-cancel case is absorbed (returns `false`).
+    pub fn cancel(&mut self, seq: u64) -> bool {
+        if self.cancelled.insert(seq) {
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Insert an event. `at` must not precede the cursor's window start
@@ -304,25 +327,61 @@ impl<E> TimerWheel<E> {
         }
     }
 
-    /// Remove and return the earliest `(at, seq)` event.
+    /// Remove and return the earliest `(at, seq)` event, purging any
+    /// cancelled tombstones encountered on the way.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if !self.ensure_ready() {
-            return None;
+        loop {
+            if !self.ensure_ready() {
+                return None;
+            }
+            let r = self.ready.pop().expect("ensure_ready refilled");
+            if !self.cancelled.is_empty() && self.cancelled.remove(&r.seq) {
+                // A tombstone: `len` already dropped at cancel time.
+                continue;
+            }
+            self.len -= 1;
+            return Some((SimTime(r.at), r.event));
         }
-        let r = self.ready.pop().expect("ensure_ready refilled");
-        self.len -= 1;
-        Some((SimTime(r.at), r.event))
     }
 
     /// Timestamp of the earliest pending event without popping it.
     ///
-    /// Non-destructive (no cascading), so it cannot assume buckets have
-    /// been re-leveled as the cursor advanced: a coarse-level resident
-    /// can be earlier than everything at finer levels. Per level, the
-    /// nearest occupied bucket does hold that level's minimum, so the
-    /// global minimum is the min over the ready heap, each level's
-    /// nearest bucket, and the first overflow bucket.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    /// With cancellations outstanding the wheel must purge tombstones
+    /// off the front so peek and pop agree (a cancelled front event
+    /// must not masquerade as the next timestamp); the purge cascades
+    /// exactly the buckets a pop would, so the calendar's observable
+    /// order is unchanged.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.cancelled.is_empty() {
+            return self.peek_time_raw();
+        }
+        loop {
+            if !self.ensure_ready() {
+                return None;
+            }
+            // After `ensure_ready` the ready-heap top is the global
+            // earliest event (the same invariant `pop` relies on), so
+            // purging tombstones off the top yields the true peek.
+            while let Some(top) = self.ready.peek() {
+                if self.cancelled.contains(&top.seq) {
+                    let r = self.ready.pop().expect("peeked");
+                    self.cancelled.remove(&r.seq);
+                } else {
+                    return Some(SimTime(top.at));
+                }
+            }
+            // Every ready event was a tombstone: refill and retry.
+        }
+    }
+
+    /// Tombstone-free peek: non-destructive (no cascading), so it
+    /// cannot assume buckets have been re-leveled as the cursor
+    /// advanced: a coarse-level resident can be earlier than everything
+    /// at finer levels. Per level, the nearest occupied bucket does
+    /// hold that level's minimum, so the global minimum is the min over
+    /// the ready heap, each level's nearest bucket, and the first
+    /// overflow bucket.
+    fn peek_time_raw(&self) -> Option<SimTime> {
         let mut best = self.ready.peek().map(|r| r.at);
         for (level, lv) in self.levels.iter().enumerate() {
             let cursor_slot = slot_of(self.cursor << SHIFT0, level as u32);
@@ -416,6 +475,43 @@ mod tests {
             let (t, _) = w.pop().unwrap();
             assert_eq!(pt, t);
         }
+    }
+
+    #[test]
+    fn cancel_purges_lazily_across_levels() {
+        let mut w = TimerWheel::new();
+        // One resident per region: ready slot, level 0, a coarse level,
+        // and the overflow map.
+        let times = [5u64, 5000, 1 << 30, 1 << 50];
+        for (seq, &t) in times.iter().enumerate() {
+            w.insert(SimTime(t), seq as u64, t);
+        }
+        // Cancel the earliest and the overflow resident.
+        assert!(w.cancel(0));
+        assert!(w.cancel(3));
+        assert!(!w.cancel(3), "double cancel must be absorbed");
+        assert_eq!(w.len(), 2);
+        // Peek skips the cancelled front event.
+        assert_eq!(w.peek_time(), Some(SimTime(5000)));
+        assert_eq!(drain(&mut w), vec![(5000, 5000), (1 << 30, 1 << 30)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_during_drain_of_current_slot() {
+        let mut w = TimerWheel::new();
+        let t = SimTime(123);
+        for seq in 0..4u64 {
+            w.insert(t, seq, seq);
+        }
+        assert_eq!(w.pop().map(|(_, e)| e), Some(0));
+        // 1 and 2 are already staged in the ready heap: cancel mid-drain.
+        assert!(w.cancel(1));
+        assert!(w.cancel(2));
+        assert_eq!(w.peek_time(), Some(t));
+        assert_eq!(w.pop().map(|(_, e)| e), Some(3));
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -15,14 +15,14 @@
 //! to a file); `sim_req_per_wall_min` is the headline throughput.
 
 use lass::replay::{run_replay, ReplayConfig};
-use lass_simcore::RouterKind;
+use lass_simcore::{HedgeConfig, HedgeTrigger, RouterKind};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lass-replay [--functions N] [--minutes M] [--seed S] [--zipf EXP] \
          [--rps TOTAL] [--sites K] [--router NAME] [--utilization U] [--slo SECS] \
          [--csv PATH] [--window MINUTE] [--parallel THREADS] [--site-latency-ms MS] \
-         [--out FILE]"
+         [--hedge immediate|deferred:MS|p95] [--hedge-clones N] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -56,6 +56,29 @@ fn main() {
             "--csv" => cfg.csv = Some(parse(&arg, args.next())),
             "--parallel" => cfg.parallel = Some(parse(&arg, args.next())),
             "--site-latency-ms" => cfg.site_latency_ms = Some(parse(&arg, args.next())),
+            "--hedge" => {
+                let spec: String = parse(&arg, args.next());
+                let trigger = match spec.as_str() {
+                    "immediate" => HedgeTrigger::Immediate,
+                    "p95" | "predicted-p95-over-slo" => HedgeTrigger::PredictedP95OverSlo,
+                    other => match other.strip_prefix("deferred:") {
+                        Some(ms) => HedgeTrigger::DeferredMs(ms.parse().unwrap_or_else(|_| {
+                            eprintln!("error: bad deferred hedge delay {ms:?}");
+                            usage();
+                        })),
+                        None => {
+                            eprintln!("error: unknown hedge trigger {other:?}");
+                            usage();
+                        }
+                    },
+                };
+                cfg.hedge.get_or_insert_with(HedgeConfig::default).trigger = trigger;
+            }
+            "--hedge-clones" => {
+                cfg.hedge
+                    .get_or_insert_with(HedgeConfig::default)
+                    .max_clones = parse(&arg, args.next());
+            }
             "--out" => out = Some(parse(&arg, args.next())),
             "--router" => {
                 let name: String = parse(&arg, args.next());

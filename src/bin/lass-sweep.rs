@@ -37,7 +37,7 @@
 //! falls straight out of the table.
 
 use lass::scenario::{ChaosSpec, Scenario, ScenarioPolicy, ScenarioReport};
-use lass_simcore::{RouterKind, SampleStats};
+use lass_simcore::{HedgeConfig, HedgeTrigger, RouterKind, SampleStats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +71,13 @@ struct SweepSpec {
     /// control.
     #[serde(default)]
     report_intervals_ms: Option<Vec<f64>>,
+    /// Hedging configurations to sweep (requires a `topology` in the
+    /// base scenario). Each entry replaces `topology.hedge`; `null` is
+    /// the single-dispatch control. Example:
+    /// `[null, {"trigger": "immediate", "max_clones": 1},
+    ///   {"trigger": {"deferred_ms": 50}, "max_clones": 1}]`.
+    #[serde(default)]
+    hedges: Option<Vec<Option<HedgeConfig>>>,
     /// RNG seeds.
     #[serde(default)]
     seeds: Option<Vec<u64>>,
@@ -94,6 +101,9 @@ struct SweepRow {
     /// no `report_intervals_ms` axis (the base scenario's telemetry
     /// block, if any, applies unchanged).
     report_interval_ms: Option<f64>,
+    /// Grid point on the hedging axis (`"off"`, `"immediate x2"`, ...);
+    /// `None` when the sweep spec has no `hedges` axis.
+    hedge: Option<String>,
     rate_scale: f64,
     seed: u64,
     /// Worker threads the cell actually ran on, as recorded by the
@@ -107,11 +117,19 @@ struct SweepRow {
     slo_violations: usize,
     migrated: usize,
     failed: usize,
+    /// Hedge clones dispatched (0 with hedging off).
+    hedged: usize,
+    /// Hedge clones cancelled after a sibling won.
+    cancelled: usize,
+    /// Clones whose site finished the work after the race was already
+    /// decided — the honest cost column of the hedging tail table.
+    wasted_work: usize,
     slo_attainment: f64,
     mean_wait_ms: f64,
     p95_wait_ms: f64,
     p99_wait_ms: f64,
     p95_response_ms: f64,
+    p99_response_ms: f64,
     duration_secs: f64,
 }
 
@@ -183,6 +201,15 @@ fn main() {
         }
         None => vec![None],
     };
+    let hedges: Vec<Option<Option<HedgeConfig>>> = match spec.hedges {
+        Some(list) => {
+            if base.topology.is_none() {
+                fail("\"hedges\" requires the base scenario to have a \"topology\" block");
+            }
+            list.into_iter().map(Some).collect()
+        }
+        None => vec![None],
+    };
 
     // Build the full grid up front; each cell is an independent scenario.
     let mut grid: Vec<(Scenario, SweepRowKey)> = Vec::new();
@@ -191,38 +218,44 @@ fn main() {
             for &router in &routers {
                 for chaos in &chaos_profiles {
                     for &interval in &report_intervals {
-                        for &seed in &seeds {
-                            let mut sc = base.clone();
-                            sc.seed = seed;
-                            sc.policy = policy;
-                            for f in &mut sc.functions {
-                                f.workload = f.workload.scale_rate(scale);
+                        for &hedge in &hedges {
+                            for &seed in &seeds {
+                                let mut sc = base.clone();
+                                sc.seed = seed;
+                                sc.policy = policy;
+                                for f in &mut sc.functions {
+                                    f.workload = f.workload.scale_rate(scale);
+                                }
+                                if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
+                                    topo.router = r;
+                                }
+                                if let (Some(n), Some(topo)) =
+                                    (spec.parallel_sites, sc.topology.as_mut())
+                                {
+                                    topo.parallel_sites = Some(n);
+                                }
+                                if let (Some(ms), Some(topo)) = (interval, sc.topology.as_mut()) {
+                                    topo.telemetry.report_interval_ms = ms;
+                                }
+                                if let (Some(h), Some(topo)) = (hedge, sc.topology.as_mut()) {
+                                    topo.hedge = h;
+                                }
+                                if let Some(profile) = chaos {
+                                    sc.chaos = Some(profile.clone());
+                                }
+                                grid.push((
+                                    sc,
+                                    SweepRowKey {
+                                        policy,
+                                        router,
+                                        chaos: chaos.as_ref().map(ChaosSpec::label),
+                                        report_interval_ms: interval,
+                                        hedge: hedge.map(|h| hedge_label(&h)),
+                                        rate_scale: scale,
+                                        seed,
+                                    },
+                                ));
                             }
-                            if let (Some(r), Some(topo)) = (router, sc.topology.as_mut()) {
-                                topo.router = r;
-                            }
-                            if let (Some(n), Some(topo)) =
-                                (spec.parallel_sites, sc.topology.as_mut())
-                            {
-                                topo.parallel_sites = Some(n);
-                            }
-                            if let (Some(ms), Some(topo)) = (interval, sc.topology.as_mut()) {
-                                topo.telemetry.report_interval_ms = ms;
-                            }
-                            if let Some(profile) = chaos {
-                                sc.chaos = Some(profile.clone());
-                            }
-                            grid.push((
-                                sc,
-                                SweepRowKey {
-                                    policy,
-                                    router,
-                                    chaos: chaos.as_ref().map(ChaosSpec::label),
-                                    report_interval_ms: interval,
-                                    rate_scale: scale,
-                                    seed,
-                                },
-                            ));
                         }
                     }
                 }
@@ -252,8 +285,24 @@ struct SweepRowKey {
     router: Option<RouterKind>,
     chaos: Option<String>,
     report_interval_ms: Option<f64>,
+    hedge: Option<String>,
     rate_scale: f64,
     seed: u64,
+}
+
+/// Human-readable grid label for a hedging axis entry.
+fn hedge_label(h: &Option<HedgeConfig>) -> String {
+    match h {
+        None => "off".into(),
+        Some(cfg) => {
+            let trigger = match cfg.trigger {
+                HedgeTrigger::Immediate => "immediate".to_string(),
+                HedgeTrigger::DeferredMs(ms) => format!("deferred-{ms}ms"),
+                HedgeTrigger::PredictedP95OverSlo => "p95-over-slo".to_string(),
+            };
+            format!("{trigger} x{}", cfg.max_clones)
+        }
+    }
 }
 
 /// Run one grid cell and summarize whichever report shape it produced.
@@ -264,6 +313,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         router: key.router.map(|r| r.as_str().to_owned()),
         chaos: key.chaos.clone(),
         report_interval_ms: key.report_interval_ms,
+        hedge: key.hedge.clone(),
         rate_scale: key.rate_scale,
         seed: key.seed,
         threads: 1,
@@ -274,11 +324,15 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         slo_violations: 0,
         migrated: 0,
         failed: 0,
+        hedged: 0,
+        cancelled: 0,
+        wasted_work: 0,
         slo_attainment: 1.0,
         mean_wait_ms: 0.0,
         p95_wait_ms: 0.0,
         p99_wait_ms: 0.0,
         p95_response_ms: 0.0,
+        p99_response_ms: 0.0,
         duration_secs: 0.0,
     };
     let mut waits = SampleStats::new();
@@ -323,12 +377,15 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
                 row.lost += f.lost;
                 row.timeouts += f.timeouts;
                 row.slo_violations += f.slo_violations;
+                row.hedged += f.hedged;
+                row.cancelled += f.cancelled;
                 pool(&mut waits, &f.wait);
                 pool(&mut responses, &f.response);
             }
             for site in &rep.per_site {
                 row.migrated += site.migrated;
                 row.failed += site.failed;
+                row.wasted_work += site.wasted_work;
             }
             row.failed += rep.unroutable;
         }
@@ -343,6 +400,7 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
     row.p95_wait_ms = waits.percentile(0.95).unwrap_or(0.0) * 1e3;
     row.p99_wait_ms = waits.percentile(0.99).unwrap_or(0.0) * 1e3;
     row.p95_response_ms = responses.percentile(0.95).unwrap_or(0.0) * 1e3;
+    row.p99_response_ms = responses.percentile(0.99).unwrap_or(0.0) * 1e3;
     Ok(row)
 }
 

@@ -33,8 +33,8 @@ use lass_functions::{parse_invocations_csv, sample_window, synthesize, TracePatt
 use lass_simcore::{
     run_federation_parallel, run_simulation, ArrivalProcess, ChaosConfig, ContainerChaos,
     EngineConfig, EngineOutcome, FedFunction, FederatedReport, Federation, FunctionEntry,
-    PerMinuteTrace, PolicyCtx, ReqId, RouterKind, ScaledShapeTrace, SchedulerPolicy, SimDuration,
-    SimRng, SimTime, SiteMeta,
+    HedgeConfig, PerMinuteTrace, PolicyCtx, ReqId, RouterKind, ScaledShapeTrace, SchedulerPolicy,
+    SimDuration, SimRng, SimTime, SiteMeta,
 };
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -80,6 +80,11 @@ pub struct ReplayConfig {
     /// `None` keeps the legacy ladder (site `i` pays `2·i` ms, so site 0
     /// is the zero-latency local pool).
     pub site_latency_ms: Option<f64>,
+    /// Request hedging: race extra copies of each request across sites,
+    /// first response wins, cancels chase the losers at site latency.
+    /// `None` (the default) keeps the single-dispatch engine
+    /// byte-identical.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for ReplayConfig {
@@ -98,6 +103,7 @@ impl Default for ReplayConfig {
             window_start: 0,
             parallel: None,
             site_latency_ms: None,
+            hedge: None,
         }
     }
 }
@@ -144,6 +150,13 @@ pub struct ReplaySummary {
     pub p95_wait_ms_top_fn: f64,
     /// Completions whose wait exceeded the SLO deadline.
     pub slo_violations: usize,
+    /// Hedge clones dispatched (0 with hedging off).
+    pub hedged: usize,
+    /// Hedge clones cancelled after a sibling won the race.
+    pub cancelled: usize,
+    /// Clones whose site finished the work after the race was decided —
+    /// the wasted-work cost of hedging.
+    pub wasted_work: usize,
     /// Simulated duration, seconds (excluding drain).
     pub sim_duration_secs: f64,
     /// Wall-clock time of the engine run, seconds.
@@ -477,8 +490,11 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
             )
         })
         .collect();
-    let federation =
+    let mut federation =
         Federation::new(sites, cfg.router.build(), &workload.functions).with_streaming_stats();
+    if let Some(h) = cfg.hedge {
+        federation.set_hedge(h);
+    }
     let engine_cfg = EngineConfig {
         seed: cfg.seed,
         rng_label_prefix: String::new(),
@@ -503,6 +519,7 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
     // Aggregate the engine's cross-site per-function statistics.
     let (mut arrivals, mut completed, mut lost, mut timeouts, mut slo_violations) =
         (0usize, 0usize, 0usize, 0usize, 0usize);
+    let (mut hedged, mut cancelled) = (0usize, 0usize);
     let (mut wait_sum, mut response_sum) = (0.0f64, 0.0f64);
     let mut top: (usize, f64) = (0, 0.0); // (arrivals, p95 wait)
     for f in &mut report.aggregate_per_fn {
@@ -511,6 +528,8 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
         lost += f.lost;
         timeouts += f.timeouts;
         slo_violations += f.slo_violations;
+        hedged += f.hedged;
+        cancelled += f.cancelled;
         if let Some(mean) = f.wait.mean() {
             wait_sum += mean * f.wait.count() as f64;
         }
@@ -549,6 +568,9 @@ pub fn run_replay(cfg: &ReplayConfig) -> Result<ReplaySummary, String> {
         },
         p95_wait_ms_top_fn: top.1 * 1e3,
         slo_violations,
+        hedged,
+        cancelled,
+        wasted_work: report.wasted_work,
         sim_duration_secs: report.duration,
         wall_secs,
         sim_req_per_wall_min: if wall_minutes > 0.0 {

@@ -19,7 +19,9 @@ use lass_functions::{
     squeezenet, FunctionSpec, WorkloadSpec,
 };
 use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
-use lass_simcore::{ChaosConfig, Fault, RouterConfig, RouterKind, SimDuration, TelemetryConfig};
+use lass_simcore::{
+    ChaosConfig, Fault, HedgeConfig, RouterConfig, RouterKind, SimDuration, TelemetryConfig,
+};
 use serde::{Deserialize, Serialize};
 
 /// Cluster shape.
@@ -167,6 +169,13 @@ pub struct TopologySpec {
     /// oracle-fresh routing, byte-identical to the classic engine).
     #[serde(default)]
     pub telemetry: TelemetrySpec,
+    /// Request hedging: `{"trigger": "immediate" | {"deferred_ms": N} |
+    /// "predicted-p95-over-slo", "max_clones": N}`. The router races
+    /// extra copies of each request across sites; the first response
+    /// wins and cancels chase the losers at network latency. Omit for
+    /// the single-dispatch engine, byte-identical to pre-hedging runs.
+    #[serde(default)]
+    pub hedge: Option<HedgeConfig>,
     /// The sites, in id order.
     pub sites: Vec<SiteSpec>,
 }
@@ -194,6 +203,10 @@ pub struct TelemetrySpec {
     /// channel that survives data-plane partitions.
     #[serde(default = "default_true")]
     pub loss_under_partition: bool,
+    /// Per-snapshot loss probability independent of partitions
+    /// (background control-plane packet loss); default 0.
+    #[serde(default)]
+    pub loss_prob: f64,
 }
 
 fn default_true() -> bool {
@@ -206,6 +219,7 @@ impl Default for TelemetrySpec {
             report_interval_ms: 0.0,
             jitter_ms: 0.0,
             loss_under_partition: true,
+            loss_prob: 0.0,
         }
     }
 }
@@ -222,6 +236,7 @@ impl TelemetrySpec {
             report_interval: SimDuration::from_secs_f64(self.report_interval_ms / 1e3),
             jitter: SimDuration::from_secs_f64(self.jitter_ms / 1e3),
             loss_under_partition: self.loss_under_partition,
+            loss_prob: self.loss_prob,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -564,6 +579,7 @@ impl Scenario {
         sim.set_router(spec.router)
             .set_router_config(spec.router_config)
             .set_telemetry(spec.telemetry.to_config()?)
+            .set_hedge(spec.hedge)
             .set_policy(site_policy)
             .set_parallel(spec.parallel_sites);
         if let Some(chaos) = &self.chaos {

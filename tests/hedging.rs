@@ -1,0 +1,224 @@
+//! Hedged-request integration tests.
+//!
+//! Three families:
+//!
+//! * **First-response-wins accounting** — with immediate hedging every
+//!   resolved race dispatches clones and cancels exactly the losers;
+//!   wasted work (a cancel landing after service start) is bounded by
+//!   the cancellations it is a subset of.
+//! * **Inert-hedge transparency** — an armed hedge whose deferred
+//!   trigger lies beyond the horizon reproduces the unhedged run
+//!   byte-for-byte, the library-level twin of the CI scenario diff.
+//! * **Conservation under chaos** (property test) — the "exactly one
+//!   fate" identity holds with hedging enabled under random site
+//!   crash/partition/burst storms: clones never inflate the logical
+//!   arrival count, and every dispatched clone either wins, is
+//!   cancelled, or dies with its site before the race resolves.
+
+use lass::cluster::{Cluster, CpuMilli, MemMib, PlacementPolicy, Topology};
+use lass::core::{FederatedSimulation, FunctionSetup, LassConfig};
+use lass::functions::{micro_benchmark, WorkloadSpec};
+use lass::simcore::{ChaosConfig, Fault, HedgeConfig, HedgeTrigger, RouterKind};
+use proptest::prelude::*;
+
+fn small_cluster(nodes: u32) -> Cluster {
+    Cluster::homogeneous(
+        nodes,
+        CpuMilli(4000),
+        MemMib(16 * 1024),
+        PlacementPolicy::BestFit,
+    )
+}
+
+fn testbed_setup(rate: f64, duration: f64, initial: u32) -> FunctionSetup {
+    let mut setup = FunctionSetup::new(
+        micro_benchmark(0.1),
+        0.1,
+        WorkloadSpec::Static { rate, duration },
+    );
+    setup.initial_containers = initial;
+    setup
+}
+
+fn three_site_sim(
+    seed: u64,
+    hedge: Option<HedgeConfig>,
+    chaos: Option<ChaosConfig>,
+) -> lass::core::FederatedSimReport {
+    let mut topology = Topology::new();
+    topology.add_site("a", small_cluster(2), 0.002);
+    topology.add_site("b", small_cluster(2), 0.010);
+    topology.add_site("c", small_cluster(2), 0.030);
+    let mut sim = FederatedSimulation::new(LassConfig::default(), topology, seed);
+    sim.set_router(RouterKind::LeastLoaded);
+    sim.set_hedge(hedge);
+    if let Some(c) = chaos {
+        sim.set_chaos(c);
+    }
+    sim.add_function(testbed_setup(25.0, 30.0, 1));
+    sim.run(Some(30.0)).expect("runs")
+}
+
+/// Immediate hedging on a healthy topology: every race resolves inside
+/// the drain, so the clone ledger closes — one cancellation per clone
+/// (the winner is whichever copy answers first), wasted work only ever
+/// a subset of those cancellations, and the logical ledger (arrivals,
+/// completions) stays clone-free.
+#[test]
+fn first_response_wins_closes_the_clone_ledger() {
+    let hedged = three_site_sim(
+        11,
+        Some(HedgeConfig {
+            trigger: HedgeTrigger::Immediate,
+            max_clones: 1,
+        }),
+        None,
+    );
+    let agg = &hedged.aggregate_per_fn[0];
+    assert!(agg.hedged > 100, "hedging never fired: {}", agg.hedged);
+    assert_eq!(
+        agg.cancelled, agg.hedged,
+        "every resolved race cancels exactly its losers"
+    );
+    assert_eq!(
+        agg.arrivals,
+        agg.completed + agg.lost + agg.timeouts + hedged.outstanding,
+        "clones leaked into the logical ledger"
+    );
+    let wasted: usize = hedged.per_site.iter().map(|s| s.wasted_work).sum();
+    assert!(
+        wasted <= agg.cancelled,
+        "wasted work ({wasted}) exceeds cancellations ({})",
+        agg.cancelled
+    );
+
+    // The unhedged twin dispatches nothing and reports all-zero tallies.
+    let plain = three_site_sim(11, None, None);
+    let pagg = &plain.aggregate_per_fn[0];
+    assert_eq!((pagg.hedged, pagg.cancelled), (0, 0));
+    assert_eq!(pagg.arrivals, agg.arrivals, "workload must match");
+}
+
+/// A deferred trigger only clones requests the primary has not answered
+/// in time: with the deferral comfortably above the typical response,
+/// far fewer clones fire than under immediate hedging.
+#[test]
+fn deferred_trigger_hedges_only_the_slow_tail() {
+    let immediate = three_site_sim(
+        11,
+        Some(HedgeConfig {
+            trigger: HedgeTrigger::Immediate,
+            max_clones: 1,
+        }),
+        None,
+    );
+    let deferred = three_site_sim(
+        11,
+        Some(HedgeConfig {
+            trigger: HedgeTrigger::DeferredMs(400.0),
+            max_clones: 1,
+        }),
+        None,
+    );
+    let (i, d) = (
+        &immediate.aggregate_per_fn[0],
+        &deferred.aggregate_per_fn[0],
+    );
+    assert!(
+        d.hedged * 4 < i.hedged,
+        "a 400 ms deferral should spare most requests: {} vs {}",
+        d.hedged,
+        i.hedged
+    );
+    assert_eq!(
+        d.arrivals,
+        d.completed + d.lost + d.timeouts + deferred.outstanding
+    );
+}
+
+/// An armed hedge that can never fire inside the horizon must reproduce
+/// the unhedged run byte-for-byte: arming the machinery alone may not
+/// perturb RNG streams, the calendar, or the report.
+#[test]
+fn inert_hedge_reproduces_unhedged_run_byte_for_byte() {
+    let unhedged = three_site_sim(13, None, None);
+    let inert = three_site_sim(
+        13,
+        Some(HedgeConfig {
+            trigger: HedgeTrigger::DeferredMs(10_000_000.0),
+            max_clones: 1,
+        }),
+        None,
+    );
+    assert_eq!(
+        serde_json::to_string(&unhedged).unwrap(),
+        serde_json::to_string(&inert).unwrap(),
+        "an inert hedge drifted from the unhedged run"
+    );
+}
+
+proptest! {
+    // Every case runs a real federated simulation; keep the count
+    // modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation under a chaos storm with hedging enabled: the
+    /// logical ledger stays clone-free (arrivals = completed + lost +
+    /// timeouts + outstanding), cancellations never exceed dispatched
+    /// clones (the shortfall is clones that died with their site or
+    /// were still racing at the horizon), wasted work stays within the
+    /// cancellations it is a subset of, and migration stays symmetric.
+    #[test]
+    fn hedged_arrivals_are_conserved_under_random_faults(
+        seed in 0u64..500,
+        max_clones in 1u32..3,
+        trigger_pick in 0u8..3,
+        schedule in prop::collection::vec(
+            (1.0f64..28.0, 0u8..5, 0u32..3, 1u32..4),
+            0..8,
+        ),
+    ) {
+        let trigger = match trigger_pick {
+            0 => HedgeTrigger::Immediate,
+            1 => HedgeTrigger::DeferredMs(25.0),
+            _ => HedgeTrigger::PredictedP95OverSlo,
+        };
+        let events = schedule
+            .into_iter()
+            .map(|(at, kind, site, count)| {
+                let fault = match kind {
+                    0 => Fault::SiteDown { site },
+                    1 => Fault::SiteUp { site },
+                    2 => Fault::PartitionStart { site },
+                    3 => Fault::PartitionEnd { site },
+                    _ => Fault::ContainerBurst { site, count },
+                };
+                (at, fault)
+            })
+            .collect();
+        let chaos = ChaosConfig { events, ..ChaosConfig::default() };
+        let rep = three_site_sim(
+            seed,
+            Some(HedgeConfig { trigger, max_clones }),
+            Some(chaos),
+        );
+
+        let agg = &rep.aggregate_per_fn[0];
+        prop_assert_eq!(
+            agg.arrivals,
+            agg.completed + agg.lost + agg.timeouts + rep.outstanding,
+            "conservation broke with hedging on"
+        );
+        prop_assert!(
+            agg.cancelled <= agg.hedged,
+            "more cancellations ({}) than clones ({})",
+            agg.cancelled,
+            agg.hedged
+        );
+        let wasted: usize = rep.per_site.iter().map(|s| s.wasted_work).sum();
+        prop_assert!(wasted <= agg.cancelled);
+        let migrated_out: usize = rep.per_site.iter().map(|s| s.migrated).sum();
+        let migrated_in: usize = rep.per_site.iter().map(|s| s.migrated_in).sum();
+        prop_assert_eq!(migrated_out, migrated_in, "migration is not symmetric");
+    }
+}

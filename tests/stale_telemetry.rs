@@ -126,6 +126,7 @@ fn telemetry(interval_ms: f64, jitter_ms: f64) -> TelemetryConfig {
         report_interval: SimDuration::from_secs_f64(interval_ms / 1e3),
         jitter: SimDuration::from_secs_f64(jitter_ms / 1e3),
         loss_under_partition: true,
+        loss_prob: 0.0,
     }
 }
 
