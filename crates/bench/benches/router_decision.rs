@@ -44,6 +44,8 @@ fn make_sites(n: usize) -> Vec<SiteState> {
                 .into(),
                 flakiness: if i % 5 == 0 { rng.uniform() * 0.5 } else { 0.0 },
                 warm: (rng.uniform() * 4.0) as u64,
+                resources: lass_simcore::ResourceSnapshot::default(),
+                fits: f64::INFINITY,
             }
         })
         .collect()

@@ -10,7 +10,7 @@ use crate::container::{Container, ContainerState};
 use crate::ids::{ContainerId, FnId, NodeId};
 use crate::node::Node;
 use crate::placement::PlacementPolicy;
-use crate::resources::{CpuMilli, MemMib};
+use crate::resources::{CpuMilli, Dimension, MemMib, ResourceVec};
 use crate::RequestId;
 use lass_simcore::SimTime;
 use std::collections::BTreeMap;
@@ -129,6 +129,25 @@ impl Cluster {
         }
     }
 
+    /// A homogeneous cluster with an explicit per-node capacity vector
+    /// (bandwidth included).
+    pub fn homogeneous_vec(
+        node_count: u32,
+        capacity_per_node: ResourceVec,
+        placement: PlacementPolicy,
+    ) -> Self {
+        let nodes = (0..node_count)
+            .map(|i| Node::with_resources(NodeId(i), capacity_per_node))
+            .collect();
+        Self {
+            nodes,
+            containers: BTreeMap::new(),
+            fns: Vec::new(),
+            next_container: 0,
+            placement,
+        }
+    }
+
     /// The paper's testbed: 3 nodes × 4 vCPU × 16 GiB. Best-fit packing is
     /// used so large (e.g. 2-vCPU MobileNet) containers are not stranded
     /// by fragments of small ones.
@@ -172,10 +191,25 @@ impl Cluster {
         self.nodes.iter().map(Node::mem_capacity).sum()
     }
 
+    /// Total capacity vector across nodes.
+    pub fn total_capacity_vec(&self) -> ResourceVec {
+        self.nodes.iter().map(Node::capacity_vec).sum()
+    }
+
+    /// Total reserved vector across nodes.
+    pub fn total_used_vec(&self) -> ResourceVec {
+        self.nodes.iter().map(Node::used_vec).sum()
+    }
+
     /// Fraction of cluster CPU currently reserved (the paper's "system
     /// utilization" in §6.6/6.7).
     pub fn cpu_utilization(&self) -> f64 {
         self.total_cpu_used().ratio(self.total_cpu_capacity())
+    }
+
+    /// Fraction of cluster capacity reserved along one dimension.
+    pub fn utilization(&self, dim: Dimension) -> f64 {
+        self.total_used_vec().share(self.total_capacity_vec(), dim)
     }
 
     /// Create a standard-size container for `fn_id`, choosing a node by the
@@ -204,11 +238,33 @@ impl Cluster {
         now: SimTime,
         ready_at: SimTime,
     ) -> Result<ContainerId, ClusterError> {
-        let node_id = self
-            .placement
-            .choose(&self.nodes, cpu, mem)
-            .ok_or(ClusterError::InsufficientCapacity { cpu, mem })?;
-        self.create_container_on(fn_id, node_id, standard_cpu, cpu, mem, now, ready_at)
+        self.create_container_vec(
+            fn_id,
+            standard_cpu,
+            ResourceVec::cpu_mem(cpu, mem),
+            now,
+            ready_at,
+        )
+    }
+
+    /// Create a container from a full demand vector (`demand.cpu` is the
+    /// initial — possibly pre-deflated — allocation), choosing a node by
+    /// the cluster's placement policy over every dimension.
+    pub fn create_container_vec(
+        &mut self,
+        fn_id: FnId,
+        standard_cpu: CpuMilli,
+        demand: ResourceVec,
+        now: SimTime,
+        ready_at: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
+        let node_id = self.placement.choose_vec(&self.nodes, demand).ok_or(
+            ClusterError::InsufficientCapacity {
+                cpu: demand.cpu,
+                mem: demand.mem,
+            },
+        )?;
+        self.create_container_on_vec(fn_id, node_id, standard_cpu, demand, now, ready_at)
     }
 
     /// Create a container on a specific node (used by the OpenWhisk
@@ -223,20 +279,53 @@ impl Cluster {
         now: SimTime,
         ready_at: SimTime,
     ) -> Result<ContainerId, ClusterError> {
+        self.create_container_on_vec(
+            fn_id,
+            node_id,
+            standard_cpu,
+            ResourceVec::cpu_mem(cpu, mem),
+            now,
+            ready_at,
+        )
+    }
+
+    /// Create a container with a full demand vector on a specific node.
+    pub fn create_container_on_vec(
+        &mut self,
+        fn_id: FnId,
+        node_id: NodeId,
+        standard_cpu: CpuMilli,
+        demand: ResourceVec,
+        now: SimTime,
+        ready_at: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
         let node = &mut self.nodes[node_id.0 as usize];
-        if !node.can_fit(cpu, mem) {
-            return Err(ClusterError::InsufficientCapacity { cpu, mem });
+        if !node.can_fit_vec(demand) {
+            return Err(ClusterError::InsufficientCapacity {
+                cpu: demand.cpu,
+                mem: demand.mem,
+            });
         }
-        node.reserve(cpu, mem);
+        node.reserve_vec(demand);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
-        let ctr = Container::new(id, fn_id, node_id, standard_cpu, cpu, mem, now, ready_at);
+        let mut ctr = Container::new(
+            id,
+            fn_id,
+            node_id,
+            standard_cpu,
+            demand.cpu,
+            demand.mem,
+            now,
+            ready_at,
+        );
+        ctr.set_bandwidth(demand.bandwidth);
         self.containers.insert(id, ctr);
         let entry = self.fn_entry_mut(fn_id);
         entry.containers.push(id);
         entry.slots.push(WrrSlot {
             cid: id,
-            weight: wrr_weight(cpu),
+            weight: wrr_weight(demand.cpu),
             idle: false, // cold-starting until marked ready
             warm: false,
         });
@@ -256,7 +345,7 @@ impl Cluster {
             .ok_or(ClusterError::NoSuchContainer(cid))?;
         let orphans = ctr.terminate(now);
         let node = &mut self.nodes[ctr.node().0 as usize];
-        node.release(ctr.cpu(), ctr.mem());
+        node.release_vec(ctr.demand());
         if let Some(e) = self.fns.get_mut(ctr.fn_id().0 as usize) {
             e.containers.retain(|&c| c != cid);
             if let Some(pos) = e.slots.iter().position(|s| s.cid == cid) {
@@ -461,34 +550,38 @@ impl Cluster {
     }
 
     /// Verify capacity bookkeeping: each node's reserved resources must
-    /// equal the sum of its resident containers. Panics on violation;
-    /// intended for tests and debug builds.
+    /// equal the sum of its resident containers **on every dimension**
+    /// (cpu, mem, bandwidth), and allocated + free must re-compose the
+    /// capacity vector. Panics on violation; intended for tests and
+    /// debug builds.
     pub fn check_invariants(&self) {
         for node in &self.nodes {
-            let (mut cpu, mut mem, mut count) = (CpuMilli::ZERO, MemMib::ZERO, 0u32);
+            let mut used = ResourceVec::ZERO;
+            let mut count = 0u32;
             for ctr in self.containers.values() {
                 if ctr.node() == node.id() {
                     assert!(
                         ctr.state() != ContainerState::Terminated,
                         "terminated container retained in cluster"
                     );
-                    cpu += ctr.cpu();
-                    mem += ctr.mem();
+                    used += ctr.demand();
                     count += 1;
                 }
             }
-            assert_eq!(
-                node.cpu_used(),
-                cpu,
-                "cpu accounting drift on {}",
-                node.id()
-            );
-            assert_eq!(
-                node.mem_used(),
-                mem,
-                "mem accounting drift on {}",
-                node.id()
-            );
+            for dim in Dimension::ALL {
+                assert_eq!(
+                    node.used_vec().get(dim),
+                    used.get(dim),
+                    "{dim} accounting drift on {}",
+                    node.id()
+                );
+                assert_eq!(
+                    node.used_vec().get(dim) + node.free_vec().get(dim),
+                    node.capacity_vec().get(dim),
+                    "{dim} allocated+free != capacity on {}",
+                    node.id()
+                );
+            }
             assert_eq!(
                 node.container_count(),
                 count,

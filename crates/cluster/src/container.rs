@@ -7,7 +7,7 @@
 //! containers precisely because Kubernetes cannot resize in place).
 
 use crate::ids::{ContainerId, FnId, NodeId, RequestId};
-use crate::resources::{CpuMilli, MemMib};
+use crate::resources::{BwMbps, CpuMilli, MemMib, ResourceVec};
 use lass_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -39,6 +39,9 @@ pub struct Container {
     /// Current allocation after any deflation (≤ standard).
     cpu: CpuMilli,
     mem: MemMib,
+    /// Network bandwidth reservation (zero for the historical cpu-only
+    /// demand shape; never deflated).
+    bandwidth: BwMbps,
     state: ContainerState,
     /// The request currently in service, if `Busy`.
     in_service: Option<RequestId>,
@@ -79,6 +82,7 @@ impl Container {
             standard_cpu,
             cpu,
             mem,
+            bandwidth: BwMbps::ZERO,
             state: ContainerState::Starting { ready_at },
             in_service: None,
             queue: VecDeque::new(),
@@ -117,6 +121,24 @@ impl Container {
     /// Memory allocation (never deflated; §5 implements CPU deflation only).
     pub fn mem(&self) -> MemMib {
         self.mem
+    }
+
+    /// Bandwidth reservation.
+    pub fn bandwidth(&self) -> BwMbps {
+        self.bandwidth
+    }
+
+    /// Set the bandwidth reservation at creation time. Crate-private:
+    /// the cluster assigns it before the node reservation is taken, so
+    /// the two always agree.
+    pub(crate) fn set_bandwidth(&mut self, bandwidth: BwMbps) {
+        self.bandwidth = bandwidth;
+    }
+
+    /// The container's current demand vector — what its node reservation
+    /// holds: the (possibly deflated) CPU, the memory, the bandwidth.
+    pub fn demand(&self) -> ResourceVec {
+        ResourceVec::new(self.cpu, self.mem, self.bandwidth)
     }
 
     /// Current state.

@@ -24,7 +24,7 @@ pub mod topology;
 pub use cluster::{Cluster, ClusterError, Termination, WrrSlot};
 pub use container::{Container, ContainerState};
 pub use ids::{ContainerId, FnId, FnInterner, NodeId, RequestId, UserId};
-pub use node::Node;
-pub use placement::PlacementPolicy;
-pub use resources::{CpuMilli, MemMib};
+pub use node::{Node, DEFAULT_NODE_BW};
+pub use placement::{plan_batch, PlacementPolicy};
+pub use resources::{BwMbps, CpuMilli, Dimension, MemMib, ResourceVec};
 pub use topology::{Site, SiteId, Topology};

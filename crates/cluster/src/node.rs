@@ -1,34 +1,48 @@
 //! Worker nodes.
 //!
-//! A node is a bundle of CPU and memory capacity on which containers are
-//! placed. The node tracks *reservations* (what containers are entitled
-//! to), which is what LaSS's capacity planning and fair sharing reason
-//! about; instantaneous busy/idle state lives with the containers.
+//! A node is a bundle of CPU, memory, and network-bandwidth capacity on
+//! which containers are placed. The node tracks *reservations* (what
+//! containers are entitled to), which is what LaSS's capacity planning
+//! and fair sharing reason about; instantaneous busy/idle state lives
+//! with the containers. Accounting is an exact integer [`ResourceVec`]
+//! on every dimension — the cpu-only entry points are preserved as
+//! zero-bandwidth wrappers.
 
 use crate::ids::NodeId;
-use crate::resources::{CpuMilli, MemMib};
+use crate::resources::{BwMbps, CpuMilli, Dimension, MemMib, ResourceVec};
 use serde::{Deserialize, Serialize};
+
+/// Bandwidth capacity assumed for nodes built through the historical
+/// cpu+mem constructor: a 100 Gbps NIC. Generous enough that the
+/// defaulted zero-bandwidth demands never bind on it, which is what
+/// keeps pre-vector scenarios byte-identical.
+pub const DEFAULT_NODE_BW: BwMbps = BwMbps(100_000);
 
 /// A worker node.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Node {
     id: NodeId,
-    cpu_capacity: CpuMilli,
-    mem_capacity: MemMib,
-    cpu_used: CpuMilli,
-    mem_used: MemMib,
+    capacity: ResourceVec,
+    used: ResourceVec,
     containers: u32,
 }
 
 impl Node {
-    /// A node with the given capacities.
+    /// A node with the given CPU/memory capacities and the default
+    /// bandwidth ([`DEFAULT_NODE_BW`]).
     pub fn new(id: NodeId, cpu_capacity: CpuMilli, mem_capacity: MemMib) -> Self {
+        Self::with_resources(
+            id,
+            ResourceVec::new(cpu_capacity, mem_capacity, DEFAULT_NODE_BW),
+        )
+    }
+
+    /// A node with an explicit capacity vector.
+    pub fn with_resources(id: NodeId, capacity: ResourceVec) -> Self {
         Self {
             id,
-            cpu_capacity,
-            mem_capacity,
-            cpu_used: CpuMilli::ZERO,
-            mem_used: MemMib::ZERO,
+            capacity,
+            used: ResourceVec::ZERO,
             containers: 0,
         }
     }
@@ -38,34 +52,59 @@ impl Node {
         self.id
     }
 
+    /// Total capacity vector.
+    pub fn capacity_vec(&self) -> ResourceVec {
+        self.capacity
+    }
+
+    /// Reserved vector.
+    pub fn used_vec(&self) -> ResourceVec {
+        self.used
+    }
+
+    /// Unreserved vector.
+    pub fn free_vec(&self) -> ResourceVec {
+        self.capacity.saturating_sub(self.used)
+    }
+
     /// Total CPU capacity.
     pub fn cpu_capacity(&self) -> CpuMilli {
-        self.cpu_capacity
+        self.capacity.cpu
     }
 
     /// Total memory capacity.
     pub fn mem_capacity(&self) -> MemMib {
-        self.mem_capacity
+        self.capacity.mem
+    }
+
+    /// Total bandwidth capacity.
+    pub fn bw_capacity(&self) -> BwMbps {
+        self.capacity.bandwidth
     }
 
     /// Reserved CPU.
     pub fn cpu_used(&self) -> CpuMilli {
-        self.cpu_used
+        self.used.cpu
     }
 
     /// Reserved memory.
     pub fn mem_used(&self) -> MemMib {
-        self.mem_used
+        self.used.mem
+    }
+
+    /// Reserved bandwidth.
+    pub fn bw_used(&self) -> BwMbps {
+        self.used.bandwidth
     }
 
     /// Unreserved CPU.
     pub fn cpu_free(&self) -> CpuMilli {
-        self.cpu_capacity.saturating_sub(self.cpu_used)
+        self.capacity.cpu.saturating_sub(self.used.cpu)
     }
 
     /// Unreserved memory.
     pub fn mem_free(&self) -> MemMib {
-        self.mem_capacity.saturating_sub(self.mem_used)
+        self.capacity.mem.saturating_sub(self.used.mem)
     }
 
     /// Number of resident containers.
@@ -73,28 +112,42 @@ impl Node {
         self.containers
     }
 
-    /// Whether a `(cpu, mem)` reservation fits.
+    /// Whether a `(cpu, mem)` reservation fits (zero bandwidth).
     pub fn can_fit(&self, cpu: CpuMilli, mem: MemMib) -> bool {
-        cpu <= self.cpu_free() && mem <= self.mem_free()
+        self.can_fit_vec(ResourceVec::cpu_mem(cpu, mem))
+    }
+
+    /// Whether a demand vector fits on every dimension.
+    pub fn can_fit_vec(&self, demand: ResourceVec) -> bool {
+        demand.fits_in(self.free_vec())
     }
 
     /// Reserve resources for a new container. Panics if it does not fit —
     /// callers must check `can_fit` (placement does).
     pub fn reserve(&mut self, cpu: CpuMilli, mem: MemMib) {
-        assert!(self.can_fit(cpu, mem), "reservation exceeds node capacity");
-        self.cpu_used += cpu;
-        self.mem_used += mem;
+        self.reserve_vec(ResourceVec::cpu_mem(cpu, mem));
+    }
+
+    /// Reserve a demand vector for a new container. Panics if it does
+    /// not fit on some dimension.
+    pub fn reserve_vec(&mut self, demand: ResourceVec) {
+        assert!(
+            self.can_fit_vec(demand),
+            "reservation exceeds node capacity"
+        );
+        self.used += demand;
         self.containers += 1;
     }
 
     /// Release a container's resources.
     pub fn release(&mut self, cpu: CpuMilli, mem: MemMib) {
-        assert!(
-            cpu <= self.cpu_used && mem <= self.mem_used,
-            "release underflow"
-        );
-        self.cpu_used -= cpu;
-        self.mem_used -= mem;
+        self.release_vec(ResourceVec::cpu_mem(cpu, mem));
+    }
+
+    /// Release a container's demand vector.
+    pub fn release_vec(&mut self, demand: ResourceVec) {
+        assert!(demand.fits_in(self.used), "release underflow");
+        self.used -= demand;
         assert!(self.containers > 0, "release with no containers");
         self.containers -= 1;
     }
@@ -106,15 +159,20 @@ impl Node {
         if new > old {
             let grow = new - old;
             assert!(grow <= self.cpu_free(), "inflation exceeds node capacity");
-            self.cpu_used += grow;
+            self.used.cpu += grow;
         } else {
-            self.cpu_used -= old - new;
+            self.used.cpu -= old - new;
         }
     }
 
     /// Fraction of CPU capacity reserved.
     pub fn cpu_utilization(&self) -> f64 {
-        self.cpu_used.ratio(self.cpu_capacity)
+        self.used.cpu.ratio(self.capacity.cpu)
+    }
+
+    /// Fraction of capacity reserved along one dimension.
+    pub fn utilization(&self, dim: Dimension) -> f64 {
+        self.used.share(self.capacity, dim)
     }
 }
 
@@ -173,5 +231,32 @@ mod tests {
         n.reserve(CpuMilli(100), MemMib(16384));
         assert!(!n.can_fit(CpuMilli(100), MemMib(1)));
         assert!(n.cpu_free() > CpuMilli::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_constraint_blocks_vector_fit() {
+        let mut n = Node::with_resources(
+            NodeId(1),
+            ResourceVec::new(CpuMilli(4000), MemMib(16384), BwMbps(1000)),
+        );
+        let io = ResourceVec::new(CpuMilli(100), MemMib(64), BwMbps(800));
+        assert!(n.can_fit_vec(io));
+        n.reserve_vec(io);
+        assert_eq!(n.bw_used(), BwMbps(800));
+        assert!(!n.can_fit_vec(io), "second copy exceeds the NIC");
+        assert!(n.can_fit(CpuMilli(100), MemMib(64)), "cpu+mem still fit");
+        assert!((n.utilization(Dimension::Bandwidth) - 0.8).abs() < 1e-12);
+        n.release_vec(io);
+        assert_eq!(n.used_vec(), ResourceVec::ZERO);
+    }
+
+    #[test]
+    fn legacy_constructor_gets_default_nic() {
+        let n = node();
+        assert_eq!(n.bw_capacity(), DEFAULT_NODE_BW);
+        assert_eq!(
+            n.capacity_vec(),
+            ResourceVec::new(CpuMilli(4000), MemMib(16384), DEFAULT_NODE_BW)
+        );
     }
 }

@@ -6,9 +6,16 @@
 //! all three classic heuristics are provided; LaSS defaults to worst-fit
 //! (spread for headroom), while the OpenWhisk baseline uses its own
 //! sharding scheme in `lass-openwhisk`.
+//!
+//! With multi-dimensional demands ([`ResourceVec`]) the classic policies
+//! still rank on free CPU (their historical behavior — a zero-bandwidth
+//! demand places identically to the old cpu+mem path), while
+//! [`PlacementPolicy::VectorBestFit`] ranks on the *dominant share* of
+//! the post-placement free vector, and [`plan_batch`] runs best-fit-
+//! decreasing vector bin-packing over a whole batch of demands.
 
 use crate::node::Node;
-use crate::resources::{CpuMilli, MemMib};
+use crate::resources::{CpuMilli, MemMib, ResourceVec};
 use crate::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -24,12 +31,25 @@ pub enum PlacementPolicy {
     BestFit,
     /// Fitting node with the most free CPU (spread for load headroom).
     WorstFit,
+    /// Fitting node that minimizes the dominant share of the remaining
+    /// free vector — best fit in vector terms, so a memory-heavy demand
+    /// packs against memory fragments and an io-heavy one against NIC
+    /// fragments instead of everything ranking on CPU.
+    VectorBestFit,
 }
 
 impl PlacementPolicy {
     /// Choose a node for a `(cpu, mem)` reservation; `None` if nothing fits.
     pub fn choose(self, nodes: &[Node], cpu: CpuMilli, mem: MemMib) -> Option<NodeId> {
-        let fitting = nodes.iter().filter(|n| n.can_fit(cpu, mem));
+        self.choose_vec(nodes, ResourceVec::cpu_mem(cpu, mem))
+    }
+
+    /// Choose a node for a full demand vector; `None` if nothing fits on
+    /// every dimension. For the classic policies this ranks exactly as
+    /// the historical cpu+mem path did (free CPU), so defaulted
+    /// zero-bandwidth demands place byte-identically.
+    pub fn choose_vec(self, nodes: &[Node], demand: ResourceVec) -> Option<NodeId> {
+        let fitting = nodes.iter().filter(|n| n.can_fit_vec(demand));
         match self {
             PlacementPolicy::FirstFit => fitting.min_by_key(|n| n.id()).map(|n| n.id()),
             PlacementPolicy::BestFit => fitting
@@ -38,13 +58,51 @@ impl PlacementPolicy {
             PlacementPolicy::WorstFit => fitting
                 .max_by_key(|n| (n.cpu_free(), std::cmp::Reverse(n.id())))
                 .map(|n| n.id()),
+            PlacementPolicy::VectorBestFit => fitting
+                .map(|n| {
+                    let left = n.free_vec() - demand;
+                    (left.dominant_share(n.capacity_vec()), n.id())
+                })
+                .min_by(|(a, ai), (b, bi)| a.total_cmp(b).then(ai.cmp(bi)))
+                .map(|(_, id)| id),
         }
     }
+}
+
+/// Best-fit-decreasing vector bin-packing: place a whole batch of
+/// demands, biggest dominant share first, each on the node the policy
+/// picks against a scratch copy of the free vectors. Returns the chosen
+/// node per demand **in the original demand order**, or `None` if some
+/// demand cannot be placed (nothing is partially committed — callers
+/// either apply the whole plan or fall back).
+pub fn plan_batch(
+    policy: PlacementPolicy,
+    nodes: &[Node],
+    demands: &[ResourceVec],
+) -> Option<Vec<NodeId>> {
+    let mut scratch: Vec<Node> = nodes.to_vec();
+    // Decreasing dominant share against the *total* capacity — the batch
+    // ordering heuristic; ties keep submission order (stable sort).
+    let total: ResourceVec = nodes.iter().map(Node::capacity_vec).sum();
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| {
+        demands[b]
+            .dominant_share(total)
+            .total_cmp(&demands[a].dominant_share(total))
+    });
+    let mut out = vec![NodeId(0); demands.len()];
+    for i in order {
+        let node_id = policy.choose_vec(&scratch, demands[i])?;
+        scratch[node_id.0 as usize].reserve_vec(demands[i]);
+        out[i] = node_id;
+    }
+    Some(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resources::BwMbps;
 
     fn nodes() -> Vec<Node> {
         let mut a = Node::new(NodeId(0), CpuMilli(4000), MemMib(16384));
@@ -98,6 +156,7 @@ mod tests {
             PlacementPolicy::FirstFit,
             PlacementPolicy::BestFit,
             PlacementPolicy::WorstFit,
+            PlacementPolicy::VectorBestFit,
         ] {
             assert_eq!(p.choose(&ns, CpuMilli(4500), MemMib(256)), None);
             assert_eq!(p.choose(&ns, CpuMilli(100), MemMib(20000)), None);
@@ -118,5 +177,95 @@ mod tests {
             PlacementPolicy::BestFit.choose(&ns, CpuMilli(100), MemMib(1)),
             Some(NodeId(0))
         );
+        assert_eq!(
+            PlacementPolicy::VectorBestFit
+                .choose_vec(&ns, ResourceVec::cpu_mem(CpuMilli(100), MemMib(1))),
+            Some(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn vector_best_fit_ranks_on_the_binding_dimension() {
+        // Node 0 has lots of CPU but a memory fragment; node 1 the
+        // reverse. A memory-heavy demand should pack onto node 0's
+        // fragment under VectorBestFit (tightest post-placement free
+        // dominant share), where CPU-ranked BestFit would pick node 1.
+        let mut a = Node::with_resources(
+            NodeId(0),
+            ResourceVec::new(CpuMilli(4000), MemMib(4096), BwMbps(10_000)),
+        );
+        let b = Node::with_resources(
+            NodeId(1),
+            ResourceVec::new(CpuMilli(4000), MemMib(4096), BwMbps(10_000)),
+        );
+        a.reserve_vec(ResourceVec::cpu_mem(CpuMilli(100), MemMib(3000)));
+        let ns = vec![a, b];
+        let demand = ResourceVec::cpu_mem(CpuMilli(200), MemMib(1000));
+        assert_eq!(
+            PlacementPolicy::VectorBestFit.choose_vec(&ns, demand),
+            Some(NodeId(0)),
+            "memory fragment on node 0 is the tightest vector fit"
+        );
+        assert_eq!(
+            PlacementPolicy::BestFit.choose_vec(&ns, demand),
+            Some(NodeId(0)),
+            "cpu ranking also lands on node 0 here (least cpu free)"
+        );
+        // An io demand binds on bandwidth: the node with the NIC
+        // fragment is the tighter vector fit even with equal CPU.
+        let mut c = Node::with_resources(
+            NodeId(0),
+            ResourceVec::new(CpuMilli(4000), MemMib(4096), BwMbps(1000)),
+        );
+        let d = Node::with_resources(
+            NodeId(1),
+            ResourceVec::new(CpuMilli(4000), MemMib(4096), BwMbps(10_000)),
+        );
+        c.reserve_vec(ResourceVec::new(CpuMilli(100), MemMib(64), BwMbps(500)));
+        let ns = vec![c, d];
+        let io = ResourceVec::new(CpuMilli(200), MemMib(128), BwMbps(400));
+        assert_eq!(
+            PlacementPolicy::VectorBestFit.choose_vec(&ns, io),
+            Some(NodeId(0)),
+            "NIC fragment is consumed before the big NIC is broken"
+        );
+    }
+
+    #[test]
+    fn plan_batch_places_big_dominant_shares_first() {
+        let ns = vec![
+            Node::with_resources(
+                NodeId(0),
+                ResourceVec::new(CpuMilli(4000), MemMib(4096), BwMbps(10_000)),
+            ),
+            Node::with_resources(
+                NodeId(1),
+                ResourceVec::new(CpuMilli(4000), MemMib(4096), BwMbps(10_000)),
+            ),
+        ];
+        // Two big memory demands and two small ones: BFD must not
+        // strand a big one behind small fragments.
+        let demands = vec![
+            ResourceVec::cpu_mem(CpuMilli(100), MemMib(1000)),
+            ResourceVec::cpu_mem(CpuMilli(100), MemMib(3000)),
+            ResourceVec::cpu_mem(CpuMilli(100), MemMib(1000)),
+            ResourceVec::cpu_mem(CpuMilli(100), MemMib(3000)),
+        ];
+        let plan = plan_batch(PlacementPolicy::VectorBestFit, &ns, &demands).expect("batch fits");
+        assert_eq!(plan.len(), 4);
+        // Per-node totals must respect capacity.
+        let mut used = [ResourceVec::ZERO; 2];
+        for (d, n) in demands.iter().zip(&plan) {
+            used[n.0 as usize] += *d;
+        }
+        for (i, u) in used.iter().enumerate() {
+            assert!(u.fits_in(ns[i].capacity_vec()), "node {i} over-packed: {u}");
+        }
+        // The two 3000-MiB demands must land on different nodes (one
+        // per node — 6000 MiB would not fit together).
+        assert_ne!(plan[1], plan[3]);
+        // An unsatisfiable batch yields None, not a partial plan.
+        let demands = vec![ResourceVec::cpu_mem(CpuMilli(100), MemMib(5000))];
+        assert!(plan_batch(PlacementPolicy::VectorBestFit, &ns, &demands).is_none());
     }
 }

@@ -5,21 +5,46 @@
 //! lifecycle/resize sequences.
 
 use lass_cluster::{
-    Cluster, ClusterError, ContainerId, ContainerState, CpuMilli, FnId, MemMib, PlacementPolicy,
-    RequestId,
+    BwMbps, Cluster, ClusterError, ContainerId, ContainerState, CpuMilli, Dimension, FnId, MemMib,
+    PlacementPolicy, RequestId, ResourceVec,
 };
 use lass_simcore::SimTime;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Create { fn_id: u32, cpu: u32, mem: u32 },
-    Terminate { idx: usize },
-    Resize { idx: usize, ratio: f64 },
-    Reinflate { idx: usize },
-    Ready { idx: usize },
-    Serve { idx: usize },
-    Finish { idx: usize },
+    Create {
+        fn_id: u32,
+        cpu: u32,
+        mem: u32,
+    },
+    /// Vector create: a full three-dimensional demand (io-class shapes
+    /// carry bandwidth, memory-class shapes skew toward `mem`).
+    CreateVec {
+        fn_id: u32,
+        cpu: u32,
+        mem: u32,
+        bw: u32,
+    },
+    Terminate {
+        idx: usize,
+    },
+    Resize {
+        idx: usize,
+        ratio: f64,
+    },
+    Reinflate {
+        idx: usize,
+    },
+    Ready {
+        idx: usize,
+    },
+    Serve {
+        idx: usize,
+    },
+    Finish {
+        idx: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -53,6 +78,19 @@ fn apply_op(
     match op {
         Op::Create { fn_id, cpu, mem } => {
             match cluster.create_container(FnId(fn_id), CpuMilli(cpu), MemMib(mem), now, now) {
+                Ok(cid) => live.push(cid),
+                Err(ClusterError::InsufficientCapacity { .. }) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        Op::CreateVec {
+            fn_id,
+            cpu,
+            mem,
+            bw,
+        } => {
+            let demand = ResourceVec::new(CpuMilli(cpu), MemMib(mem), BwMbps(bw));
+            match cluster.create_container_vec(FnId(fn_id), CpuMilli(cpu), demand, now, now) {
                 Ok(cid) => live.push(cid),
                 Err(ClusterError::InsufficientCapacity { .. }) => {}
                 Err(e) => panic!("unexpected error: {e}"),
@@ -110,6 +148,23 @@ fn apply_op(
             }
         }
     }
+}
+
+/// The vector-era operation mix: everything the legacy mix exercises
+/// plus three-dimensional creates, so the bandwidth axis sees the same
+/// interleavings the cpu/mem axes always have.
+fn vec_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        op_strategy(),
+        (0u32..4, 100u32..2500, 64u32..2048, 0u32..600).prop_map(|(fn_id, cpu, mem, bw)| {
+            Op::CreateVec {
+                fn_id,
+                cpu,
+                mem,
+                bw,
+            }
+        }),
+    ]
 }
 
 /// Weighted candidates: (container, WRR weight) pairs.
@@ -235,6 +290,105 @@ proptest! {
                 prop_assert_eq!(cluster.fn_warm_count(f), warm_walk, "warm census drift");
             }
             cluster.check_invariants();
+        }
+    }
+
+    /// Per-dimension conservation under the full container lifecycle —
+    /// including chaos-style kills: `Op::Terminate` removes a container
+    /// in *any* state (busy included), which is exactly what the chaos
+    /// layer's container-crash fault does. After every operation,
+    /// allocated + free must equal capacity in **every** dimension, on
+    /// every node (via `check_invariants`) and in aggregate, and a full
+    /// tear-down must return every dimension to zero.
+    #[test]
+    fn vector_accounting_conserves_every_dimension(
+        ops in prop::collection::vec(vec_op_strategy(), 1..120),
+        policy in prop_oneof![
+            Just(PlacementPolicy::FirstFit),
+            Just(PlacementPolicy::BestFit),
+            Just(PlacementPolicy::WorstFit),
+            Just(PlacementPolicy::VectorBestFit),
+        ],
+    ) {
+        let cap = ResourceVec::new(CpuMilli(4000), MemMib(8192), BwMbps(2000));
+        let mut cluster = Cluster::homogeneous_vec(3, cap, policy);
+        let mut live: Vec<ContainerId> = Vec::new();
+        let mut next_rid = 0u64;
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            apply_op(&mut cluster, &mut live, &mut next_rid, op, now);
+            cluster.check_invariants();
+            let used = cluster.total_used_vec();
+            let capacity = cluster.total_capacity_vec();
+            let mut free = ResourceVec::ZERO;
+            for node in cluster.nodes() {
+                free += node.free_vec();
+            }
+            for dim in Dimension::ALL {
+                prop_assert!(used.get(dim) <= capacity.get(dim), "{} over capacity", dim);
+                prop_assert_eq!(
+                    used.get(dim) + free.get(dim),
+                    capacity.get(dim),
+                    "{} allocated+free != capacity",
+                    dim
+                );
+            }
+        }
+        for cid in live {
+            cluster.terminate_container(cid, SimTime::from_secs(t + 1)).expect("live");
+        }
+        cluster.check_invariants();
+        prop_assert_eq!(cluster.total_used_vec(), ResourceVec::ZERO);
+        prop_assert_eq!(cluster.container_count(), 0);
+    }
+
+    /// A cpu/mem-only create is *defined* as a vector create whose
+    /// bandwidth demand is zero: replaying the same operation sequence
+    /// through `create_container` and through `create_container_vec` +
+    /// a zero-bandwidth vector must produce identical clusters — same
+    /// container ids on the same nodes, same per-node used/free vectors
+    /// in every dimension, after every operation.
+    #[test]
+    fn defaulted_vector_create_matches_legacy(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        policy in prop_oneof![
+            Just(PlacementPolicy::FirstFit),
+            Just(PlacementPolicy::BestFit),
+            Just(PlacementPolicy::WorstFit),
+        ],
+    ) {
+        let mut legacy =
+            Cluster::homogeneous(3, CpuMilli(4000), MemMib(8192), policy);
+        let mut vector =
+            Cluster::homogeneous(3, CpuMilli(4000), MemMib(8192), policy);
+        let (mut live_l, mut live_v): (Vec<ContainerId>, Vec<ContainerId>) =
+            (Vec::new(), Vec::new());
+        let (mut rid_l, mut rid_v) = (0u64, 0u64);
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            let twin = match op {
+                Op::Create { fn_id, cpu, mem } => Op::CreateVec { fn_id, cpu, mem, bw: 0 },
+                ref other => other.clone(),
+            };
+            apply_op(&mut legacy, &mut live_l, &mut rid_l, op, now);
+            apply_op(&mut vector, &mut live_v, &mut rid_v, twin, now);
+            prop_assert_eq!(&live_l, &live_v, "container id stream diverged");
+            for (a, b) in legacy.nodes().iter().zip(vector.nodes()) {
+                prop_assert_eq!(a.used_vec(), b.used_vec());
+                prop_assert_eq!(a.free_vec(), b.free_vec());
+                prop_assert_eq!(a.container_count(), b.container_count());
+            }
+            for &cid in &live_l {
+                prop_assert_eq!(
+                    legacy.container(cid).expect("live").node(),
+                    vector.container(cid).expect("live").node(),
+                    "placement diverged"
+                );
+            }
         }
     }
 

@@ -385,13 +385,19 @@ impl LassController {
                     let rec = self.registry.get(fn_id);
                     let cold = rec.map_or(SimDuration::from_millis(500), |r| r.spec.cold_start);
                     let standard = rec.map_or(cpu, |r| r.spec.standard_cpu).max(cpu);
+                    // Class-shaped demand vector: compute/memory classes
+                    // reserve no bandwidth, so legacy specs place exactly
+                    // as before.
+                    let demand = rec.map_or_else(
+                        || lass_cluster::ResourceVec::cpu_mem(cpu, mem),
+                        |r| r.spec.class.demand(cpu, mem),
+                    );
                     let ready = now + cold;
                     // Bounded retry: each make_room call either frees
                     // capacity or returns false.
                     let mut attempts = cluster.container_count() + 4;
                     loop {
-                        match cluster.create_container_sized(fn_id, standard, cpu, mem, now, ready)
-                        {
+                        match cluster.create_container_vec(fn_id, standard, demand, now, ready) {
                             Ok(cid) => {
                                 out.created.push((cid, ready));
                                 break;

@@ -64,6 +64,7 @@ pub struct FederatedSimulation {
     policy: SitePolicyKind,
     chaos: ChaosConfig,
     parallel: Option<usize>,
+    multidim: Option<bool>,
     setups: Vec<FunctionSetup>,
 }
 
@@ -84,6 +85,7 @@ impl FederatedSimulation {
             policy: SitePolicyKind::default(),
             chaos: ChaosConfig::default(),
             parallel: None,
+            multidim: None,
             setups: Vec::new(),
         }
     }
@@ -163,6 +165,16 @@ impl FederatedSimulation {
         self
     }
 
+    /// Force multi-dimensional resource telemetry on or off. The
+    /// default (unset) derives it: vector snapshots flow whenever any
+    /// deployed function declares a non-compute workload class or the
+    /// front-end router is the vector-aware `planner`. Off keeps sites
+    /// reporting the legacy cpu-only shape byte-for-byte.
+    pub fn set_multidim(&mut self, on: bool) -> &mut Self {
+        self.multidim = Some(on);
+        self
+    }
+
     /// Deploy a function on every site; returns its id (assigned in
     /// registration order). `initial_containers` are provisioned
     /// per-site.
@@ -226,9 +238,17 @@ impl FederatedSimulation {
         let fed_functions: Vec<FedFunction> = self
             .setups
             .iter()
-            .map(|s| FedFunction {
-                name: s.spec.name.clone(),
-                slo_deadline: s.slo_deadline,
+            .map(|s| {
+                let d = s.spec.standard_demand();
+                FedFunction {
+                    name: s.spec.name.clone(),
+                    slo_deadline: s.slo_deadline,
+                    demand: [
+                        f64::from(d.cpu.0),
+                        f64::from(d.mem.0),
+                        f64::from(d.bandwidth.0),
+                    ],
+                }
             })
             .collect();
         let metas: Vec<SiteMeta> = self
@@ -250,6 +270,16 @@ impl FederatedSimulation {
             .into_iter()
             .map(|s| s.cluster)
             .collect();
+        // Vector telemetry is opt-in by shape: any non-compute class or
+        // the planner router flips sites to multi-dimensional
+        // reporting; everything else keeps the legacy cpu-only shape.
+        let multidim = self.multidim.unwrap_or_else(|| {
+            self.router == RouterKind::Planner
+                || self
+                    .setups
+                    .iter()
+                    .any(|s| s.spec.class != lass_functions::WorkloadClass::Compute)
+        });
         let router = self.router.build_with(&self.router_cfg);
         let router_cfg = self.router_cfg;
         let telemetry = self.telemetry;
@@ -313,6 +343,7 @@ impl FederatedSimulation {
                     telemetry,
                     reconciler_target,
                     hedge,
+                    multidim,
                     metas,
                     build,
                     router,
@@ -334,6 +365,7 @@ impl FederatedSimulation {
                     telemetry,
                     reconciler_target,
                     hedge,
+                    multidim,
                     metas,
                     build,
                     router,
@@ -355,6 +387,7 @@ impl FederatedSimulation {
                     telemetry,
                     reconciler_target,
                     hedge,
+                    multidim,
                     metas,
                     build,
                     router,
@@ -381,6 +414,7 @@ fn launch<P, F>(
     telemetry: TelemetryConfig,
     reconciler_target: Option<f64>,
     hedge: Option<HedgeConfig>,
+    multidim: bool,
     metas: Vec<SiteMeta>,
     mut build: F,
     router: Box<dyn lass_simcore::RouterPolicy + Send>,
@@ -412,6 +446,7 @@ where
     if let Some(h) = hedge {
         fed.set_hedge(h);
     }
+    fed.set_multidim(multidim);
     let cfg = EngineConfig {
         seed,
         rng_label_prefix: prefix.into(),

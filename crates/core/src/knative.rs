@@ -136,6 +136,8 @@ pub(crate) struct KnativePolicy {
     /// them if the concurrency target still wants the capacity).
     crashes: usize,
     free_timeline: TimeSeries,
+    /// Chaos brown-out service-speed factor (1.0 = nominal).
+    service_scale: f64,
 }
 
 impl KnativePolicy {
@@ -150,10 +152,10 @@ impl KnativePolicy {
         for (i, s) in setups.iter().enumerate() {
             let fn_id = FnId(i as u32);
             for _ in 0..s.initial_containers {
-                if let Ok(cid) = cluster.create_container(
+                if let Ok(cid) = cluster.create_container_vec(
                     fn_id,
                     s.spec.standard_cpu,
-                    s.spec.standard_mem,
+                    s.spec.standard_demand(),
                     SimTime::ZERO,
                     SimTime::ZERO,
                 ) {
@@ -186,6 +188,7 @@ impl KnativePolicy {
             failed_creates: 0,
             crashes: 0,
             free_timeline: TimeSeries::new(),
+            service_scale: 1.0,
         }
     }
 
@@ -218,10 +221,10 @@ impl KnativePolicy {
         // Activator path: nothing schedulable. Cold-start a container
         // immediately (scale-from-zero) and park the request on it.
         let s = &self.setups[f.0 as usize];
-        match self.cluster.create_container(
+        match self.cluster.create_container_vec(
             f,
             s.spec.standard_cpu,
-            s.spec.standard_mem,
+            s.spec.standard_demand(),
             now,
             now + s.spec.cold_start,
         ) {
@@ -255,7 +258,8 @@ impl KnativePolicy {
         let dur = self.setups[fn_id.0 as usize]
             .spec
             .service
-            .sample(deflation, ctx.service_rng(fn_id.0));
+            .sample(deflation, ctx.service_rng(fn_id.0))
+            / self.service_scale;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.in_service.insert(cid, (rid, seq, now));
@@ -314,10 +318,10 @@ impl KnativePolicy {
             let current = self.cluster.fn_container_count(f) as u32;
             if desired > current {
                 for _ in 0..(desired - current) {
-                    match self.cluster.create_container(
+                    match self.cluster.create_container_vec(
                         f,
                         s.spec.standard_cpu,
-                        s.spec.standard_mem,
+                        s.spec.standard_demand(),
                         now,
                         now + s.spec.cold_start,
                     ) {
@@ -393,6 +397,35 @@ impl lass_simcore::ContainerChaos for KnativePolicy {
             }
         }
         crashed
+    }
+
+    /// Brown-out absorption: scale every subsequent service draw by
+    /// `1/factor` (1.0 restores nominal speed exactly).
+    fn set_service_factor(&mut self, factor: f64) {
+        self.service_scale = if factor.is_finite() && factor > 0.0 {
+            factor.min(1.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// Per-dimension capacity/allocation census for vector telemetry
+    /// and the planner router.
+    fn resource_snapshot(&self) -> lass_simcore::ResourceSnapshot {
+        let cap = self.cluster.total_capacity_vec();
+        let used = self.cluster.total_used_vec();
+        lass_simcore::ResourceSnapshot {
+            cap: [
+                f64::from(cap.cpu.0),
+                f64::from(cap.mem.0),
+                f64::from(cap.bandwidth.0),
+            ],
+            used: [
+                f64::from(used.cpu.0),
+                f64::from(used.mem.0),
+                f64::from(used.bandwidth.0),
+            ],
+        }
     }
 
     /// Warm-container census for the affinity router: the function's

@@ -249,6 +249,10 @@ pub(crate) struct LassPolicy {
     epochs: usize,
     failed_creates: u32,
     free_timeline: TimeSeries,
+    /// Chaos brown-out: a multiplicative service-speed factor (1.0 =
+    /// nominal; 0.5 = every service draw takes twice as long). Set by
+    /// [`lass_simcore::Fault::SiteSlowdown`] through the federation.
+    service_scale: f64,
 }
 
 impl LassPolicy {
@@ -287,10 +291,10 @@ impl LassPolicy {
                 } else {
                     SimTime::ZERO + s.spec.cold_start
                 };
-                if let Ok(cid) = cluster.create_container(
+                if let Ok(cid) = cluster.create_container_vec(
                     fn_id,
                     s.spec.standard_cpu,
-                    s.spec.standard_mem,
+                    s.spec.standard_demand(),
                     SimTime::ZERO,
                     ready,
                 ) {
@@ -319,6 +323,7 @@ impl LassPolicy {
             epochs: 0,
             failed_creates: 0,
             free_timeline: TimeSeries::new(),
+            service_scale: 1.0,
         }
     }
 
@@ -425,7 +430,7 @@ impl LassPolicy {
             .expect("registered")
             .spec
             .service;
-        let dur = spec_model.sample(deflation, ctx.service_rng(fn_id.0));
+        let dur = spec_model.sample(deflation, ctx.service_rng(fn_id.0)) / self.service_scale;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.in_service.insert(cid, (rid, seq, now));
@@ -603,6 +608,37 @@ impl lass_simcore::ContainerChaos for LassPolicy {
         self.cluster.fn_warm_count(FnId(fn_idx))
     }
 
+    /// Brown-out absorption: scale every subsequent service draw by
+    /// `1/factor`. Factor 1.0 restores nominal speed exactly (the
+    /// division by 1.0 is an IEEE identity, so recovered runs replay
+    /// byte-for-byte).
+    fn set_service_factor(&mut self, factor: f64) {
+        self.service_scale = if factor.is_finite() && factor > 0.0 {
+            factor.min(1.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// Per-dimension capacity/allocation census for vector telemetry
+    /// and the planner router.
+    fn resource_snapshot(&self) -> lass_simcore::ResourceSnapshot {
+        let cap = self.cluster.total_capacity_vec();
+        let used = self.cluster.total_used_vec();
+        lass_simcore::ResourceSnapshot {
+            cap: [
+                f64::from(cap.cpu.0),
+                f64::from(cap.mem.0),
+                f64::from(cap.bandwidth.0),
+            ],
+            used: [
+                f64::from(used.cpu.0),
+                f64::from(used.mem.0),
+                f64::from(used.bandwidth.0),
+            ],
+        }
+    }
+
     /// Reconcile the site toward a fleet of `desired` containers — the
     /// receiving end of the utilization reconciler's directive. The
     /// directive was computed from a snapshot published one hop ago, so
@@ -641,7 +677,7 @@ impl lass_simcore::ContainerChaos for LassPolicy {
                 }
                 let Some((f, _, _)) = best else { break };
                 let fn_id = FnId(f as u32);
-                let (cpu, mem, cold) = {
+                let (cpu, demand, cold) = {
                     let rec = self
                         .controller
                         .registry()
@@ -649,13 +685,13 @@ impl lass_simcore::ContainerChaos for LassPolicy {
                         .expect("registered fn");
                     (
                         rec.spec.standard_cpu,
-                        rec.spec.standard_mem,
+                        rec.spec.standard_demand(),
                         rec.spec.cold_start,
                     )
                 };
                 match self
                     .cluster
-                    .create_container(fn_id, cpu, mem, now, now + cold)
+                    .create_container_vec(fn_id, cpu, demand, now, now + cold)
                 {
                     Ok(cid) => {
                         ctx.schedule(now + cold, Ev::Ready(cid));

@@ -102,6 +102,8 @@ pub(crate) struct StaticRrPolicy {
     /// static pool permanently shrinks, as a no-autoscaler baseline
     /// honestly would).
     crashes: usize,
+    /// Chaos brown-out service-speed factor (1.0 = nominal).
+    service_scale: f64,
 }
 
 impl StaticRrPolicy {
@@ -117,10 +119,10 @@ impl StaticRrPolicy {
                 cursor: 0,
             };
             for _ in 0..want {
-                if let Ok(cid) = cluster.create_container(
+                if let Ok(cid) = cluster.create_container_vec(
                     fn_id,
                     s.spec.standard_cpu,
-                    s.spec.standard_mem,
+                    s.spec.standard_demand(),
                     SimTime::ZERO,
                     SimTime::ZERO,
                 ) {
@@ -139,6 +141,7 @@ impl StaticRrPolicy {
             util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
             busy_cpu_seconds: 0.0,
             crashes: 0,
+            service_scale: 1.0,
         }
     }
     fn dispatch(&mut self, ctx: &mut impl PolicyCtx<Ev>, rid: RequestId, f: FnId, now: SimTime) {
@@ -171,7 +174,8 @@ impl StaticRrPolicy {
         let dur = self.setups[fn_id.0 as usize]
             .spec
             .service
-            .sample(deflation, ctx.service_rng(fn_id.0));
+            .sample(deflation, ctx.service_rng(fn_id.0))
+            / self.service_scale;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.in_service.insert(cid, (rid, seq, now));
@@ -211,6 +215,35 @@ impl lass_simcore::ContainerChaos for StaticRrPolicy {
             }
         }
         crashed
+    }
+
+    /// Brown-out absorption: scale every subsequent service draw by
+    /// `1/factor` (1.0 restores nominal speed exactly).
+    fn set_service_factor(&mut self, factor: f64) {
+        self.service_scale = if factor.is_finite() && factor > 0.0 {
+            factor.min(1.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// Per-dimension capacity/allocation census for vector telemetry
+    /// and the planner router.
+    fn resource_snapshot(&self) -> lass_simcore::ResourceSnapshot {
+        let cap = self.cluster.total_capacity_vec();
+        let used = self.cluster.total_used_vec();
+        lass_simcore::ResourceSnapshot {
+            cap: [
+                f64::from(cap.cpu.0),
+                f64::from(cap.mem.0),
+                f64::from(cap.bandwidth.0),
+            ],
+            used: [
+                f64::from(used.cpu.0),
+                f64::from(used.mem.0),
+                f64::from(used.bandwidth.0),
+            ],
+        }
     }
 
     /// Warm-container census for the affinity router: the function's

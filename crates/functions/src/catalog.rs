@@ -10,9 +10,91 @@
 //! MobileNet.
 
 use crate::servicetime::ServiceModel;
-use lass_cluster::{CpuMilli, MemMib};
+use lass_cluster::{BwMbps, CpuMilli, Dimension, MemMib, ResourceVec};
 use lass_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// The workload class of a function: which resource dimension its
+/// containers bind on. The class maps the Table 1 `(cpu, mem)` sizing
+/// into a full demand vector — `compute` and `memory` functions reserve
+/// no bandwidth (the historical accounting, byte-for-byte), while `io`
+/// functions reserve NIC bandwidth proportional to their CPU size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadClass {
+    /// CPU-bound (DNN inference, crypto): binds on cpu. The default —
+    /// every pre-class function behaves exactly as before.
+    #[default]
+    Compute,
+    /// Memory-bound (in-memory caches, large-model residency): binds on
+    /// the memory dimension.
+    Memory,
+    /// I/O-bound (streaming, object-store shuffles): additionally
+    /// reserves NIC bandwidth, 1 Mbps per 10 milli-vCPU of standard
+    /// size.
+    Io,
+}
+
+impl WorkloadClass {
+    /// Stable lowercase name (scenario JSON, report columns).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkloadClass::Compute => "compute",
+            WorkloadClass::Memory => "memory",
+            WorkloadClass::Io => "io",
+        }
+    }
+
+    /// Parse the scenario-JSON name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "compute" => Some(WorkloadClass::Compute),
+            "memory" => Some(WorkloadClass::Memory),
+            "io" => Some(WorkloadClass::Io),
+            _ => None,
+        }
+    }
+
+    /// The per-container demand vector for a function of this class
+    /// sized `(cpu, mem)`. `compute` and `memory` demand zero bandwidth
+    /// — identical node accounting to the pre-vector code; `io` adds
+    /// 1 Mbps per 10 milli-vCPU.
+    pub fn demand(self, cpu: CpuMilli, mem: MemMib) -> ResourceVec {
+        let bandwidth = match self {
+            WorkloadClass::Compute | WorkloadClass::Memory => BwMbps::ZERO,
+            WorkloadClass::Io => BwMbps(cpu.0 / 10),
+        };
+        ResourceVec::new(cpu, mem, bandwidth)
+    }
+
+    /// The dimension a container of this class binds on first — what
+    /// the planner router scores headroom against.
+    pub fn binding(self) -> Dimension {
+        match self {
+            WorkloadClass::Compute => Dimension::Cpu,
+            WorkloadClass::Memory => Dimension::Mem,
+            WorkloadClass::Io => Dimension::Bandwidth,
+        }
+    }
+}
+
+impl Serialize for WorkloadClass {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for WorkloadClass {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some(s) => WorkloadClass::parse(s).ok_or_else(|| {
+                Error::custom(format!(
+                    "unknown workload class {s:?} (expected \"compute\", \"memory\", or \"io\")"
+                ))
+            }),
+            None => Err(Error::custom("workload class must be a string")),
+        }
+    }
+}
 
 /// A deployable serverless function: identity, standard container size
 /// (Table 1), service-time model and cold-start cost.
@@ -26,6 +108,9 @@ pub struct FunctionSpec {
     pub standard_cpu: CpuMilli,
     /// Standard memory allocation.
     pub standard_mem: MemMib,
+    /// Workload class (defaults to `compute`, the historical behavior).
+    #[serde(default)]
+    pub class: WorkloadClass,
     /// Service-time response to deflation.
     pub service: ServiceModel,
     /// Container cold-start latency.
@@ -36,6 +121,11 @@ impl FunctionSpec {
     /// Convenience: service rate at the standard size (req/s).
     pub fn standard_rate(&self) -> f64 {
         self.service.service_rate(0.0)
+    }
+
+    /// The standard-size demand vector (class-dependent bandwidth).
+    pub fn standard_demand(&self) -> ResourceVec {
+        self.class.demand(self.standard_cpu, self.standard_mem)
     }
 }
 
@@ -48,6 +138,7 @@ pub fn micro_benchmark(service_time: f64) -> FunctionSpec {
         languages: "Python".into(),
         standard_cpu: CpuMilli::from_cores(0.4),
         standard_mem: MemMib(256),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(service_time, 0.7),
         cold_start: SimDuration::from_millis(400),
     }
@@ -62,6 +153,7 @@ pub fn mobilenet_v2() -> FunctionSpec {
         languages: "Python".into(),
         standard_cpu: CpuMilli::from_cores(2.0),
         standard_mem: MemMib(1024),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(0.25, 0.98),
         cold_start: SimDuration::from_millis(1000),
     }
@@ -74,6 +166,7 @@ pub fn shufflenet_v2() -> FunctionSpec {
         languages: "Python".into(),
         standard_cpu: CpuMilli::from_cores(1.0),
         standard_mem: MemMib(512),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(0.12, 0.72),
         cold_start: SimDuration::from_millis(800),
     }
@@ -86,6 +179,7 @@ pub fn squeezenet() -> FunctionSpec {
         languages: "Python".into(),
         standard_cpu: CpuMilli::from_cores(1.0),
         standard_mem: MemMib(512),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(0.10, 0.70),
         cold_start: SimDuration::from_millis(800),
     }
@@ -99,6 +193,7 @@ pub fn binary_alert() -> FunctionSpec {
         languages: "Python".into(),
         standard_cpu: CpuMilli::from_cores(0.5),
         standard_mem: MemMib(256),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(0.05, 0.70),
         cold_start: SimDuration::from_millis(500),
     }
@@ -111,6 +206,7 @@ pub fn geofence() -> FunctionSpec {
         languages: "JavaScript".into(),
         standard_cpu: CpuMilli::from_cores(0.3),
         standard_mem: MemMib(128),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(0.02, 0.65),
         cold_start: SimDuration::from_millis(300),
     }
@@ -123,6 +219,7 @@ pub fn image_resizer() -> FunctionSpec {
         languages: "JavaScript, WASM (C)".into(),
         standard_cpu: CpuMilli::from_cores(0.8),
         standard_mem: MemMib(256),
+        class: WorkloadClass::Compute,
         service: ServiceModel::exponential(0.06, 0.70),
         cold_start: SimDuration::from_millis(400),
     }
@@ -201,5 +298,62 @@ mod tests {
     fn dnns_are_slower_than_lightweight_functions() {
         assert!(mobilenet_v2().service.base_time > geofence().service.base_time);
         assert!(squeezenet().service.base_time > binary_alert().service.base_time);
+    }
+
+    #[test]
+    fn class_round_trips_and_defaults_to_compute() {
+        for c in [
+            WorkloadClass::Compute,
+            WorkloadClass::Memory,
+            WorkloadClass::Io,
+        ] {
+            assert_eq!(WorkloadClass::parse(c.as_str()), Some(c));
+            let json = serde_json::to_string(&c).unwrap();
+            let back: WorkloadClass = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
+        assert_eq!(WorkloadClass::default(), WorkloadClass::Compute);
+        assert!(WorkloadClass::parse("gpu").is_none());
+        // Every catalog function is compute-class (the paper's Table 1).
+        for f in standard_catalog() {
+            assert_eq!(f.class, WorkloadClass::Compute);
+        }
+    }
+
+    #[test]
+    fn class_demand_vectors_bind_where_expected() {
+        use lass_cluster::{BwMbps, Dimension, ResourceVec};
+        let cpu = CpuMilli(500);
+        let mem = MemMib(256);
+        assert_eq!(
+            WorkloadClass::Compute.demand(cpu, mem),
+            ResourceVec::cpu_mem(cpu, mem),
+            "compute reserves no bandwidth (historical accounting)"
+        );
+        assert_eq!(
+            WorkloadClass::Memory.demand(cpu, mem),
+            ResourceVec::cpu_mem(cpu, mem)
+        );
+        assert_eq!(
+            WorkloadClass::Io.demand(cpu, mem),
+            ResourceVec::new(cpu, mem, BwMbps(50))
+        );
+        assert_eq!(WorkloadClass::Compute.binding(), Dimension::Cpu);
+        assert_eq!(WorkloadClass::Memory.binding(), Dimension::Mem);
+        assert_eq!(WorkloadClass::Io.binding(), Dimension::Bandwidth);
+    }
+
+    #[test]
+    fn function_spec_class_defaults_under_serde() {
+        // A spec JSON without a `class` key deserializes to compute and
+        // produces the historical zero-bandwidth demand vector.
+        let spec = micro_benchmark(0.1);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FunctionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.class, WorkloadClass::Compute);
+        assert_eq!(
+            spec.standard_demand(),
+            lass_cluster::ResourceVec::cpu_mem(spec.standard_cpu, spec.standard_mem)
+        );
     }
 }

@@ -26,7 +26,7 @@ pub use azure::{
 };
 pub use catalog::{
     binary_alert, geofence, image_resizer, micro_benchmark, mobilenet_v2, shufflenet_v2,
-    squeezenet, standard_catalog, FunctionSpec,
+    squeezenet, standard_catalog, FunctionSpec, WorkloadClass,
 };
 pub use profiler::{ServiceEstimate, ServiceTimeProfiler};
 pub use servicetime::{ServiceDistribution, ServiceModel};

@@ -68,6 +68,19 @@ pub enum Fault {
         /// How many containers to crash (clamped to the live fleet).
         count: u32,
     },
+    /// A brown-out: the site keeps serving, but every service at it runs
+    /// at `permille / 1000` of nominal speed (thermal throttling, noisy
+    /// neighbours, a degraded disk). The site stays routable — the
+    /// slowdown is visible only through the health EWMA and the service
+    /// times themselves. `permille ≥ 1000` restores nominal speed (the
+    /// recovery event).
+    SiteSlowdown {
+        /// Fault-domain index.
+        site: u32,
+        /// Service-speed factor in permille (500 = half speed). Integer
+        /// so the fault stays `Eq`/hashable like its siblings.
+        permille: u32,
+    },
 }
 
 impl Fault {
@@ -78,7 +91,8 @@ impl Fault {
             | Fault::SiteUp { site }
             | Fault::PartitionStart { site }
             | Fault::PartitionEnd { site }
-            | Fault::ContainerBurst { site, .. } => site,
+            | Fault::ContainerBurst { site, .. }
+            | Fault::SiteSlowdown { site, .. } => site,
         }
     }
 }
@@ -152,7 +166,15 @@ impl ChaosConfig {
         let mut out = Vec::new();
         for &(at, fault) in &self.events {
             let at = SimTime::from_secs_f64(at);
-            let is_recovery = matches!(fault, Fault::SiteUp { .. } | Fault::PartitionEnd { .. });
+            let is_recovery = matches!(
+                fault,
+                Fault::SiteUp { .. }
+                    | Fault::PartitionEnd { .. }
+                    | Fault::SiteSlowdown {
+                        permille: 1000..,
+                        ..
+                    }
+            );
             if is_recovery || at < end {
                 out.push((at, fault));
             }
@@ -309,6 +331,23 @@ pub trait ContainerChaos: SchedulerPolicy {
         _now: SimTime,
     ) -> bool {
         false
+    }
+
+    /// Scale every subsequent service duration by `factor` (a
+    /// [`Fault::SiteSlowdown`] brown-out: 0.5 = half speed = services
+    /// take twice as long; 1.0 restores nominal). Requests already in
+    /// service finish on their old clock — only new dispatches see the
+    /// new factor. The default ignores it (a stub with no service
+    /// process has nothing to slow down).
+    fn set_service_factor(&mut self, _factor: f64) {}
+
+    /// The site's per-dimension capacity picture (capacity and
+    /// allocation on cpu / memory / bandwidth), feeding the planner
+    /// router and the per-dimension telemetry columns. Observe-only.
+    /// The default reports nothing (all-zero = unknown), which keeps
+    /// resource-blind schedulers and their reports byte-identical.
+    fn resource_snapshot(&self) -> crate::router::ResourceSnapshot {
+        crate::router::ResourceSnapshot::default()
     }
 }
 

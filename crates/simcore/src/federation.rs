@@ -81,7 +81,7 @@ use crate::chaos::{ChaosTarget, ContainerChaos, Fault};
 use crate::engine::{Completion, EngineOutcome, FnStats, PolicyCtx, ReqId, SchedulerPolicy};
 use crate::metrics::{DowntimeClock, SampleStats};
 use crate::rng::SimRng;
-use crate::router::{predicted_score, RouterConfig, RouterPolicy, SiteState};
+use crate::router::{predicted_score, ResourceSnapshot, RouterConfig, RouterPolicy, SiteState};
 use crate::telemetry::{ReconcilerSeam, TelemetryConfig, TelemetryRuntime, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 use lass_queueing::{EvaluatedForecast, ForecastCache, HealthEwma, WaitPredictor};
@@ -108,6 +108,11 @@ pub struct FedFunction {
     pub name: String,
     /// SLO deadline (seconds) on the waiting time.
     pub slo_deadline: f64,
+    /// Per-container demand vector `[cpu milli, mem MiB, bw Mbps]` of
+    /// the function's standard size — what the planner router fits
+    /// against a site's [`ResourceSnapshot`]. All-zero (the default for
+    /// pre-vector callers) means unknown and never constrains routing.
+    pub demand: [f64; 3],
 }
 
 /// When a hedged topology dispatches the extra request clones.
@@ -138,6 +143,18 @@ pub struct HedgeConfig {
     /// Clones go to the best-scored routable sites not already holding
     /// a copy, so the effective count is also bounded by the topology.
     pub max_clones: u32,
+    /// Speculative *retry* deadline, milliseconds. When nonzero it
+    /// takes precedence over `trigger`: instead of cloning, the front
+    /// end re-issues the request to the next-best site once the
+    /// deadline passes and *abandons* the original — a late response
+    /// from the abandoned copy is wasted work, not a win. `0` (the
+    /// default) disables retries and leaves the trigger in charge.
+    pub retry_after_ms: f64,
+    /// Admission budget on measured waste: once the fraction of wasted
+    /// completions among finished work crosses this value, no further
+    /// clones or retries are issued until completions dilute it back
+    /// under budget. `0` (the default) means unlimited.
+    pub waste_budget: f64,
 }
 
 impl Default for HedgeConfig {
@@ -145,6 +162,8 @@ impl Default for HedgeConfig {
         Self {
             trigger: HedgeTrigger::Immediate,
             max_clones: 1,
+            retry_after_ms: 0.0,
+            waste_budget: 0.0,
         }
     }
 }
@@ -161,6 +180,18 @@ impl HedgeConfig {
                     "hedge deferred_ms must be finite and non-negative, got {ms}"
                 ));
             }
+        }
+        if !(self.retry_after_ms.is_finite() && self.retry_after_ms >= 0.0) {
+            return Err(format!(
+                "hedge retry_after_ms must be finite and non-negative, got {}",
+                self.retry_after_ms
+            ));
+        }
+        if !(self.waste_budget.is_finite() && (0.0..=1.0).contains(&self.waste_budget)) {
+            return Err(format!(
+                "hedge waste_budget must be in [0, 1], got {}",
+                self.waste_budget
+            ));
         }
         Ok(())
     }
@@ -209,6 +240,14 @@ impl Serialize for HedgeConfig {
         let mut m = Map::new();
         m.insert("trigger".into(), self.trigger.serialize());
         m.insert("max_clones".into(), self.max_clones.serialize());
+        // New knobs appear only when set, so pre-retry configs keep
+        // their exact historical byte layout.
+        if self.retry_after_ms > 0.0 {
+            m.insert("retry_after_ms".into(), self.retry_after_ms.serialize());
+        }
+        if self.waste_budget > 0.0 {
+            m.insert("waste_budget".into(), self.waste_budget.serialize());
+        }
         Value::Object(m)
     }
 }
@@ -221,6 +260,8 @@ impl Deserialize for HedgeConfig {
             match k.as_str() {
                 "trigger" => cfg.trigger = HedgeTrigger::deserialize(val)?,
                 "max_clones" => cfg.max_clones = u32::deserialize(val)?,
+                "retry_after_ms" => cfg.retry_after_ms = f64::deserialize(val)?,
+                "waste_budget" => cfg.waste_budget = f64::deserialize(val)?,
                 other => {
                     return Err(Error::custom(format!(
                         "unknown hedge config field {other:?}"
@@ -337,6 +378,10 @@ pub(crate) struct SiteTally {
     pub(crate) up: bool,
     /// Whether the router↔site link is currently cut.
     pub(crate) partitioned: bool,
+    /// Whether a [`Fault::SiteSlowdown`] brown-out is active: the site
+    /// keeps serving (and stays routable), but the health EWMA sees it
+    /// as degraded so the failure-aware router browns it out.
+    pub(crate) slowed: bool,
     /// Site incarnation; bumped on crash to invalidate stale events.
     pub(crate) epoch: u32,
     /// Completed crash/rebuild cycles (labels the replacement policy).
@@ -410,6 +455,7 @@ impl SiteTally {
             stalled: Vec::new(),
             up: true,
             partitioned: false,
+            slowed: false,
             epoch: 0,
             restarts: 0,
             needs_rebuild: false,
@@ -503,6 +549,14 @@ impl<E, C: PolicyCtx<FedEv<E>>> PolicyCtx<E> for SiteCtx<'_, C> {
             if self.tally.live.contains_key(&rid.0) {
                 self.tally.stalled.push((rid.0, started));
             }
+            return None;
+        }
+        // A copy this federation already abandoned (speculative retry)
+        // must not be allowed to win even if the logical request is
+        // still live in the engine: its response is wasted work.
+        if self.tally.hedge_lost.remove(&rid.0) {
+            self.tally.wasted += 1;
+            self.tally.wasted_secs += now.saturating_since(started).as_secs_f64();
             return None;
         }
         match self.inner.complete(rid, started, now) {
@@ -636,6 +690,11 @@ pub struct SiteReport<R> {
     pub wasted_work: usize,
     /// Service seconds burned by those wasted completions.
     pub wasted_secs: f64,
+    /// End-of-run per-dimension utilization `[cpu, mem, bw]` in
+    /// `[0, 1]`, present only for multi-dimensional runs (see
+    /// [`Federation::set_multidim`]) — legacy reports keep their exact
+    /// historical key set.
+    pub utilization: Option<[f64; 3]>,
     /// The inner scheduler's own report, built from the site-local
     /// request statistics.
     pub report: R,
@@ -689,6 +748,9 @@ impl<R: Serialize> Serialize for SiteReport<R> {
             m.insert("wasted_work".into(), self.wasted_work.serialize());
             m.insert("wasted_secs".into(), self.wasted_secs.serialize());
         }
+        if let Some(util) = self.utilization {
+            m.insert("utilization".into(), util.serialize());
+        }
         m.insert("report".into(), self.report.serialize());
         Value::Object(m)
     }
@@ -738,6 +800,14 @@ pub struct Federation<P: SchedulerPolicy> {
     pub(crate) rebuild: Option<SiteRebuild<P>>,
     /// Arrivals dropped because no site was routable.
     pub(crate) unroutable: usize,
+    /// Per-function demand vectors in registration order (the planner
+    /// router's fit denominators), from [`FedFunction::demand`].
+    pub(crate) fn_demands: Vec<[f64; 3]>,
+    /// Whether the run opted into multi-dimensional accounting (any
+    /// non-default demand vector or an explicit site resources block):
+    /// gates the per-dimension `utilization` report key so legacy
+    /// reports stay byte-identical.
+    pub(crate) multidim: bool,
     /// Hedged-request configuration; `None` disables hedging entirely
     /// (no new events, no new counters — byte-identical reports).
     pub(crate) hedge: Option<HedgeConfig>,
@@ -776,6 +846,8 @@ impl<P: ContainerChaos> Federation<P> {
                 forecast: EvaluatedForecast::default(),
                 flakiness: 0.0,
                 warm: 0,
+                resources: ResourceSnapshot::default(),
+                fits: f64::INFINITY,
             })
             .collect();
         Self {
@@ -790,10 +862,20 @@ impl<P: ContainerChaos> Federation<P> {
             migration_penalty: SimDuration::ZERO,
             rebuild: None,
             unroutable: 0,
+            fn_demands: functions.iter().map(|f| f.demand).collect(),
+            multidim: false,
             hedge: None,
             hedges: BTreeMap::new(),
             hedge_resolved: Vec::new(),
         }
+    }
+
+    /// Opt the run into multi-dimensional accounting: per-site
+    /// per-dimension `utilization` appears in the report. Off by
+    /// default so legacy (cpu-only) reports stay byte-identical.
+    pub fn set_multidim(&mut self, on: bool) -> &mut Self {
+        self.multidim = on;
+        self
     }
 
     /// Install the factory that rebuilds a crashed site's scheduler on
@@ -844,6 +926,8 @@ impl<P: ContainerChaos> Federation<P> {
             state.forecast = EvaluatedForecast::default();
             state.flakiness = 0.0;
             state.warm = 0;
+            state.resources = ResourceSnapshot::default();
+            state.fits = f64::INFINITY;
         }
         self.telemetry.reset_views();
         self
@@ -905,9 +989,18 @@ impl<P: ContainerChaos> Federation<P> {
             // crossing the network hop.
             state.in_flight = tally.routed.saturating_sub(tally.finished) as u64;
             state.up = tally.routable();
-            tally.health.observe(t, !tally.routable());
+            // A browned-out (slowed) site counts as degraded for the
+            // health EWMA even though it stays routable.
+            tally.health.observe(t, tally.slowed || !tally.routable());
             state.flakiness = tally.health.value();
             state.warm = self.sites[i].warm_containers(fn_idx);
+            state.resources = self.sites[i].resource_snapshot();
+            state.fits = state.resources.fit_count(
+                self.fn_demands
+                    .get(fn_idx as usize)
+                    .copied()
+                    .unwrap_or_default(),
+            );
             // Model server count: the predictor's λ̂/μ̂ are site-wide
             // (all functions pooled), so the matching `c` is the
             // site-wide warm fleet — not the routed function's census,
@@ -945,6 +1038,13 @@ impl<P: ContainerChaos> Federation<P> {
             state.forecast = view.forecast;
             state.flakiness = view.flakiness;
             state.warm = view.warm.get(fn_idx as usize).copied().unwrap_or(0);
+            state.resources = view.resources;
+            state.fits = state.resources.fit_count(
+                self.fn_demands
+                    .get(fn_idx as usize)
+                    .copied()
+                    .unwrap_or_default(),
+            );
         }
     }
 
@@ -994,6 +1094,28 @@ impl<P: ContainerChaos> Federation<P> {
         } else {
             fallback
         }
+    }
+
+    /// Whether the waste-admission budget permits issuing another clone
+    /// or retry. Measured waste is the fraction of wasted completions
+    /// among all finished work so far; with `waste_budget == 0`
+    /// (unlimited) this is always true, and existing runs stay
+    /// byte-identical.
+    fn hedge_within_budget(&self) -> bool {
+        let Some(cfg) = self.hedge else { return false };
+        if cfg.waste_budget <= 0.0 {
+            return true;
+        }
+        let wasted: usize = self.tallies.iter().map(|t| t.wasted).sum();
+        if wasted == 0 {
+            return true;
+        }
+        let completed: usize = self
+            .tallies
+            .iter()
+            .map(|t| t.per_fn.iter().map(|f| f.completed).sum::<usize>())
+            .sum();
+        (wasted as f64) < cfg.waste_budget * ((completed + wasted) as f64)
     }
 
     /// Dispatch up to `max_clones` hedge clones of `rid` to the
@@ -1206,6 +1328,17 @@ impl<P: ContainerChaos> Federation<P> {
             tally.live.remove(&rid.0);
         }
         if self.hedge.is_some() {
+            // A copy this federation already abandoned (a hedge loser
+            // whose cancel is still in flight, or a retry-abandoned
+            // original) dies with its site instead of migrating — it
+            // must never resurrect as a live copy.
+            if self.tallies[from].hedge_lost.remove(&rid.0) {
+                if delivered {
+                    self.tallies[from].per_fn[fn_idx as usize].cancelled += 1;
+                }
+                ctx.note_cancelled(fn_idx);
+                return;
+            }
             let sibling_alive = self.hedges.get(&rid.0).is_some_and(|g| g.copies.len() > 1);
             if sibling_alive || ctx.request_info(rid).is_none() {
                 // A hedge clone with a surviving sibling — or whose
@@ -1281,7 +1414,9 @@ impl<P: ContainerChaos> Federation<P> {
     fn clock_routability(&mut self, i: usize, now: SimTime, end: SimTime) {
         let tally = &mut self.tallies[i];
         // The flakiness EWMA sees the transition at its true instant.
-        tally.health.observe(now.as_secs_f64(), !tally.routable());
+        tally
+            .health
+            .observe(now.as_secs_f64(), tally.slowed || !tally.routable());
         let now = now.min(end);
         if tally.routable() {
             tally.downtime.mark_up(now);
@@ -1348,30 +1483,47 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
             // A zero-latency primary may already have answered inline;
             // don't hedge a request that is no longer live.
             if ctx.request_info(rid).is_some() {
-                match hcfg.trigger {
-                    HedgeTrigger::Immediate => {
-                        self.dispatch_clones(ctx, rid, fn_idx, chosen as u32, now);
-                    }
-                    HedgeTrigger::PredictedP95OverSlo => {
-                        let score = predicted_score(
-                            &self.states[chosen],
-                            self.router_cfg.percentile,
-                            self.router_cfg.cold_start_penalty_ms / 1e3,
-                        );
-                        if score > self.router_cfg.slo_ms / 1e3 {
-                            self.dispatch_clones(ctx, rid, fn_idx, chosen as u32, now);
+                if hcfg.retry_after_ms > 0.0 {
+                    // Speculative retry: arm the deadline; the original
+                    // is abandoned only if it hasn't answered by then.
+                    let at = now + SimDuration::from_secs_f64(hcfg.retry_after_ms / 1e3);
+                    let token = ctx.schedule_cancellable(at, FedEv::HedgeFire { rid, fn_idx });
+                    self.hedges.insert(
+                        rid.0,
+                        HedgeGroup {
+                            copies: vec![chosen as u32],
+                            fire_token: token,
+                        },
+                    );
+                } else {
+                    match hcfg.trigger {
+                        HedgeTrigger::Immediate => {
+                            if self.hedge_within_budget() {
+                                self.dispatch_clones(ctx, rid, fn_idx, chosen as u32, now);
+                            }
                         }
-                    }
-                    HedgeTrigger::DeferredMs(ms) => {
-                        let at = now + SimDuration::from_secs_f64(ms / 1e3);
-                        let token = ctx.schedule_cancellable(at, FedEv::HedgeFire { rid, fn_idx });
-                        self.hedges.insert(
-                            rid.0,
-                            HedgeGroup {
-                                copies: vec![chosen as u32],
-                                fire_token: token,
-                            },
-                        );
+                        HedgeTrigger::PredictedP95OverSlo => {
+                            let score = predicted_score(
+                                &self.states[chosen],
+                                self.router_cfg.percentile,
+                                self.router_cfg.cold_start_penalty_ms / 1e3,
+                            );
+                            if score > self.router_cfg.slo_ms / 1e3 && self.hedge_within_budget() {
+                                self.dispatch_clones(ctx, rid, fn_idx, chosen as u32, now);
+                            }
+                        }
+                        HedgeTrigger::DeferredMs(ms) => {
+                            let at = now + SimDuration::from_secs_f64(ms / 1e3);
+                            let token =
+                                ctx.schedule_cancellable(at, FedEv::HedgeFire { rid, fn_idx });
+                            self.hedges.insert(
+                                rid.0,
+                                HedgeGroup {
+                                    copies: vec![chosen as u32],
+                                    fire_token: token,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -1409,8 +1561,40 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                         .expect("checked above")
                         .fire_token = None;
                     let primary = self.hedges[&rid.0].copies[0];
+                    let retry = self.hedge.is_some_and(|cfg| cfg.retry_after_ms > 0.0);
+                    if !self.hedge_within_budget() {
+                        // Over the waste budget: no clone, no retry. A
+                        // clone-less group has nothing left to race.
+                        self.hedges.remove(&rid.0);
+                        return;
+                    }
                     self.refresh_states(fn_idx, now);
                     self.dispatch_clones(ctx, rid, fn_idx, primary, now);
+                    if retry {
+                        // Retry, not hedge: the original is abandoned
+                        // once its replacement exists — a late answer
+                        // from it is wasted work, not a win.
+                        let replaced = self
+                            .hedges
+                            .get_mut(&rid.0)
+                            .filter(|g| g.copies.len() > 1 && g.copies[0] == primary)
+                            .map(|g| {
+                                g.copies.remove(0);
+                            })
+                            .is_some();
+                        if replaced {
+                            self.tallies[primary as usize].hedge_lost.insert(rid.0);
+                            let latency = self.metas[primary as usize].latency;
+                            if latency == SimDuration::ZERO {
+                                self.cancel_clone_at(ctx, primary, rid);
+                            } else {
+                                ctx.schedule(
+                                    now + latency,
+                                    FedEv::CancelDeliver { site: primary, rid },
+                                );
+                            }
+                        }
+                    }
                 }
             }
             FedEv::CancelDeliver { site, rid } => self.cancel_clone_at(ctx, site, rid),
@@ -1447,13 +1631,22 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                 } else {
                     self.metas[i].capacity_hint.round().max(1.0) as u32
                 };
+                // Gated on multidim: legacy reconciler runs must keep
+                // seeing unknown (all-zero) resources, or the new
+                // dimension ceiling would perturb their directives.
+                let resources = if self.multidim {
+                    self.sites[i].resource_snapshot()
+                } else {
+                    ResourceSnapshot::default()
+                };
                 let tally = &mut self.tallies[i];
-                tally.health.observe(t, !tally.routable());
+                tally.health.observe(t, tally.slowed || !tally.routable());
                 let snap = TelemetrySnapshot {
                     published_at: now,
                     forecast: tally.predictor.forecast(t, servers),
                     flakiness: tally.health.value(),
                     warm,
+                    resources,
                 };
                 ctx.schedule(
                     now + self.metas[i].latency,
@@ -1499,12 +1692,14 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
     fn finish(self, outcome: EngineOutcome) -> Self::Report {
         let duration = outcome.duration_secs;
         let end = SimTime::from_secs_f64(duration);
+        let multidim = self.multidim;
         let per_site = self
             .sites
             .into_iter()
             .zip(self.metas)
             .zip(self.tallies)
             .map(|((site, meta), tally)| {
+                let utilization = multidim.then(|| site.resource_snapshot().utilization());
                 let site_outcome = EngineOutcome {
                     per_fn: tally.per_fn,
                     outstanding: tally.in_flight,
@@ -1522,6 +1717,7 @@ impl<P: ContainerChaos> SchedulerPolicy for Federation<P> {
                     flakiness: tally.health.value(),
                     wasted_work: tally.wasted,
                     wasted_secs: tally.wasted_secs,
+                    utilization,
                     report: site.finish(site_outcome),
                 }
             })
@@ -1657,6 +1853,17 @@ impl<P: ContainerChaos> ChaosTarget for Federation<P> {
                     }
                 }
             }
+            Fault::SiteSlowdown { permille, .. } => {
+                // Brown-out: the site keeps serving (and stays
+                // routable) at `permille`/1000 of nominal speed. The
+                // health EWMA sees the degradation, so the
+                // failure-aware router backs off without the downtime
+                // clock ever starting.
+                let slowed = permille < 1000;
+                self.tallies[i].slowed = slowed;
+                self.sites[i].set_service_factor(permille as f64 / 1000.0);
+                self.clock_routability(i, now, end);
+            }
             Fault::ContainerBurst { count, .. } => {
                 if !self.tallies[i].up {
                     return; // a dead site has nothing left to crash
@@ -1790,6 +1997,7 @@ mod tests {
         let functions = vec![FedFunction {
             name: "probe".into(),
             slo_deadline: 0.5,
+            demand: [0.0; 3],
         }];
         Federation::new(sites, kind.build(), &functions)
             .with_rebuild(Box::new(move |_, _| OneServer::new(service_secs)))

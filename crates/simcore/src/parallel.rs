@@ -433,6 +433,9 @@ struct FrontSite {
     finished: usize,
     up: bool,
     partitioned: bool,
+    /// Whether a [`Fault::SiteSlowdown`] brown-out is active (the site
+    /// stays routable but the health EWMA sees it as degraded).
+    slowed: bool,
     needs_rebuild: bool,
     restarts: u32,
     migrated_out: usize,
@@ -458,7 +461,8 @@ impl FrontSite {
     /// the flakiness EWMA sees the true instant, the clock is clamped
     /// to the nominal end (mirrors the sequential `clock_routability`).
     fn clock_routability(&mut self, now: SimTime, end: SimTime) {
-        self.health.observe(now.as_secs_f64(), !self.routable());
+        self.health
+            .observe(now.as_secs_f64(), self.slowed || !self.routable());
         let now = now.min(end);
         if self.routable() {
             self.downtime.mark_up(now);
@@ -535,6 +539,10 @@ struct FeHedge {
     /// dead-on-arrival delivery, or wasted completion); the group is
     /// dropped when this reaches zero.
     pending_losers: usize,
+    /// Sites whose copy was abandoned *before* resolution (speculative
+    /// retry): their terminal log entry is always wasted work, never
+    /// the winner.
+    lost: Vec<u32>,
 }
 
 /// Everything the main thread owns between worker phases.
@@ -572,6 +580,13 @@ struct Frontend<P: ContainerChaos> {
     hedge: Option<HedgeConfig>,
     /// Live hedge groups by logical request id.
     hedges: BTreeMap<u64, FeHedge>,
+    /// Per-function demand vectors (the planner router's fit
+    /// denominators), from [`crate::federation::FedFunction::demand`].
+    fn_demands: Vec<[f64; 3]>,
+    /// Whether the run opted into multi-dimensional accounting (gates
+    /// the per-site `utilization` report key and the telemetry
+    /// resources column, exactly like the sequential federation).
+    multidim: bool,
 }
 
 impl<P: ContainerChaos> Frontend<P> {
@@ -595,7 +610,7 @@ impl<P: ContainerChaos> Frontend<P> {
             let front = &mut self.fronts[i];
             state.in_flight = front.routed.saturating_sub(front.finished) as u64;
             state.up = front.routable();
-            front.health.observe(t, !front.routable());
+            front.health.observe(t, front.slowed || !front.routable());
             state.flakiness = front.health.value();
             // The census reads the shard directly — phases never
             // overlap, so the lock is uncontended; the fleet is the
@@ -606,7 +621,14 @@ impl<P: ContainerChaos> Frontend<P> {
             let fleet: u64 = (0..shard.st.per_fn.len())
                 .map(|f| shard.policy.warm_containers(f as u32))
                 .sum();
+            state.resources = shard.policy.resource_snapshot();
             drop(shard);
+            state.fits = state.resources.fit_count(
+                self.fn_demands
+                    .get(fn_idx as usize)
+                    .copied()
+                    .unwrap_or_default(),
+            );
             let servers = if fleet > 0 {
                 fleet.min(u64::from(u32::MAX)) as u32
             } else {
@@ -628,6 +650,13 @@ impl<P: ContainerChaos> Frontend<P> {
             state.forecast = view.forecast;
             state.flakiness = view.flakiness;
             state.warm = view.warm.get(fn_idx as usize).copied().unwrap_or(0);
+            state.resources = view.resources;
+            state.fits = state.resources.fit_count(
+                self.fn_demands
+                    .get(fn_idx as usize)
+                    .copied()
+                    .unwrap_or_default(),
+            );
         }
     }
 
@@ -676,6 +705,22 @@ impl<P: ContainerChaos> Frontend<P> {
         } else {
             fallback
         }
+    }
+
+    /// Whether the waste-admission budget permits issuing another clone
+    /// or retry — the mirror of `Federation::hedge_within_budget`, fed
+    /// from the merge-phase counters (so at most one lookahead window
+    /// stale, deterministic for every thread count).
+    fn hedge_within_budget(&self) -> bool {
+        let Some(cfg) = self.hedge else { return false };
+        if cfg.waste_budget <= 0.0 {
+            return true;
+        }
+        let wasted: usize = self.fronts.iter().map(|f| f.wasted).sum();
+        if wasted == 0 {
+            return true;
+        }
+        (wasted as f64) < cfg.waste_budget * ((self.completed_total + wasted) as f64)
     }
 
     /// Dispatch hedge clones for `rid` to the best-scored sites (by the
@@ -747,6 +792,22 @@ impl<P: ContainerChaos> Frontend<P> {
         self.fronts[from].finished += 1;
         if self.hedge.is_some() {
             if let Some(g) = self.hedges.get_mut(&rid) {
+                // A copy this front end already abandoned (retry) dies
+                // with its site instead of migrating — its pending
+                // cancel finds nothing and the loser debt settles here.
+                if let Some(p) = g.lost.iter().position(|&s| s == from as u32) {
+                    g.lost.remove(p);
+                    g.pending_losers = g.pending_losers.saturating_sub(1);
+                    if g.resolved && g.pending_losers == 0 {
+                        self.hedges.remove(&rid);
+                    }
+                    self.agg[fn_idx as usize].cancelled += 1;
+                    if delivered {
+                        let mut shard = shards[from].lock().expect("shard lock");
+                        shard.st.per_fn[fn_idx as usize].cancelled += 1;
+                    }
+                    return;
+                }
                 if g.copies.len() > 1 || g.resolved {
                     // A hedge clone with a surviving sibling — or whose
                     // request already won — dies quietly instead of
@@ -908,6 +969,17 @@ impl<P: ContainerChaos> Frontend<P> {
                 let mut shard = shards[i].lock().expect("shard lock");
                 shard.st.inbox.push_back((now, Msg::PartitionEnd));
             }
+            Fault::SiteSlowdown { permille, .. } => {
+                // Brown-out: the site keeps serving (and stays
+                // routable) at `permille`/1000 of nominal speed; only
+                // the health EWMA sees the degradation.
+                self.fronts[i].slowed = permille < 1000;
+                {
+                    let mut shard = shards[i].lock().expect("shard lock");
+                    shard.policy.set_service_factor(permille as f64 / 1000.0);
+                }
+                self.fronts[i].clock_routability(now, end);
+            }
             Fault::ContainerBurst { count, .. } => {
                 if !self.fronts[i].up {
                     return; // a dead site has nothing left to crash
@@ -930,6 +1002,16 @@ impl<P: ContainerChaos> Frontend<P> {
         let Some(g) = self.hedges.get_mut(&rid) else {
             return false;
         };
+        // An abandoned (retry-lost) copy can never win, even if its
+        // terminal entry merges first: reclassify as wasted work.
+        if let Some(p) = g.lost.iter().position(|&s| s == winner) {
+            g.lost.remove(p);
+            g.pending_losers = g.pending_losers.saturating_sub(1);
+            if g.resolved && g.pending_losers == 0 {
+                self.hedges.remove(&rid);
+            }
+            return true;
+        }
         if g.resolved {
             g.pending_losers = g.pending_losers.saturating_sub(1);
             if g.pending_losers == 0 {
@@ -940,8 +1022,8 @@ impl<P: ContainerChaos> Frontend<P> {
         g.resolved = true;
         let token = g.fire_token.take();
         let losers: Vec<u32> = g.copies.iter().copied().filter(|&s| s != winner).collect();
-        g.pending_losers = losers.len();
-        if losers.is_empty() {
+        g.pending_losers += losers.len();
+        if g.pending_losers == 0 {
             self.hedges.remove(&rid);
         }
         if let Some(token) = token {
@@ -1089,6 +1171,8 @@ where
         migration_penalty,
         rebuild,
         unroutable,
+        fn_demands,
+        multidim,
         hedge,
         ..
     } = federation;
@@ -1136,6 +1220,7 @@ where
             finished: 0,
             up: true,
             partitioned: false,
+            slowed: false,
             needs_rebuild: false,
             restarts: 0,
             migrated_out: 0,
@@ -1221,6 +1306,8 @@ where
         end,
         hedge,
         hedges: BTreeMap::new(),
+        fn_demands,
+        multidim,
     };
     for i in 0..fe.procs.len() as u32 {
         fe.schedule_next_arrival(i, SimTime::ZERO);
@@ -1343,34 +1430,52 @@ where
                                         fire_token: None,
                                         resolved: false,
                                         pending_losers: 0,
+                                        lost: Vec::new(),
                                     },
                                 );
-                                match hcfg.trigger {
-                                    HedgeTrigger::Immediate => {
-                                        // States are fresh from pick_site.
-                                        fe.dispatch_clones(rid, fn_idx, now);
-                                    }
-                                    HedgeTrigger::PredictedP95OverSlo => {
-                                        let pct = fe.router_cfg.percentile;
-                                        let cold = fe.router_cfg.cold_start_penalty_ms / 1e3;
-                                        if predicted_score(&fe.states[chosen], pct, cold)
-                                            > fe.router_cfg.slo_ms / 1e3
-                                        {
-                                            fe.dispatch_clones(rid, fn_idx, now);
-                                        } else {
-                                            fe.hedges.remove(&rid);
+                                if hcfg.retry_after_ms > 0.0 {
+                                    // Speculative retry: arm the
+                                    // deadline instead of the trigger.
+                                    let at =
+                                        now + SimDuration::from_secs_f64(hcfg.retry_after_ms / 1e3);
+                                    let token = fe
+                                        .calendar
+                                        .schedule_cancellable(at, FeEv::HedgeFire { rid, fn_idx });
+                                    fe.hedges.get_mut(&rid).expect("just inserted").fire_token =
+                                        Some(token);
+                                } else {
+                                    match hcfg.trigger {
+                                        HedgeTrigger::Immediate => {
+                                            // States are fresh from pick_site.
+                                            if fe.hedge_within_budget() {
+                                                fe.dispatch_clones(rid, fn_idx, now);
+                                            } else {
+                                                fe.hedges.remove(&rid);
+                                            }
                                         }
-                                    }
-                                    HedgeTrigger::DeferredMs(ms) => {
-                                        let at = now + SimDuration::from_secs_f64(ms / 1e3);
-                                        let token = fe.calendar.schedule_cancellable(
-                                            at,
-                                            FeEv::HedgeFire { rid, fn_idx },
-                                        );
-                                        fe.hedges
-                                            .get_mut(&rid)
-                                            .expect("just inserted")
-                                            .fire_token = Some(token);
+                                        HedgeTrigger::PredictedP95OverSlo => {
+                                            let pct = fe.router_cfg.percentile;
+                                            let cold = fe.router_cfg.cold_start_penalty_ms / 1e3;
+                                            if predicted_score(&fe.states[chosen], pct, cold)
+                                                > fe.router_cfg.slo_ms / 1e3
+                                                && fe.hedge_within_budget()
+                                            {
+                                                fe.dispatch_clones(rid, fn_idx, now);
+                                            } else {
+                                                fe.hedges.remove(&rid);
+                                            }
+                                        }
+                                        HedgeTrigger::DeferredMs(ms) => {
+                                            let at = now + SimDuration::from_secs_f64(ms / 1e3);
+                                            let token = fe.calendar.schedule_cancellable(
+                                                at,
+                                                FeEv::HedgeFire { rid, fn_idx },
+                                            );
+                                            fe.hedges
+                                                .get_mut(&rid)
+                                                .expect("just inserted")
+                                                .fire_token = Some(token);
+                                        }
                                     }
                                 }
                             }
@@ -1445,6 +1550,11 @@ where
                             let warm: Vec<u64> = (0..shard.st.per_fn.len())
                                 .map(|f| shard.policy.warm_containers(f as u32))
                                 .collect();
+                            let resources = if fe.multidim {
+                                shard.policy.resource_snapshot()
+                            } else {
+                                Default::default()
+                            };
                             drop(shard);
                             let fleet: u64 = warm.iter().sum();
                             let front = &mut fe.fronts[i];
@@ -1453,12 +1563,13 @@ where
                             } else {
                                 front.meta.capacity_hint.round().max(1.0) as u32
                             };
-                            front.health.observe(t, !front.routable());
+                            front.health.observe(t, front.slowed || !front.routable());
                             let snap = TelemetrySnapshot {
                                 published_at: now,
                                 forecast: front.predictor.forecast(t, servers),
                                 flakiness: front.health.value(),
                                 warm,
+                                resources,
                             };
                             let at = now + front.meta.latency;
                             fe.calendar.schedule(at, FeEv::SnapshotDue { site, snap });
@@ -1491,8 +1602,34 @@ where
                     FeEv::HedgeFire { rid, fn_idx } => {
                         if fe.hedges.get(&rid).is_some_and(|g| !g.resolved) {
                             fe.hedges.get_mut(&rid).expect("checked").fire_token = None;
-                            fe.refresh_states(shards_ref, fn_idx, now);
-                            fe.dispatch_clones(rid, fn_idx, now);
+                            let retry = fe.hedge.is_some_and(|cfg| cfg.retry_after_ms > 0.0);
+                            if !fe.hedge_within_budget() {
+                                // Over the waste budget: no clone, no
+                                // retry — the group has nothing to race.
+                                fe.hedges.remove(&rid);
+                            } else {
+                                let primary = fe.hedges[&rid].copies[0];
+                                fe.refresh_states(shards_ref, fn_idx, now);
+                                fe.dispatch_clones(rid, fn_idx, now);
+                                if retry {
+                                    // Retry, not hedge: abandon the
+                                    // original once its replacement
+                                    // exists — a late answer from it is
+                                    // wasted work, not a win.
+                                    if let Some(g) = fe.hedges.get_mut(&rid) {
+                                        if g.copies.len() > 1 && g.copies[0] == primary {
+                                            g.copies.remove(0);
+                                            g.lost.push(primary);
+                                            g.pending_losers += 1;
+                                            let at = now + fe.fronts[primary as usize].meta.latency;
+                                            fe.calendar.schedule(
+                                                at,
+                                                FeEv::CancelDue { site: primary, rid },
+                                            );
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
                     FeEv::CancelDue { site, rid } => {
@@ -1524,6 +1661,9 @@ where
         .zip(fe.fronts)
         .map(|(shard, front)| {
             let shard = shard.into_inner().expect("shard lock");
+            let utilization = fe
+                .multidim
+                .then(|| shard.policy.resource_snapshot().utilization());
             let site_outcome = EngineOutcome {
                 per_fn: shard.st.per_fn,
                 outstanding: shard.st.in_flight,
@@ -1541,6 +1681,7 @@ where
                 flakiness: front.health.value(),
                 wasted_work: front.wasted,
                 wasted_secs: front.wasted_secs,
+                utilization,
                 report: shard.policy.finish(site_outcome),
             }
         })

@@ -46,6 +46,64 @@ use crate::time::{SimDuration, SimTime};
 use lass_queueing::{EvaluatedForecast, PredictorConfig};
 use serde::{Deserialize, Error, Serialize, Value};
 
+/// A site's multi-dimensional capacity picture as the router sees it:
+/// per-dimension capacity and usage in `[cpu, mem, bandwidth]` order
+/// (milli-vCPU, MiB, Mbps). Plain floats so the router layer stays
+/// decoupled from the cluster crate's integer newtypes. An all-zero
+/// capacity means the site never reported resources (older policies,
+/// cpu-only scenarios) — consumers must treat it as *unknown*, not as
+/// a full site.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceSnapshot {
+    /// Per-dimension capacity, `[cpu, mem, bandwidth]`.
+    pub cap: [f64; 3],
+    /// Per-dimension allocation, same order.
+    pub used: [f64; 3],
+}
+
+impl ResourceSnapshot {
+    /// Whether the site ever reported a capacity vector.
+    pub fn known(&self) -> bool {
+        self.cap.iter().any(|&c| c > 0.0)
+    }
+
+    /// How many more containers of `demand` the site can host, judged
+    /// on its *binding* dimension (the minimum over demanded
+    /// dimensions of `free / need`). Infinite when the demand is zero
+    /// on every dimension or the site never reported resources — an
+    /// unknown picture must not exclude a site.
+    pub fn fit_count(&self, demand: [f64; 3]) -> f64 {
+        if !self.known() {
+            return f64::INFINITY;
+        }
+        let mut fits = f64::INFINITY;
+        for (d, &need) in demand.iter().enumerate() {
+            if need > 0.0 {
+                let free = (self.cap[d] - self.used[d]).max(0.0);
+                fits = fits.min((free / need).floor());
+            }
+        }
+        fits
+    }
+
+    /// Per-dimension utilization in `[0, 1]` (0 where capacity is
+    /// unreported).
+    pub fn utilization(&self) -> [f64; 3] {
+        let mut u = [0.0; 3];
+        for (d, slot) in u.iter_mut().enumerate() {
+            if self.cap[d] > 0.0 {
+                *slot = (self.used[d] / self.cap[d]).clamp(0.0, 1.0);
+            }
+        }
+        u
+    }
+
+    /// The highest per-dimension utilization — the binding dimension's.
+    pub fn max_utilization(&self) -> f64 {
+        self.utilization().into_iter().fold(0.0, f64::max)
+    }
+}
+
 /// A router's view of one site at the instant of a routing decision.
 #[derive(Debug, Clone)]
 pub struct SiteState {
@@ -80,6 +138,15 @@ pub struct SiteState {
     /// Warm (booted, non-terminated) containers the site holds for the
     /// function being routed — the affinity census.
     pub warm: u64,
+    /// The site's per-dimension capacity picture (all-zero = never
+    /// reported; with delayed telemetry this is the last *arrived*
+    /// snapshot's, like every other site-side column).
+    pub resources: ResourceSnapshot,
+    /// Containers of the routed function the site can still fit, judged
+    /// on the binding dimension of the function's demand vector —
+    /// `resources.fit_count(demand)`, refreshed per decision. Infinite
+    /// when the demand or the capacity picture is unknown.
+    pub fits: f64,
 }
 
 impl SiteState {
@@ -645,6 +712,83 @@ impl RouterPolicy for FailureAwareRouter {
     }
 }
 
+/// Vector-aware placement planner: route where the next container of
+/// the function actually *fits*. Tier 1 restricts the candidates to up
+/// sites whose per-dimension capacity picture still has headroom for at
+/// least one more container of the routed function's demand vector
+/// ([`SiteState::fits`] ≥ 1 — headroom judged on the function's
+/// *binding* dimension), and picks the minimum predicted percentile
+/// response among them, breaking score ties toward the larger
+/// binding-dimension headroom, then the lower index. When no site can
+/// fit another container the planner degrades to minimum predicted
+/// response over all up sites (the work must land somewhere), and to
+/// least-loaded when every forecast is saturated.
+///
+/// With cpu-only scenarios (no demand vectors, no resource snapshots)
+/// every site reports infinite fits, and the planner reduces to pure
+/// minimum-predicted-response routing.
+#[derive(Debug)]
+pub struct PlannerRouter {
+    percentile: f64,
+    /// Cold-start penalty, seconds (0 disables the census blend).
+    cold: f64,
+    /// Scratch: per-site scores, computed once per decision.
+    scores: Vec<f64>,
+}
+
+impl PlannerRouter {
+    /// Build from the shared [`RouterConfig`].
+    pub fn new(cfg: &RouterConfig) -> Self {
+        Self {
+            percentile: cfg.percentile,
+            cold: cfg.cold_start_penalty_ms / 1e3,
+            scores: Vec::new(),
+        }
+    }
+
+    /// Minimum-score site among up sites passing `eligible`; ties break
+    /// toward the larger fit headroom, then the lower index.
+    fn best_fitting(
+        &self,
+        sites: &[SiteState],
+        mut eligible: impl FnMut(usize, &SiteState) -> bool,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in sites.iter().enumerate() {
+            if !s.up || !eligible(i, s) {
+                continue;
+            }
+            let score = self.scores[i];
+            if !score.is_finite() {
+                continue;
+            }
+            match best {
+                Some((b, bs)) if bs < score || (bs == score && sites[b].fits >= s.fits) => {}
+                _ => best = Some((i, score)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl RouterPolicy for PlannerRouter {
+    fn route(&mut self, _fn_idx: u32, _now: SimTime, sites: &[SiteState]) -> usize {
+        self.scores.clear();
+        self.scores.extend(
+            sites
+                .iter()
+                .map(|s| predicted_score(s, self.percentile, self.cold)),
+        );
+        self.best_fitting(sites, |_, s| s.fits >= 1.0)
+            .or_else(|| self.best_fitting(sites, |_, _| true))
+            .unwrap_or_else(|| least_loaded(sites))
+    }
+
+    fn name(&self) -> &'static str {
+        "planner"
+    }
+}
+
 /// The shipped router choices, as named in scenario JSON.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RouterKind {
@@ -661,17 +805,20 @@ pub enum RouterKind {
     Affinity,
     /// [`FailureAwareRouter`] (downtime-EWMA brown-out avoidance).
     FailureAware,
+    /// [`PlannerRouter`] (vector-aware placement planner).
+    Planner,
 }
 
 impl RouterKind {
     /// Every shipped router, for sweeps and tests.
-    pub const ALL: [RouterKind; 6] = [
+    pub const ALL: [RouterKind; 7] = [
         RouterKind::RoundRobin,
         RouterKind::LeastLoaded,
         RouterKind::LatencyAware,
         RouterKind::SloAware,
         RouterKind::Affinity,
         RouterKind::FailureAware,
+        RouterKind::Planner,
     ];
 
     /// The model-driven routers added by the SLO-aware routing layer.
@@ -690,6 +837,7 @@ impl RouterKind {
             RouterKind::SloAware => "slo-aware",
             RouterKind::Affinity => "affinity",
             RouterKind::FailureAware => "failure-aware",
+            RouterKind::Planner => "planner",
         }
     }
 
@@ -702,6 +850,7 @@ impl RouterKind {
             "slo-aware" | "slo_aware" | "slo" => Some(RouterKind::SloAware),
             "affinity" | "warm-affinity" | "warm_affinity" => Some(RouterKind::Affinity),
             "failure-aware" | "failure_aware" => Some(RouterKind::FailureAware),
+            "planner" | "placement-planner" | "placement_planner" => Some(RouterKind::Planner),
             _ => None,
         }
     }
@@ -722,6 +871,7 @@ impl RouterKind {
             RouterKind::SloAware => Box::new(SloAwareRouter::new(cfg)),
             RouterKind::Affinity => Box::new(AffinityRouter::new(cfg)),
             RouterKind::FailureAware => Box::new(FailureAwareRouter::new(cfg)),
+            RouterKind::Planner => Box::new(PlannerRouter::new(cfg)),
         }
     }
 }
@@ -738,7 +888,7 @@ impl Deserialize for RouterKind {
             Some(s) => RouterKind::parse(s).ok_or_else(|| {
                 Error::custom(format!(
                     "unknown router {s:?} (expected \"round-robin\", \"least-loaded\", \
-                     \"latency-aware\", \"slo-aware\", \"affinity\", or \"failure-aware\")"
+                     \"latency-aware\", \"slo-aware\", \"affinity\", \"failure-aware\", or \"planner\")"
                 ))
             }),
             None => Err(Error::custom("router must be a string")),
@@ -761,6 +911,8 @@ mod tests {
             forecast: EvaluatedForecast::default(),
             flakiness: 0.0,
             warm: 0,
+            resources: ResourceSnapshot::default(),
+            fits: f64::INFINITY,
         }
     }
 

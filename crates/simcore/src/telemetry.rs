@@ -42,6 +42,7 @@
 //! snapshot marks it back up.
 
 use crate::rng::SimRng;
+use crate::router::ResourceSnapshot;
 use crate::time::{SimDuration, SimTime};
 use lass_queueing::{EvaluatedForecast, SnapshotCache, WaitForecast};
 
@@ -124,6 +125,9 @@ pub struct TelemetrySnapshot {
     pub flakiness: f64,
     /// Warm-container census per function (registration order).
     pub warm: Vec<u64>,
+    /// The site's per-dimension capacity picture at publish time
+    /// (all-zero = the site's scheduler reports no resources).
+    pub resources: ResourceSnapshot,
 }
 
 /// The scaling half of the stale-telemetry loop: reads each *reported*
@@ -149,10 +153,21 @@ pub trait ReconcilerSeam: Send {
 /// floored at one server. Emits a directive only when the desired count
 /// differs from the reported one, and stays silent before the site has
 /// accumulated a model.
+///
+/// When the reported snapshot carries a per-dimension capacity picture,
+/// a scale-*up* is clamped to the reported fleet once the site's
+/// binding dimension is nearly full (≥ `dimension_ceiling`): a fleet
+/// directive cannot conjure memory or NIC capacity the site does not
+/// have, so the reconciler stops asking. Snapshots without resources
+/// (the historical cpu-only path) report zero utilization on every
+/// dimension and are never clamped — byte-identical behavior.
 #[derive(Debug, Clone, Copy)]
 pub struct UtilizationReconciler {
     /// Target per-server utilization ρ ∈ (0, 1).
     pub target_utilization: f64,
+    /// Binding-dimension utilization at which scale-up directives are
+    /// suppressed (the site cannot fit the extra containers anyway).
+    pub dimension_ceiling: f64,
 }
 
 impl UtilizationReconciler {
@@ -164,6 +179,7 @@ impl UtilizationReconciler {
         );
         Self {
             target_utilization: rho,
+            dimension_ceiling: 0.95,
         }
     }
 }
@@ -179,9 +195,12 @@ impl ReconcilerSeam for UtilizationReconciler {
         if !f.has_model() {
             return None;
         }
-        let desired = (f.lambda / (f.mu * self.target_utilization))
+        let mut desired = (f.lambda / (f.mu * self.target_utilization))
             .ceil()
             .max(1.0) as u32;
+        if desired > f.servers && reported.resources.max_utilization() >= self.dimension_ceiling {
+            desired = f.servers;
+        }
         (desired != f.servers).then_some(desired)
     }
 }
@@ -204,6 +223,8 @@ pub(crate) struct SiteView {
     pub(crate) flakiness: f64,
     /// The last arrived warm census (empty before any snapshot).
     pub(crate) warm: Vec<u64>,
+    /// The last arrived per-dimension capacity picture.
+    pub(crate) resources: ResourceSnapshot,
     /// Value-keyed evaluation cache: consecutive snapshots of a quiet
     /// site hit without re-running the Erlang-C recurrence.
     cache: SnapshotCache,
@@ -307,6 +328,7 @@ impl TelemetryRuntime {
         view.forecast = view.cache.evaluate(snap.forecast);
         view.flakiness = snap.flakiness;
         view.warm = snap.warm;
+        view.resources = snap.resources;
     }
 
     /// Whether the router should treat `site` as up: believed reachable
@@ -341,6 +363,7 @@ impl TelemetryRuntime {
             view.forecast = EvaluatedForecast::default();
             view.flakiness = 0.0;
             view.warm.iter_mut().for_each(|w| *w = 0);
+            view.resources = ResourceSnapshot::default();
             view.cache.invalidate();
         }
     }
@@ -480,6 +503,7 @@ mod tests {
             },
             flakiness: 0.25,
             warm: vec![3, 1],
+            resources: ResourceSnapshot::default(),
         };
         rt.ingest(0, fresh, SimTime::from_millis(210));
         assert_eq!(rt.views[0].warm, vec![3, 1]);
@@ -491,6 +515,7 @@ mod tests {
             forecast: WaitForecast::default(),
             flakiness: 0.9,
             warm: vec![0, 0],
+            resources: ResourceSnapshot::default(),
         };
         rt.ingest(0, stale, SimTime::from_millis(215));
         assert_eq!(rt.views[0].flakiness, 0.25);
@@ -515,6 +540,7 @@ mod tests {
             forecast: WaitForecast::default(),
             flakiness: 0.0,
             warm: vec![0],
+            resources: ResourceSnapshot::default(),
         };
         rt.ingest(0, snap.clone(), SimTime::from_millis(510));
         assert!(rt.view_up(0, lat, SimTime::from_millis(840)));
@@ -543,6 +569,7 @@ mod tests {
             },
             flakiness: 0.0,
             warm: vec![],
+            resources: ResourceSnapshot::default(),
         };
         // ⌈9 / (2 · 0.5)⌉ = 9 servers desired vs 3 reported.
         assert_eq!(rec.desired_fleet(0, &snap, SimTime::ZERO), Some(9));

@@ -108,7 +108,7 @@ fn main() {
         ScenarioReport::Federated(mut report) => {
             println!("router: {}\n", report.router);
             println!(
-                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>6} {:>10}",
+                "{:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>6} {:>10} {:>12}",
                 "site",
                 "lat(ms)",
                 "routed",
@@ -118,7 +118,8 @@ fn main() {
                 "fail",
                 "down(s)",
                 "flaky",
-                "p95W(ms)"
+                "p95W(ms)",
+                "util c/m/b"
             );
             for site in report.per_site.iter_mut() {
                 let (mut done, mut timeouts) = (0, 0);
@@ -130,8 +131,21 @@ fn main() {
                         waits.record(w);
                     }
                 }
+                // Per-dimension end-of-run utilization (cpu/mem/bw, in
+                // percent); only multi-dimensional runs report it.
+                let util = site.utilization.map_or_else(
+                    || "-".to_string(),
+                    |u| {
+                        format!(
+                            "{:.0}/{:.0}/{:.0}%",
+                            u[0] * 100.0,
+                            u[1] * 100.0,
+                            u[2] * 100.0
+                        )
+                    },
+                );
                 println!(
-                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8.1} {:>6.2} {:>10.1}",
+                    "{:>10} {:>9.1} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8.1} {:>6.2} {:>10.1} {:>12}",
                     site.name,
                     site.latency_secs * 1e3,
                     site.routed,
@@ -142,6 +156,7 @@ fn main() {
                     site.downtime_secs,
                     site.flakiness,
                     waits.percentile(0.95).unwrap_or(0.0) * 1e3,
+                    util,
                 );
             }
             if report.unroutable > 0 {

@@ -124,6 +124,14 @@ struct SweepRow {
     /// Clones whose site finished the work after the race was already
     /// decided — the honest cost column of the hedging tail table.
     wasted_work: usize,
+    /// End-of-run cpu allocation fraction, maximum across sites; only
+    /// multi-dimensional runs (a non-compute class or the planner
+    /// router) report the trio, everything else stays `null`.
+    util_cpu: Option<f64>,
+    /// End-of-run memory allocation fraction, maximum across sites.
+    util_mem: Option<f64>,
+    /// End-of-run bandwidth allocation fraction, maximum across sites.
+    util_bw: Option<f64>,
     slo_attainment: f64,
     mean_wait_ms: f64,
     p95_wait_ms: f64,
@@ -295,12 +303,21 @@ fn hedge_label(h: &Option<HedgeConfig>) -> String {
     match h {
         None => "off".into(),
         Some(cfg) => {
-            let trigger = match cfg.trigger {
-                HedgeTrigger::Immediate => "immediate".to_string(),
-                HedgeTrigger::DeferredMs(ms) => format!("deferred-{ms}ms"),
-                HedgeTrigger::PredictedP95OverSlo => "p95-over-slo".to_string(),
+            // A speculative-retry deadline supersedes the clone trigger.
+            let trigger = if cfg.retry_after_ms > 0.0 {
+                format!("retry-{}ms", cfg.retry_after_ms)
+            } else {
+                match cfg.trigger {
+                    HedgeTrigger::Immediate => "immediate".to_string(),
+                    HedgeTrigger::DeferredMs(ms) => format!("deferred-{ms}ms"),
+                    HedgeTrigger::PredictedP95OverSlo => "p95-over-slo".to_string(),
+                }
             };
-            format!("{trigger} x{}", cfg.max_clones)
+            let mut label = format!("{trigger} x{}", cfg.max_clones);
+            if cfg.waste_budget > 0.0 {
+                label.push_str(&format!(" w{}", cfg.waste_budget));
+            }
+            label
         }
     }
 }
@@ -327,6 +344,9 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
         hedged: 0,
         cancelled: 0,
         wasted_work: 0,
+        util_cpu: None,
+        util_mem: None,
+        util_bw: None,
         slo_attainment: 1.0,
         mean_wait_ms: 0.0,
         p95_wait_ms: 0.0,
@@ -386,6 +406,11 @@ fn run_cell(sc: &Scenario, key: &SweepRowKey) -> Result<SweepRow, String> {
                 row.migrated += site.migrated;
                 row.failed += site.failed;
                 row.wasted_work += site.wasted_work;
+                if let Some(u) = site.utilization {
+                    row.util_cpu = Some(row.util_cpu.unwrap_or(0.0).max(u[0]));
+                    row.util_mem = Some(row.util_mem.unwrap_or(0.0).max(u[1]));
+                    row.util_bw = Some(row.util_bw.unwrap_or(0.0).max(u[2]));
+                }
             }
             row.failed += rep.unroutable;
         }

@@ -376,6 +376,7 @@ fn synthesize_workload(cfg: &ReplayConfig) -> Result<Workload, String> {
         functions.push(FedFunction {
             name,
             slo_deadline: cfg.slo_deadline,
+            demand: [0.0; 3],
         });
     }
     Ok(Workload {
@@ -415,6 +416,7 @@ fn csv_workload(cfg: &ReplayConfig, text: &str) -> Result<Workload, String> {
         functions.push(FedFunction {
             name: row.function.clone(),
             slo_deadline: cfg.slo_deadline,
+            demand: [0.0; 3],
         });
     }
     if entries.is_empty() {

@@ -16,7 +16,7 @@ use lass_core::{
 };
 use lass_functions::{
     binary_alert, geofence, image_resizer, micro_benchmark, mobilenet_v2, shufflenet_v2,
-    squeezenet, FunctionSpec, WorkloadSpec,
+    squeezenet, FunctionSpec, WorkloadClass, WorkloadSpec,
 };
 use lass_openwhisk::{OwConfig, OwFunctionSetup, OwReport, OwSimulation};
 use lass_simcore::{
@@ -33,6 +33,11 @@ pub struct ClusterSpec {
     pub cpu_milli: u32,
     /// Memory per node in MiB.
     pub mem_mib: u32,
+    /// Network bandwidth per node in Mbps. Omit for the node default
+    /// (effectively unconstrained); set it to make the bandwidth
+    /// dimension bind for `"io"`-class functions.
+    #[serde(default)]
+    pub bw_mbps: Option<u32>,
     /// Placement policy (defaults to best-fit).
     #[serde(default)]
     pub placement: PlacementPolicy,
@@ -45,6 +50,7 @@ impl Default for ClusterSpec {
             nodes: 3,
             cpu_milli: 4000,
             mem_mib: 16 * 1024,
+            bw_mbps: None,
             placement: PlacementPolicy::BestFit,
         }
     }
@@ -59,17 +65,31 @@ impl ClusterSpec {
         if self.cpu_milli == 0 || self.mem_mib == 0 {
             return Err("cluster nodes need non-zero cpu_milli and mem_mib".into());
         }
+        if self.bw_mbps == Some(0) {
+            return Err("cluster nodes need non-zero bw_mbps when set".into());
+        }
         Ok(())
     }
 
     /// Materialize the cluster.
     pub fn build(&self) -> Cluster {
-        Cluster::homogeneous(
-            self.nodes,
-            CpuMilli(self.cpu_milli),
-            MemMib(self.mem_mib),
-            self.placement,
-        )
+        match self.bw_mbps {
+            Some(bw) => Cluster::homogeneous_vec(
+                self.nodes,
+                lass_cluster::ResourceVec::new(
+                    CpuMilli(self.cpu_milli),
+                    MemMib(self.mem_mib),
+                    lass_cluster::BwMbps(bw),
+                ),
+                self.placement,
+            ),
+            None => Cluster::homogeneous(
+                self.nodes,
+                CpuMilli(self.cpu_milli),
+                MemMib(self.mem_mib),
+                self.placement,
+            ),
+        }
     }
 }
 
@@ -268,13 +288,18 @@ pub struct ChaosEventSpec {
     /// When the fault fires, in seconds from the start of the run.
     pub at: f64,
     /// Fault kind: `"site-down"`, `"site-up"`, `"partition-start"`,
-    /// `"partition-end"`, or `"container-burst"`.
+    /// `"partition-end"`, `"container-burst"`, or `"site-slowdown"`.
     pub kind: String,
     /// Target site name (must exist in the scenario's `topology`).
     pub site: String,
     /// Containers to crash (`"container-burst"` only; default 1).
     #[serde(default = "one_u32")]
     pub count: u32,
+    /// Service-speed factor (`"site-slowdown"` only): 0.5 = half speed,
+    /// services take twice as long; 1.0 (the default) restores nominal
+    /// speed, i.e. the brown-out's recovery event.
+    #[serde(default = "one")]
+    pub factor: f64,
 }
 
 /// The optional `chaos` block: timed faults plus stochastic fault
@@ -376,11 +401,23 @@ impl ChaosSpec {
                     site,
                     count: ev.count,
                 },
+                "site-slowdown" | "site_slowdown" => {
+                    if !(ev.factor.is_finite() && ev.factor > 0.0) {
+                        return Err(format!(
+                            "site-slowdown factor must be finite and > 0, got {}",
+                            ev.factor
+                        ));
+                    }
+                    Fault::SiteSlowdown {
+                        site,
+                        permille: (ev.factor * 1000.0).round() as u32,
+                    }
+                }
                 other => {
                     return Err(format!(
                         "unknown chaos fault kind {other:?} (expected \"site-down\", \
-                         \"site-up\", \"partition-start\", \"partition-end\", or \
-                         \"container-burst\")"
+                         \"site-up\", \"partition-start\", \"partition-end\", \
+                         \"container-burst\", or \"site-slowdown\")"
                     ))
                 }
             };
@@ -473,6 +510,12 @@ pub struct FunctionEntry {
     /// Containers provisioned warm at t = 0 (default 0).
     #[serde(default)]
     pub initial_containers: u32,
+    /// Workload class override (`"compute"`, `"memory"`, or `"io"`):
+    /// shapes the container demand vector. Omit to keep the resolved
+    /// spec's own class (catalog functions default to compute, which
+    /// reserves cpu and memory only — the legacy behavior).
+    #[serde(default)]
+    pub class: Option<WorkloadClass>,
 }
 
 fn one() -> f64 {
@@ -595,7 +638,10 @@ impl Scenario {
         self.functions
             .iter()
             .map(|entry| {
-                let spec = entry.function.resolve()?;
+                let mut spec = entry.function.resolve()?;
+                if let Some(class) = entry.class {
+                    spec.class = class;
+                }
                 entry
                     .workload
                     .validate()
@@ -1052,6 +1098,7 @@ mod tests {
             user: 0,
             user_weight: 1.0,
             initial_containers: 1,
+            class: None,
         };
         let json = serde_json::to_string(&entry).unwrap();
         let back: FunctionEntry = serde_json::from_str(&json).unwrap();

@@ -169,6 +169,130 @@ fn no_chaos_wrapper_reproduces_plain_run_byte_for_byte() {
     assert_eq!(fed.per_site[0].downtime_secs, 0.0);
 }
 
+/// Brown-out golden: a [`Fault::SiteSlowdown`] stretches the slowed
+/// site's service times without ever starting the downtime clock — the
+/// site keeps serving and stays routable, nothing fails, and the
+/// degradation is visible to the health EWMA (nonzero flakiness), which
+/// is exactly the signal the failure-aware router acts on. The run is
+/// byte-for-byte reproducible under its seed, and a `permille ≥ 1000`
+/// event restores nominal speed.
+#[test]
+fn site_slowdown_brownout_is_reproducible_and_visible() {
+    let slowdown = || ChaosConfig {
+        events: vec![
+            (
+                5.0,
+                Fault::SiteSlowdown {
+                    site: 0,
+                    permille: 250,
+                },
+            ),
+            (
+                28.0,
+                Fault::SiteSlowdown {
+                    site: 0,
+                    permille: 1000,
+                },
+            ),
+        ],
+        ..ChaosConfig::default()
+    };
+    let a = two_site_sim(11, slowdown());
+    let b = two_site_sim(11, slowdown());
+    let ja = serde_json::to_string(&a).unwrap();
+    assert_eq!(
+        fnv64(&ja),
+        fnv64(&serde_json::to_string(&b).unwrap()),
+        "brown-out run must be byte-for-byte reproducible under its seed"
+    );
+    let baseline = two_site_sim(11, ChaosConfig::default());
+
+    let slowed = &a.per_site[0];
+    // A brown-out is not an outage: the site stayed up and routable the
+    // whole run, kept its work, and nothing failed or migrated.
+    assert_eq!(slowed.downtime_secs, 0.0);
+    assert_eq!(slowed.failed, 0);
+    assert_eq!(slowed.migrated, 0);
+    assert_eq!(a.unroutable, 0);
+    // The health EWMA saw the degradation; the fault-free twin did not.
+    assert!(slowed.flakiness > 0.0, "flakiness {}", slowed.flakiness);
+    assert_eq!(baseline.per_site[0].flakiness, 0.0);
+    // And service genuinely slowed: the worst response on the
+    // browned-out site dwarfs the fault-free run's.
+    let max_response = |rep: &lass::core::FederatedSimReport| -> f64 {
+        rep.per_site[0]
+            .report
+            .per_fn
+            .values()
+            .flat_map(|f| f.response.samples().iter().copied())
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        max_response(&a) > 2.0 * max_response(&baseline),
+        "slowdown did not bite: {} vs {}",
+        max_response(&a),
+        max_response(&baseline)
+    );
+    // Every arrival still has exactly one fate.
+    let agg = &a.aggregate_per_fn[0];
+    assert_eq!(
+        agg.arrivals,
+        agg.completed + agg.lost + agg.timeouts + a.outstanding
+    );
+}
+
+/// The scenario layer's `"site-slowdown"` chaos kind: `factor` (a
+/// service-speed multiplier) parses into the permille brown-out and
+/// drives a real federated run end to end.
+#[test]
+fn scenario_site_slowdown_parses_and_runs() {
+    let spec = r#"{
+        "seed": 13,
+        "policy": "lass",
+        "topology": {
+            "router": "least-loaded",
+            "sites": [
+                { "name": "a", "cluster": { "nodes": 1, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 2 },
+                { "name": "b", "cluster": { "nodes": 2, "cpu_milli": 4000, "mem_mib": 16384 }, "latency_ms": 20 }
+            ]
+        },
+        "chaos": {
+            "name": "brownout-a",
+            "events": [
+                { "at": 5.0, "kind": "site-slowdown", "site": "a", "factor": 0.25 },
+                { "at": 28.0, "kind": "site-slowdown", "site": "a", "factor": 1.0 }
+            ]
+        },
+        "functions": [
+            {
+                "function": "micro_benchmark:100",
+                "slo_ms": 150,
+                "workload": { "Static": { "rate": 20.0, "duration": 30.0 } },
+                "initial_containers": 1
+            }
+        ]
+    }"#;
+    let sc = Scenario::from_json(spec).expect("valid scenario");
+    let ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+        panic!("expected a federated report");
+    };
+    assert!(
+        rep.per_site[0].flakiness > 0.0,
+        "brown-out invisible to the health EWMA"
+    );
+    assert_eq!(rep.per_site[0].downtime_secs, 0.0);
+    assert_eq!(rep.per_site[0].failed, 0);
+
+    // An invalid factor is rejected at parse/validate time.
+    let bad = spec.replace("0.25", "0.0");
+    assert!(
+        Scenario::from_json(&bad)
+            .and_then(|s| s.run_report().map(|_| ()))
+            .is_err(),
+        "factor 0.0 must be rejected"
+    );
+}
+
 fn small_cluster(nodes: u32) -> Cluster {
     Cluster::homogeneous(
         nodes,
@@ -193,16 +317,17 @@ proptest! {
     // modest.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Conservation under random fault schedules: every arrival is
-    /// exactly one of completed, failed (lost), timed out, or still
-    /// outstanding — and migration is symmetric across sites. This is
-    /// the "exactly one fate" invariant: migrated-then-completed
-    /// requests count once, in `completed`.
+    /// Conservation under random fault schedules — brown-outs included:
+    /// every arrival is exactly one of completed, failed (lost), timed
+    /// out, or still outstanding — and migration is symmetric across
+    /// sites. This is the "exactly one fate" invariant: migrated-then-
+    /// completed requests count once, in `completed`, and a
+    /// `SiteSlowdown` may stretch service times but never loses work.
     #[test]
     fn arrivals_are_conserved_under_random_faults(
         seed in 0u64..500,
         schedule in prop::collection::vec(
-            (1.0f64..28.0, 0u8..5, 0u32..2, 1u32..4),
+            (1.0f64..28.0, 0u8..6, 0u32..2, 1u32..4),
             0..8,
         ),
     ) {
@@ -214,7 +339,9 @@ proptest! {
                     1 => Fault::SiteUp { site },
                     2 => Fault::PartitionStart { site },
                     3 => Fault::PartitionEnd { site },
-                    _ => Fault::ContainerBurst { site, count },
+                    4 => Fault::ContainerBurst { site, count },
+                    // 250/500/750 ‰ brown-outs (count ∈ 1..4).
+                    _ => Fault::SiteSlowdown { site, permille: 250 * count },
                 };
                 (at, fault)
             })

@@ -135,6 +135,8 @@ fn prop_site(latency: f64, cap: f64, in_flight: u64) -> SiteState {
         forecast: WaitForecast::default().into(),
         flakiness: 0.0,
         warm: 0,
+        resources: lass::simcore::ResourceSnapshot::default(),
+        fits: f64::INFINITY,
     }
 }
 

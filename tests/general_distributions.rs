@@ -17,6 +17,7 @@ fn custom_fn(dist: ServiceDistribution) -> FunctionSpec {
         standard_mem: lass::cluster::MemMib(256),
         service: ServiceModel::new(0.1, 0.7, dist),
         cold_start: SimDuration::from_millis(400),
+        class: lass::functions::WorkloadClass::Compute,
     }
 }
 

@@ -278,6 +278,66 @@ fn lass_and_static_policies_decorrelate_but_share_workload_shape() {
 /// forecasts, hysteresis — everything must replay bit-for-bit. If a
 /// deliberate routing change invalidates this, re-record and say so in
 /// the commit message.
+/// The multi-dimensional acceptance pin: on the memory-bound scenario
+/// (edge nodes whose memory is exactly exhausted by the warm fleet, a
+/// memory-class function, fixed seed 21) the vector-aware planner
+/// achieves strictly higher SLO attainment than least-loaded *and*
+/// slo-aware, because it is the only router that sees the edge's
+/// binding dimension is full and stops feeding it. The planner run
+/// itself replays byte-for-byte.
+#[test]
+fn planner_beats_baselines_on_memory_bound_scenario() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/memory-bound.json");
+    let text = std::fs::read_to_string(path).expect("scenario file");
+    assert!(
+        text.contains("\"planner\""),
+        "scenario must ship the planner"
+    );
+    let run = |router: &str| {
+        let swapped = text.replace("\"planner\"", &format!("\"{router}\""));
+        let sc = lass::scenario::Scenario::from_json(&swapped).expect("valid scenario");
+        let lass::scenario::ScenarioReport::Federated(rep) = sc.run_report().expect("runs") else {
+            panic!("expected a federated report");
+        };
+        rep
+    };
+    let attainment = |rep: &lass::core::FederatedSimReport| -> f64 {
+        let (mut done, mut viol) = (0usize, 0usize);
+        for site in &rep.per_site {
+            for f in site.report.per_fn.values() {
+                done += f.completed;
+                viol += f.slo_violations;
+            }
+        }
+        1.0 - viol as f64 / done as f64
+    };
+
+    let planner = run("planner");
+    let ll = run("least-loaded");
+    let slo = run("slo-aware");
+    // The planner routes far less to the memory-full edge than either
+    // capacity-blind baseline…
+    assert!(
+        planner.per_site[0].routed * 2 < ll.per_site[0].routed,
+        "planner kept feeding the full edge: {} vs {}",
+        planner.per_site[0].routed,
+        ll.per_site[0].routed
+    );
+    assert!(planner.per_site[0].routed * 2 < slo.per_site[0].routed);
+    // …and converts that into strictly better SLO attainment.
+    let (pa, la, sa) = (attainment(&planner), attainment(&ll), attainment(&slo));
+    assert!(
+        pa > la && pa > sa,
+        "planner must win on attainment: planner {pa:.4}, least-loaded {la:.4}, slo-aware {sa:.4}"
+    );
+    // Fixed seed, fixed bytes.
+    assert_eq!(
+        serde_json::to_string(&planner).unwrap(),
+        serde_json::to_string(&run("planner")).unwrap(),
+        "memory-bound planner run must replay byte-for-byte"
+    );
+}
+
 #[test]
 fn slo_aware_scenario_matches_pinned_golden() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/slo-routing.json");

@@ -71,6 +71,8 @@ fn first_response_wins_closes_the_clone_ledger() {
         Some(HedgeConfig {
             trigger: HedgeTrigger::Immediate,
             max_clones: 1,
+            retry_after_ms: 0.0,
+            waste_budget: 0.0,
         }),
         None,
     );
@@ -109,6 +111,8 @@ fn deferred_trigger_hedges_only_the_slow_tail() {
         Some(HedgeConfig {
             trigger: HedgeTrigger::Immediate,
             max_clones: 1,
+            retry_after_ms: 0.0,
+            waste_budget: 0.0,
         }),
         None,
     );
@@ -117,6 +121,8 @@ fn deferred_trigger_hedges_only_the_slow_tail() {
         Some(HedgeConfig {
             trigger: HedgeTrigger::DeferredMs(400.0),
             max_clones: 1,
+            retry_after_ms: 0.0,
+            waste_budget: 0.0,
         }),
         None,
     );
@@ -147,6 +153,8 @@ fn inert_hedge_reproduces_unhedged_run_byte_for_byte() {
         Some(HedgeConfig {
             trigger: HedgeTrigger::DeferredMs(10_000_000.0),
             max_clones: 1,
+            retry_after_ms: 0.0,
+            waste_budget: 0.0,
         }),
         None,
     );
@@ -155,6 +163,129 @@ fn inert_hedge_reproduces_unhedged_run_byte_for_byte() {
         serde_json::to_string(&inert).unwrap(),
         "an inert hedge drifted from the unhedged run"
     );
+}
+
+/// Speculative retry supersedes the trigger: when `retry_after_ms` is
+/// set, the configured trigger is irrelevant — two configs differing
+/// only in trigger produce byte-identical runs — and the retries both
+/// fire and keep the ledger closed.
+#[test]
+fn speculative_retry_supersedes_trigger_and_conserves() {
+    let retry = |trigger: HedgeTrigger| {
+        three_site_sim(
+            11,
+            Some(HedgeConfig {
+                trigger,
+                max_clones: 1,
+                retry_after_ms: 40.0,
+                waste_budget: 0.0,
+            }),
+            None,
+        )
+    };
+    let a = retry(HedgeTrigger::Immediate);
+    let b = retry(HedgeTrigger::DeferredMs(400.0));
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "retry_after_ms must supersede the trigger"
+    );
+    let agg = &a.aggregate_per_fn[0];
+    assert!(agg.hedged > 0, "40 ms retries never fired");
+    assert!(
+        agg.hedged < agg.arrivals,
+        "a 40 ms deferral must spare the fast majority"
+    );
+    assert_eq!(
+        agg.arrivals,
+        agg.completed + agg.lost + agg.timeouts + a.outstanding
+    );
+}
+
+/// The waste budget is a real admission bound: a 10 % budget admits
+/// strictly fewer clones than the unbudgeted twin, still hedges at all,
+/// and the run-long waste ratio honors `wasted < budget × finished`.
+#[test]
+fn waste_budget_caps_cloning() {
+    let run = |waste_budget: f64| {
+        three_site_sim(
+            11,
+            Some(HedgeConfig {
+                trigger: HedgeTrigger::Immediate,
+                max_clones: 1,
+                retry_after_ms: 0.0,
+                waste_budget,
+            }),
+            None,
+        )
+    };
+    let open = run(0.0);
+    let capped = run(0.1);
+    let (o, c) = (&open.aggregate_per_fn[0], &capped.aggregate_per_fn[0]);
+    assert!(c.hedged > 0, "the budget must admit some clones");
+    assert!(
+        c.hedged * 2 < o.hedged,
+        "a 10 % budget barely bit: {} vs {}",
+        c.hedged,
+        o.hedged
+    );
+    // The admission predicate (wasted < budget × (completed + wasted))
+    // held at every admission, so the final ledger can exceed the line
+    // by at most the clones admitted right at it.
+    let wasted: usize = capped.per_site.iter().map(|s| s.wasted_work).sum();
+    assert!(
+        (wasted as f64) <= 0.1 * ((c.completed + wasted) as f64) + c.hedged as f64 * 0.01 + 1.0,
+        "waste ratio blown: {wasted} wasted vs {} completed",
+        c.completed
+    );
+    assert_eq!(
+        c.arrivals,
+        c.completed + c.lost + c.timeouts + capped.outstanding
+    );
+}
+
+/// Regression pin on the committed sweep artifact: the 0.8×-load rows
+/// of `results/sweep-hedging-table.json` carry the speculative-retry
+/// and waste-budget variants, and the budgeted rows admit strictly
+/// fewer clones than their unbudgeted twins at every seed.
+#[test]
+fn sweep_table_pins_retry_and_waste_rows_at_high_load() {
+    let path = format!(
+        "{}/results/sweep-hedging-table.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("committed sweep table");
+    let rows: serde_json::Value = serde_json::from_str(&text).expect("valid JSON table");
+    let rows = rows.as_array().expect("array of rows");
+
+    let cell = |hedge: &str, seed: u64| -> &serde_json::Map {
+        rows.iter()
+            .map(|r| r.as_object().expect("row object"))
+            .find(|r| {
+                r["hedge"].as_str() == Some(hedge)
+                    && r["seed"].as_f64() == Some(seed as f64)
+                    && r["rate_scale"].as_f64() == Some(0.8)
+            })
+            .unwrap_or_else(|| panic!("missing 0.8×-load row ({hedge}, seed {seed})"))
+    };
+    for seed in [7u64, 8, 9] {
+        let retry = cell("retry-40ms x1", seed);
+        assert!(
+            retry["hedged"].as_f64().unwrap() > 0.0,
+            "retry row never hedged (seed {seed})"
+        );
+        let open = cell("immediate x1", seed);
+        let capped = cell("immediate x1 w0.1", seed);
+        let (oh, ch) = (
+            open["hedged"].as_f64().unwrap(),
+            capped["hedged"].as_f64().unwrap(),
+        );
+        assert!(ch > 0.0, "budgeted row never hedged (seed {seed})");
+        assert!(
+            ch < oh,
+            "waste budget did not bite at seed {seed}: {ch} vs {oh}"
+        );
+    }
 }
 
 proptest! {
@@ -199,7 +330,7 @@ proptest! {
         let chaos = ChaosConfig { events, ..ChaosConfig::default() };
         let rep = three_site_sim(
             seed,
-            Some(HedgeConfig { trigger, max_clones }),
+            Some(HedgeConfig { trigger, max_clones, retry_after_ms: 0.0, waste_budget: 0.0 }),
             Some(chaos),
         );
 

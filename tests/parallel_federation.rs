@@ -161,6 +161,7 @@ fn fed_functions() -> Vec<FedFunction> {
     vec![FedFunction {
         name: "probe".into(),
         slo_deadline: 0.5,
+        demand: [0.0; 3],
     }]
 }
 

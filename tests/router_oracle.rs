@@ -247,6 +247,7 @@ fn run_split(
     let functions = vec![FedFunction {
         name: "probe".into(),
         slo_deadline: 1.0,
+        demand: [0.0; 3],
     }];
     let sites = vec![
         (
